@@ -1,0 +1,117 @@
+//! User input actions.
+//!
+//! Every benchmark shares one action encoding so the intelligent client's
+//! RNN has a fixed output space: a discrete [`ActionClass`] plus a 2-D analog
+//! component (aim point, steering axis, head motion). The per-app *meaning*
+//! of a class is defined by the world parameters.
+
+/// Discrete action classes (the RNN's classification targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ActionClass {
+    /// No input this frame.
+    Idle,
+    /// Continuous locomotion (steer/move/glide); analog = direction.
+    Move,
+    /// Primary interaction (fire/attack/select); analog = aim point.
+    Primary,
+    /// Secondary interaction (item/ability/zoom); analog = aim point.
+    Secondary,
+    /// View/head motion (mouse look, VR head pose); analog = delta.
+    Look,
+}
+
+impl ActionClass {
+    /// All classes in a stable order (the RNN output layout).
+    pub const ALL: [ActionClass; 5] = [
+        ActionClass::Idle,
+        ActionClass::Move,
+        ActionClass::Primary,
+        ActionClass::Secondary,
+        ActionClass::Look,
+    ];
+
+    /// Stable index in `0..5`.
+    pub fn index(&self) -> usize {
+        ActionClass::ALL.iter().position(|c| c == self).expect("in ALL")
+    }
+
+    /// Inverse of [`ActionClass::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 5`.
+    pub fn from_index(i: usize) -> ActionClass {
+        ActionClass::ALL[i]
+    }
+}
+
+/// One user input: a class plus an analog 2-D component in `[-1, 1]²`
+/// (aim points use frame-normalized `[0, 1]²` mapped linearly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Action {
+    /// What kind of input.
+    pub class: ActionClass,
+    /// Analog X (aim x / steer).
+    pub dx: f64,
+    /// Analog Y (aim y / pitch).
+    pub dy: f64,
+}
+
+impl Action {
+    /// Creates an action, clamping the analog component to `[-1, 1]`.
+    pub fn new(class: ActionClass, dx: f64, dy: f64) -> Self {
+        Action {
+            class,
+            dx: dx.clamp(-1.0, 1.0),
+            dy: dy.clamp(-1.0, 1.0),
+        }
+    }
+
+    /// The no-op action.
+    pub fn idle() -> Self {
+        Action::new(ActionClass::Idle, 0.0, 0.0)
+    }
+
+    /// True for non-idle actions (what APM counts).
+    pub fn is_input(&self) -> bool {
+        self.class != ActionClass::Idle
+    }
+}
+
+impl Default for Action {
+    fn default() -> Self {
+        Action::idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_index_roundtrip() {
+        for (i, c) in ActionClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(ActionClass::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn action_clamps_analog() {
+        let a = Action::new(ActionClass::Move, 3.0, -2.0);
+        assert_eq!((a.dx, a.dy), (1.0, -1.0));
+    }
+
+    #[test]
+    fn idle_is_not_input() {
+        assert!(!Action::idle().is_input());
+        assert!(Action::new(ActionClass::Primary, 0.5, 0.5).is_input());
+        assert_eq!(Action::default(), Action::idle());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = ActionClass::from_index(5);
+    }
+}

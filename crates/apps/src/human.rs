@@ -1,0 +1,353 @@
+//! The human reference policy.
+//!
+//! The paper evaluates the intelligent client against real users playing
+//! 15-minute sessions (§4). The reproduction needs a reproducible stand-in:
+//! a stochastic policy with human-like reaction delay, limited actions per
+//! minute, aim error and genre-appropriate action mix. The intelligent
+//! client trains on sessions recorded from this policy and is then compared
+//! against it — exactly the paper's human-vs-IC protocol.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use pictor_sim::rng::{lognormal_mean_cv, normal_clamped};
+use pictor_sim::SimDuration;
+
+use crate::action::{Action, ActionClass};
+use crate::id::AppId;
+use crate::world::DetectedObject;
+
+/// Parameters of the human reference policy for one app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HumanParams {
+    /// Mean reaction delay between seeing a frame and the input reaching the
+    /// device, in milliseconds.
+    pub reaction_mean_ms: f64,
+    /// Reaction-delay coefficient of variation.
+    pub reaction_cv: f64,
+    /// Std-dev of the aim error in normalized screen units.
+    pub aim_error: f64,
+    /// Probability of engaging a visible target on a given frame.
+    pub engage_prob: f64,
+    /// Probability of a locomotion (`Move`) input on a given frame.
+    pub move_prob: f64,
+    /// Probability of a view (`Look`) input on a given frame.
+    pub look_prob: f64,
+    /// Probability of using `Secondary` instead of `Primary` when engaging.
+    pub secondary_prob: f64,
+}
+
+impl HumanParams {
+    /// Genre-tuned parameters: shooters aim precisely and often; RTS players
+    /// issue frequent selection commands; VR users mostly look around. The
+    /// per-frame branch probabilities are sized so that at ~30 displayed
+    /// frames/second the non-idle rate lands in a human 100–350 APM band
+    /// (the paper cites ~300 APM for professional players).
+    pub fn for_app(app: AppId) -> Self {
+        match app {
+            AppId::SuperTuxKart => HumanParams {
+                reaction_mean_ms: 260.0,
+                reaction_cv: 0.35,
+                aim_error: 0.05,
+                engage_prob: 0.06,
+                move_prob: 0.12,
+                look_prob: 0.0,
+                secondary_prob: 0.15,
+            },
+            AppId::ZeroAd => HumanParams {
+                reaction_mean_ms: 420.0,
+                reaction_cv: 0.40,
+                aim_error: 0.03,
+                engage_prob: 0.10,
+                move_prob: 0.02,
+                look_prob: 0.03,
+                secondary_prob: 0.25,
+            },
+            AppId::RedEclipse => HumanParams {
+                reaction_mean_ms: 230.0,
+                reaction_cv: 0.30,
+                aim_error: 0.025,
+                engage_prob: 0.10,
+                move_prob: 0.04,
+                look_prob: 0.05,
+                secondary_prob: 0.10,
+            },
+            AppId::Dota2 => HumanParams {
+                reaction_mean_ms: 300.0,
+                reaction_cv: 0.35,
+                aim_error: 0.04,
+                engage_prob: 0.09,
+                move_prob: 0.04,
+                look_prob: 0.02,
+                secondary_prob: 0.35,
+            },
+            AppId::InMind => HumanParams {
+                reaction_mean_ms: 380.0,
+                reaction_cv: 0.40,
+                aim_error: 0.06,
+                engage_prob: 0.05,
+                move_prob: 0.0,
+                look_prob: 0.10,
+                secondary_prob: 0.05,
+            },
+            AppId::Imhotep => HumanParams {
+                reaction_mean_ms: 450.0,
+                reaction_cv: 0.40,
+                aim_error: 0.05,
+                engage_prob: 0.04,
+                move_prob: 0.01,
+                look_prob: 0.07,
+                secondary_prob: 0.30,
+            },
+        }
+    }
+}
+
+/// A stochastic human player/user for one benchmark.
+///
+/// # Example
+///
+/// ```
+/// use pictor_apps::{AppId, HumanPolicy};
+/// use pictor_apps::world::DetectedObject;
+/// use pictor_sim::SeedTree;
+///
+/// let mut human = HumanPolicy::new(AppId::RedEclipse, SeedTree::new(3).stream("h"));
+/// let seen = [DetectedObject { class: 9, x: 0.4, y: 0.6, size: 0.1 }];
+/// let action = human.decide(&seen);
+/// let delay = human.reaction_delay();
+/// assert!(delay.as_millis_f64() > 0.0);
+/// let _ = action;
+/// ```
+#[derive(Debug, Clone)]
+pub struct HumanPolicy {
+    app: AppId,
+    params: HumanParams,
+    rng: SmallRng,
+    actions_issued: u64,
+    frames_seen: u64,
+}
+
+impl HumanPolicy {
+    /// Creates the policy for `app` with its genre-tuned parameters.
+    pub fn new(app: AppId, rng: SmallRng) -> Self {
+        HumanPolicy {
+            app,
+            params: HumanParams::for_app(app),
+            rng,
+            actions_issued: 0,
+            frames_seen: 0,
+        }
+    }
+
+    /// Creates the policy with explicit parameters (tests, ablations).
+    pub fn with_params(app: AppId, params: HumanParams, rng: SmallRng) -> Self {
+        HumanPolicy {
+            app,
+            params,
+            rng,
+            actions_issued: 0,
+            frames_seen: 0,
+        }
+    }
+
+    /// The benchmark this policy plays.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// Policy parameters.
+    pub fn params(&self) -> HumanParams {
+        self.params
+    }
+
+    /// Decides the input for one displayed frame given recognized objects.
+    ///
+    /// Priority: engage the largest (nearest) object if one exists, else
+    /// locomotion/view inputs, else idle — with all branch probabilities
+    /// drawn from the genre parameters.
+    pub fn decide(&mut self, objects: &[DetectedObject]) -> Action {
+        self.frames_seen += 1;
+        let p = self.params;
+        let roll: f64 = self.rng.gen();
+        // Branches partition [0, 1): [0, engage) ∪ [engage, engage+move) ∪ …
+        // An empty scene turns the engage slice into idling (a player with
+        // nothing to shoot at does less, not something else).
+        if !objects.is_empty() && roll < p.engage_prob {
+            let target = objects
+                .iter()
+                .max_by(|a, b| a.size.partial_cmp(&b.size).expect("sizes are finite"))
+                .expect("non-empty");
+            let ax = normal_clamped(&mut self.rng, target.x, p.aim_error, 0.0, 1.0);
+            let ay = normal_clamped(&mut self.rng, target.y, p.aim_error, 0.0, 1.0);
+            let class = if self.rng.gen::<f64>() < p.secondary_prob {
+                ActionClass::Secondary
+            } else {
+                ActionClass::Primary
+            };
+            self.actions_issued += 1;
+            return Action::new(class, ax * 2.0 - 1.0, ay * 2.0 - 1.0);
+        }
+        // Locomotion.
+        if roll >= p.engage_prob && roll < p.engage_prob + p.move_prob {
+            self.actions_issued += 1;
+            let steer: f64 = self.rng.gen_range(-1.0..1.0);
+            return Action::new(ActionClass::Move, steer, 0.0);
+        }
+        // View / head motion.
+        if roll >= p.engage_prob + p.move_prob
+            && roll < p.engage_prob + p.move_prob + p.look_prob
+        {
+            self.actions_issued += 1;
+            let dx: f64 = self.rng.gen_range(-0.6..0.6);
+            let dy: f64 = self.rng.gen_range(-0.3..0.3);
+            return Action::new(ActionClass::Look, dx, dy);
+        }
+        Action::idle()
+    }
+
+    /// Samples the human reaction delay for one input.
+    pub fn reaction_delay(&mut self) -> SimDuration {
+        let ms = lognormal_mean_cv(
+            &mut self.rng,
+            self.params.reaction_mean_ms,
+            self.params.reaction_cv,
+        );
+        SimDuration::from_millis_f64(ms.max(40.0))
+    }
+
+    /// Non-idle actions issued so far.
+    pub fn actions_issued(&self) -> u64 {
+        self.actions_issued
+    }
+
+    /// Frames this policy has seen.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_sim::SeedTree;
+
+    fn target(class: u8) -> DetectedObject {
+        DetectedObject {
+            class,
+            x: 0.5,
+            y: 0.5,
+            size: 0.2,
+        }
+    }
+
+    #[test]
+    fn params_exist_for_all_apps() {
+        for app in AppId::ALL {
+            let p = HumanParams::for_app(app);
+            assert!(p.reaction_mean_ms > 100.0);
+            let probs = p.engage_prob + p.move_prob + p.look_prob;
+            assert!(probs <= 1.0, "{app}: branch probabilities exceed 1");
+        }
+    }
+
+    #[test]
+    fn engages_visible_targets() {
+        let mut h = HumanPolicy::new(AppId::RedEclipse, SeedTree::new(1).stream("h"));
+        let mut engaged = 0;
+        for _ in 0..2000 {
+            let a = h.decide(&[target(9)]);
+            if matches!(a.class, ActionClass::Primary | ActionClass::Secondary) {
+                engaged += 1;
+            }
+        }
+        // engage_prob = 0.10 for RE => expect ~200 of 2000.
+        assert!((140..280).contains(&engaged), "engaged={engaged}");
+    }
+
+    #[test]
+    fn aim_centers_on_target() {
+        let mut h = HumanPolicy::new(AppId::RedEclipse, SeedTree::new(2).stream("h"));
+        let mut n = 0;
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for _ in 0..2000 {
+            let a = h.decide(&[target(9)]);
+            if matches!(a.class, ActionClass::Primary | ActionClass::Secondary) {
+                sx += (a.dx + 1.0) / 2.0;
+                sy += (a.dy + 1.0) / 2.0;
+                n += 1;
+            }
+        }
+        let (mx, my) = (sx / n as f64, sy / n as f64);
+        assert!((mx - 0.5).abs() < 0.01 && (my - 0.5).abs() < 0.01, "aim=({mx},{my})");
+    }
+
+    #[test]
+    fn no_engagement_without_targets() {
+        let mut h = HumanPolicy::new(AppId::SuperTuxKart, SeedTree::new(3).stream("h"));
+        for _ in 0..500 {
+            let a = h.decide(&[]);
+            assert!(
+                !matches!(a.class, ActionClass::Primary | ActionClass::Secondary),
+                "engaged with empty scene"
+            );
+        }
+    }
+
+    #[test]
+    fn reaction_delay_is_human_scale() {
+        let mut h = HumanPolicy::new(AppId::Dota2, SeedTree::new(4).stream("h"));
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| h.reaction_delay().as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 300.0).abs() < 25.0, "mean reaction {mean}ms");
+    }
+
+    #[test]
+    fn apm_is_realistic() {
+        // At ~30 decided frames/second the non-idle action rate should land
+        // in a human-plausible 100–400 APM band.
+        let mut w = crate::world::World::new(AppId::Dota2, SeedTree::new(5).stream("w"));
+        let mut h = HumanPolicy::new(AppId::Dota2, SeedTree::new(5).stream("h"));
+        let frames = 30 * 60; // one minute at 30 FPS
+        for _ in 0..frames {
+            w.advance(1.0 / 30.0);
+            let objects = w.ground_truth();
+            let a = h.decide(&objects);
+            w.apply(&a);
+        }
+        let apm = h.actions_issued() as f64;
+        assert!((60.0..=450.0).contains(&apm), "apm={apm}");
+        assert_eq!(h.frames_seen(), frames as u64);
+    }
+
+    #[test]
+    fn vr_apps_mostly_look() {
+        let mut h = HumanPolicy::new(AppId::InMind, SeedTree::new(6).stream("h"));
+        let mut looks = 0;
+        let mut moves = 0;
+        for _ in 0..1000 {
+            match h.decide(&[]).class {
+                ActionClass::Look => looks += 1,
+                ActionClass::Move => moves += 1,
+                _ => {}
+            }
+        }
+        // look_prob = 0.10 for InMind => expect ~100 of 1000, and no Move
+        // inputs at all (head motion only).
+        assert!(looks > 60, "looks={looks}");
+        assert_eq!(moves, 0, "InMind has no locomotion");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || HumanPolicy::new(AppId::ZeroAd, SeedTree::new(9).stream("h"));
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(a.decide(&[target(1)]), b.decide(&[target(1)]));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Benchmark identities (paper Table 2).
+
+use std::fmt;
+
+/// One of the six benchmarks in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppId {
+    /// SuperTuxKart — open-source racing game.
+    SuperTuxKart,
+    /// 0 A.D. — open-source real-time strategy game (OpenGL 1.3).
+    ZeroAd,
+    /// Red Eclipse — open-source first-person arena shooter.
+    RedEclipse,
+    /// Dota2 — closed-source online battle arena.
+    Dota2,
+    /// InMind — closed-source VR education/game title.
+    InMind,
+    /// IMHOTEP — open-source VR framework for surgical applications.
+    Imhotep,
+}
+
+impl AppId {
+    /// All six benchmarks in the paper's table order.
+    pub const ALL: [AppId; 6] = [
+        AppId::SuperTuxKart,
+        AppId::ZeroAd,
+        AppId::RedEclipse,
+        AppId::Dota2,
+        AppId::InMind,
+        AppId::Imhotep,
+    ];
+
+    /// Short code used in the paper's figures (STK, 0AD, RE, D2, IM, ITP).
+    pub fn code(&self) -> &'static str {
+        match self {
+            AppId::SuperTuxKart => "STK",
+            AppId::ZeroAd => "0AD",
+            AppId::RedEclipse => "RE",
+            AppId::Dota2 => "D2",
+            AppId::InMind => "IM",
+            AppId::Imhotep => "ITP",
+        }
+    }
+
+    /// Full application name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppId::SuperTuxKart => "SuperTuxKart",
+            AppId::ZeroAd => "0 A.D.",
+            AppId::RedEclipse => "Red Eclipse",
+            AppId::Dota2 => "DoTA2",
+            AppId::InMind => "InMind",
+            AppId::Imhotep => "IMHOTEP",
+        }
+    }
+
+    /// Application area as listed in Table 2.
+    pub fn area(&self) -> &'static str {
+        match self {
+            AppId::SuperTuxKart => "Game: Racing",
+            AppId::ZeroAd => "Game: Real-time Strategy",
+            AppId::RedEclipse => "Game: First-person Shoot",
+            AppId::Dota2 => "Game: Online Battle Arena",
+            AppId::InMind => "VR: Education/Game",
+            AppId::Imhotep => "VR: Health",
+        }
+    }
+
+    /// Whether the real application is closed-source (Dota2 and InMind) —
+    /// exactly the apps Pictor must handle without source access.
+    pub fn closed_source(&self) -> bool {
+        matches!(self, AppId::Dota2 | AppId::InMind)
+    }
+
+    /// Whether this is a VR title (head-motion inputs; TurboVNC was modified
+    /// to carry VR device inputs, §4).
+    pub fn is_vr(&self) -> bool {
+        matches!(self, AppId::InMind | AppId::Imhotep)
+    }
+
+    /// Stable index in `0..6` (ALL order).
+    pub fn index(&self) -> usize {
+        AppId::ALL.iter().position(|a| a == self).expect("in ALL")
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_benchmarks() {
+        assert_eq!(AppId::ALL.len(), 6);
+        let codes: Vec<&str> = AppId::ALL.iter().map(|a| a.code()).collect();
+        assert_eq!(codes, ["STK", "0AD", "RE", "D2", "IM", "ITP"]);
+    }
+
+    #[test]
+    fn two_closed_source() {
+        let closed: Vec<AppId> = AppId::ALL.iter().copied().filter(AppId::closed_source).collect();
+        assert_eq!(closed, [AppId::Dota2, AppId::InMind]);
+    }
+
+    #[test]
+    fn two_vr_titles() {
+        let vr: Vec<AppId> = AppId::ALL.iter().copied().filter(AppId::is_vr).collect();
+        assert_eq!(vr, [AppId::InMind, AppId::Imhotep]);
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, app) in AppId::ALL.iter().enumerate() {
+            assert_eq!(app.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_uses_code() {
+        assert_eq!(AppId::SuperTuxKart.to_string(), "STK");
+    }
+}

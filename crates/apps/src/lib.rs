@@ -1,0 +1,33 @@
+//! The Pictor benchmark suite: six interactive 3D applications.
+//!
+//! The paper's suite (Table 2) covers four game genres and two VR use cases:
+//!
+//! | Area | Benchmark | Code |
+//! |---|---|---|
+//! | Racing | SuperTuxKart | STK |
+//! | Real-time strategy | 0 A.D. | 0AD |
+//! | First-person shooter | Red Eclipse | RE |
+//! | Online battle arena | Dota2 | D2 |
+//! | VR education | InMind | IM |
+//! | VR health | IMHOTEP | ITP |
+//!
+//! The real applications are proprietary or impractical to port, so each
+//! benchmark is a *synthetic interactive scene* driven by a common world
+//! engine ([`world`]) parameterized per genre, plus a calibrated resource
+//! profile ([`profile`]) reproducing the paper's per-app CPU/GPU/PCIe/cache
+//! signatures, and a stochastic *human reference policy* ([`human`]) that
+//! plays it the way the paper's human sessions do. What matters for the
+//! paper's experiments — input-dependent behavior, random object placement,
+//! genre-specific resource usage — is preserved; see `DESIGN.md`.
+
+pub mod action;
+pub mod human;
+pub mod id;
+pub mod profile;
+pub mod world;
+
+pub use action::{Action, ActionClass};
+pub use human::HumanPolicy;
+pub use id::AppId;
+pub use profile::AppProfile;
+pub use world::{DetectedObject, World, WorldParams};

@@ -1,0 +1,193 @@
+//! The Table 4 feature matrix: Pictor versus prior VDI / cloud-gaming
+//! benchmarking work.
+
+use std::fmt;
+
+/// A benchmarking capability row of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    /// Tolerates random/irregular UI objects (3D content).
+    RandomUiObjectsTolerant,
+    /// Tolerates varying network latency.
+    VaryingNetLatencyTolerant,
+    /// Tracks individual user inputs to their response frames.
+    UserInputTracking,
+    /// Measures CPU performance.
+    CpuPerfMeasurement,
+    /// Measures network performance.
+    NetworkPerfMeasurement,
+    /// Measures GPU performance.
+    GpuPerfMeasurement,
+    /// Measures PCIe frame-copy performance.
+    PcieFrameCopyMeasurement,
+    /// Leaves the 3D application's behavior unaltered while measuring.
+    UnalteredAppBehavior,
+}
+
+impl Capability {
+    /// All rows in the paper's order.
+    pub const ALL: [Capability; 8] = [
+        Capability::RandomUiObjectsTolerant,
+        Capability::VaryingNetLatencyTolerant,
+        Capability::UserInputTracking,
+        Capability::CpuPerfMeasurement,
+        Capability::NetworkPerfMeasurement,
+        Capability::GpuPerfMeasurement,
+        Capability::PcieFrameCopyMeasurement,
+        Capability::UnalteredAppBehavior,
+    ];
+
+    /// Row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Capability::RandomUiObjectsTolerant => "Random UI Objects Tolerant",
+            Capability::VaryingNetLatencyTolerant => "Varying Net Latency Tolerant",
+            Capability::UserInputTracking => "User-input Tracking",
+            Capability::CpuPerfMeasurement => "CPU Perf. Measurement",
+            Capability::NetworkPerfMeasurement => "Network Perf. Measurement",
+            Capability::GpuPerfMeasurement => "GPU Perf. Measurement",
+            Capability::PcieFrameCopyMeasurement => "PCIe frame-copy Perf. Measure.",
+            Capability::UnalteredAppBehavior => "Unaltered 3D App Behaviors",
+        }
+    }
+}
+
+/// A benchmarking methodology column of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Methodology {
+    /// VNCplay (Zeldovich & Chandra, USENIX ATC 2005).
+    VncPlay,
+    /// Chen et al. (IEEE Transactions on Multimedia 2014).
+    ChenEtAl,
+    /// Slow-Motion benchmarking (Nieh et al., TOCS 2003).
+    SlowMotion,
+    /// Login-VSI (industry whitepaper, 2010).
+    LoginVsi,
+    /// DeskBench (Rhee et al., IM 2009).
+    DeskBench,
+    /// VDBench (Berryman et al., CloudCom 2010).
+    VdBench,
+    /// Dusi et al. (IEEE Communications Magazine 2012).
+    DusiEtAl,
+    /// This paper.
+    Pictor,
+}
+
+impl Methodology {
+    /// All columns in the paper's order.
+    pub const ALL: [Methodology; 8] = [
+        Methodology::VncPlay,
+        Methodology::ChenEtAl,
+        Methodology::SlowMotion,
+        Methodology::LoginVsi,
+        Methodology::DeskBench,
+        Methodology::VdBench,
+        Methodology::DusiEtAl,
+        Methodology::Pictor,
+    ];
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Methodology::VncPlay => "VNCPlay",
+            Methodology::ChenEtAl => "Chen et al.",
+            Methodology::SlowMotion => "Slow-Motion",
+            Methodology::LoginVsi => "Login-VSI",
+            Methodology::DeskBench => "DeskBench",
+            Methodology::VdBench => "VDBench",
+            Methodology::DusiEtAl => "Dusi et al.",
+            Methodology::Pictor => "Pictor",
+        }
+    }
+
+    /// Whether this methodology provides `capability` (the checkmarks of
+    /// Table 4).
+    pub fn supports(&self, capability: Capability) -> bool {
+        use Capability as C;
+        use Methodology as M;
+        match self {
+            M::Pictor => true,
+            M::VncPlay => matches!(c(capability), C::VaryingNetLatencyTolerant),
+            M::DeskBench => matches!(
+                c(capability),
+                C::VaryingNetLatencyTolerant | C::CpuPerfMeasurement
+            ),
+            M::ChenEtAl => matches!(
+                c(capability),
+                C::CpuPerfMeasurement | C::NetworkPerfMeasurement | C::UnalteredAppBehavior
+            ),
+            M::SlowMotion => matches!(
+                c(capability),
+                C::UserInputTracking | C::CpuPerfMeasurement | C::NetworkPerfMeasurement
+            ),
+            M::LoginVsi => matches!(c(capability), C::CpuPerfMeasurement),
+            M::VdBench => matches!(
+                c(capability),
+                C::CpuPerfMeasurement | C::NetworkPerfMeasurement
+            ),
+            M::DusiEtAl => matches!(
+                c(capability),
+                C::NetworkPerfMeasurement | C::UnalteredAppBehavior
+            ),
+        }
+    }
+}
+
+// Identity helper so the match arms read as capability sets.
+fn c(capability: Capability) -> Capability {
+    capability
+}
+
+impl fmt::Display for Methodology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pictor_supports_everything() {
+        for cap in Capability::ALL {
+            assert!(Methodology::Pictor.supports(cap), "{cap:?}");
+        }
+    }
+
+    #[test]
+    fn only_pictor_handles_random_3d_objects() {
+        for m in Methodology::ALL {
+            let expected = m == Methodology::Pictor;
+            assert_eq!(
+                m.supports(Capability::RandomUiObjectsTolerant),
+                expected,
+                "{m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_pictor_measures_gpu_and_pcie() {
+        for m in Methodology::ALL {
+            if m == Methodology::Pictor {
+                continue;
+            }
+            assert!(!m.supports(Capability::GpuPerfMeasurement), "{m:?}");
+            assert!(!m.supports(Capability::PcieFrameCopyMeasurement), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn slow_motion_tracks_inputs_but_alters_behavior() {
+        assert!(Methodology::SlowMotion.supports(Capability::UserInputTracking));
+        assert!(!Methodology::SlowMotion.supports(Capability::UnalteredAppBehavior));
+    }
+
+    #[test]
+    fn matrix_dimensions_match_table4() {
+        assert_eq!(Capability::ALL.len(), 8);
+        assert_eq!(Methodology::ALL.len(), 8);
+        assert_eq!(Methodology::Pictor.to_string(), "Pictor");
+    }
+}

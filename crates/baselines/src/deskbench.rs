@@ -1,0 +1,217 @@
+//! DeskBench/VNCplay-style record-and-replay input generation.
+//!
+//! DeskBench records (frame, action) pairs from a human session and replays
+//! each action only when the currently displayed frame is "similar" to the
+//! recorded one — which handles latency variation on 2D desktops, where an
+//! icon either is or is not on screen. On 3D content (random objects,
+//! viewing-angle-dependent pixels) the similarity test keeps failing, so the
+//! replayer waits, times out, and issues the action late — the behavior the
+//! paper blames for its 11.6% mean-RTT error.
+
+use pictor_apps::world::DetectedObject;
+use pictor_apps::Action;
+use pictor_client::RecordedSession;
+use pictor_gfx::Frame;
+use pictor_render::driver::{ClientDriver, Reaction, DECISION_CADENCE_MS};
+use pictor_sim::SimDuration;
+
+/// Replay driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeskBenchConfig {
+    /// Mean-absolute-difference threshold under which two frames count as
+    /// similar (the paper tuned this per DeskBench's methodology and used
+    /// the best value found).
+    pub similarity_threshold: f64,
+    /// Frames to wait for a match before force-issuing the action.
+    pub max_wait_frames: u32,
+}
+
+impl Default for DeskBenchConfig {
+    fn default() -> Self {
+        DeskBenchConfig {
+            similarity_threshold: 0.012,
+            max_wait_frames: 12,
+        }
+    }
+}
+
+/// The DeskBench replay driver.
+///
+/// Wraps a recorded human session; replays it in order, gated on frame
+/// similarity, looping when the script runs out.
+#[derive(Debug)]
+pub struct DeskBenchDriver {
+    session: RecordedSession,
+    config: DeskBenchConfig,
+    cursor: usize,
+    waited: u32,
+    matches: u64,
+    timeouts: u64,
+}
+
+impl DeskBenchDriver {
+    /// Creates a replayer over a recorded session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is empty.
+    pub fn new(session: RecordedSession, config: DeskBenchConfig) -> Self {
+        assert!(!session.is_empty(), "cannot replay an empty session");
+        DeskBenchDriver {
+            session,
+            config,
+            cursor: 0,
+            waited: 0,
+            matches: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Actions issued because the frame comparison matched.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    /// Actions issued only because the wait timed out.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Fraction of issued actions that required a timeout — near 1.0 on 3D
+    /// content, near 0.0 on static content.
+    pub fn timeout_rate(&self) -> f64 {
+        let total = self.matches + self.timeouts;
+        if total == 0 {
+            0.0
+        } else {
+            self.timeouts as f64 / total as f64
+        }
+    }
+
+    fn advance_cursor(&mut self) {
+        self.cursor = (self.cursor + 1) % self.session.len();
+        self.waited = 0;
+    }
+}
+
+impl ClientDriver for DeskBenchDriver {
+    fn name(&self) -> &'static str {
+        "deskbench"
+    }
+
+    fn on_frame(&mut self, frame: &Frame, _truth: &[DetectedObject]) -> Reaction {
+        // Cheap replay bookkeeping: the comparison itself is fast.
+        let busy = SimDuration::from_millis_f64(DECISION_CADENCE_MS);
+        let latency = SimDuration::from_millis(20);
+        let expected = &self.session.frames[self.cursor];
+        let similar = frame.mean_abs_diff(expected) <= self.config.similarity_threshold;
+        if similar {
+            let action = self.session.actions[self.cursor];
+            self.matches += 1;
+            self.advance_cursor();
+            return Reaction {
+                action,
+                latency,
+                busy,
+            };
+        }
+        self.waited += 1;
+        if self.waited >= self.config.max_wait_frames {
+            let action = self.session.actions[self.cursor];
+            self.timeouts += 1;
+            self.advance_cursor();
+            return Reaction {
+                action,
+                latency,
+                busy,
+            };
+        }
+        Reaction {
+            action: Action::idle(),
+            latency,
+            busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+    use pictor_client::record_session;
+    use pictor_sim::SeedTree;
+
+    fn session(seed: u64) -> RecordedSession {
+        record_session(AppId::RedEclipse, &SeedTree::new(seed), 200, 13.3)
+    }
+
+    #[test]
+    fn replays_exact_frames_without_timeouts() {
+        let s = session(1);
+        let frames = s.frames.clone();
+        let actions = s.actions.clone();
+        let mut db = DeskBenchDriver::new(s, DeskBenchConfig::default());
+        // Show the recorded frames in order: every step matches.
+        for (i, frame) in frames.iter().enumerate().take(50) {
+            let r = db.on_frame(frame, &[]);
+            assert_eq!(r.action, actions[i], "step {i}");
+        }
+        assert_eq!(db.timeouts(), 0);
+        assert_eq!(db.matches(), 50);
+        assert_eq!(db.timeout_rate(), 0.0);
+    }
+
+    #[test]
+    fn random_3d_frames_force_timeouts() {
+        // Frames from a *different* session (same app, different seed): the
+        // 3D randomness defeats pixel comparison.
+        let s = session(2);
+        let other = session(3);
+        let mut db = DeskBenchDriver::new(s, DeskBenchConfig::default());
+        let mut issued = 0;
+        for frame in other.frames.iter().cycle().take(600) {
+            if db.on_frame(frame, &[]).action.is_input() || db.matches() + db.timeouts() > 0 {
+                issued += 1;
+            }
+        }
+        assert!(issued > 0);
+        assert!(
+            db.timeout_rate() > 0.8,
+            "3D frames should almost never match: rate {}",
+            db.timeout_rate()
+        );
+    }
+
+    #[test]
+    fn waiting_delays_actions() {
+        let s = session(4);
+        let other = session(5);
+        let mut db = DeskBenchDriver::new(s, DeskBenchConfig::default());
+        // Count idle responses before the first issued action.
+        let mut idles = 0;
+        for frame in other.frames.iter().cycle() {
+            let r = db.on_frame(frame, &[]);
+            if r.action.is_input() || db.timeouts() + db.matches() > 0 {
+                break;
+            }
+            idles += 1;
+        }
+        assert!(
+            idles >= DeskBenchConfig::default().max_wait_frames as usize - 1,
+            "replay must stall before timing out (idles={idles})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty session")]
+    fn empty_session_panics() {
+        let empty = RecordedSession {
+            app: AppId::RedEclipse,
+            frames: vec![],
+            truths: vec![],
+            actions: vec![],
+            fps: 30.0,
+        };
+        let _ = DeskBenchDriver::new(empty, DeskBenchConfig::default());
+    }
+}

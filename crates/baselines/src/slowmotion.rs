@@ -1,0 +1,63 @@
+//! Slow-Motion benchmarking (Nieh, Yang, Novik — ACM TOCS 2003).
+//!
+//! Slow-Motion injects delays so only one input/frame is processed at a
+//! time: an input is sent, its frame is rendered, copied, compressed,
+//! delivered — and only then does the next input go out. Associating inputs
+//! with frames becomes trivial, but the measured system no longer runs at
+//! full capacity: pipeline parallelism is gone and the app barely contends
+//! with its proxy, so reported RTTs come out low (~27.9% error in the
+//! paper). The mechanism lives in the rendering system
+//! ([`pictor_render::config::PipelineMode::SlowMotion`]); this module just
+//! builds the configuration.
+
+use pictor_render::config::PipelineMode;
+use pictor_render::SystemConfig;
+
+/// The system configuration with Slow-Motion delay injection enabled.
+pub fn slow_motion_config(base: &SystemConfig) -> SystemConfig {
+    SystemConfig {
+        mode: PipelineMode::SlowMotion,
+        ..base.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+    use pictor_core::{run_experiment, ExperimentSpec};
+    use pictor_sim::SimDuration;
+
+    #[test]
+    fn slow_motion_reports_lower_rtt_than_full_pipeline() {
+        let stock = SystemConfig::turbovnc_stock();
+        let duration = SimDuration::from_secs(15);
+        let full = run_experiment(ExperimentSpec {
+            duration,
+            ..ExperimentSpec::with_humans(vec![AppId::RedEclipse], stock.clone(), 31)
+        });
+        let sm = run_experiment(ExperimentSpec {
+            duration,
+            ..ExperimentSpec::with_humans(
+                vec![AppId::RedEclipse],
+                slow_motion_config(&stock),
+                31,
+            )
+        });
+        let full_rtt = full.solo().rtt.mean;
+        let sm_rtt = sm.solo().rtt.mean;
+        assert!(
+            sm_rtt < full_rtt,
+            "Slow-Motion must underestimate: sm {sm_rtt} vs full {full_rtt}"
+        );
+    }
+
+    #[test]
+    fn config_flips_only_the_mode() {
+        let base = SystemConfig::turbovnc_stock();
+        let sm = slow_motion_config(&base);
+        assert_eq!(sm.mode, PipelineMode::SlowMotion);
+        assert_eq!(sm.interposer, base.interposer);
+        assert_eq!(sm.tuning, base.tuning);
+    }
+}

@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks over the reproduction's hot paths: the
+//! simulation kernel, tag embedding, frame compression, neural-network
+//! inference and a full pipeline second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use pictor_apps::{AppId, HumanPolicy, World};
+use pictor_client::ic::{IcTrainConfig, IntelligentClient};
+use pictor_gfx::{embed_tag, extract_tag, CompressionModel, Tag};
+use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
+use pictor_sim::{EventQueue, SeedTree, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        });
+    });
+}
+
+fn bench_tag_embedding(c: &mut Criterion) {
+    let mut world = World::new(AppId::Dota2, SeedTree::new(1).stream("w"));
+    world.advance(1.0);
+    let frame = world.render();
+    c.bench_function("tag_embed_extract_restore", |b| {
+        b.iter_batched(
+            || frame.clone(),
+            |mut f| {
+                let saved = embed_tag(&mut f, Tag(0xABCD));
+                let tag = extract_tag(&f);
+                pictor_gfx::restore_pixels(&mut f, &saved);
+                tag
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut world = World::new(AppId::SuperTuxKart, SeedTree::new(2).stream("w"));
+    world.advance(1.0);
+    let prev = world.render();
+    world.advance(1.0 / 30.0);
+    let next = world.render();
+    let model = CompressionModel::tight_encoding();
+    c.bench_function("compress_frame_delta", |b| {
+        b.iter(|| model.compress(&next, Some(&prev)));
+    });
+}
+
+fn bench_world_step(c: &mut Criterion) {
+    c.bench_function("world_advance_and_render", |b| {
+        b.iter_batched(
+            || World::new(AppId::Dota2, SeedTree::new(3).stream("w")),
+            |mut w| {
+                for _ in 0..30 {
+                    w.advance(1.0 / 30.0);
+                }
+                w.render()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_human_policy(c: &mut Criterion) {
+    let mut world = World::new(AppId::RedEclipse, SeedTree::new(4).stream("w"));
+    for _ in 0..60 {
+        world.advance(0.1);
+    }
+    let truth = world.ground_truth();
+    c.bench_function("human_policy_decide", |b| {
+        let mut policy = HumanPolicy::new(AppId::RedEclipse, SeedTree::new(4).stream("h"));
+        b.iter(|| policy.decide(&truth));
+    });
+}
+
+fn bench_ic_inference(c: &mut Criterion) {
+    let seeds = SeedTree::new(5);
+    let mut ic = IntelligentClient::train(AppId::RedEclipse, &seeds, IcTrainConfig::fast());
+    let mut world = World::new(AppId::RedEclipse, seeds.stream("w"));
+    world.advance(2.0);
+    let frame = world.render();
+    c.bench_function("ic_decide_full_frame", |b| {
+        b.iter(|| ic.decide(&frame));
+    });
+}
+
+fn bench_pipeline_second(c: &mut Criterion) {
+    c.bench_function("pipeline_one_simulated_second", |b| {
+        b.iter_batched(
+            || {
+                let seeds = SeedTree::new(6);
+                let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), seeds);
+                sys.add_instance(
+                    AppId::Dota2,
+                    Box::new(HumanDriver::new(
+                        HumanPolicy::new(AppId::Dota2, seeds.stream("h")),
+                        seeds.stream("attn"),
+                    )),
+                );
+                sys.start();
+                sys
+            },
+            |mut sys| {
+                sys.run_for(SimDuration::from_secs(1));
+                sys.now()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_queue, bench_tag_embedding, bench_compression,
+              bench_world_step, bench_human_policy, bench_ic_inference,
+              bench_pipeline_second
+}
+criterion_main!(benches);

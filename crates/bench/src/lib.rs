@@ -1,0 +1,87 @@
+//! Shared helpers for the figure/table regenerator binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the
+//! paper's evaluation: it runs the same experiment protocol (§4) on the
+//! simulated system and prints the same rows/series the paper plots. Run
+//! them with `cargo run --release -p pictor-bench --bin <name>`.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `PICTOR_SECS` — measured simulated seconds per experiment (default 20).
+//! * `PICTOR_SEED` — master seed (default 2020, the paper's year).
+
+use pictor_apps::AppId;
+use pictor_core::{run_experiment, ExperimentResult, ExperimentSpec};
+use pictor_render::SystemConfig;
+use pictor_sim::SimDuration;
+
+/// Measured window length per experiment.
+pub fn measured_secs() -> u64 {
+    std::env::var("PICTOR_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+/// Master seed for all binaries.
+pub fn master_seed() -> u64 {
+    std::env::var("PICTOR_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2020)
+}
+
+/// Runs `n` co-located instances of `app` with human drivers.
+pub fn run_humans(app: AppId, n: usize, config: SystemConfig, seed: u64) -> ExperimentResult {
+    run_experiment(ExperimentSpec {
+        duration: SimDuration::from_secs(measured_secs()),
+        ..ExperimentSpec::with_humans(vec![app; n], config, seed)
+    })
+}
+
+/// Runs an arbitrary mix of apps with human drivers.
+pub fn run_mix(apps: Vec<AppId>, config: SystemConfig, seed: u64) -> ExperimentResult {
+    run_experiment(ExperimentSpec {
+        duration: SimDuration::from_secs(measured_secs()),
+        ..ExperimentSpec::with_humans(apps, config, seed)
+    })
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "(simulated reproduction; seed {}, {} s measured window)\n",
+        master_seed(),
+        measured_secs()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // Only checks the parsing defaults; env may be set by the harness.
+        if std::env::var("PICTOR_SECS").is_err() {
+            assert_eq!(measured_secs(), 20);
+        }
+        if std::env::var("PICTOR_SEED").is_err() {
+            assert_eq!(master_seed(), 2020);
+        }
+    }
+
+    #[test]
+    fn run_humans_smoke() {
+        std::env::set_var("PICTOR_SECS", "5");
+        let result = run_humans(
+            AppId::RedEclipse,
+            1,
+            SystemConfig::turbovnc_stock(),
+            master_seed(),
+        );
+        assert_eq!(result.instances.len(), 1);
+        std::env::remove_var("PICTOR_SECS");
+    }
+}

@@ -1,0 +1,397 @@
+//! The LSTM input-generation model (§3.1).
+//!
+//! The RNN learns "how to respond to the objects in a frame like a real
+//! human": input features are encoded object lists over a short window of
+//! recent frames, targets are the recorded human actions. Two heads sit on
+//! the final hidden state — a softmax over [`ActionClass`]es and a 2-D aim
+//! regression. At inference the class is *sampled* from the softmax (the
+//! goal is matching the human action distribution, not playing optimally)
+//! and the aim gets Gaussian noise matching the training residual, so the
+//! client's hit rate tracks the human's.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use pictor_apps::world::DetectedObject;
+use pictor_apps::{Action, ActionClass, AppId, WorldParams};
+use pictor_ml::dense::Activation;
+use pictor_ml::{softmax_cross_entropy, softmax_probs, Adam, Dense, Lstm, Matrix};
+use pictor_sim::rng::normal;
+
+use crate::features::{encode, FEATURE_DIM};
+use crate::recorder::RecordedSession;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// Recent-frame window length fed to the LSTM.
+    pub seq_len: usize,
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Passes over the training sequences.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Mini-batch size (sequences per step).
+    pub batch: usize,
+    /// Cap on training sequences (unbiased random subsample). The class
+    /// distribution is deliberately *not* rebalanced: the softmax must stay
+    /// calibrated to the human action rate, which is what Table 3 measures.
+    pub max_sequences: usize,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            seq_len: 6,
+            hidden: 24,
+            epochs: 8,
+            lr: 0.005,
+            batch: 16,
+            max_sequences: 4000,
+        }
+    }
+}
+
+/// A trained per-application input-generation model.
+#[derive(Debug, Clone)]
+pub struct AgentModel {
+    app: AppId,
+    params: WorldParams,
+    seq_len: usize,
+    lstm: Lstm,
+    class_head: Dense,
+    /// Aim regression conditioned on `[hidden | class one-hot]` so steering
+    /// analogs and aim points do not contaminate each other.
+    aim_head: Dense,
+    /// Per-class aim residual std (indexed by [`ActionClass::index`]).
+    aim_noise_std: [f64; 5],
+    history: Vec<Vec<f64>>,
+    final_class_loss: f64,
+}
+
+/// Builds the `[hidden | class one-hot]` input row for the aim head.
+fn aim_input(h: &Matrix, row: usize, class: ActionClass, hidden: usize) -> Matrix {
+    let mut m = Matrix::zeros(1, hidden + ActionClass::ALL.len());
+    for j in 0..hidden {
+        m.set(0, j, h.get(row, j));
+    }
+    m.set(0, hidden + class.index(), 1.0);
+    m
+}
+
+impl AgentModel {
+    /// Trains the agent on a recorded session whose frames have been
+    /// processed into per-frame object lists (`detections[i]` corresponds to
+    /// `session.frames[i]`), exactly the paper's training flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or the session is shorter than the window.
+    pub fn train(
+        session: &RecordedSession,
+        detections: &[Vec<DetectedObject>],
+        config: AgentConfig,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert_eq!(session.len(), detections.len(), "detections/frames mismatch");
+        assert!(
+            session.len() > config.seq_len,
+            "session shorter than the sequence window"
+        );
+        let params = WorldParams::for_app(session.app);
+        let feats: Vec<Vec<f64>> = detections.iter().map(|d| encode(&params, d)).collect();
+        // Build (window → action) samples: every frame with a full window,
+        // uniformly subsampled to the cap.
+        let mut sample_ts: Vec<usize> = (config.seq_len - 1..session.len()).collect();
+        for i in (1..sample_ts.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            sample_ts.swap(i, j);
+        }
+        sample_ts.truncate(config.max_sequences);
+
+        let n_classes = ActionClass::ALL.len();
+        let mut lstm = Lstm::new(FEATURE_DIM, config.hidden, rng);
+        let mut class_head = Dense::new(config.hidden, n_classes, Activation::Identity, rng);
+        let mut aim_head = Dense::new(config.hidden + n_classes, 2, Activation::Tanh, rng);
+        let mut adam = Adam::new(config.lr);
+        let mut final_class_loss = f64::INFINITY;
+        for _ in 0..config.epochs {
+            for i in (1..sample_ts.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                sample_ts.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0.0_f64;
+            for chunk in sample_ts.chunks(config.batch) {
+                // Stack the window across the batch: xs[k]: [B, F].
+                let b = chunk.len();
+                let xs: Vec<Matrix> = (0..config.seq_len)
+                    .map(|k| {
+                        let mut m = Matrix::zeros(b, FEATURE_DIM);
+                        for (row, &t) in chunk.iter().enumerate() {
+                            let src = &feats[t + 1 - config.seq_len + k];
+                            for (col, &v) in src.iter().enumerate() {
+                                m.set(row, col, v);
+                            }
+                        }
+                        m
+                    })
+                    .collect();
+                let targets_class: Vec<usize> =
+                    chunk.iter().map(|&t| session.actions[t].class.index()).collect();
+                let h = lstm.forward(&xs);
+                let logits = class_head.forward(&h);
+                let (class_loss, d_logits) = softmax_cross_entropy(&logits, &targets_class);
+                let d_h_class = class_head.backward(&d_logits);
+                // Masked aim regression conditioned on the true class: only
+                // rows whose action carries an analog component contribute.
+                let mut aim_in = Matrix::zeros(b, config.hidden + n_classes);
+                let mut mask = vec![false; b];
+                for (row, &t) in chunk.iter().enumerate() {
+                    let a = &session.actions[t];
+                    for j in 0..config.hidden {
+                        aim_in.set(row, j, h.get(row, j));
+                    }
+                    aim_in.set(row, config.hidden + a.class.index(), 1.0);
+                    mask[row] = a.is_input();
+                }
+                let aim = aim_head.forward(&aim_in);
+                let mut d_aim = Matrix::zeros(b, 2);
+                let analog_rows = mask.iter().filter(|&&m| m).count() as f64;
+                for (row, &t) in chunk.iter().enumerate() {
+                    if !mask[row] {
+                        continue;
+                    }
+                    let a = &session.actions[t];
+                    d_aim.set(row, 0, (aim.get(row, 0) - a.dx) / analog_rows);
+                    d_aim.set(row, 1, (aim.get(row, 1) - a.dy) / analog_rows);
+                }
+                let d_aim_in = aim_head.backward(&d_aim);
+                // Only the hidden-state columns flow back into the LSTM.
+                let mut d_h_aim = Matrix::zeros(b, config.hidden);
+                for row in 0..b {
+                    for j in 0..config.hidden {
+                        d_h_aim.set(row, j, d_aim_in.get(row, j));
+                    }
+                }
+                lstm.backward(&d_h_class.add(&d_h_aim));
+                let mut p = lstm.params_and_grads();
+                p.extend(class_head.params_and_grads());
+                p.extend(aim_head.params_and_grads());
+                adam.step_slices(&mut p);
+                epoch_loss += class_loss;
+                batches += 1.0;
+            }
+            final_class_loss = epoch_loss / batches.max(1.0);
+        }
+        // Per-class aim residual std, so sampled Primary aims get aiming
+        // noise and Move analogs get steering spread — each matching the
+        // human data.
+        let mut residuals: [Vec<f64>; 5] = Default::default();
+        for &t in &sample_ts {
+            let a = &session.actions[t];
+            if !a.is_input() {
+                continue;
+            }
+            let xs: Vec<Matrix> = (0..config.seq_len)
+                .map(|k| Matrix::row_vector(&feats[t + 1 - config.seq_len + k]))
+                .collect();
+            let h = lstm.infer(&xs);
+            let aim = aim_head.infer(&aim_input(&h, 0, a.class, config.hidden));
+            residuals[a.class.index()].push(aim.get(0, 0) - a.dx);
+            residuals[a.class.index()].push(aim.get(0, 1) - a.dy);
+        }
+        let mut aim_noise_std = [0.0; 5];
+        for (i, res) in residuals.iter().enumerate() {
+            if res.len() >= 4 {
+                let m = res.iter().sum::<f64>() / res.len() as f64;
+                aim_noise_std[i] =
+                    (res.iter().map(|r| (r - m).powi(2)).sum::<f64>() / res.len() as f64).sqrt();
+            }
+        }
+        AgentModel {
+            app: session.app,
+            params,
+            seq_len: config.seq_len,
+            lstm,
+            class_head,
+            aim_head,
+            aim_noise_std,
+            history: Vec::new(),
+            final_class_loss,
+        }
+    }
+
+    /// The benchmark this agent plays.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// Mean class cross-entropy of the last training epoch. The paper's
+    /// criterion: "the model is likely to work well as long as it has low
+    /// training loss".
+    pub fn final_class_loss(&self) -> f64 {
+        self.final_class_loss
+    }
+
+    /// Learned per-class aim-noise standard deviations.
+    pub fn aim_noise_std(&self) -> [f64; 5] {
+        self.aim_noise_std
+    }
+
+    /// Clears the recent-frame history (start of a fresh episode).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    /// Generates the input for one displayed frame from recognized objects.
+    ///
+    /// The class is sampled from the softmax; the aim adds the learned
+    /// residual noise.
+    pub fn decide(&mut self, detections: &[DetectedObject], rng: &mut SmallRng) -> Action {
+        let f = encode(&self.params, detections);
+        self.history.push(f);
+        if self.history.len() > self.seq_len {
+            let drop = self.history.len() - self.seq_len;
+            self.history.drain(..drop);
+        }
+        // Left-pad with zero frames while the history is short.
+        let xs: Vec<Matrix> = (0..self.seq_len)
+            .map(|k| {
+                let idx = k as isize - (self.seq_len as isize - self.history.len() as isize);
+                if idx < 0 {
+                    Matrix::zeros(1, FEATURE_DIM)
+                } else {
+                    Matrix::row_vector(&self.history[idx as usize])
+                }
+            })
+            .collect();
+        let h = self.lstm.infer(&xs);
+        let probs = softmax_probs(&self.class_head.infer(&h));
+        let roll: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut class = ActionClass::Idle;
+        for c in ActionClass::ALL {
+            acc += probs.get(0, c.index());
+            if roll < acc {
+                class = c;
+                break;
+            }
+        }
+        if class == ActionClass::Idle {
+            return Action::idle();
+        }
+        let hidden = self.lstm.hidden_dim();
+        let aim = self.aim_head.infer(&aim_input(&h, 0, class, hidden));
+        let noise = self.aim_noise_std[class.index()];
+        let dx = normal(rng, aim.get(0, 0), noise);
+        let dy = normal(rng, aim.get(0, 1), noise);
+        Action::new(class, dx, dy)
+    }
+
+    /// Multiply-accumulate count for one decision (FLOP-cost model).
+    pub fn macs_per_decision(&self) -> u64 {
+        self.lstm.macs_per_step() * self.seq_len as u64
+            + (self.class_head.input_dim() * self.class_head.output_dim()) as u64
+            + (self.aim_head.input_dim() * self.aim_head.output_dim()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::record_session;
+    use pictor_sim::SeedTree;
+    use rand::SeedableRng;
+
+    fn trained(app: AppId, seed: u64, frames: usize) -> (AgentModel, RecordedSession) {
+        let seeds = SeedTree::new(seed);
+        let session = record_session(app, &seeds, frames, 13.3);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let agent = AgentModel::train(
+            &session,
+            &session.truths,
+            AgentConfig::default(),
+            &mut rng,
+        );
+        (agent, session)
+    }
+
+    #[test]
+    fn trains_to_low_loss() {
+        let (agent, _) = trained(AppId::RedEclipse, 21, 900);
+        assert!(
+            agent.final_class_loss() < 1.2,
+            "loss {}",
+            agent.final_class_loss()
+        );
+    }
+
+    #[test]
+    fn action_rate_tracks_human() {
+        let (mut agent, session) = trained(AppId::Dota2, 22, 1200);
+        let human_rate = session.action_rate();
+        // Replay the session's object lists through the agent.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut inputs = 0usize;
+        agent.reset();
+        for truth in &session.truths {
+            if agent.decide(truth, &mut rng).is_input() {
+                inputs += 1;
+            }
+        }
+        let agent_rate = inputs as f64 / session.len() as f64;
+        let rel = (agent_rate - human_rate).abs() / human_rate;
+        assert!(
+            rel < 0.45,
+            "human {human_rate:.3} vs agent {agent_rate:.3} (rel {rel:.2})"
+        );
+    }
+
+    #[test]
+    fn engagement_aims_near_target() {
+        let (mut agent, _) = trained(AppId::RedEclipse, 23, 900);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let target = DetectedObject {
+            class: 9,
+            x: 0.3,
+            y: 0.7,
+            size: 0.2,
+        };
+        let mut aims = Vec::new();
+        for _ in 0..400 {
+            agent.reset();
+            // Warm the history with the target visible.
+            for _ in 0..6 {
+                let a = agent.decide(&[target], &mut rng);
+                if matches!(a.class, ActionClass::Primary | ActionClass::Secondary) {
+                    aims.push(((a.dx + 1.0) / 2.0, (a.dy + 1.0) / 2.0));
+                }
+            }
+        }
+        assert!(aims.len() > 20, "agent never engaged ({})", aims.len());
+        let mx = aims.iter().map(|a| a.0).sum::<f64>() / aims.len() as f64;
+        let my = aims.iter().map(|a| a.1).sum::<f64>() / aims.len() as f64;
+        assert!(
+            (mx - 0.3).abs() < 0.2 && (my - 0.7).abs() < 0.2,
+            "mean aim ({mx:.2},{my:.2}) vs target (0.3,0.7)"
+        );
+    }
+
+    #[test]
+    fn macs_per_decision_small() {
+        let (agent, _) = trained(AppId::InMind, 24, 400);
+        let macs = agent.macs_per_decision();
+        assert!(macs > 1_000 && macs < 1_000_000, "macs={macs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_detections_panics() {
+        let seeds = SeedTree::new(1);
+        let session = record_session(AppId::ZeroAd, &seeds, 50, 30.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = AgentModel::train(&session, &[], AgentConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,103 @@
+//! Object-list feature encoding for the RNN.
+//!
+//! The paper feeds "the types and coordinates of the recognized objects" to
+//! the RNN (§3.1). The encoding is fixed-size: for each of the app's (up to
+//! three) object classes, the presence flag, position and size of the most
+//! prominent detection, plus a normalized population count.
+
+use pictor_apps::world::DetectedObject;
+use pictor_apps::WorldParams;
+
+/// Feature dimensionality: 3 class slots × (present, x, y, size) + count.
+pub const FEATURE_DIM: usize = 3 * 4 + 1;
+
+/// Encodes recognized objects into the RNN input vector.
+///
+/// # Example
+///
+/// ```
+/// use pictor_apps::{AppId, WorldParams};
+/// use pictor_apps::world::DetectedObject;
+/// use pictor_client::features::{encode, FEATURE_DIM};
+///
+/// let params = WorldParams::for_app(AppId::RedEclipse);
+/// let objs = [DetectedObject { class: 9, x: 0.25, y: 0.75, size: 0.1 }];
+/// let f = encode(&params, &objs);
+/// assert_eq!(f.len(), FEATURE_DIM);
+/// assert_eq!(f[0], 1.0); // class slot 0 present
+/// ```
+pub fn encode(params: &WorldParams, objects: &[DetectedObject]) -> Vec<f64> {
+    let mut out = vec![0.0; FEATURE_DIM];
+    for (slot, &class) in params.classes.iter().take(3).enumerate() {
+        let best = objects
+            .iter()
+            .filter(|o| o.class == class)
+            .max_by(|a, b| a.size.partial_cmp(&b.size).expect("finite sizes"));
+        if let Some(obj) = best {
+            out[slot * 4] = 1.0;
+            out[slot * 4 + 1] = obj.x * 2.0 - 1.0;
+            out[slot * 4 + 2] = obj.y * 2.0 - 1.0;
+            out[slot * 4 + 3] = (obj.size * 4.0).min(1.0);
+        }
+    }
+    out[FEATURE_DIM - 1] = (objects.len() as f64 / 8.0).min(1.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+
+    fn obj(class: u8, x: f64, size: f64) -> DetectedObject {
+        DetectedObject {
+            class,
+            x,
+            y: 0.5,
+            size,
+        }
+    }
+
+    #[test]
+    fn empty_scene_is_zero_except_count() {
+        let params = WorldParams::for_app(AppId::Dota2);
+        let f = encode(&params, &[]);
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn picks_largest_of_each_class() {
+        let params = WorldParams::for_app(AppId::RedEclipse); // classes [9, 5]
+        let f = encode(&params, &[obj(9, 0.1, 0.05), obj(9, 0.9, 0.2)]);
+        // Slot 0 is class 9; x should be the larger object's (0.9 → 0.8).
+        assert_eq!(f[0], 1.0);
+        assert!((f[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_classes_ignored() {
+        let params = WorldParams::for_app(AppId::RedEclipse);
+        let f = encode(&params, &[obj(0, 0.5, 0.3)]); // class 0 is STK's
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[4], 0.0);
+        // Count still reflects the detection.
+        assert!(f[FEATURE_DIM - 1] > 0.0);
+    }
+
+    #[test]
+    fn count_saturates() {
+        let params = WorldParams::for_app(AppId::Dota2);
+        let many: Vec<DetectedObject> = (0..20).map(|i| obj(4, i as f64 / 20.0, 0.1)).collect();
+        let f = encode(&params, &many);
+        assert_eq!(f[FEATURE_DIM - 1], 1.0);
+    }
+
+    #[test]
+    fn coordinates_map_to_minus_one_one() {
+        let params = WorldParams::for_app(AppId::RedEclipse);
+        let f = encode(&params, &[obj(9, 0.0, 0.1)]);
+        assert!((f[1] + 1.0).abs() < 1e-12);
+        let f = encode(&params, &[obj(9, 1.0, 0.1)]);
+        assert!((f[1] - 1.0).abs() < 1e-12);
+    }
+}

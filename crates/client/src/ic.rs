@@ -1,0 +1,196 @@
+//! The assembled intelligent client.
+//!
+//! Ties the trained CNN and LSTM together behind the per-frame decision
+//! interface the cloud-rendering client loop drives (paper Fig 3): frame in,
+//! human-like action out, plus the inference latencies the client machine
+//! pays before the input can be sent.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use pictor_apps::{Action, AppId};
+use pictor_gfx::Frame;
+use pictor_hw::ClientSpec;
+use pictor_sim::{SeedTree, SimDuration};
+
+use crate::agent::{AgentConfig, AgentModel};
+use crate::cost::InferenceCostModel;
+use crate::recorder::{record_session, RecordedSession};
+use crate::vision::{VisionConfig, VisionModel};
+
+/// Training configuration for a full intelligent client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IcTrainConfig {
+    /// Frames to record from the human reference session.
+    pub record_frames: usize,
+    /// Recording cadence, frames/second.
+    pub record_fps: f64,
+    /// CNN hyper-parameters.
+    pub vision: VisionConfig,
+    /// LSTM hyper-parameters.
+    pub agent: AgentConfig,
+    /// Use ground-truth labels as RNN inputs instead of CNN detections
+    /// (faster; the paper pipeline runs recorded frames through the CNN).
+    pub truth_features: bool,
+}
+
+impl Default for IcTrainConfig {
+    fn default() -> Self {
+        IcTrainConfig {
+            record_frames: 900,
+            record_fps: 13.3,
+            vision: VisionConfig::default(),
+            agent: AgentConfig::default(),
+            truth_features: false,
+        }
+    }
+}
+
+impl IcTrainConfig {
+    /// A reduced configuration for fast unit tests.
+    pub fn fast() -> Self {
+        IcTrainConfig {
+            record_frames: 300,
+            record_fps: 13.3,
+            vision: VisionConfig {
+                epochs: 3,
+                max_samples: 1200,
+                ..VisionConfig::default()
+            },
+            agent: AgentConfig {
+                epochs: 5,
+                ..AgentConfig::default()
+            },
+            truth_features: true,
+        }
+    }
+}
+
+/// An intelligent client for one benchmark.
+///
+/// # Example
+///
+/// ```no_run
+/// use pictor_apps::AppId;
+/// use pictor_client::ic::{IcTrainConfig, IntelligentClient};
+/// use pictor_sim::SeedTree;
+///
+/// let ic = IntelligentClient::train(AppId::RedEclipse, &SeedTree::new(1),
+///                                   IcTrainConfig::fast());
+/// assert_eq!(ic.app(), AppId::RedEclipse);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntelligentClient {
+    app: AppId,
+    vision: VisionModel,
+    agent: AgentModel,
+    cost: InferenceCostModel,
+    rng: SmallRng,
+}
+
+impl IntelligentClient {
+    /// Records a human session and trains both models (paper §3.1's full
+    /// training flow).
+    pub fn train(app: AppId, seeds: &SeedTree, config: IcTrainConfig) -> Self {
+        let session = record_session(app, seeds, config.record_frames, config.record_fps);
+        Self::train_on(&session, seeds, config)
+    }
+
+    /// Trains on an existing recorded session.
+    pub fn train_on(session: &RecordedSession, seeds: &SeedTree, config: IcTrainConfig) -> Self {
+        let mut train_rng = seeds.stream("ic-train");
+        let vision = VisionModel::train(session, config.vision, &mut train_rng);
+        let detections: Vec<_> = if config.truth_features {
+            session.truths.clone()
+        } else {
+            session.frames.iter().map(|f| vision.detect(f)).collect()
+        };
+        let agent = AgentModel::train(session, &detections, config.agent, &mut train_rng);
+        IntelligentClient {
+            app: session.app,
+            vision,
+            agent,
+            cost: InferenceCostModel::new(ClientSpec::paper_client()),
+            rng: SmallRng::seed_from_u64(seeds.seed_for("ic-run")),
+        }
+    }
+
+    /// The benchmark this client plays.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The trained vision model.
+    pub fn vision(&self) -> &VisionModel {
+        &self.vision
+    }
+
+    /// The trained agent model.
+    pub fn agent(&self) -> &AgentModel {
+        &self.agent
+    }
+
+    /// Replaces the inference cost model (e.g. a faster client machine).
+    pub fn set_cost_model(&mut self, cost: InferenceCostModel) {
+        self.cost = cost;
+    }
+
+    /// Resets episode state (history) for a fresh session.
+    pub fn reset(&mut self) {
+        self.agent.reset();
+    }
+
+    /// Full per-frame step: recognize objects, then generate the input.
+    /// Returns the action and the (simulated, paper-scale) CV and RNN
+    /// latencies the client pays before the input can be sent.
+    pub fn decide(&mut self, frame: &Frame) -> (Action, SimDuration, SimDuration) {
+        let detections = self.vision.detect(frame);
+        let action = self.agent.decide(&detections, &mut self.rng);
+        let cv = self.cost.cv_latency(self.app, &mut self.rng);
+        let rnn = self.cost.rnn_latency(self.app, &mut self.rng);
+        (action, cv, rnn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::World;
+
+    #[test]
+    fn end_to_end_training_and_play() {
+        let seeds = SeedTree::new(31);
+        let mut ic = IntelligentClient::train(AppId::RedEclipse, &seeds, IcTrainConfig::fast());
+        assert!(ic.vision().train_accuracy() > 0.75);
+        // Play a short fresh episode.
+        let mut world = World::new(AppId::RedEclipse, seeds.stream("fresh"));
+        let mut inputs = 0;
+        let mut total_cv = SimDuration::ZERO;
+        for _ in 0..120 {
+            world.advance(1.0 / 30.0);
+            let frame = world.render();
+            let (action, cv, rnn) = ic.decide(&frame);
+            if action.is_input() {
+                inputs += 1;
+            }
+            world.apply(&action);
+            total_cv += cv;
+            assert!(rnn.as_millis_f64() < 5.0);
+        }
+        assert!(inputs > 0, "client never acted");
+        let mean_cv = total_cv.as_millis_f64() / 120.0;
+        assert!((50.0..100.0).contains(&mean_cv), "cv={mean_cv}ms");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let seeds = SeedTree::new(32);
+        let mut ic = IntelligentClient::train(AppId::Imhotep, &seeds, IcTrainConfig::fast());
+        let frame = pictor_gfx::draw_scene(0, &[], 0.1, 0.5);
+        let _ = ic.decide(&frame);
+        ic.reset();
+        // Decisions after a reset must not panic and remain valid.
+        let (a, _, _) = ic.decide(&frame);
+        let _ = a;
+    }
+}

@@ -1,0 +1,35 @@
+//! The Pictor intelligent client (IC) framework.
+//!
+//! The paper's key idea (§3.1): learn to interact with a 3D application from
+//! recorded human sessions — a CNN recognizes the objects in each decoded
+//! frame, and an RNN maps recognized objects to human-like inputs. The goal
+//! is *not* superhuman play; it is producing performance measurements
+//! indistinguishable from a human session (Table 3: 1.6% mean-RTT error).
+//!
+//! Pipeline per displayed frame (paper Fig 3):
+//!
+//! 1. decompress frame → 2. CNN object recognition ([`VisionModel`]) →
+//! 3. RNN input generation ([`AgentModel`]) → 4. send input to the proxy.
+//!
+//! * [`recorder`] — records (frame, ground truth, action) triples from the
+//!   human reference policy, the "recorded session of human actions".
+//! * [`vision`] — per-app CNN trained on labeled cells of recorded frames.
+//! * [`features`] — the object-list encoding fed to the RNN.
+//! * [`agent`] — per-app LSTM trained to reproduce the recorded actions.
+//! * [`ic`] — the assembled client.
+//! * [`cost`] — the FLOP-cost model that recovers paper-scale inference
+//!   latency (Fig 7: 72.7 ms CV / 1.9 ms input generation on an i5-7400)
+//!   from network architecture and client machine throughput.
+
+pub mod agent;
+pub mod cost;
+pub mod features;
+pub mod ic;
+pub mod recorder;
+pub mod vision;
+
+pub use agent::AgentModel;
+pub use cost::InferenceCostModel;
+pub use ic::IntelligentClient;
+pub use recorder::{record_session, RecordedSession};
+pub use vision::VisionModel;

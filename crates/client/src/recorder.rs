@@ -1,0 +1,140 @@
+//! Session recording (paper §3.1, "Model Training").
+//!
+//! The intelligent client framework provides tools to record a session of
+//! human interactions: a sequence of frames and the human action issued at
+//! each frame. Here the "human" is the reference policy of `pictor-apps`;
+//! ground-truth object lists are kept alongside each frame because they are
+//! the (simulated) manual labels for CNN training.
+
+use pictor_apps::world::DetectedObject;
+use pictor_apps::{Action, AppId, HumanPolicy, World};
+use pictor_gfx::Frame;
+use pictor_sim::SeedTree;
+
+/// One recorded human session.
+#[derive(Debug, Clone)]
+pub struct RecordedSession {
+    /// The benchmark played.
+    pub app: AppId,
+    /// Displayed frames, in order.
+    pub frames: Vec<Frame>,
+    /// Ground-truth visible objects per frame (the manual labels).
+    pub truths: Vec<Vec<DetectedObject>>,
+    /// The human action issued in response to each frame.
+    pub actions: Vec<Action>,
+    /// Frame cadence used during recording, frames/second.
+    pub fps: f64,
+}
+
+impl RecordedSession {
+    /// Number of recorded frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Fraction of frames with a non-idle action.
+    pub fn action_rate(&self) -> f64 {
+        if self.actions.is_empty() {
+            return 0.0;
+        }
+        self.actions.iter().filter(|a| a.is_input()).count() as f64 / self.actions.len() as f64
+    }
+}
+
+/// Records `frames` frames of the human reference policy playing `app` at
+/// `fps`, seeded by `seeds`. Training sessions should use the deployment
+/// decision cadence (~13.3 Hz, [`pictor-render`'s `DECISION_CADENCE_MS`])
+/// so learned action probabilities stay calibrated.
+///
+/// # Example
+///
+/// ```
+/// use pictor_apps::AppId;
+/// use pictor_client::record_session;
+/// use pictor_sim::SeedTree;
+///
+/// let session = record_session(AppId::RedEclipse, &SeedTree::new(1), 120, 30.0);
+/// assert_eq!(session.len(), 120);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `fps` is not strictly positive.
+pub fn record_session(app: AppId, seeds: &SeedTree, frames: usize, fps: f64) -> RecordedSession {
+    assert!(fps > 0.0, "fps must be positive: {fps}");
+    let mut world = World::new(app, seeds.stream("record-world"));
+    let mut human = HumanPolicy::new(app, seeds.stream("record-human"));
+    let dt = 1.0 / fps;
+    let mut session = RecordedSession {
+        app,
+        frames: Vec::with_capacity(frames),
+        truths: Vec::with_capacity(frames),
+        actions: Vec::with_capacity(frames),
+        fps,
+    };
+    for _ in 0..frames {
+        world.advance(dt);
+        let frame = world.render();
+        let truth = world.ground_truth();
+        let action = human.decide(&truth);
+        world.apply(&action);
+        session.frames.push(frame);
+        session.truths.push(truth);
+        session.actions.push(action);
+    }
+    session
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::ActionClass;
+
+    #[test]
+    fn records_requested_length() {
+        let s = record_session(AppId::Dota2, &SeedTree::new(3), 60, 30.0);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.frames.len(), s.truths.len());
+        assert_eq!(s.frames.len(), s.actions.len());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn contains_some_actions_and_some_objects() {
+        let s = record_session(AppId::RedEclipse, &SeedTree::new(4), 600, 30.0);
+        assert!(s.action_rate() > 0.02, "rate={}", s.action_rate());
+        assert!(s.action_rate() < 0.6);
+        let with_objects = s.truths.iter().filter(|t| !t.is_empty()).count();
+        assert!(with_objects > s.len() / 2, "objects in {with_objects} frames");
+    }
+
+    #[test]
+    fn engagements_exist_for_games() {
+        let s = record_session(AppId::Dota2, &SeedTree::new(5), 900, 30.0);
+        let engage = s
+            .actions
+            .iter()
+            .filter(|a| matches!(a.class, ActionClass::Primary | ActionClass::Secondary))
+            .count();
+        assert!(engage > 10, "engage={engage}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = record_session(AppId::InMind, &SeedTree::new(6), 50, 30.0);
+        let b = record_session(AppId::InMind, &SeedTree::new(6), 50, 30.0);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.frames.last(), b.frames.last());
+    }
+
+    #[test]
+    #[should_panic(expected = "fps must be positive")]
+    fn zero_fps_panics() {
+        let _ = record_session(AppId::ZeroAd, &SeedTree::new(1), 10, 0.0);
+    }
+}

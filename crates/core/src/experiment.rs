@@ -1,0 +1,181 @@
+//! Experiment orchestration.
+//!
+//! Every figure/table regenerator follows the same protocol the paper's §4
+//! describes: bring the system up with a set of benchmark instances, warm it
+//! up (the paper notes results stabilize after ~10 minutes of a 15-minute
+//! session; the simulation reaches steady state in seconds), measure a
+//! window, then reduce records + reports into [`InstanceMetrics`].
+
+use pictor_apps::AppId;
+use pictor_render::driver::ClientDriver;
+use pictor_render::{CloudSystem, SystemConfig};
+use pictor_sim::{SeedTree, SimDuration};
+
+use crate::metrics::InstanceMetrics;
+use crate::tracker::{InputTracker, InstanceTrack};
+
+/// Builds a driver for instance `index` running `app`.
+pub type DriverFactory<'a> = dyn FnMut(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + 'a;
+
+/// An experiment: apps, system configuration, timing.
+pub struct ExperimentSpec<'a> {
+    /// One entry per co-located instance.
+    pub apps: Vec<AppId>,
+    /// System under test.
+    pub config: SystemConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Warm-up simulated time before measurement.
+    pub warmup: SimDuration,
+    /// Measured window length.
+    pub duration: SimDuration,
+    /// Driver builder.
+    pub drivers: Box<DriverFactory<'a>>,
+}
+
+impl<'a> ExperimentSpec<'a> {
+    /// A spec with human drivers — the most common case.
+    pub fn with_humans(apps: Vec<AppId>, config: SystemConfig, seed: u64) -> Self {
+        ExperimentSpec {
+            apps,
+            config,
+            seed,
+            warmup: SimDuration::from_secs(3),
+            duration: SimDuration::from_secs(30),
+            drivers: Box::new(|_, app, seeds| {
+                Box::new(pictor_render::HumanDriver::new(
+                    pictor_apps::HumanPolicy::new(app, seeds.stream("human-policy")),
+                    seeds.stream("human-attention"),
+                ))
+            }),
+        }
+    }
+}
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Per-instance combined metrics, in instance order.
+    pub instances: Vec<InstanceMetrics>,
+}
+
+impl ExperimentResult {
+    /// Metrics of the single instance (convenience for solo runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment had more than one instance.
+    pub fn solo(&self) -> &InstanceMetrics {
+        assert_eq!(self.instances.len(), 1, "not a solo experiment");
+        &self.instances[0]
+    }
+}
+
+/// Runs an experiment to completion.
+pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
+    let seeds = SeedTree::new(spec.seed);
+    let mut sys = CloudSystem::new(spec.config.clone(), seeds);
+    for (i, &app) in spec.apps.iter().enumerate() {
+        let inst_seeds = seeds.child(&format!("driver-{i}"));
+        let driver = (spec.drivers)(i, app, &inst_seeds);
+        sys.add_instance(app, driver);
+    }
+    sys.start();
+    sys.run_for(spec.warmup);
+    sys.reset_accounting();
+    sys.run_for(spec.duration);
+    let records = sys.drain_records();
+    let reports = sys.reports();
+    let tracks = InputTracker::new().analyze(&records);
+    let empty = InstanceTrack::default();
+    let instances = reports
+        .into_iter()
+        .enumerate()
+        .map(|(i, report)| {
+            let track = tracks.get(&(i as u32)).unwrap_or(&empty);
+            InstanceMetrics::from_parts(report, track)
+        })
+        .collect();
+    ExperimentResult { instances }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_render::records::Stage;
+
+    #[test]
+    fn solo_human_experiment_produces_full_metrics() {
+        let spec = ExperimentSpec {
+            duration: SimDuration::from_secs(15),
+            ..ExperimentSpec::with_humans(
+                vec![AppId::RedEclipse],
+                SystemConfig::turbovnc_stock(),
+                11,
+            )
+        };
+        let result = run_experiment(spec);
+        let m = result.solo();
+        assert!(m.report.server_fps > 20.0);
+        assert!(m.tracked_inputs > 10);
+        assert!(m.rtt.mean > 30.0 && m.rtt.mean < 250.0, "rtt {}", m.rtt.mean);
+        assert!(m.rtt.p1 <= m.rtt.p25 && m.rtt.p75 <= m.rtt.p99);
+        assert!(m.server_time_ms > 10.0, "server {}", m.server_time_ms);
+        assert!(m.stage_ms(Stage::Ss) > 1.0);
+        assert!(m.app_time_ms > 5.0);
+    }
+
+    #[test]
+    fn pair_experiment_reports_both() {
+        let spec = ExperimentSpec {
+            duration: SimDuration::from_secs(10),
+            ..ExperimentSpec::with_humans(
+                vec![AppId::Dota2, AppId::SuperTuxKart],
+                SystemConfig::turbovnc_stock(),
+                12,
+            )
+        };
+        let result = run_experiment(spec);
+        assert_eq!(result.instances.len(), 2);
+        assert_eq!(result.instances[0].report.app, AppId::Dota2);
+        assert_eq!(result.instances[1].report.app, AppId::SuperTuxKart);
+        for m in &result.instances {
+            assert!(m.report.server_fps > 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let spec = ExperimentSpec {
+                duration: SimDuration::from_secs(6),
+                ..ExperimentSpec::with_humans(
+                    vec![AppId::Imhotep],
+                    SystemConfig::turbovnc_stock(),
+                    77,
+                )
+            };
+            run_experiment(spec)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.solo().report, b.solo().report);
+        assert_eq!(a.solo().rtt, b.solo().rtt);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a solo experiment")]
+    fn solo_on_pair_panics() {
+        let spec = ExperimentSpec {
+            warmup: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(2),
+            ..ExperimentSpec::with_humans(
+                vec![AppId::Dota2, AppId::Dota2],
+                SystemConfig::turbovnc_stock(),
+                1,
+            )
+        };
+        let result = run_experiment(spec);
+        let _ = result.solo();
+    }
+}

@@ -1,0 +1,159 @@
+//! The hook-site model (paper Fig 4, Table 1).
+//!
+//! Pictor instruments the system at ten hook sites without modifying any
+//! application: proxies are patched (hooks 1–3, 8–10) and the graphics stack
+//! is interposed at standard API calls (hooks 4–7). This module gives those
+//! sites names, maps them to the intercepted calls, and classifies which
+//! pipeline records correspond to which hook — the documentation-of-record
+//! for how the tracker interprets the event stream.
+
+use pictor_gfx::ApiCall;
+use pictor_render::records::{Record, Stage};
+
+/// One of the ten hook sites of Fig 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HookSite {
+    /// Client proxy: tags and sends each input.
+    Hook1,
+    /// Server proxy: extracts the tag from the network package.
+    Hook2,
+    /// Server proxy: forwards tag+input to the application.
+    Hook3,
+    /// Application: input received (`XNextEvent`/`glutKeyboardFunc`).
+    Hook4,
+    /// Application: GPU rendering starts (`glXSwapBuffers`).
+    Hook5,
+    /// Interposer: frame copy starts (`glReadBuffer`/`glReadPixels`); the
+    /// tag is embedded into the frame pixels here.
+    Hook6,
+    /// Interposer: frame posted to the proxy (`XShmPutImage`/`glMapBuffer`).
+    Hook7,
+    /// Server proxy: receives the tagged frame, extracts the tag, restores
+    /// the pixels.
+    Hook8,
+    /// Server proxy: compressed frame sent to the client.
+    Hook9,
+    /// Client proxy: frame received and matched with its input.
+    Hook10,
+}
+
+impl HookSite {
+    /// All hook sites in order.
+    pub const ALL: [HookSite; 10] = [
+        HookSite::Hook1,
+        HookSite::Hook2,
+        HookSite::Hook3,
+        HookSite::Hook4,
+        HookSite::Hook5,
+        HookSite::Hook6,
+        HookSite::Hook7,
+        HookSite::Hook8,
+        HookSite::Hook9,
+        HookSite::Hook10,
+    ];
+
+    /// The API calls intercepted at this site (Table 1); empty for proxy
+    /// sites that are patched directly in proxy source.
+    pub fn intercepted_calls(&self) -> &'static [ApiCall] {
+        match self {
+            HookSite::Hook4 => &[ApiCall::XNextEvent, ApiCall::GlutKeyboardFunc],
+            HookSite::Hook5 => &[ApiCall::GlxSwapBuffers, ApiCall::GlutSwapBuffers],
+            HookSite::Hook6 => &[ApiCall::GlReadBuffer, ApiCall::GlReadPixels],
+            HookSite::Hook7 => &[ApiCall::XShmPutImage, ApiCall::GlMapBuffer],
+            _ => &[],
+        }
+    }
+
+    /// Whether the site lives in a proxy (patched source) rather than an
+    /// interposed API (no app modification needed either way).
+    pub fn in_proxy(&self) -> bool {
+        matches!(
+            self,
+            HookSite::Hook1
+                | HookSite::Hook2
+                | HookSite::Hook3
+                | HookSite::Hook8
+                | HookSite::Hook9
+                | HookSite::Hook10
+        )
+    }
+}
+
+/// The hook sites that witnessed a record, in Fig 4 terms.
+pub fn hooks_for_record(record: &Record) -> Vec<HookSite> {
+    match record {
+        Record::InputSent { .. } => vec![HookSite::Hook1],
+        Record::InputConsumed { .. } => vec![HookSite::Hook4],
+        Record::FrameTagged { .. } => vec![HookSite::Hook6],
+        Record::FrameDisplayed { .. } => vec![HookSite::Hook10],
+        Record::FrameDropped { .. } => vec![],
+        Record::Span(span) => match span.stage {
+            Stage::Cs => vec![HookSite::Hook2],
+            Stage::Sp => vec![HookSite::Hook2, HookSite::Hook3],
+            Stage::Ps => vec![HookSite::Hook3, HookSite::Hook4],
+            Stage::Al => vec![HookSite::Hook4, HookSite::Hook5],
+            Stage::Rd => vec![HookSite::Hook5, HookSite::Hook6],
+            Stage::Fc => vec![HookSite::Hook6, HookSite::Hook7],
+            Stage::As => vec![HookSite::Hook7, HookSite::Hook8],
+            Stage::Cp => vec![HookSite::Hook8, HookSite::Hook9],
+            Stage::Ss => vec![HookSite::Hook9, HookSite::Hook10],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_gfx::Tag;
+    use pictor_render::records::StageSpan;
+    use pictor_sim::SimTime;
+
+    #[test]
+    fn ten_hooks() {
+        assert_eq!(HookSite::ALL.len(), 10);
+    }
+
+    #[test]
+    fn table1_mappings() {
+        assert!(HookSite::Hook4
+            .intercepted_calls()
+            .contains(&ApiCall::XNextEvent));
+        assert!(HookSite::Hook5
+            .intercepted_calls()
+            .contains(&ApiCall::GlxSwapBuffers));
+        assert!(HookSite::Hook6
+            .intercepted_calls()
+            .contains(&ApiCall::GlReadPixels));
+        assert!(HookSite::Hook7
+            .intercepted_calls()
+            .contains(&ApiCall::XShmPutImage));
+        // Proxy hooks intercept no app-side API.
+        assert!(HookSite::Hook1.intercepted_calls().is_empty());
+    }
+
+    #[test]
+    fn proxy_classification() {
+        let proxy_count = HookSite::ALL.iter().filter(|h| h.in_proxy()).count();
+        assert_eq!(proxy_count, 6, "hooks 1-3 and 8-10 live in proxies");
+        assert!(!HookSite::Hook5.in_proxy());
+    }
+
+    #[test]
+    fn record_mapping_covers_tracking_endpoints() {
+        let sent = Record::InputSent {
+            instance: 0,
+            tag: Tag(1),
+            time: SimTime::ZERO,
+        };
+        assert_eq!(hooks_for_record(&sent), vec![HookSite::Hook1]);
+        let span = Record::Span(StageSpan {
+            instance: 0,
+            stage: Stage::Ss,
+            frame: Some(1),
+            tag: None,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        });
+        assert!(hooks_for_record(&span).contains(&HookSite::Hook10));
+    }
+}

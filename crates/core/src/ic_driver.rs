@@ -1,0 +1,71 @@
+//! The intelligent client mounted as a pipeline driver.
+//!
+//! Bridges `pictor-client`'s trained CNN+LSTM stack into the rendering
+//! system's [`ClientDriver`] interface: per displayed frame the real
+//! networks run on the frame pixels, while the latency charged to the
+//! simulated client machine comes from the paper-scale FLOP-cost model
+//! (Fig 7: ~72.7 ms CV + ~1.9 ms RNN).
+
+use pictor_apps::world::DetectedObject;
+use pictor_client::IntelligentClient;
+use pictor_gfx::Frame;
+use pictor_render::driver::{ClientDriver, Reaction};
+
+/// The intelligent client driver.
+///
+/// The inference occupies the client machine serially, so `busy` equals the
+/// inference latency — which is what bounds the IC at ~804 APM (§4).
+#[derive(Debug)]
+pub struct IcDriver {
+    ic: IntelligentClient,
+}
+
+impl IcDriver {
+    /// Wraps a trained intelligent client.
+    pub fn new(ic: IntelligentClient) -> Self {
+        IcDriver { ic }
+    }
+
+    /// The wrapped client.
+    pub fn client(&self) -> &IntelligentClient {
+        &self.ic
+    }
+}
+
+impl ClientDriver for IcDriver {
+    fn name(&self) -> &'static str {
+        "intelligent-client"
+    }
+
+    fn on_frame(&mut self, frame: &Frame, _truth: &[DetectedObject]) -> Reaction {
+        let (action, cv, rnn) = self.ic.decide(frame);
+        let latency = cv + rnn;
+        Reaction {
+            action,
+            latency,
+            busy: latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+    use pictor_client::ic::IcTrainConfig;
+    use pictor_sim::SeedTree;
+
+    #[test]
+    fn ic_driver_reacts_with_inference_latency() {
+        let seeds = SeedTree::new(5);
+        let ic = IntelligentClient::train(AppId::RedEclipse, &seeds, IcTrainConfig::fast());
+        let mut driver = IcDriver::new(ic);
+        assert_eq!(driver.name(), "intelligent-client");
+        let frame = pictor_gfx::draw_scene(0, &[], 0.2, 0.6);
+        let r = driver.on_frame(&frame, &[]);
+        let ms = r.latency.as_millis_f64();
+        assert!((40.0..120.0).contains(&ms), "latency {ms}ms");
+        assert_eq!(r.latency, r.busy);
+        assert_eq!(driver.client().app(), AppId::RedEclipse);
+    }
+}

@@ -1,0 +1,28 @@
+//! Pictor's performance-analysis framework (the paper's core contribution).
+//!
+//! Everything the paper's §3.2 describes lives here, operating on the event
+//! stream emitted by the rendering system in `pictor-render`:
+//!
+//! * [`hooks`] — the hook-site model (hooks 1–10 of Fig 4) mapping pipeline
+//!   records to the X11/OpenGL calls they intercept (Table 1).
+//! * [`tracker`] — tag-based input tracking: associates every input with its
+//!   response frame across network, processes, CPU and GPU, yielding true
+//!   client-side RTTs and per-stage latency breakdowns.
+//! * [`metrics`] — aggregation into the paper's reporting units: FPS,
+//!   five-point RTT distributions, stage means, power draw.
+//! * [`ic_driver`] — the intelligent client mounted as a pipeline driver.
+//! * [`experiment`] — one-call experiment orchestration (warm-up, measured
+//!   window, reports) used by every figure/table regenerator.
+//! * [`report`] — fixed-width table rendering for the bench binaries.
+
+pub mod experiment;
+pub mod hooks;
+pub mod ic_driver;
+pub mod metrics;
+pub mod report;
+pub mod tracker;
+
+pub use experiment::{run_experiment, DriverFactory, ExperimentResult, ExperimentSpec};
+pub use ic_driver::IcDriver;
+pub use metrics::{InstanceMetrics, PowerBreakdown};
+pub use tracker::{InputTracker, TrackedInput};

@@ -1,0 +1,169 @@
+//! Metric aggregation into the paper's reporting units.
+
+use pictor_hw::PowerModel;
+use pictor_render::records::Stage;
+use pictor_render::InstanceReport;
+use pictor_sim::stats::FivePoint;
+
+use crate::tracker::InstanceTrack;
+
+/// Everything the paper reports about one instance in one experiment.
+#[derive(Debug, Clone)]
+pub struct InstanceMetrics {
+    /// Raw system report (FPS, utilizations, bandwidths, miss rates).
+    pub report: InstanceReport,
+    /// Five-point RTT distribution in ms (Fig 6).
+    pub rtt: FivePoint,
+    /// Number of tracked inputs behind the RTT distribution.
+    pub tracked_inputs: usize,
+    /// Mean per-stage latencies in ms, `[CS, SP, PS, AL, RD, FC, AS, CP, SS]`.
+    pub stage_means_ms: [f64; 9],
+    /// Mean server-side time (RTT − CS − SS), ms.
+    pub server_time_ms: f64,
+    /// Mean app time (AL start → FC end) per tracked input, ms.
+    pub app_time_ms: f64,
+    /// Mean input-queue wait, ms.
+    pub queue_wait_ms: f64,
+}
+
+impl InstanceMetrics {
+    /// Combines the system report and the tracker output.
+    pub fn from_parts(report: InstanceReport, track: &InstanceTrack) -> Self {
+        let mut rtt_dist = track.rtt_ms.clone();
+        let rtt = rtt_dist.five_point();
+        let mut stage_means_ms = [0.0; 9];
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            stage_means_ms[i] = track.stage_mean_ms(*stage);
+        }
+        let mean_of = |f: &dyn Fn(&crate::tracker::TrackedInput) -> Option<f64>| -> f64 {
+            let vals: Vec<f64> = track.inputs.iter().filter_map(f).collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        let server_time_ms =
+            mean_of(&|t| t.server_time().map(|d| d.as_millis_f64()));
+        let app_time_ms = mean_of(&|t| t.app_time.map(|d| d.as_millis_f64()));
+        let queue_wait_ms = mean_of(&|t| t.queue_wait.map(|d| d.as_millis_f64()));
+        InstanceMetrics {
+            report,
+            rtt,
+            tracked_inputs: track.inputs.len(),
+            stage_means_ms,
+            server_time_ms,
+            app_time_ms,
+            queue_wait_ms,
+        }
+    }
+
+    /// Mean latency of one stage, ms.
+    pub fn stage_ms(&self, stage: Stage) -> f64 {
+        let idx = Stage::ALL.iter().position(|s| *s == stage).expect("stage");
+        self.stage_means_ms[idx]
+    }
+}
+
+/// Server power for one experiment window (Fig 17 and §5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Total wall power, watts.
+    pub total_watts: f64,
+    /// Per-instance share, watts.
+    pub per_instance_watts: f64,
+    /// Busy CPU cores feeding the model.
+    pub busy_cores: f64,
+    /// GPU utilization feeding the model.
+    pub gpu_util: f64,
+    /// I/O activity estimate feeding the model.
+    pub io_util: f64,
+}
+
+/// Computes wall power from instance reports using the paper's server model.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn power_from_reports(model: &PowerModel, reports: &[InstanceReport]) -> PowerBreakdown {
+    assert!(!reports.is_empty(), "no instances");
+    let busy_cores: f64 = reports.iter().map(|r| r.app_cpu + r.vnc_cpu).sum();
+    let gpu_util = reports[0].gpu_util.clamp(0.0, 1.0);
+    // I/O activity: PCIe + NIC normalized against rough full-scale numbers.
+    let pcie: f64 = reports
+        .iter()
+        .map(|r| r.pcie_up_gbps + r.pcie_down_gbps)
+        .sum();
+    let net: f64 = reports.iter().map(|r| r.net_down_mbps).sum();
+    let io_util = ((pcie / 15.75) * 0.7 + (net / 4000.0) * 0.3).clamp(0.0, 1.0);
+    let total = model.total_watts(busy_cores.min(8.0), gpu_util, io_util);
+    PowerBreakdown {
+        total_watts: total,
+        per_instance_watts: total / reports.len() as f64,
+        busy_cores,
+        gpu_util,
+        io_util,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+
+    fn fake_report(app_cpu: f64, gpu: f64) -> InstanceReport {
+        InstanceReport {
+            app: AppId::Dota2,
+            server_fps: 40.0,
+            client_fps: 35.0,
+            frames_dropped: 0,
+            inputs_sent: 100,
+            app_cpu,
+            vnc_cpu: 1.5,
+            gpu_util: gpu,
+            net_down_mbps: 300.0,
+            pcie_up_gbps: 0.1,
+            pcie_down_gbps: 0.4,
+            l3_miss_rate: 0.75,
+            gpu_l2_miss_rate: 0.4,
+            texture_miss_rate: 0.25,
+            memory_mib: 600,
+            gpu_memory_mib: 600,
+        }
+    }
+
+    #[test]
+    fn metrics_from_empty_track() {
+        let m = InstanceMetrics::from_parts(fake_report(1.0, 0.4), &InstanceTrack::default());
+        assert_eq!(m.tracked_inputs, 0);
+        assert_eq!(m.rtt.mean, 0.0);
+        assert_eq!(m.stage_ms(Stage::Al), 0.0);
+    }
+
+    #[test]
+    fn power_scales_with_instances() {
+        let model = PowerModel::paper_default();
+        let one = power_from_reports(&model, &[fake_report(1.2, 0.35)]);
+        let two = power_from_reports(
+            &model,
+            &[fake_report(1.2, 0.60), fake_report(1.2, 0.60)],
+        );
+        assert!(two.total_watts > one.total_watts);
+        assert!(two.per_instance_watts < one.per_instance_watts);
+    }
+
+    #[test]
+    fn io_util_clamped() {
+        let model = PowerModel::paper_default();
+        let mut r = fake_report(1.0, 0.5);
+        r.pcie_down_gbps = 100.0;
+        let p = power_from_reports(&model, &[r]);
+        assert!(p.io_util <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instances")]
+    fn empty_reports_panics() {
+        let _ = power_from_reports(&PowerModel::paper_default(), &[]);
+    }
+}

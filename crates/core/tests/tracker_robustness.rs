@@ -1,0 +1,185 @@
+//! Tracker robustness: the input tracker must reconstruct journeys from
+//! partial, reordered or truncated record streams without panicking and
+//! without inventing data.
+
+use pictor_core::InputTracker;
+use pictor_gfx::Tag;
+use pictor_render::records::{Record, Stage, StageSpan};
+use pictor_sim::{SimDuration, SimTime};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn span(stage: Stage, frame: Option<u64>, tag: Option<Tag>, start_ms: u64, end_ms: u64) -> Record {
+    Record::Span(StageSpan {
+        instance: 0,
+        stage,
+        frame,
+        tag,
+        start: t(start_ms),
+        end: t(end_ms),
+    })
+}
+
+/// A minimal complete journey for one input.
+fn full_journey() -> Vec<Record> {
+    vec![
+        Record::InputSent {
+            instance: 0,
+            tag: Tag(1),
+            time: t(0),
+        },
+        span(Stage::Cs, None, Some(Tag(1)), 0, 2),
+        span(Stage::Sp, None, Some(Tag(1)), 2, 3),
+        span(Stage::Ps, None, Some(Tag(1)), 3, 5),
+        Record::InputConsumed {
+            instance: 0,
+            tag: Tag(1),
+            frame: 7,
+            time: t(10),
+        },
+        span(Stage::Al, Some(7), None, 10, 22),
+        span(Stage::Rd, Some(7), None, 22, 30),
+        span(Stage::Fc, Some(7), None, 30, 40),
+        span(Stage::As, Some(7), None, 40, 43),
+        span(Stage::Cp, Some(7), None, 43, 55),
+        span(Stage::Ss, Some(7), None, 55, 70),
+        Record::FrameDisplayed {
+            instance: 0,
+            frame: 7,
+            tags: vec![Tag(1)],
+            time: t(72),
+        },
+    ]
+}
+
+#[test]
+fn reconstructs_complete_journey() {
+    let tracks = InputTracker::new().analyze(&full_journey());
+    let track = &tracks[&0];
+    assert_eq!(track.inputs.len(), 1);
+    let input = &track.inputs[0];
+    assert_eq!(input.tag, Tag(1));
+    assert_eq!(input.frame, 7);
+    assert_eq!(input.rtt, SimDuration::from_millis(72));
+    assert_eq!(input.cs, Some(SimDuration::from_millis(2)));
+    assert_eq!(input.sp, Some(SimDuration::from_millis(1)));
+    assert_eq!(input.ps, Some(SimDuration::from_millis(2)));
+    assert_eq!(input.queue_wait, Some(SimDuration::from_millis(5)));
+    assert_eq!(input.app_time, Some(SimDuration::from_millis(30)));
+    assert_eq!(input.as_time, Some(SimDuration::from_millis(3)));
+    assert_eq!(input.cp, Some(SimDuration::from_millis(12)));
+    assert_eq!(input.ss, Some(SimDuration::from_millis(15)));
+    assert_eq!(
+        input.server_time(),
+        Some(SimDuration::from_millis(72 - 2 - 15))
+    );
+    assert_eq!(track.unmatched, 0);
+}
+
+#[test]
+fn span_order_does_not_matter() {
+    let mut records = full_journey();
+    records.reverse();
+    // FrameDisplayed now precedes everything; the tracker's two-pass design
+    // must still match.
+    let tracks = InputTracker::new().analyze(&records);
+    assert_eq!(tracks[&0].inputs.len(), 1);
+    assert_eq!(tracks[&0].inputs[0].rtt, SimDuration::from_millis(72));
+}
+
+#[test]
+fn missing_middle_spans_yield_partial_journey() {
+    let records: Vec<Record> = full_journey()
+        .into_iter()
+        .filter(|r| {
+            !matches!(
+                r,
+                Record::Span(StageSpan {
+                    stage: Stage::Ps | Stage::Fc,
+                    ..
+                })
+            )
+        })
+        .collect();
+    let tracks = InputTracker::new().analyze(&records);
+    let input = &tracks[&0].inputs[0];
+    assert_eq!(input.rtt, SimDuration::from_millis(72), "RTT needs only hooks 1+10");
+    assert_eq!(input.ps, None);
+    assert_eq!(input.app_time, None, "app time needs the FC end");
+    assert_eq!(input.cs, Some(SimDuration::from_millis(2)));
+}
+
+#[test]
+fn unmatched_inputs_are_counted_not_fabricated() {
+    let records = vec![
+        Record::InputSent {
+            instance: 0,
+            tag: Tag(9),
+            time: t(0),
+        },
+        span(Stage::Cs, None, Some(Tag(9)), 0, 2),
+        // No frame ever displays this tag.
+    ];
+    let tracks = InputTracker::new().analyze(&records);
+    assert_eq!(tracks[&0].inputs.len(), 0);
+    assert_eq!(tracks[&0].unmatched, 1);
+}
+
+#[test]
+fn displayed_tag_without_send_is_ignored() {
+    let records = vec![Record::FrameDisplayed {
+        instance: 0,
+        frame: 1,
+        tags: vec![Tag(5)],
+        time: t(50),
+    }];
+    let tracks = InputTracker::new().analyze(&records);
+    // A tag that was never sent cannot produce an RTT.
+    assert!(tracks.get(&0).is_none_or(|t| t.inputs.is_empty()));
+}
+
+#[test]
+fn instances_are_isolated() {
+    let mut records = full_journey();
+    // The same tag value on another instance must not cross-match.
+    records.push(Record::InputSent {
+        instance: 1,
+        tag: Tag(1),
+        time: t(100),
+    });
+    records.push(Record::FrameDisplayed {
+        instance: 1,
+        frame: 3,
+        tags: vec![Tag(1)],
+        time: t(130),
+    });
+    let tracks = InputTracker::new().analyze(&records);
+    assert_eq!(tracks[&0].inputs[0].rtt, SimDuration::from_millis(72));
+    assert_eq!(tracks[&1].inputs[0].rtt, SimDuration::from_millis(30));
+}
+
+#[test]
+fn coalesced_frames_carry_foreign_tags() {
+    // Input consumed by frame 7, but frame 7 was coalesced and its tags
+    // were delivered on frame 8: RTT still measured; frame-level spans of
+    // frame 7 still used for the app-time attribution.
+    let mut records = full_journey();
+    records.retain(|r| !matches!(r, Record::FrameDisplayed { .. }));
+    records.push(Record::FrameDropped {
+        instance: 0,
+        frame: 7,
+        time: t(56),
+    });
+    records.push(Record::FrameDisplayed {
+        instance: 0,
+        frame: 8,
+        tags: vec![Tag(1)],
+        time: t(90),
+    });
+    let tracks = InputTracker::new().analyze(&records);
+    let input = &tracks[&0].inputs[0];
+    assert_eq!(input.rtt, SimDuration::from_millis(90));
+    assert_eq!(input.frame, 7, "consumption frame is the journey's frame");
+}

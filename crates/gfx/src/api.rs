@@ -1,0 +1,130 @@
+//! The X11/OpenGL API surface intercepted by Pictor's hooks.
+//!
+//! Pictor requires no application changes: hooks interpose on the standard
+//! calls the graphics stack already makes (paper Table 1). The rendering
+//! pipeline in `pictor-render` emits an [`ApiEvent`] whenever the simulated
+//! application or proxy would invoke one of these calls; the measurement
+//! framework in `pictor-core` subscribes via [`ApiObserver`].
+
+use pictor_sim::SimTime;
+
+use crate::tag::Tag;
+
+/// An interceptable X11/OpenGL/GLUT call (paper Table 1 plus the proxy-side
+/// and timer-query calls the hooks also use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiCall {
+    /// Hook 4: the application dequeues an input event.
+    XNextEvent,
+    /// Hook 4 (GLUT applications): keyboard callback dispatch.
+    GlutKeyboardFunc,
+    /// Hook 5: buffer swap — marks the start of GPU rendering for the frame.
+    GlxSwapBuffers,
+    /// Hook 5 (GLUT applications).
+    GlutSwapBuffers,
+    /// Hook 6: selects the read buffer — start of the frame copy.
+    GlReadBuffer,
+    /// Hook 6: reads rendered pixels back over PCIe.
+    GlReadPixels,
+    /// Hook 7: posts the copied frame into the X shared-memory segment.
+    XShmPutImage,
+    /// Hook 7 (alternative path): maps a GPU buffer.
+    GlMapBuffer,
+    /// Interposer inefficiency #1 (§6): queried before *every* frame copy in
+    /// unoptimized TurboVNC; costs 6–9 ms.
+    XGetWindowAttributes,
+    /// GPU timer-query begin (framework-inserted, §3.2).
+    GlBeginQuery,
+    /// GPU timer-query end (framework-inserted, §3.2).
+    GlEndQuery,
+    /// GPU timer-query readback; stalls the CPU if the result is not ready
+    /// and the query buffers are not double-buffered (§3.2, §4).
+    GlGetQueryObject,
+}
+
+/// A single intercepted call with its context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApiEvent {
+    /// When the call fired, on the machine's (synchronized) clock.
+    pub time: SimTime,
+    /// Which call fired.
+    pub call: ApiCall,
+    /// Benchmark instance the call belongs to.
+    pub instance: u32,
+    /// Frame sequence number, when the call concerns a frame.
+    pub frame: Option<u64>,
+    /// Input tag carried by the call's data, when present.
+    pub tag: Option<Tag>,
+}
+
+/// Receives intercepted API calls. Implemented by Pictor's hook manager.
+///
+/// Implementations must be cheap: the paper's hooks add ≤5% FPS overhead.
+pub trait ApiObserver {
+    /// Called synchronously at each intercepted API call.
+    fn on_api_call(&mut self, event: &ApiEvent);
+}
+
+/// An observer that discards all events (runs "without Pictor attached",
+/// used by the overhead evaluation as the native-TurboVNC baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl ApiObserver for NullObserver {
+    fn on_api_call(&mut self, _event: &ApiEvent) {}
+}
+
+impl<T: ApiObserver + ?Sized> ApiObserver for &mut T {
+    fn on_api_call(&mut self, event: &ApiEvent) {
+        (**self).on_api_call(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        calls: Vec<ApiCall>,
+    }
+    impl ApiObserver for Counter {
+        fn on_api_call(&mut self, event: &ApiEvent) {
+            self.calls.push(event.call);
+        }
+    }
+
+    fn event(call: ApiCall) -> ApiEvent {
+        ApiEvent {
+            time: SimTime::ZERO,
+            call,
+            instance: 0,
+            frame: Some(1),
+            tag: Some(Tag(5)),
+        }
+    }
+
+    #[test]
+    fn observer_receives_calls() {
+        let mut c = Counter::default();
+        c.on_api_call(&event(ApiCall::XNextEvent));
+        c.on_api_call(&event(ApiCall::GlReadPixels));
+        assert_eq!(c.calls, vec![ApiCall::XNextEvent, ApiCall::GlReadPixels]);
+    }
+
+    #[test]
+    fn null_observer_is_noop() {
+        let mut n = NullObserver;
+        n.on_api_call(&event(ApiCall::GlxSwapBuffers));
+    }
+
+    #[test]
+    fn observer_by_mut_ref() {
+        fn feed(mut obs: impl ApiObserver) {
+            obs.on_api_call(&event(ApiCall::XShmPutImage));
+        }
+        let mut c = Counter::default();
+        feed(&mut c); // exercises the blanket `&mut T` impl
+        assert_eq!(c.calls.len(), 1);
+    }
+}

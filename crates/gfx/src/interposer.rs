@@ -1,0 +1,162 @@
+//! The VirtualGL-style graphics interposer cost model.
+//!
+//! TurboVNC renders 3D through an interposer library that redirects GL to
+//! the server GPU and reads every frame back for the proxy. The paper's §6
+//! finds two inefficiencies in its frame-copy (FC) stage and fixes them:
+//!
+//! 1. `XGetWindowAttributes` is called before **every** copy just to learn
+//!    the window size, costing 6–9 ms; the fix memoizes it (re-queried only
+//!    on a resolution change observed at hook 4).
+//! 2. The copy is synchronous: the application thread stalls while the GPU
+//!    DMA completes; the fix splits the copy into *start* and *finish* steps
+//!    pipelined across frames (Fig 21).
+//!
+//! [`InterposerConfig`] holds both switches plus the FC cost constants; the
+//! pipeline in `pictor-render` consults it when scheduling stage work.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use pictor_sim::SimDuration;
+
+/// Configuration and cost constants of the graphics interposer.
+///
+/// ```
+/// use pictor_gfx::InterposerConfig;
+/// let stock = InterposerConfig::turbovnc_stock();
+/// let fast = InterposerConfig::optimized();
+/// assert!(!stock.memoize_xgwa && !stock.async_copy);
+/// assert!(fast.memoize_xgwa && fast.async_copy);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterposerConfig {
+    /// Optimization #1: cache the window attributes instead of querying X
+    /// for every frame.
+    pub memoize_xgwa: bool,
+    /// Optimization #2: split the frame copy into asynchronous start/finish
+    /// steps so the DMA overlaps with the next frame's application logic.
+    pub async_copy: bool,
+    /// Lower bound of the `XGetWindowAttributes` round trip (paper: ~6 ms).
+    pub xgwa_min: SimDuration,
+    /// Upper bound of the `XGetWindowAttributes` round trip (paper: ~9 ms).
+    pub xgwa_max: SimDuration,
+    /// Fixed driver-side setup cost of issuing a readback.
+    pub readback_setup: SimDuration,
+    /// CPU memcpy throughput for landing the frame in the shared segment,
+    /// in bytes per nanosecond.
+    pub memcpy_bytes_per_ns: f64,
+}
+
+impl InterposerConfig {
+    /// Stock TurboVNC/VirtualGL behavior analyzed in §5: per-frame
+    /// `XGetWindowAttributes` and a blocking copy.
+    pub fn turbovnc_stock() -> Self {
+        InterposerConfig {
+            memoize_xgwa: false,
+            async_copy: false,
+            xgwa_min: SimDuration::from_millis(6),
+            xgwa_max: SimDuration::from_millis(9),
+            readback_setup: SimDuration::from_micros(150),
+            memcpy_bytes_per_ns: 6.0,
+        }
+    }
+
+    /// Both §6 optimizations enabled.
+    pub fn optimized() -> Self {
+        InterposerConfig {
+            memoize_xgwa: true,
+            async_copy: true,
+            ..Self::turbovnc_stock()
+        }
+    }
+
+    /// Only the `XGetWindowAttributes` memoization (ablation).
+    pub fn memoize_only() -> Self {
+        InterposerConfig {
+            memoize_xgwa: true,
+            async_copy: false,
+            ..Self::turbovnc_stock()
+        }
+    }
+
+    /// Only the two-step asynchronous copy (ablation).
+    pub fn async_copy_only() -> Self {
+        InterposerConfig {
+            memoize_xgwa: false,
+            async_copy: true,
+            ..Self::turbovnc_stock()
+        }
+    }
+
+    /// Samples the `XGetWindowAttributes` cost for one frame copy.
+    ///
+    /// Returns [`SimDuration::ZERO`] when memoization is on and the
+    /// resolution is unchanged (`resolution_changed == false`).
+    pub fn xgwa_cost(&self, rng: &mut SmallRng, resolution_changed: bool) -> SimDuration {
+        if self.memoize_xgwa && !resolution_changed {
+            return SimDuration::ZERO;
+        }
+        let lo = self.xgwa_min.as_nanos();
+        let hi = self.xgwa_max.as_nanos();
+        SimDuration::from_nanos(rng.gen_range(lo..=hi))
+    }
+
+    /// CPU time to land `bytes` into the shared memory segment.
+    pub fn memcpy_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos((bytes as f64 / self.memcpy_bytes_per_ns).ceil() as u64)
+    }
+}
+
+impl Default for InterposerConfig {
+    fn default() -> Self {
+        Self::turbovnc_stock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_sim::SeedTree;
+
+    #[test]
+    fn stock_xgwa_in_paper_range() {
+        let cfg = InterposerConfig::turbovnc_stock();
+        let mut rng = SeedTree::new(1).stream("xgwa");
+        for _ in 0..200 {
+            let c = cfg.xgwa_cost(&mut rng, false);
+            assert!(c >= SimDuration::from_millis(6) && c <= SimDuration::from_millis(9));
+        }
+    }
+
+    #[test]
+    fn memoized_xgwa_is_free_unless_resolution_changes() {
+        let cfg = InterposerConfig::optimized();
+        let mut rng = SeedTree::new(1).stream("xgwa");
+        assert_eq!(cfg.xgwa_cost(&mut rng, false), SimDuration::ZERO);
+        let on_change = cfg.xgwa_cost(&mut rng, true);
+        assert!(on_change >= SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn memcpy_scales_with_bytes() {
+        let cfg = InterposerConfig::turbovnc_stock();
+        let one_mb = cfg.memcpy_cost(1_000_000);
+        let eight_mb = cfg.memcpy_cost(8_000_000);
+        assert!(eight_mb > one_mb * 7 && eight_mb < one_mb * 9);
+        // 8.3 MB Full-HD frame at 6 B/ns ≈ 1.4 ms.
+        let full_hd = cfg.memcpy_cost(8_294_400);
+        assert!(full_hd > SimDuration::from_millis(1) && full_hd < SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn presets_toggle_the_right_switches() {
+        assert!(InterposerConfig::memoize_only().memoize_xgwa);
+        assert!(!InterposerConfig::memoize_only().async_copy);
+        assert!(!InterposerConfig::async_copy_only().memoize_xgwa);
+        assert!(InterposerConfig::async_copy_only().async_copy);
+        assert_eq!(
+            InterposerConfig::default(),
+            InterposerConfig::turbovnc_stock()
+        );
+    }
+}

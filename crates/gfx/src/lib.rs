@@ -1,0 +1,33 @@
+//! Graphics software-stack model: frames, API surface, interposer, compression.
+//!
+//! The paper's rendering system is X11 + OpenGL (Mesa) with TurboVNC's
+//! graphics interposer (VirtualGL) redirecting 3D rendering to the server
+//! GPU and reading frames back for the VNC proxy. This crate provides:
+//!
+//! * [`frame`] — the frame buffer type: a low-resolution pixel raster used
+//!   for computer vision, frame-similarity comparison and entropy estimation,
+//!   plus the logical 1920×1080 size used for bandwidth/copy costs.
+//! * [`raster`] — deterministic rasterization of scene objects into frames.
+//! * [`tag`] — Pictor's tag embedding: tags ride in pixel LSBs across the
+//!   app→proxy IPC boundary and are extracted/restored by the proxy (Fig 4).
+//! * [`api`] — the X11/OpenGL call surface that Pictor's hooks intercept
+//!   (Table 1) and the observer trait the framework attaches to.
+//! * [`interposer`] — the VirtualGL-style readback pipeline cost model,
+//!   including the two inefficiencies optimized in §6
+//!   (`XGetWindowAttributes` per frame; synchronous frame copy).
+//! * [`compress`] — the VNC tight-encoding-style compression model mapping
+//!   frame content to compressed bytes and CPU cost.
+
+pub mod api;
+pub mod compress;
+pub mod frame;
+pub mod interposer;
+pub mod raster;
+pub mod tag;
+
+pub use api::{ApiCall, ApiEvent, ApiObserver, NullObserver};
+pub use compress::CompressionModel;
+pub use frame::{Frame, Resolution};
+pub use interposer::InterposerConfig;
+pub use raster::{draw_scene, SceneObject};
+pub use tag::{embed_tag, extract_tag, restore_pixels, SavedPixels, Tag};

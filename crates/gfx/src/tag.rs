@@ -1,0 +1,147 @@
+//! Tag embedding in frame pixels (paper Fig 4, hooks 6 and 8).
+//!
+//! Pictor tracks an input across process boundaries by giving it a unique
+//! tag; when the rendered frame is copied back from the GPU, hook 6 embeds
+//! the tag into the frame's pixels (saving the original pixels in shared
+//! memory), which guarantees the tag survives the app→proxy IPC. Hook 8 in
+//! the server proxy extracts the tag and restores the pixels before the
+//! frame is compressed, so the user never sees the tag.
+//!
+//! The encoding uses the least-significant bit of the red channel of the
+//! first 48 pixels: a 16-bit magic prefix (to detect untagged frames) plus a
+//! 32-bit tag value.
+
+use crate::frame::Frame;
+
+/// A unique per-input tag assigned by hook 1 at the client proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+/// Magic prefix marking a tagged frame.
+const MAGIC: u16 = 0xA5C3;
+/// Number of pixels borrowed for the encoding.
+const TAG_PIXELS: usize = 48;
+
+/// Original red-channel bytes saved by [`embed_tag`] — the "shared memory"
+/// from which [`restore_pixels`] undoes the embedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedPixels {
+    reds: [u8; TAG_PIXELS],
+}
+
+/// Embeds `tag` into the frame's first-row pixel LSBs, returning the saved
+/// original bytes.
+///
+/// # Example
+///
+/// ```
+/// use pictor_gfx::{embed_tag, extract_tag, restore_pixels, Frame, Tag};
+/// let mut frame = Frame::new(0);
+/// let saved = embed_tag(&mut frame, Tag(0xDEADBEEF));
+/// assert_eq!(extract_tag(&frame), Some(Tag(0xDEADBEEF)));
+/// restore_pixels(&mut frame, &saved);
+/// assert_eq!(extract_tag(&frame), None);
+/// ```
+pub fn embed_tag(frame: &mut Frame, tag: Tag) -> SavedPixels {
+    let mut saved = SavedPixels {
+        reds: [0; TAG_PIXELS],
+    };
+    let bits = (u64::from(MAGIC) << 32) | u64::from(tag.0);
+    for i in 0..TAG_PIXELS {
+        let mut px = frame.pixel(i, 0);
+        saved.reds[i] = px[0];
+        let bit = ((bits >> (TAG_PIXELS - 1 - i)) & 1) as u8;
+        px[0] = (px[0] & !1) | bit;
+        frame.set_pixel(i, 0, px);
+    }
+    saved
+}
+
+/// Extracts a tag embedded by [`embed_tag`], or `None` if the magic prefix
+/// is absent.
+pub fn extract_tag(frame: &Frame) -> Option<Tag> {
+    let mut bits: u64 = 0;
+    for i in 0..TAG_PIXELS {
+        bits = (bits << 1) | u64::from(frame.pixel(i, 0)[0] & 1);
+    }
+    let magic = (bits >> 32) as u16;
+    if magic == MAGIC {
+        Some(Tag(bits as u32))
+    } else {
+        None
+    }
+}
+
+/// Restores the pixels modified by [`embed_tag`].
+pub fn restore_pixels(frame: &mut Frame, saved: &SavedPixels) {
+    for i in 0..TAG_PIXELS {
+        let mut px = frame.pixel(i, 0);
+        px[0] = saved.reds[i];
+        frame.set_pixel(i, 0, px);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::{draw_scene, SceneObject};
+
+    #[test]
+    fn roundtrip_on_black_frame() {
+        let mut f = Frame::new(0);
+        let saved = embed_tag(&mut f, Tag(42));
+        assert_eq!(extract_tag(&f), Some(Tag(42)));
+        restore_pixels(&mut f, &saved);
+        assert_eq!(f, Frame::new(0), "restoration must be pixel-exact");
+    }
+
+    #[test]
+    fn roundtrip_on_rendered_frame() {
+        let objs = [SceneObject::new(4, 0.3, 0.1, 0.2, 0.6)];
+        let original = draw_scene(9, &objs, 0.25, 0.7);
+        let mut f = original.clone();
+        let saved = embed_tag(&mut f, Tag(u32::MAX));
+        assert_eq!(extract_tag(&f), Some(Tag(u32::MAX)));
+        restore_pixels(&mut f, &saved);
+        assert_eq!(f, original);
+    }
+
+    #[test]
+    fn untagged_frame_yields_none() {
+        let f = draw_scene(0, &[], 0.0, 0.5);
+        assert_eq!(extract_tag(&f), None);
+    }
+
+    #[test]
+    fn zero_tag_is_distinguishable_from_untagged() {
+        let mut f = Frame::new(0);
+        embed_tag(&mut f, Tag(0));
+        assert_eq!(extract_tag(&f), Some(Tag(0)));
+    }
+
+    #[test]
+    fn embedding_touches_only_lsbs() {
+        let original = draw_scene(1, &[], 0.4, 0.9);
+        let mut f = original.clone();
+        embed_tag(&mut f, Tag(0x1234_5678));
+        let mut max_delta = 0u8;
+        for y in 0..f.height() {
+            for x in 0..f.width() {
+                let a = original.pixel(x, y);
+                let b = f.pixel(x, y);
+                for c in 0..3 {
+                    max_delta = max_delta.max(a[c].abs_diff(b[c]));
+                }
+            }
+        }
+        assert!(max_delta <= 1, "tag must be visually invisible");
+    }
+
+    #[test]
+    fn reembedding_overwrites_previous_tag() {
+        let mut f = Frame::new(0);
+        embed_tag(&mut f, Tag(1));
+        embed_tag(&mut f, Tag(2));
+        assert_eq!(extract_tag(&f), Some(Tag(2)));
+    }
+}

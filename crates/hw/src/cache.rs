@@ -1,0 +1,144 @@
+//! Cache-contention curves.
+//!
+//! The paper observes (Figs 15/16/19) that L3 and GPU-L2 miss rates rise with
+//! co-runner count and that contentiousness varies per application. We model
+//! a cache with a *base* (solo) miss rate and a *sensitivity* to the summed
+//! *pressure* of co-runners; pressure saturates, because a cache can only be
+//! thrashed so far. The derived slowdown converts extra misses into a service
+//! rate factor used by the CPU/GPU resources.
+
+/// A cache shared by co-running workloads.
+///
+/// ```
+/// use pictor_hw::CacheModel;
+/// let l3 = CacheModel::new(0.72, 0.35);
+/// let solo = l3.miss_rate(0.0);
+/// let loaded = l3.miss_rate(2.0);
+/// assert!(loaded > solo && loaded <= 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheModel {
+    base_miss_rate: f64,
+    sensitivity: f64,
+}
+
+impl CacheModel {
+    /// A cache with the given solo miss rate and contention sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_miss_rate` is outside `[0, 1]` or `sensitivity` is
+    /// negative.
+    pub fn new(base_miss_rate: f64, sensitivity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&base_miss_rate),
+            "base miss rate out of range: {base_miss_rate}"
+        );
+        assert!(sensitivity >= 0.0, "negative sensitivity: {sensitivity}");
+        CacheModel {
+            base_miss_rate,
+            sensitivity,
+        }
+    }
+
+    /// A private (unshared) cache: co-runner pressure has no effect.
+    ///
+    /// The paper's GPU texture cache behaves this way (Fig 16).
+    pub fn private(base_miss_rate: f64) -> Self {
+        Self::new(base_miss_rate, 0.0)
+    }
+
+    /// Solo miss rate.
+    pub fn base_miss_rate(&self) -> f64 {
+        self.base_miss_rate
+    }
+
+    /// Miss rate under the given summed co-runner pressure (pressure ≥ 0,
+    /// dimensionless; one "typical" co-runner contributes about 1.0).
+    ///
+    /// Monotone in pressure and saturating at 0.99.
+    pub fn miss_rate(&self, pressure: f64) -> f64 {
+        let p = pressure.max(0.0);
+        let extra = self.sensitivity * p / (1.0 + 0.6 * p);
+        (self.base_miss_rate + extra).min(0.99)
+    }
+
+    /// Extra misses above the solo rate under `pressure`.
+    pub fn extra_miss_rate(&self, pressure: f64) -> f64 {
+        self.miss_rate(pressure) - self.base_miss_rate
+    }
+
+    /// Converts a miss-rate increase into a service-rate factor in `(0, 1]`.
+    ///
+    /// `penalty` expresses how strongly the workload's progress depends on
+    /// this cache (memory-bound workloads use a larger penalty). The factor
+    /// multiplies a job's service rate: 1.0 = no slowdown.
+    pub fn slowdown_factor(&self, pressure: f64, penalty: f64) -> f64 {
+        assert!(penalty >= 0.0, "negative penalty: {penalty}");
+        1.0 / (1.0 + penalty * self.extra_miss_rate(pressure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_monotone_in_pressure() {
+        let c = CacheModel::new(0.5, 0.4);
+        let mut prev = 0.0;
+        for step in 0..20 {
+            let p = step as f64 * 0.5;
+            let mr = c.miss_rate(p);
+            assert!(mr >= prev, "miss rate not monotone at p={p}");
+            prev = mr;
+        }
+    }
+
+    #[test]
+    fn miss_rate_saturates() {
+        let c = CacheModel::new(0.9, 2.0);
+        assert!(c.miss_rate(100.0) <= 0.99);
+    }
+
+    #[test]
+    fn private_cache_ignores_pressure() {
+        let c = CacheModel::private(0.3);
+        assert_eq!(c.miss_rate(0.0), 0.3);
+        assert_eq!(c.miss_rate(5.0), 0.3);
+        assert_eq!(c.slowdown_factor(5.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn slowdown_is_one_when_unloaded() {
+        let c = CacheModel::new(0.7, 0.3);
+        assert_eq!(c.slowdown_factor(0.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn slowdown_decreases_with_pressure() {
+        let c = CacheModel::new(0.7, 0.3);
+        let s1 = c.slowdown_factor(1.0, 2.0);
+        let s3 = c.slowdown_factor(3.0, 2.0);
+        assert!(s3 < s1 && s1 < 1.0);
+        assert!(s3 > 0.0);
+    }
+
+    #[test]
+    fn negative_pressure_clamped() {
+        let c = CacheModel::new(0.5, 0.4);
+        assert_eq!(c.miss_rate(-3.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_base_rate_panics() {
+        let _ = CacheModel::new(1.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative sensitivity")]
+    fn bad_sensitivity_panics() {
+        let _ = CacheModel::new(0.5, -0.1);
+    }
+}

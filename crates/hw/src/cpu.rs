@@ -1,0 +1,234 @@
+//! The server CPU: a processor-sharing core pool with per-owner accounting.
+//!
+//! The paper reports CPU utilization separately for each benchmark process
+//! and its VNC server proxy (Fig 8), so the pool attributes *occupancy* (the
+//! core share a runnable thread holds, whether retiring instructions or
+//! stalled on memory) to an [`OwnerId`] per process. Work drains at
+//! `share × speed`, where `speed < 1` models contention stalls — matching the
+//! Top-Down view that a stalled core is busy but not retiring.
+
+use std::collections::HashMap;
+
+use pictor_sim::stats::TimeWeighted;
+use pictor_sim::{JobId, PsResource, SimDuration, SimTime};
+
+/// Identifies the process (benchmark instance, VNC proxy, …) that owns jobs
+/// on the CPU, for per-process utilization reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OwnerId(pub u32);
+
+/// A multi-core CPU shared by several processes.
+///
+/// # Example
+///
+/// ```
+/// use pictor_hw::{Cpu, OwnerId};
+/// use pictor_sim::{JobId, SimDuration, SimTime};
+///
+/// let mut cpu = Cpu::new(8.0);
+/// let t0 = SimTime::ZERO;
+/// cpu.insert(t0, JobId(1), OwnerId(0), SimDuration::from_millis(10), 1.0);
+/// let (done, job) = cpu.next_completion(t0).unwrap();
+/// assert_eq!(job, JobId(1));
+/// cpu.remove(done, JobId(1));
+/// let util = cpu.owner_utilization(OwnerId(0), done + SimDuration::from_millis(10));
+/// assert!(util > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    pool: PsResource,
+    owners: HashMap<JobId, OwnerId>,
+    occupancy: HashMap<OwnerId, TimeWeighted>,
+    start: SimTime,
+}
+
+impl Cpu {
+    /// Creates a CPU with `cores` processor-sharing capacity.
+    pub fn new(cores: f64) -> Self {
+        Cpu {
+            pool: PsResource::new(cores),
+            owners: HashMap::new(),
+            occupancy: HashMap::new(),
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Total core capacity.
+    pub fn cores(&self) -> f64 {
+        self.pool.capacity()
+    }
+
+    /// Number of runnable jobs.
+    pub fn runnable(&self) -> usize {
+        self.pool.active_jobs()
+    }
+
+    fn refresh_occupancy(&mut self, now: SimTime) {
+        let share = self.pool.share();
+        let mut counts: HashMap<OwnerId, usize> = HashMap::new();
+        for owner in self.owners.values() {
+            *counts.entry(*owner).or_insert(0) += 1;
+        }
+        for (owner, signal) in self.occupancy.iter_mut() {
+            let cores = counts.get(owner).copied().unwrap_or(0) as f64 * share;
+            signal.set(now, cores);
+        }
+        for (owner, count) in counts {
+            self.occupancy
+                .entry(owner)
+                .or_insert_with(|| TimeWeighted::new(self.start, 0.0))
+                .set(now, count as f64 * share);
+        }
+    }
+
+    /// Inserts a runnable job with `work` single-core demand for `owner`.
+    ///
+    /// `speed` in `(0, 1]` models contention stalls: the core is held at full
+    /// share but work drains more slowly.
+    pub fn insert(&mut self, now: SimTime, id: JobId, owner: OwnerId, work: SimDuration, speed: f64) {
+        self.pool.insert(now, id, work, speed);
+        self.owners.insert(id, owner);
+        self.refresh_occupancy(now);
+    }
+
+    /// Removes a job, returning its remaining work if it was active.
+    pub fn remove(&mut self, now: SimTime, id: JobId) -> Option<SimDuration> {
+        let left = self.pool.remove(now, id);
+        self.owners.remove(&id);
+        self.refresh_occupancy(now);
+        left
+    }
+
+    /// Updates the speed factor of an active job.
+    pub fn set_speed(&mut self, now: SimTime, id: JobId, speed: f64) -> bool {
+        self.pool.set_speed(now, id, speed)
+    }
+
+    /// Earliest predicted completion, if any job is runnable.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, JobId)> {
+        self.pool.next_completion(now)
+    }
+
+    /// Average cores held by `owner` since accounting started.
+    ///
+    /// Matches the `%CPU` notion of tools like `top`: 2.66 means 2.66 cores.
+    pub fn owner_utilization(&mut self, owner: OwnerId, now: SimTime) -> f64 {
+        self.refresh_occupancy(now);
+        self.occupancy
+            .get(&owner)
+            .map_or(0.0, |signal| signal.average(now))
+    }
+
+    /// Average busy cores across all owners since accounting started.
+    pub fn total_utilization(&mut self, now: SimTime) -> f64 {
+        self.refresh_occupancy(now);
+        self.occupancy
+            .values()
+            .map(|signal| signal.average(now))
+            .sum()
+    }
+
+    /// Restarts utilization accounting at `now` (e.g. after warm-up).
+    pub fn reset_accounting(&mut self, now: SimTime) {
+        self.start = now;
+        let share = self.pool.share();
+        let mut counts: HashMap<OwnerId, usize> = HashMap::new();
+        for owner in self.owners.values() {
+            *counts.entry(*owner).or_insert(0) += 1;
+        }
+        self.occupancy.clear();
+        for (owner, count) in counts {
+            self.occupancy
+                .insert(owner, TimeWeighted::new(now, count as f64 * share));
+        }
+        self.pool.reset_utilization(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    #[test]
+    fn single_owner_full_occupancy() {
+        let mut cpu = Cpu::new(8.0);
+        cpu.insert(SimTime::ZERO, JobId(1), OwnerId(0), ms(10), 1.0);
+        cpu.remove(at(10), JobId(1));
+        // Owner held one core for 10 of 20 ms => 0.5 cores average.
+        let util = cpu.owner_utilization(OwnerId(0), at(20));
+        assert!((util - 0.5).abs() < 1e-9, "util={util}");
+    }
+
+    #[test]
+    fn occupancy_counted_even_when_stalled() {
+        // speed=0.5: job takes 20ms of wall time but still holds a full core.
+        let mut cpu = Cpu::new(8.0);
+        cpu.insert(SimTime::ZERO, JobId(1), OwnerId(0), ms(10), 0.5);
+        let (done, _) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(done, at(20));
+        cpu.remove(done, JobId(1));
+        let util = cpu.owner_utilization(OwnerId(0), at(20));
+        assert!((util - 1.0).abs() < 1e-9, "stalled core must appear busy: {util}");
+    }
+
+    #[test]
+    fn owners_split_occupancy_under_oversubscription() {
+        // 2 cores, 4 jobs from two owners: share=0.5 each, 1 core per owner.
+        let mut cpu = Cpu::new(2.0);
+        cpu.insert(SimTime::ZERO, JobId(1), OwnerId(0), ms(100), 1.0);
+        cpu.insert(SimTime::ZERO, JobId(2), OwnerId(0), ms(100), 1.0);
+        cpu.insert(SimTime::ZERO, JobId(3), OwnerId(1), ms(100), 1.0);
+        cpu.insert(SimTime::ZERO, JobId(4), OwnerId(1), ms(100), 1.0);
+        let u0 = cpu.owner_utilization(OwnerId(0), at(50));
+        let u1 = cpu.owner_utilization(OwnerId(1), at(50));
+        assert!((u0 - 1.0).abs() < 1e-9, "u0={u0}");
+        assert!((u1 - 1.0).abs() < 1e-9, "u1={u1}");
+        let total = cpu.total_utilization(at(50));
+        assert!((total - 2.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn unknown_owner_reports_zero() {
+        let mut cpu = Cpu::new(4.0);
+        assert_eq!(cpu.owner_utilization(OwnerId(9), at(10)), 0.0);
+    }
+
+    #[test]
+    fn reset_accounting_clears_history() {
+        let mut cpu = Cpu::new(4.0);
+        cpu.insert(SimTime::ZERO, JobId(1), OwnerId(0), ms(10), 1.0);
+        cpu.remove(at(10), JobId(1));
+        cpu.reset_accounting(at(10));
+        // Nothing ran after the reset.
+        assert_eq!(cpu.owner_utilization(OwnerId(0), at(20)), 0.0);
+    }
+
+    #[test]
+    fn completion_order_respects_speeds() {
+        let mut cpu = Cpu::new(8.0);
+        cpu.insert(SimTime::ZERO, JobId(1), OwnerId(0), ms(10), 1.0);
+        cpu.insert(SimTime::ZERO, JobId(2), OwnerId(0), ms(10), 0.25);
+        let (t1, j1) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!((t1, j1), (at(10), JobId(1)));
+        cpu.remove(t1, JobId(1));
+        let (t2, j2) = cpu.next_completion(t1).unwrap();
+        assert_eq!((t2, j2), (at(40), JobId(2)));
+    }
+
+    #[test]
+    fn runnable_counts_jobs() {
+        let mut cpu = Cpu::new(4.0);
+        assert_eq!(cpu.runnable(), 0);
+        cpu.insert(SimTime::ZERO, JobId(1), OwnerId(0), ms(5), 1.0);
+        cpu.insert(SimTime::ZERO, JobId(2), OwnerId(1), ms(5), 1.0);
+        assert_eq!(cpu.runnable(), 2);
+        assert_eq!(cpu.cores(), 4.0);
+    }
+}

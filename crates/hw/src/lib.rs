@@ -1,0 +1,35 @@
+//! Hardware models for the Pictor reproduction.
+//!
+//! The paper's testbed is an 8-core i7-7820X with a GTX 1080 Ti, measured via
+//! PAPI/NVidia PMUs, a PCIe 3.0 bus and a wall-power meter. This crate models
+//! those components at the fidelity the paper's analysis needs:
+//!
+//! * [`spec`] — server/client machine specifications.
+//! * [`cpu`] — a processor-sharing CPU pool with per-owner utilization
+//!   accounting (the paper reports app CPU% and VNC CPU% separately, Fig 8).
+//! * [`gpu`] — GPU render engine (serialized command stream) with L2/texture
+//!   cache models and per-frame render timing for OpenGL-style timer queries.
+//! * [`pcie`] — a bandwidth-shared PCIe link with per-direction, per-owner
+//!   byte accounting (Fig 9, and the frame-copy bottleneck of Fig 13).
+//! * [`cache`] — pressure/sensitivity contention curves shared by the CPU L3
+//!   and GPU L2 models (Figs 15, 16, 19).
+//! * [`pmu`] — synthesized performance-monitoring counters: Top-Down cycle
+//!   breakdown and cache miss rates (Fig 14).
+//! * [`power`] — wall-power model reproducing the per-instance amortization
+//!   of Fig 17.
+
+pub mod cache;
+pub mod cpu;
+pub mod gpu;
+pub mod pcie;
+pub mod pmu;
+pub mod power;
+pub mod spec;
+
+pub use cache::CacheModel;
+pub use cpu::{Cpu, OwnerId};
+pub use gpu::Gpu;
+pub use pcie::{Direction, Pcie};
+pub use pmu::TopDown;
+pub use power::PowerModel;
+pub use spec::{ClientSpec, ServerSpec};

@@ -1,0 +1,250 @@
+//! The PCIe interconnect: bandwidth-shared DMA transfers per direction.
+//!
+//! Frame copies (stage FC) move rendered frames from GPU to CPU over PCIe —
+//! the paper finds this copy dominates application time (Fig 13) and reports
+//! per-direction bandwidth usage (Fig 9). Each direction is an independent
+//! processor-sharing resource whose capacity is the link bandwidth; transfer
+//! "work" is the byte count.
+
+use std::collections::HashMap;
+
+use pictor_sim::{JobId, PsResource, SimDuration, SimTime};
+
+/// Transfer direction over the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// CPU → GPU (geometry, textures, uniforms).
+    ToGpu,
+    /// GPU → CPU (frame readback).
+    FromGpu,
+}
+
+/// A PCIe link with independent up/down bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use pictor_hw::{Direction, Pcie};
+/// use pictor_sim::{JobId, SimTime};
+///
+/// // 8 bytes/ns = 8 GB/s per direction.
+/// let mut pcie = Pcie::new(8.0);
+/// let t0 = SimTime::ZERO;
+/// pcie.begin_transfer(t0, JobId(1), Direction::FromGpu, 8_000_000, 0);
+/// let (done, job, dir) = pcie.next_completion(t0).unwrap();
+/// assert_eq!((job, dir), (JobId(1), Direction::FromGpu));
+/// // 8 MB at 8 GB/s = 1 ms.
+/// assert_eq!(done.as_nanos(), 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pcie {
+    bytes_per_ns: f64,
+    to_gpu: PsResource,
+    from_gpu: PsResource,
+    owners: HashMap<(Direction, JobId), u64>,
+    sizes: HashMap<(Direction, JobId), u64>,
+    delivered: HashMap<(u64, Direction), u64>,
+    since: SimTime,
+}
+
+impl Pcie {
+    /// Creates a link with `bytes_per_ns` bandwidth in each direction
+    /// (1 byte/ns = 1 GB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_ns` is not strictly positive.
+    pub fn new(bytes_per_ns: f64) -> Self {
+        assert!(
+            bytes_per_ns.is_finite() && bytes_per_ns > 0.0,
+            "bandwidth must be positive: {bytes_per_ns}"
+        );
+        // Each direction is one shared pipe: capacity 1.0 "server", with a
+        // transfer's work normalized to nanoseconds at full link bandwidth so
+        // concurrent transfers split the pipe evenly.
+        Pcie {
+            bytes_per_ns,
+            to_gpu: PsResource::new(1.0),
+            from_gpu: PsResource::new(1.0),
+            owners: HashMap::new(),
+            sizes: HashMap::new(),
+            delivered: HashMap::new(),
+            since: SimTime::ZERO,
+        }
+    }
+
+    fn dir_mut(&mut self, dir: Direction) -> &mut PsResource {
+        match dir {
+            Direction::ToGpu => &mut self.to_gpu,
+            Direction::FromGpu => &mut self.from_gpu,
+        }
+    }
+
+    /// Starts a DMA transfer of `bytes` for accounting `owner`.
+    ///
+    /// Concurrent transfers in the same direction share bandwidth fairly.
+    pub fn begin_transfer(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        dir: Direction,
+        bytes: u64,
+        owner: u64,
+    ) {
+        let work_ns = bytes as f64 / self.bytes_per_ns;
+        self.dir_mut(dir).insert(
+            now,
+            id,
+            SimDuration::from_nanos(work_ns.ceil() as u64),
+            1.0,
+        );
+        self.owners.insert((dir, id), owner);
+        self.sizes.insert((dir, id), bytes);
+    }
+
+    /// Earliest transfer completion across both directions.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, JobId, Direction)> {
+        let up = self.to_gpu.next_completion(now);
+        let down = self.from_gpu.next_completion(now);
+        match (up, down) {
+            (None, None) => None,
+            (Some((t, id)), None) => Some((t, id, Direction::ToGpu)),
+            (None, Some((t, id))) => Some((t, id, Direction::FromGpu)),
+            (Some((tu, iu)), Some((td, id))) => {
+                if tu <= td {
+                    Some((tu, iu, Direction::ToGpu))
+                } else {
+                    Some((td, id, Direction::FromGpu))
+                }
+            }
+        }
+    }
+
+    /// Completes a finished transfer, crediting its bytes to the owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer is unknown.
+    pub fn complete(&mut self, now: SimTime, id: JobId, dir: Direction) {
+        self.dir_mut(dir)
+            .remove(now, id)
+            .expect("unknown PCIe transfer");
+        let owner = self.owners.remove(&(dir, id)).expect("unknown owner");
+        let bytes = self.sizes.remove(&(dir, id)).expect("unknown size");
+        *self.delivered.entry((owner, dir)).or_insert(0) += bytes;
+    }
+
+    /// Aborts a transfer (e.g. instance shutdown), without crediting bytes.
+    pub fn abort(&mut self, now: SimTime, id: JobId, dir: Direction) -> bool {
+        let known = self.dir_mut(dir).remove(now, id).is_some();
+        self.owners.remove(&(dir, id));
+        self.sizes.remove(&(dir, id));
+        known
+    }
+
+    /// Average bandwidth used by `owner` in `dir`, in bytes per nanosecond
+    /// (== GB/s), over the accounting window ending at `now`.
+    pub fn owner_bandwidth(&self, owner: u64, dir: Direction, now: SimTime) -> f64 {
+        let span = now.saturating_since(self.since).as_nanos() as f64;
+        if span == 0.0 {
+            return 0.0;
+        }
+        self.delivered
+            .get(&(owner, dir))
+            .map_or(0.0, |&bytes| bytes as f64 / span)
+    }
+
+    /// Total bytes delivered for `owner` in `dir` since accounting started.
+    pub fn owner_bytes(&self, owner: u64, dir: Direction) -> u64 {
+        self.delivered.get(&(owner, dir)).copied().unwrap_or(0)
+    }
+
+    /// Restarts bandwidth accounting.
+    pub fn reset_accounting(&mut self, now: SimTime) {
+        self.delivered.clear();
+        self.since = now;
+    }
+
+    /// Number of in-flight transfers in `dir`.
+    pub fn in_flight(&self, dir: Direction) -> usize {
+        match dir {
+            Direction::ToGpu => self.to_gpu.active_jobs(),
+            Direction::FromGpu => self.from_gpu.active_jobs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let mut pcie = Pcie::new(10.0); // 10 GB/s
+        pcie.begin_transfer(SimTime::ZERO, JobId(1), Direction::FromGpu, 10_000_000, 0);
+        let (t, id, dir) = pcie.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!((id, dir), (JobId(1), Direction::FromGpu));
+        assert_eq!(t.as_nanos(), 1_000_000); // 10 MB / 10 GB/s = 1 ms
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut pcie = Pcie::new(10.0);
+        pcie.begin_transfer(SimTime::ZERO, JobId(1), Direction::FromGpu, 10_000_000, 0);
+        pcie.begin_transfer(SimTime::ZERO, JobId(2), Direction::ToGpu, 10_000_000, 0);
+        // Both complete at 1ms: no sharing across directions.
+        let (t, _, _) = pcie.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t.as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn same_direction_transfers_share_bandwidth() {
+        let mut pcie = Pcie::new(10.0);
+        pcie.begin_transfer(SimTime::ZERO, JobId(1), Direction::FromGpu, 10_000_000, 0);
+        pcie.begin_transfer(SimTime::ZERO, JobId(2), Direction::FromGpu, 10_000_000, 1);
+        let (t, _, _) = pcie.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t.as_nanos(), 2_000_000, "two transfers halve the rate");
+    }
+
+    #[test]
+    fn owner_accounting() {
+        let mut pcie = Pcie::new(1.0); // 1 GB/s
+        let t0 = SimTime::ZERO;
+        pcie.begin_transfer(t0, JobId(1), Direction::FromGpu, 500_000, 7);
+        let (t, id, dir) = pcie.next_completion(t0).unwrap();
+        pcie.complete(t, id, dir);
+        assert_eq!(pcie.owner_bytes(7, Direction::FromGpu), 500_000);
+        let now = SimTime::from_nanos(1_000_000);
+        let bw = pcie.owner_bandwidth(7, Direction::FromGpu, now);
+        assert!((bw - 0.5).abs() < 1e-9, "bw={bw}");
+        assert_eq!(pcie.owner_bandwidth(7, Direction::ToGpu, now), 0.0);
+    }
+
+    #[test]
+    fn abort_discards_bytes() {
+        let mut pcie = Pcie::new(1.0);
+        pcie.begin_transfer(SimTime::ZERO, JobId(1), Direction::ToGpu, 1000, 3);
+        assert!(pcie.abort(SimTime::from_nanos(10), JobId(1), Direction::ToGpu));
+        assert!(!pcie.abort(SimTime::from_nanos(10), JobId(1), Direction::ToGpu));
+        assert_eq!(pcie.owner_bytes(3, Direction::ToGpu), 0);
+    }
+
+    #[test]
+    fn reset_accounting_zeroes_bandwidth() {
+        let mut pcie = Pcie::new(1.0);
+        pcie.begin_transfer(SimTime::ZERO, JobId(1), Direction::FromGpu, 1000, 0);
+        let (t, id, dir) = pcie.next_completion(SimTime::ZERO).unwrap();
+        pcie.complete(t, id, dir);
+        pcie.reset_accounting(t);
+        assert_eq!(pcie.owner_bytes(0, Direction::FromGpu), 0);
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let mut pcie = Pcie::new(1.0);
+        assert_eq!(pcie.in_flight(Direction::ToGpu), 0);
+        pcie.begin_transfer(SimTime::ZERO, JobId(1), Direction::ToGpu, 1000, 0);
+        assert_eq!(pcie.in_flight(Direction::ToGpu), 1);
+        assert_eq!(pcie.in_flight(Direction::FromGpu), 0);
+    }
+}

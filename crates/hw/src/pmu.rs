@@ -1,0 +1,137 @@
+//! Synthesized performance-monitoring counters.
+//!
+//! The paper reads CPU PMUs through PAPI inside the API hooks and applies
+//! Intel's Top-Down method (Fig 14): cycles split into *retiring*,
+//! *front-end bound*, *bad speculation* and *back-end bound*. On real
+//! hardware these come from counters; here they are synthesized from the
+//! cache model — the paper's own observation is that back-end stalls track
+//! L3 misses because graphics rendering uses uncached CPU↔GPU memory.
+
+use crate::cache::CacheModel;
+
+/// Top-Down cycle breakdown; the four fractions sum to 1.
+///
+/// ```
+/// use pictor_hw::pmu::TopDownModel;
+/// use pictor_hw::CacheModel;
+/// let model = TopDownModel::paper_default();
+/// let td = model.breakdown(&CacheModel::new(0.72, 0.3), 0.0);
+/// let sum = td.retiring + td.front_end + td.bad_speculation + td.back_end;
+/// assert!((sum - 1.0).abs() < 1e-9);
+/// assert!(td.back_end > 0.4); // memory-bound workloads stall in the back end
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TopDown {
+    /// Cycles retiring useful instructions.
+    pub retiring: f64,
+    /// Cycles stalled on instruction fetch/decode.
+    pub front_end: f64,
+    /// Cycles wasted on mispredicted paths.
+    pub bad_speculation: f64,
+    /// Cycles stalled on data (memory hierarchy and execution resources).
+    pub back_end: f64,
+}
+
+impl TopDown {
+    /// Instructions-per-cycle estimate implied by the breakdown, assuming a
+    /// 4-wide machine retiring at full width during retiring cycles.
+    pub fn ipc(&self, width: f64) -> f64 {
+        self.retiring * width
+    }
+}
+
+/// Synthesizes Top-Down breakdowns from cache state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopDownModel {
+    /// Front-end bound fraction, roughly constant for a given binary.
+    pub front_end: f64,
+    /// Bad-speculation fraction, roughly constant for a given binary.
+    pub bad_speculation: f64,
+    /// Back-end stall fraction when every L3 access misses.
+    pub back_end_at_full_miss: f64,
+    /// Back-end stall fraction attributable to non-memory (port) pressure.
+    pub back_end_core: f64,
+}
+
+impl TopDownModel {
+    /// Coefficients tuned so the paper's solo workloads (L3 miss > 70%) show
+    /// long back-end stalls and low IPC (Fig 14).
+    pub fn paper_default() -> Self {
+        TopDownModel {
+            front_end: 0.10,
+            bad_speculation: 0.06,
+            back_end_at_full_miss: 0.62,
+            back_end_core: 0.08,
+        }
+    }
+
+    /// Computes the breakdown for a workload whose L3 behaves per `l3` under
+    /// co-runner `pressure`.
+    pub fn breakdown(&self, l3: &CacheModel, pressure: f64) -> TopDown {
+        let miss = l3.miss_rate(pressure);
+        let back_end = (self.back_end_core + self.back_end_at_full_miss * miss).min(0.92);
+        let non_retiring = self.front_end + self.bad_speculation + back_end;
+        let retiring = (1.0 - non_retiring).max(0.02);
+        // Renormalize exactly to 1 (retiring may have been clamped).
+        let total = retiring + self.front_end + self.bad_speculation + back_end;
+        TopDown {
+            retiring: retiring / total,
+            front_end: self.front_end / total,
+            bad_speculation: self.bad_speculation / total,
+            back_end: back_end / total,
+        }
+    }
+}
+
+impl Default for TopDownModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_l3() -> CacheModel {
+        CacheModel::new(0.72, 0.30)
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = TopDownModel::paper_default();
+        for pressure in [0.0, 1.0, 2.0, 5.0] {
+            let td = m.breakdown(&paper_l3(), pressure);
+            let sum = td.retiring + td.front_end + td.bad_speculation + td.back_end;
+            assert!((sum - 1.0).abs() < 1e-9, "sum={sum} at pressure {pressure}");
+        }
+    }
+
+    #[test]
+    fn back_end_grows_with_pressure() {
+        let m = TopDownModel::paper_default();
+        let solo = m.breakdown(&paper_l3(), 0.0);
+        let loaded = m.breakdown(&paper_l3(), 3.0);
+        assert!(loaded.back_end > solo.back_end);
+        assert!(loaded.retiring < solo.retiring);
+    }
+
+    #[test]
+    fn memory_bound_workloads_have_low_ipc() {
+        let m = TopDownModel::paper_default();
+        let td = m.breakdown(&paper_l3(), 0.0);
+        // Paper: "long back-end stalls and low instructions-per-cycle".
+        assert!(td.ipc(4.0) < 1.5, "ipc={}", td.ipc(4.0));
+        assert!(td.back_end > 0.45);
+    }
+
+    #[test]
+    fn fractions_stay_in_bounds() {
+        let m = TopDownModel::paper_default();
+        let td = m.breakdown(&CacheModel::new(0.99, 2.0), 50.0);
+        for v in [td.retiring, td.front_end, td.bad_speculation, td.back_end] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert!(td.retiring >= 0.01, "retiring never vanishes entirely");
+    }
+}

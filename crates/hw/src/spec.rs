@@ -1,0 +1,133 @@
+//! Machine specifications mirroring the paper's testbed (Section 4).
+
+/// Server machine specification.
+///
+/// Defaults mirror the paper's server: 8-core (16-thread) Intel i7-7820X,
+/// 16 GB RAM, NVIDIA GTX 1080 Ti (11 GB), PCIe 3.0 x16, 1 Gbps NIC per
+/// benchmark instance.
+///
+/// ```
+/// use pictor_hw::ServerSpec;
+/// let spec = ServerSpec::paper_server();
+/// assert_eq!(spec.cores, 8);
+/// assert!(spec.pcie_gbps_per_dir > 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Physical core count available to the scheduler.
+    pub cores: u32,
+    /// Nominal all-core clock in GHz (scales CPU work durations).
+    pub clock_ghz: f64,
+    /// System memory in MiB.
+    pub memory_mib: u64,
+    /// GPU memory in MiB.
+    pub gpu_memory_mib: u64,
+    /// PCIe bandwidth per direction in GB/s (3.0 x16 ≈ 15.75 GB/s).
+    pub pcie_gbps_per_dir: f64,
+    /// Network bandwidth per instance NIC in Mbps.
+    pub nic_mbps: f64,
+    /// Relative GPU throughput (1.0 = GTX 1080 Ti).
+    pub gpu_throughput: f64,
+}
+
+impl ServerSpec {
+    /// The paper's server: i7-7820X + GTX 1080 Ti.
+    pub fn paper_server() -> Self {
+        ServerSpec {
+            cores: 8,
+            clock_ghz: 3.6,
+            memory_mib: 16 * 1024,
+            gpu_memory_mib: 11 * 1024,
+            pcie_gbps_per_dir: 15.75,
+            nic_mbps: 1000.0,
+            gpu_throughput: 1.0,
+        }
+    }
+
+    /// PCIe bandwidth per direction in bytes per nanosecond.
+    pub fn pcie_bytes_per_ns(&self) -> f64 {
+        self.pcie_gbps_per_dir
+    }
+
+    /// NIC bandwidth in bytes per nanosecond.
+    pub fn nic_bytes_per_ns(&self) -> f64 {
+        self.nic_mbps * 1e6 / 8.0 / 1e9
+    }
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        Self::paper_server()
+    }
+}
+
+/// Client machine specification.
+///
+/// Defaults mirror the paper's clients: 4-core Intel i5-7400, 8 GB RAM. The
+/// `gflops` figure drives the FLOP-cost model for CNN/RNN inference latency
+/// (paper Fig 7: ~72.7 ms CV, ~1.9 ms input generation).
+///
+/// ```
+/// use pictor_hw::ClientSpec;
+/// let c = ClientSpec::paper_client();
+/// assert_eq!(c.cores, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSpec {
+    /// Physical core count.
+    pub cores: u32,
+    /// Nominal clock in GHz.
+    pub clock_ghz: f64,
+    /// System memory in MiB.
+    pub memory_mib: u64,
+    /// Sustained single-precision throughput available to the inference
+    /// runtime, in GFLOP/s. Calibrated so MobileNets-class CV lands near the
+    /// paper's 72.7 ms average.
+    pub gflops: f64,
+}
+
+impl ClientSpec {
+    /// The paper's client: i5-7400.
+    pub fn paper_client() -> Self {
+        ClientSpec {
+            cores: 4,
+            clock_ghz: 3.0,
+            memory_mib: 8 * 1024,
+            gflops: 32.0,
+        }
+    }
+}
+
+impl Default for ClientSpec {
+    fn default() -> Self {
+        Self::paper_client()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_server_matches_section4() {
+        let s = ServerSpec::paper_server();
+        assert_eq!(s.cores, 8);
+        assert_eq!(s.memory_mib, 16 * 1024);
+        assert_eq!(s.gpu_memory_mib, 11 * 1024);
+        assert_eq!(s.nic_mbps, 1000.0);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        let s = ServerSpec::paper_server();
+        // 1 Gbps = 0.125 GB/s = 0.125 bytes/ns.
+        assert!((s.nic_bytes_per_ns() - 0.125).abs() < 1e-9);
+        assert!((s.pcie_bytes_per_ns() - 15.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_are_paper_machines() {
+        assert_eq!(ServerSpec::default(), ServerSpec::paper_server());
+        assert_eq!(ClientSpec::default(), ClientSpec::paper_client());
+    }
+}

@@ -1,0 +1,462 @@
+//! 2-D convolution and pooling over small images.
+//!
+//! The intelligent client's vision network (the MobileNets stand-in) runs a
+//! small convolution stack over frame cells. Layout is NCHW in a flat
+//! [`Tensor4`].
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A flat NCHW tensor.
+///
+/// ```
+/// use pictor_ml::Tensor4;
+/// let mut t = Tensor4::zeros(1, 3, 4, 4);
+/// t.set(0, 2, 1, 1, 5.0);
+/// assert_eq!(t.get(0, 2, 1, 1), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor4 {
+    /// A zero tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Wraps a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n*c*h*w`.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "shape mismatch");
+        Tensor4 { n, c, h, w, data }
+    }
+
+    #[inline]
+    fn idx(&self, n: usize, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && y < self.h && x < self.w);
+        ((n * self.c + c) * self.h + y) * self.w + x
+    }
+
+    /// Element accessor.
+    pub fn get(&self, n: usize, c: usize, y: usize, x: usize) -> f64 {
+        self.data[self.idx(n, c, y, x)]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, n: usize, c: usize, y: usize, x: usize, v: f64) {
+        let i = self.idx(n, c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Flat storage.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat storage.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Flattens each batch element into a row of a `[n, c*h*w]` matrix.
+    pub fn flatten(&self) -> crate::tensor::Matrix {
+        crate::tensor::Matrix::from_vec(self.n, self.c * self.h * self.w, self.data.clone())
+    }
+}
+
+/// Same-padding 3×3-style convolution with stride 1 and ReLU activation.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    /// Weights laid out `[out_ch][in_ch][k][k]`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    input: Option<Tensor4>,
+    pre_act: Option<Tensor4>,
+    dw: Vec<f64>,
+    db: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a convolution `in_ch → out_ch` with odd kernel size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even.
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, rng: &mut SmallRng) -> Self {
+        assert!(k % 2 == 1, "kernel size must be odd, got {k}");
+        let fan = (in_ch * k * k + out_ch * k * k) as f64;
+        let bound = (6.0 / fan).sqrt();
+        let w = (0..out_ch * in_ch * k * k)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Conv2d {
+            in_ch,
+            out_ch,
+            k,
+            w,
+            b: vec![0.0; out_ch],
+            input: None,
+            pre_act: None,
+            dw: vec![0.0; out_ch * in_ch * k * k],
+            db: vec![0.0; out_ch],
+        }
+    }
+
+    /// Number of multiply-accumulates for one forward pass over `h × w`
+    /// input (for the FLOP-cost model).
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        (self.out_ch * self.in_ch * self.k * self.k * h * w) as u64
+    }
+
+    #[inline]
+    fn widx(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        ((oc * self.in_ch + ic) * self.k + ky) * self.k + kx
+    }
+
+    fn conv_forward(&self, x: &Tensor4) -> Tensor4 {
+        assert_eq!(x.c, self.in_ch, "input channel mismatch");
+        let pad = self.k / 2;
+        let mut out = Tensor4::zeros(x.n, self.out_ch, x.h, x.w);
+        for n in 0..x.n {
+            for oc in 0..self.out_ch {
+                for y in 0..x.h {
+                    for xx in 0..x.w {
+                        let mut acc = self.b[oc];
+                        for ic in 0..self.in_ch {
+                            for ky in 0..self.k {
+                                let sy = y as isize + ky as isize - pad as isize;
+                                if sy < 0 || sy >= x.h as isize {
+                                    continue;
+                                }
+                                for kx in 0..self.k {
+                                    let sx = xx as isize + kx as isize - pad as isize;
+                                    if sx < 0 || sx >= x.w as isize {
+                                        continue;
+                                    }
+                                    acc += self.w[self.widx(oc, ic, ky, kx)]
+                                        * x.get(n, ic, sy as usize, sx as usize);
+                                }
+                            }
+                        }
+                        out.set(n, oc, y, xx, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward pass with ReLU, caching for backprop.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let pre = self.conv_forward(x);
+        self.input = Some(x.clone());
+        let out = Tensor4::from_vec(
+            pre.n,
+            pre.c,
+            pre.h,
+            pre.w,
+            pre.data().iter().map(|&v| v.max(0.0)).collect(),
+        );
+        self.pre_act = Some(pre);
+        out
+    }
+
+    /// Inference-only forward pass with ReLU.
+    pub fn infer(&self, x: &Tensor4) -> Tensor4 {
+        let pre = self.conv_forward(x);
+        Tensor4::from_vec(
+            pre.n,
+            pre.c,
+            pre.h,
+            pre.w,
+            pre.data().iter().map(|&v| v.max(0.0)).collect(),
+        )
+    }
+
+    /// Backward pass: accumulates `dW`/`db`, returns `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Conv2d::forward`].
+    pub fn backward(&mut self, d_out: &Tensor4) -> Tensor4 {
+        let x = self.input.as_ref().expect("backward before forward");
+        let pre = self.pre_act.as_ref().expect("backward before forward");
+        let pad = self.k / 2;
+        let mut dx = Tensor4::zeros(x.n, x.c, x.h, x.w);
+        self.dw.iter_mut().for_each(|v| *v = 0.0);
+        self.db.iter_mut().for_each(|v| *v = 0.0);
+        for n in 0..x.n {
+            for oc in 0..self.out_ch {
+                for y in 0..x.h {
+                    for xx in 0..x.w {
+                        // ReLU gate.
+                        if pre.get(n, oc, y, xx) <= 0.0 {
+                            continue;
+                        }
+                        let g = d_out.get(n, oc, y, xx);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.db[oc] += g;
+                        for ic in 0..self.in_ch {
+                            for ky in 0..self.k {
+                                let sy = y as isize + ky as isize - pad as isize;
+                                if sy < 0 || sy >= x.h as isize {
+                                    continue;
+                                }
+                                for kx in 0..self.k {
+                                    let sx = xx as isize + kx as isize - pad as isize;
+                                    if sx < 0 || sx >= x.w as isize {
+                                        continue;
+                                    }
+                                    let wi = self.widx(oc, ic, ky, kx);
+                                    self.dw[wi] += g * x.get(n, ic, sy as usize, sx as usize);
+                                    let di = dx.idx(n, ic, sy as usize, sx as usize);
+                                    dx.data_mut()[di] += g * self.w[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Parameter/gradient pairs for the optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        vec![(&mut self.w[..], &self.dw[..]), (&mut self.b[..], &self.db[..])]
+    }
+}
+
+/// 2×2 max pooling with stride 2 (truncating odd edges).
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl MaxPool2 {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn out_size(h: usize, w: usize) -> (usize, usize) {
+        (h / 2, w / 2)
+    }
+
+    /// Forward pass, caching argmax indices for backprop.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (oh, ow) = Self::out_size(x.h, x.w);
+        let mut out = Tensor4::zeros(x.n, x.c, oh, ow);
+        self.argmax = vec![0; x.n * x.c * oh * ow];
+        self.in_shape = (x.n, x.c, x.h, x.w);
+        let mut ai = 0;
+        for n in 0..x.n {
+            for c in 0..x.c {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dxx in 0..2 {
+                                let v = x.get(n, c, y * 2 + dy, xx * 2 + dxx);
+                                if v > best {
+                                    best = v;
+                                    best_idx = x.idx(n, c, y * 2 + dy, xx * 2 + dxx);
+                                }
+                            }
+                        }
+                        out.set(n, c, y, xx, best);
+                        self.argmax[ai] = best_idx;
+                        ai += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inference-only forward pass.
+    pub fn infer(&self, x: &Tensor4) -> Tensor4 {
+        let (oh, ow) = Self::out_size(x.h, x.w);
+        let mut out = Tensor4::zeros(x.n, x.c, oh, ow);
+        for n in 0..x.n {
+            for c in 0..x.c {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut best = f64::NEG_INFINITY;
+                        for dy in 0..2 {
+                            for dxx in 0..2 {
+                                best = best.max(x.get(n, c, y * 2 + dy, xx * 2 + dxx));
+                            }
+                        }
+                        out.set(n, c, y, xx, best);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`MaxPool2::forward`].
+    pub fn backward(&mut self, d_out: &Tensor4) -> Tensor4 {
+        assert!(!self.argmax.is_empty(), "backward before forward");
+        let (n, c, h, w) = self.in_shape;
+        let mut dx = Tensor4::zeros(n, c, h, w);
+        for (ai, &src) in self.argmax.iter().enumerate() {
+            dx.data_mut()[src] += d_out.data()[ai];
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn loss(y: &Tensor4, target: &Tensor4) -> (f64, Tensor4) {
+        let n = y.data().len() as f64;
+        let mut l = 0.0;
+        let mut g = Tensor4::zeros(y.n, y.c, y.h, y.w);
+        for i in 0..y.data().len() {
+            let d = y.data()[i] - target.data()[i];
+            l += d * d;
+            g.data_mut()[i] = 2.0 * d / n;
+        }
+        (l / n, g)
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, 3, &mut rng);
+        // Zero all weights, set center tap to 1 => identity (ReLU on
+        // non-negative input is also identity).
+        conv.w.iter_mut().for_each(|v| *v = 0.0);
+        let ci = conv.widx(0, 0, 1, 1);
+        conv.w[ci] = 1.0;
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.infer(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 3, 3, &mut rng);
+        let x = Tensor4::from_vec(
+            2,
+            2,
+            4,
+            4,
+            (0..2 * 2 * 4 * 4).map(|i| ((i * 37 % 17) as f64 - 8.0) / 8.0).collect(),
+        );
+        let target = Tensor4::zeros(2, 3, 4, 4);
+        let y = conv.forward(&x);
+        let (_, d_out) = loss(&y, &target);
+        let dx = conv.backward(&d_out);
+        // Check a sample of weight gradients.
+        let analytic_w = conv.dw.clone();
+        let eps = 1e-6;
+        for i in (0..conv.w.len()).step_by(7) {
+            conv.w[i] += eps;
+            let (l1, _) = loss(&conv.infer(&x), &target);
+            conv.w[i] -= 2.0 * eps;
+            let (l2, _) = loss(&conv.infer(&x), &target);
+            conv.w[i] += eps;
+            let num = (l1 - l2) / (2.0 * eps);
+            assert!(
+                (analytic_w[i] - num).abs() < 1e-7 + 1e-4 * num.abs(),
+                "w[{i}]: {} vs {num}",
+                analytic_w[i]
+            );
+        }
+        // Check a sample of input gradients.
+        let mut xp = x.clone();
+        for i in (0..xp.data().len()).step_by(5) {
+            xp.data_mut()[i] += eps;
+            let (l1, _) = loss(&conv.infer(&xp), &target);
+            xp.data_mut()[i] -= 2.0 * eps;
+            let (l2, _) = loss(&conv.infer(&xp), &target);
+            xp.data_mut()[i] += eps;
+            let num = (l1 - l2) / (2.0 * eps);
+            assert!(
+                (dx.data()[i] - num).abs() < 1e-7 + 1e-4 * num.abs(),
+                "x[{i}]: {} vs {num}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_takes_maxima() {
+        let x = Tensor4::from_vec(1, 1, 2, 4, vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, -1.0, 7.0]);
+        let mut pool = MaxPool2::new();
+        let y = pool.forward(&x);
+        assert_eq!((y.h, y.w), (1, 2));
+        assert_eq!(y.data(), &[5.0, 7.0]);
+        assert_eq!(pool.infer(&x).data(), y.data());
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 9.0, 3.0, 4.0]);
+        let mut pool = MaxPool2::new();
+        let _ = pool.forward(&x);
+        let d_out = Tensor4::from_vec(1, 1, 1, 1, vec![2.5]);
+        let dx = pool.backward(&d_out);
+        assert_eq!(dx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_layout() {
+        let t = Tensor4::from_vec(2, 1, 1, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let m = t.flatten();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn macs_counts_scale() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let conv = Conv2d::new(3, 8, 3, &mut rng);
+        assert_eq!(conv.macs(8, 6), 3 * 8 * 9 * 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = Conv2d::new(1, 1, 2, &mut rng);
+    }
+}

@@ -1,0 +1,248 @@
+//! Fully-connected layer with backprop.
+
+use rand::rngs::SmallRng;
+
+use crate::tensor::Matrix;
+
+/// A dense layer `y = act(x·W + b)` over batched rows.
+///
+/// Supported activations: identity, ReLU and tanh.
+///
+/// ```
+/// use pictor_ml::{Dense, Matrix};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut layer = Dense::new(3, 2, pictor_ml::dense::Activation::Relu, &mut rng);
+/// let x = Matrix::zeros(4, 3);
+/// let y = layer.forward(&x);
+/// assert_eq!((y.rows(), y.cols()), (4, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+    activation: Activation,
+    // forward caches
+    input: Option<Matrix>,
+    pre_act: Option<Matrix>,
+    // gradients
+    dw: Matrix,
+    db: Matrix,
+}
+
+/// Activation applied after the affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(&self, v: f64) -> f64 {
+        match self {
+            Activation::Identity => v,
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+        }
+    }
+
+    fn derivative(&self, pre: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if pre > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - pre.tanh().powi(2),
+        }
+    }
+}
+
+impl Dense {
+    /// Creates a layer mapping `input_dim` → `output_dim` with Xavier
+    /// weights.
+    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut SmallRng) -> Self {
+        Dense {
+            w: Matrix::xavier(input_dim, output_dim, rng),
+            b: Matrix::zeros(1, output_dim),
+            activation,
+            input: None,
+            pre_act: None,
+            dw: Matrix::zeros(input_dim, output_dim),
+            db: Matrix::zeros(1, output_dim),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass over a batch (`x: [batch, input_dim]`), caching for
+    /// backprop.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let pre = x.matmul(&self.w).add_row_broadcast(&self.b);
+        let out = pre.map(|v| self.activation.apply(v));
+        self.input = Some(x.clone());
+        self.pre_act = Some(pre);
+        out
+    }
+
+    /// Inference-only forward pass (no caches touched).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w)
+            .add_row_broadcast(&self.b)
+            .map(|v| self.activation.apply(v))
+    }
+
+    /// Backward pass: consumes `d_out = ∂L/∂y`, accumulates `dW`/`db`,
+    /// returns `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::forward`].
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let pre = self.pre_act.as_ref().expect("backward before forward");
+        let x = self.input.as_ref().expect("backward before forward");
+        let act = self.activation;
+        let mut d_pre = d_out.clone();
+        for r in 0..d_pre.rows() {
+            for c in 0..d_pre.cols() {
+                let g = d_pre.get(r, c) * act.derivative(pre.get(r, c));
+                d_pre.set(r, c, g);
+            }
+        }
+        self.dw = x.transpose().matmul(&d_pre);
+        self.db = d_pre.sum_rows();
+        d_pre.matmul(&self.w.transpose())
+    }
+
+    /// Parameter/gradient pairs for the optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        vec![
+            (self.w.data_mut(), self.dw.data()),
+            (self.b.data_mut(), self.db.data()),
+        ]
+    }
+
+    /// Immutable access to the weight matrix (tests, FLOP counting).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+    use rand::SeedableRng;
+
+    fn numeric_grad(
+        layer: &mut Dense,
+        x: &Matrix,
+        target: &Matrix,
+        param: usize,
+        idx: usize,
+        eps: f64,
+    ) -> f64 {
+        let perturb = |layer: &mut Dense, delta: f64| {
+            let mut pg = layer.params_and_grads();
+            pg[param].0[idx] += delta;
+        };
+        perturb(layer, eps);
+        let y1 = layer.infer(x);
+        let (l1, _) = mse_loss(&y1, target);
+        perturb(layer, -2.0 * eps);
+        let y2 = layer.infer(x);
+        let (l2, _) = mse_loss(&y2, target);
+        perturb(layer, eps);
+        (l1 - l2) / (2.0 * eps)
+    }
+
+    #[test]
+    fn gradient_check_identity_and_relu_and_tanh() {
+        for act in [Activation::Identity, Activation::Relu, Activation::Tanh] {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut layer = Dense::new(4, 3, act, &mut rng);
+            let x = Matrix::xavier(5, 4, &mut rng);
+            let target = Matrix::xavier(5, 3, &mut rng);
+            let y = layer.forward(&x);
+            let (_, d_out) = mse_loss(&y, &target);
+            layer.backward(&d_out);
+            // Snapshot analytic grads.
+            let analytic: Vec<Vec<f64>> = {
+                let pg = layer.params_and_grads();
+                pg.iter().map(|(_, g)| g.to_vec()).collect()
+            };
+            for (p, grads) in analytic.iter().enumerate() {
+                for (i, &g) in grads.iter().enumerate().step_by(3) {
+                    let n = numeric_grad(&mut layer, &x, &target, p, i, 1e-6);
+                    assert!(
+                        (g - n).abs() < 1e-6 + 1e-4 * n.abs(),
+                        "{act:?} param {p} idx {i}: analytic {g} vs numeric {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_checks() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let target = Matrix::xavier(2, 2, &mut rng);
+        let y = layer.forward(&x);
+        let (_, d_out) = mse_loss(&y, &target);
+        let dx = layer.backward(&d_out);
+        let eps = 1e-6;
+        for i in 0..x.data().len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let (l1, _) = mse_loss(&layer.infer(&xp), &target);
+            xp.data_mut()[i] -= 2.0 * eps;
+            let (l2, _) = mse_loss(&layer.infer(&xp), &target);
+            let n = (l1 - l2) / (2.0 * eps);
+            let a = dx.data()[i];
+            assert!((a - n).abs() < 1e-6 + 1e-4 * n.abs(), "idx {i}: {a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut layer = Dense::new(1, 1, Activation::Relu, &mut rng);
+        // Force a negative pre-activation.
+        layer.w.set(0, 0, -5.0);
+        let y = layer.forward(&Matrix::row_vector(&[1.0]));
+        assert_eq!(y.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut layer = Dense::new(4, 4, Activation::Tanh, &mut rng);
+        let x = Matrix::xavier(3, 4, &mut rng);
+        assert_eq!(layer.forward(&x), layer.infer(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut layer = Dense::new(2, 2, Activation::Identity, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+}

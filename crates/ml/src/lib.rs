@@ -1,0 +1,32 @@
+//! A minimal neural-network library for the Pictor intelligent client.
+//!
+//! The paper trains a MobileNets CNN for object recognition and an LSTM for
+//! input generation with TensorFlow (§3.1). This crate provides the
+//! from-scratch equivalents used by `pictor-client`:
+//!
+//! * [`Matrix`] — a dense row-major `f64` matrix with the linear algebra the
+//!   layers need.
+//! * [`Dense`] — fully-connected layer with backprop.
+//! * [`Conv2d`] / [`MaxPool2`] — convolution and pooling over small images.
+//! * [`Lstm`] — a single-layer LSTM with backpropagation through time.
+//! * [`softmax_cross_entropy`] — classification loss with fused gradient.
+//! * [`Adam`] — the optimizer.
+//!
+//! All layers are gradient-checked against finite differences in their unit
+//! tests. Networks here are intentionally small — the fidelity argument for
+//! the substitution (and the FLOP-cost model that recovers paper-scale
+//! inference latency) lives in `pictor-client` and `DESIGN.md`.
+
+pub mod conv;
+pub mod dense;
+pub mod loss;
+pub mod lstm;
+pub mod optim;
+pub mod tensor;
+
+pub use conv::{Conv2d, MaxPool2, Tensor4};
+pub use dense::Dense;
+pub use loss::{mse_loss, softmax_cross_entropy, softmax_probs};
+pub use lstm::Lstm;
+pub use optim::Adam;
+pub use tensor::Matrix;

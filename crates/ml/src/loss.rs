@@ -1,0 +1,165 @@
+//! Losses: softmax cross-entropy (classification) and MSE (regression).
+
+use crate::tensor::Matrix;
+
+/// Row-wise softmax probabilities.
+///
+/// ```
+/// use pictor_ml::{softmax_probs, Matrix};
+/// let p = softmax_probs(&Matrix::row_vector(&[0.0, 0.0]));
+/// assert!((p.get(0, 0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax_probs(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..logits.rows() {
+        let row_max = logits
+            .row(r)
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut denom = 0.0;
+        for c in 0..logits.cols() {
+            let e = (logits.get(r, c) - row_max).exp();
+            out.set(r, c, e);
+            denom += e;
+        }
+        for c in 0..logits.cols() {
+            out.set(r, c, out.get(r, c) / denom);
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy over the batch with one-hot `targets` given as
+/// class indices. Returns `(loss, d_logits)` with the fused
+/// `softmax - onehot` gradient (already divided by the batch size).
+///
+/// # Panics
+///
+/// Panics if a target class is out of range or batch sizes differ.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch");
+    let probs = softmax_probs(logits);
+    let batch = logits.rows() as f64;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target class {t} out of range");
+        loss -= probs.get(r, t).max(1e-300).ln();
+        grad.set(r, t, grad.get(r, t) - 1.0);
+    }
+    (loss / batch, grad.scale(1.0 / batch))
+}
+
+/// Mean squared error over all elements. Returns `(loss, d_pred)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "shape mismatch"
+    );
+    let n = (pred.rows() * pred.cols()) as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for r in 0..pred.rows() {
+        for c in 0..pred.cols() {
+            let d = pred.get(r, c) - target.get(r, c);
+            loss += d * d;
+            grad.set(r, c, 2.0 * d / n);
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = softmax_probs(&logits);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Monotone in logits.
+        assert!(p.get(0, 2) > p.get(0, 1) && p.get(0, 1) > p.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax_probs(&Matrix::row_vector(&[1.0, 2.0]));
+        let b = softmax_probs(&Matrix::row_vector(&[1001.0, 1002.0]));
+        assert!((a.get(0, 0) - b.get(0, 0)).abs() < 1e-12);
+        // Huge logits do not overflow.
+        let c = softmax_probs(&Matrix::row_vector(&[1e6, 0.0]));
+        assert!((c.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Matrix::row_vector(&[100.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Matrix::row_vector(&[0.0, 0.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[2.0, 0.1, -0.4]]);
+        let targets = [2usize, 0usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-6;
+        for i in 0..logits.data().len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (l1, _) = softmax_cross_entropy(&lp, &targets);
+            lp.data_mut()[i] -= 2.0 * eps;
+            let (l2, _) = softmax_cross_entropy(&lp, &targets);
+            let n = (l1 - l2) / (2.0 * eps);
+            assert!((grad.data()[i] - n).abs() < 1e-8, "idx {i}");
+        }
+    }
+
+    #[test]
+    fn mse_of_equal_matrices_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let (loss, grad) = mse_loss(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, -1.0]]);
+        let (_, grad) = mse_loss(&pred, &target);
+        let eps = 1e-6;
+        for i in 0..pred.data().len() {
+            let mut pp = pred.clone();
+            pp.data_mut()[i] += eps;
+            let (l1, _) = mse_loss(&pp, &target);
+            pp.data_mut()[i] -= 2.0 * eps;
+            let (l2, _) = mse_loss(&pp, &target);
+            let n = (l1 - l2) / (2.0 * eps);
+            assert!((grad.data()[i] - n).abs() < 1e-8, "idx {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_class_panics() {
+        let _ = softmax_cross_entropy(&Matrix::row_vector(&[0.0, 0.0]), &[5]);
+    }
+}

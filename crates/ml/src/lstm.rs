@@ -1,0 +1,422 @@
+//! A single-layer LSTM with backpropagation through time.
+//!
+//! The intelligent client's input generator is an LSTM (the paper uses
+//! Hochreiter–Schmidhuber LSTM via TensorFlow, §3.1). Gate layout in the
+//! fused weight matrices is `[i | f | g | o]` (input, forget, candidate,
+//! output).
+
+use rand::rngs::SmallRng;
+
+use crate::tensor::Matrix;
+
+fn sigmoid(v: f64) -> f64 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Recurrent state carried between steps during streaming inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state `[batch, hidden]`.
+    pub h: Matrix,
+    /// Cell state `[batch, hidden]`.
+    pub c: Matrix,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    c: Matrix,
+}
+
+/// A single-layer LSTM.
+///
+/// ```
+/// use pictor_ml::{Lstm, Matrix};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut lstm = Lstm::new(3, 4, &mut rng);
+/// let seq = vec![Matrix::zeros(2, 3), Matrix::zeros(2, 3)];
+/// let h = lstm.forward(&seq);
+/// assert_eq!((h.rows(), h.cols()), (2, 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden_dim: usize,
+    wx: Matrix, // [input, 4*hidden]
+    wh: Matrix, // [hidden, 4*hidden]
+    b: Matrix,  // [1, 4*hidden]
+    caches: Vec<StepCache>,
+    dwx: Matrix,
+    dwh: Matrix,
+    db: Matrix,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights and forget-gate bias
+    /// of 1 (standard trick for gradient flow).
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut SmallRng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden_dim);
+        for j in hidden_dim..2 * hidden_dim {
+            b.set(0, j, 1.0);
+        }
+        Lstm {
+            input_dim,
+            hidden_dim,
+            wx: Matrix::xavier(input_dim, 4 * hidden_dim, rng),
+            wh: Matrix::xavier(hidden_dim, 4 * hidden_dim, rng),
+            b,
+            caches: Vec::new(),
+            dwx: Matrix::zeros(input_dim, 4 * hidden_dim),
+            dwh: Matrix::zeros(hidden_dim, 4 * hidden_dim),
+            db: Matrix::zeros(1, 4 * hidden_dim),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// A fresh zero state for a batch.
+    pub fn zero_state(&self, batch: usize) -> LstmState {
+        LstmState {
+            h: Matrix::zeros(batch, self.hidden_dim),
+            c: Matrix::zeros(batch, self.hidden_dim),
+        }
+    }
+
+    /// Multiply-accumulate count for one step at batch 1 (FLOP-cost model).
+    pub fn macs_per_step(&self) -> u64 {
+        ((self.input_dim + self.hidden_dim) * 4 * self.hidden_dim) as u64
+    }
+
+    fn gates(&self, x: &Matrix, h_prev: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+        let z = x
+            .matmul(&self.wx)
+            .add(&h_prev.matmul(&self.wh))
+            .add_row_broadcast(&self.b);
+        let hd = self.hidden_dim;
+        let batch = x.rows();
+        let mut i = Matrix::zeros(batch, hd);
+        let mut f = Matrix::zeros(batch, hd);
+        let mut g = Matrix::zeros(batch, hd);
+        let mut o = Matrix::zeros(batch, hd);
+        for r in 0..batch {
+            for j in 0..hd {
+                i.set(r, j, sigmoid(z.get(r, j)));
+                f.set(r, j, sigmoid(z.get(r, hd + j)));
+                g.set(r, j, z.get(r, 2 * hd + j).tanh());
+                o.set(r, j, sigmoid(z.get(r, 3 * hd + j)));
+            }
+        }
+        (i, f, g, o)
+    }
+
+    /// One streaming step: updates `state` in place and returns the new
+    /// hidden output.
+    pub fn step(&self, state: &mut LstmState, x: &Matrix) -> Matrix {
+        let (i, f, g, o) = self.gates(x, &state.h);
+        let c = f.hadamard(&state.c).add(&i.hadamard(&g));
+        let h = o.hadamard(&c.map(f64::tanh));
+        state.c = c;
+        state.h = h.clone();
+        h
+    }
+
+    /// Forward pass over a sequence (`xs[t]: [batch, input]`), caching every
+    /// step for BPTT. Returns the final hidden state `[batch, hidden]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence.
+    pub fn forward(&mut self, xs: &[Matrix]) -> Matrix {
+        assert!(!xs.is_empty(), "empty sequence");
+        let batch = xs[0].rows();
+        self.caches.clear();
+        let mut state = self.zero_state(batch);
+        for x in xs {
+            let h_prev = state.h.clone();
+            let c_prev = state.c.clone();
+            let (i, f, g, o) = self.gates(x, &h_prev);
+            let c = f.hadamard(&c_prev).add(&i.hadamard(&g));
+            let h = o.hadamard(&c.map(f64::tanh));
+            self.caches.push(StepCache {
+                x: x.clone(),
+                h_prev,
+                c_prev,
+                i,
+                f,
+                g,
+                o,
+                c: c.clone(),
+            });
+            state.c = c;
+            state.h = h;
+        }
+        state.h
+    }
+
+    /// Inference-only forward pass returning the final hidden state.
+    pub fn infer(&self, xs: &[Matrix]) -> Matrix {
+        assert!(!xs.is_empty(), "empty sequence");
+        let mut state = self.zero_state(xs[0].rows());
+        let mut h = state.h.clone();
+        for x in xs {
+            h = self.step(&mut state, x);
+        }
+        h
+    }
+
+    /// BPTT from a gradient on the final hidden state. Accumulates weight
+    /// gradients and returns per-step input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Lstm::forward`].
+    pub fn backward(&mut self, d_h_last: &Matrix) -> Vec<Matrix> {
+        assert!(!self.caches.is_empty(), "backward before forward");
+        let hd = self.hidden_dim;
+        let batch = d_h_last.rows();
+        self.dwx = Matrix::zeros(self.input_dim, 4 * hd);
+        self.dwh = Matrix::zeros(hd, 4 * hd);
+        self.db = Matrix::zeros(1, 4 * hd);
+        let mut d_h = d_h_last.clone();
+        let mut d_c = Matrix::zeros(batch, hd);
+        let mut dxs = vec![Matrix::zeros(batch, self.input_dim); self.caches.len()];
+        for t in (0..self.caches.len()).rev() {
+            let cache = &self.caches[t];
+            let tanh_c = cache.c.map(f64::tanh);
+            // dL/do and the carry into dL/dc.
+            let d_o = d_h.hadamard(&tanh_c);
+            let one_minus_tc2 = tanh_c.map(|v| 1.0 - v * v);
+            d_c = d_c.add(&d_h.hadamard(&cache.o).hadamard(&one_minus_tc2));
+            let d_i = d_c.hadamard(&cache.g);
+            let d_f = d_c.hadamard(&cache.c_prev);
+            let d_g = d_c.hadamard(&cache.i);
+            // Pre-activation gradients (σ' = σ(1-σ), tanh' = 1-tanh²).
+            let dz_i = {
+                let mut m = Matrix::zeros(batch, hd);
+                for r in 0..batch {
+                    for j in 0..hd {
+                        let iv = cache.i.get(r, j);
+                        m.set(r, j, d_i.get(r, j) * iv * (1.0 - iv));
+                    }
+                }
+                m
+            };
+            let dz_f = {
+                let mut m = Matrix::zeros(batch, hd);
+                for r in 0..batch {
+                    for j in 0..hd {
+                        let fv = cache.f.get(r, j);
+                        m.set(r, j, d_f.get(r, j) * fv * (1.0 - fv));
+                    }
+                }
+                m
+            };
+            let dz_g = {
+                let mut m = Matrix::zeros(batch, hd);
+                for r in 0..batch {
+                    for j in 0..hd {
+                        let gv = cache.g.get(r, j);
+                        m.set(r, j, d_g.get(r, j) * (1.0 - gv * gv));
+                    }
+                }
+                m
+            };
+            let dz_o = {
+                let mut m = Matrix::zeros(batch, hd);
+                for r in 0..batch {
+                    for j in 0..hd {
+                        let ov = cache.o.get(r, j);
+                        m.set(r, j, d_o.get(r, j) * ov * (1.0 - ov));
+                    }
+                }
+                m
+            };
+            // Fused dz: [batch, 4H].
+            let mut dz = Matrix::zeros(batch, 4 * hd);
+            for r in 0..batch {
+                for j in 0..hd {
+                    dz.set(r, j, dz_i.get(r, j));
+                    dz.set(r, hd + j, dz_f.get(r, j));
+                    dz.set(r, 2 * hd + j, dz_g.get(r, j));
+                    dz.set(r, 3 * hd + j, dz_o.get(r, j));
+                }
+            }
+            self.dwx = self.dwx.add(&cache.x.transpose().matmul(&dz));
+            self.dwh = self.dwh.add(&cache.h_prev.transpose().matmul(&dz));
+            self.db = self.db.add(&dz.sum_rows());
+            dxs[t] = dz.matmul(&self.wx.transpose());
+            d_h = dz.matmul(&self.wh.transpose());
+            d_c = d_c.hadamard(&cache.f);
+        }
+        dxs
+    }
+
+    /// Parameter/gradient pairs for the optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        vec![
+            (self.wx.data_mut(), self.dwx.data()),
+            (self.wh.data_mut(), self.dwh.data()),
+            (self.b.data_mut(), self.db.data()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+    use rand::SeedableRng;
+
+    fn make_seq(rng: &mut SmallRng, t: usize, batch: usize, dim: usize) -> Vec<Matrix> {
+        (0..t).map(|_| Matrix::xavier(batch, dim, rng)).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        let xs = make_seq(&mut rng, 4, 2, 3);
+        let h = lstm.forward(&xs);
+        assert_eq!((h.rows(), h.cols()), (2, 5));
+        assert_eq!(lstm.infer(&xs), h);
+    }
+
+    #[test]
+    fn step_matches_forward() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let xs = make_seq(&mut rng, 5, 1, 3);
+        let h_forward = lstm.forward(&xs);
+        let mut state = lstm.zero_state(1);
+        let mut h_step = Matrix::zeros(1, 4);
+        for x in &xs {
+            h_step = lstm.step(&mut state, x);
+        }
+        for i in 0..4 {
+            assert!((h_forward.get(0, i) - h_step.get(0, i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs = make_seq(&mut rng, 3, 2, 2);
+        let target = Matrix::xavier(2, 3, &mut rng);
+        let h = lstm.forward(&xs);
+        let (_, d_h) = mse_loss(&h, &target);
+        lstm.backward(&d_h);
+        let analytic: Vec<Vec<f64>> = lstm
+            .params_and_grads()
+            .iter()
+            .map(|(_, g)| g.to_vec())
+            .collect();
+        let eps = 1e-6;
+        for p in 0..3 {
+            let len = analytic[p].len();
+            for i in (0..len).step_by(4) {
+                {
+                    let mut pg = lstm.params_and_grads();
+                    pg[p].0[i] += eps;
+                }
+                let (l1, _) = mse_loss(&lstm.infer(&xs), &target);
+                {
+                    let mut pg = lstm.params_and_grads();
+                    pg[p].0[i] -= 2.0 * eps;
+                }
+                let (l2, _) = mse_loss(&lstm.infer(&xs), &target);
+                {
+                    let mut pg = lstm.params_and_grads();
+                    pg[p].0[i] += eps;
+                }
+                let num = (l1 - l2) / (2.0 * eps);
+                let ana = analytic[p][i];
+                assert!(
+                    (ana - num).abs() < 1e-7 + 1e-4 * num.abs(),
+                    "param {p} idx {i}: analytic {ana} vs numeric {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs = make_seq(&mut rng, 3, 1, 2);
+        let target = Matrix::xavier(1, 3, &mut rng);
+        let h = lstm.forward(&xs);
+        let (_, d_h) = mse_loss(&h, &target);
+        let dxs = lstm.backward(&d_h);
+        let eps = 1e-6;
+        for t in 0..xs.len() {
+            for i in 0..xs[t].data().len() {
+                let mut xs_p = xs.clone();
+                xs_p[t].data_mut()[i] += eps;
+                let (l1, _) = mse_loss(&lstm.infer(&xs_p), &target);
+                xs_p[t].data_mut()[i] -= 2.0 * eps;
+                let (l2, _) = mse_loss(&lstm.infer(&xs_p), &target);
+                let num = (l1 - l2) / (2.0 * eps);
+                let ana = dxs[t].data()[i];
+                assert!(
+                    (ana - num).abs() < 1e-7 + 1e-4 * num.abs(),
+                    "t={t} i={i}: {ana} vs {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn can_learn_to_remember_first_input() {
+        // Task: output the first element of the sequence (long-range memory).
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut lstm = Lstm::new(1, 8, &mut rng);
+        let mut head = crate::dense::Dense::new(8, 1, crate::dense::Activation::Identity, &mut rng);
+        let mut adam = crate::optim::Adam::new(0.01);
+        let mut last_loss = f64::INFINITY;
+        for epoch in 0..300 {
+            use rand::Rng;
+            let first: f64 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let mut xs = vec![Matrix::row_vector(&[first])];
+            for _ in 0..4 {
+                xs.push(Matrix::row_vector(&[rng.gen_range(-0.2..0.2)]));
+            }
+            let h = lstm.forward(&xs);
+            let y = head.forward(&h);
+            let target = Matrix::row_vector(&[first]);
+            let (loss, d_y) = mse_loss(&y, &target);
+            let d_h = head.backward(&d_y);
+            lstm.backward(&d_h);
+            let mut params = lstm.params_and_grads();
+            params.extend(head.params_and_grads());
+            adam.step_slices(&mut params);
+            if epoch >= 290 {
+                last_loss = loss;
+            }
+        }
+        assert!(last_loss < 0.1, "final loss {last_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(1, 1, &mut rng);
+        let _ = lstm.forward(&[]);
+    }
+}

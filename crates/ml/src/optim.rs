@@ -1,0 +1,174 @@
+//! Optimizers.
+
+/// Adam (Kingma & Ba) with per-slot first/second moment state.
+///
+/// The optimizer is keyed by the order in which parameter slices are
+/// presented; callers must present the same layout every step.
+///
+/// ```
+/// use pictor_ml::Adam;
+/// let mut adam = Adam::new(0.1);
+/// let mut w = vec![1.0_f64];
+/// for _ in 0..200 {
+///     let grad = vec![2.0 * w[0]]; // d/dw of w², minimized at 0
+///     adam.step(&mut [(&mut w, &grad)]);
+/// }
+/// assert!(w[0].abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with learning rate `lr` and standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "bad learning rate: {lr}");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current step count.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update. Each element of `params` pairs a mutable
+    /// parameter slice with its gradient slice of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gradient length differs from its parameter length or the
+    /// slot layout changes between steps.
+    pub fn step(&mut self, params: &mut [(&mut Vec<f64>, &[f64])]) {
+        self.t += 1;
+        if self.m.is_empty() {
+            for (p, _) in params.iter() {
+                self.m.push(vec![0.0; p.len()]);
+                self.v.push(vec![0.0; p.len()]);
+            }
+        }
+        assert_eq!(self.m.len(), params.len(), "slot layout changed");
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (slot, (p, g)) in params.iter_mut().enumerate() {
+            assert_eq!(p.len(), g.len(), "grad length mismatch in slot {slot}");
+            assert_eq!(p.len(), self.m[slot].len(), "slot {slot} size changed");
+            for i in 0..p.len() {
+                let m = &mut self.m[slot][i];
+                let v = &mut self.v[slot][i];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g[i];
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Convenience wrapper when parameters come as `&mut [f64]` slices
+    /// (layer internals) rather than owned vectors.
+    pub fn step_slices(&mut self, params: &mut [(&mut [f64], &[f64])]) {
+        self.t += 1;
+        if self.m.is_empty() {
+            for (p, _) in params.iter() {
+                self.m.push(vec![0.0; p.len()]);
+                self.v.push(vec![0.0; p.len()]);
+            }
+        }
+        assert_eq!(self.m.len(), params.len(), "slot layout changed");
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (slot, (p, g)) in params.iter_mut().enumerate() {
+            assert_eq!(p.len(), g.len(), "grad length mismatch in slot {slot}");
+            for i in 0..p.len() {
+                let m = &mut self.m[slot][i];
+                let v = &mut self.v[slot][i];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g[i];
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut adam = Adam::new(0.05);
+        let mut w = vec![3.0, -4.0];
+        for _ in 0..500 {
+            let g: Vec<f64> = w.iter().map(|x| 2.0 * x).collect();
+            adam.step(&mut [(&mut w, &g)]);
+        }
+        assert!(w.iter().all(|x| x.abs() < 0.05), "w={w:?}");
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn handles_multiple_slots() {
+        let mut adam = Adam::new(0.05);
+        let mut a = vec![2.0];
+        let mut b = vec![-2.0, 1.0];
+        for _ in 0..400 {
+            let ga = vec![2.0 * a[0]];
+            let gb: Vec<f64> = b.iter().map(|x| 2.0 * x).collect();
+            adam.step(&mut [(&mut a, &ga), (&mut b, &gb)]);
+        }
+        assert!(a[0].abs() < 0.05 && b.iter().all(|x| x.abs() < 0.05));
+    }
+
+    #[test]
+    fn step_slices_matches_step() {
+        let mut adam1 = Adam::new(0.01);
+        let mut adam2 = Adam::new(0.01);
+        let mut w1 = vec![1.0, 2.0];
+        let mut w2 = vec![1.0, 2.0];
+        for _ in 0..50 {
+            let g1: Vec<f64> = w1.iter().map(|x: &f64| x.cos()).collect();
+            let g2: Vec<f64> = w2.iter().map(|x: &f64| x.cos()).collect();
+            adam1.step(&mut [(&mut w1, &g1)]);
+            adam2.step_slices(&mut [(&mut w2[..], &g2)]);
+        }
+        for (a, b) in w1.iter().zip(&w2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grad length mismatch")]
+    fn mismatched_grad_panics() {
+        let mut adam = Adam::new(0.1);
+        let mut w = vec![1.0, 2.0];
+        let g = vec![0.1];
+        adam.step(&mut [(&mut w, &g)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad learning rate")]
+    fn zero_lr_panics() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Machine clocks and PTP-style synchronization.
+//!
+//! Measuring an input's round-trip time requires subtracting a server-side
+//! timestamp from a client-side timestamp, which is only meaningful when the
+//! machines' clocks agree; the paper uses IEEE 1588 (Precision Time Protocol)
+//! for this (§4). We model each machine clock as the true simulation time
+//! plus an offset and a drift, and a two-way PTP exchange that estimates the
+//! offset with a residual error set by link-delay asymmetry.
+
+use pictor_sim::{SimDuration, SimTime};
+
+/// A machine-local clock: true time plus offset and drift.
+///
+/// ```
+/// use pictor_net::MachineClock;
+/// use pictor_sim::{SimDuration, SimTime};
+///
+/// let clock = MachineClock::new(1_500_000, 20.0); // +1.5 ms offset, 20 ppm
+/// let local = clock.read(SimTime::from_secs(1));
+/// assert!(local > SimTime::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineClock {
+    /// Offset from true time at simulation start, in nanoseconds (may be
+    /// negative).
+    offset_ns: i64,
+    /// Frequency error in parts-per-million.
+    drift_ppm: f64,
+    /// Correction applied by synchronization, in nanoseconds.
+    correction_ns: i64,
+}
+
+impl MachineClock {
+    /// Creates a clock with initial `offset_ns` and `drift_ppm`.
+    pub fn new(offset_ns: i64, drift_ppm: f64) -> Self {
+        MachineClock {
+            offset_ns,
+            drift_ppm,
+            correction_ns: 0,
+        }
+    }
+
+    /// A perfect clock (no offset, no drift).
+    pub fn ideal() -> Self {
+        MachineClock::new(0, 0.0)
+    }
+
+    /// Raw uncorrected local error at true time `t`, in nanoseconds.
+    fn raw_error_ns(&self, t: SimTime) -> i64 {
+        self.offset_ns + (t.as_nanos() as f64 * self.drift_ppm / 1e6) as i64
+    }
+
+    /// Local timestamp at true time `t`, including any applied correction.
+    pub fn read(&self, t: SimTime) -> SimTime {
+        let err = self.raw_error_ns(t) - self.correction_ns;
+        let local = t.as_nanos() as i64 + err;
+        SimTime::from_nanos(local.max(0) as u64)
+    }
+
+    /// Signed error of a local reading versus true time, in nanoseconds.
+    pub fn error_ns(&self, t: SimTime) -> i64 {
+        self.read(t).as_nanos() as i64 - t.as_nanos() as i64
+    }
+
+    /// Applies a synchronization correction of `delta_ns` (subtracted from
+    /// future readings).
+    pub fn apply_correction(&mut self, delta_ns: i64) {
+        self.correction_ns += delta_ns;
+    }
+}
+
+/// A two-way PTP-style offset estimation.
+///
+/// The master sends `t1`, the slave receives at `t2`, replies at `t3`, the
+/// master receives at `t4` (all local clocks). The estimated offset is
+/// `((t2 - t1) - (t4 - t3)) / 2`, exact when the two path delays are equal;
+/// asymmetry leaves half the difference as residual error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtpSync {
+    /// Forward (master→slave) one-way delay.
+    pub forward_delay: SimDuration,
+    /// Reverse (slave→master) one-way delay.
+    pub reverse_delay: SimDuration,
+}
+
+impl PtpSync {
+    /// Symmetric sync with equal path delays.
+    pub fn symmetric(delay: SimDuration) -> Self {
+        PtpSync {
+            forward_delay: delay,
+            reverse_delay: delay,
+        }
+    }
+
+    /// Runs one sync round at true time `t`, correcting `slave` towards
+    /// `master`. Returns the offset estimate (ns) applied to the slave.
+    pub fn synchronize(&self, t: SimTime, master: &MachineClock, slave: &mut MachineClock) -> i64 {
+        // Timestamps in each clock's local time.
+        let t1 = master.read(t);
+        let t_arrive = t + self.forward_delay;
+        let t2 = slave.read(t_arrive);
+        // Assume instant turnaround on the slave.
+        let t3 = t2;
+        let t_return = t_arrive + self.reverse_delay;
+        let t4 = master.read(t_return);
+        let forward = t2.as_nanos() as i64 - t1.as_nanos() as i64;
+        let reverse = t4.as_nanos() as i64 - t3.as_nanos() as i64;
+        let offset_estimate = (forward - reverse) / 2;
+        slave.apply_correction(offset_estimate);
+        offset_estimate
+    }
+
+    /// The residual error after a sync round: half the path asymmetry, in
+    /// nanoseconds. A slower forward path makes the slave over-correct,
+    /// leaving a negative error.
+    pub fn residual_error_ns(&self) -> i64 {
+        (self.reverse_delay.as_nanos() as i64 - self.forward_delay.as_nanos() as i64) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_reads_true_time() {
+        let c = MachineClock::ideal();
+        let t = SimTime::from_secs(5);
+        assert_eq!(c.read(t), t);
+        assert_eq!(c.error_ns(t), 0);
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        let c = MachineClock::new(2_000, 0.0);
+        assert_eq!(c.error_ns(SimTime::from_secs(1)), 2_000);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        let c = MachineClock::new(0, 10.0); // 10 ppm
+        // After 1 s, 10 ppm = 10 µs.
+        assert_eq!(c.error_ns(SimTime::from_secs(1)), 10_000);
+        assert_eq!(c.error_ns(SimTime::from_secs(2)), 20_000);
+    }
+
+    #[test]
+    fn symmetric_sync_eliminates_offset() {
+        let master = MachineClock::ideal();
+        let mut slave = MachineClock::new(1_500_000, 0.0);
+        let sync = PtpSync::symmetric(SimDuration::from_micros(200));
+        sync.synchronize(SimTime::from_secs(1), &master, &mut slave);
+        let err = slave.error_ns(SimTime::from_secs(1));
+        assert!(err.abs() <= 1, "post-sync error {err} ns");
+    }
+
+    #[test]
+    fn asymmetric_sync_leaves_residual() {
+        let master = MachineClock::ideal();
+        let mut slave = MachineClock::new(1_000_000, 0.0);
+        let sync = PtpSync {
+            forward_delay: SimDuration::from_micros(300),
+            reverse_delay: SimDuration::from_micros(100),
+        };
+        sync.synchronize(SimTime::from_secs(1), &master, &mut slave);
+        let err = slave.error_ns(SimTime::from_secs(1));
+        assert_eq!(err, sync.residual_error_ns());
+        assert_eq!(err, -100_000); // half of 200 µs asymmetry, over-corrected
+    }
+
+    #[test]
+    fn drifting_clock_needs_periodic_resync() {
+        let master = MachineClock::ideal();
+        let mut slave = MachineClock::new(500_000, 50.0);
+        let sync = PtpSync::symmetric(SimDuration::from_micros(100));
+        sync.synchronize(SimTime::from_secs(1), &master, &mut slave);
+        // Just after sync the error is tiny (bounded by drift over one
+        // exchange, a handful of nanoseconds)…
+        assert!(slave.error_ns(SimTime::from_secs(1)).abs() <= 10);
+        // …but drift reopens it: 50 ppm × 60 s = 3 ms.
+        let later = SimTime::from_secs(61);
+        assert!(slave.error_ns(later).abs() > 2_000_000);
+        sync.synchronize(later, &master, &mut slave);
+        assert!(slave.error_ns(later).abs() <= 10);
+    }
+
+    #[test]
+    fn negative_offset_clock() {
+        let c = MachineClock::new(-3_000, 0.0);
+        assert_eq!(c.error_ns(SimTime::from_secs(1)), -3_000);
+        // Reading can never go below zero.
+        assert_eq!(c.read(SimTime::ZERO), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,17 @@
+//! Network substrate: links and clock synchronization.
+//!
+//! The paper's testbed connects the server and four client machines over
+//! dedicated 1 Gbps links (chosen because they behave like 5G cellular for
+//! frame transmission, §4) and synchronizes clocks with IEEE 1588 PTP so the
+//! client-side RTT measurement is meaningful. This crate models both:
+//!
+//! * [`Link`] — a point-to-point link with propagation latency, jitter and
+//!   bandwidth-shared serialization delay.
+//! * [`clock`] — per-machine clocks with offset/drift, and a PTP-style
+//!   two-way synchronization that leaves a small residual error.
+
+pub mod clock;
+pub mod link;
+
+pub use clock::{MachineClock, PtpSync};
+pub use link::{Link, TransferId};

@@ -1,0 +1,303 @@
+//! Point-to-point network links.
+//!
+//! A message experiences propagation latency (plus sampled jitter) and a
+//! serialization delay; concurrent in-flight messages share the link
+//! bandwidth fairly (processor sharing over bytes), so a large frame slows a
+//! concurrently sent frame but tiny input packets are barely affected.
+
+use rand::rngs::SmallRng;
+
+use pictor_sim::rng::lognormal_mean_cv;
+use pictor_sim::{JobId, PsResource, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Identifier for an in-flight transfer on a link.
+pub type TransferId = JobId;
+
+/// A unidirectional link with latency, jitter and shared bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use pictor_net::Link;
+/// use pictor_sim::{JobId, SeedTree, SimDuration, SimTime};
+///
+/// // 1 Gbps link (0.125 bytes/ns), 0.2 ms propagation delay, no jitter.
+/// let mut link = Link::new(0.125, SimDuration::from_micros(200), 0.0,
+///                          SeedTree::new(1).stream("link"));
+/// let t0 = SimTime::ZERO;
+/// link.send(t0, JobId(1), 125_000); // 125 kB ≈ 1 ms serialization
+/// let (done, id) = link.next_delivery(t0).unwrap();
+/// assert_eq!(id, JobId(1));
+/// assert_eq!(done.as_nanos(), 1_200_000);
+/// ```
+#[derive(Debug)]
+pub struct Link {
+    bytes_per_ns: f64,
+    latency: SimDuration,
+    jitter_cv: f64,
+    pipe: PsResource,
+    /// Per-transfer extra propagation delay sampled at send time.
+    propagation: HashMap<JobId, SimDuration>,
+    /// Transfers whose serialization finished, waiting for propagation.
+    propagating: Vec<(SimTime, JobId)>,
+    delivered_bytes: u64,
+    sizes: HashMap<JobId, u64>,
+    since: SimTime,
+    rng: SmallRng,
+}
+
+impl Link {
+    /// Creates a link with `bytes_per_ns` bandwidth, base propagation
+    /// `latency` and lognormal jitter with coefficient of variation
+    /// `jitter_cv` (0 disables jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive or `jitter_cv` is
+    /// negative.
+    pub fn new(bytes_per_ns: f64, latency: SimDuration, jitter_cv: f64, rng: SmallRng) -> Self {
+        assert!(
+            bytes_per_ns.is_finite() && bytes_per_ns > 0.0,
+            "bandwidth must be positive: {bytes_per_ns}"
+        );
+        assert!(jitter_cv >= 0.0, "negative jitter: {jitter_cv}");
+        Link {
+            bytes_per_ns,
+            latency,
+            jitter_cv,
+            pipe: PsResource::new(1.0),
+            propagation: HashMap::new(),
+            propagating: Vec::new(),
+            delivered_bytes: 0,
+            sizes: HashMap::new(),
+            since: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    /// Link bandwidth in bytes per nanosecond.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_ns
+    }
+
+    /// Base propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Starts sending `bytes` identified by `id`.
+    pub fn send(&mut self, now: SimTime, id: TransferId, bytes: u64) {
+        let work_ns = (bytes.max(1)) as f64 / self.bytes_per_ns;
+        self.pipe
+            .insert(now, id, SimDuration::from_nanos(work_ns.ceil() as u64), 1.0);
+        let prop = if self.jitter_cv == 0.0 {
+            self.latency
+        } else {
+            let base = self.latency.as_nanos() as f64;
+            SimDuration::from_nanos(
+                lognormal_mean_cv(&mut self.rng, base.max(1.0), self.jitter_cv).round() as u64,
+            )
+        };
+        self.propagation.insert(id, prop);
+        self.sizes.insert(id, bytes);
+    }
+
+    /// The earliest delivery (serialization completion + propagation) across
+    /// all in-flight transfers.
+    ///
+    /// The caller must invoke [`Link::deliver`] with the returned id at that
+    /// time to finalize accounting.
+    pub fn next_delivery(&mut self, now: SimTime) -> Option<(SimTime, TransferId)> {
+        // A transfer still serializing completes at pipe completion +
+        // its propagation delay; transfers already propagating complete at
+        // their recorded arrival time.
+        let mut best: Option<(SimTime, TransferId)> = None;
+        if let Some((t, id)) = self.pipe.next_completion(now) {
+            let arrival = t + self.propagation[&id];
+            best = Some((arrival, id));
+        }
+        for &(arrival, id) in &self.propagating {
+            match best {
+                Some((t, _)) if t <= arrival => {}
+                _ => best = Some((arrival, id)),
+            }
+        }
+        best
+    }
+
+    /// Moves a transfer whose serialization finished into the propagation
+    /// phase. The render loop calls this when the pipe's next completion
+    /// fires before the message has arrived; it frees pipe bandwidth for
+    /// later messages while the bits are in flight.
+    pub fn finish_serialization(&mut self, now: SimTime, id: TransferId) {
+        if self.pipe.remove(now, id).is_some() {
+            let arrival = now + self.propagation[&id];
+            self.propagating.push((arrival, id));
+        }
+    }
+
+    /// Serialization completion time of the transfer closest to finishing on
+    /// the shared pipe, if any is still serializing.
+    pub fn next_serialization(&mut self, now: SimTime) -> Option<(SimTime, TransferId)> {
+        self.pipe.next_completion(now)
+    }
+
+    /// Finalizes a delivered transfer, crediting its bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer is unknown or still serializing.
+    pub fn deliver(&mut self, now: SimTime, id: TransferId) {
+        let pos = self
+            .propagating
+            .iter()
+            .position(|&(_, p)| p == id)
+            .or_else(|| {
+                // Serialization may complete exactly at delivery time when
+                // no other transfer shares the pipe.
+                self.finish_serialization(now, id);
+                self.propagating.iter().position(|&(_, p)| p == id)
+            })
+            .expect("unknown transfer");
+        self.propagating.swap_remove(pos);
+        self.propagation.remove(&id);
+        let bytes = self.sizes.remove(&id).expect("unknown transfer size");
+        self.delivered_bytes += bytes;
+    }
+
+    /// Average delivered bandwidth in bytes/ns over the accounting window.
+    pub fn average_bandwidth(&self, now: SimTime) -> f64 {
+        let span = now.saturating_since(self.since).as_nanos() as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            self.delivered_bytes as f64 / span
+        }
+    }
+
+    /// Total bytes delivered since accounting started.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Restarts bandwidth accounting.
+    pub fn reset_accounting(&mut self, now: SimTime) {
+        self.delivered_bytes = 0;
+        self.since = now;
+    }
+
+    /// Number of transfers serializing or propagating.
+    pub fn in_flight(&self) -> usize {
+        self.pipe.active_jobs() + self.propagating.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_sim::SeedTree;
+
+    fn test_link(mbps: f64, latency_us: u64, jitter: f64) -> Link {
+        Link::new(
+            mbps * 1e6 / 8.0 / 1e9,
+            SimDuration::from_micros(latency_us),
+            jitter,
+            SeedTree::new(9).stream("test-link"),
+        )
+    }
+
+    #[test]
+    fn small_message_dominated_by_latency() {
+        let mut link = test_link(1000.0, 500, 0.0);
+        link.send(SimTime::ZERO, JobId(1), 100); // 0.8 us serialization
+        let (t, _) = link.next_delivery(SimTime::ZERO).unwrap();
+        let total_us = t.as_nanos() as f64 / 1000.0;
+        assert!(total_us > 500.0 && total_us < 502.0, "t={total_us}us");
+    }
+
+    #[test]
+    fn large_frame_dominated_by_serialization() {
+        // 1 Gbps, 1 MB frame => 8 ms serialization + 0.5 ms latency.
+        let mut link = test_link(1000.0, 500, 0.0);
+        link.send(SimTime::ZERO, JobId(1), 1_000_000);
+        let (t, _) = link.next_delivery(SimTime::ZERO).unwrap();
+        assert_eq!(t.as_nanos(), 8_000_000 + 500_000);
+    }
+
+    #[test]
+    fn concurrent_sends_share_bandwidth() {
+        let mut link = test_link(1000.0, 0, 0.0);
+        link.send(SimTime::ZERO, JobId(1), 1_000_000);
+        link.send(SimTime::ZERO, JobId(2), 1_000_000);
+        let (t, _) = link.next_delivery(SimTime::ZERO).unwrap();
+        assert_eq!(t.as_nanos(), 16_000_000, "shared pipe doubles the time");
+    }
+
+    #[test]
+    fn serialization_then_propagation_frees_pipe() {
+        let mut link = test_link(1000.0, 10_000, 0.0); // 10ms latency
+        link.send(SimTime::ZERO, JobId(1), 125_000); // 1ms serialization
+        let (ser_t, id) = link.next_serialization(SimTime::ZERO).unwrap();
+        assert_eq!(ser_t.as_nanos(), 1_000_000);
+        link.finish_serialization(ser_t, id);
+        // Pipe is free for the next message while bits propagate.
+        link.send(ser_t, JobId(2), 125_000);
+        let (ser2, _) = link.next_serialization(ser_t).unwrap();
+        assert_eq!(ser2.as_nanos(), 2_000_000);
+        // First message arrives at 1ms + 10ms.
+        let (arr, first) = link.next_delivery(ser_t).unwrap();
+        assert_eq!((arr.as_nanos(), first), (11_000_000, JobId(1)));
+        link.deliver(arr, first);
+        assert_eq!(link.delivered_bytes(), 125_000);
+    }
+
+    #[test]
+    fn jitter_varies_latency() {
+        let mut link = test_link(1000.0, 1000, 0.5);
+        let mut arrivals = Vec::new();
+        let mut now = SimTime::ZERO;
+        for i in 0..20 {
+            link.send(now, JobId(i), 10);
+            let (t, id) = link.next_delivery(now).unwrap();
+            link.deliver(t, id);
+            arrivals.push(t.saturating_since(now).as_nanos());
+            now = t;
+        }
+        let min = arrivals.iter().min().unwrap();
+        let max = arrivals.iter().max().unwrap();
+        assert!(max > min, "jitter must spread arrival latencies");
+    }
+
+    #[test]
+    fn average_bandwidth_accounting() {
+        let mut link = test_link(1000.0, 0, 0.0);
+        link.send(SimTime::ZERO, JobId(1), 125_000_000); // 1s at 1Gbps
+        let (t, id) = link.next_delivery(SimTime::ZERO).unwrap();
+        link.deliver(t, id);
+        let bw = link.average_bandwidth(t);
+        assert!((bw - 0.125).abs() < 1e-6, "bw={bw}");
+        link.reset_accounting(t);
+        assert_eq!(link.delivered_bytes(), 0);
+    }
+
+    #[test]
+    fn in_flight_counts_both_phases() {
+        let mut link = test_link(1000.0, 1000, 0.0);
+        link.send(SimTime::ZERO, JobId(1), 125_000);
+        assert_eq!(link.in_flight(), 1);
+        let (ser_t, id) = link.next_serialization(SimTime::ZERO).unwrap();
+        link.finish_serialization(ser_t, id);
+        assert_eq!(link.in_flight(), 1);
+        let (t, id) = link.next_delivery(ser_t).unwrap();
+        link.deliver(t, id);
+        assert_eq!(link.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown transfer")]
+    fn delivering_unknown_transfer_panics() {
+        let mut link = test_link(1000.0, 0, 0.0);
+        link.deliver(SimTime::ZERO, JobId(42));
+    }
+}

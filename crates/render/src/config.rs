@@ -1,0 +1,269 @@
+//! System configuration: machine, stage costs, measurement, containers.
+
+use rand::rngs::SmallRng;
+
+use pictor_gfx::{CompressionModel, InterposerConfig};
+use pictor_hw::ServerSpec;
+use pictor_sim::rng::normal_clamped;
+use pictor_sim::SimDuration;
+
+/// How the rendering loop is sequenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// The normal software pipeline of Fig 5 (stages overlap across passes).
+    Pipelined,
+    /// Slow-Motion benchmarking (Nieh et al.): delays are injected so only
+    /// one input/frame is in flight at a time — the whole path runs
+    /// serialized, eliminating pipeline parallelism and most contention.
+    SlowMotion,
+}
+
+/// GPU timer-query buffering (paper §3.2/§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryBuffers {
+    /// One query buffer: reading results stalls the CPU (up to ~10% FPS).
+    Single,
+    /// Two buffers swapped between frames: overhead drops to ~2.7% FPS.
+    Double,
+}
+
+/// Pictor's measurement instrumentation switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementConfig {
+    /// Whether the hooks are attached at all (off = native TurboVNC).
+    pub enabled: bool,
+    /// Timer-query buffering strategy.
+    pub query_buffers: QueryBuffers,
+    /// CPU cost of one hook interception.
+    pub hook_cost: SimDuration,
+}
+
+impl MeasurementConfig {
+    /// Pictor as evaluated: hooks attached, double-buffered queries.
+    pub fn pictor() -> Self {
+        MeasurementConfig {
+            enabled: true,
+            query_buffers: QueryBuffers::Double,
+            hook_cost: SimDuration::from_micros(120),
+        }
+    }
+
+    /// No instrumentation (the overhead-evaluation baseline).
+    pub fn disabled() -> Self {
+        MeasurementConfig {
+            enabled: false,
+            query_buffers: QueryBuffers::Double,
+            hook_cost: SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        Self::pictor()
+    }
+}
+
+/// Stage cost constants (everything not derived from app profiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTuning {
+    /// Server-proxy input processing mean, ms (paper: SP < 1 ms).
+    pub sp_ms: f64,
+    /// SP coefficient of variation.
+    pub sp_cv: f64,
+    /// Proxy→app IPC base mean, ms.
+    pub ps_base_ms: f64,
+    /// PS coefficient of variation.
+    pub ps_cv: f64,
+    /// App→proxy frame handoff base mean, ms.
+    pub as_base_ms: f64,
+    /// AS coefficient of variation.
+    pub as_cv: f64,
+    /// Per-instance-count IPC inflation slope: IPC stages scale by
+    /// `1 + slope × (instances − 1)` (paper: up to +96% at 4 instances).
+    pub ipc_slope: f64,
+    /// Bytes per input message on the wire.
+    pub input_bytes: u64,
+    /// Client-side frame decode latency, ms.
+    pub decode_ms: f64,
+    /// VNC proxy solo L3 miss rate.
+    pub vnc_l3_base: f64,
+    /// VNC proxy L3 contention sensitivity.
+    pub vnc_l3_sensitivity: f64,
+    /// VNC proxy slowdown penalty on extra misses.
+    pub vnc_l3_penalty: f64,
+    /// Cache pressure one VNC proxy exerts.
+    pub vnc_pressure: f64,
+    /// Always-runnable VNC worker threads (encoder pool/polling).
+    pub vnc_background_threads: u32,
+    /// One-way network propagation latency.
+    pub net_latency: SimDuration,
+    /// Network jitter coefficient of variation.
+    pub net_jitter_cv: f64,
+}
+
+impl Default for StageTuning {
+    fn default() -> Self {
+        StageTuning {
+            sp_ms: 0.3,
+            sp_cv: 0.2,
+            ps_base_ms: 1.5,
+            ps_cv: 0.25,
+            as_base_ms: 3.0,
+            as_cv: 0.25,
+            ipc_slope: 0.32,
+            input_bytes: 1500,
+            decode_ms: 1.5,
+            vnc_l3_base: 0.60,
+            vnc_l3_sensitivity: 0.12,
+            vnc_l3_penalty: 1.5,
+            vnc_pressure: 0.5,
+            vnc_background_threads: 1,
+            net_latency: SimDuration::from_micros(400),
+            net_jitter_cv: 0.15,
+        }
+    }
+}
+
+/// Docker-style containerization overhead model (paper §5.4, Fig 20).
+///
+/// Overheads concentrate in the IPC stages and GPU virtualization; cgroup
+/// isolation can also *reduce* cross-instance contention, which is how
+/// negative overheads arise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContainerConfig {
+    /// Mean multiplicative overhead on IPC stages (PS/AS).
+    pub ipc_overhead_mean: f64,
+    /// Std-dev of the per-instance IPC overhead draw.
+    pub ipc_overhead_std: f64,
+    /// Mean multiplicative overhead on GPU rendering (paper: +2.9% mean,
+    /// 8% max).
+    pub gpu_overhead_mean: f64,
+    /// Std-dev of the per-instance GPU overhead draw.
+    pub gpu_overhead_std: f64,
+    /// Mean contention-pressure relief from cgroup isolation (1.0 = none).
+    pub pressure_relief_mean: f64,
+    /// Std-dev of the pressure-relief draw.
+    pub pressure_relief_std: f64,
+}
+
+impl ContainerConfig {
+    /// nvidia-docker as measured in the paper.
+    pub fn nvidia_docker() -> Self {
+        ContainerConfig {
+            ipc_overhead_mean: 1.06,
+            ipc_overhead_std: 0.035,
+            gpu_overhead_mean: 1.029,
+            gpu_overhead_std: 0.018,
+            pressure_relief_mean: 0.97,
+            pressure_relief_std: 0.03,
+        }
+    }
+
+    /// Samples one instance's overhead multipliers:
+    /// `(ipc_mult, gpu_mult, pressure_mult)`.
+    pub fn sample(&self, rng: &mut SmallRng) -> (f64, f64, f64) {
+        let ipc = normal_clamped(rng, self.ipc_overhead_mean, self.ipc_overhead_std, 0.99, 1.15);
+        let gpu = normal_clamped(rng, self.gpu_overhead_mean, self.gpu_overhead_std, 1.0, 1.08);
+        let relief = normal_clamped(
+            rng,
+            self.pressure_relief_mean,
+            self.pressure_relief_std,
+            0.8,
+            1.0,
+        );
+        (ipc, gpu, relief)
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Server machine.
+    pub server: ServerSpec,
+    /// Graphics interposer behavior (stock vs §6 optimizations).
+    pub interposer: InterposerConfig,
+    /// Frame compression model.
+    pub compression: CompressionModel,
+    /// Stage cost constants.
+    pub tuning: StageTuning,
+    /// Pictor instrumentation.
+    pub measurement: MeasurementConfig,
+    /// Pipeline sequencing.
+    pub mode: PipelineMode,
+    /// Containerization, if instances run in containers.
+    pub container: Option<ContainerConfig>,
+}
+
+impl SystemConfig {
+    /// The system as characterized in §5: stock TurboVNC on bare metal with
+    /// Pictor attached.
+    pub fn turbovnc_stock() -> Self {
+        SystemConfig {
+            server: ServerSpec::paper_server(),
+            interposer: InterposerConfig::turbovnc_stock(),
+            compression: CompressionModel::tight_encoding(),
+            tuning: StageTuning::default(),
+            measurement: MeasurementConfig::pictor(),
+            mode: PipelineMode::Pipelined,
+            container: None,
+        }
+    }
+
+    /// Stock system with both §6 optimizations enabled.
+    pub fn optimized() -> Self {
+        SystemConfig {
+            interposer: InterposerConfig::optimized(),
+            ..Self::turbovnc_stock()
+        }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::turbovnc_stock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_sim::SeedTree;
+
+    #[test]
+    fn presets() {
+        let stock = SystemConfig::turbovnc_stock();
+        assert!(!stock.interposer.memoize_xgwa);
+        assert_eq!(stock.mode, PipelineMode::Pipelined);
+        let opt = SystemConfig::optimized();
+        assert!(opt.interposer.memoize_xgwa && opt.interposer.async_copy);
+        assert_eq!(SystemConfig::default(), stock);
+    }
+
+    #[test]
+    fn container_samples_in_bounds() {
+        let cfg = ContainerConfig::nvidia_docker();
+        let mut rng = SeedTree::new(1).stream("c");
+        for _ in 0..500 {
+            let (ipc, gpu, relief) = cfg.sample(&mut rng);
+            assert!((0.99..=1.15).contains(&ipc));
+            assert!((1.0..=1.08).contains(&gpu));
+            assert!((0.8..=1.0).contains(&relief));
+        }
+    }
+
+    #[test]
+    fn container_can_produce_relief() {
+        let cfg = ContainerConfig::nvidia_docker();
+        let mut rng = SeedTree::new(2).stream("c");
+        let any_relief = (0..100).any(|_| cfg.sample(&mut rng).2 < 0.95);
+        assert!(any_relief);
+    }
+
+    #[test]
+    fn measurement_presets() {
+        assert!(MeasurementConfig::pictor().enabled);
+        assert!(!MeasurementConfig::disabled().enabled);
+        assert_eq!(MeasurementConfig::disabled().hook_cost, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-instance contention wiring.
+//!
+//! Converts the per-app pressure/sensitivity profile numbers into the
+//! concrete slowdown factors and miss rates the pipeline applies, matching
+//! the paper's observations: L3 and GPU-L2 miss rates climb with co-runner
+//! pressure (Figs 15/16/19), benchmarks contend with their own VNC proxies,
+//! and the texture cache is immune.
+
+use pictor_apps::AppProfile;
+use pictor_hw::CacheModel;
+
+use crate::config::StageTuning;
+
+/// Computed contention state for one instance within a co-location set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionState {
+    /// CPU L3 pressure from everything except this app's own threads.
+    pub cpu_pressure_on_app: f64,
+    /// CPU L3 pressure seen by this instance's VNC proxy.
+    pub cpu_pressure_on_vnc: f64,
+    /// GPU L2 pressure from other instances' rendering.
+    pub gpu_pressure: f64,
+    /// Service-rate factor for the app's CPU stages (≤ 1).
+    pub app_speed: f64,
+    /// Service-rate factor for the VNC proxy's CPU stages (≤ 1).
+    pub vnc_speed: f64,
+    /// Multiplier on GPU render cost (≥ 1).
+    pub rd_cost_mult: f64,
+    /// This app's L3 miss rate under the pressure.
+    pub l3_miss_rate: f64,
+    /// This app's GPU L2 miss rate under the pressure.
+    pub gpu_l2_miss_rate: f64,
+    /// This app's texture-cache miss rate (pressure-independent).
+    pub texture_miss_rate: f64,
+}
+
+/// Computes contention for every instance in a co-location set.
+///
+/// `pressure_mults[i]` scales the pressure instance `i` *exerts* (containers
+/// relieve pressure; 1.0 = bare metal).
+pub fn contention_states(
+    profiles: &[&AppProfile],
+    tuning: &StageTuning,
+    pressure_mults: &[f64],
+) -> Vec<ContentionState> {
+    assert_eq!(profiles.len(), pressure_mults.len(), "length mismatch");
+    let n = profiles.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = profiles[i];
+        // Pressure on the app: other instances' apps + all VNC proxies
+        // (including its own — the paper observes app↔proxy contention).
+        let mut on_app = tuning.vnc_pressure * pressure_mults[i];
+        let mut on_vnc = p.cpu_pressure * pressure_mults[i];
+        let mut gpu = 0.0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let q = profiles[j];
+            let m = pressure_mults[j];
+            on_app += (q.cpu_pressure + tuning.vnc_pressure) * m;
+            on_vnc += (q.cpu_pressure + tuning.vnc_pressure) * m;
+            gpu += q.gpu_pressure * m;
+        }
+        let app_l3 = CacheModel::new(p.l3_base_miss, p.l3_sensitivity);
+        let vnc_l3 = CacheModel::new(tuning.vnc_l3_base, tuning.vnc_l3_sensitivity);
+        let gpu_l2 = CacheModel::new(p.gpu_l2_base_miss, p.gpu_l2_sensitivity);
+        out.push(ContentionState {
+            cpu_pressure_on_app: on_app,
+            cpu_pressure_on_vnc: on_vnc,
+            gpu_pressure: gpu,
+            app_speed: app_l3.slowdown_factor(on_app, p.l3_penalty),
+            vnc_speed: vnc_l3.slowdown_factor(on_vnc, tuning.vnc_l3_penalty),
+            rd_cost_mult: 1.0 / gpu_l2.slowdown_factor(gpu, p.gpu_l2_penalty),
+            l3_miss_rate: app_l3.miss_rate(on_app),
+            gpu_l2_miss_rate: gpu_l2.miss_rate(gpu),
+            texture_miss_rate: p.texture_miss,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+
+    fn states_for(apps: &[AppId]) -> Vec<ContentionState> {
+        let profiles: Vec<AppProfile> = apps.iter().map(|&a| AppProfile::for_app(a)).collect();
+        let refs: Vec<&AppProfile> = profiles.iter().collect();
+        let mults = vec![1.0; apps.len()];
+        contention_states(&refs, &StageTuning::default(), &mults)
+    }
+
+    #[test]
+    fn solo_instance_still_contends_with_its_proxy() {
+        let s = states_for(&[AppId::Dota2]);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].cpu_pressure_on_app > 0.0, "own VNC pressures the app");
+        assert_eq!(s[0].gpu_pressure, 0.0, "no other renderer on the GPU");
+        assert!(s[0].app_speed < 1.0);
+        assert_eq!(s[0].rd_cost_mult, 1.0);
+    }
+
+    #[test]
+    fn more_instances_slow_everyone() {
+        let one = states_for(&[AppId::Dota2]);
+        let four = states_for(&[AppId::Dota2; 4]);
+        assert!(four[0].app_speed < one[0].app_speed);
+        assert!(four[0].vnc_speed < one[0].vnc_speed);
+        assert!(four[0].rd_cost_mult > 1.0);
+        assert!(four[0].l3_miss_rate > one[0].l3_miss_rate);
+        assert!(four[0].gpu_l2_miss_rate > one[0].gpu_l2_miss_rate);
+        // Texture cache is private (Fig 16).
+        assert_eq!(four[0].texture_miss_rate, one[0].texture_miss_rate);
+    }
+
+    #[test]
+    fn stk_is_the_worst_corunner_for_dota2() {
+        // Fig 19: STK causes the most contention on Dota2, 0AD the least.
+        let mut losses = Vec::new();
+        for co in [AppId::SuperTuxKart, AppId::ZeroAd] {
+            let s = states_for(&[AppId::Dota2, co]);
+            losses.push((co, s[0].app_speed));
+        }
+        assert!(
+            losses[0].1 < losses[1].1,
+            "STK must slow D2 more than 0AD: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn container_relief_reduces_pressure() {
+        let profiles = [AppProfile::for_app(AppId::Dota2), AppProfile::for_app(AppId::InMind)];
+        let refs: Vec<&AppProfile> = profiles.iter().collect();
+        let bare = contention_states(&refs, &StageTuning::default(), &[1.0, 1.0]);
+        let contained = contention_states(&refs, &StageTuning::default(), &[0.85, 0.85]);
+        assert!(contained[0].app_speed > bare[0].app_speed);
+        assert!(contained[0].gpu_pressure < bare[0].gpu_pressure);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_mults_panics() {
+        let p = AppProfile::for_app(AppId::Dota2);
+        let _ = contention_states(&[&p], &StageTuning::default(), &[]);
+    }
+}

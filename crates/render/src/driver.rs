@@ -1,0 +1,117 @@
+//! Client-side input generation.
+//!
+//! The cloud system is agnostic to *who* produces inputs: a human at the
+//! client (the paper's reference sessions), Pictor's intelligent client, or
+//! a prior-work replay tool. Each is a [`ClientDriver`]: the client proxy
+//! presents every displayed frame to the driver whenever its decision loop
+//! is idle, and the driver answers with an action plus the think/inference
+//! latency before the input leaves the machine.
+
+use rand::rngs::SmallRng;
+
+use pictor_apps::world::DetectedObject;
+use pictor_apps::{Action, HumanPolicy};
+use pictor_gfx::Frame;
+use pictor_sim::rng::lognormal_mean_cv;
+use pictor_sim::SimDuration;
+
+/// The decision cadence both the human reference and the intelligent client
+/// operate at: the human perception–action cycle is ~75 ms, conveniently
+/// close to the IC's CV+RNN inference time (paper Fig 7: ~74.6 ms). Training
+/// sessions are recorded at this cadence so learned action probabilities
+/// stay calibrated at deployment.
+pub const DECISION_CADENCE_MS: f64 = 75.0;
+
+/// A driver's response to one displayed frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reaction {
+    /// The chosen input (possibly idle).
+    pub action: Action,
+    /// Delay until the input leaves the client (reaction time / inference).
+    pub latency: SimDuration,
+    /// Time until the driver can consider another frame (attention quantum /
+    /// serial inference occupancy).
+    pub busy: SimDuration,
+}
+
+/// A source of client inputs.
+pub trait ClientDriver {
+    /// Driver name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Reacts to a displayed frame. `truth` is the ground-truth object list
+    /// rendered into the frame — human eyes get it for free; ML drivers
+    /// should ignore it and work from pixels.
+    fn on_frame(&mut self, frame: &Frame, truth: &[DetectedObject]) -> Reaction;
+}
+
+/// The human reference driver: reacts to the ground truth with genre-tuned
+/// reaction delays and error (the paper's recorded human users).
+#[derive(Debug)]
+pub struct HumanDriver {
+    policy: HumanPolicy,
+    rng: SmallRng,
+}
+
+impl HumanDriver {
+    /// Wraps a human policy; `rng` drives the attention-quantum jitter.
+    pub fn new(policy: HumanPolicy, rng: SmallRng) -> Self {
+        HumanDriver { policy, rng }
+    }
+
+    /// The underlying policy.
+    pub fn policy(&self) -> &HumanPolicy {
+        &self.policy
+    }
+}
+
+impl ClientDriver for HumanDriver {
+    fn name(&self) -> &'static str {
+        "human"
+    }
+
+    fn on_frame(&mut self, _frame: &Frame, truth: &[DetectedObject]) -> Reaction {
+        let action = self.policy.decide(truth);
+        let latency = self.policy.reaction_delay();
+        let busy = SimDuration::from_millis_f64(lognormal_mean_cv(
+            &mut self.rng,
+            DECISION_CADENCE_MS,
+            0.2,
+        ));
+        Reaction {
+            action,
+            latency,
+            busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+    use pictor_sim::SeedTree;
+
+    #[test]
+    fn human_driver_reacts_with_human_delay() {
+        let seeds = SeedTree::new(1);
+        let mut driver = HumanDriver::new(
+            HumanPolicy::new(AppId::RedEclipse, seeds.stream("h")),
+            seeds.stream("attn"),
+        );
+        assert_eq!(driver.name(), "human");
+        let frame = pictor_gfx::draw_scene(0, &[], 0.0, 0.5);
+        let mut latencies = Vec::new();
+        let mut busies = Vec::new();
+        for _ in 0..100 {
+            let r = driver.on_frame(&frame, &[]);
+            latencies.push(r.latency.as_millis_f64());
+            busies.push(r.busy.as_millis_f64());
+        }
+        let mean_latency = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let mean_busy = busies.iter().sum::<f64>() / busies.len() as f64;
+        assert!((120.0..400.0).contains(&mean_latency), "latency {mean_latency}ms");
+        assert!((50.0..110.0).contains(&mean_busy), "busy {mean_busy}ms");
+        assert_eq!(driver.policy().app(), AppId::RedEclipse);
+    }
+}

@@ -1,0 +1,31 @@
+//! The cloud 3D rendering system (paper §2, Fig 1/5).
+//!
+//! This crate is the TurboVNC + VirtualGL stand-in the paper characterizes:
+//! a server running benchmark applications whose OpenGL rendering is
+//! redirected to the server GPU, frames read back over PCIe, compressed by a
+//! VNC-style proxy and streamed to thin clients, with inputs flowing the
+//! other way. The implementation is a discrete-event simulation over the
+//! `pictor-sim`/`pictor-hw`/`pictor-net` substrates:
+//!
+//! * [`config`] — system, stage-cost, measurement and container knobs.
+//! * [`records`] — the stage/hook event stream consumed by Pictor's
+//!   measurement framework (`pictor-core`).
+//! * [`driver`] — the client-side input generator interface plus the human
+//!   reference driver.
+//! * [`system`] — [`CloudSystem`]: the event loop implementing the Fig 5
+//!   software pipeline (stages CS/SP/PS/AL/RD/FC/AS/CP/SS), including the
+//!   same-thread AL+FC constraint, frame coalescing in the proxy, the §6
+//!   frame-copy optimizations and Slow-Motion serialization.
+//! * [`contention`] — CPU/GPU cache pressure wiring between co-located
+//!   instances.
+
+pub mod config;
+pub mod contention;
+pub mod driver;
+pub mod records;
+pub mod system;
+
+pub use config::{ContainerConfig, MeasurementConfig, PipelineMode, QueryBuffers, StageTuning, SystemConfig};
+pub use driver::{ClientDriver, HumanDriver};
+pub use records::{Record, Stage, StageSpan};
+pub use system::{CloudSystem, InstanceReport};

@@ -1,0 +1,168 @@
+//! The measurement event stream.
+//!
+//! The rendering system emits a [`Record`] at every instrumented point —
+//! the simulation-level equivalent of Pictor's API hooks firing (Fig 4).
+//! `pictor-core` consumes the stream to reconstruct per-input round trips
+//! and per-stage latency distributions.
+
+use pictor_gfx::Tag;
+use pictor_sim::SimTime;
+
+/// A pipeline stage from the paper's Fig 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Client sends the input over the network.
+    Cs,
+    /// Server proxy processes the input.
+    Sp,
+    /// Proxy forwards the input to the application (IPC).
+    Ps,
+    /// Application logic computes the frame.
+    Al,
+    /// GPU renders the frame.
+    Rd,
+    /// Frame copy from GPU to CPU (the §6 bottleneck).
+    Fc,
+    /// Application sends the frame to the proxy (IPC).
+    As,
+    /// Proxy compresses the frame.
+    Cp,
+    /// Server sends the frame to the client.
+    Ss,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 9] = [
+        Stage::Cs,
+        Stage::Sp,
+        Stage::Ps,
+        Stage::Al,
+        Stage::Rd,
+        Stage::Fc,
+        Stage::As,
+        Stage::Cp,
+        Stage::Ss,
+    ];
+
+    /// Short label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Cs => "CS",
+            Stage::Sp => "SP",
+            Stage::Ps => "PS",
+            Stage::Al => "AL",
+            Stage::Rd => "RD",
+            Stage::Fc => "FC",
+            Stage::As => "AS",
+            Stage::Cp => "CP",
+            Stage::Ss => "SS",
+        }
+    }
+}
+
+/// A completed stage with its interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSpan {
+    /// Benchmark instance.
+    pub instance: u32,
+    /// Which stage.
+    pub stage: Stage,
+    /// Frame the stage worked on, when frame-associated.
+    pub frame: Option<u64>,
+    /// Input tag the stage worked on, when input-associated.
+    pub tag: Option<Tag>,
+    /// Stage start.
+    pub start: SimTime,
+    /// Stage end.
+    pub end: SimTime,
+}
+
+impl StageSpan {
+    /// Stage latency.
+    pub fn duration(&self) -> pictor_sim::SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// One measurement event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Hook 1: the client proxy tagged and sent an input.
+    InputSent {
+        /// Benchmark instance.
+        instance: u32,
+        /// The unique tag.
+        tag: Tag,
+        /// Send time (client clock).
+        time: SimTime,
+    },
+    /// Hook 4: the application consumed an input at the start of a pass.
+    InputConsumed {
+        /// Benchmark instance.
+        instance: u32,
+        /// The input's tag.
+        tag: Tag,
+        /// The frame (pass) that consumes it.
+        frame: u64,
+        /// Consumption time.
+        time: SimTime,
+    },
+    /// A stage completed.
+    Span(StageSpan),
+    /// Hook 6: a tag was embedded into a frame's pixels.
+    FrameTagged {
+        /// Benchmark instance.
+        instance: u32,
+        /// Frame id.
+        frame: u64,
+        /// The embedded tag.
+        tag: Tag,
+    },
+    /// Hook 10: the client displayed a frame carrying these tags.
+    FrameDisplayed {
+        /// Benchmark instance.
+        instance: u32,
+        /// Frame id.
+        frame: u64,
+        /// Tags whose inputs this frame responds to.
+        tags: Vec<Tag>,
+        /// Display time (client clock).
+        time: SimTime,
+    },
+    /// The proxy coalesced (dropped) a frame because a newer one arrived
+    /// while the compressor was busy.
+    FrameDropped {
+        /// Benchmark instance.
+        instance: u32,
+        /// The dropped frame id.
+        frame: u64,
+        /// Drop time.
+        time: SimTime,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_sim::SimDuration;
+
+    #[test]
+    fn stage_labels_match_paper() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(Stage::label).collect();
+        assert_eq!(labels, ["CS", "SP", "PS", "AL", "RD", "FC", "AS", "CP", "SS"]);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = StageSpan {
+            instance: 0,
+            stage: Stage::Al,
+            frame: Some(3),
+            tag: None,
+            start: SimTime::from_nanos(1_000),
+            end: SimTime::from_nanos(4_000),
+        };
+        assert_eq!(s.duration(), SimDuration::from_nanos(3_000));
+    }
+}

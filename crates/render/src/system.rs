@@ -1,0 +1,1481 @@
+//! The cloud rendering system event loop.
+//!
+//! [`CloudSystem`] simulates the full Fig 1 architecture for any number of
+//! co-located benchmark instances: per-instance client machines and network
+//! links, one shared server CPU pool, one GPU, one PCIe link, VNC-style
+//! proxies, and the Fig 5 software pipeline with its same-thread AL+FC
+//! constraint. Records stream out for `pictor-core`'s measurement framework.
+//!
+//! Stage mechanics per pass `k` (stock interposer):
+//!
+//! 1. `AL_k` runs on the app's logic thread (consuming queued inputs).
+//! 2. At `AL_k` end the frame is rendered server-side: geometry uploads over
+//!    PCIe, `RD_k` is queued on the GPU, and the logic thread turns to the
+//!    frame copy of the *previous* frame: `XGetWindowAttributes` (a blocking
+//!    X round trip), a blocking `glReadPixels` (waits for `RD_{k-1}`, then
+//!    DMAs the raw frame over PCIe), and a memcpy into the X shared segment.
+//! 3. A sender thread performs `AS_{k-1}` (IPC to the proxy); the proxy
+//!    compresses (`CP`) — coalescing to the newest frame when it falls
+//!    behind — and streams (`SS`) to the client, which decodes, displays,
+//!    and lets its driver react.
+//!
+//! With the §6 optimizations the copy splits into `FCStart_{k-1}` (DMA
+//! issued, not awaited) and `FCEnd_{k-2}` (usually already complete), so the
+//! logic thread's period shrinks to roughly `AL + memcpy`.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rand::rngs::SmallRng;
+
+use pictor_apps::world::DetectedObject;
+use pictor_apps::{Action, AppId, AppProfile, World};
+use pictor_gfx::{embed_tag, extract_tag, restore_pixels, Frame, SavedPixels, Tag};
+use pictor_hw::{Cpu, Direction, Gpu, OwnerId, Pcie};
+use pictor_net::Link;
+use pictor_sim::rng::lognormal_mean_cv;
+use pictor_sim::{EventId, EventQueue, JobId, SeedTree, SimDuration, SimTime};
+
+use crate::config::{PipelineMode, QueryBuffers, SystemConfig};
+use crate::contention::{contention_states, ContentionState};
+use crate::driver::ClientDriver;
+use crate::records::{Record, Stage, StageSpan};
+
+/// Work units assigned to background (always-runnable) threads: effectively
+/// infinite for any experiment length.
+const BACKGROUND_WORK: SimDuration = SimDuration::from_secs(1_000_000);
+/// World step assumed for the very first pass.
+const FIRST_PASS_DT: f64 = 1.0 / 30.0;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    ServerCpu,
+    Gpu,
+    Pcie,
+    LinkUpSer(usize),
+    LinkUpDel(usize),
+    LinkDownSer(usize),
+    LinkDownDel(usize),
+    Timer(usize, Timer),
+}
+
+#[derive(Debug, Clone)]
+enum Timer {
+    Kick,
+    XgwaDone { frame: u64 },
+    QueryStallDone { frame: u64 },
+    Display { frame: u64 },
+    /// The driver can look at the next displayed frame.
+    DeciderReady,
+    /// A decided input's reaction latency elapsed; send it.
+    SendInput { action: Action },
+}
+
+#[derive(Debug, Clone)]
+enum CpuJob {
+    Sp { tag: Tag, action: Action, start: SimTime },
+    Ps { tag: Tag, action: Action, start: SimTime },
+    Al { frame: u64 },
+    Memcpy { frame: u64 },
+    As { frame: u64 },
+    Cp { frame: u64 },
+    Background,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PcieJob {
+    Upload,
+    Dma { frame: u64 },
+}
+
+#[derive(Debug, Clone)]
+enum LinkMsg {
+    Input { tag: Tag, action: Action, sent: SimTime },
+    FramePacket { frame: u64 },
+}
+
+/// The application logic thread's state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Logic {
+    /// Slow-Motion only: parked until the next input arrives.
+    Idle,
+    /// Running application logic for the frame.
+    Al { frame: u64 },
+    /// Measurement artifact: stalled reading a single-buffered GPU query.
+    QueryStall { frame: u64 },
+    /// Blocking X round trip before the copy of `frame`.
+    Xgwa { frame: u64 },
+    /// Waiting for the GPU to finish rendering `frame` (stock glReadPixels,
+    /// or Slow-Motion's serialized wait).
+    WaitRd { frame: u64 },
+    /// Waiting for the PCIe DMA of `frame`.
+    WaitDma { frame: u64 },
+    /// Landing `frame` into the shared segment.
+    Memcpy { frame: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct FrameData {
+    frame: Frame,
+    truth: Vec<DetectedObject>,
+    tags: Vec<Tag>,
+    saved: Option<SavedPixels>,
+    compressed_bytes: u64,
+    rd_done: bool,
+    dma_done: bool,
+    rd_submit: SimTime,
+    fc_start: Option<SimTime>,
+    ss_start: SimTime,
+}
+
+struct Instance {
+    app: AppId,
+    profile: AppProfile,
+    ctn: ContentionState,
+    world: World,
+    driver: Box<dyn ClientDriver>,
+    rng: SmallRng,
+    ipc_mult: f64,
+    /// Container-only IPC tax (1.0 on bare metal): also applied to the
+    /// X round trips and shared-memory copies of the frame path.
+    container_ipc: f64,
+    rd_mult: f64,
+    // logic thread
+    logic: Logic,
+    pass: u64,
+    last_al_start: Option<SimTime>,
+    al_start: SimTime,
+    pending_inputs: Vec<(Tag, Action)>,
+    frames: HashMap<u64, FrameData>,
+    dma_requested: HashSet<u64>,
+    resolution_queried: bool,
+    // app sender thread
+    as_queue: VecDeque<u64>,
+    as_active: Option<u64>,
+    as_start: SimTime,
+    // VNC proxy
+    cp_active: Option<u64>,
+    cp_start: SimTime,
+    vnc_pending: Option<u64>,
+    /// Frame currently serializing onto the client link.
+    ss_active: Option<u64>,
+    /// Compressed frame waiting for the link (newest wins, older coalesced).
+    ss_pending: Option<u64>,
+    last_sent: Option<Frame>,
+    // client
+    decider_busy: bool,
+    // counters
+    frames_produced: u64,
+    frames_displayed: u64,
+    frames_dropped: u64,
+    inputs_sent: u64,
+}
+
+/// Per-instance results of a run window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceReport {
+    /// The benchmark.
+    pub app: AppId,
+    /// Frames fully produced at the server per second.
+    pub server_fps: f64,
+    /// Frames displayed at the client per second.
+    pub client_fps: f64,
+    /// Frames coalesced away by the proxy.
+    pub frames_dropped: u64,
+    /// Inputs sent by the client.
+    pub inputs_sent: u64,
+    /// Average cores held by the application (1.0 = one core).
+    pub app_cpu: f64,
+    /// Average cores held by its VNC proxy.
+    pub vnc_cpu: f64,
+    /// GPU engine busy fraction (device-wide).
+    pub gpu_util: f64,
+    /// Frame stream bandwidth to the client, Mbps.
+    pub net_down_mbps: f64,
+    /// CPU→GPU PCIe bandwidth, GB/s.
+    pub pcie_up_gbps: f64,
+    /// GPU→CPU PCIe bandwidth, GB/s.
+    pub pcie_down_gbps: f64,
+    /// L3 miss rate under the current co-location.
+    pub l3_miss_rate: f64,
+    /// GPU L2 miss rate under the current co-location.
+    pub gpu_l2_miss_rate: f64,
+    /// Texture cache miss rate.
+    pub texture_miss_rate: f64,
+    /// Host memory footprint, MiB.
+    pub memory_mib: u64,
+    /// GPU memory footprint, MiB.
+    pub gpu_memory_mib: u64,
+}
+
+/// The simulated cloud rendering system.
+pub struct CloudSystem {
+    config: SystemConfig,
+    seeds: SeedTree,
+    queue: EventQueue<Ev>,
+    cpu: Cpu,
+    gpu: Gpu,
+    pcie: Pcie,
+    links_up: Vec<Link>,
+    links_down: Vec<Link>,
+    instances: Vec<Instance>,
+    cpu_jobs: HashMap<JobId, (usize, CpuJob)>,
+    gpu_jobs: HashMap<JobId, (usize, u64)>,
+    pcie_jobs: HashMap<JobId, (usize, PcieJob, Direction)>,
+    up_msgs: Vec<HashMap<JobId, LinkMsg>>,
+    down_msgs: Vec<HashMap<JobId, LinkMsg>>,
+    next_job: u64,
+    next_tag: u32,
+    records: Vec<Record>,
+    started: bool,
+    window_start: SimTime,
+    ev_cpu: Option<EventId>,
+    ev_gpu: Option<EventId>,
+    ev_pcie: Option<EventId>,
+    ev_links: Vec<[Option<EventId>; 4]>, // up-ser, up-del, down-ser, down-del
+}
+
+impl CloudSystem {
+    /// Creates a system with no instances yet.
+    pub fn new(config: SystemConfig, seeds: SeedTree) -> Self {
+        let cpu = Cpu::new(f64::from(config.server.cores));
+        let gpu = Gpu::new(config.server.gpu_throughput, config.server.gpu_memory_mib);
+        let pcie = Pcie::new(config.server.pcie_bytes_per_ns());
+        CloudSystem {
+            config,
+            seeds,
+            queue: EventQueue::new(),
+            cpu,
+            gpu,
+            pcie,
+            links_up: Vec::new(),
+            links_down: Vec::new(),
+            instances: Vec::new(),
+            cpu_jobs: HashMap::new(),
+            gpu_jobs: HashMap::new(),
+            pcie_jobs: HashMap::new(),
+            up_msgs: Vec::new(),
+            down_msgs: Vec::new(),
+            next_job: 0,
+            next_tag: 1,
+            records: Vec::new(),
+            started: false,
+            window_start: SimTime::ZERO,
+            ev_cpu: None,
+            ev_gpu: None,
+            ev_pcie: None,
+            ev_links: Vec::new(),
+        }
+    }
+
+    /// Adds a benchmark instance with its client driver. Must be called
+    /// before [`CloudSystem::start`].
+    ///
+    /// # Panics
+    ///
+    /// Panics after `start`, or if the GPU cannot fit the app's memory.
+    pub fn add_instance(&mut self, app: AppId, driver: Box<dyn ClientDriver>) -> usize {
+        assert!(!self.started, "cannot add instances after start");
+        let id = self.instances.len();
+        let inst_seeds = self.seeds.child(&format!("instance-{id}"));
+        let profile = AppProfile::for_app(app);
+        assert!(
+            self.gpu.allocate(id as u64, profile.gpu_memory_mib),
+            "GPU memory exhausted adding {app}"
+        );
+        self.links_up.push(Link::new(
+            self.config.server.nic_bytes_per_ns(),
+            self.config.tuning.net_latency,
+            self.config.tuning.net_jitter_cv,
+            inst_seeds.stream("link-up"),
+        ));
+        self.links_down.push(Link::new(
+            self.config.server.nic_bytes_per_ns(),
+            self.config.tuning.net_latency,
+            self.config.tuning.net_jitter_cv,
+            inst_seeds.stream("link-down"),
+        ));
+        self.up_msgs.push(HashMap::new());
+        self.down_msgs.push(HashMap::new());
+        self.ev_links.push([None, None, None, None]);
+        self.instances.push(Instance {
+            app,
+            profile,
+            ctn: ContentionState {
+                cpu_pressure_on_app: 0.0,
+                cpu_pressure_on_vnc: 0.0,
+                gpu_pressure: 0.0,
+                app_speed: 1.0,
+                vnc_speed: 1.0,
+                rd_cost_mult: 1.0,
+                l3_miss_rate: 0.0,
+                gpu_l2_miss_rate: 0.0,
+                texture_miss_rate: 0.0,
+            },
+            world: World::new(app, inst_seeds.stream("world")),
+            driver,
+            rng: inst_seeds.stream("pipeline"),
+            ipc_mult: 1.0,
+            container_ipc: 1.0,
+            rd_mult: 1.0,
+            logic: Logic::Idle,
+            pass: 0,
+            last_al_start: None,
+            al_start: SimTime::ZERO,
+            pending_inputs: Vec::new(),
+            frames: HashMap::new(),
+            dma_requested: HashSet::new(),
+            resolution_queried: false,
+            as_queue: VecDeque::new(),
+            as_active: None,
+            as_start: SimTime::ZERO,
+            cp_active: None,
+            cp_start: SimTime::ZERO,
+            vnc_pending: None,
+            ss_active: None,
+            ss_pending: None,
+            last_sent: None,
+            decider_busy: false,
+            frames_produced: 0,
+            frames_displayed: 0,
+            frames_dropped: 0,
+            inputs_sent: 0,
+        });
+        id
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Contention state of an instance (valid after [`CloudSystem::start`]).
+    pub fn contention(&self, instance: usize) -> ContentionState {
+        self.instances[instance].ctn
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Computes contention, spawns background threads and kicks every
+    /// instance's render loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice or with no instances.
+    pub fn start(&mut self) {
+        assert!(!self.started, "already started");
+        assert!(!self.instances.is_empty(), "no instances added");
+        self.started = true;
+        let n = self.instances.len();
+        // Container multipliers.
+        let mut pressure_mults = vec![1.0; n];
+        let mut ipc_containers = vec![1.0; n];
+        let mut gpu_containers = vec![1.0; n];
+        if let Some(container) = self.config.container {
+            let mut crng = self.seeds.stream("containers");
+            for i in 0..n {
+                let (ipc, gpu, relief) = container.sample(&mut crng);
+                ipc_containers[i] = ipc;
+                gpu_containers[i] = gpu;
+                pressure_mults[i] = relief;
+            }
+        }
+        let profiles: Vec<&AppProfile> = self.instances.iter().map(|i| &i.profile).collect();
+        let states = contention_states(&profiles, &self.config.tuning, &pressure_mults);
+        let ipc_scale = 1.0 + self.config.tuning.ipc_slope * (n as f64 - 1.0);
+        for (i, state) in states.into_iter().enumerate() {
+            let inst = &mut self.instances[i];
+            inst.ctn = state;
+            inst.ipc_mult = ipc_scale * ipc_containers[i];
+            inst.container_ipc = ipc_containers[i];
+            inst.rd_mult = state.rd_cost_mult * gpu_containers[i];
+        }
+        // Background threads: app workers + VNC pool.
+        for i in 0..n {
+            let app_threads = self.instances[i].profile.background_threads;
+            let app_speed = self.instances[i].ctn.app_speed;
+            let vnc_speed = self.instances[i].ctn.vnc_speed;
+            for _ in 0..app_threads {
+                let job = self.alloc_job();
+                self.cpu
+                    .insert(SimTime::ZERO, job, app_owner(i), BACKGROUND_WORK, app_speed);
+                self.cpu_jobs.insert(job, (i, CpuJob::Background));
+            }
+            for _ in 0..self.config.tuning.vnc_background_threads {
+                let job = self.alloc_job();
+                self.cpu
+                    .insert(SimTime::ZERO, job, vnc_owner(i), BACKGROUND_WORK, vnc_speed);
+                self.cpu_jobs.insert(job, (i, CpuJob::Background));
+            }
+        }
+        // Stagger the render loops so instances do not run in lockstep.
+        for i in 0..n {
+            let at = SimTime::ZERO + SimDuration::from_micros(7_300 * i as u64);
+            self.queue.schedule(at, Ev::Timer(i, Timer::Kick));
+        }
+    }
+
+    /// Runs the simulation until `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`CloudSystem::start`] has not been called.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        assert!(self.started, "start() must be called first");
+        loop {
+            self.refresh(self.queue.now());
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (now, ev) = self.queue.pop().expect("peeked");
+                    self.handle(now, ev);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Runs for `duration` beyond the current time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now() + duration;
+        self.run_until(deadline);
+    }
+
+    /// Resets counters, records and utilization accounting — call after a
+    /// warm-up period so reports cover steady state only.
+    pub fn reset_accounting(&mut self) {
+        let now = self.now();
+        self.window_start = now;
+        self.records.clear();
+        self.cpu.reset_accounting(now);
+        self.gpu.reset_accounting(now);
+        self.pcie.reset_accounting(now);
+        for link in self.links_up.iter_mut().chain(self.links_down.iter_mut()) {
+            link.reset_accounting(now);
+        }
+        for inst in &mut self.instances {
+            inst.frames_produced = 0;
+            inst.frames_displayed = 0;
+            inst.frames_dropped = 0;
+            inst.inputs_sent = 0;
+        }
+    }
+
+    /// Takes all measurement records collected so far.
+    pub fn drain_records(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Builds per-instance reports for the window since the last
+    /// [`CloudSystem::reset_accounting`].
+    pub fn reports(&mut self) -> Vec<InstanceReport> {
+        let now = self.now();
+        let span_s = now.saturating_since(self.window_start).as_secs_f64();
+        let gpu_util = self.gpu.utilization(now);
+        let mut out = Vec::with_capacity(self.instances.len());
+        for i in 0..self.instances.len() {
+            let app_cpu = self.cpu.owner_utilization(app_owner(i), now);
+            let vnc_cpu = self.cpu.owner_utilization(vnc_owner(i), now);
+            let inst = &self.instances[i];
+            let down_bw = self.links_down[i].average_bandwidth(now); // bytes/ns = GB/s
+            out.push(InstanceReport {
+                app: inst.app,
+                server_fps: inst.frames_produced as f64 / span_s.max(1e-9),
+                client_fps: inst.frames_displayed as f64 / span_s.max(1e-9),
+                frames_dropped: inst.frames_dropped,
+                inputs_sent: inst.inputs_sent,
+                app_cpu,
+                vnc_cpu,
+                gpu_util,
+                net_down_mbps: down_bw * 8.0 * 1000.0,
+                pcie_up_gbps: self.pcie.owner_bandwidth(i as u64, Direction::ToGpu, now),
+                pcie_down_gbps: self.pcie.owner_bandwidth(i as u64, Direction::FromGpu, now),
+                l3_miss_rate: inst.ctn.l3_miss_rate,
+                gpu_l2_miss_rate: inst.ctn.gpu_l2_miss_rate,
+                texture_miss_rate: inst.ctn.texture_miss_rate,
+                memory_mib: inst.profile.memory_mib,
+                gpu_memory_mib: inst.profile.gpu_memory_mib,
+            });
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn alloc_job(&mut self) -> JobId {
+        self.next_job += 1;
+        JobId(self.next_job)
+    }
+
+    fn hook_cost(&self, hooks: u32) -> SimDuration {
+        if self.config.measurement.enabled {
+            self.config.measurement.hook_cost * u64::from(hooks)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Reschedules every resource's next-completion event.
+    fn refresh(&mut self, now: SimTime) {
+        let cpu_next = self.cpu.next_completion(now).map(|(t, _)| t);
+        Self::reschedule(&mut self.queue, &mut self.ev_cpu, cpu_next, now, Ev::ServerCpu);
+        let gpu_next = self.gpu.next_completion(now).map(|(t, _)| t);
+        Self::reschedule(&mut self.queue, &mut self.ev_gpu, gpu_next, now, Ev::Gpu);
+        let pcie_next = self.pcie.next_completion(now).map(|(t, _, _)| t);
+        Self::reschedule(&mut self.queue, &mut self.ev_pcie, pcie_next, now, Ev::Pcie);
+        for i in 0..self.links_up.len() {
+            let ser = self.links_up[i].next_serialization(now).map(|(t, _)| t);
+            let del = self.links_up[i].next_delivery(now).map(|(t, _)| t);
+            let handles = &mut self.ev_links[i];
+            Self::reschedule(&mut self.queue, &mut handles[0], ser, now, Ev::LinkUpSer(i));
+            Self::reschedule(&mut self.queue, &mut handles[1], del, now, Ev::LinkUpDel(i));
+            let ser = self.links_down[i].next_serialization(now).map(|(t, _)| t);
+            let del = self.links_down[i].next_delivery(now).map(|(t, _)| t);
+            let handles = &mut self.ev_links[i];
+            Self::reschedule(&mut self.queue, &mut handles[2], ser, now, Ev::LinkDownSer(i));
+            Self::reschedule(&mut self.queue, &mut handles[3], del, now, Ev::LinkDownDel(i));
+        }
+    }
+
+    fn reschedule(
+        queue: &mut EventQueue<Ev>,
+        slot: &mut Option<EventId>,
+        when: Option<SimTime>,
+        now: SimTime,
+        ev: Ev,
+    ) {
+        if let Some(id) = slot.take() {
+            queue.cancel(id);
+        }
+        if let Some(t) = when {
+            *slot = Some(queue.schedule(t.max(now), ev));
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ServerCpu => {
+                while let Some((t, job)) = self.cpu.next_completion(now) {
+                    if t > now {
+                        break;
+                    }
+                    self.cpu.remove(now, job);
+                    let (inst, kind) = self.cpu_jobs.remove(&job).expect("unknown cpu job");
+                    self.on_cpu_done(now, inst, kind);
+                }
+            }
+            Ev::Gpu => {
+                while let Some((t, _)) = self.gpu.next_completion(now) {
+                    if t > now {
+                        break;
+                    }
+                    let job = self.gpu.complete(now);
+                    let (inst, frame) = self.gpu_jobs.remove(&job).expect("unknown gpu job");
+                    self.gpu.take_render_time(job);
+                    self.on_rd_done(now, inst, frame);
+                }
+            }
+            Ev::Pcie => {
+                while let Some((t, job, dir)) = self.pcie.next_completion(now) {
+                    if t > now {
+                        break;
+                    }
+                    self.pcie.complete(now, job, dir);
+                    let (inst, kind, _) = self.pcie_jobs.remove(&job).expect("unknown pcie job");
+                    if let PcieJob::Dma { frame } = kind {
+                        self.on_dma_done(now, inst, frame);
+                    }
+                }
+            }
+            Ev::LinkUpSer(i) => {
+                while let Some((t, id)) = self.links_up[i].next_serialization(now) {
+                    if t > now {
+                        break;
+                    }
+                    self.links_up[i].finish_serialization(now, id);
+                }
+            }
+            Ev::LinkUpDel(i) => {
+                while let Some((t, id)) = self.links_up[i].next_delivery(now) {
+                    if t > now {
+                        break;
+                    }
+                    self.links_up[i].deliver(now, id);
+                    let msg = self.up_msgs[i].remove(&id).expect("unknown up message");
+                    if let LinkMsg::Input { tag, action, sent } = msg {
+                        self.on_input_at_server(now, i, tag, action, sent);
+                    }
+                }
+            }
+            Ev::LinkDownSer(i) => {
+                while let Some((t, id)) = self.links_down[i].next_serialization(now) {
+                    if t > now {
+                        break;
+                    }
+                    self.links_down[i].finish_serialization(now, id);
+                    self.instances[i].ss_active = None;
+                    if let Some(pending) = self.instances[i].ss_pending.take() {
+                        self.begin_ss(now, i, pending);
+                    }
+                }
+            }
+            Ev::LinkDownDel(i) => {
+                while let Some((t, id)) = self.links_down[i].next_delivery(now) {
+                    if t > now {
+                        break;
+                    }
+                    self.links_down[i].deliver(now, id);
+                    let msg = self.down_msgs[i].remove(&id).expect("unknown down message");
+                    if let LinkMsg::FramePacket { frame } = msg {
+                        self.on_frame_at_client(now, i, frame);
+                    }
+                }
+            }
+            Ev::Timer(i, timer) => self.on_timer(now, i, timer),
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, i: usize, timer: Timer) {
+        match timer {
+            Timer::Kick => self.start_al(now, i),
+            Timer::XgwaDone { frame } => self.on_xgwa_done(now, i, frame),
+            Timer::QueryStallDone { frame } => self.begin_fc(now, i, frame),
+            Timer::Display { frame } => self.on_display(now, i, frame),
+            Timer::DeciderReady => self.instances[i].decider_busy = false,
+            Timer::SendInput { action } => self.send_input(now, i, action),
+        }
+    }
+
+    // -------------------------- logic thread --------------------------
+
+    fn start_al(&mut self, now: SimTime, i: usize) {
+        let dt = match self.instances[i].last_al_start {
+            Some(prev) => now.saturating_since(prev).as_secs_f64(),
+            None => FIRST_PASS_DT,
+        };
+        let inst = &mut self.instances[i];
+        inst.last_al_start = Some(now);
+        inst.al_start = now;
+        inst.pass += 1;
+        let frame_id = inst.pass;
+        // Consume queued inputs (hook 4 fires per input).
+        let consumed: Vec<(Tag, Action)> = inst.pending_inputs.drain(..).collect();
+        inst.world.advance(dt);
+        for (_, action) in &consumed {
+            inst.world.apply(action);
+        }
+        let population = inst.world.population();
+        let n_actions = consumed.len();
+        let tags: Vec<Tag> = consumed.iter().map(|(t, _)| *t).collect();
+        for &tag in &tags {
+            self.records.push(Record::InputConsumed {
+                instance: i as u32,
+                tag,
+                frame: frame_id,
+                time: now,
+            });
+        }
+        let hook = self.hook_cost(1 + n_actions as u32);
+        let inst = &mut self.instances[i];
+        inst.frames.insert(
+            frame_id,
+            FrameData {
+                frame: Frame::new(0), // filled at AL end
+                truth: Vec::new(),
+                tags,
+                saved: None,
+                compressed_bytes: 0,
+                rd_done: false,
+                dma_done: false,
+                rd_submit: now,
+                fc_start: None,
+                ss_start: now,
+            },
+        );
+        inst.logic = Logic::Al { frame: frame_id };
+        let mut work = inst.profile.al_time(&mut inst.rng, population, n_actions);
+        work += hook;
+        let speed = inst.ctn.app_speed;
+        let job = self.alloc_job();
+        self.cpu.insert(now, job, app_owner(i), work, speed);
+        self.cpu_jobs.insert(job, (i, CpuJob::Al { frame: frame_id }));
+    }
+
+    fn on_cpu_done(&mut self, now: SimTime, i: usize, kind: CpuJob) {
+        match kind {
+            CpuJob::Al { frame } => self.on_al_done(now, i, frame),
+            CpuJob::Memcpy { frame } => self.on_memcpy_done(now, i, frame),
+            CpuJob::As { frame } => self.on_as_done(now, i, frame),
+            CpuJob::Cp { frame } => self.on_cp_done(now, i, frame),
+            CpuJob::Sp { tag, action, start } => {
+                self.records.push(Record::Span(StageSpan {
+                    instance: i as u32,
+                    stage: Stage::Sp,
+                    frame: None,
+                    tag: Some(tag),
+                    start,
+                    end: now,
+                }));
+                // Forward to the app over IPC (stage PS).
+                let hook = self.hook_cost(1);
+                let inst = &mut self.instances[i];
+                let mean =
+                    self.config.tuning.ps_base_ms * inst.ipc_mult;
+                let mut work = SimDuration::from_millis_f64(lognormal_mean_cv(
+                    &mut inst.rng,
+                    mean,
+                    self.config.tuning.ps_cv,
+                ));
+                work += hook;
+                let speed = inst.ctn.vnc_speed;
+                let job = self.alloc_job();
+                self.cpu.insert(now, job, vnc_owner(i), work, speed);
+                self.cpu_jobs
+                    .insert(job, (i, CpuJob::Ps { tag, action, start: now }));
+            }
+            CpuJob::Ps { tag, action, start } => {
+                self.records.push(Record::Span(StageSpan {
+                    instance: i as u32,
+                    stage: Stage::Ps,
+                    frame: None,
+                    tag: Some(tag),
+                    start,
+                    end: now,
+                }));
+                let inst = &mut self.instances[i];
+                inst.pending_inputs.push((tag, action));
+                if self.config.mode == PipelineMode::SlowMotion && inst.logic == Logic::Idle {
+                    self.start_al(now, i);
+                }
+            }
+            CpuJob::Background => unreachable!("background jobs never finish"),
+        }
+    }
+
+    fn on_al_done(&mut self, now: SimTime, i: usize, frame: u64) {
+        let al_start = self.instances[i].al_start;
+        self.records.push(Record::Span(StageSpan {
+            instance: i as u32,
+            stage: Stage::Al,
+            frame: Some(frame),
+            tag: None,
+            start: al_start,
+            end: now,
+        }));
+        // Render server-side: upload geometry, queue the GPU batch (hook 5).
+        let inst = &mut self.instances[i];
+        let rendered = inst.world.render();
+        let truth = inst.world.ground_truth();
+        let population = inst.world.population();
+        let rd_cost = inst
+            .profile
+            .rd_time(&mut inst.rng, population)
+            .scale(inst.rd_mult);
+        let upload = inst.profile.upload_bytes_per_frame;
+        {
+            let data = inst.frames.get_mut(&frame).expect("frame data");
+            data.frame = rendered;
+            data.truth = truth;
+            data.rd_submit = now;
+        }
+        let upload_job = self.alloc_job();
+        self.pcie
+            .begin_transfer(now, upload_job, Direction::ToGpu, upload, i as u64);
+        self.pcie_jobs
+            .insert(upload_job, (i, PcieJob::Upload, Direction::ToGpu));
+        let rd_job = self.alloc_job();
+        self.gpu.submit_render(now, rd_job, rd_cost);
+        self.gpu_jobs.insert(rd_job, (i, frame));
+        // Single-buffered timer queries stall the thread before the copy.
+        if self.config.measurement.enabled
+            && self.config.measurement.query_buffers == QueryBuffers::Single
+        {
+            let stall = rd_cost.scale(0.15) + SimDuration::from_micros(500);
+            self.instances[i].logic = Logic::QueryStall { frame };
+            self.queue
+                .schedule(now + stall, Ev::Timer(i, Timer::QueryStallDone { frame }));
+            return;
+        }
+        self.begin_fc(now, i, frame);
+    }
+
+    /// Continues the pass after `AL_frame` (and any query stall): the frame
+    /// copy of earlier frames, per mode.
+    fn begin_fc(&mut self, now: SimTime, i: usize, frame: u64) {
+        match self.config.mode {
+            PipelineMode::SlowMotion => {
+                // Serialized: wait for this very frame's render, then copy it.
+                if self.instances[i].frames[&frame].rd_done {
+                    self.start_xgwa(now, i, frame);
+                } else {
+                    self.instances[i].logic = Logic::WaitRd { frame };
+                }
+            }
+            PipelineMode::Pipelined => {
+                if self.config.interposer.async_copy {
+                    // FCStart for frame-1: issue the DMA without waiting.
+                    if frame >= 2 {
+                        let prev = frame - 1;
+                        let data = self.instances[i].frames.get_mut(&prev).expect("prev frame");
+                        data.fc_start = Some(now);
+                        if data.rd_done {
+                            self.begin_dma(now, i, prev);
+                        } else {
+                            self.instances[i].dma_requested.insert(prev);
+                        }
+                    }
+                    // XGWA (memoized in the optimized config: usually free).
+                    let changed = !self.instances[i].resolution_queried;
+                    self.instances[i].resolution_queried = true;
+                    let cost = {
+                        let inst = &mut self.instances[i];
+                        self.config
+                            .interposer
+                            .xgwa_cost(&mut inst.rng, changed)
+                            .scale(inst.container_ipc)
+                    };
+                    // FCEnd for frame-2 happens after the (possible) XGWA.
+                    let target = if frame >= 3 { Some(frame - 2) } else { None };
+                    match target {
+                        Some(t) if cost.is_zero() => self.fc_end(now, i, t),
+                        Some(t) => {
+                            self.instances[i].logic = Logic::Xgwa { frame: t };
+                            self.queue
+                                .schedule(now + cost, Ev::Timer(i, Timer::XgwaDone { frame: t }));
+                        }
+                        None if cost.is_zero() => self.start_al(now, i),
+                        None => {
+                            // XGWA delay before the next pass, nothing to copy.
+                            self.instances[i].logic = Logic::Xgwa { frame };
+                            self.queue
+                                .schedule(now + cost, Ev::Timer(i, Timer::XgwaDone { frame }));
+                        }
+                    }
+                } else {
+                    // Stock: blocking copy of the previous frame.
+                    if frame >= 2 {
+                        self.start_xgwa(now, i, frame - 1);
+                    } else {
+                        self.start_al(now, i);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_xgwa(&mut self, now: SimTime, i: usize, target: u64) {
+        let changed = !self.instances[i].resolution_queried;
+        self.instances[i].resolution_queried = true;
+        let cost = {
+            let inst = &mut self.instances[i];
+            self.config
+                .interposer
+                .xgwa_cost(&mut inst.rng, changed)
+                .scale(inst.container_ipc)
+        };
+        {
+            let data = self.instances[i].frames.get_mut(&target).expect("fc target");
+            if data.fc_start.is_none() {
+                data.fc_start = Some(now);
+            }
+        }
+        if cost.is_zero() {
+            self.on_xgwa_done(now, i, target);
+        } else {
+            self.instances[i].logic = Logic::Xgwa { frame: target };
+            self.queue
+                .schedule(now + cost, Ev::Timer(i, Timer::XgwaDone { frame: target }));
+        }
+    }
+
+    fn on_xgwa_done(&mut self, now: SimTime, i: usize, frame: u64) {
+        // async_copy mode can reach here with "frame" being the current pass
+        // when there was nothing to copy (bootstrap): just move on.
+        if self.config.mode == PipelineMode::Pipelined && self.config.interposer.async_copy {
+            if self.instances[i].frames.get(&frame).map(|d| d.dma_done) == Some(true)
+                || self.instances[i].frames.contains_key(&frame)
+            {
+                // FCEnd path handled by fc_end (waits for DMA if needed).
+                if self.instances[i].frames[&frame].fc_start.is_some() {
+                    self.fc_end(now, i, frame);
+                    return;
+                }
+            }
+            self.start_al(now, i);
+            return;
+        }
+        // Stock/Slow-Motion: blocking glReadPixels of `frame`.
+        let data = &self.instances[i].frames[&frame];
+        if data.rd_done {
+            self.begin_dma(now, i, frame);
+            self.instances[i].logic = Logic::WaitDma { frame };
+        } else {
+            self.instances[i].logic = Logic::WaitRd { frame };
+        }
+    }
+
+    /// async-copy FCEnd: waits for the DMA of `frame` then memcpys it.
+    fn fc_end(&mut self, now: SimTime, i: usize, frame: u64) {
+        let data = &self.instances[i].frames[&frame];
+        if data.dma_done {
+            self.start_memcpy(now, i, frame);
+        } else {
+            self.instances[i].logic = Logic::WaitDma { frame };
+        }
+    }
+
+    fn begin_dma(&mut self, now: SimTime, i: usize, frame: u64) {
+        let bytes = self.instances[i].frames[&frame].frame.raw_bytes();
+        // The §6 interposer adds a fixed readback setup cost; model it as
+        // part of the transfer latency.
+        let job = self.alloc_job();
+        self.pcie
+            .begin_transfer(now, job, Direction::FromGpu, bytes, i as u64);
+        self.pcie_jobs
+            .insert(job, (i, PcieJob::Dma { frame }, Direction::FromGpu));
+    }
+
+    fn on_rd_done(&mut self, now: SimTime, i: usize, frame: u64) {
+        let rd_submit = {
+            let data = self.instances[i].frames.get_mut(&frame).expect("rd frame");
+            data.rd_done = true;
+            data.rd_submit
+        };
+        self.records.push(Record::Span(StageSpan {
+            instance: i as u32,
+            stage: Stage::Rd,
+            frame: Some(frame),
+            tag: None,
+            start: rd_submit,
+            end: now,
+        }));
+        if self.instances[i].dma_requested.remove(&frame) {
+            self.begin_dma(now, i, frame);
+        }
+        match self.instances[i].logic {
+            Logic::WaitRd { frame: f } if f == frame => {
+                if self.config.mode == PipelineMode::SlowMotion {
+                    self.start_xgwa(now, i, frame);
+                } else {
+                    self.begin_dma(now, i, frame);
+                    self.instances[i].logic = Logic::WaitDma { frame };
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_dma_done(&mut self, now: SimTime, i: usize, frame: u64) {
+        self.instances[i]
+            .frames
+            .get_mut(&frame)
+            .expect("dma frame")
+            .dma_done = true;
+        if let Logic::WaitDma { frame: f } = self.instances[i].logic {
+            if f == frame {
+                self.start_memcpy(now, i, frame);
+            }
+        }
+    }
+
+    fn start_memcpy(&mut self, now: SimTime, i: usize, frame: u64) {
+        let bytes = self.instances[i].frames[&frame].frame.raw_bytes();
+        let mut work = (self.config.interposer.memcpy_cost(bytes)
+            + self.config.interposer.readback_setup)
+            .scale(self.instances[i].container_ipc);
+        work += self.hook_cost(2);
+        let speed = self.instances[i].ctn.app_speed;
+        self.instances[i].logic = Logic::Memcpy { frame };
+        let job = self.alloc_job();
+        self.cpu.insert(now, job, app_owner(i), work, speed);
+        self.cpu_jobs.insert(job, (i, CpuJob::Memcpy { frame }));
+    }
+
+    fn on_memcpy_done(&mut self, now: SimTime, i: usize, frame: u64) {
+        // Hook 6: embed the newest tag into the frame pixels, saving the
+        // originals in "shared memory".
+        {
+            let inst = &mut self.instances[i];
+            let data = inst.frames.get_mut(&frame).expect("memcpy frame");
+            if let Some(&tag) = data.tags.last() {
+                data.saved = Some(embed_tag(&mut data.frame, tag));
+                self.records.push(Record::FrameTagged {
+                    instance: i as u32,
+                    frame,
+                    tag,
+                });
+            }
+            let fc_start = data.fc_start.unwrap_or(now);
+            self.records.push(Record::Span(StageSpan {
+                instance: i as u32,
+                stage: Stage::Fc,
+                frame: Some(frame),
+                tag: None,
+                start: fc_start,
+                end: now,
+            }));
+            inst.frames_produced += 1;
+            inst.as_queue.push_back(frame);
+        }
+        self.maybe_start_as(now, i);
+        // The logic thread moves on.
+        match self.config.mode {
+            PipelineMode::SlowMotion => {
+                let inst = &mut self.instances[i];
+                inst.logic = Logic::Idle;
+                if !inst.pending_inputs.is_empty() {
+                    self.start_al(now, i);
+                }
+            }
+            PipelineMode::Pipelined => self.start_al(now, i),
+        }
+    }
+
+    // -------------------------- sender thread --------------------------
+
+    fn maybe_start_as(&mut self, now: SimTime, i: usize) {
+        if self.instances[i].as_active.is_some() {
+            return;
+        }
+        let Some(frame) = self.instances[i].as_queue.pop_front() else {
+            return;
+        };
+        let hook = self.hook_cost(1);
+        let inst = &mut self.instances[i];
+        inst.as_active = Some(frame);
+        inst.as_start = now;
+        let mean = self.config.tuning.as_base_ms * inst.ipc_mult;
+        let mut work = SimDuration::from_millis_f64(lognormal_mean_cv(
+            &mut inst.rng,
+            mean,
+            self.config.tuning.as_cv,
+        ));
+        work += hook;
+        let speed = inst.ctn.app_speed;
+        let job = self.alloc_job();
+        self.cpu.insert(now, job, app_owner(i), work, speed);
+        self.cpu_jobs.insert(job, (i, CpuJob::As { frame }));
+    }
+
+    fn on_as_done(&mut self, now: SimTime, i: usize, frame: u64) {
+        let as_start = self.instances[i].as_start;
+        self.records.push(Record::Span(StageSpan {
+            instance: i as u32,
+            stage: Stage::As,
+            frame: Some(frame),
+            tag: None,
+            start: as_start,
+            end: now,
+        }));
+        self.instances[i].as_active = None;
+        // Hand to the VNC proxy: coalesce if the compressor is busy.
+        if self.instances[i].cp_active.is_none() {
+            self.start_cp(now, i, frame);
+        } else if let Some(old) = self.instances[i].vnc_pending.replace(frame) {
+            let inst = &mut self.instances[i];
+            let old_tags = inst.frames.remove(&old).map(|d| d.tags).unwrap_or_default();
+            if let Some(data) = inst.frames.get_mut(&frame) {
+                data.tags.splice(0..0, old_tags);
+            }
+            inst.frames_dropped += 1;
+            self.records.push(Record::FrameDropped {
+                instance: i as u32,
+                frame: old,
+                time: now,
+            });
+        }
+        self.maybe_start_as(now, i);
+    }
+
+    // -------------------------- VNC proxy --------------------------
+
+    fn start_cp(&mut self, now: SimTime, i: usize, frame: u64) {
+        let hook = self.hook_cost(2);
+        let inst = &mut self.instances[i];
+        inst.cp_active = Some(frame);
+        inst.cp_start = now;
+        // Hook 8: extract the tag and restore the pixels before encoding.
+        let data = inst.frames.get_mut(&frame).expect("cp frame");
+        if let Some(saved) = data.saved.take() {
+            let extracted = extract_tag(&data.frame);
+            debug_assert_eq!(extracted, data.tags.last().copied(), "tag must survive IPC");
+            restore_pixels(&mut data.frame, &saved);
+        }
+        let out = self
+            .config
+            .compression
+            .compress(&data.frame, inst.last_sent.as_ref());
+        data.compressed_bytes = out.compressed_bytes;
+        let mut work = out.cpu_cost.scale(inst.profile.cp_difficulty) + hook;
+        if work.is_zero() {
+            work = SimDuration::from_micros(50);
+        }
+        let speed = inst.ctn.vnc_speed;
+        let job = self.alloc_job();
+        self.cpu.insert(now, job, vnc_owner(i), work, speed);
+        self.cpu_jobs.insert(job, (i, CpuJob::Cp { frame }));
+    }
+
+    fn on_cp_done(&mut self, now: SimTime, i: usize, frame: u64) {
+        let cp_start = self.instances[i].cp_start;
+        self.records.push(Record::Span(StageSpan {
+            instance: i as u32,
+            stage: Stage::Cp,
+            frame: Some(frame),
+            tag: None,
+            start: cp_start,
+            end: now,
+        }));
+        {
+            let inst = &mut self.instances[i];
+            inst.cp_active = None;
+            let data = inst.frames.get_mut(&frame).expect("cp frame");
+            inst.last_sent = Some(data.frame.clone());
+        }
+        // Backpressure: the proxy keeps at most one frame serializing on the
+        // link; a newer compressed frame replaces any waiting one (VNC's
+        // update coalescing).
+        if self.instances[i].ss_active.is_none() {
+            self.begin_ss(now, i, frame);
+        } else if let Some(old) = self.instances[i].ss_pending.replace(frame) {
+            let inst = &mut self.instances[i];
+            let old_tags = inst.frames.remove(&old).map(|d| d.tags).unwrap_or_default();
+            if let Some(data) = inst.frames.get_mut(&frame) {
+                data.tags.splice(0..0, old_tags);
+            }
+            inst.frames_dropped += 1;
+            self.records.push(Record::FrameDropped {
+                instance: i as u32,
+                frame: old,
+                time: now,
+            });
+        }
+        if let Some(pending) = self.instances[i].vnc_pending.take() {
+            self.start_cp(now, i, pending);
+        }
+    }
+
+    fn begin_ss(&mut self, now: SimTime, i: usize, frame: u64) {
+        let inst = &mut self.instances[i];
+        inst.ss_active = Some(frame);
+        let data = inst.frames.get_mut(&frame).expect("ss frame");
+        data.ss_start = now;
+        let bytes = data.compressed_bytes;
+        let job = JobId(self.next_job + 1);
+        self.next_job += 1;
+        self.links_down[i].send(now, job, bytes);
+        self.down_msgs[i].insert(job, LinkMsg::FramePacket { frame });
+    }
+
+    // -------------------------- client --------------------------
+
+    fn on_frame_at_client(&mut self, now: SimTime, i: usize, frame: u64) {
+        let ss_start = self.instances[i].frames[&frame].ss_start;
+        self.records.push(Record::Span(StageSpan {
+            instance: i as u32,
+            stage: Stage::Ss,
+            frame: Some(frame),
+            tag: None,
+            start: ss_start,
+            end: now,
+        }));
+        let decode = SimDuration::from_millis_f64(self.config.tuning.decode_ms);
+        self.queue
+            .schedule(now + decode, Ev::Timer(i, Timer::Display { frame }));
+    }
+
+    fn on_display(&mut self, now: SimTime, i: usize, frame: u64) {
+        let data = {
+            let inst = &mut self.instances[i];
+            inst.frames_displayed += 1;
+            inst.frames.remove(&frame).expect("displayed frame")
+        };
+        self.records.push(Record::FrameDisplayed {
+            instance: i as u32,
+            frame,
+            tags: data.tags.clone(),
+            time: now,
+        });
+        let inst = &mut self.instances[i];
+        if inst.decider_busy {
+            return;
+        }
+        let reaction = inst.driver.on_frame(&data.frame, &data.truth);
+        inst.decider_busy = true;
+        self.queue
+            .schedule(now + reaction.busy, Ev::Timer(i, Timer::DeciderReady));
+        let must_send = self.config.mode == PipelineMode::SlowMotion;
+        if reaction.action.is_input() || must_send {
+            self.queue.schedule(
+                now + reaction.latency,
+                Ev::Timer(i, Timer::SendInput { action: reaction.action }),
+            );
+        }
+    }
+
+    fn send_input(&mut self, now: SimTime, i: usize, action: Action) {
+        let inst = &mut self.instances[i];
+        let tag = Tag(self.next_tag);
+        self.next_tag += 1;
+        inst.inputs_sent += 1;
+        self.records.push(Record::InputSent {
+            instance: i as u32,
+            tag,
+            time: now,
+        });
+        let job = JobId(self.next_job + 1);
+        self.next_job += 1;
+        self.links_up[i].send(now, job, self.config.tuning.input_bytes);
+        self.up_msgs[i].insert(
+            job,
+            LinkMsg::Input {
+                tag,
+                action,
+                sent: now,
+            },
+        );
+    }
+
+    // -------------------------- input path --------------------------
+
+    fn on_input_at_server(&mut self, now: SimTime, i: usize, tag: Tag, action: Action, sent: SimTime) {
+        self.records.push(Record::Span(StageSpan {
+            instance: i as u32,
+            stage: Stage::Cs,
+            frame: None,
+            tag: Some(tag),
+            start: sent,
+            end: now,
+        }));
+        let hook = self.hook_cost(1);
+        let inst = &mut self.instances[i];
+        let mut work = SimDuration::from_millis_f64(lognormal_mean_cv(
+            &mut inst.rng,
+            self.config.tuning.sp_ms,
+            self.config.tuning.sp_cv,
+        ));
+        work += hook;
+        let speed = inst.ctn.vnc_speed;
+        let job = self.alloc_job();
+        self.cpu.insert(now, job, vnc_owner(i), work, speed);
+        self.cpu_jobs
+            .insert(job, (i, CpuJob::Sp { tag, action, start: now }));
+    }
+}
+
+fn app_owner(i: usize) -> OwnerId {
+    OwnerId(2 * i as u32)
+}
+
+fn vnc_owner(i: usize) -> OwnerId {
+    OwnerId(2 * i as u32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MeasurementConfig, StageTuning};
+    use crate::driver::HumanDriver;
+    use pictor_apps::HumanPolicy;
+
+    fn human(app: AppId, seeds: &SeedTree) -> Box<dyn ClientDriver> {
+        Box::new(HumanDriver::new(
+            HumanPolicy::new(app, seeds.stream("human")),
+            seeds.stream("attention"),
+        ))
+    }
+
+    fn run_one(app: AppId, config: SystemConfig, secs: u64) -> (Vec<Record>, Vec<InstanceReport>) {
+        let seeds = SeedTree::new(777);
+        let mut sys = CloudSystem::new(config, seeds);
+        sys.add_instance(app, human(app, &seeds));
+        sys.start();
+        sys.run_for(SimDuration::from_secs(2));
+        sys.reset_accounting();
+        sys.run_for(SimDuration::from_secs(secs));
+        let records = sys.drain_records();
+        let reports = sys.reports();
+        (records, reports)
+    }
+
+    #[test]
+    fn solo_stock_run_produces_frames_and_inputs() {
+        let (records, reports) = run_one(AppId::Dota2, SystemConfig::turbovnc_stock(), 10);
+        let r = &reports[0];
+        assert!(r.server_fps > 20.0 && r.server_fps < 120.0, "server fps {}", r.server_fps);
+        assert!(r.client_fps > 15.0, "client fps {}", r.client_fps);
+        assert!(r.client_fps <= r.server_fps + 1.0);
+        assert!(r.inputs_sent > 5, "inputs {}", r.inputs_sent);
+        let spans = records.iter().filter(|r| matches!(r, Record::Span(_))).count();
+        assert!(spans > 100);
+        // All nine stages appear.
+        for stage in Stage::ALL {
+            assert!(
+                records.iter().any(|r| matches!(r, Record::Span(s) if s.stage == stage)),
+                "missing stage {stage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rtts_are_measurable_and_plausible() {
+        let (records, _) = run_one(AppId::RedEclipse, SystemConfig::turbovnc_stock(), 15);
+        // Match InputSent → FrameDisplayed by tag.
+        let mut sent: HashMap<Tag, SimTime> = HashMap::new();
+        let mut rtts = Vec::new();
+        for rec in &records {
+            match rec {
+                Record::InputSent { tag, time, .. } => {
+                    sent.insert(*tag, *time);
+                }
+                Record::FrameDisplayed { tags, time, .. } => {
+                    for tag in tags {
+                        if let Some(t0) = sent.remove(tag) {
+                            rtts.push(time.saturating_since(t0).as_millis_f64());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(rtts.len() > 10, "matched {} rtts", rtts.len());
+        let mean = rtts.iter().sum::<f64>() / rtts.len() as f64;
+        assert!((40.0..200.0).contains(&mean), "mean RTT {mean}ms");
+    }
+
+    #[test]
+    fn optimizations_improve_server_fps_substantially() {
+        let (_, stock) = run_one(AppId::SuperTuxKart, SystemConfig::turbovnc_stock(), 10);
+        let (_, opt) = run_one(AppId::SuperTuxKart, SystemConfig::optimized(), 10);
+        let gain = opt[0].server_fps / stock[0].server_fps - 1.0;
+        assert!(
+            gain > 0.4,
+            "expected large server-FPS gain, got {:.1}% ({} -> {})",
+            gain * 100.0,
+            stock[0].server_fps,
+            opt[0].server_fps
+        );
+    }
+
+    #[test]
+    fn four_instances_slow_each_other() {
+        let seeds = SeedTree::new(42);
+        let mk = |n: usize| {
+            let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), seeds.child(&n.to_string()));
+            for _ in 0..n {
+                sys.add_instance(AppId::Dota2, human(AppId::Dota2, &seeds));
+            }
+            sys.start();
+            sys.run_for(SimDuration::from_secs(2));
+            sys.reset_accounting();
+            sys.run_for(SimDuration::from_secs(8));
+            sys.reports()
+        };
+        let one = mk(1);
+        let four = mk(4);
+        assert!(four[0].server_fps < one[0].server_fps * 0.8);
+        assert!(four[0].l3_miss_rate > one[0].l3_miss_rate);
+        assert!(four[0].gpu_l2_miss_rate > one[0].gpu_l2_miss_rate);
+    }
+
+    #[test]
+    fn slow_motion_serializes() {
+        let config = SystemConfig {
+            mode: PipelineMode::SlowMotion,
+            ..SystemConfig::turbovnc_stock()
+        };
+        let (records, reports) = run_one(AppId::RedEclipse, config, 10);
+        // Serialized: one frame per input round trip — low FPS.
+        assert!(reports[0].server_fps < 15.0, "fps {}", reports[0].server_fps);
+        assert!(reports[0].inputs_sent > 10);
+        // No frame should ever be dropped (never more than one in flight).
+        assert_eq!(reports[0].frames_dropped, 0);
+        let _ = records;
+    }
+
+    #[test]
+    fn measurement_overhead_is_small_with_double_buffers() {
+        let on = SystemConfig::turbovnc_stock();
+        let off = SystemConfig {
+            measurement: MeasurementConfig::disabled(),
+            ..SystemConfig::turbovnc_stock()
+        };
+        let (_, with) = run_one(AppId::Dota2, on, 10);
+        let (_, without) = run_one(AppId::Dota2, off, 10);
+        let overhead = 1.0 - with[0].server_fps / without[0].server_fps;
+        assert!(
+            overhead < 0.06,
+            "double-buffered overhead {:.1}%",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn single_buffer_queries_cost_more() {
+        let single = SystemConfig {
+            measurement: MeasurementConfig {
+                query_buffers: QueryBuffers::Single,
+                ..MeasurementConfig::pictor()
+            },
+            ..SystemConfig::turbovnc_stock()
+        };
+        let (_, s) = run_one(AppId::Dota2, single, 10);
+        let off = SystemConfig {
+            measurement: MeasurementConfig::disabled(),
+            ..SystemConfig::turbovnc_stock()
+        };
+        let (_, base) = run_one(AppId::Dota2, off, 10);
+        let overhead = 1.0 - s[0].server_fps / base[0].server_fps;
+        assert!(
+            overhead > 0.05,
+            "single-buffered overhead {:.1}%",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn utilization_report_is_consistent() {
+        let (_, reports) = run_one(AppId::SuperTuxKart, SystemConfig::turbovnc_stock(), 10);
+        let r = &reports[0];
+        assert!(r.app_cpu > 0.2 && r.app_cpu < 4.0, "app cpu {}", r.app_cpu);
+        assert!(r.vnc_cpu > 0.5 && r.vnc_cpu < 4.0, "vnc cpu {}", r.vnc_cpu);
+        assert!(r.gpu_util > 0.05 && r.gpu_util < 0.95, "gpu {}", r.gpu_util);
+        assert!(r.net_down_mbps > 10.0 && r.net_down_mbps < 1000.0, "net {}", r.net_down_mbps);
+        assert!(r.pcie_down_gbps > 0.05 && r.pcie_down_gbps < 5.0, "pcie {}", r.pcie_down_gbps);
+        // STK is the upload outlier but still modest in absolute terms.
+        assert!(r.pcie_up_gbps > 0.01, "upload {}", r.pcie_up_gbps);
+    }
+
+    #[test]
+    fn offline_tuning_removes_vnc_contention() {
+        // Chen et al.'s offline AL measurement: no VNC pressure/threads.
+        let offline = SystemConfig {
+            tuning: StageTuning {
+                vnc_pressure: 0.0,
+                vnc_background_threads: 0,
+                ..StageTuning::default()
+            },
+            ..SystemConfig::turbovnc_stock()
+        };
+        let (_, off) = run_one(AppId::Dota2, offline, 8);
+        let (_, on) = run_one(AppId::Dota2, SystemConfig::turbovnc_stock(), 8);
+        assert!(off[0].server_fps >= on[0].server_fps);
+    }
+
+    #[test]
+    #[should_panic(expected = "start() must be called first")]
+    fn run_before_start_panics() {
+        let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), SeedTree::new(1));
+        sys.run_for(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no instances")]
+    fn start_without_instances_panics() {
+        let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), SeedTree::new(1));
+        sys.start();
+    }
+}

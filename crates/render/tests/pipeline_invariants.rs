@@ -1,0 +1,182 @@
+//! Pipeline-level invariants checked over full simulated runs: event
+//! ordering, tag uniqueness, stage causality and frame conservation.
+
+use std::collections::{HashMap, HashSet};
+
+use pictor_apps::{AppId, HumanPolicy};
+use pictor_render::config::PipelineMode;
+use pictor_render::records::{Record, Stage};
+use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
+use pictor_sim::{SeedTree, SimDuration, SimTime};
+
+fn run(app: AppId, config: SystemConfig, seed: u64, secs: u64, n: usize) -> Vec<Record> {
+    let seeds = SeedTree::new(seed);
+    let mut sys = CloudSystem::new(config, seeds);
+    for i in 0..n {
+        let child = seeds.child(&format!("d{i}"));
+        sys.add_instance(
+            app,
+            Box::new(HumanDriver::new(
+                HumanPolicy::new(app, child.stream("h")),
+                child.stream("attn"),
+            )),
+        );
+    }
+    sys.start();
+    sys.run_for(SimDuration::from_secs(2));
+    sys.reset_accounting();
+    sys.run_for(SimDuration::from_secs(secs));
+    sys.drain_records()
+}
+
+#[test]
+fn stage_spans_have_causal_order_per_frame() {
+    let records = run(AppId::Dota2, SystemConfig::turbovnc_stock(), 1, 15, 1);
+    // For each frame: AL ends before FC ends, FC ends before AS ends, AS
+    // before CP, CP before SS.
+    let mut ends: HashMap<(u64, Stage), SimTime> = HashMap::new();
+    for r in &records {
+        if let Record::Span(span) = r {
+            if let Some(frame) = span.frame {
+                ends.insert((frame, span.stage), span.end);
+            }
+        }
+    }
+    let mut checked = 0;
+    for (&(frame, stage), &end) in &ends {
+        if stage != Stage::Al {
+            continue;
+        }
+        let chain = [Stage::Fc, Stage::As, Stage::Cp, Stage::Ss];
+        let mut prev = end;
+        let mut complete = true;
+        for s in chain {
+            match ends.get(&(frame, s)) {
+                Some(&t) => {
+                    assert!(t >= prev, "frame {frame}: {s:?} ended before previous stage");
+                    prev = t;
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "causal chains verified: {checked}");
+}
+
+#[test]
+fn tags_are_unique_and_displayed_at_most_once() {
+    let records = run(AppId::RedEclipse, SystemConfig::turbovnc_stock(), 2, 20, 1);
+    let mut sent = HashSet::new();
+    let mut displayed = HashSet::new();
+    for r in &records {
+        match r {
+            Record::InputSent { tag, .. } => {
+                assert!(sent.insert(*tag), "tag {tag:?} issued twice");
+            }
+            Record::FrameDisplayed { tags, .. } => {
+                for tag in tags {
+                    assert!(displayed.insert(*tag), "tag {tag:?} displayed twice");
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(!sent.is_empty());
+    // Every displayed tag was previously sent.
+    assert!(displayed.is_subset(&sent));
+}
+
+#[test]
+fn frames_are_conserved_across_the_proxy() {
+    // produced = displayed + dropped (+ a few in flight at the window edge).
+    let seeds = SeedTree::new(3);
+    let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), seeds);
+    sys.add_instance(
+        AppId::SuperTuxKart,
+        Box::new(HumanDriver::new(
+            HumanPolicy::new(AppId::SuperTuxKart, seeds.stream("h")),
+            seeds.stream("attn"),
+        )),
+    );
+    sys.start();
+    sys.run_for(SimDuration::from_secs(2));
+    sys.reset_accounting();
+    sys.run_for(SimDuration::from_secs(15));
+    let report = &sys.reports()[0];
+    let produced = report.server_fps * 15.0;
+    let accounted = report.client_fps * 15.0 + report.frames_dropped as f64;
+    let in_flight_allowance = 10.0;
+    assert!(
+        (produced - accounted).abs() <= in_flight_allowance,
+        "produced {produced:.0} vs displayed+dropped {accounted:.0}"
+    );
+}
+
+#[test]
+fn slow_motion_never_overlaps_inputs() {
+    let config = SystemConfig {
+        mode: PipelineMode::SlowMotion,
+        ..SystemConfig::turbovnc_stock()
+    };
+    let records = run(AppId::InMind, config, 4, 15, 1);
+    // In Slow-Motion, at most one input is in flight: between any InputSent
+    // and the display of its frame, no other InputSent occurs.
+    let mut in_flight: Option<pictor_gfx::Tag> = None;
+    let mut violations = 0;
+    for r in &records {
+        match r {
+            Record::InputSent { tag, .. } => {
+                if in_flight.is_some() {
+                    violations += 1;
+                }
+                in_flight = Some(*tag);
+            }
+            Record::FrameDisplayed { tags, .. } => {
+                if let Some(t) = in_flight {
+                    if tags.contains(&t) {
+                        in_flight = None;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(violations, 0, "overlapping inputs in Slow-Motion mode");
+}
+
+#[test]
+fn colocated_instances_emit_disjoint_record_streams() {
+    let records = run(AppId::Dota2, SystemConfig::turbovnc_stock(), 5, 10, 3);
+    let mut per_instance: HashMap<u32, usize> = HashMap::new();
+    for r in &records {
+        let instance = match r {
+            Record::InputSent { instance, .. }
+            | Record::InputConsumed { instance, .. }
+            | Record::FrameTagged { instance, .. }
+            | Record::FrameDisplayed { instance, .. }
+            | Record::FrameDropped { instance, .. } => *instance,
+            Record::Span(s) => s.instance,
+        };
+        *per_instance.entry(instance).or_insert(0) += 1;
+    }
+    assert_eq!(per_instance.len(), 3, "records from all three instances");
+    for (i, count) in &per_instance {
+        assert!(*count > 100, "instance {i} produced only {count} records");
+    }
+}
+
+#[test]
+fn time_never_flows_backwards_in_records() {
+    let records = run(AppId::Imhotep, SystemConfig::optimized(), 6, 15, 2);
+    for r in &records {
+        if let Record::Span(span) = r {
+            assert!(span.end >= span.start, "negative span: {span:?}");
+        }
+    }
+}

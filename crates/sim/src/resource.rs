@@ -1,0 +1,527 @@
+//! Shared-resource models: processor sharing and FIFO queues.
+//!
+//! [`PsResource`] models a pool served under processor sharing — the standard
+//! abstraction for CPU pools (jobs are threads, capacity is core count) and
+//! for bandwidth-shared links like PCIe or Ethernet (jobs are transfers,
+//! capacity is bytes/second, "work" is bytes scaled to core-nanoseconds).
+//! Whenever the active set changes, per-job service rates are recomputed and
+//! the caller reschedules the next completion event.
+//!
+//! [`FifoResource`] models a single-server queue served in arrival order —
+//! used for the GPU render engine, whose command stream is serialized.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a job inside a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+#[derive(Debug, Clone)]
+struct PsJob {
+    /// Remaining work in core-nanoseconds.
+    remaining: f64,
+    /// Individual speed multiplier (contention slowdown < 1.0 slows the job).
+    speed: f64,
+}
+
+/// A processor-sharing resource.
+///
+/// Each active job receives an equal share of the capacity, bounded by one
+/// server's worth (a thread cannot run faster than one core), then scaled by
+/// its individual `speed` factor. The resource tracks a busy-capacity
+/// integral so average utilization can be reported.
+///
+/// # Example
+///
+/// ```
+/// use pictor_sim::{JobId, PsResource, SimDuration, SimTime};
+///
+/// let mut cpu = PsResource::new(2.0); // two cores
+/// let t0 = SimTime::ZERO;
+/// cpu.insert(t0, JobId(1), SimDuration::from_millis(10), 1.0);
+/// // Alone on two cores, the job still runs at 1 core: done after 10 ms.
+/// let (when, who) = cpu.next_completion(t0).unwrap();
+/// assert_eq!(who, JobId(1));
+/// assert_eq!(when, t0 + SimDuration::from_millis(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsResource {
+    capacity: f64,
+    jobs: BTreeMap<JobId, PsJob>,
+    last_update: SimTime,
+    busy_integral: f64, // core-nanoseconds of service delivered
+    since: SimTime,
+}
+
+impl PsResource {
+    /// Creates a resource with `capacity` servers (cores, or bytes/ns for links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive: {capacity}"
+        );
+        PsResource {
+            capacity,
+            jobs: BTreeMap::new(),
+            last_update: SimTime::ZERO,
+            busy_integral: 0.0,
+            since: SimTime::ZERO,
+        }
+    }
+
+    /// Total capacity in servers.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of active jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Current per-job share of the capacity, before individual speed factors.
+    ///
+    /// Returns zero when idle.
+    pub fn share(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            (self.capacity / self.jobs.len() as f64).min(1.0)
+        }
+    }
+
+    /// Advances internal accounting to `now`, draining work from all jobs.
+    ///
+    /// Must be called (implicitly via the public methods) with monotonically
+    /// non-decreasing times.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_update).as_nanos() as f64;
+        if dt > 0.0 {
+            let share = self.share();
+            let mut delivered = 0.0;
+            for job in self.jobs.values_mut() {
+                let done = (share * job.speed * dt).min(job.remaining);
+                job.remaining -= done;
+                delivered += done;
+            }
+            self.busy_integral += delivered;
+            self.last_update = now;
+        } else if now > self.last_update {
+            self.last_update = now;
+        }
+    }
+
+    /// Inserts a job with `work` of nominal single-core service demand.
+    ///
+    /// `speed` is the job's individual rate multiplier (use values below 1.0
+    /// to model contention slowdowns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job already exists or `speed` is not strictly positive.
+    pub fn insert(&mut self, now: SimTime, id: JobId, work: SimDuration, speed: f64) {
+        assert!(speed.is_finite() && speed > 0.0, "bad speed {speed}");
+        self.advance(now);
+        let prev = self.jobs.insert(
+            id,
+            PsJob {
+                remaining: work.as_nanos() as f64,
+                speed,
+            },
+        );
+        assert!(prev.is_none(), "job {id:?} already active");
+    }
+
+    /// Removes a job (completed or aborted), returning its remaining work.
+    pub fn remove(&mut self, now: SimTime, id: JobId) -> Option<SimDuration> {
+        self.advance(now);
+        self.jobs
+            .remove(&id)
+            .map(|j| SimDuration::from_nanos(j.remaining.max(0.0).round() as u64))
+    }
+
+    /// Updates a job's speed multiplier (e.g. when co-runner contention changes).
+    ///
+    /// Returns `false` if the job is not active.
+    pub fn set_speed(&mut self, now: SimTime, id: JobId, speed: f64) -> bool {
+        assert!(speed.is_finite() && speed > 0.0, "bad speed {speed}");
+        self.advance(now);
+        match self.jobs.get_mut(&id) {
+            Some(job) => {
+                job.speed = speed;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Predicts the earliest (time, job) completion given current rates.
+    ///
+    /// Returns `None` when idle. The prediction is only valid until the next
+    /// insert/remove/set_speed call; callers must re-query after any change.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, JobId)> {
+        self.advance(now);
+        let share = self.share();
+        let mut best: Option<(f64, JobId)> = None;
+        for (&id, job) in &self.jobs {
+            let rate = share * job.speed;
+            if rate <= 0.0 {
+                continue;
+            }
+            let eta = job.remaining / rate;
+            match best {
+                Some((t, _)) if t <= eta => {}
+                _ => best = Some((eta, id)),
+            }
+        }
+        best.map(|(eta, id)| (now + SimDuration::from_nanos(eta.ceil() as u64), id))
+    }
+
+    /// Remaining work of a job, if active.
+    pub fn remaining(&self, id: JobId) -> Option<SimDuration> {
+        self.jobs
+            .get(&id)
+            .map(|j| SimDuration::from_nanos(j.remaining.max(0.0).round() as u64))
+    }
+
+    /// Average busy capacity (in servers) over the window since the last
+    /// [`PsResource::reset_utilization`] call, evaluated at `now`.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        let span = now.saturating_since(self.since).as_nanos() as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            self.busy_integral / span
+        }
+    }
+
+    /// Restarts utilization accounting from `now`.
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        self.advance(now);
+        self.busy_integral = 0.0;
+        self.since = now;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FifoJob {
+    id: JobId,
+    service: SimDuration,
+}
+
+/// A single-server FIFO queue with externally supplied service times.
+///
+/// The server's speed factor scales the service of the job *currently in
+/// service* as well as future ones; the render engine uses this to model GPU
+/// cache contention slowdowns.
+///
+/// # Example
+///
+/// ```
+/// use pictor_sim::{FifoResource, JobId, SimDuration, SimTime};
+///
+/// let mut gpu = FifoResource::new();
+/// let t0 = SimTime::ZERO;
+/// gpu.enqueue(t0, JobId(1), SimDuration::from_millis(4));
+/// gpu.enqueue(t0, JobId(2), SimDuration::from_millis(4));
+/// let (t1, j1) = gpu.next_completion(t0).unwrap();
+/// assert_eq!(j1, JobId(1));
+/// gpu.complete(t1);
+/// let (t2, j2) = gpu.next_completion(t1).unwrap();
+/// assert_eq!(j2, JobId(2));
+/// assert_eq!(t2, t0 + SimDuration::from_millis(8));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FifoResource {
+    queue: std::collections::VecDeque<FifoJob>,
+    in_service: Option<(JobId, SimTime, SimDuration)>, // (job, started, remaining at start)
+    speed: f64,
+    last_update: SimTime,
+    busy_integral: f64,
+    since: SimTime,
+}
+
+impl FifoResource {
+    /// Creates an idle queue with unit speed.
+    pub fn new() -> Self {
+        FifoResource {
+            queue: std::collections::VecDeque::new(),
+            in_service: None,
+            speed: 1.0,
+            last_update: SimTime::ZERO,
+            busy_integral: 0.0,
+            since: SimTime::ZERO,
+        }
+    }
+
+    /// Number of jobs waiting or in service.
+    pub fn len(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// True if no job is waiting or in service.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_update);
+        if !dt.is_zero() {
+            if let Some((id, started, remaining)) = self.in_service {
+                let served = now.saturating_since(started).scale(self.speed);
+                if served < remaining {
+                    self.busy_integral += dt.as_nanos() as f64;
+                    // keep (started, remaining) anchored; recompute on demand
+                    let _ = id;
+                } else {
+                    // Busy only until the completion instant.
+                    let completion = started + remaining.scale(1.0 / self.speed);
+                    let busy = completion.saturating_since(self.last_update);
+                    self.busy_integral += busy.as_nanos().min(dt.as_nanos()) as f64;
+                }
+            }
+            self.last_update = now;
+        }
+    }
+
+    fn start_next(&mut self, now: SimTime) {
+        if self.in_service.is_none() {
+            if let Some(job) = self.queue.pop_front() {
+                self.in_service = Some((job.id, now, job.service));
+            }
+        }
+    }
+
+    /// Enqueues a job requiring `service` time at unit speed.
+    pub fn enqueue(&mut self, now: SimTime, id: JobId, service: SimDuration) {
+        self.advance(now);
+        self.queue.push_back(FifoJob { id, service });
+        self.start_next(now);
+    }
+
+    /// Changes the server speed factor (rebasing the in-service job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive.
+    pub fn set_speed(&mut self, now: SimTime, speed: f64) {
+        assert!(speed.is_finite() && speed > 0.0, "bad speed {speed}");
+        self.advance(now);
+        if let Some((id, started, remaining)) = self.in_service {
+            let served = now.saturating_since(started).scale(self.speed);
+            let left = remaining.saturating_sub(served);
+            self.in_service = Some((id, now, left));
+        }
+        self.speed = speed;
+    }
+
+    /// Current server speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Predicted completion of the job in service, if any.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, JobId)> {
+        self.advance(now);
+        self.start_next(now);
+        self.in_service.map(|(id, started, remaining)| {
+            (started + remaining.scale(1.0 / self.speed), id)
+        })
+    }
+
+    /// Completes the in-service job at `now`, returning its id and starting
+    /// the next queued job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job is in service.
+    pub fn complete(&mut self, now: SimTime) -> JobId {
+        self.advance(now);
+        let (id, _, _) = self.in_service.take().expect("no job in service");
+        self.start_next(now);
+        id
+    }
+
+    /// Fraction of time the server was busy since the last reset.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        let span = now.saturating_since(self.since).as_nanos() as f64;
+        if span == 0.0 {
+            0.0
+        } else {
+            self.busy_integral / span
+        }
+    }
+
+    /// Restarts utilization accounting from `now`.
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        self.advance(now);
+        self.busy_integral = 0.0;
+        self.since = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    #[test]
+    fn single_job_runs_at_one_core() {
+        let mut cpu = PsResource::new(8.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(10), 1.0);
+        let (t, id) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(id, JobId(1));
+        assert_eq!(t, at(10));
+    }
+
+    #[test]
+    fn oversubscription_slows_jobs() {
+        // 2 cores, 4 identical jobs: each runs at 0.5 cores => 20ms for 10ms work.
+        let mut cpu = PsResource::new(2.0);
+        for i in 0..4 {
+            cpu.insert(SimTime::ZERO, JobId(i), ms(10), 1.0);
+        }
+        let (t, _) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t, at(20));
+    }
+
+    #[test]
+    fn undersubscription_caps_at_one_core() {
+        let mut cpu = PsResource::new(8.0);
+        cpu.insert(SimTime::ZERO, JobId(0), ms(10), 1.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(20), 1.0);
+        // Plenty of cores: both run at one core each.
+        let (t, id) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!((t, id), (at(10), JobId(0)));
+        cpu.remove(t, JobId(0));
+        let (t2, id2) = cpu.next_completion(t).unwrap();
+        assert_eq!((t2, id2), (at(20), JobId(1)));
+    }
+
+    #[test]
+    fn speed_factor_slows_individual_job() {
+        let mut cpu = PsResource::new(4.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(10), 0.5);
+        let (t, _) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t, at(20));
+    }
+
+    #[test]
+    fn set_speed_mid_flight() {
+        let mut cpu = PsResource::new(4.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(10), 1.0);
+        // After 5ms, half the work remains; halving speed doubles remaining time.
+        assert!(cpu.set_speed(at(5), JobId(1), 0.5));
+        let (t, _) = cpu.next_completion(at(5)).unwrap();
+        assert_eq!(t, at(15));
+        assert!(!cpu.set_speed(at(5), JobId(99), 0.5));
+    }
+
+    #[test]
+    fn dynamic_arrival_changes_rates() {
+        // 1 core. Job A (10ms) alone for 5ms, then B arrives: both at 0.5.
+        let mut cpu = PsResource::new(1.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(10), 1.0);
+        cpu.insert(at(5), JobId(2), ms(10), 1.0);
+        let (t, id) = cpu.next_completion(at(5)).unwrap();
+        // A has 5ms left at rate 0.5 => finishes at 15ms.
+        assert_eq!((t, id), (at(15), JobId(1)));
+        cpu.remove(t, JobId(1));
+        // B: ran 10ms at 0.5 => 5ms left, now alone at rate 1 => 20ms.
+        let (t2, id2) = cpu.next_completion(t).unwrap();
+        assert_eq!((t2, id2), (at(20), JobId(2)));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut cpu = PsResource::new(4.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(10), 1.0);
+        cpu.remove(at(10), JobId(1));
+        // 10ms of 1-core work over 20ms window on a 4-core pool = 0.5 cores avg.
+        let util = cpu.utilization(at(20));
+        assert!((util - 0.5).abs() < 1e-9, "util={util}");
+        cpu.reset_utilization(at(20));
+        assert_eq!(cpu.utilization(at(20)), 0.0);
+    }
+
+    #[test]
+    fn remove_returns_remaining() {
+        let mut cpu = PsResource::new(1.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(10), 1.0);
+        let left = cpu.remove(at(4), JobId(1)).unwrap();
+        assert_eq!(left, ms(6));
+        assert!(cpu.remove(at(4), JobId(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_insert_panics() {
+        let mut cpu = PsResource::new(1.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(1), 1.0);
+        cpu.insert(SimTime::ZERO, JobId(1), ms(1), 1.0);
+    }
+
+    #[test]
+    fn fifo_serves_in_order() {
+        let mut gpu = FifoResource::new();
+        gpu.enqueue(SimTime::ZERO, JobId(1), ms(4));
+        gpu.enqueue(SimTime::ZERO, JobId(2), ms(6));
+        let (t1, j1) = gpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!((t1, j1), (at(4), JobId(1)));
+        assert_eq!(gpu.complete(t1), JobId(1));
+        let (t2, j2) = gpu.next_completion(t1).unwrap();
+        assert_eq!((t2, j2), (at(10), JobId(2)));
+        assert_eq!(gpu.complete(t2), JobId(2));
+        assert!(gpu.is_empty());
+    }
+
+    #[test]
+    fn fifo_speed_change_rebases() {
+        let mut gpu = FifoResource::new();
+        gpu.enqueue(SimTime::ZERO, JobId(1), ms(10));
+        gpu.set_speed(at(5), 0.5); // 5ms left at half speed => 10ms more
+        let (t, _) = gpu.next_completion(at(5)).unwrap();
+        assert_eq!(t, at(15));
+        assert_eq!(gpu.speed(), 0.5);
+    }
+
+    #[test]
+    fn fifo_utilization() {
+        let mut gpu = FifoResource::new();
+        gpu.enqueue(SimTime::ZERO, JobId(1), ms(5));
+        let (t, _) = gpu.next_completion(SimTime::ZERO).unwrap();
+        gpu.complete(t);
+        let util = gpu.utilization(at(10));
+        assert!((util - 0.5).abs() < 1e-6, "util={util}");
+    }
+
+    #[test]
+    fn fifo_len_tracks_jobs() {
+        let mut gpu = FifoResource::new();
+        assert!(gpu.is_empty());
+        gpu.enqueue(SimTime::ZERO, JobId(1), ms(1));
+        gpu.enqueue(SimTime::ZERO, JobId(2), ms(1));
+        assert_eq!(gpu.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no job in service")]
+    fn fifo_complete_empty_panics() {
+        let mut gpu = FifoResource::new();
+        gpu.complete(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic random-number streams and sampling helpers.
+//!
+//! Every stochastic model in the reproduction draws from a [`SeedTree`]: a
+//! master seed from which independent, *named* streams are derived by hashing.
+//! Re-running an experiment with the same master seed therefore reproduces it
+//! bit-for-bit, while different components never share a stream.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives independent named RNG streams from a master seed.
+///
+/// # Example
+///
+/// ```
+/// use pictor_sim::SeedTree;
+/// use rand::Rng;
+///
+/// let tree = SeedTree::new(42);
+/// let mut a = tree.stream("network");
+/// let mut b = tree.stream("gpu");
+/// // Streams are deterministic and independent.
+/// let x: u64 = a.gen();
+/// let mut a2 = tree.stream("network");
+/// assert_eq!(x, a2.gen::<u64>());
+/// let _ = b.gen::<u64>();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    master: u64,
+}
+
+impl SeedTree {
+    /// Creates a tree rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        SeedTree { master }
+    }
+
+    /// The master seed.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives the seed for a named stream (FNV-1a over the name, mixed with
+    /// the master seed via splitmix64).
+    pub fn seed_for(&self, name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        splitmix64(self.master ^ h)
+    }
+
+    /// Creates the RNG for a named stream.
+    pub fn stream(&self, name: &str) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed_for(name))
+    }
+
+    /// Derives a child tree (e.g. per benchmark instance).
+    pub fn child(&self, name: &str) -> SeedTree {
+        SeedTree {
+            master: self.seed_for(name),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Samples a standard normal via Box–Muller.
+///
+/// `rand` 0.8 without `rand_distr` has no normal distribution; this is the
+/// textbook polar-free variant, adequate for workload models.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, std)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Samples `N(mean, std)` truncated to `[lo, hi]` by clamping.
+///
+/// Clamping (rather than rejection) keeps the draw count deterministic per
+/// call, which matters for stream reproducibility.
+pub fn normal_clamped<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+/// Samples a lognormal with the given *linear-space* mean and coefficient of
+/// variation (std/mean). Latency-like quantities use this shape: strictly
+/// positive with a heavy right tail.
+///
+/// # Panics
+///
+/// Panics if `mean <= 0` or `cv < 0`.
+pub fn lognormal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
+    assert!(mean > 0.0, "lognormal mean must be positive: {mean}");
+    assert!(cv >= 0.0, "cv must be non-negative: {cv}");
+    if cv == 0.0 {
+        return mean;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    (mu + sigma2.sqrt() * standard_normal(rng)).exp()
+}
+
+/// Samples an exponential with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive: {mean}");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let t = SeedTree::new(7);
+        let mut a = t.stream("x");
+        let mut b = t.stream("x");
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_differ_by_name() {
+        let t = SeedTree::new(7);
+        assert_ne!(t.seed_for("x"), t.seed_for("y"));
+        assert_ne!(t.seed_for("x"), t.seed_for("x2"));
+    }
+
+    #[test]
+    fn trees_differ_by_master() {
+        assert_ne!(SeedTree::new(1).seed_for("x"), SeedTree::new(2).seed_for("x"));
+    }
+
+    #[test]
+    fn child_trees_nest() {
+        let t = SeedTree::new(3);
+        let c1 = t.child("instance-1");
+        let c2 = t.child("instance-2");
+        assert_ne!(c1.seed_for("al"), c2.seed_for("al"));
+        assert_eq!(c1.master(), t.child("instance-1").master());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeedTree::new(11).stream("normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_mean_matches() {
+        let mut rng = SeedTree::new(13).stream("ln");
+        let n = 40_000;
+        let mean = (0..n)
+            .map(|_| lognormal_mean_cv(&mut rng, 10.0, 0.3))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 10.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_constant() {
+        let mut rng = SeedTree::new(13).stream("ln0");
+        assert_eq!(lognormal_mean_cv(&mut rng, 4.2, 0.0), 4.2);
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = SeedTree::new(17).stream("lnpos");
+        for _ in 0..5_000 {
+            assert!(lognormal_mean_cv(&mut rng, 1.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = SeedTree::new(19).stream("exp");
+        let n = 40_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut rng = SeedTree::new(23).stream("clamp");
+        for _ in 0..2_000 {
+            let x = normal_clamped(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+}

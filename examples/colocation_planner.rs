@@ -1,0 +1,96 @@
+//! Co-location planning from contentiousness profiles.
+//!
+//! §5.3 of the paper observes that contentiousness varies a lot between 3D
+//! apps (SuperTuxKart hurts co-runners most, 0AD least) and suggests using
+//! it "to select the proper set of 3D applications to share hardware". This
+//! example does exactly that: given four tenants and two servers, it scores
+//! every split with the contention model, picks the best, and validates the
+//! choice (and the worst split) with full pipeline simulations.
+//!
+//! Run with: `cargo run --release --example colocation_planner`
+
+use pictor::apps::{AppId, AppProfile};
+use pictor::core::{run_experiment, ExperimentSpec};
+use pictor::render::contention::contention_states;
+use pictor::render::config::StageTuning;
+use pictor::render::SystemConfig;
+use pictor::sim::SimDuration;
+
+/// Predicted combined slowdown of a pair sharing a server (lower is better).
+fn predicted_cost(a: AppId, b: AppId) -> f64 {
+    let pa = AppProfile::for_app(a);
+    let pb = AppProfile::for_app(b);
+    let states = contention_states(&[&pa, &pb], &StageTuning::default(), &[1.0, 1.0]);
+    (1.0 / states[0].app_speed) * states[0].rd_cost_mult
+        + (1.0 / states[1].app_speed) * states[1].rd_cost_mult
+}
+
+fn measured_fps(pair: (AppId, AppId)) -> (f64, f64) {
+    let result = run_experiment(ExperimentSpec {
+        duration: SimDuration::from_secs(15),
+        ..ExperimentSpec::with_humans(
+            vec![pair.0, pair.1],
+            SystemConfig::turbovnc_stock(),
+            99,
+        )
+    });
+    (
+        result.instances[0].report.client_fps,
+        result.instances[1].report.client_fps,
+    )
+}
+
+fn main() {
+    let tenants = [
+        AppId::Dota2,
+        AppId::SuperTuxKart,
+        AppId::ZeroAd,
+        AppId::RedEclipse,
+    ];
+    println!("Placing {tenants:?} onto two servers (two apps each).\n");
+    // The three ways to split four tenants into two pairs.
+    let splits = [
+        ((tenants[0], tenants[1]), (tenants[2], tenants[3])),
+        ((tenants[0], tenants[2]), (tenants[1], tenants[3])),
+        ((tenants[0], tenants[3]), (tenants[1], tenants[2])),
+    ];
+    let mut scored: Vec<_> = splits
+        .iter()
+        .map(|&(p1, p2)| {
+            let cost = predicted_cost(p1.0, p1.1) + predicted_cost(p2.0, p2.1);
+            (p1, p2, cost)
+        })
+        .collect();
+    scored.sort_by(|x, y| x.2.partial_cmp(&y.2).expect("finite costs"));
+    for (p1, p2, cost) in &scored {
+        println!(
+            "  {}+{} | {}+{}  predicted contention cost {:.3}",
+            p1.0.code(),
+            p1.1.code(),
+            p2.0.code(),
+            p2.1.code(),
+            cost
+        );
+    }
+    let best = scored.first().expect("non-empty");
+    let worst = scored.last().expect("non-empty");
+    println!("\nValidating with full pipeline simulations (client FPS):");
+    for (label, split) in [("best", best), ("worst", worst)] {
+        let (a1, a2) = measured_fps(split.0);
+        let (b1, b2) = measured_fps(split.1);
+        println!(
+            "  {label}: {}+{} -> {:.1}/{:.1} fps, {}+{} -> {:.1}/{:.1} fps (min {:.1})",
+            split.0 .0.code(),
+            split.0 .1.code(),
+            a1,
+            a2,
+            split.1 .0.code(),
+            split.1 .1.code(),
+            b1,
+            b2,
+            a1.min(a2).min(b1).min(b2)
+        );
+    }
+    println!("\nThe planner keeps the most contentious app (STK) away from the most");
+    println!("sensitive ones — the paper's suggested use of contentiousness data.");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: benchmark one cloud 3D application with Pictor.
+//!
+//! Builds the TurboVNC-style rendering system with a single Red Eclipse
+//! instance driven by the human reference policy, attaches Pictor's
+//! measurement framework, runs a short session and prints what the paper's
+//! methodology yields: FPS, the RTT distribution and the per-stage latency
+//! breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pictor::apps::AppId;
+use pictor::core::{run_experiment, ExperimentSpec};
+use pictor::render::records::Stage;
+use pictor::render::SystemConfig;
+use pictor::sim::SimDuration;
+
+fn main() {
+    let spec = ExperimentSpec {
+        duration: SimDuration::from_secs(20),
+        ..ExperimentSpec::with_humans(
+            vec![AppId::RedEclipse],
+            SystemConfig::turbovnc_stock(),
+            42,
+        )
+    };
+    let result = run_experiment(spec);
+    let m = result.solo();
+
+    println!("Red Eclipse on stock TurboVNC (simulated, 20 s):");
+    println!("  server FPS : {:6.1}", m.report.server_fps);
+    println!("  client FPS : {:6.1}", m.report.client_fps);
+    println!("  app CPU    : {:6.0}%", m.report.app_cpu * 100.0);
+    println!("  VNC CPU    : {:6.0}%", m.report.vnc_cpu * 100.0);
+    println!("  GPU        : {:6.0}%", m.report.gpu_util * 100.0);
+    println!();
+    println!(
+        "RTT over {} tracked inputs: mean {:.1} ms (p1 {:.1}, p25 {:.1}, p75 {:.1}, p99 {:.1})",
+        m.tracked_inputs, m.rtt.mean, m.rtt.p1, m.rtt.p25, m.rtt.p75, m.rtt.p99
+    );
+    println!();
+    println!("Per-stage means (ms):");
+    for stage in Stage::ALL {
+        println!("  {:<2} {:7.2}", stage.label(), m.stage_ms(stage));
+    }
+    println!(
+        "  input queue wait {:.2} ms, app time {:.2} ms, server total {:.2} ms",
+        m.queue_wait_ms, m.app_time_ms, m.server_time_ms
+    );
+}

@@ -1,0 +1,58 @@
+//! Training and validating an intelligent client (the paper's §3.1 flow).
+//!
+//! Records a human session, trains the CNN (object recognition) and the
+//! LSTM (input generation), then plays the benchmark through the full cloud
+//! pipeline with both the human reference and the trained client, and
+//! compares the measured RTT distributions — the paper's Table 3 protocol
+//! for one app.
+//!
+//! Run with: `cargo run --release --example train_intelligent_client`
+
+use pictor::apps::AppId;
+use pictor::client::ic::{IcTrainConfig, IntelligentClient};
+use pictor::core::{run_experiment, ExperimentSpec, IcDriver};
+use pictor::render::SystemConfig;
+use pictor::sim::{SeedTree, SimDuration};
+
+fn main() {
+    let app = AppId::RedEclipse;
+    let seeds = SeedTree::new(2020);
+    println!("Recording a human session and training the intelligent client…");
+    let ic = IntelligentClient::train(app, &seeds, IcTrainConfig::default());
+    println!(
+        "  CNN cell accuracy {:.1}%  |  LSTM final class loss {:.3}  |  aim noise {:?}",
+        ic.vision().train_accuracy() * 100.0,
+        ic.agent().final_class_loss(),
+        ic.agent()
+            .aim_noise_std()
+            .map(|v| (v * 100.0).round() / 100.0),
+    );
+
+    let config = SystemConfig::turbovnc_stock();
+    let duration = SimDuration::from_secs(30);
+    println!("\nRunning the human reference session…");
+    let human = run_experiment(ExperimentSpec {
+        duration,
+        ..ExperimentSpec::with_humans(vec![app], config.clone(), 2020)
+    });
+    println!("Running the intelligent-client session…");
+    let ic_run = run_experiment(ExperimentSpec {
+        apps: vec![app],
+        config,
+        seed: 2020 ^ 0x1c,
+        warmup: SimDuration::from_secs(3),
+        duration,
+        drivers: Box::new(move |_, _, _| Box::new(IcDriver::new(ic.clone()))),
+    });
+
+    let h = human.solo();
+    let c = ic_run.solo();
+    println!("\n              {:>10} {:>10}", "human", "IC");
+    println!("mean RTT ms   {:>10.1} {:>10.1}", h.rtt.mean, c.rtt.mean);
+    println!("p25 RTT  ms   {:>10.1} {:>10.1}", h.rtt.p25, c.rtt.p25);
+    println!("p75 RTT  ms   {:>10.1} {:>10.1}", h.rtt.p75, c.rtt.p75);
+    println!("server FPS    {:>10.1} {:>10.1}", h.report.server_fps, c.report.server_fps);
+    println!("inputs        {:>10} {:>10}", h.tracked_inputs, c.tracked_inputs);
+    let err = ((c.rtt.mean - h.rtt.mean) / h.rtt.mean).abs() * 100.0;
+    println!("\nmean-RTT error: {err:.1}%  (paper Table 3: 1.6% average across the suite)");
+}

