@@ -32,7 +32,10 @@ impl ActionClass {
 
     /// Stable index in `0..5`.
     pub fn index(&self) -> usize {
-        ActionClass::ALL.iter().position(|c| c == self).expect("in ALL")
+        ActionClass::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("in ALL")
     }
 
     /// Inverse of [`ActionClass::index`].

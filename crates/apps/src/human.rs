@@ -195,9 +195,7 @@ impl HumanPolicy {
             return Action::new(ActionClass::Move, steer, 0.0);
         }
         // View / head motion.
-        if roll >= p.engage_prob + p.move_prob
-            && roll < p.engage_prob + p.move_prob + p.look_prob
-        {
+        if roll >= p.engage_prob + p.move_prob && roll < p.engage_prob + p.move_prob + p.look_prob {
             self.actions_issued += 1;
             let dx: f64 = self.rng.gen_range(-0.6..0.6);
             let dy: f64 = self.rng.gen_range(-0.3..0.3);
@@ -279,7 +277,10 @@ mod tests {
             }
         }
         let (mx, my) = (sx / n as f64, sy / n as f64);
-        assert!((mx - 0.5).abs() < 0.01 && (my - 0.5).abs() < 0.01, "aim=({mx},{my})");
+        assert!(
+            (mx - 0.5).abs() < 0.01 && (my - 0.5).abs() < 0.01,
+            "aim=({mx},{my})"
+        );
     }
 
     #[test]

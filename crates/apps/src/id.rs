@@ -103,7 +103,11 @@ mod tests {
 
     #[test]
     fn two_closed_source() {
-        let closed: Vec<AppId> = AppId::ALL.iter().copied().filter(AppId::closed_source).collect();
+        let closed: Vec<AppId> = AppId::ALL
+            .iter()
+            .copied()
+            .filter(AppId::closed_source)
+            .collect();
         assert_eq!(closed, [AppId::Dota2, AppId::InMind]);
     }
 

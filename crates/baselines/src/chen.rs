@@ -97,7 +97,10 @@ mod tests {
             "Chen must underestimate: est {est_mean} vs true {true_mean}"
         );
         // But it is not absurd — the big stages are there.
-        assert!(est_mean > true_mean * 0.3, "est {est_mean} vs true {true_mean}");
+        assert!(
+            est_mean > true_mean * 0.3,
+            "est {est_mean} vs true {true_mean}"
+        );
     }
 
     #[test]

@@ -38,11 +38,7 @@ mod tests {
         });
         let sm = run_experiment(ExperimentSpec {
             duration,
-            ..ExperimentSpec::with_humans(
-                vec![AppId::RedEclipse],
-                slow_motion_config(&stock),
-                31,
-            )
+            ..ExperimentSpec::with_humans(vec![AppId::RedEclipse], slow_motion_config(&stock), 31)
         });
         let full_rtt = full.solo().rtt.mean;
         let sm_rtt = sm.solo().rtt.mean;

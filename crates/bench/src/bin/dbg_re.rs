@@ -4,11 +4,22 @@ use pictor_render::records::Stage;
 use pictor_render::SystemConfig;
 
 fn main() {
-    for (name, config) in [("stock", SystemConfig::turbovnc_stock()), ("opt", SystemConfig::optimized())] {
+    for (name, config) in [
+        ("stock", SystemConfig::turbovnc_stock()),
+        ("opt", SystemConfig::optimized()),
+    ] {
         let r = run_humans(AppId::RedEclipse, 1, config, 2020);
         let m = r.solo();
-        println!("{name}: rtt mean {:.1} p99 {:.1} | wait {:.1} app {:.1} | stages:", m.rtt.mean, m.rtt.p99, m.queue_wait_ms, m.app_time_ms);
-        for s in Stage::ALL { print!("  {}={:.2}", s.label(), m.stage_ms(s)); }
-        println!("\n  server_fps {:.1} client_fps {:.1} dropped {} inputs {}", m.report.server_fps, m.report.client_fps, m.report.frames_dropped, m.report.inputs_sent);
+        println!(
+            "{name}: rtt mean {:.1} p99 {:.1} | wait {:.1} app {:.1} | stages:",
+            m.rtt.mean, m.rtt.p99, m.queue_wait_ms, m.app_time_ms
+        );
+        for s in Stage::ALL {
+            print!("  {}={:.2}", s.label(), m.stage_ms(s));
+        }
+        println!(
+            "\n  server_fps {:.1} client_fps {:.1} dropped {} inputs {}",
+            m.report.server_fps, m.report.client_fps, m.report.frames_dropped, m.report.inputs_sent
+        );
     }
 }

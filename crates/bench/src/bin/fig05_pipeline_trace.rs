@@ -74,7 +74,10 @@ fn trace(label: &str, config: SystemConfig) {
 fn main() {
     banner("Figure 5/21: software-pipeline stage timeline");
     trace("stock TurboVNC (Fig 5)", SystemConfig::turbovnc_stock());
-    trace("optimized two-step copy (Fig 21)", SystemConfig::optimized());
+    trace(
+        "optimized two-step copy (Fig 21)",
+        SystemConfig::optimized(),
+    );
     println!("Read each row left to right: while frame k renders on the GPU (RD),");
     println!("the logic thread copies frame k-1 (FC) — stock blocks in the copy;");
     println!("optimized, the copy spans two passes and AL packs tighter.");

@@ -12,9 +12,16 @@ use pictor_render::SystemConfig;
 fn main() {
     banner("Figure 8: CPU/GPU utilization per benchmark (one instance)");
     let mut table = Table::new(
-        ["app", "app CPU%", "VNC CPU%", "GPU%", "mem MiB", "GPU mem MiB"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "app",
+            "app CPU%",
+            "VNC CPU%",
+            "GPU%",
+            "mem MiB",
+            "GPU mem MiB",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for app in AppId::ALL {
         let result = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());

@@ -12,9 +12,14 @@ use pictor_render::SystemConfig;
 fn main() {
     banner("Figure 9: network and PCIe bandwidth per benchmark (one instance)");
     let mut table = Table::new(
-        ["app", "net down Mbps", "PCIe to GPU GB/s", "PCIe from GPU GB/s"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "app",
+            "net down Mbps",
+            "PCIe to GPU GB/s",
+            "PCIe from GPU GB/s",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for app in AppId::ALL {
         let result = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());

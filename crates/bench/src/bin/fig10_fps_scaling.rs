@@ -25,11 +25,23 @@ fn main() {
                 master_seed() ^ n as u64,
             );
             // Average across the co-located instances.
-            let server: f64 = result.instances.iter().map(|m| m.report.server_fps).sum::<f64>()
+            let server: f64 = result
+                .instances
+                .iter()
+                .map(|m| m.report.server_fps)
+                .sum::<f64>()
                 / n as f64;
-            let client: f64 = result.instances.iter().map(|m| m.report.client_fps).sum::<f64>()
+            let client: f64 = result
+                .instances
+                .iter()
+                .map(|m| m.report.client_fps)
+                .sum::<f64>()
                 / n as f64;
-            let dropped: u64 = result.instances.iter().map(|m| m.report.frames_dropped).sum();
+            let dropped: u64 = result
+                .instances
+                .iter()
+                .map(|m| m.report.frames_dropped)
+                .sum();
             table.row(vec![
                 app.code().into(),
                 n.to_string(),

@@ -18,8 +18,8 @@ fn main() {
             .map(String::from)
             .to_vec(),
     );
-    let mut al_solo = vec![0.0; 6];
-    let mut rd_solo = vec![0.0; 6];
+    let mut al_solo = [0.0; 6];
+    let mut rd_solo = [0.0; 6];
     for (ai, app) in AppId::ALL.into_iter().enumerate() {
         for n in 1..=4usize {
             let result = run_humans(

@@ -15,9 +15,17 @@ fn main() {
     banner("Figure 14: Top-Down CPU cycle breakdown for 1-4 instances");
     let td_model = TopDownModel::paper_default();
     let mut table = Table::new(
-        ["app", "n", "retire%", "frontend%", "badspec%", "backend%", "IPC"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "app",
+            "n",
+            "retire%",
+            "frontend%",
+            "badspec%",
+            "backend%",
+            "IPC",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for app in AppId::ALL {
         let profile = AppProfile::for_app(app);

@@ -11,7 +11,9 @@ use pictor_render::SystemConfig;
 fn main() {
     banner("Figure 15: L3 miss rates for 1-4 instances");
     let mut table = Table::new(
-        ["app", "n=1", "n=2", "n=3", "n=4"].map(String::from).to_vec(),
+        ["app", "n=1", "n=2", "n=3", "n=4"]
+            .map(String::from)
+            .to_vec(),
     );
     for app in AppId::ALL {
         let mut cells = vec![app.code().to_string()];

@@ -14,9 +14,16 @@ fn main() {
     banner("Figure 17: per-instance power for 1-4 instances");
     let model = PowerModel::paper_default();
     let mut table = Table::new(
-        ["app", "n", "total W", "per-inst W", "Δtotal%", "per-inst saving%"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "app",
+            "n",
+            "total W",
+            "per-inst W",
+            "Δtotal%",
+            "per-inst saving%",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for app in AppId::ALL {
         let mut prev_total = 0.0;

@@ -12,14 +12,24 @@ use pictor_render::SystemConfig;
 
 fn main() {
     banner("Figure 19: Dota2 under each co-runner");
-    let solo = run_humans(AppId::Dota2, 1, SystemConfig::turbovnc_stock(), master_seed());
+    let solo = run_humans(
+        AppId::Dota2,
+        1,
+        SystemConfig::turbovnc_stock(),
+        master_seed(),
+    );
     let solo_fps = solo.solo().report.client_fps;
     let solo_l3 = solo.solo().report.l3_miss_rate;
     let solo_gl2 = solo.solo().report.gpu_l2_miss_rate;
     let mut table = Table::new(
-        ["co-runner", "D2 fps loss%", "L3 miss +pts", "GPU L2 miss +pts"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "co-runner",
+            "D2 fps loss%",
+            "L3 miss +pts",
+            "GPU L2 miss +pts",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut rows: Vec<(AppId, f64)> = Vec::new();
     for co in AppId::ALL {

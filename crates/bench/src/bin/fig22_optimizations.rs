@@ -15,9 +15,16 @@ use pictor_render::SystemConfig;
 fn main() {
     banner("Figure 22: optimized frame copy (server FPS / client FPS / RTT)");
     let mut table = Table::new(
-        ["app", "srv FPS stock", "srv FPS opt", "srv gain%", "cli gain%", "RTT change%"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "app",
+            "srv FPS stock",
+            "srv FPS opt",
+            "srv gain%",
+            "cli gain%",
+            "RTT change%",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut gains = (0.0, 0.0, 0.0);
     for app in AppId::ALL {

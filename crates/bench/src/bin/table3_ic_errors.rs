@@ -83,7 +83,9 @@ fn main() {
             .map(String::from)
             .to_vec(),
     );
-    let methods: [(&str, Box<dyn Fn(&(AppId, f64, f64, f64, f64)) -> f64>); 4] = [
+    type ErrorRow = (AppId, f64, f64, f64, f64);
+    type Extract = Box<dyn Fn(&ErrorRow) -> f64>;
+    let methods: [(&str, Extract); 4] = [
         ("Pictor", Box::new(|r| r.1)),
         ("DB", Box::new(|r| r.2)),
         ("CH", Box::new(|r| r.3)),

@@ -45,7 +45,7 @@ impl Default for AgentConfig {
         AgentConfig {
             seq_len: 6,
             hidden: 24,
-            epochs: 8,
+            epochs: 16,
             lr: 0.005,
             batch: 16,
             max_sequences: 4000,
@@ -70,13 +70,43 @@ pub struct AgentModel {
     final_class_loss: f64,
 }
 
-/// Builds the `[hidden | class one-hot]` input row for the aim head.
-fn aim_input(h: &Matrix, row: usize, class: ActionClass, hidden: usize) -> Matrix {
-    let mut m = Matrix::zeros(1, hidden + ActionClass::ALL.len());
+/// Whether actions of this class aim at a recognized object (as opposed to
+/// steering or view motion, whose analogs are independent of the scene).
+fn is_engagement(class: ActionClass) -> bool {
+    matches!(class, ActionClass::Primary | ActionClass::Secondary)
+}
+
+/// Copies the `[hidden | class one-hot | gated current-frame features]` aim
+/// input into `row` of `m`. The skip connection gives the regression direct
+/// access to the recognized object coordinates instead of forcing them
+/// through the hidden state, where they compete with the class objective;
+/// it is gated to engagement classes because steering (`Move`) and view
+/// (`Look`) analogs are independent of object positions — ungated, their
+/// far more numerous samples drag the shared feature weights toward zero.
+fn fill_aim_input(
+    m: &mut Matrix,
+    row: usize,
+    h: &Matrix,
+    class: ActionClass,
+    hidden: usize,
+    feats: &[f64],
+) {
     for j in 0..hidden {
-        m.set(0, j, h.get(row, j));
+        m.set(row, j, h.get(row, j));
     }
-    m.set(0, hidden + class.index(), 1.0);
+    m.set(row, hidden + class.index(), 1.0);
+    if is_engagement(class) {
+        for (j, &v) in feats.iter().enumerate() {
+            m.set(row, hidden + ActionClass::ALL.len() + j, v);
+        }
+    }
+}
+
+/// Builds a single-row aim-head input (inference path; `h` is a 1-row
+/// hidden state from `infer`).
+fn aim_input(h: &Matrix, class: ActionClass, hidden: usize, feats: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(1, hidden + ActionClass::ALL.len() + FEATURE_DIM);
+    fill_aim_input(&mut m, 0, h, class, hidden, feats);
     m
 }
 
@@ -94,7 +124,11 @@ impl AgentModel {
         config: AgentConfig,
         rng: &mut SmallRng,
     ) -> Self {
-        assert_eq!(session.len(), detections.len(), "detections/frames mismatch");
+        assert_eq!(
+            session.len(),
+            detections.len(),
+            "detections/frames mismatch"
+        );
         assert!(
             session.len() > config.seq_len,
             "session shorter than the sequence window"
@@ -113,7 +147,12 @@ impl AgentModel {
         let n_classes = ActionClass::ALL.len();
         let mut lstm = Lstm::new(FEATURE_DIM, config.hidden, rng);
         let mut class_head = Dense::new(config.hidden, n_classes, Activation::Identity, rng);
-        let mut aim_head = Dense::new(config.hidden + n_classes, 2, Activation::Tanh, rng);
+        let mut aim_head = Dense::new(
+            config.hidden + n_classes + FEATURE_DIM,
+            2,
+            Activation::Tanh,
+            rng,
+        );
         let mut adam = Adam::new(config.lr);
         let mut final_class_loss = f64::INFINITY;
         for _ in 0..config.epochs {
@@ -138,22 +177,21 @@ impl AgentModel {
                         m
                     })
                     .collect();
-                let targets_class: Vec<usize> =
-                    chunk.iter().map(|&t| session.actions[t].class.index()).collect();
+                let targets_class: Vec<usize> = chunk
+                    .iter()
+                    .map(|&t| session.actions[t].class.index())
+                    .collect();
                 let h = lstm.forward(&xs);
                 let logits = class_head.forward(&h);
                 let (class_loss, d_logits) = softmax_cross_entropy(&logits, &targets_class);
                 let d_h_class = class_head.backward(&d_logits);
                 // Masked aim regression conditioned on the true class: only
                 // rows whose action carries an analog component contribute.
-                let mut aim_in = Matrix::zeros(b, config.hidden + n_classes);
+                let mut aim_in = Matrix::zeros(b, config.hidden + n_classes + FEATURE_DIM);
                 let mut mask = vec![false; b];
                 for (row, &t) in chunk.iter().enumerate() {
                     let a = &session.actions[t];
-                    for j in 0..config.hidden {
-                        aim_in.set(row, j, h.get(row, j));
-                    }
-                    aim_in.set(row, config.hidden + a.class.index(), 1.0);
+                    fill_aim_input(&mut aim_in, row, &h, a.class, config.hidden, &feats[t]);
                     mask[row] = a.is_input();
                 }
                 let aim = aim_head.forward(&aim_in);
@@ -198,7 +236,7 @@ impl AgentModel {
                 .map(|k| Matrix::row_vector(&feats[t + 1 - config.seq_len + k]))
                 .collect();
             let h = lstm.infer(&xs);
-            let aim = aim_head.infer(&aim_input(&h, 0, a.class, config.hidden));
+            let aim = aim_head.infer(&aim_input(&h, a.class, config.hidden, &feats[t]));
             residuals[a.class.index()].push(aim.get(0, 0) - a.dx);
             residuals[a.class.index()].push(aim.get(0, 1) - a.dy);
         }
@@ -283,7 +321,8 @@ impl AgentModel {
             return Action::idle();
         }
         let hidden = self.lstm.hidden_dim();
-        let aim = self.aim_head.infer(&aim_input(&h, 0, class, hidden));
+        let current = self.history.last().expect("history has the current frame");
+        let aim = self.aim_head.infer(&aim_input(&h, class, hidden, current));
         let noise = self.aim_noise_std[class.index()];
         let dx = normal(rng, aim.get(0, 0), noise);
         let dy = normal(rng, aim.get(0, 1), noise);
@@ -309,12 +348,7 @@ mod tests {
         let seeds = SeedTree::new(seed);
         let session = record_session(app, &seeds, frames, 13.3);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let agent = AgentModel::train(
-            &session,
-            &session.truths,
-            AgentConfig::default(),
-            &mut rng,
-        );
+        let agent = AgentModel::train(&session, &session.truths, AgentConfig::default(), &mut rng);
         (agent, session)
     }
 

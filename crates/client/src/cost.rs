@@ -93,7 +93,11 @@ impl InferenceCostModel {
 
     /// Samples one input-generation latency.
     pub fn rnn_latency(&self, app: AppId, rng: &mut SmallRng) -> SimDuration {
-        SimDuration::from_millis_f64(lognormal_mean_cv(rng, self.rnn_mean_ms(app), self.jitter_cv))
+        SimDuration::from_millis_f64(lognormal_mean_cv(
+            rng,
+            self.rnn_mean_ms(app),
+            self.jitter_cv,
+        ))
     }
 
     /// Actions-per-minute the client can sustain: one action per CV+RNN
@@ -149,7 +153,10 @@ mod tests {
             .map(|_| m.cv_latency(AppId::Dota2, &mut rng).as_millis_f64())
             .sum::<f64>()
             / n as f64;
-        assert!((mean - m.cv_mean_ms(AppId::Dota2)).abs() < 1.5, "mean={mean}");
+        assert!(
+            (mean - m.cv_mean_ms(AppId::Dota2)).abs() < 1.5,
+            "mean={mean}"
+        );
     }
 
     #[test]

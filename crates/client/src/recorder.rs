@@ -110,7 +110,10 @@ mod tests {
         assert!(s.action_rate() > 0.02, "rate={}", s.action_rate());
         assert!(s.action_rate() < 0.6);
         let with_objects = s.truths.iter().filter(|t| !t.is_empty()).count();
-        assert!(with_objects > s.len() / 2, "objects in {with_objects} frames");
+        assert!(
+            with_objects > s.len() / 2,
+            "objects in {with_objects} frames"
+        );
     }
 
     #[test]

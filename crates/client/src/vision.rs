@@ -76,8 +76,8 @@ fn cell_tensor(frame: &Frame, cx: usize, cy: usize) -> Tensor4 {
     for y in 0..CELL_H {
         for x in 0..CELL_W {
             let px = frame.pixel(cx * CELL_W + x, cy * CELL_H + y);
-            for ch in 0..3 {
-                t.set(0, ch, y, x, f64::from(px[ch]) / 255.0 - 0.5);
+            for (ch, &v) in px.iter().enumerate() {
+                t.set(0, ch, y, x, f64::from(v) / 255.0 - 0.5);
             }
         }
     }
@@ -91,8 +91,8 @@ fn cell_std(frame: &Frame, cx: usize, cy: usize) -> f64 {
     for y in 0..CELL_H {
         for x in 0..CELL_W {
             let px = frame.pixel(cx * CELL_W + x, cy * CELL_H + y);
-            for ch in 0..3 {
-                let v = f64::from(px[ch]);
+            for &c in &px {
+                let v = f64::from(c);
                 sum += v;
                 sum2 += v * v;
             }
@@ -112,6 +112,7 @@ impl VisionModel {
         assert!(!session.is_empty(), "cannot train on an empty session");
         let classes = WorldParams::for_app(session.app).classes;
         let n_out = classes.len() + 1; // + background
+
         // Label each cell of each frame: cells whose center falls inside an
         // object's silhouette get that object's class (the rasterizer draws
         // an ellipse with half-height `size/2` normalized and equal
@@ -125,14 +126,14 @@ impl VisionModel {
                 };
                 let ry = (obj.size / 2.0).max(0.02);
                 let rx = ry * SIM_HEIGHT as f64 / SIM_WIDTH as f64;
-                for cy in 0..GRID_H {
-                    for cx in 0..GRID_W {
+                for (cy, row) in labeled.iter_mut().enumerate() {
+                    for (cx, cell) in row.iter_mut().enumerate() {
                         let ccx = (cx as f64 + 0.5) * CELL_W as f64 / SIM_WIDTH as f64;
                         let ccy = (cy as f64 + 0.5) * CELL_H as f64 / SIM_HEIGHT as f64;
                         let dx = (ccx - obj.x) / rx;
                         let dy = (ccy - obj.y) / ry;
                         if dx * dx + dy * dy <= 1.0 {
-                            labeled[cy][cx] = ci + 1;
+                            *cell = ci + 1;
                         }
                     }
                 }
@@ -217,7 +218,13 @@ impl VisionModel {
                 let logits = head.forward(&flat);
                 let (_, d_logits) = softmax_cross_entropy(&logits, &targets);
                 let d_flat = head.backward(&d_logits);
-                let d_pool = Tensor4::from_vec(pooled.n, pooled.c, pooled.h, pooled.w, d_flat.data().to_vec());
+                let d_pool = Tensor4::from_vec(
+                    pooled.n,
+                    pooled.c,
+                    pooled.h,
+                    pooled.w,
+                    d_flat.data().to_vec(),
+                );
                 let d_conv = pool.backward(&d_pool);
                 conv.backward(&d_conv);
                 let mut params = conv.params_and_grads();
@@ -288,9 +295,9 @@ impl VisionModel {
     /// 4-connected same-class cells into centroid detections.
     pub fn detect(&self, frame: &Frame) -> Vec<DetectedObject> {
         let mut labels = [[0usize; GRID_W]; GRID_H];
-        for cy in 0..GRID_H {
-            for cx in 0..GRID_W {
-                labels[cy][cx] = self.classify_cell(frame, cx, cy);
+        for (cy, row) in labels.iter_mut().enumerate() {
+            for (cx, cell) in row.iter_mut().enumerate() {
+                *cell = self.classify_cell(frame, cx, cy);
             }
         }
         // BFS clustering.
@@ -327,9 +334,7 @@ impl VisionModel {
                     class: self.classes[label - 1],
                     x: mx * CELL_W as f64 / SIM_WIDTH as f64,
                     y: my * CELL_H as f64 / SIM_HEIGHT as f64,
-                    size: (n * (CELL_W * CELL_H) as f64
-                        / (SIM_WIDTH * SIM_HEIGHT) as f64)
-                        .sqrt(),
+                    size: (n * (CELL_W * CELL_H) as f64 / (SIM_WIDTH * SIM_HEIGHT) as f64).sqrt(),
                 });
             }
         }

@@ -118,7 +118,11 @@ mod tests {
         let m = result.solo();
         assert!(m.report.server_fps > 20.0);
         assert!(m.tracked_inputs > 10);
-        assert!(m.rtt.mean > 30.0 && m.rtt.mean < 250.0, "rtt {}", m.rtt.mean);
+        assert!(
+            m.rtt.mean > 30.0 && m.rtt.mean < 250.0,
+            "rtt {}",
+            m.rtt.mean
+        );
         assert!(m.rtt.p1 <= m.rtt.p25 && m.rtt.p75 <= m.rtt.p99);
         assert!(m.server_time_ms > 10.0, "server {}", m.server_time_ms);
         assert!(m.stage_ms(Stage::Ss) > 1.0);

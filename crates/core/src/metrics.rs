@@ -43,8 +43,7 @@ impl InstanceMetrics {
                 vals.iter().sum::<f64>() / vals.len() as f64
             }
         };
-        let server_time_ms =
-            mean_of(&|t| t.server_time().map(|d| d.as_millis_f64()));
+        let server_time_ms = mean_of(&|t| t.server_time().map(|d| d.as_millis_f64()));
         let app_time_ms = mean_of(&|t| t.app_time.map(|d| d.as_millis_f64()));
         let queue_wait_ms = mean_of(&|t| t.queue_wait.map(|d| d.as_millis_f64()));
         InstanceMetrics {
@@ -144,10 +143,7 @@ mod tests {
     fn power_scales_with_instances() {
         let model = PowerModel::paper_default();
         let one = power_from_reports(&model, &[fake_report(1.2, 0.35)]);
-        let two = power_from_reports(
-            &model,
-            &[fake_report(1.2, 0.60), fake_report(1.2, 0.60)],
-        );
+        let two = power_from_reports(&model, &[fake_report(1.2, 0.60), fake_report(1.2, 0.60)]);
         assert!(two.total_watts > one.total_watts);
         assert!(two.per_instance_watts < one.per_instance_watts);
     }

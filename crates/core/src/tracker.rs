@@ -58,11 +58,7 @@ impl TrackedInput {
     pub fn server_time(&self) -> Option<SimDuration> {
         let cs = self.cs?;
         let ss = self.ss?;
-        Some(
-            self.rtt
-                .saturating_sub(cs)
-                .saturating_sub(ss),
-        )
+        Some(self.rtt.saturating_sub(cs).saturating_sub(ss))
     }
 }
 
@@ -135,7 +131,11 @@ impl InputTracker {
         // Pass 1: collect spans and endpoints.
         for record in records {
             match record {
-                Record::InputSent { instance, tag, time } => {
+                Record::InputSent {
+                    instance,
+                    tag,
+                    time,
+                } => {
                     tags.entry((*instance, *tag)).or_default().sent = Some(*time);
                     out.entry(*instance).or_default();
                 }
@@ -244,17 +244,13 @@ impl InputTracker {
                 j.ps_end = Some(span.end);
             }
             (Stage::Al, _, Some(frame)) => {
-                frames
-                    .entry((span.instance, frame))
-                    .or_default()
-                    .al_start = Some(span.start);
+                frames.entry((span.instance, frame)).or_default().al_start = Some(span.start);
             }
             (Stage::Fc, _, Some(frame)) => {
                 frames.entry((span.instance, frame)).or_default().fc_end = Some(span.end);
             }
             (Stage::As, _, Some(frame)) => {
-                frames.entry((span.instance, frame)).or_default().as_time =
-                    Some(span.duration());
+                frames.entry((span.instance, frame)).or_default().as_time = Some(span.duration());
             }
             (Stage::Cp, _, Some(frame)) => {
                 frames.entry((span.instance, frame)).or_default().cp = Some(span.duration());
@@ -313,7 +309,16 @@ mod tests {
         let track = &tracks[&0];
         let mut checked = 0;
         for input in &track.inputs {
-            let (Some(cs), Some(sp), Some(ps), Some(wait), Some(app), Some(as_t), Some(cp), Some(ss)) = (
+            let (
+                Some(cs),
+                Some(sp),
+                Some(ps),
+                Some(wait),
+                Some(app),
+                Some(as_t),
+                Some(cp),
+                Some(ss),
+            ) = (
                 input.cs,
                 input.sp,
                 input.ps,
@@ -322,7 +327,8 @@ mod tests {
                 input.as_time,
                 input.cp,
                 input.ss,
-            ) else {
+            )
+            else {
                 continue;
             };
             checked += 1;

@@ -105,7 +105,11 @@ fn missing_middle_spans_yield_partial_journey() {
         .collect();
     let tracks = InputTracker::new().analyze(&records);
     let input = &tracks[&0].inputs[0];
-    assert_eq!(input.rtt, SimDuration::from_millis(72), "RTT needs only hooks 1+10");
+    assert_eq!(
+        input.rtt,
+        SimDuration::from_millis(72),
+        "RTT needs only hooks 1+10"
+    );
     assert_eq!(input.ps, None);
     assert_eq!(input.app_time, None, "app time needs the FC end");
     assert_eq!(input.cs, Some(SimDuration::from_millis(2)));

@@ -80,8 +80,8 @@ impl CompressionModel {
         // the paper's §6 optimizations lift server FPS by 57.7% but client
         // FPS by only 7.4%.
         let touched = (raw as f64) * (0.75 + 0.25 * changed);
-        let throughput = self.easy_bytes_per_ns
-            + (self.hard_bytes_per_ns - self.easy_bytes_per_ns) * entropy;
+        let throughput =
+            self.easy_bytes_per_ns + (self.hard_bytes_per_ns - self.easy_bytes_per_ns) * entropy;
         let cpu_ns = touched / throughput;
         Compressed {
             compressed_bytes,
@@ -149,7 +149,11 @@ mod tests {
             "bytes={}",
             out.compressed_bytes
         );
-        assert!(out.compressed_bytes > 500_000, "bytes={}", out.compressed_bytes);
+        assert!(
+            out.compressed_bytes > 500_000,
+            "bytes={}",
+            out.compressed_bytes
+        );
     }
 
     #[test]

@@ -122,7 +122,10 @@ impl Frame {
     }
 
     fn index(&self, x: usize, y: usize) -> usize {
-        assert!(x < SIM_WIDTH && y < SIM_HEIGHT, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < SIM_WIDTH && y < SIM_HEIGHT,
+            "pixel ({x},{y}) out of bounds"
+        );
         (y * SIM_WIDTH + x) * 3
     }
 

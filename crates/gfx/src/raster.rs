@@ -89,11 +89,7 @@ pub fn draw_scene(frame_id: u64, objects: &[SceneObject], camera: f64, ambient: 
             // background onto itself.
             let base = 40.0 + 60.0 * fy + 25.0 * (fx * std::f64::consts::TAU * 1.37).sin();
             let v = base * (0.5 + 0.5 * ambient);
-            frame.set_pixel(
-                x,
-                y,
-                [(v * 0.80) as u8, (v * 0.74) as u8, (v * 0.68) as u8],
-            );
+            frame.set_pixel(x, y, [(v * 0.80) as u8, (v * 0.74) as u8, (v * 0.68) as u8]);
         }
     }
     for obj in objects {
@@ -189,7 +185,10 @@ mod tests {
         let px_l = left.pixel(lx, 27);
         let px_r = right.pixel(lx, 27);
         assert!(px_l[2] > px_l[0], "object pixel must be blue: {px_l:?}");
-        assert!(px_r[0] >= px_r[2], "background pixel must be warm: {px_r:?}");
+        assert!(
+            px_r[0] >= px_r[2],
+            "background pixel must be warm: {px_r:?}"
+        );
     }
 
     #[test]

@@ -85,7 +85,14 @@ impl Cpu {
     ///
     /// `speed` in `(0, 1]` models contention stalls: the core is held at full
     /// share but work drains more slowly.
-    pub fn insert(&mut self, now: SimTime, id: JobId, owner: OwnerId, work: SimDuration, speed: f64) {
+    pub fn insert(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        owner: OwnerId,
+        work: SimDuration,
+        speed: f64,
+    ) {
         self.pool.insert(now, id, work, speed);
         self.owners.insert(id, owner);
         self.refresh_occupancy(now);
@@ -175,7 +182,10 @@ mod tests {
         assert_eq!(done, at(20));
         cpu.remove(done, JobId(1));
         let util = cpu.owner_utilization(OwnerId(0), at(20));
-        assert!((util - 1.0).abs() < 1e-9, "stalled core must appear busy: {util}");
+        assert!(
+            (util - 1.0).abs() < 1e-9,
+            "stalled core must appear busy: {util}"
+        );
     }
 
     #[test]

@@ -92,12 +92,8 @@ impl Pcie {
         owner: u64,
     ) {
         let work_ns = bytes as f64 / self.bytes_per_ns;
-        self.dir_mut(dir).insert(
-            now,
-            id,
-            SimDuration::from_nanos(work_ns.ceil() as u64),
-            1.0,
-        );
+        self.dir_mut(dir)
+            .insert(now, id, SimDuration::from_nanos(work_ns.ceil() as u64), 1.0);
         self.owners.insert((dir, id), owner);
         self.sizes.insert((dir, id), bytes);
     }

@@ -52,8 +52,14 @@ impl PowerModel {
     /// `busy_cores` is negative.
     pub fn total_watts(&self, busy_cores: f64, gpu_util: f64, io_util: f64) -> f64 {
         assert!(busy_cores >= 0.0, "negative busy cores: {busy_cores}");
-        assert!((0.0..=1.0).contains(&gpu_util), "gpu util out of range: {gpu_util}");
-        assert!((0.0..=1.0).contains(&io_util), "io util out of range: {io_util}");
+        assert!(
+            (0.0..=1.0).contains(&gpu_util),
+            "gpu util out of range: {gpu_util}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&io_util),
+            "io util out of range: {io_util}"
+        );
         self.idle_watts
             + self.watts_per_core * busy_cores
             + self.gpu_dynamic_watts * gpu_util
@@ -137,9 +143,21 @@ mod tests {
             .collect();
         // Paper: 33%, 50%, 61% reductions. Allow generous tolerance: the
         // shape (monotone, deep amortization) is what matters.
-        assert!((reductions[0] - 0.33).abs() < 0.12, "2 inst: {:?}", reductions);
-        assert!((reductions[1] - 0.50).abs() < 0.12, "3 inst: {:?}", reductions);
-        assert!((reductions[2] - 0.61).abs() < 0.12, "4 inst: {:?}", reductions);
+        assert!(
+            (reductions[0] - 0.33).abs() < 0.12,
+            "2 inst: {:?}",
+            reductions
+        );
+        assert!(
+            (reductions[1] - 0.50).abs() < 0.12,
+            "3 inst: {:?}",
+            reductions
+        );
+        assert!(
+            (reductions[2] - 0.61).abs() < 0.12,
+            "4 inst: {:?}",
+            reductions
+        );
         assert!(reductions[0] < reductions[1] && reductions[1] < reductions[2]);
     }
 

@@ -247,7 +247,10 @@ impl Conv2d {
 
     /// Parameter/gradient pairs for the optimizer.
     pub fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
-        vec![(&mut self.w[..], &self.dw[..]), (&mut self.b[..], &self.db[..])]
+        vec![
+            (&mut self.w[..], &self.dw[..]),
+            (&mut self.b[..], &self.db[..]),
+        ]
     }
 }
 
@@ -379,7 +382,9 @@ mod tests {
             2,
             4,
             4,
-            (0..2 * 2 * 4 * 4).map(|i| ((i * 37 % 17) as f64 - 8.0) / 8.0).collect(),
+            (0..2 * 2 * 4 * 4)
+                .map(|i| ((i * 37 % 17) as f64 - 8.0) / 8.0)
+                .collect(),
         );
         let target = Tensor4::zeros(2, 3, 4, 4);
         let y = conv.forward(&x);

@@ -68,7 +68,12 @@ impl Activation {
 impl Dense {
     /// Creates a layer mapping `input_dim` → `output_dim` with Xavier
     /// weights.
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut SmallRng) -> Self {
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut SmallRng,
+    ) -> Self {
         Dense {
             w: Matrix::xavier(input_dim, output_dim, rng),
             b: Matrix::zeros(1, output_dim),

@@ -97,7 +97,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -107,7 +110,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -172,7 +178,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -201,7 +211,11 @@ impl Matrix {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Element-wise (Hadamard) product.
@@ -210,7 +224,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()

@@ -138,8 +138,8 @@ mod tests {
 
     #[test]
     fn drift_accumulates() {
-        let c = MachineClock::new(0, 10.0); // 10 ppm
-        // After 1 s, 10 ppm = 10 µs.
+        // 10 ppm of drift: after 1 s the clock is 10 µs off.
+        let c = MachineClock::new(0, 10.0);
         assert_eq!(c.error_ns(SimTime::from_secs(1)), 10_000);
         assert_eq!(c.error_ns(SimTime::from_secs(2)), 20_000);
     }

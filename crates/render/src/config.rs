@@ -163,8 +163,20 @@ impl ContainerConfig {
     /// Samples one instance's overhead multipliers:
     /// `(ipc_mult, gpu_mult, pressure_mult)`.
     pub fn sample(&self, rng: &mut SmallRng) -> (f64, f64, f64) {
-        let ipc = normal_clamped(rng, self.ipc_overhead_mean, self.ipc_overhead_std, 0.99, 1.15);
-        let gpu = normal_clamped(rng, self.gpu_overhead_mean, self.gpu_overhead_std, 1.0, 1.08);
+        let ipc = normal_clamped(
+            rng,
+            self.ipc_overhead_mean,
+            self.ipc_overhead_std,
+            0.99,
+            1.15,
+        );
+        let gpu = normal_clamped(
+            rng,
+            self.gpu_overhead_mean,
+            self.gpu_overhead_std,
+            1.0,
+            1.08,
+        );
         let relief = normal_clamped(
             rng,
             self.pressure_relief_mean,

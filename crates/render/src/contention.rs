@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn container_relief_reduces_pressure() {
-        let profiles = [AppProfile::for_app(AppId::Dota2), AppProfile::for_app(AppId::InMind)];
+        let profiles = [
+            AppProfile::for_app(AppId::Dota2),
+            AppProfile::for_app(AppId::InMind),
+        ];
         let refs: Vec<&AppProfile> = profiles.iter().collect();
         let bare = contention_states(&refs, &StageTuning::default(), &[1.0, 1.0]);
         let contained = contention_states(&refs, &StageTuning::default(), &[0.85, 0.85]);

@@ -110,7 +110,10 @@ mod tests {
         }
         let mean_latency = latencies.iter().sum::<f64>() / latencies.len() as f64;
         let mean_busy = busies.iter().sum::<f64>() / busies.len() as f64;
-        assert!((120.0..400.0).contains(&mean_latency), "latency {mean_latency}ms");
+        assert!(
+            (120.0..400.0).contains(&mean_latency),
+            "latency {mean_latency}ms"
+        );
         assert!((50.0..110.0).contains(&mean_busy), "busy {mean_busy}ms");
         assert_eq!(driver.policy().app(), AppId::RedEclipse);
     }

@@ -25,7 +25,9 @@ pub mod driver;
 pub mod records;
 pub mod system;
 
-pub use config::{ContainerConfig, MeasurementConfig, PipelineMode, QueryBuffers, StageTuning, SystemConfig};
+pub use config::{
+    ContainerConfig, MeasurementConfig, PipelineMode, QueryBuffers, StageTuning, SystemConfig,
+};
 pub use driver::{ClientDriver, HumanDriver};
 pub use records::{Record, Stage, StageSpan};
 pub use system::{CloudSystem, InstanceReport};

@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn stage_labels_match_paper() {
         let labels: Vec<&str> = Stage::ALL.iter().map(Stage::label).collect();
-        assert_eq!(labels, ["CS", "SP", "PS", "AL", "RD", "FC", "AS", "CP", "SS"]);
+        assert_eq!(
+            labels,
+            ["CS", "SP", "PS", "AL", "RD", "FC", "AS", "CP", "SS"]
+        );
     }
 
     #[test]

@@ -61,23 +61,47 @@ enum Ev {
 #[derive(Debug, Clone)]
 enum Timer {
     Kick,
-    XgwaDone { frame: u64 },
-    QueryStallDone { frame: u64 },
-    Display { frame: u64 },
+    XgwaDone {
+        frame: u64,
+    },
+    QueryStallDone {
+        frame: u64,
+    },
+    Display {
+        frame: u64,
+    },
     /// The driver can look at the next displayed frame.
     DeciderReady,
     /// A decided input's reaction latency elapsed; send it.
-    SendInput { action: Action },
+    SendInput {
+        action: Action,
+    },
 }
 
 #[derive(Debug, Clone)]
 enum CpuJob {
-    Sp { tag: Tag, action: Action, start: SimTime },
-    Ps { tag: Tag, action: Action, start: SimTime },
-    Al { frame: u64 },
-    Memcpy { frame: u64 },
-    As { frame: u64 },
-    Cp { frame: u64 },
+    Sp {
+        tag: Tag,
+        action: Action,
+        start: SimTime,
+    },
+    Ps {
+        tag: Tag,
+        action: Action,
+        start: SimTime,
+    },
+    Al {
+        frame: u64,
+    },
+    Memcpy {
+        frame: u64,
+    },
+    As {
+        frame: u64,
+    },
+    Cp {
+        frame: u64,
+    },
     Background,
 }
 
@@ -89,8 +113,14 @@ enum PcieJob {
 
 #[derive(Debug, Clone)]
 enum LinkMsg {
-    Input { tag: Tag, action: Action, sent: SimTime },
-    FramePacket { frame: u64 },
+    Input {
+        tag: Tag,
+        action: Action,
+        sent: SimTime,
+    },
+    FramePacket {
+        frame: u64,
+    },
 }
 
 /// The application logic thread's state.
@@ -521,7 +551,13 @@ impl CloudSystem {
     /// Reschedules every resource's next-completion event.
     fn refresh(&mut self, now: SimTime) {
         let cpu_next = self.cpu.next_completion(now).map(|(t, _)| t);
-        Self::reschedule(&mut self.queue, &mut self.ev_cpu, cpu_next, now, Ev::ServerCpu);
+        Self::reschedule(
+            &mut self.queue,
+            &mut self.ev_cpu,
+            cpu_next,
+            now,
+            Ev::ServerCpu,
+        );
         let gpu_next = self.gpu.next_completion(now).map(|(t, _)| t);
         Self::reschedule(&mut self.queue, &mut self.ev_gpu, gpu_next, now, Ev::Gpu);
         let pcie_next = self.pcie.next_completion(now).map(|(t, _, _)| t);
@@ -535,8 +571,20 @@ impl CloudSystem {
             let ser = self.links_down[i].next_serialization(now).map(|(t, _)| t);
             let del = self.links_down[i].next_delivery(now).map(|(t, _)| t);
             let handles = &mut self.ev_links[i];
-            Self::reschedule(&mut self.queue, &mut handles[2], ser, now, Ev::LinkDownSer(i));
-            Self::reschedule(&mut self.queue, &mut handles[3], del, now, Ev::LinkDownDel(i));
+            Self::reschedule(
+                &mut self.queue,
+                &mut handles[2],
+                ser,
+                now,
+                Ev::LinkDownSer(i),
+            );
+            Self::reschedule(
+                &mut self.queue,
+                &mut handles[3],
+                del,
+                now,
+                Ev::LinkDownDel(i),
+            );
         }
     }
 
@@ -701,7 +749,8 @@ impl CloudSystem {
         let speed = inst.ctn.app_speed;
         let job = self.alloc_job();
         self.cpu.insert(now, job, app_owner(i), work, speed);
-        self.cpu_jobs.insert(job, (i, CpuJob::Al { frame: frame_id }));
+        self.cpu_jobs
+            .insert(job, (i, CpuJob::Al { frame: frame_id }));
     }
 
     fn on_cpu_done(&mut self, now: SimTime, i: usize, kind: CpuJob) {
@@ -722,8 +771,7 @@ impl CloudSystem {
                 // Forward to the app over IPC (stage PS).
                 let hook = self.hook_cost(1);
                 let inst = &mut self.instances[i];
-                let mean =
-                    self.config.tuning.ps_base_ms * inst.ipc_mult;
+                let mean = self.config.tuning.ps_base_ms * inst.ipc_mult;
                 let mut work = SimDuration::from_millis_f64(lognormal_mean_cv(
                     &mut inst.rng,
                     mean,
@@ -733,8 +781,17 @@ impl CloudSystem {
                 let speed = inst.ctn.vnc_speed;
                 let job = self.alloc_job();
                 self.cpu.insert(now, job, vnc_owner(i), work, speed);
-                self.cpu_jobs
-                    .insert(job, (i, CpuJob::Ps { tag, action, start: now }));
+                self.cpu_jobs.insert(
+                    job,
+                    (
+                        i,
+                        CpuJob::Ps {
+                            tag,
+                            action,
+                            start: now,
+                        },
+                    ),
+                );
             }
             CpuJob::Ps { tag, action, start } => {
                 self.records.push(Record::Span(StageSpan {
@@ -877,7 +934,10 @@ impl CloudSystem {
                 .scale(inst.container_ipc)
         };
         {
-            let data = self.instances[i].frames.get_mut(&target).expect("fc target");
+            let data = self.instances[i]
+                .frames
+                .get_mut(&target)
+                .expect("fc target");
             if data.fc_start.is_none() {
                 data.fc_start = Some(now);
             }
@@ -1211,7 +1271,12 @@ impl CloudSystem {
         if reaction.action.is_input() || must_send {
             self.queue.schedule(
                 now + reaction.latency,
-                Ev::Timer(i, Timer::SendInput { action: reaction.action }),
+                Ev::Timer(
+                    i,
+                    Timer::SendInput {
+                        action: reaction.action,
+                    },
+                ),
             );
         }
     }
@@ -1241,7 +1306,14 @@ impl CloudSystem {
 
     // -------------------------- input path --------------------------
 
-    fn on_input_at_server(&mut self, now: SimTime, i: usize, tag: Tag, action: Action, sent: SimTime) {
+    fn on_input_at_server(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        tag: Tag,
+        action: Action,
+        sent: SimTime,
+    ) {
         self.records.push(Record::Span(StageSpan {
             instance: i as u32,
             stage: Stage::Cs,
@@ -1261,8 +1333,17 @@ impl CloudSystem {
         let speed = inst.ctn.vnc_speed;
         let job = self.alloc_job();
         self.cpu.insert(now, job, vnc_owner(i), work, speed);
-        self.cpu_jobs
-            .insert(job, (i, CpuJob::Sp { tag, action, start: now }));
+        self.cpu_jobs.insert(
+            job,
+            (
+                i,
+                CpuJob::Sp {
+                    tag,
+                    action,
+                    start: now,
+                },
+            ),
+        );
     }
 }
 
@@ -1305,16 +1386,25 @@ mod tests {
     fn solo_stock_run_produces_frames_and_inputs() {
         let (records, reports) = run_one(AppId::Dota2, SystemConfig::turbovnc_stock(), 10);
         let r = &reports[0];
-        assert!(r.server_fps > 20.0 && r.server_fps < 120.0, "server fps {}", r.server_fps);
+        assert!(
+            r.server_fps > 20.0 && r.server_fps < 120.0,
+            "server fps {}",
+            r.server_fps
+        );
         assert!(r.client_fps > 15.0, "client fps {}", r.client_fps);
         assert!(r.client_fps <= r.server_fps + 1.0);
         assert!(r.inputs_sent > 5, "inputs {}", r.inputs_sent);
-        let spans = records.iter().filter(|r| matches!(r, Record::Span(_))).count();
+        let spans = records
+            .iter()
+            .filter(|r| matches!(r, Record::Span(_)))
+            .count();
         assert!(spans > 100);
         // All nine stages appear.
         for stage in Stage::ALL {
             assert!(
-                records.iter().any(|r| matches!(r, Record::Span(s) if s.stage == stage)),
+                records
+                    .iter()
+                    .any(|r| matches!(r, Record::Span(s) if s.stage == stage)),
                 "missing stage {stage:?}"
             );
         }
@@ -1364,7 +1454,8 @@ mod tests {
     fn four_instances_slow_each_other() {
         let seeds = SeedTree::new(42);
         let mk = |n: usize| {
-            let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), seeds.child(&n.to_string()));
+            let mut sys =
+                CloudSystem::new(SystemConfig::turbovnc_stock(), seeds.child(&n.to_string()));
             for _ in 0..n {
                 sys.add_instance(AppId::Dota2, human(AppId::Dota2, &seeds));
             }
@@ -1389,7 +1480,11 @@ mod tests {
         };
         let (records, reports) = run_one(AppId::RedEclipse, config, 10);
         // Serialized: one frame per input round trip — low FPS.
-        assert!(reports[0].server_fps < 15.0, "fps {}", reports[0].server_fps);
+        assert!(
+            reports[0].server_fps < 15.0,
+            "fps {}",
+            reports[0].server_fps
+        );
         assert!(reports[0].inputs_sent > 10);
         // No frame should ever be dropped (never more than one in flight).
         assert_eq!(reports[0].frames_dropped, 0);
@@ -1443,8 +1538,16 @@ mod tests {
         assert!(r.app_cpu > 0.2 && r.app_cpu < 4.0, "app cpu {}", r.app_cpu);
         assert!(r.vnc_cpu > 0.5 && r.vnc_cpu < 4.0, "vnc cpu {}", r.vnc_cpu);
         assert!(r.gpu_util > 0.05 && r.gpu_util < 0.95, "gpu {}", r.gpu_util);
-        assert!(r.net_down_mbps > 10.0 && r.net_down_mbps < 1000.0, "net {}", r.net_down_mbps);
-        assert!(r.pcie_down_gbps > 0.05 && r.pcie_down_gbps < 5.0, "pcie {}", r.pcie_down_gbps);
+        assert!(
+            r.net_down_mbps > 10.0 && r.net_down_mbps < 1000.0,
+            "net {}",
+            r.net_down_mbps
+        );
+        assert!(
+            r.pcie_down_gbps > 0.05 && r.pcie_down_gbps < 5.0,
+            "pcie {}",
+            r.pcie_down_gbps
+        );
         // STK is the upload outlier but still modest in absolute terms.
         assert!(r.pcie_up_gbps > 0.01, "upload {}", r.pcie_up_gbps);
     }

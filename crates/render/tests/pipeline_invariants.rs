@@ -53,7 +53,10 @@ fn stage_spans_have_causal_order_per_frame() {
         for s in chain {
             match ends.get(&(frame, s)) {
                 Some(&t) => {
-                    assert!(t >= prev, "frame {frame}: {s:?} ended before previous stage");
+                    assert!(
+                        t >= prev,
+                        "frame {frame}: {s:?} ended before previous stage"
+                    );
                     prev = t;
                 }
                 None => {

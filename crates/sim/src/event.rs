@@ -194,7 +194,7 @@ mod tests {
         assert!(!q.cancel(a), "double cancel reports false");
         assert!(!q.cancel(EventId(999)), "unknown id reports false");
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
-        assert!(q.cancel(b) == false, "fired event cannot be cancelled");
+        assert!(!q.cancel(b), "fired event cannot be cancelled");
     }
 
     #[test]

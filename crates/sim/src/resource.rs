@@ -331,9 +331,8 @@ impl FifoResource {
     pub fn next_completion(&mut self, now: SimTime) -> Option<(SimTime, JobId)> {
         self.advance(now);
         self.start_next(now);
-        self.in_service.map(|(id, started, remaining)| {
-            (started + remaining.scale(1.0 / self.speed), id)
-        })
+        self.in_service
+            .map(|(id, started, remaining)| (started + remaining.scale(1.0 / self.speed), id))
     }
 
     /// Completes the in-service job at `now`, returning its id and starting

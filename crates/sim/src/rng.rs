@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn trees_differ_by_master() {
-        assert_ne!(SeedTree::new(1).seed_for("x"), SeedTree::new(2).seed_for("x"));
+        assert_ne!(
+            SeedTree::new(1).seed_for("x"),
+            SeedTree::new(2).seed_for("x")
+        );
     }
 
     #[test]

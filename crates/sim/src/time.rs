@@ -293,8 +293,14 @@ mod tests {
         assert_eq!(t2.saturating_since(t), SimDuration::from_millis(5));
         assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
         assert_eq!(t.checked_since(t2), None);
-        assert_eq!(SimDuration::from_millis(6) * 3, SimDuration::from_millis(18));
-        assert_eq!(SimDuration::from_millis(18) / 3, SimDuration::from_millis(6));
+        assert_eq!(
+            SimDuration::from_millis(6) * 3,
+            SimDuration::from_millis(18)
+        );
+        assert_eq!(
+            SimDuration::from_millis(18) / 3,
+            SimDuration::from_millis(6)
+        );
     }
 
     #[test]

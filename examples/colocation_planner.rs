@@ -11,8 +11,8 @@
 
 use pictor::apps::{AppId, AppProfile};
 use pictor::core::{run_experiment, ExperimentSpec};
-use pictor::render::contention::contention_states;
 use pictor::render::config::StageTuning;
+use pictor::render::contention::contention_states;
 use pictor::render::SystemConfig;
 use pictor::sim::SimDuration;
 
@@ -28,11 +28,7 @@ fn predicted_cost(a: AppId, b: AppId) -> f64 {
 fn measured_fps(pair: (AppId, AppId)) -> (f64, f64) {
     let result = run_experiment(ExperimentSpec {
         duration: SimDuration::from_secs(15),
-        ..ExperimentSpec::with_humans(
-            vec![pair.0, pair.1],
-            SystemConfig::turbovnc_stock(),
-            99,
-        )
+        ..ExperimentSpec::with_humans(vec![pair.0, pair.1], SystemConfig::turbovnc_stock(), 99)
     });
     (
         result.instances[0].report.client_fps,

@@ -30,11 +30,17 @@ fn measure(app: AppId, interposer: InterposerConfig) -> (f64, f64, f64) {
 fn main() {
     let app = AppId::SuperTuxKart;
     println!("SuperTuxKart, four interposer configurations (simulated):\n");
-    println!("{:<28} {:>10} {:>10} {:>9}", "configuration", "server FPS", "client FPS", "RTT ms");
+    println!(
+        "{:<28} {:>10} {:>10} {:>9}",
+        "configuration", "server FPS", "client FPS", "RTT ms"
+    );
     let configs = [
         ("stock TurboVNC", InterposerConfig::turbovnc_stock()),
         ("memoized XGWA only", InterposerConfig::memoize_only()),
-        ("async two-step copy only", InterposerConfig::async_copy_only()),
+        (
+            "async two-step copy only",
+            InterposerConfig::async_copy_only(),
+        ),
         ("both (paper §6)", InterposerConfig::optimized()),
     ];
     let base = measure(app, InterposerConfig::turbovnc_stock());

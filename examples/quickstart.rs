@@ -17,11 +17,7 @@ use pictor::sim::SimDuration;
 fn main() {
     let spec = ExperimentSpec {
         duration: SimDuration::from_secs(20),
-        ..ExperimentSpec::with_humans(
-            vec![AppId::RedEclipse],
-            SystemConfig::turbovnc_stock(),
-            42,
-        )
+        ..ExperimentSpec::with_humans(vec![AppId::RedEclipse], SystemConfig::turbovnc_stock(), 42)
     };
     let result = run_experiment(spec);
     let m = result.solo();

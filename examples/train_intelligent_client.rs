@@ -51,8 +51,14 @@ fn main() {
     println!("mean RTT ms   {:>10.1} {:>10.1}", h.rtt.mean, c.rtt.mean);
     println!("p25 RTT  ms   {:>10.1} {:>10.1}", h.rtt.p25, c.rtt.p25);
     println!("p75 RTT  ms   {:>10.1} {:>10.1}", h.rtt.p75, c.rtt.p75);
-    println!("server FPS    {:>10.1} {:>10.1}", h.report.server_fps, c.report.server_fps);
-    println!("inputs        {:>10} {:>10}", h.tracked_inputs, c.tracked_inputs);
+    println!(
+        "server FPS    {:>10.1} {:>10.1}",
+        h.report.server_fps, c.report.server_fps
+    );
+    println!(
+        "inputs        {:>10} {:>10}",
+        h.tracked_inputs, c.tracked_inputs
+    );
     let err = ((c.rtt.mean - h.rtt.mean) / h.rtt.mean).abs() * 100.0;
     println!("\nmean-RTT error: {err:.1}%  (paper Table 3: 1.6% average across the suite)");
 }

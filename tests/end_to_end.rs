@@ -50,7 +50,11 @@ fn intelligent_client_tracks_human_rtt() {
     // windows and the fast training config warrant a looser bound — the
     // point is that the IC is a *faithful* load generator, unlike the
     // baselines tested below.
-    assert!(err < 0.15, "IC mean-RTT error {:.1}% (human {h:.1}, ic {c:.1})", err * 100.0);
+    assert!(
+        err < 0.15,
+        "IC mean-RTT error {:.1}% (human {h:.1}, ic {c:.1})",
+        err * 100.0
+    );
 }
 
 #[test]
@@ -77,7 +81,11 @@ fn baselines_err_much_more_than_the_ic() {
         )
     });
     let sm_err = ((sm.solo().rtt.mean - h) / h).abs();
-    assert!(sm_err > 0.10, "Slow-Motion error only {:.1}%", sm_err * 100.0);
+    assert!(
+        sm_err > 0.10,
+        "Slow-Motion error only {:.1}%",
+        sm_err * 100.0
+    );
     assert!(sm.solo().rtt.mean < h, "Slow-Motion must underestimate");
 }
 
@@ -125,7 +133,10 @@ fn colocation_degrades_and_contention_ranks_hold() {
     let f_stk = with_stk.instances[0].report.client_fps;
     let f_0ad = with_0ad.instances[0].report.client_fps;
     assert!(f_stk < f_solo, "co-location must cost FPS");
-    assert!(f_stk < f_0ad, "STK must hurt D2 more than 0AD ({f_stk} vs {f_0ad})");
+    assert!(
+        f_stk < f_0ad,
+        "STK must hurt D2 more than 0AD ({f_stk} vs {f_0ad})"
+    );
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! Offline stand-in for the subset of `criterion` the Pictor workspace
+//! uses: `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no registry access, so this crate replaces
+//! crates.io `criterion` via a workspace path dependency. It runs each
+//! benchmark for a fixed number of timed samples and prints the median
+//! nanoseconds per iteration — no warm-up modeling, outlier analysis or
+//! HTML reports.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the last `iter`/`iter_batched` call.
+    last_ns: u128,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_ns: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.last_ns = times[times.len() / 2];
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.last_ns = times[times.len() / 2];
+    }
+}
+
+/// Benchmark registry/configuration (upstream `Criterion`, reduced).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!(
+            "{id:<40} {:>12} ns/iter (median of {})",
+            b.last_ns, self.sample_size
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (upstream-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

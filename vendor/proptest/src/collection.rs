@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s whose length is drawn from `len` and whose
+/// elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.usize_in(self.len.start, self.len.end);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Upstream `prop::collection::vec(element, size)` for half-open sizes.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { element, len }
+}
