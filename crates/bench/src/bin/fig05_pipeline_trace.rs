@@ -1,84 +1,10 @@
-//! Fig 5 / Fig 21: a textual trace of the software pipeline, showing how
-//! stages of consecutive frames overlap — and how the §6 two-step copy
-//! changes the schedule.
-//!
-//! For a short window, prints each frame's AL/RD/FC/AS/CP/SS intervals in
-//! milliseconds so the pipeline structure (AL+FC on one thread, RD parallel
-//! on the GPU, proxy stages downstream) is directly visible.
+//! Fig 5 / Fig 21: textual pipeline-stage timeline, stock vs optimized.
 
-use pictor_apps::{AppId, HumanPolicy};
-use pictor_bench::{banner, master_seed};
-use pictor_render::records::{Record, Stage};
-use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
-use pictor_sim::{SeedTree, SimDuration};
-
-fn trace(label: &str, config: SystemConfig) {
-    let app = AppId::SuperTuxKart;
-    let seeds = SeedTree::new(master_seed());
-    let mut sys = CloudSystem::new(config, seeds);
-    sys.add_instance(
-        app,
-        Box::new(HumanDriver::new(
-            HumanPolicy::new(app, seeds.stream("h")),
-            seeds.stream("attn"),
-        )),
-    );
-    sys.start();
-    sys.run_for(SimDuration::from_secs(3));
-    sys.reset_accounting();
-    let t0 = sys.now();
-    sys.run_for(SimDuration::from_millis(120));
-    let records = sys.drain_records();
-    println!("--- {label}: SuperTuxKart, ~120 ms window, times in ms since window start ---");
-    println!(
-        "{:>5} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}",
-        "frame", "AL", "RD", "FC", "AS", "CP", "SS"
-    );
-    let mut frames: std::collections::BTreeMap<u64, [Option<(f64, f64)>; 6]> =
-        std::collections::BTreeMap::new();
-    for r in &records {
-        let Record::Span(span) = r else { continue };
-        let Some(frame) = span.frame else { continue };
-        let idx = match span.stage {
-            Stage::Al => 0,
-            Stage::Rd => 1,
-            Stage::Fc => 2,
-            Stage::As => 3,
-            Stage::Cp => 4,
-            Stage::Ss => 5,
-            _ => continue,
-        };
-        let start = span.start.saturating_since(t0).as_millis_f64();
-        let end = span.end.saturating_since(t0).as_millis_f64();
-        frames.entry(frame).or_default()[idx] = Some((start, end));
-    }
-    let cell = |v: Option<(f64, f64)>| match v {
-        Some((s, e)) => format!("{s:5.1}-{e:5.1}"),
-        None => "-".to_string(),
-    };
-    for (frame, stages) in frames.iter().take(6) {
-        println!(
-            "{:>5} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}",
-            frame,
-            cell(stages[0]),
-            cell(stages[1]),
-            cell(stages[2]),
-            cell(stages[3]),
-            cell(stages[4]),
-            cell(stages[5]),
-        );
-    }
-    println!();
-}
+use pictor_bench::figures::fig05;
+use pictor_bench::{banner, master_seed, run_suite};
 
 fn main() {
     banner("Figure 5/21: software-pipeline stage timeline");
-    trace("stock TurboVNC (Fig 5)", SystemConfig::turbovnc_stock());
-    trace(
-        "optimized two-step copy (Fig 21)",
-        SystemConfig::optimized(),
-    );
-    println!("Read each row left to right: while frame k renders on the GPU (RD),");
-    println!("the logic thread copies frame k-1 (FC) — stock blocks in the copy;");
-    println!("optimized, the copy spans two passes and AL packs tighter.");
+    let report = run_suite(fig05::grid(master_seed()));
+    print!("{}", fig05::render(&report));
 }

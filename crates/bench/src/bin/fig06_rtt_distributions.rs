@@ -1,131 +1,10 @@
-//! Fig 6: RTT distributions under Human, Intelligent Client, DeskBench,
-//! Chen et al. and Slow-Motion, for all six benchmarks.
-//!
-//! Prints mean / p1 / p25 / p75 / p99 per (app, methodology) — the exact
-//! series of the paper's Fig 6 box plots.
+//! Fig 6: RTT distributions under the five methodologies.
 
-use pictor_apps::AppId;
-use pictor_baselines::deskbench::DeskBenchConfig;
-use pictor_baselines::{chen_estimate, slow_motion_config, DeskBenchDriver};
-use pictor_bench::{banner, master_seed, measured_secs};
-use pictor_client::ic::{IcTrainConfig, IntelligentClient};
-use pictor_client::record_session;
-use pictor_core::report::{fmt, Table};
-use pictor_core::{run_experiment, ExperimentSpec, IcDriver};
-use pictor_render::SystemConfig;
-use pictor_sim::stats::FivePoint;
-use pictor_sim::{SeedTree, SimDuration};
-
-fn five_point_row(table: &mut Table, app: AppId, method: &str, fp: FivePoint, n: usize) {
-    table.row(vec![
-        app.code().into(),
-        method.into(),
-        fmt(fp.mean, 1),
-        fmt(fp.p1, 1),
-        fmt(fp.p25, 1),
-        fmt(fp.p75, 1),
-        fmt(fp.p99, 1),
-        n.to_string(),
-    ]);
-}
+use pictor_bench::figures::fig06;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 6: RTT distributions (Human, IC, DeskBench, Chen, Slow-Motion)");
-    let seed = master_seed();
-    let duration = SimDuration::from_secs(measured_secs());
-    let config = SystemConfig::turbovnc_stock();
-    let mut table = Table::new(
-        ["app", "method", "mean", "p1", "p25", "p75", "p99", "inputs"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for app in AppId::ALL {
-        // Human reference.
-        let human = run_experiment(ExperimentSpec {
-            duration,
-            ..ExperimentSpec::with_humans(vec![app], config.clone(), seed)
-        });
-        five_point_row(
-            &mut table,
-            app,
-            "Human",
-            human.solo().rtt,
-            human.solo().tracked_inputs,
-        );
-
-        // Intelligent client (trained on a recorded human session).
-        let ic_seeds = SeedTree::new(seed).child(&format!("ic-{app}"));
-        let ic = IntelligentClient::train(app, &ic_seeds, IcTrainConfig::default());
-        let ic_run = run_experiment(ExperimentSpec {
-            apps: vec![app],
-            config: config.clone(),
-            seed: seed ^ 0x1c,
-            warmup: SimDuration::from_secs(3),
-            duration,
-            drivers: Box::new(move |_, _, _| Box::new(IcDriver::new(ic.clone()))),
-        });
-        five_point_row(
-            &mut table,
-            app,
-            "IC",
-            ic_run.solo().rtt,
-            ic_run.solo().tracked_inputs,
-        );
-
-        // DeskBench replay (records a human session, replays it gated on
-        // frame similarity; Pictor's framework still measures).
-        let db_session = record_session(
-            app,
-            &SeedTree::new(seed).child(&format!("db-{app}")),
-            900,
-            13.3,
-        );
-        let db_run = run_experiment(ExperimentSpec {
-            apps: vec![app],
-            config: config.clone(),
-            seed: seed ^ 0xdb,
-            warmup: SimDuration::from_secs(3),
-            duration,
-            drivers: Box::new(move |_, _, _| {
-                Box::new(DeskBenchDriver::new(
-                    db_session.clone(),
-                    DeskBenchConfig::default(),
-                ))
-            }),
-        });
-        five_point_row(
-            &mut table,
-            app,
-            "DeskBench",
-            db_run.solo().rtt,
-            db_run.solo().tracked_inputs,
-        );
-
-        // Chen et al. stage summing.
-        let chen = chen_estimate(app, &config, seed, duration);
-        let mut chen_dist = chen.rtt_ms.clone();
-        five_point_row(
-            &mut table,
-            app,
-            "Chen",
-            chen_dist.five_point(),
-            chen.rtt_ms.len(),
-        );
-
-        // Slow-Motion delay injection.
-        let sm = run_experiment(ExperimentSpec {
-            duration,
-            ..ExperimentSpec::with_humans(vec![app], slow_motion_config(&config), seed)
-        });
-        five_point_row(
-            &mut table,
-            app,
-            "Slow-Motion",
-            sm.solo().rtt,
-            sm.solo().tracked_inputs,
-        );
-    }
-    println!("{}", table.render());
-    println!("RTT values in ms. Paper reference: IC tracks Human closely; DeskBench");
-    println!("shifts the distribution; Chen and Slow-Motion sit well below Human.");
+    let report = run_suite(fig06::grid(measured_secs(), master_seed()));
+    print!("{}", fig06::render(&report));
 }

@@ -1,46 +1,10 @@
-//! Fig 7: computer-vision (CNN) and input-generation (RNN) inference times
-//! per benchmark, plus the implied actions-per-minute capability.
-//!
-//! Paper reference: 72.7 ms average CV, 1.9 ms input generation, ~804 APM
-//! (faster than professional players' ~300 APM).
+//! Fig 7: CV and input-generation inference times per benchmark.
 
-use pictor_apps::AppId;
-use pictor_bench::banner;
-use pictor_client::InferenceCostModel;
-use pictor_core::report::{fmt, Table};
-use pictor_hw::ClientSpec;
+use pictor_bench::figures::fig07;
+use pictor_bench::{banner, master_seed, run_suite};
 
 fn main() {
     banner("Figure 7: CV and input-generation inference time per benchmark");
-    let model = InferenceCostModel::new(ClientSpec::paper_client());
-    let mut table = Table::new(
-        ["app", "CV (ms)", "RNN (ms)", "max APM"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let mut cv_sum = 0.0;
-    let mut rnn_sum = 0.0;
-    let mut apm_sum = 0.0;
-    for app in AppId::ALL {
-        let cv = model.cv_mean_ms(app);
-        let rnn = model.rnn_mean_ms(app);
-        let apm = model.max_apm(app);
-        cv_sum += cv;
-        rnn_sum += rnn;
-        apm_sum += apm;
-        table.row(vec![
-            app.code().into(),
-            fmt(cv, 1),
-            fmt(rnn, 2),
-            fmt(apm, 0),
-        ]);
-    }
-    table.row(vec![
-        "Avg".into(),
-        fmt(cv_sum / 6.0, 1),
-        fmt(rnn_sum / 6.0, 2),
-        fmt(apm_sum / 6.0, 0),
-    ]);
-    println!("{}", table.render());
-    println!("Paper: 72.7 ms avg CV, 1.9 ms avg input generation, ~804 APM.");
+    let report = run_suite(fig07::grid(master_seed()));
+    print!("{}", fig07::render(&report));
 }

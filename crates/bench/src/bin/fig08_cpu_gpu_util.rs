@@ -1,40 +1,10 @@
-//! Fig 8: CPU and GPU utilization per benchmark (single instance), plus the
-//! VNC proxy's CPU and the memory footprints discussed in §5.1.1.
-//!
-//! Paper reference: app CPU 68%–266%, VNC CPU 169%–243%, GPU 22%–53%,
-//! memory 600 MB (D2) – ~4 GB (IM), GPU memory below 800 MB.
+//! Fig 8: CPU/GPU utilization per benchmark (single instance).
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig08;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 8: CPU/GPU utilization per benchmark (one instance)");
-    let mut table = Table::new(
-        [
-            "app",
-            "app CPU%",
-            "VNC CPU%",
-            "GPU%",
-            "mem MiB",
-            "GPU mem MiB",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for app in AppId::ALL {
-        let result = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());
-        let r = &result.solo().report;
-        table.row(vec![
-            app.code().into(),
-            fmt(r.app_cpu * 100.0, 0),
-            fmt(r.vnc_cpu * 100.0, 0),
-            fmt(r.gpu_util * 100.0, 0),
-            r.memory_mib.to_string(),
-            r.gpu_memory_mib.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("Paper: app CPU 68-266%, VNC CPU 169-243%, GPU 22-53%.");
+    let report = run_suite(fig08::grid(measured_secs(), master_seed()));
+    print!("{}", fig08::render(&report));
 }

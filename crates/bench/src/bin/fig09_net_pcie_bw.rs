@@ -1,37 +1,10 @@
-//! Fig 9: network and PCIe bandwidth usage per benchmark (single instance).
-//!
-//! Paper reference: frame traffic below 600 Mbps; input traffic ~1.5 Mbps;
-//! PCIe below 5 GB/s with the GPU→CPU direction dominated by frame readback
-//! and SuperTuxKart the CPU→GPU outlier.
+//! Fig 9: network and PCIe bandwidth per benchmark (single instance).
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig09;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 9: network and PCIe bandwidth per benchmark (one instance)");
-    let mut table = Table::new(
-        [
-            "app",
-            "net down Mbps",
-            "PCIe to GPU GB/s",
-            "PCIe from GPU GB/s",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for app in AppId::ALL {
-        let result = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());
-        let r = &result.solo().report;
-        table.row(vec![
-            app.code().into(),
-            fmt(r.net_down_mbps, 0),
-            fmt(r.pcie_up_gbps, 3),
-            fmt(r.pcie_down_gbps, 3),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("Paper: net < 600 Mbps; PCIe < 5 GB/s; STK is the upload outlier;");
-    println!("all apps show heavy GPU→CPU traffic (frame readback).");
+    let report = run_suite(fig09::grid(measured_secs(), master_seed()));
+    print!("{}", fig09::render(&report));
 }

@@ -1,56 +1,10 @@
-//! Fig 10: server and client FPS when running 1–4 instances of the same
-//! benchmark on one server.
-//!
-//! Paper reference: all apps stay ≥25 client FPS at 2 instances; RE, IM and
-//! ITP also at 3; the lowest solo client FPS is 27 (0AD).
+//! Fig 10: server/client FPS for 1–4 instances of each benchmark.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig10;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 10: server/client FPS for 1-4 instances of each benchmark");
-    let mut table = Table::new(
-        ["app", "n", "server FPS", "client FPS", "dropped"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for app in AppId::ALL {
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            // Average across the co-located instances.
-            let server: f64 = result
-                .instances
-                .iter()
-                .map(|m| m.report.server_fps)
-                .sum::<f64>()
-                / n as f64;
-            let client: f64 = result
-                .instances
-                .iter()
-                .map(|m| m.report.client_fps)
-                .sum::<f64>()
-                / n as f64;
-            let dropped: u64 = result
-                .instances
-                .iter()
-                .map(|m| m.report.frames_dropped)
-                .sum();
-            table.row(vec![
-                app.code().into(),
-                n.to_string(),
-                fmt(server, 1),
-                fmt(client, 1),
-                dropped.to_string(),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!("Paper: ≥25 client FPS at 2 instances for all apps; at 3 for RE/IM/ITP.");
+    let report = run_suite(fig10::grid(measured_secs(), master_seed()));
+    print!("{}", fig10::render(&report));
 }

@@ -1,41 +1,10 @@
-//! Fig 11: RTT broken into input-network (CS), server processing, and
-//! frame-network (SS) time, for 1–4 instances of each benchmark.
-//!
-//! Paper reference: CS below 10 ms; SS 14–35 ms; server time 61–106 ms solo
-//! and the dominant, growing component under co-location.
+//! Fig 11: RTT breakdown (CS / server / SS) for 1–4 instances.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::records::Stage;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig11;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 11: RTT breakdown (CS / server / SS) for 1-4 instances");
-    let mut table = Table::new(
-        ["app", "n", "RTT ms", "CS ms", "server ms", "SS ms"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for app in AppId::ALL {
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            let m = &result.instances[0];
-            table.row(vec![
-                app.code().into(),
-                n.to_string(),
-                fmt(m.rtt.mean, 1),
-                fmt(m.stage_ms(Stage::Cs), 1),
-                fmt(m.server_time_ms, 1),
-                fmt(m.stage_ms(Stage::Ss), 1),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!("Paper: CS < 10 ms, SS 14-35 ms, server 61-106 ms solo and dominant.");
+    let report = run_suite(fig11::grid(measured_secs(), master_seed()));
+    print!("{}", fig11::render(&report));
 }

@@ -1,43 +1,10 @@
-//! Fig 12: server time broken into VNC input forwarding (PS), application
-//! execution, frame handoff (AS) and compression (CP), for 1–4 instances.
-//!
-//! Paper reference: application execution dominates; PS/AS/CP stay below
-//! 18 ms solo; the IPC stages (PS, AS) inflate up to +96% at 4 instances.
+//! Fig 12: server-time breakdown for 1–4 instances.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::records::Stage;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig12;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 12: server-time breakdown for 1-4 instances");
-    let mut table = Table::new(
-        ["app", "n", "SP ms", "PS ms", "app ms", "AS ms", "CP ms"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for app in AppId::ALL {
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            let m = &result.instances[0];
-            table.row(vec![
-                app.code().into(),
-                n.to_string(),
-                fmt(m.stage_ms(Stage::Sp), 2),
-                fmt(m.stage_ms(Stage::Ps), 2),
-                fmt(m.app_time_ms + m.queue_wait_ms, 1),
-                fmt(m.stage_ms(Stage::As), 2),
-                fmt(m.stage_ms(Stage::Cp), 1),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!("Paper: app execution dominates; PS/AS/CP < 18 ms solo; IPC stages");
-    println!("inflate up to +96% at 4 instances.");
+    let report = run_suite(fig12::grid(measured_secs(), master_seed()));
+    print!("{}", fig12::render(&report));
 }

@@ -1,57 +1,10 @@
-//! Fig 13: application time broken into logic (AL), frame copy (FC) and the
-//! parallel GPU rendering (RD), for 1–4 instances.
-//!
-//! Paper reference: frame copy dominates many benchmarks (the §6 target);
-//! GPU rendering runs in parallel and is never the bottleneck; AL inflates
-//! +235% and RD +133% at 4 instances.
+//! Fig 13: application-time breakdown (AL / FC vs parallel RD).
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::records::Stage;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig13;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 13: application-time breakdown (AL / FC vs parallel RD)");
-    let mut table = Table::new(
-        ["app", "n", "AL ms", "FC ms", "RD ms (parallel)"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let mut al_solo = [0.0; 6];
-    let mut rd_solo = [0.0; 6];
-    for (ai, app) in AppId::ALL.into_iter().enumerate() {
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            let m = &result.instances[0];
-            let al = m.stage_ms(Stage::Al);
-            let rd = m.stage_ms(Stage::Rd);
-            if n == 1 {
-                al_solo[ai] = al;
-                rd_solo[ai] = rd;
-            }
-            table.row(vec![
-                app.code().into(),
-                n.to_string(),
-                fmt(al, 1),
-                fmt(m.stage_ms(Stage::Fc), 1),
-                fmt(rd, 1),
-            ]);
-            if n == 4 {
-                println!(
-                    "{}: AL inflation at 4 instances {:+.0}%, RD {:+.0}%",
-                    app.code(),
-                    (al / al_solo[ai] - 1.0) * 100.0,
-                    (rd / rd_solo[ai] - 1.0) * 100.0
-                );
-            }
-        }
-    }
-    println!("\n{}", table.render());
-    println!("Paper: FC dominates many apps; AL +235% and RD +133% at 4 instances.");
+    let report = run_suite(fig13::grid(measured_secs(), master_seed()));
+    print!("{}", fig13::render(&report));
 }

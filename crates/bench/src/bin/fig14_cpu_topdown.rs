@@ -1,75 +1,10 @@
-//! Fig 14: Top-Down CPU cycle breakdown (retiring / front-end / bad
-//! speculation / back-end) for 1–4 instances.
-//!
-//! Paper reference: long back-end stalls and low IPC for all benchmarks
-//! (off-chip memory bound), worsening with co-location.
+//! Fig 14: Top-Down CPU cycle breakdown for 1–4 instances.
 
-use pictor_apps::{AppId, AppProfile};
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_hw::pmu::TopDownModel;
-use pictor_hw::CacheModel;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig14;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 14: Top-Down CPU cycle breakdown for 1-4 instances");
-    let td_model = TopDownModel::paper_default();
-    let mut table = Table::new(
-        [
-            "app",
-            "n",
-            "retire%",
-            "frontend%",
-            "badspec%",
-            "backend%",
-            "IPC",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for app in AppId::ALL {
-        let profile = AppProfile::for_app(app);
-        let l3 = CacheModel::new(profile.l3_base_miss, profile.l3_sensitivity);
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            // Pressure implied by the run's contention state: invert the L3
-            // miss rate back through the cache model is unnecessary — the
-            // report carries the miss rate; derive the breakdown from the
-            // same pressure the pipeline used.
-            let report = &result.instances[0].report;
-            // Reconstruct pressure from the miss rate via the profile curve.
-            let pressure = invert_miss_rate(&l3, report.l3_miss_rate);
-            let td = td_model.breakdown(&l3, pressure);
-            table.row(vec![
-                app.code().into(),
-                n.to_string(),
-                fmt(td.retiring * 100.0, 1),
-                fmt(td.front_end * 100.0, 1),
-                fmt(td.bad_speculation * 100.0, 1),
-                fmt(td.back_end * 100.0, 1),
-                fmt(td.ipc(4.0), 2),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!("Paper: back-end stalls dominate (memory bound) and grow with n.");
-}
-
-/// Finds the pressure whose miss rate matches `target` (monotone bisection).
-fn invert_miss_rate(model: &CacheModel, target: f64) -> f64 {
-    let (mut lo, mut hi) = (0.0, 50.0);
-    for _ in 0..60 {
-        let mid = (lo + hi) / 2.0;
-        if model.miss_rate(mid) < target {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    (lo + hi) / 2.0
+    let report = run_suite(fig14::grid(measured_secs(), master_seed()));
+    print!("{}", fig14::render(&report));
 }

@@ -1,36 +1,10 @@
-//! Fig 15: L3 cache miss rates for 1–4 instances of each benchmark.
-//!
-//! Paper reference: above 70% even solo (uncached CPU↔GPU communication
-//! buffers), rising considerably with co-location.
+//! Fig 15: L3 cache miss rates for 1–4 instances.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig15;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 15: L3 miss rates for 1-4 instances");
-    let mut table = Table::new(
-        ["app", "n=1", "n=2", "n=3", "n=4"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for app in AppId::ALL {
-        let mut cells = vec![app.code().to_string()];
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            cells.push(format!(
-                "{}%",
-                fmt(result.instances[0].report.l3_miss_rate * 100.0, 1)
-            ));
-        }
-        table.row(cells);
-    }
-    println!("{}", table.render());
-    println!("Paper: >70% solo, rising with instance count.");
+    let report = run_suite(fig15::grid(measured_secs(), master_seed()));
+    print!("{}", fig15::render(&report));
 }

@@ -1,41 +1,10 @@
 //! Fig 16: GPU L2 and texture cache miss rates for 1–4 instances.
-//!
-//! Paper reference: moderate L2 miss rates except InMind; L2 rises with
-//! co-location (interleaved frames thrash the shared cache) while the
-//! private texture cache stays flat. (The paper could not read 0AD's GPU
-//! counters — OpenGL 1.3; the simulation has no such limitation but we note
-//! it for fidelity.)
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig16;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 16: GPU L2 and texture cache miss rates for 1-4 instances");
-    let mut table = Table::new(
-        ["app", "n", "L2 miss%", "texture miss%"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for app in AppId::ALL {
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            let r = &result.instances[0].report;
-            table.row(vec![
-                app.code().into(),
-                n.to_string(),
-                fmt(r.gpu_l2_miss_rate * 100.0, 1),
-                fmt(r.texture_miss_rate * 100.0, 1),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!("Paper: L2 rises with n, texture flat (private); InMind is the outlier.");
-    println!("(The paper could not read 0AD's GPU PMUs — OpenGL 1.3.)");
+    let report = run_suite(fig16::grid(measured_secs(), master_seed()));
+    print!("{}", fig16::render(&report));
 }

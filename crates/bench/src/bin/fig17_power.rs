@@ -1,63 +1,10 @@
-//! Fig 17 / §5.2.1: per-instance power when running 1–4 instances.
-//!
-//! Paper reference: each added instance raises total power by <20%; per-
-//! instance power falls by 33%/50%/61% at 2/3/4 instances.
+//! Fig 17 / §5.2.1: per-instance power for 1–4 instances.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::metrics::power_from_reports;
-use pictor_core::report::{fmt, Table};
-use pictor_hw::PowerModel;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig17;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 17: per-instance power for 1-4 instances");
-    let model = PowerModel::paper_default();
-    let mut table = Table::new(
-        [
-            "app",
-            "n",
-            "total W",
-            "per-inst W",
-            "Δtotal%",
-            "per-inst saving%",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for app in AppId::ALL {
-        let mut prev_total = 0.0;
-        let mut solo_per = 0.0;
-        for n in 1..=4usize {
-            let result = run_humans(
-                app,
-                n,
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ n as u64,
-            );
-            let reports: Vec<_> = result.instances.iter().map(|m| m.report.clone()).collect();
-            let power = power_from_reports(&model, &reports);
-            let delta = if n == 1 {
-                0.0
-            } else {
-                (power.total_watts / prev_total - 1.0) * 100.0
-            };
-            if n == 1 {
-                solo_per = power.per_instance_watts;
-            }
-            let saving = (1.0 - power.per_instance_watts / solo_per) * 100.0;
-            table.row(vec![
-                app.code().into(),
-                n.to_string(),
-                fmt(power.total_watts, 0),
-                fmt(power.per_instance_watts, 0),
-                fmt(delta, 1),
-                fmt(saving, 1),
-            ]);
-            prev_total = power.total_watts;
-        }
-    }
-    println!("{}", table.render());
-    println!("Paper: <20% total increase per added instance; 33/50/61% per-instance");
-    println!("savings at 2/3/4 instances.");
+    let report = run_suite(fig17::grid(measured_secs(), master_seed()));
+    print!("{}", fig17::render(&report));
 }

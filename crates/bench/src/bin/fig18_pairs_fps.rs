@@ -1,59 +1,10 @@
-//! Fig 18 / §5.3.1: client FPS for all 15 pairs of different benchmarks,
-//! plus the pair-vs-two-servers energy saving.
-//!
-//! Paper reference: 11 of 15 pairs stay above 25 client FPS; running a pair
-//! on one server saves at least 37% energy versus two servers.
+//! Fig 18 / §5.3.1: client FPS and energy saving for the 15 mixed pairs.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans, run_mix};
-use pictor_core::metrics::power_from_reports;
-use pictor_core::report::{fmt, Table};
-use pictor_hw::PowerModel;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig18;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 18: client FPS for the 15 mixed pairs");
-    let model = PowerModel::paper_default();
-    let mut table = Table::new(
-        ["pair", "fps A", "fps B", "both ≥25?", "energy saving%"]
-            .map(String::from)
-            .to_vec(),
-    );
-    // Solo power per app (for the two-servers comparison).
-    let mut solo_power = std::collections::HashMap::new();
-    for app in AppId::ALL {
-        let result = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());
-        let reports: Vec<_> = result.instances.iter().map(|m| m.report.clone()).collect();
-        solo_power.insert(app, power_from_reports(&model, &reports).total_watts);
-    }
-    let mut ok_pairs = 0;
-    let mut total_pairs = 0;
-    for (i, &a) in AppId::ALL.iter().enumerate() {
-        for &b in AppId::ALL.iter().skip(i + 1) {
-            total_pairs += 1;
-            let result = run_mix(
-                vec![a, b],
-                SystemConfig::turbovnc_stock(),
-                master_seed() ^ (total_pairs as u64) << 8,
-            );
-            let fps_a = result.instances[0].report.client_fps;
-            let fps_b = result.instances[1].report.client_fps;
-            let ok = fps_a >= 25.0 && fps_b >= 25.0;
-            ok_pairs += usize::from(ok);
-            let reports: Vec<_> = result.instances.iter().map(|m| m.report.clone()).collect();
-            let pair_power = power_from_reports(&model, &reports).total_watts;
-            let two_servers = solo_power[&a] + solo_power[&b];
-            let saving = (1.0 - pair_power / two_servers) * 100.0;
-            table.row(vec![
-                format!("{}+{}", a.code(), b.code()),
-                fmt(fps_a, 1),
-                fmt(fps_b, 1),
-                if ok { "yes" } else { "no" }.into(),
-                fmt(saving, 1),
-            ]);
-        }
-    }
-    println!("{}", table.render());
-    println!("{ok_pairs} of {total_pairs} pairs keep both apps at ≥25 client FPS.");
-    println!("Paper: 11 of 15 pairs; energy saving ≥37% vs two servers.");
+    let report = run_suite(fig18::grid(measured_secs(), master_seed()));
+    print!("{}", fig18::render(&report));
 }

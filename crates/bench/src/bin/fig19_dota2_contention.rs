@@ -1,72 +1,10 @@
-//! Fig 19: Dota2's performance loss and cache-miss increases when co-running
-//! with each other benchmark.
-//!
-//! Paper reference: contentiousness varies a lot — SuperTuxKart hurts Dota2
-//! the most, 0AD the least; CPU-cache and GPU-cache contentiousness
-//! correlate.
+//! Fig 19: Dota2 under each co-runner.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans, run_mix};
-use pictor_core::report::{fmt, Table};
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig19;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 19: Dota2 under each co-runner");
-    let solo = run_humans(
-        AppId::Dota2,
-        1,
-        SystemConfig::turbovnc_stock(),
-        master_seed(),
-    );
-    let solo_fps = solo.solo().report.client_fps;
-    let solo_l3 = solo.solo().report.l3_miss_rate;
-    let solo_gl2 = solo.solo().report.gpu_l2_miss_rate;
-    let mut table = Table::new(
-        [
-            "co-runner",
-            "D2 fps loss%",
-            "L3 miss +pts",
-            "GPU L2 miss +pts",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    let mut rows: Vec<(AppId, f64)> = Vec::new();
-    for co in AppId::ALL {
-        if co == AppId::Dota2 {
-            continue;
-        }
-        let result = run_mix(
-            vec![AppId::Dota2, co],
-            SystemConfig::turbovnc_stock(),
-            master_seed() ^ co.index() as u64,
-        );
-        let d2 = &result.instances[0].report;
-        let loss = (1.0 - d2.client_fps / solo_fps) * 100.0;
-        rows.push((co, loss));
-        table.row(vec![
-            co.code().into(),
-            fmt(loss, 1),
-            fmt((d2.l3_miss_rate - solo_l3) * 100.0, 1),
-            fmt((d2.gpu_l2_miss_rate - solo_gl2) * 100.0, 1),
-        ]);
-    }
-    println!("{}", table.render());
-    let worst = rows
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .expect("rows");
-    let best = rows
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .expect("rows");
-    println!(
-        "Highest contention from {} ({:.1}% loss), least from {} ({:.1}%).",
-        worst.0.code(),
-        worst.1,
-        best.0.code(),
-        best.1
-    );
-    println!("Paper: STK causes the most contention, 0AD the least; CPU and GPU");
-    println!("cache contentiousness correlate.");
+    let report = run_suite(fig19::grid(measured_secs(), master_seed()));
+    print!("{}", fig19::render(&report));
 }

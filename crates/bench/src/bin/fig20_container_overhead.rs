@@ -1,53 +1,10 @@
-//! Fig 20: containerization overhead — FPS reduction and RTT increase of
-//! each benchmark inside an nvidia-docker-style container versus bare metal.
-//!
-//! Paper reference: ~1.5% average server-FPS overhead and ~1.3% RTT
-//! overhead, with worst cases near 6%/8.5%; GPU rendering +2.9% on average;
-//! occasional *negative* overheads where isolation reduces contention.
+//! Fig 20: containerization overheads vs bare metal.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::config::ContainerConfig;
-use pictor_render::records::Stage;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig20;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 20: container overheads (server FPS, RTT, GPU render)");
-    let mut table = Table::new(
-        ["app", "FPS overhead%", "RTT overhead%", "RD overhead%"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let mut fps_sum = 0.0;
-    let mut rtt_sum = 0.0;
-    for app in AppId::ALL {
-        let bare = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());
-        let contained_config = SystemConfig {
-            container: Some(ContainerConfig::nvidia_docker()),
-            ..SystemConfig::turbovnc_stock()
-        };
-        let contained = run_humans(app, 1, contained_config, master_seed());
-        let b = bare.solo();
-        let c = contained.solo();
-        let fps_ovh = (1.0 - c.report.server_fps / b.report.server_fps) * 100.0;
-        let rtt_ovh = (c.rtt.mean / b.rtt.mean - 1.0) * 100.0;
-        let rd_ovh = (c.stage_ms(Stage::Rd) / b.stage_ms(Stage::Rd) - 1.0) * 100.0;
-        fps_sum += fps_ovh;
-        rtt_sum += rtt_ovh;
-        table.row(vec![
-            app.code().into(),
-            fmt(fps_ovh, 1),
-            fmt(rtt_ovh, 1),
-            fmt(rd_ovh, 1),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Average: FPS overhead {:.1}%, RTT overhead {:.1}%.",
-        fps_sum / 6.0,
-        rtt_sum / 6.0
-    );
-    println!("Paper: 1.5% avg FPS, 1.3% avg RTT, worst ~6%/8.5%, GPU +2.9% avg;");
-    println!("negative overheads indicate contention relief from isolation.");
+    let report = run_suite(fig20::grid(measured_secs(), master_seed()));
+    print!("{}", fig20::render(&report));
 }

@@ -1,85 +1,10 @@
-//! Fig 22 / §6: the two frame-copy optimizations — memoized
-//! `XGetWindowAttributes` and the two-step asynchronous copy — applied to
-//! stock TurboVNC, per benchmark, plus an ablation of each alone.
-//!
-//! Paper reference: server FPS +57.7% average (max +115.2%), client FPS
-//! +7.4% average (max +19.5%), RTT −8.5% average (max −15.1%); ITP's client
-//! FPS dips ~3% from extra proxy contention.
+//! Fig 22 / §6: the optimized frame copy, headline gains plus ablation.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_gfx::InterposerConfig;
-use pictor_render::SystemConfig;
+use pictor_bench::figures::fig22;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Figure 22: optimized frame copy (server FPS / client FPS / RTT)");
-    let mut table = Table::new(
-        [
-            "app",
-            "srv FPS stock",
-            "srv FPS opt",
-            "srv gain%",
-            "cli gain%",
-            "RTT change%",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    let mut gains = (0.0, 0.0, 0.0);
-    for app in AppId::ALL {
-        let stock = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());
-        let opt = run_humans(app, 1, SystemConfig::optimized(), master_seed());
-        let s = stock.solo();
-        let o = opt.solo();
-        let srv = (o.report.server_fps / s.report.server_fps - 1.0) * 100.0;
-        let cli = (o.report.client_fps / s.report.client_fps - 1.0) * 100.0;
-        let rtt = (o.rtt.mean / s.rtt.mean - 1.0) * 100.0;
-        gains.0 += srv;
-        gains.1 += cli;
-        gains.2 += rtt;
-        table.row(vec![
-            app.code().into(),
-            fmt(s.report.server_fps, 1),
-            fmt(o.report.server_fps, 1),
-            fmt(srv, 1),
-            fmt(cli, 1),
-            fmt(rtt, 1),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Average: server FPS {:+.1}%, client FPS {:+.1}%, RTT {:+.1}%.",
-        gains.0 / 6.0,
-        gains.1 / 6.0,
-        gains.2 / 6.0
-    );
-    println!("Paper: server +57.7% avg (max +115.2%), client +7.4%, RTT -8.5%.\n");
-
-    // Ablation: each optimization alone (DESIGN.md's ablation index).
-    println!("--- Ablation: each optimization alone (server FPS gain %) ---");
-    let mut ablation = Table::new(
-        ["app", "memoize XGWA only", "async copy only", "both"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for app in AppId::ALL {
-        let stock = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());
-        let base_fps = stock.solo().report.server_fps;
-        let gain = |interposer: InterposerConfig| {
-            let config = SystemConfig {
-                interposer,
-                ..SystemConfig::turbovnc_stock()
-            };
-            let r = run_humans(app, 1, config, master_seed());
-            (r.solo().report.server_fps / base_fps - 1.0) * 100.0
-        };
-        ablation.row(vec![
-            app.code().into(),
-            fmt(gain(InterposerConfig::memoize_only()), 1),
-            fmt(gain(InterposerConfig::async_copy_only()), 1),
-            fmt(gain(InterposerConfig::optimized()), 1),
-        ]);
-    }
-    println!("{}", ablation.render());
+    let report = run_suite(fig22::grid(measured_secs(), master_seed()));
+    print!("{}", fig22::render(&report));
 }

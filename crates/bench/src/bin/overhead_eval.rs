@@ -1,62 +1,10 @@
-//! §4 "Pictor Overhead Evaluation": FPS with and without the measurement
-//! framework attached, and the effect of double-buffered GPU timer queries.
-//!
-//! Paper reference: 2.7% average FPS reduction (max 5%) with double
-//! buffering; up to ~10% without it.
+//! §4 "Pictor Overhead Evaluation": instrumentation cost vs native.
 
-use pictor_apps::AppId;
-use pictor_bench::{banner, master_seed, run_humans};
-use pictor_core::report::{fmt, Table};
-use pictor_render::config::{MeasurementConfig, QueryBuffers};
-use pictor_render::SystemConfig;
+use pictor_bench::figures::overhead;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Pictor overhead: hooks + timer queries vs native TurboVNC");
-    let mut table = Table::new(
-        ["app", "native FPS", "double-buf ovh%", "single-buf ovh%"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let mut dsum = 0.0;
-    let mut dmax: f64 = 0.0;
-    let mut ssum = 0.0;
-    for app in AppId::ALL {
-        let native_config = SystemConfig {
-            measurement: MeasurementConfig::disabled(),
-            ..SystemConfig::turbovnc_stock()
-        };
-        let native = run_humans(app, 1, native_config, master_seed());
-        let base = native.solo().report.server_fps;
-
-        let double = run_humans(app, 1, SystemConfig::turbovnc_stock(), master_seed());
-        let d_ovh = (1.0 - double.solo().report.server_fps / base) * 100.0;
-
-        let single_config = SystemConfig {
-            measurement: MeasurementConfig {
-                query_buffers: QueryBuffers::Single,
-                ..MeasurementConfig::pictor()
-            },
-            ..SystemConfig::turbovnc_stock()
-        };
-        let single = run_humans(app, 1, single_config, master_seed());
-        let s_ovh = (1.0 - single.solo().report.server_fps / base) * 100.0;
-
-        dsum += d_ovh;
-        dmax = dmax.max(d_ovh);
-        ssum += s_ovh;
-        table.row(vec![
-            app.code().into(),
-            fmt(base, 1),
-            fmt(d_ovh, 1),
-            fmt(s_ovh, 1),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "Average overhead: double-buffered {:.1}% (max {:.1}%), single-buffered {:.1}%.",
-        dsum / 6.0,
-        dmax,
-        ssum / 6.0
-    );
-    println!("Paper: 2.7% avg (max 5%) with double buffering; up to 10% without.");
+    let report = run_suite(overhead::grid(measured_secs(), master_seed()));
+    print!("{}", overhead::render(&report));
 }

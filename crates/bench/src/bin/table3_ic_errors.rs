@@ -1,104 +1,10 @@
-//! Table 3: percentage error of each methodology's mean RTT versus the
-//! human reference, per benchmark and on average.
-//!
-//! Paper reference values: Pictor-IC 1.6% avg (max 3.2%), DeskBench 11.6%,
-//! Chen et al. 30.0%, Slow-Motion 27.9%.
+//! Table 3: mean-RTT percentage error vs. the human reference.
 
-use pictor_apps::AppId;
-use pictor_baselines::deskbench::DeskBenchConfig;
-use pictor_baselines::{chen_estimate, slow_motion_config, DeskBenchDriver};
-use pictor_bench::{banner, master_seed, measured_secs};
-use pictor_client::ic::{IcTrainConfig, IntelligentClient};
-use pictor_client::record_session;
-use pictor_core::report::{fmt, Table};
-use pictor_core::{run_experiment, ExperimentSpec, IcDriver};
-use pictor_render::SystemConfig;
-use pictor_sim::{SeedTree, SimDuration};
-
-fn pct_err(measured: f64, reference: f64) -> f64 {
-    ((measured - reference) / reference).abs() * 100.0
-}
+use pictor_bench::figures::table3;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
 
 fn main() {
     banner("Table 3: mean-RTT percentage error vs. human reference");
-    let seed = master_seed();
-    let duration = SimDuration::from_secs(measured_secs());
-    let config = SystemConfig::turbovnc_stock();
-    let mut rows: Vec<(AppId, f64, f64, f64, f64)> = Vec::new();
-    for app in AppId::ALL {
-        let human = run_experiment(ExperimentSpec {
-            duration,
-            ..ExperimentSpec::with_humans(vec![app], config.clone(), seed)
-        });
-        let reference = human.solo().rtt.mean;
-
-        let ic_seeds = SeedTree::new(seed).child(&format!("ic-{app}"));
-        let ic = IntelligentClient::train(app, &ic_seeds, IcTrainConfig::default());
-        let ic_run = run_experiment(ExperimentSpec {
-            apps: vec![app],
-            config: config.clone(),
-            seed: seed ^ 0x1c,
-            warmup: SimDuration::from_secs(3),
-            duration,
-            drivers: Box::new(move |_, _, _| Box::new(IcDriver::new(ic.clone()))),
-        });
-
-        let db_session = record_session(
-            app,
-            &SeedTree::new(seed).child(&format!("db-{app}")),
-            900,
-            13.3,
-        );
-        let db_run = run_experiment(ExperimentSpec {
-            apps: vec![app],
-            config: config.clone(),
-            seed: seed ^ 0xdb,
-            warmup: SimDuration::from_secs(3),
-            duration,
-            drivers: Box::new(move |_, _, _| {
-                Box::new(DeskBenchDriver::new(
-                    db_session.clone(),
-                    DeskBenchConfig::default(),
-                ))
-            }),
-        });
-
-        let chen = chen_estimate(app, &config, seed, duration);
-        let sm = run_experiment(ExperimentSpec {
-            duration,
-            ..ExperimentSpec::with_humans(vec![app], slow_motion_config(&config), seed)
-        });
-
-        rows.push((
-            app,
-            pct_err(ic_run.solo().rtt.mean, reference),
-            pct_err(db_run.solo().rtt.mean, reference),
-            pct_err(chen.rtt_ms.mean(), reference),
-            pct_err(sm.solo().rtt.mean, reference),
-        ));
-    }
-
-    let mut table = Table::new(
-        ["method", "STK", "0AD", "RE", "D2", "IM", "ITP", "Avg"]
-            .map(String::from)
-            .to_vec(),
-    );
-    type ErrorRow = (AppId, f64, f64, f64, f64);
-    type Extract = Box<dyn Fn(&ErrorRow) -> f64>;
-    let methods: [(&str, Extract); 4] = [
-        ("Pictor", Box::new(|r| r.1)),
-        ("DB", Box::new(|r| r.2)),
-        ("CH", Box::new(|r| r.3)),
-        ("SM", Box::new(|r| r.4)),
-    ];
-    for (name, get) in methods {
-        let vals: Vec<f64> = rows.iter().map(&get).collect();
-        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
-        let mut cells = vec![name.to_string()];
-        cells.extend(vals.iter().map(|v| format!("{}%", fmt(*v, 1))));
-        cells.push(format!("{}%", fmt(avg, 1)));
-        table.row(cells);
-    }
-    println!("{}", table.render());
-    println!("Paper: Pictor 1.6% avg (max 3.2%), DB 11.6%, CH 30.0%, SM 27.9%.");
+    let report = run_suite(table3::grid(measured_secs(), master_seed()));
+    print!("{}", table3::render(&report));
 }

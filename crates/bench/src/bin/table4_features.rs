@@ -1,21 +1,10 @@
-//! Table 4: feature comparison between Pictor and prior VDI / cloud-gaming
-//! performance-analysis work.
+//! Table 4: Pictor vs prior work feature matrix.
 
-use pictor_baselines::{Capability, Methodology};
-use pictor_bench::banner;
-use pictor_core::report::Table;
+use pictor_bench::figures::table4;
+use pictor_bench::{banner, master_seed, run_suite};
 
 fn main() {
     banner("Table 4: Pictor vs prior work feature matrix");
-    let mut header = vec!["Feature".to_string()];
-    header.extend(Methodology::ALL.iter().map(|m| m.label().to_string()));
-    let mut table = Table::new(header);
-    for cap in Capability::ALL {
-        let mut row = vec![cap.label().to_string()];
-        for m in Methodology::ALL {
-            row.push(if m.supports(cap) { "x" } else { "" }.to_string());
-        }
-        table.row(row);
-    }
-    println!("{}", table.render());
+    let report = run_suite(table4::grid(master_seed()));
+    print!("{}", table4::render(&report));
 }

@@ -1,0 +1,77 @@
+//! Fig 6: RTT distributions under Human, Intelligent Client, DeskBench,
+//! Chen et al. and Slow-Motion, for all six benchmarks.
+//!
+//! Prints mean / p1 / p25 / p75 / p99 per (app, methodology) — the exact
+//! series of the paper's Fig 6 box plots.
+
+use pictor_apps::AppId;
+use pictor_client::ic::IcTrainConfig;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{CellReport, ScenarioGrid, SuiteReport};
+
+use super::methods::{methodology_grid, METHOD_LABELS};
+
+/// Solo runs of every benchmark under all five methodologies.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    methodology_grid(
+        "fig06_rtt_distributions",
+        &AppId::ALL,
+        secs,
+        seed,
+        IcTrainConfig::default(),
+    )
+}
+
+/// The five-point RTT of a methodology cell (pipeline or analytic).
+pub fn five_point(cell: &CellReport) -> (f64, f64, f64, f64, f64, usize) {
+    if cell.instances.is_empty() {
+        (
+            cell.value("rtt_mean"),
+            cell.value("rtt_p1"),
+            cell.value("rtt_p25"),
+            cell.value("rtt_p75"),
+            cell.value("rtt_p99"),
+            cell.value("inputs") as usize,
+        )
+    } else {
+        let m = cell.solo();
+        (
+            m.rtt.mean,
+            m.rtt.p1,
+            m.rtt.p25,
+            m.rtt.p75,
+            m.rtt.p99,
+            m.tracked_inputs,
+        )
+    }
+}
+
+/// Renders the per-(app, methodology) distribution table.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        ["app", "method", "mean", "p1", "p25", "p75", "p99", "inputs"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for app in AppId::ALL {
+        for method in METHOD_LABELS {
+            let cell = report.lookup(app.code(), "stock", "lan", method);
+            let (mean, p1, p25, p75, p99, n) = five_point(cell);
+            table.row(vec![
+                app.code().into(),
+                method.into(),
+                fmt(mean, 1),
+                fmt(p1, 1),
+                fmt(p25, 1),
+                fmt(p75, 1),
+                fmt(p99, 1),
+                n.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "{}RTT values in ms. Paper reference: IC tracks Human closely; DeskBench\n\
+         shifts the distribution; Chen and Slow-Motion sit well below Human.\n",
+        table.render()
+    )
+}

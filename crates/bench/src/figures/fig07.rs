@@ -1,0 +1,64 @@
+//! Fig 7: computer-vision (CNN) and input-generation (RNN) inference times
+//! per benchmark, plus the implied actions-per-minute capability.
+//!
+//! Paper reference: 72.7 ms average CV, 1.9 ms input generation, ~804 APM
+//! (faster than professional players' ~300 APM).
+
+use pictor_apps::AppId;
+use pictor_client::InferenceCostModel;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{Method, ScenarioGrid, SuiteReport};
+use pictor_hw::ClientSpec;
+
+/// One analytic cell per benchmark evaluating the inference cost model.
+pub fn grid(seed: u64) -> ScenarioGrid {
+    ScenarioGrid::new("fig07_inference_time", seed)
+        .solos(AppId::ALL)
+        .method(Method::analytic("model", |sc| {
+            let model = InferenceCostModel::new(ClientSpec::paper_client());
+            let app = sc.apps[0];
+            vec![
+                ("cv_ms".into(), model.cv_mean_ms(app)),
+                ("rnn_ms".into(), model.rnn_mean_ms(app)),
+                ("max_apm".into(), model.max_apm(app)),
+            ]
+        }))
+}
+
+/// Renders the per-benchmark inference-time table with the suite average.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        ["app", "CV (ms)", "RNN (ms)", "max APM"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut sums = (0.0, 0.0, 0.0);
+    for app in AppId::ALL {
+        let cell = report.cell(app.code());
+        let (cv, rnn, apm) = (
+            cell.value("cv_ms"),
+            cell.value("rnn_ms"),
+            cell.value("max_apm"),
+        );
+        sums.0 += cv;
+        sums.1 += rnn;
+        sums.2 += apm;
+        table.row(vec![
+            app.code().into(),
+            fmt(cv, 1),
+            fmt(rnn, 2),
+            fmt(apm, 0),
+        ]);
+    }
+    let n = AppId::ALL.len() as f64;
+    table.row(vec![
+        "Avg".into(),
+        fmt(sums.0 / n, 1),
+        fmt(sums.1 / n, 2),
+        fmt(sums.2 / n, 0),
+    ]);
+    format!(
+        "{}Paper: 72.7 ms avg CV, 1.9 ms avg input generation, ~804 APM.\n",
+        table.render()
+    )
+}

@@ -1,0 +1,47 @@
+//! Fig 8: CPU and GPU utilization per benchmark (single instance), plus the
+//! VNC proxy's CPU and the memory footprints discussed in §5.1.1.
+//!
+//! Paper reference: app CPU 68%–266%, VNC CPU 169%–243%, GPU 22%–53%,
+//! memory 600 MB (D2) – ~4 GB (IM), GPU memory below 800 MB.
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+
+use super::solos_grid;
+
+/// One solo cell per benchmark.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    solos_grid("fig08_cpu_gpu_util", secs, seed)
+}
+
+/// Renders the utilization/footprint table.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        [
+            "app",
+            "app CPU%",
+            "VNC CPU%",
+            "GPU%",
+            "mem MiB",
+            "GPU mem MiB",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for app in AppId::ALL {
+        let r = &report.cell(app.code()).solo().report;
+        table.row(vec![
+            app.code().into(),
+            fmt(r.app_cpu * 100.0, 0),
+            fmt(r.vnc_cpu * 100.0, 0),
+            fmt(r.gpu_util * 100.0, 0),
+            r.memory_mib.to_string(),
+            r.gpu_memory_mib.to_string(),
+        ]);
+    }
+    format!(
+        "{}Paper: app CPU 68-266%, VNC CPU 169-243%, GPU 22-53%.\n",
+        table.render()
+    )
+}

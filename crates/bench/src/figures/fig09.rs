@@ -1,0 +1,44 @@
+//! Fig 9: network and PCIe bandwidth usage per benchmark (single instance).
+//!
+//! Paper reference: frame traffic below 600 Mbps; input traffic ~1.5 Mbps;
+//! PCIe below 5 GB/s with the GPU→CPU direction dominated by frame readback
+//! and SuperTuxKart the CPU→GPU outlier.
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+
+use super::solos_grid;
+
+/// One solo cell per benchmark.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    solos_grid("fig09_net_pcie_bw", secs, seed)
+}
+
+/// Renders the bandwidth table.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        [
+            "app",
+            "net down Mbps",
+            "PCIe to GPU GB/s",
+            "PCIe from GPU GB/s",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for app in AppId::ALL {
+        let r = &report.cell(app.code()).solo().report;
+        table.row(vec![
+            app.code().into(),
+            fmt(r.net_down_mbps, 0),
+            fmt(r.pcie_up_gbps, 3),
+            fmt(r.pcie_down_gbps, 3),
+        ]);
+    }
+    format!(
+        "{}Paper: net < 600 Mbps; PCIe < 5 GB/s; STK is the upload outlier;\n\
+         all apps show heavy GPU→CPU traffic (frame readback).\n",
+        table.render()
+    )
+}

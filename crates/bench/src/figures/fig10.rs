@@ -1,0 +1,44 @@
+//! Fig 10: server and client FPS when running 1–4 instances of the same
+//! benchmark on one server.
+//!
+//! Paper reference: all apps stay ≥25 client FPS at 2 instances; RE, IM and
+//! ITP also at 3; the lowest solo client FPS is 27 (0AD).
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+
+use super::{mean_over, scaling_grid, scaling_label};
+
+/// Every benchmark at 1–4 co-located instances.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    scaling_grid("fig10_fps_scaling", secs, seed)
+}
+
+/// Renders the FPS-scaling table.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        ["app", "n", "server FPS", "client FPS", "dropped"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for app in AppId::ALL {
+        for n in 1..=4usize {
+            let cell = report.cell(&scaling_label(app, n));
+            let server = mean_over(&cell.instances, |m| m.report.server_fps);
+            let client = mean_over(&cell.instances, |m| m.report.client_fps);
+            let dropped: u64 = cell.instances.iter().map(|m| m.report.frames_dropped).sum();
+            table.row(vec![
+                app.code().into(),
+                n.to_string(),
+                fmt(server, 1),
+                fmt(client, 1),
+                dropped.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "{}Paper: ≥25 client FPS at 2 instances for all apps; at 3 for RE/IM/ITP.\n",
+        table.render()
+    )
+}

@@ -1,0 +1,43 @@
+//! Fig 11: RTT broken into input-network (CS), server processing, and
+//! frame-network (SS) time, for 1–4 instances of each benchmark.
+//!
+//! Paper reference: CS below 10 ms; SS 14–35 ms; server time 61–106 ms solo
+//! and the dominant, growing component under co-location.
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+use pictor_render::records::Stage;
+
+use super::{scaling_grid, scaling_label};
+
+/// Every benchmark at 1–4 co-located instances.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    scaling_grid("fig11_rtt_breakdown", secs, seed)
+}
+
+/// Renders the CS / server / SS breakdown of instance 0 per cell.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        ["app", "n", "RTT ms", "CS ms", "server ms", "SS ms"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for app in AppId::ALL {
+        for n in 1..=4usize {
+            let m = &report.cell(&scaling_label(app, n)).instances[0];
+            table.row(vec![
+                app.code().into(),
+                n.to_string(),
+                fmt(m.rtt.mean, 1),
+                fmt(m.stage_ms(Stage::Cs), 1),
+                fmt(m.server_time_ms, 1),
+                fmt(m.stage_ms(Stage::Ss), 1),
+            ]);
+        }
+    }
+    format!(
+        "{}Paper: CS < 10 ms, SS 14-35 ms, server 61-106 ms solo and dominant.\n",
+        table.render()
+    )
+}

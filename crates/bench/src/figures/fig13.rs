@@ -1,0 +1,59 @@
+//! Fig 13: application time broken into logic (AL), frame copy (FC) and the
+//! parallel GPU rendering (RD), for 1–4 instances.
+//!
+//! Paper reference: frame copy dominates many benchmarks (the §6 target);
+//! GPU rendering runs in parallel and is never the bottleneck; AL inflates
+//! +235% and RD +133% at 4 instances.
+
+use std::fmt::Write as _;
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+use pictor_render::records::Stage;
+
+use super::{scaling_grid, scaling_label};
+
+/// Every benchmark at 1–4 co-located instances.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    scaling_grid("fig13_app_breakdown", secs, seed)
+}
+
+/// Renders the AL/FC/RD breakdown plus the 4-instance inflation summary.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        ["app", "n", "AL ms", "FC ms", "RD ms (parallel)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut inflation = String::new();
+    for app in AppId::ALL {
+        let solo = &report.cell(&scaling_label(app, 1)).instances[0];
+        let (al_solo, rd_solo) = (solo.stage_ms(Stage::Al), solo.stage_ms(Stage::Rd));
+        for n in 1..=4usize {
+            let m = &report.cell(&scaling_label(app, n)).instances[0];
+            let al = m.stage_ms(Stage::Al);
+            let rd = m.stage_ms(Stage::Rd);
+            table.row(vec![
+                app.code().into(),
+                n.to_string(),
+                fmt(al, 1),
+                fmt(m.stage_ms(Stage::Fc), 1),
+                fmt(rd, 1),
+            ]);
+            if n == 4 {
+                let _ = writeln!(
+                    inflation,
+                    "{}: AL inflation at 4 instances {:+.0}%, RD {:+.0}%",
+                    app.code(),
+                    (al / al_solo - 1.0) * 100.0,
+                    (rd / rd_solo - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    format!(
+        "{inflation}\n{}Paper: FC dominates many apps; AL +235% and RD +133% at 4 instances.\n",
+        table.render()
+    )
+}

@@ -1,0 +1,36 @@
+//! Fig 15: L3 cache miss rates for 1–4 instances of each benchmark.
+//!
+//! Paper reference: above 70% even solo (uncached CPU↔GPU communication
+//! buffers), rising considerably with co-location.
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+
+use super::{scaling_grid, scaling_label};
+
+/// Every benchmark at 1–4 co-located instances.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    scaling_grid("fig15_l3_missrate", secs, seed)
+}
+
+/// Renders miss rates pivoted app × n.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        ["app", "n=1", "n=2", "n=3", "n=4"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for app in AppId::ALL {
+        let mut cells = vec![app.code().to_string()];
+        for n in 1..=4usize {
+            let r = &report.cell(&scaling_label(app, n)).instances[0].report;
+            cells.push(format!("{}%", fmt(r.l3_miss_rate * 100.0, 1)));
+        }
+        table.row(cells);
+    }
+    format!(
+        "{}Paper: >70% solo, rising with instance count.\n",
+        table.render()
+    )
+}

@@ -1,0 +1,70 @@
+//! Fig 17 / §5.2.1: per-instance power when running 1–4 instances.
+//!
+//! Paper reference: each added instance raises total power by <20%; per-
+//! instance power falls by 33%/50%/61% at 2/3/4 instances.
+
+use pictor_apps::AppId;
+use pictor_core::metrics::power_from_reports;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{CellReport, ScenarioGrid, SuiteReport};
+use pictor_hw::PowerModel;
+
+use super::{scaling_grid, scaling_label};
+
+/// Every benchmark at 1–4 co-located instances.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    scaling_grid("fig17_power", secs, seed)
+}
+
+/// Wall power of one cell under the paper's server model.
+pub fn cell_power(model: &PowerModel, cell: &CellReport) -> pictor_core::PowerBreakdown {
+    let reports: Vec<_> = cell.instances.iter().map(|m| m.report.clone()).collect();
+    power_from_reports(model, &reports)
+}
+
+/// Renders the power-scaling table.
+pub fn render(report: &SuiteReport) -> String {
+    let model = PowerModel::paper_default();
+    let mut table = Table::new(
+        [
+            "app",
+            "n",
+            "total W",
+            "per-inst W",
+            "Δtotal%",
+            "per-inst saving%",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for app in AppId::ALL {
+        let mut prev_total = 0.0;
+        let mut solo_per = 0.0;
+        for n in 1..=4usize {
+            let power = cell_power(&model, report.cell(&scaling_label(app, n)));
+            let delta = if n == 1 {
+                0.0
+            } else {
+                (power.total_watts / prev_total - 1.0) * 100.0
+            };
+            if n == 1 {
+                solo_per = power.per_instance_watts;
+            }
+            let saving = (1.0 - power.per_instance_watts / solo_per) * 100.0;
+            table.row(vec![
+                app.code().into(),
+                n.to_string(),
+                fmt(power.total_watts, 0),
+                fmt(power.per_instance_watts, 0),
+                fmt(delta, 1),
+                fmt(saving, 1),
+            ]);
+            prev_total = power.total_watts;
+        }
+    }
+    format!(
+        "{}Paper: <20% total increase per added instance; 33/50/61% per-instance\n\
+         savings at 2/3/4 instances.\n",
+        table.render()
+    )
+}

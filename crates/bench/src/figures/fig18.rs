@@ -1,0 +1,79 @@
+//! Fig 18 / §5.3.1: client FPS for all 15 pairs of different benchmarks,
+//! plus the pair-vs-two-servers energy saving.
+//!
+//! Paper reference: 11 of 15 pairs stay above 25 client FPS; running a pair
+//! on one server saves at least 37% energy versus two servers.
+
+use std::fmt::Write as _;
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+use pictor_hw::PowerModel;
+
+use super::fig17::cell_power;
+
+/// The 15 unordered pairs of distinct benchmarks, in `AppId::ALL` order.
+pub fn pairs() -> Vec<(AppId, AppId)> {
+    let mut out = Vec::new();
+    for (i, &a) in AppId::ALL.iter().enumerate() {
+        for &b in AppId::ALL.iter().skip(i + 1) {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// The workload label of one pair cell.
+pub fn pair_label(a: AppId, b: AppId) -> String {
+    format!("{}+{}", a.code(), b.code())
+}
+
+/// Six solo cells (the two-servers baseline) plus the 15 pair cells.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("fig18_pairs_fps", seed)
+        .duration_secs(secs)
+        .solos(AppId::ALL);
+    for (a, b) in pairs() {
+        grid = grid.workload(&pair_label(a, b), vec![a, b]);
+    }
+    grid
+}
+
+/// Renders the pair FPS/energy table.
+pub fn render(report: &SuiteReport) -> String {
+    let model = PowerModel::paper_default();
+    let mut table = Table::new(
+        ["pair", "fps A", "fps B", "both ≥25?", "energy saving%"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let solo_power = |app: AppId| cell_power(&model, report.cell(app.code())).total_watts;
+    let mut ok_pairs = 0;
+    let mut total_pairs = 0;
+    for (a, b) in pairs() {
+        total_pairs += 1;
+        let cell = report.cell(&pair_label(a, b));
+        let fps_a = cell.instances[0].report.client_fps;
+        let fps_b = cell.instances[1].report.client_fps;
+        let ok = fps_a >= 25.0 && fps_b >= 25.0;
+        ok_pairs += usize::from(ok);
+        let pair_power = cell_power(&model, cell).total_watts;
+        let two_servers = solo_power(a) + solo_power(b);
+        let saving = (1.0 - pair_power / two_servers) * 100.0;
+        table.row(vec![
+            pair_label(a, b),
+            fmt(fps_a, 1),
+            fmt(fps_b, 1),
+            if ok { "yes" } else { "no" }.into(),
+            fmt(saving, 1),
+        ]);
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "{ok_pairs} of {total_pairs} pairs keep both apps at ≥25 client FPS."
+    );
+    out.push_str("Paper: 11 of 15 pairs; energy saving ≥37% vs two servers.\n");
+    out
+}

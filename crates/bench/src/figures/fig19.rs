@@ -1,0 +1,78 @@
+//! Fig 19: Dota2's performance loss and cache-miss increases when co-running
+//! with each other benchmark.
+//!
+//! Paper reference: contentiousness varies a lot — SuperTuxKart hurts Dota2
+//! the most, 0AD the least; CPU-cache and GPU-cache contentiousness
+//! correlate.
+
+use std::fmt::Write as _;
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+
+/// Co-runners of Dota2, in `AppId::ALL` order.
+pub fn co_runners() -> Vec<AppId> {
+    AppId::ALL
+        .into_iter()
+        .filter(|&a| a != AppId::Dota2)
+        .collect()
+}
+
+/// Solo Dota2 plus one Dota2+X pair per co-runner.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("fig19_dota2_contention", seed)
+        .duration_secs(secs)
+        .solo(AppId::Dota2);
+    for co in co_runners() {
+        grid = grid.workload(&format!("D2+{}", co.code()), vec![AppId::Dota2, co]);
+    }
+    grid
+}
+
+/// Renders Dota2's degradation under each co-runner.
+pub fn render(report: &SuiteReport) -> String {
+    let solo = report.cell("D2").solo().report.clone();
+    let mut table = Table::new(
+        [
+            "co-runner",
+            "D2 fps loss%",
+            "L3 miss +pts",
+            "GPU L2 miss +pts",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut rows: Vec<(AppId, f64)> = Vec::new();
+    for co in co_runners() {
+        let d2 = &report.cell(&format!("D2+{}", co.code())).instances[0].report;
+        let loss = (1.0 - d2.client_fps / solo.client_fps) * 100.0;
+        rows.push((co, loss));
+        table.row(vec![
+            co.code().into(),
+            fmt(loss, 1),
+            fmt((d2.l3_miss_rate - solo.l3_miss_rate) * 100.0, 1),
+            fmt((d2.gpu_l2_miss_rate - solo.gpu_l2_miss_rate) * 100.0, 1),
+        ]);
+    }
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("rows");
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("rows");
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "Highest contention from {} ({:.1}% loss), least from {} ({:.1}%).",
+        worst.0.code(),
+        worst.1,
+        best.0.code(),
+        best.1
+    );
+    out.push_str("Paper: STK causes the most contention, 0AD the least; CPU and GPU\n");
+    out.push_str("cache contentiousness correlate.\n");
+    out
+}

@@ -1,0 +1,113 @@
+//! Fig 22 / §6: the two frame-copy optimizations — memoized
+//! `XGetWindowAttributes` and the two-step asynchronous copy — applied to
+//! stock TurboVNC, per benchmark, plus an ablation of each alone.
+//!
+//! Paper reference: server FPS +57.7% average (max +115.2%), client FPS
+//! +7.4% average (max +19.5%), RTT −8.5% average (max −15.1%); ITP's client
+//! FPS dips ~3% from extra proxy contention.
+
+use std::fmt::Write as _;
+
+use pictor_apps::AppId;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+use pictor_gfx::InterposerConfig;
+use pictor_render::SystemConfig;
+
+fn with_interposer(interposer: InterposerConfig) -> SystemConfig {
+    SystemConfig {
+        interposer,
+        ..SystemConfig::turbovnc_stock()
+    }
+}
+
+/// Every benchmark solo under all four interposer configurations.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    ScenarioGrid::new("fig22_optimizations", seed)
+        .duration_secs(secs)
+        .solos(AppId::ALL)
+        .config("stock", SystemConfig::turbovnc_stock())
+        .config("memoize", with_interposer(InterposerConfig::memoize_only()))
+        .config(
+            "async",
+            with_interposer(InterposerConfig::async_copy_only()),
+        )
+        .config("optimized", SystemConfig::optimized())
+}
+
+/// Renders the headline gains plus the single-optimization ablation.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        [
+            "app",
+            "srv FPS stock",
+            "srv FPS opt",
+            "srv gain%",
+            "cli gain%",
+            "RTT change%",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut gains = (0.0, 0.0, 0.0);
+    for app in AppId::ALL {
+        let s = report.lookup(app.code(), "stock", "lan", "human").solo();
+        let o = report
+            .lookup(app.code(), "optimized", "lan", "human")
+            .solo();
+        let srv = (o.report.server_fps / s.report.server_fps - 1.0) * 100.0;
+        let cli = (o.report.client_fps / s.report.client_fps - 1.0) * 100.0;
+        let rtt = (o.rtt.mean / s.rtt.mean - 1.0) * 100.0;
+        gains.0 += srv;
+        gains.1 += cli;
+        gains.2 += rtt;
+        table.row(vec![
+            app.code().into(),
+            fmt(s.report.server_fps, 1),
+            fmt(o.report.server_fps, 1),
+            fmt(srv, 1),
+            fmt(cli, 1),
+            fmt(rtt, 1),
+        ]);
+    }
+    let n = AppId::ALL.len() as f64;
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "Average: server FPS {:+.1}%, client FPS {:+.1}%, RTT {:+.1}%.",
+        gains.0 / n,
+        gains.1 / n,
+        gains.2 / n
+    );
+    out.push_str("Paper: server +57.7% avg (max +115.2%), client +7.4%, RTT -8.5%.\n\n");
+
+    out.push_str("--- Ablation: each optimization alone (server FPS gain %) ---\n");
+    let mut ablation = Table::new(
+        ["app", "memoize XGWA only", "async copy only", "both"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for app in AppId::ALL {
+        let base = report
+            .lookup(app.code(), "stock", "lan", "human")
+            .solo()
+            .report
+            .server_fps;
+        let gain = |config: &str| {
+            let fps = report
+                .lookup(app.code(), config, "lan", "human")
+                .solo()
+                .report
+                .server_fps;
+            (fps / base - 1.0) * 100.0
+        };
+        ablation.row(vec![
+            app.code().into(),
+            fmt(gain("memoize"), 1),
+            fmt(gain("async"), 1),
+            fmt(gain("optimized"), 1),
+        ]);
+    }
+    out.push_str(&ablation.render());
+    out
+}

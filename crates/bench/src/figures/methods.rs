@@ -1,0 +1,83 @@
+//! The paper's load-generation methodologies as reusable [`Method`] axis
+//! entries (Fig 6 / Table 3): human reference, intelligent client,
+//! DeskBench replay, Chen et al. stage summing, Slow-Motion delay
+//! injection.
+
+use pictor_apps::AppId;
+use pictor_baselines::deskbench::DeskBenchConfig;
+use pictor_baselines::{chen_estimate, slow_motion_config, DeskBenchDriver};
+use pictor_client::ic::{IcTrainConfig, IntelligentClient};
+use pictor_client::record_session;
+use pictor_core::{IcDriver, Method, ScenarioGrid};
+
+/// The human reference sessions.
+pub fn human() -> Method {
+    Method::humans()
+}
+
+/// Pictor's intelligent client, trained per cell on a recorded human
+/// session seeded from the cell's tree.
+pub fn intelligent_client(train: IcTrainConfig) -> Method {
+    Method::drivers("ic", move |_, app, seeds| {
+        let ic = IntelligentClient::train(app, &seeds.child("ic-train"), train);
+        Box::new(IcDriver::new(ic))
+    })
+}
+
+/// DeskBench: record a human session, replay it gated on frame similarity.
+pub fn deskbench() -> Method {
+    Method::drivers("deskbench", |_, app, seeds| {
+        let session = record_session(app, &seeds.child("db-record"), 900, 13.3);
+        Box::new(DeskBenchDriver::new(session, DeskBenchConfig::default()))
+    })
+}
+
+/// Chen et al.: analytic stage summing, no pipeline run.
+pub fn chen() -> Method {
+    Method::analytic("chen", |sc| {
+        let est = chen_estimate(sc.apps[0], &sc.config, sc.seed, sc.duration);
+        let mut dist = est.rtt_ms;
+        let n = dist.len();
+        let fp = dist.five_point();
+        vec![
+            ("rtt_mean".into(), fp.mean),
+            ("rtt_p1".into(), fp.p1),
+            ("rtt_p25".into(), fp.p25),
+            ("rtt_p75".into(), fp.p75),
+            ("rtt_p99".into(), fp.p99),
+            ("inputs".into(), n as f64),
+        ]
+    })
+}
+
+/// Slow-Motion benchmarking (Nieh et al.): human drivers on the
+/// delay-injected serialized pipeline.
+pub fn slow_motion() -> Method {
+    Method::drivers_with_config(
+        "slow-motion",
+        |_, app, seeds| Box::new(pictor_render::HumanDriver::from_seeds(app, seeds)),
+        slow_motion_config,
+    )
+}
+
+/// Display order and labels of the five methodologies.
+pub const METHOD_LABELS: [&str; 5] = ["human", "ic", "deskbench", "chen", "slow-motion"];
+
+/// The Fig 6 / Table 3 grid: solo runs of `apps` under all five
+/// methodologies.
+pub fn methodology_grid(
+    name: &str,
+    apps: &[AppId],
+    secs: u64,
+    seed: u64,
+    train: IcTrainConfig,
+) -> ScenarioGrid {
+    ScenarioGrid::new(name, seed)
+        .duration_secs(secs)
+        .solos(apps.iter().copied())
+        .method(human())
+        .method(intelligent_client(train))
+        .method(deskbench())
+        .method(chen())
+        .method(slow_motion())
+}

@@ -1,0 +1,57 @@
+//! One module per paper figure/table: each declares its [`ScenarioGrid`]
+//! and renders the reduced [`SuiteReport`] into the rows/series the paper
+//! plots. The binaries under `src/bin/` are thin wrappers; keeping grids
+//! here lets golden/smoke tests run the exact same scenarios.
+
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig22;
+pub mod methods;
+pub mod overhead;
+pub mod table3;
+pub mod table4;
+
+use pictor_apps::AppId;
+use pictor_core::{InstanceMetrics, ScenarioGrid};
+
+/// The homogeneous co-location sweep behind Figs 10–17: every benchmark at
+/// 1–4 instances, stock configuration.
+pub fn scaling_grid(name: &str, secs: u64, seed: u64) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new(name, seed).duration_secs(secs);
+    for app in AppId::ALL {
+        grid = grid.scaling(app, 1..=4);
+    }
+    grid
+}
+
+/// One solo cell per benchmark, stock configuration.
+pub fn solos_grid(name: &str, secs: u64, seed: u64) -> ScenarioGrid {
+    ScenarioGrid::new(name, seed)
+        .duration_secs(secs)
+        .solos(AppId::ALL)
+}
+
+/// The workload label of the `app × n` cells produced by
+/// [`ScenarioGrid::scaling`].
+pub fn scaling_label(app: AppId, n: usize) -> String {
+    format!("{}x{n}", app.code())
+}
+
+/// Mean of one metric across a cell's co-located instances.
+pub fn mean_over(instances: &[InstanceMetrics], f: impl Fn(&InstanceMetrics) -> f64) -> f64 {
+    instances.iter().map(f).sum::<f64>() / instances.len().max(1) as f64
+}

@@ -1,0 +1,62 @@
+//! Table 3: percentage error of each methodology's mean RTT versus the
+//! human reference, per benchmark and on average.
+//!
+//! Paper reference values: Pictor-IC 1.6% avg (max 3.2%), DeskBench 11.6%,
+//! Chen et al. 30.0%, Slow-Motion 27.9%.
+
+use pictor_apps::AppId;
+use pictor_client::ic::IcTrainConfig;
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+
+use super::fig06::five_point;
+use super::methods::methodology_grid;
+
+/// Solo runs of `apps` under all five methodologies — parameterized so the
+/// golden regression test can run a reduced, fast-training variant.
+pub fn grid_for(apps: &[AppId], secs: u64, seed: u64, train: IcTrainConfig) -> ScenarioGrid {
+    methodology_grid("table3_ic_errors", apps, secs, seed, train)
+}
+
+/// The full paper table: every benchmark, default IC training.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    grid_for(&AppId::ALL, secs, seed, IcTrainConfig::default())
+}
+
+/// Mean-RTT percentage error of `method` versus the human reference, for
+/// one app.
+pub fn pct_err(report: &SuiteReport, app: AppId, method: &str) -> f64 {
+    let reference = five_point(report.lookup(app.code(), "stock", "lan", "human")).0;
+    let measured = five_point(report.lookup(app.code(), "stock", "lan", method)).0;
+    ((measured - reference) / reference).abs() * 100.0
+}
+
+/// Renders the error table for the given apps (columns) and the average.
+pub fn render_for(report: &SuiteReport, apps: &[AppId]) -> String {
+    let mut header = vec!["method".to_string()];
+    header.extend(apps.iter().map(|a| a.code().to_string()));
+    header.push("Avg".into());
+    let mut table = Table::new(header);
+    for (name, method) in [
+        ("Pictor", "ic"),
+        ("DB", "deskbench"),
+        ("CH", "chen"),
+        ("SM", "slow-motion"),
+    ] {
+        let vals: Vec<f64> = apps.iter().map(|&a| pct_err(report, a, method)).collect();
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        let mut cells = vec![name.to_string()];
+        cells.extend(vals.iter().map(|v| format!("{}%", fmt(*v, 1))));
+        cells.push(format!("{}%", fmt(avg, 1)));
+        table.row(cells);
+    }
+    format!(
+        "{}Paper: Pictor 1.6% avg (max 3.2%), DB 11.6%, CH 30.0%, SM 27.9%.\n",
+        table.render()
+    )
+}
+
+/// Renders the full table.
+pub fn render(report: &SuiteReport) -> String {
+    render_for(report, &AppId::ALL)
+}

@@ -1,0 +1,45 @@
+//! Table 4: feature comparison between Pictor and prior VDI / cloud-gaming
+//! performance-analysis work.
+
+use pictor_baselines::{Capability, Methodology};
+use pictor_core::report::Table;
+use pictor_core::{Method, ScenarioGrid, SuiteReport};
+
+/// One analytic cell per methodology, emitting each capability as a 0/1
+/// value — the feature matrix routed through the unified suite report.
+pub fn grid(seed: u64) -> ScenarioGrid {
+    let mut grid = ScenarioGrid::new("table4_features", seed).workload("features", vec![]);
+    for m in Methodology::ALL {
+        grid = grid.method(Method::analytic(m.label(), move |_| {
+            Capability::ALL
+                .iter()
+                .map(|&cap| {
+                    (
+                        cap.label().to_string(),
+                        f64::from(u8::from(m.supports(cap))),
+                    )
+                })
+                .collect()
+        }));
+    }
+    grid
+}
+
+/// Renders the capability matrix.
+pub fn render(report: &SuiteReport) -> String {
+    let mut header = vec!["Feature".to_string()];
+    header.extend(Methodology::ALL.iter().map(|m| m.label().to_string()));
+    let mut table = Table::new(header);
+    for cap in Capability::ALL {
+        let mut row = vec![cap.label().to_string()];
+        for m in Methodology::ALL {
+            let supported = report
+                .lookup("features", "stock", "lan", m.label())
+                .value(cap.label())
+                > 0.5;
+            row.push(if supported { "x" } else { "" }.to_string());
+        }
+        table.row(row);
+    }
+    table.render()
+}

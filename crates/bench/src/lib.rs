@@ -1,19 +1,25 @@
-//! Shared helpers for the figure/table regenerator binaries.
+//! Shared infrastructure for the figure/table regenerator binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure from the
-//! paper's evaluation: it runs the same experiment protocol (§4) on the
-//! simulated system and prints the same rows/series the paper plots. Run
-//! them with `cargo run --release -p pictor-bench --bin <name>`.
+//! paper's evaluation by declaring a [`ScenarioGrid`] (its module lives
+//! under [`figures`]) and rendering the resulting
+//! [`SuiteReport`](pictor_core::SuiteReport). The grid executes its cells
+//! in parallel across OS threads; results are bit-identical regardless of
+//! thread count. Run binaries with
+//! `cargo run --release -p pictor-bench --bin <name>`.
 //!
 //! Environment knobs (all optional):
 //!
 //! * `PICTOR_SECS` — measured simulated seconds per experiment (default 20).
 //! * `PICTOR_SEED` — master seed (default 2020, the paper's year).
+//! * `PICTOR_THREADS` — worker threads (default: available parallelism).
+//! * `PICTOR_REPORT_DIR` — when set, every suite additionally writes
+//!   `<dir>/<suite>.json` and `<dir>/<suite>.csv`.
 
-use pictor_apps::AppId;
-use pictor_core::{run_experiment, ExperimentResult, ExperimentSpec};
-use pictor_render::SystemConfig;
-use pictor_sim::SimDuration;
+pub mod figures;
+
+use pictor_core::suite::default_threads;
+use pictor_core::{ScenarioGrid, SuiteReport};
 
 /// Measured window length per experiment.
 pub fn measured_secs() -> u64 {
@@ -31,35 +37,45 @@ pub fn master_seed() -> u64 {
         .unwrap_or(2020)
 }
 
-/// Runs `n` co-located instances of `app` with human drivers.
-pub fn run_humans(app: AppId, n: usize, config: SystemConfig, seed: u64) -> ExperimentResult {
-    run_experiment(ExperimentSpec {
-        duration: SimDuration::from_secs(measured_secs()),
-        ..ExperimentSpec::with_humans(vec![app; n], config, seed)
-    })
-}
-
-/// Runs an arbitrary mix of apps with human drivers.
-pub fn run_mix(apps: Vec<AppId>, config: SystemConfig, seed: u64) -> ExperimentResult {
-    run_experiment(ExperimentSpec {
-        duration: SimDuration::from_secs(measured_secs()),
-        ..ExperimentSpec::with_humans(apps, config, seed)
-    })
-}
-
 /// Prints a figure banner.
 pub fn banner(title: &str) {
     println!("\n=== {title} ===");
     println!(
-        "(simulated reproduction; seed {}, {} s measured window)\n",
+        "(simulated reproduction; seed {}, {} s measured window, {} threads)\n",
         master_seed(),
-        measured_secs()
+        measured_secs(),
+        default_threads()
     );
+}
+
+/// Runs a grid on the configured thread pool, exports the unified report
+/// when `PICTOR_REPORT_DIR` is set, and fails hard on any non-finite
+/// metric — the figure-smoke CI job relies on that panic.
+///
+/// # Panics
+///
+/// Panics if the report contains NaN/infinite metrics or an export write
+/// fails.
+pub fn run_suite(grid: ScenarioGrid) -> SuiteReport {
+    let report = grid.run();
+    if let Ok(dir) = std::env::var("PICTOR_REPORT_DIR") {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create PICTOR_REPORT_DIR");
+        let write = |ext: &str, body: String| {
+            let path = dir.join(format!("{}.{ext}", report.name()));
+            std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        };
+        write("json", report.to_json());
+        write("csv", report.to_csv());
+    }
+    report.assert_finite();
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pictor_apps::AppId;
 
     #[test]
     fn defaults_without_env() {
@@ -73,15 +89,21 @@ mod tests {
     }
 
     #[test]
-    fn run_humans_smoke() {
-        std::env::set_var("PICTOR_SECS", "5");
-        let result = run_humans(
-            AppId::RedEclipse,
-            1,
-            SystemConfig::turbovnc_stock(),
-            master_seed(),
+    fn run_suite_exports_and_validates() {
+        // Per-process dir: concurrent `cargo test` invocations must not
+        // race on each other's exports.
+        let dir = std::env::temp_dir().join(format!("pictor-run-suite-{}", std::process::id()));
+        std::env::set_var("PICTOR_REPORT_DIR", &dir);
+        let report = run_suite(
+            ScenarioGrid::new("smoke_suite", 4)
+                .duration_secs(1)
+                .solo(AppId::RedEclipse),
         );
-        assert_eq!(result.instances.len(), 1);
-        std::env::remove_var("PICTOR_SECS");
+        std::env::remove_var("PICTOR_REPORT_DIR");
+        assert_eq!(report.cells().len(), 1);
+        let json = std::fs::read_to_string(dir.join("smoke_suite.json")).expect("json exported");
+        assert!(json.contains("\"suite\": \"smoke_suite\""));
+        assert!(dir.join("smoke_suite.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

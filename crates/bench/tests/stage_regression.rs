@@ -1,0 +1,43 @@
+//! Stock-vs-optimized stage sanity (absorbs the old `dbg_re` debug binary):
+//! the §6 optimizations must shrink the frame-copy stage and improve
+//! RTT/FPS on Red Eclipse, and every reported stage mean must be finite.
+
+use pictor_apps::AppId;
+use pictor_core::ScenarioGrid;
+use pictor_render::records::Stage;
+use pictor_render::SystemConfig;
+
+#[test]
+fn optimized_pipeline_beats_stock_on_red_eclipse() {
+    let report = ScenarioGrid::new("stage_regression", 2020)
+        .duration_secs(5)
+        .solo(AppId::RedEclipse)
+        .config("stock", SystemConfig::turbovnc_stock())
+        .config("opt", SystemConfig::optimized())
+        .run_with_threads(2);
+    report.assert_finite();
+    let stock = report.lookup("RE", "stock", "lan", "human").solo();
+    let opt = report.lookup("RE", "opt", "lan", "human").solo();
+    for s in Stage::ALL {
+        assert!(
+            stock.stage_ms(s).is_finite() && opt.stage_ms(s).is_finite(),
+            "{} stage mean not finite",
+            s.label()
+        );
+    }
+    assert!(
+        opt.report.server_fps > stock.report.server_fps,
+        "optimized server FPS {} must beat stock {}",
+        opt.report.server_fps,
+        stock.report.server_fps
+    );
+    assert!(
+        opt.rtt.mean < stock.rtt.mean,
+        "optimized RTT {} must beat stock {}",
+        opt.rtt.mean,
+        stock.rtt.mean
+    );
+    // Note: the FC *span* itself may lengthen under the two-step copy (it
+    // stretches across two passes while blocking the logic thread less);
+    // the win is throughput and RTT, asserted above.
+}

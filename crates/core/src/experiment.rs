@@ -8,8 +8,9 @@
 
 use pictor_apps::AppId;
 use pictor_render::driver::ClientDriver;
+use pictor_render::records::Record;
 use pictor_render::{CloudSystem, SystemConfig};
-use pictor_sim::{SeedTree, SimDuration};
+use pictor_sim::{SeedTree, SimDuration, SimTime};
 
 use crate::metrics::InstanceMetrics;
 use crate::tracker::{InputTracker, InstanceTrack};
@@ -29,6 +30,9 @@ pub struct ExperimentSpec<'a> {
     pub warmup: SimDuration,
     /// Measured window length.
     pub duration: SimDuration,
+    /// Retain the raw record stream in the result (memory-heavy; for trace
+    /// figures and debugging).
+    pub keep_records: bool,
     /// Driver builder.
     pub drivers: Box<DriverFactory<'a>>,
 }
@@ -36,18 +40,29 @@ pub struct ExperimentSpec<'a> {
 impl<'a> ExperimentSpec<'a> {
     /// A spec with human drivers — the most common case.
     pub fn with_humans(apps: Vec<AppId>, config: SystemConfig, seed: u64) -> Self {
+        ExperimentSpec::with_drivers(
+            apps,
+            config,
+            seed,
+            Box::new(|_, app, seeds| Box::new(pictor_render::HumanDriver::from_seeds(app, seeds))),
+        )
+    }
+
+    /// A spec with an arbitrary driver factory and the default timing.
+    pub fn with_drivers(
+        apps: Vec<AppId>,
+        config: SystemConfig,
+        seed: u64,
+        drivers: Box<DriverFactory<'a>>,
+    ) -> Self {
         ExperimentSpec {
             apps,
             config,
             seed,
             warmup: SimDuration::from_secs(3),
             duration: SimDuration::from_secs(30),
-            drivers: Box::new(|_, app, seeds| {
-                Box::new(pictor_render::HumanDriver::new(
-                    pictor_apps::HumanPolicy::new(app, seeds.stream("human-policy")),
-                    seeds.stream("human-attention"),
-                ))
-            }),
+            keep_records: false,
+            drivers,
         }
     }
 }
@@ -57,6 +72,10 @@ impl<'a> ExperimentSpec<'a> {
 pub struct ExperimentResult {
     /// Per-instance combined metrics, in instance order.
     pub instances: Vec<InstanceMetrics>,
+    /// Start of the measured window (after warm-up) on the simulation clock.
+    pub window_start: SimTime,
+    /// The raw record stream, when [`ExperimentSpec::keep_records`] was set.
+    pub records: Option<Vec<Record>>,
 }
 
 impl ExperimentResult {
@@ -83,6 +102,7 @@ pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
     sys.start();
     sys.run_for(spec.warmup);
     sys.reset_accounting();
+    let window_start = sys.now();
     sys.run_for(spec.duration);
     let records = sys.drain_records();
     let reports = sys.reports();
@@ -96,7 +116,11 @@ pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
             InstanceMetrics::from_parts(report, track)
         })
         .collect();
-    ExperimentResult { instances }
+    ExperimentResult {
+        instances,
+        window_start,
+        records: spec.keep_records.then_some(records),
+    }
 }
 
 #[cfg(test)]

@@ -13,16 +13,22 @@
 //! * [`ic_driver`] — the intelligent client mounted as a pipeline driver.
 //! * [`experiment`] — one-call experiment orchestration (warm-up, measured
 //!   window, reports) used by every figure/table regenerator.
-//! * [`report`] — fixed-width table rendering for the bench binaries.
+//! * [`report`] — fixed-width table rendering plus the JSON/CSV primitives
+//!   behind the suite emitters.
+//! * [`suite`] — declarative scenario grids: cartesian experiment matrices
+//!   executed in parallel across OS threads with per-cell deterministic
+//!   seeding, reduced into a unified [`suite::SuiteReport`].
 
 pub mod experiment;
 pub mod hooks;
 pub mod ic_driver;
 pub mod metrics;
 pub mod report;
+pub mod suite;
 pub mod tracker;
 
 pub use experiment::{run_experiment, DriverFactory, ExperimentResult, ExperimentSpec};
 pub use ic_driver::IcDriver;
 pub use metrics::{InstanceMetrics, PowerBreakdown};
+pub use suite::{CellReport, Method, NetProfile, Scenario, ScenarioGrid, SuiteReport};
 pub use tracker::{InputTracker, TrackedInput};

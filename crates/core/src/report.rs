@@ -85,6 +85,48 @@ pub fn fmt(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
 }
 
+/// Serializes a string as a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes a float as a JSON number. Rust's shortest-roundtrip `Display`
+/// keeps this deterministic; non-finite values (which JSON cannot express)
+/// become `null` so emitters never produce invalid documents — suites
+/// surface them via `SuiteReport::assert_finite` instead.
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// Formats a fraction as a percentage string.
 pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
@@ -120,5 +162,21 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
     }
 }

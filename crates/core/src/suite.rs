@@ -1,0 +1,1021 @@
+//! Declarative scenario suites: cartesian experiment grids, parallel
+//! execution, unified reports.
+//!
+//! The paper's evaluation (§4–§5) is a sweep over co-location scenarios:
+//! applications × instance counts × system configurations × network
+//! conditions × load-generation methodologies. [`ScenarioGrid`] declares
+//! such a sweep as axes; expansion produces one named [`Scenario`] per cell
+//! of the cartesian product, and [`ScenarioGrid::run`] executes the cells
+//! **in parallel across OS threads**.
+//!
+//! Determinism is preserved under parallelism: every cell derives its own
+//! [`SeedTree`] from the grid's master seed and the cell's *name* (never
+//! from execution order or thread identity), and results are reduced into a
+//! [`SuiteReport`] in grid order (never completion order). Running the same
+//! grid with 1 thread or N threads therefore emits byte-identical reports —
+//! `tests/suite_determinism.rs` locks this in.
+
+use std::fmt::Write as _;
+use std::ops::RangeInclusive;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pictor_apps::AppId;
+use pictor_render::driver::ClientDriver;
+use pictor_render::records::Record;
+use pictor_render::SystemConfig;
+use pictor_sim::{SeedTree, SimDuration, SimTime};
+
+use crate::experiment::{run_experiment, ExperimentSpec};
+use crate::metrics::InstanceMetrics;
+use crate::report::{csv_field, json_escape, json_num, Table};
+
+/// Shared, thread-safe driver factory: builds the driver for instance
+/// `index` running `app`, seeded from the cell's tree.
+pub type DriverFn = Arc<dyn Fn(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync>;
+
+/// A pure transformation of the cell's [`SystemConfig`] (e.g. Slow-Motion
+/// delay injection).
+pub type ConfigMap = Arc<dyn Fn(&SystemConfig) -> SystemConfig + Send + Sync>;
+
+/// An analytic evaluator: computes named values for a cell without running
+/// the pipeline (e.g. Chen et al. stage summing, cost-model tables).
+pub type AnalyticFn = Arc<dyn Fn(&Scenario) -> Vec<(String, f64)> + Send + Sync>;
+
+/// A client-network condition applied on top of a cell's [`SystemConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetProfile {
+    /// Axis label (appears in cell names and reports).
+    pub label: String,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Lognormal jitter coefficient of variation.
+    pub jitter_cv: f64,
+    /// Client link bandwidth, Mbps.
+    pub nic_mbps: f64,
+}
+
+impl NetProfile {
+    /// The paper's measurement LAN: 1 Gbps, 0.4 ms, mild jitter — the
+    /// [`SystemConfig::turbovnc_stock`] defaults.
+    pub fn lan() -> Self {
+        NetProfile {
+            label: "lan".into(),
+            latency: SimDuration::from_micros(400),
+            jitter_cv: 0.15,
+            nic_mbps: 1000.0,
+        }
+    }
+
+    /// Campus / metro network: 1 Gbps, 2 ms, moderate jitter.
+    pub fn campus() -> Self {
+        NetProfile {
+            label: "campus".into(),
+            latency: SimDuration::from_millis(2),
+            jitter_cv: 0.25,
+            nic_mbps: 1000.0,
+        }
+    }
+
+    /// Residential broadband: 300 Mbps, 10 ms, noticeable jitter.
+    pub fn broadband() -> Self {
+        NetProfile {
+            label: "broadband".into(),
+            latency: SimDuration::from_millis(10),
+            jitter_cv: 0.35,
+            nic_mbps: 300.0,
+        }
+    }
+
+    /// Cellular last mile: 100 Mbps, 25 ms, heavy jitter.
+    pub fn lte() -> Self {
+        NetProfile {
+            label: "lte".into(),
+            latency: SimDuration::from_millis(25),
+            jitter_cv: 0.5,
+            nic_mbps: 100.0,
+        }
+    }
+
+    /// Applies the profile to a configuration.
+    pub fn apply(&self, config: &SystemConfig) -> SystemConfig {
+        let mut out = config.clone();
+        out.tuning.net_latency = self.latency;
+        out.tuning.net_jitter_cv = self.jitter_cv;
+        out.server.nic_mbps = self.nic_mbps;
+        out
+    }
+}
+
+enum MethodKind {
+    /// Run the full pipeline with drivers from this factory.
+    Drivers {
+        factory: DriverFn,
+        config_map: Option<ConfigMap>,
+    },
+    /// Compute named values without running the pipeline.
+    Analytic(AnalyticFn),
+}
+
+/// A load-generation / evaluation methodology: one entry on the grid's
+/// method axis.
+pub struct Method {
+    label: String,
+    kind: MethodKind,
+}
+
+impl Method {
+    /// The paper's human reference sessions.
+    pub fn humans() -> Self {
+        Method::drivers("human", |_, app, seeds| {
+            Box::new(pictor_render::HumanDriver::from_seeds(app, seeds))
+        })
+    }
+
+    /// A methodology that runs the pipeline with drivers from `factory`.
+    pub fn drivers<F>(label: &str, factory: F) -> Self
+    where
+        F: Fn(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync + 'static,
+    {
+        Method {
+            label: label.into(),
+            kind: MethodKind::Drivers {
+                factory: Arc::new(factory),
+                config_map: None,
+            },
+        }
+    }
+
+    /// Like [`Method::drivers`], additionally transforming the cell's
+    /// configuration (e.g. Slow-Motion delay injection).
+    pub fn drivers_with_config<F, C>(label: &str, factory: F, config_map: C) -> Self
+    where
+        F: Fn(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync + 'static,
+        C: Fn(&SystemConfig) -> SystemConfig + Send + Sync + 'static,
+    {
+        Method {
+            label: label.into(),
+            kind: MethodKind::Drivers {
+                factory: Arc::new(factory),
+                config_map: Some(Arc::new(config_map)),
+            },
+        }
+    }
+
+    /// A methodology that computes named values analytically.
+    pub fn analytic<F>(label: &str, f: F) -> Self
+    where
+        F: Fn(&Scenario) -> Vec<(String, f64)> + Send + Sync + 'static,
+    {
+        Method {
+            label: label.into(),
+            kind: MethodKind::Analytic(Arc::new(f)),
+        }
+    }
+
+    /// The axis label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// One expanded cell of a [`ScenarioGrid`]: everything needed to execute it
+/// independently of every other cell.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Position in grid order (reports preserve this order).
+    pub index: usize,
+    /// Full cell name: `workload/config/network/method`.
+    pub name: String,
+    /// Workload axis label.
+    pub workload: String,
+    /// Configuration axis label.
+    pub config_label: String,
+    /// Network axis label.
+    pub network: String,
+    /// Method axis label.
+    pub method: String,
+    /// Co-located apps, one per instance.
+    pub apps: Vec<AppId>,
+    /// Fully resolved configuration (network profile and method config map
+    /// applied).
+    pub config: SystemConfig,
+    /// The cell's master seed, derived from the grid seed and cell name.
+    pub seed: u64,
+    /// Warm-up simulated time.
+    pub warmup: SimDuration,
+    /// Measured window length.
+    pub duration: SimDuration,
+}
+
+/// Raw measurement records retained for a cell (opt-in via
+/// [`ScenarioGrid::keep_records`]).
+#[derive(Debug, Clone)]
+pub struct CellTrace {
+    /// Start of the measured window.
+    pub window_start: SimTime,
+    /// Every record emitted during the window.
+    pub records: Vec<Record>,
+}
+
+/// The reduced outcome of one cell.
+pub struct CellReport {
+    /// The cell's identity and parameters.
+    pub scenario: Scenario,
+    /// Per-instance metrics (empty for analytic cells).
+    pub instances: Vec<InstanceMetrics>,
+    /// Named analytic values (empty for pipeline cells).
+    pub values: Vec<(String, f64)>,
+    /// Raw records, when the grid retains them. Not serialized.
+    pub trace: Option<CellTrace>,
+}
+
+impl CellReport {
+    /// Metrics of the single instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cell ran exactly one instance.
+    pub fn solo(&self) -> &InstanceMetrics {
+        assert_eq!(
+            self.instances.len(),
+            1,
+            "cell {} is not a solo run",
+            self.scenario.name
+        );
+        &self.instances[0]
+    }
+
+    /// An analytic value by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no value with that name.
+    pub fn value(&self, key: &str) -> f64 {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("cell {} has no value {key:?}", self.scenario.name))
+            .1
+    }
+}
+
+/// A declarative experiment matrix.
+///
+/// Axes with no entries get a default: `turbovnc_stock` configuration, the
+/// LAN network profile, human drivers. Workloads must be declared.
+///
+/// # Example
+///
+/// ```
+/// use pictor_core::suite::ScenarioGrid;
+/// use pictor_apps::AppId;
+///
+/// let report = ScenarioGrid::new("doc", 1)
+///     .duration_secs(1)
+///     .solo(AppId::SuperTuxKart)
+///     .run_with_threads(2);
+/// assert_eq!(report.cells().len(), 1);
+/// assert!(report.cells()[0].solo().report.server_fps > 0.0);
+/// ```
+pub struct ScenarioGrid {
+    name: String,
+    seed: u64,
+    warmup: SimDuration,
+    duration: SimDuration,
+    workloads: Vec<(String, Vec<AppId>)>,
+    configs: Vec<(String, SystemConfig)>,
+    networks: Vec<NetProfile>,
+    methods: Vec<Method>,
+    keep_records: bool,
+}
+
+impl ScenarioGrid {
+    /// Creates an empty grid with the experiment defaults (3 s warm-up,
+    /// 30 s measured window).
+    pub fn new(name: &str, seed: u64) -> Self {
+        ScenarioGrid {
+            name: name.into(),
+            seed,
+            warmup: SimDuration::from_secs(3),
+            duration: SimDuration::from_secs(30),
+            workloads: Vec::new(),
+            configs: Vec::new(),
+            networks: Vec::new(),
+            methods: Vec::new(),
+            keep_records: false,
+        }
+    }
+
+    /// Sets the measured window length.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the measured window length in simulated seconds.
+    pub fn duration_secs(self, secs: u64) -> Self {
+        self.duration(SimDuration::from_secs(secs))
+    }
+
+    /// Sets the warm-up time.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Retains raw measurement records per cell (memory-heavy; for trace
+    /// figures).
+    pub fn keep_records(mut self) -> Self {
+        self.keep_records = true;
+        self
+    }
+
+    /// Adds a named workload (one app per co-located instance).
+    pub fn workload(mut self, label: &str, apps: Vec<AppId>) -> Self {
+        self.workloads.push((label.into(), apps));
+        self
+    }
+
+    /// Adds a solo workload labelled with the app's code.
+    pub fn solo(self, app: AppId) -> Self {
+        self.workload(app.code(), vec![app])
+    }
+
+    /// Adds a solo workload per app.
+    pub fn solos(mut self, apps: impl IntoIterator<Item = AppId>) -> Self {
+        for app in apps {
+            self = self.solo(app);
+        }
+        self
+    }
+
+    /// Adds `app × n` workloads for every count in `counts` — the paper's
+    /// homogeneous co-location sweeps (`STKx1` … `STKx4`).
+    pub fn scaling(mut self, app: AppId, counts: RangeInclusive<usize>) -> Self {
+        for n in counts {
+            self = self.workload(&format!("{}x{n}", app.code()), vec![app; n]);
+        }
+        self
+    }
+
+    /// Adds a named system configuration.
+    pub fn config(mut self, label: &str, config: SystemConfig) -> Self {
+        self.configs.push((label.into(), config));
+        self
+    }
+
+    /// Adds a network profile.
+    pub fn network(mut self, profile: NetProfile) -> Self {
+        self.networks.push(profile);
+        self
+    }
+
+    /// Adds a methodology.
+    pub fn method(mut self, method: Method) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// The grid name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells the grid expands into.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self.configs.len().max(1)
+            * self.networks.len().max(1)
+            * self.methods.len().max(1)
+    }
+
+    /// True when no workloads are declared.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Expands the grid into its cells, in grid order (workloads outermost,
+    /// methods innermost). Each cell is paired with the [`Method`] that
+    /// evaluates it; `default_method` stands in when no method axis was
+    /// declared (callers normally go through [`ScenarioGrid::run`]).
+    fn expand_with<'a>(&'a self, default_method: &'a Method) -> Vec<(Scenario, &'a Method)> {
+        let configs = if self.configs.is_empty() {
+            vec![("stock".to_string(), SystemConfig::turbovnc_stock())]
+        } else {
+            self.configs.clone()
+        };
+        // No declared network axis = pass-through: the config's own network
+        // tuning stands, labelled "lan" (the stock defaults *are* the
+        // paper's measurement LAN). Declared profiles overwrite the
+        // config's tuning.
+        let networks: Vec<Option<&NetProfile>> = if self.networks.is_empty() {
+            vec![None]
+        } else {
+            self.networks.iter().map(Some).collect()
+        };
+        let methods: Vec<&Method> = if self.methods.is_empty() {
+            vec![default_method]
+        } else {
+            self.methods.iter().collect()
+        };
+        let tree = SeedTree::new(self.seed);
+        let mut cells = Vec::with_capacity(self.len());
+        for (workload, apps) in &self.workloads {
+            for (config_label, config) in &configs {
+                for &network in &networks {
+                    let network_label = network.map_or("lan", |n| n.label.as_str());
+                    for &method in &methods {
+                        let name =
+                            format!("{workload}/{config_label}/{network_label}/{}", method.label);
+                        let mut resolved = match network {
+                            Some(profile) => profile.apply(config),
+                            None => config.clone(),
+                        };
+                        if let MethodKind::Drivers {
+                            config_map: Some(map),
+                            ..
+                        } = &method.kind
+                        {
+                            resolved = map(&resolved);
+                        }
+                        let index = cells.len();
+                        cells.push((
+                            Scenario {
+                                index,
+                                name: name.clone(),
+                                workload: workload.clone(),
+                                config_label: config_label.clone(),
+                                network: network_label.to_string(),
+                                method: method.label.clone(),
+                                apps: apps.clone(),
+                                config: resolved,
+                                seed: tree.child(&name).master(),
+                                warmup: self.warmup,
+                                duration: self.duration,
+                            },
+                            method,
+                        ));
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Expands the grid into its scenarios, in grid order — for callers
+    /// that want to inspect or count cells without running them. Empty
+    /// when no workloads are declared yet.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let default_method = Method::humans();
+        self.expand_with(&default_method)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Runs every cell on `PICTOR_THREADS` OS threads (default: available
+    /// parallelism) and reduces into a [`SuiteReport`].
+    pub fn run(&self) -> SuiteReport {
+        self.run_with_threads(default_threads())
+    }
+
+    /// Runs every cell on exactly `threads` OS threads.
+    ///
+    /// The report is bit-identical for any `threads >= 1`: cell seeds come
+    /// from cell names and results are reduced in grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, if the grid is empty, or if any cell's
+    /// experiment panics.
+    pub fn run_with_threads(&self, threads: usize) -> SuiteReport {
+        assert!(threads > 0, "need at least one thread");
+        assert!(
+            !self.workloads.is_empty(),
+            "grid {} has no workloads",
+            self.name
+        );
+        let default_method = Method::humans();
+        let cells = self.expand_with(&default_method);
+        // Duplicate names would mean duplicate seeds (identical results
+        // masquerading as independent cells) and ambiguous lookups — fail
+        // loudly instead.
+        {
+            let mut seen = std::collections::HashSet::new();
+            for (scenario, _) in &cells {
+                assert!(
+                    seen.insert(scenario.name.as_str()),
+                    "grid {}: duplicate cell {:?} (same axis labels declared twice)",
+                    self.name,
+                    scenario.name
+                );
+            }
+        }
+        let slots: Vec<Mutex<Option<CellReport>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(cells.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((scenario, method)) = cells.get(i) else {
+                        break;
+                    };
+                    let report = run_cell(scenario, method, self.keep_records);
+                    *slots[i].lock().expect("unpoisoned slot") = Some(report);
+                });
+            }
+        });
+        let reduced = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned slot")
+                    .expect("every cell executed")
+            })
+            .collect();
+        SuiteReport {
+            name: self.name.clone(),
+            seed: self.seed,
+            warmup: self.warmup,
+            duration: self.duration,
+            cells: reduced,
+        }
+    }
+}
+
+/// Thread count used by [`ScenarioGrid::run`]: `PICTOR_THREADS` when set,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("PICTOR_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+fn run_cell(scenario: &Scenario, method: &Method, keep_records: bool) -> CellReport {
+    match &method.kind {
+        MethodKind::Analytic(f) => CellReport {
+            scenario: scenario.clone(),
+            instances: Vec::new(),
+            values: f(scenario),
+            trace: None,
+        },
+        MethodKind::Drivers { factory, .. } => {
+            let factory = Arc::clone(factory);
+            let result = run_experiment(ExperimentSpec {
+                apps: scenario.apps.clone(),
+                config: scenario.config.clone(),
+                seed: scenario.seed,
+                warmup: scenario.warmup,
+                duration: scenario.duration,
+                keep_records,
+                drivers: Box::new(move |i, app, seeds| factory(i, app, seeds)),
+            });
+            let trace = result.records.map(|records| CellTrace {
+                window_start: result.window_start,
+                records,
+            });
+            CellReport {
+                scenario: scenario.clone(),
+                instances: result.instances,
+                values: Vec::new(),
+                trace,
+            }
+        }
+    }
+}
+
+/// The unified outcome of a grid run: every cell's reduced metrics, in grid
+/// order, plus CSV/JSON emitters.
+pub struct SuiteReport {
+    name: String,
+    seed: u64,
+    warmup: SimDuration,
+    duration: SimDuration,
+    cells: Vec<CellReport>,
+}
+
+impl SuiteReport {
+    /// The grid name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grid's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The measured window length.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Every cell, in grid order.
+    pub fn cells(&self) -> &[CellReport] {
+        &self.cells
+    }
+
+    /// The unique cell with this workload label.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one cell matches.
+    pub fn cell(&self, workload: &str) -> &CellReport {
+        let mut it = self
+            .cells
+            .iter()
+            .filter(|c| c.scenario.workload == workload);
+        let first = it
+            .next()
+            .unwrap_or_else(|| panic!("suite {}: no cell for workload {workload:?}", self.name));
+        assert!(
+            it.next().is_none(),
+            "suite {}: workload {workload:?} is ambiguous; use lookup()",
+            self.name
+        );
+        first
+    }
+
+    /// Full four-axis lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cell matches.
+    pub fn lookup(&self, workload: &str, config: &str, network: &str, method: &str) -> &CellReport {
+        self.cells
+            .iter()
+            .find(|c| {
+                c.scenario.workload == workload
+                    && c.scenario.config_label == config
+                    && c.scenario.network == network
+                    && c.scenario.method == method
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "suite {}: no cell {workload}/{config}/{network}/{method}",
+                    self.name
+                )
+            })
+    }
+
+    /// Paths of every non-finite metric in the report (empty when clean).
+    pub fn non_finite_paths(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for cell in &self.cells {
+            let mut check = |path: &str, v: f64| {
+                if !v.is_finite() {
+                    bad.push(format!("{}/{path} = {v}", cell.scenario.name));
+                }
+            };
+            for (key, v) in &cell.values {
+                check(key, *v);
+            }
+            for (i, m) in cell.instances.iter().enumerate() {
+                for (key, v) in instance_fields(m) {
+                    check(&format!("instance-{i}/{key}"), v);
+                }
+            }
+        }
+        bad
+    }
+
+    /// Asserts the report contains no NaN or infinite metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing every offending metric path.
+    pub fn assert_finite(&self) {
+        let bad = self.non_finite_paths();
+        assert!(
+            bad.is_empty(),
+            "suite {} has non-finite metrics:\n  {}",
+            self.name,
+            bad.join("\n  ")
+        );
+    }
+
+    /// Serializes the report as JSON. Deterministic: same grid + seed →
+    /// byte-identical output, independent of thread count. Non-finite
+    /// numbers serialize as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"suite\": {},", json_escape(&self.name));
+        // Seeds are identifiers, not arithmetic values: emitted as strings
+        // because full-range u64 exceeds the 2^53 integer precision of
+        // double-based JSON consumers.
+        let _ = writeln!(out, "  \"seed\": \"{}\",", self.seed);
+        let _ = writeln!(out, "  \"warmup_ns\": {},", self.warmup.as_nanos());
+        let _ = writeln!(out, "  \"duration_ns\": {},", self.duration.as_nanos());
+        out.push_str("  \"cells\": [\n");
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let s = &cell.scenario;
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_escape(&s.name));
+            let _ = writeln!(out, "      \"workload\": {},", json_escape(&s.workload));
+            let _ = writeln!(out, "      \"config\": {},", json_escape(&s.config_label));
+            let _ = writeln!(out, "      \"network\": {},", json_escape(&s.network));
+            let _ = writeln!(out, "      \"method\": {},", json_escape(&s.method));
+            let apps: Vec<String> = s.apps.iter().map(|a| json_escape(a.code())).collect();
+            let _ = writeln!(out, "      \"apps\": [{}],", apps.join(", "));
+            let _ = writeln!(out, "      \"seed\": \"{}\",", s.seed);
+            out.push_str("      \"values\": {");
+            for (vi, (key, v)) in cell.values.iter().enumerate() {
+                if vi > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_escape(key), json_num(*v));
+            }
+            out.push_str("},\n");
+            out.push_str("      \"instances\": [");
+            for (ii, m) in cell.instances.iter().enumerate() {
+                if ii > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\n");
+                let _ = writeln!(
+                    out,
+                    "        \"app\": {},",
+                    json_escape(m.report.app.code())
+                );
+                let fields = instance_fields(m);
+                for (fi, (key, v)) in fields.iter().enumerate() {
+                    let comma = if fi + 1 < fields.len() { "," } else { "" };
+                    let _ = writeln!(out, "        {}: {}{comma}", json_escape(key), json_num(*v));
+                }
+                out.push_str("      }");
+            }
+            out.push_str("]\n");
+            let comma = if ci + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes instance metrics as CSV: one row per (cell, instance),
+    /// analytic values as one row per (cell, value) with an empty `app`
+    /// column. Deterministic like [`SuiteReport::to_json`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cell,workload,config,network,method,seed,instance,app,metric,value\n");
+        for cell in &self.cells {
+            let s = &cell.scenario;
+            let prefix = format!(
+                "{},{},{},{},{},{}",
+                csv_field(&s.name),
+                csv_field(&s.workload),
+                csv_field(&s.config_label),
+                csv_field(&s.network),
+                csv_field(&s.method),
+                s.seed
+            );
+            for (key, v) in &cell.values {
+                let _ = writeln!(out, "{prefix},,,{},{}", csv_field(key), fmt_csv_num(*v));
+            }
+            for (i, m) in cell.instances.iter().enumerate() {
+                for (key, v) in instance_fields(m) {
+                    let _ = writeln!(
+                        out,
+                        "{prefix},{i},{},{},{}",
+                        csv_field(m.report.app.code()),
+                        csv_field(key),
+                        fmt_csv_num(v)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a compact human-readable summary table (one row per cell).
+    pub fn summary_table(&self) -> String {
+        let mut t = Table::new(
+            [
+                "cell",
+                "apps",
+                "server FPS",
+                "client FPS",
+                "RTT ms",
+                "values",
+            ]
+            .map(String::from)
+            .to_vec(),
+        );
+        for cell in &self.cells {
+            let n = cell.instances.len().max(1) as f64;
+            let mean =
+                |f: &dyn Fn(&InstanceMetrics) -> f64| cell.instances.iter().map(f).sum::<f64>() / n;
+            let (fps_s, fps_c, rtt) = if cell.instances.is_empty() {
+                ("-".to_string(), "-".to_string(), "-".to_string())
+            } else {
+                (
+                    format!("{:.1}", mean(&|m| m.report.server_fps)),
+                    format!("{:.1}", mean(&|m| m.report.client_fps)),
+                    format!("{:.1}", mean(&|m| m.rtt.mean)),
+                )
+            };
+            t.row(vec![
+                cell.scenario.name.clone(),
+                cell.scenario.apps.len().to_string(),
+                fps_s,
+                fps_c,
+                rtt,
+                cell.values.len().to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+fn fmt_csv_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::new()
+    }
+}
+
+/// The flattened numeric fields of one instance's metrics, in a fixed order
+/// shared by the JSON and CSV emitters.
+fn instance_fields(m: &InstanceMetrics) -> Vec<(&'static str, f64)> {
+    let r = &m.report;
+    let mut fields: Vec<(&'static str, f64)> = vec![
+        ("server_fps", r.server_fps),
+        ("client_fps", r.client_fps),
+        ("frames_dropped", r.frames_dropped as f64),
+        ("inputs_sent", r.inputs_sent as f64),
+        ("app_cpu", r.app_cpu),
+        ("vnc_cpu", r.vnc_cpu),
+        ("gpu_util", r.gpu_util),
+        ("net_down_mbps", r.net_down_mbps),
+        ("pcie_up_gbps", r.pcie_up_gbps),
+        ("pcie_down_gbps", r.pcie_down_gbps),
+        ("l3_miss_rate", r.l3_miss_rate),
+        ("gpu_l2_miss_rate", r.gpu_l2_miss_rate),
+        ("texture_miss_rate", r.texture_miss_rate),
+        ("memory_mib", r.memory_mib as f64),
+        ("gpu_memory_mib", r.gpu_memory_mib as f64),
+        ("rtt_mean", m.rtt.mean),
+        ("rtt_p1", m.rtt.p1),
+        ("rtt_p25", m.rtt.p25),
+        ("rtt_p75", m.rtt.p75),
+        ("rtt_p99", m.rtt.p99),
+        ("tracked_inputs", m.tracked_inputs as f64),
+        ("server_time_ms", m.server_time_ms),
+        ("app_time_ms", m.app_time_ms),
+        ("queue_wait_ms", m.queue_wait_ms),
+    ];
+    const STAGE_KEYS: [&str; 9] = [
+        "stage_cs_ms",
+        "stage_sp_ms",
+        "stage_ps_ms",
+        "stage_al_ms",
+        "stage_rd_ms",
+        "stage_fc_ms",
+        "stage_as_ms",
+        "stage_cp_ms",
+        "stage_ss_ms",
+    ];
+    for (key, v) in STAGE_KEYS.iter().zip(m.stage_means_ms) {
+        fields.push((key, v));
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> ScenarioGrid {
+        ScenarioGrid::new("unit", 7)
+            .duration_secs(1)
+            .warmup(SimDuration::from_secs(1))
+            .solos([AppId::Dota2, AppId::SuperTuxKart])
+    }
+
+    #[test]
+    fn expansion_names_and_seeds_are_stable() {
+        let grid = tiny_grid()
+            .network(NetProfile::lan())
+            .network(NetProfile::lte());
+        let cells = grid.scenarios();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(cells[0].name, "D2/stock/lan/human");
+        assert_eq!(cells[1].name, "D2/stock/lte/human");
+        // Seeds depend only on the grid seed and cell name.
+        let again = grid.scenarios();
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.seed, b.seed);
+        }
+        assert_ne!(cells[0].seed, cells[1].seed);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let one = tiny_grid().run_with_threads(1);
+        let four = tiny_grid().run_with_threads(4);
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.to_csv(), four.to_csv());
+    }
+
+    #[test]
+    fn net_profiles_change_rtt() {
+        let report = ScenarioGrid::new("net", 3)
+            .duration_secs(2)
+            .warmup(SimDuration::from_secs(1))
+            .solo(AppId::RedEclipse)
+            .network(NetProfile::lan())
+            .network(NetProfile::lte())
+            .run_with_threads(2);
+        let lan = report.lookup("RE", "stock", "lan", "human").solo().rtt.mean;
+        let lte = report.lookup("RE", "stock", "lte", "human").solo().rtt.mean;
+        assert!(
+            lte > lan + 20.0,
+            "lte rtt {lte} should exceed lan rtt {lan} by ~2x25ms"
+        );
+    }
+
+    #[test]
+    fn analytic_cells_carry_values() {
+        let report = ScenarioGrid::new("an", 5)
+            .workload("w", vec![AppId::Dota2])
+            .method(Method::analytic("model", |sc| {
+                vec![("apps".into(), sc.apps.len() as f64)]
+            }))
+            .run_with_threads(2);
+        assert_eq!(report.cells().len(), 1);
+        assert_eq!(report.cell("w").value("apps"), 1.0);
+        assert!(report.cell("w").instances.is_empty());
+        report.assert_finite();
+    }
+
+    #[test]
+    fn non_finite_values_are_reported() {
+        let report = ScenarioGrid::new("nan", 5)
+            .workload("w", vec![AppId::Dota2])
+            .method(Method::analytic("model", |_| {
+                vec![("bad".into(), f64::NAN)]
+            }))
+            .run_with_threads(1);
+        let bad = report.non_finite_paths();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("w/stock/lan/model/bad"));
+        assert!(report.to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no workloads")]
+    fn empty_grid_panics() {
+        let _ = ScenarioGrid::new("empty", 1).run_with_threads(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_workload_labels_panic() {
+        let _ = ScenarioGrid::new("dup", 1)
+            .duration_secs(1)
+            .solo(AppId::Dota2)
+            .workload("D2", vec![AppId::Dota2])
+            .run_with_threads(1);
+    }
+
+    #[test]
+    fn undeclared_network_axis_preserves_config_tuning() {
+        let mut config = SystemConfig::turbovnc_stock();
+        config.tuning.net_latency = SimDuration::from_millis(20);
+        config.server.nic_mbps = 100.0;
+        let cells = ScenarioGrid::new("passthrough", 1)
+            .workload("w", vec![AppId::Dota2])
+            .config("wan_tuned", config.clone())
+            .scenarios();
+        // No network axis declared: the config's own tuning stands.
+        assert_eq!(cells[0].network, "lan");
+        assert_eq!(
+            cells[0].config.tuning.net_latency,
+            config.tuning.net_latency
+        );
+        assert_eq!(cells[0].config.server.nic_mbps, 100.0);
+        // A declared profile still overwrites it.
+        let cells = ScenarioGrid::new("overwrite", 1)
+            .workload("w", vec![AppId::Dota2])
+            .config("wan_tuned", config)
+            .network(NetProfile::lan())
+            .scenarios();
+        assert_eq!(
+            cells[0].config.tuning.net_latency,
+            SimDuration::from_micros(400)
+        );
+        assert_eq!(cells[0].config.server.nic_mbps, 1000.0);
+    }
+}

@@ -10,10 +10,10 @@
 use rand::rngs::SmallRng;
 
 use pictor_apps::world::DetectedObject;
-use pictor_apps::{Action, HumanPolicy};
+use pictor_apps::{Action, AppId, HumanPolicy};
 use pictor_gfx::Frame;
 use pictor_sim::rng::lognormal_mean_cv;
-use pictor_sim::SimDuration;
+use pictor_sim::{SeedTree, SimDuration};
 
 /// The decision cadence both the human reference and the intelligent client
 /// operate at: the human perception–action cycle is ~75 ms, conveniently
@@ -35,7 +35,10 @@ pub struct Reaction {
 }
 
 /// A source of client inputs.
-pub trait ClientDriver {
+///
+/// `Send` so suites can hand driver factories (and the drivers they build)
+/// to worker threads when a scenario grid fans out across cores.
+pub trait ClientDriver: Send {
     /// Driver name for reports.
     fn name(&self) -> &'static str;
 
@@ -57,6 +60,18 @@ impl HumanDriver {
     /// Wraps a human policy; `rng` drives the attention-quantum jitter.
     pub fn new(policy: HumanPolicy, rng: SmallRng) -> Self {
         HumanDriver { policy, rng }
+    }
+
+    /// The canonical construction every human baseline uses: policy and
+    /// attention jitter on the `human-policy`/`human-attention` streams of
+    /// `seeds`. All call sites must share these stream names — a divergent
+    /// copy would silently split the human reference from the baselines
+    /// compared against it.
+    pub fn from_seeds(app: AppId, seeds: &SeedTree) -> Self {
+        HumanDriver::new(
+            HumanPolicy::new(app, seeds.stream("human-policy")),
+            seeds.stream("human-attention"),
+        )
     }
 
     /// The underlying policy.

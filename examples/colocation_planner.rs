@@ -5,16 +5,15 @@
 //! it "to select the proper set of 3D applications to share hardware". This
 //! example does exactly that: given four tenants and two servers, it scores
 //! every split with the contention model, picks the best, and validates the
-//! choice (and the worst split) with full pipeline simulations.
+//! choice (and the worst split) with full pipeline simulations — all four
+//! validation runs declared as one scenario grid and executed in parallel.
 //!
 //! Run with: `cargo run --release --example colocation_planner`
 
 use pictor::apps::{AppId, AppProfile};
-use pictor::core::{run_experiment, ExperimentSpec};
+use pictor::core::ScenarioGrid;
 use pictor::render::config::StageTuning;
 use pictor::render::contention::contention_states;
-use pictor::render::SystemConfig;
-use pictor::sim::SimDuration;
 
 /// Predicted combined slowdown of a pair sharing a server (lower is better).
 fn predicted_cost(a: AppId, b: AppId) -> f64 {
@@ -25,15 +24,8 @@ fn predicted_cost(a: AppId, b: AppId) -> f64 {
         + (1.0 / states[1].app_speed) * states[1].rd_cost_mult
 }
 
-fn measured_fps(pair: (AppId, AppId)) -> (f64, f64) {
-    let result = run_experiment(ExperimentSpec {
-        duration: SimDuration::from_secs(15),
-        ..ExperimentSpec::with_humans(vec![pair.0, pair.1], SystemConfig::turbovnc_stock(), 99)
-    });
-    (
-        result.instances[0].report.client_fps,
-        result.instances[1].report.client_fps,
-    )
+fn pair_label(p: (AppId, AppId)) -> String {
+    format!("{}+{}", p.0.code(), p.1.code())
 }
 
 fn main() {
@@ -60,28 +52,42 @@ fn main() {
     scored.sort_by(|x, y| x.2.partial_cmp(&y.2).expect("finite costs"));
     for (p1, p2, cost) in &scored {
         println!(
-            "  {}+{} | {}+{}  predicted contention cost {:.3}",
-            p1.0.code(),
-            p1.1.code(),
-            p2.0.code(),
-            p2.1.code(),
+            "  {} | {}  predicted contention cost {:.3}",
+            pair_label(*p1),
+            pair_label(*p2),
             cost
         );
     }
-    let best = scored.first().expect("non-empty");
-    let worst = scored.last().expect("non-empty");
+    let best = *scored.first().expect("non-empty");
+    let worst = *scored.last().expect("non-empty");
+
+    // Validate best and worst with full pipeline simulations: one grid, one
+    // cell per server placement, run in parallel.
+    let mut grid = ScenarioGrid::new("colocation_planner", 99).duration_secs(15);
+    let mut declared = std::collections::HashSet::new();
+    for pair in [best.0, best.1, worst.0, worst.1] {
+        if declared.insert(pair_label(pair)) {
+            grid = grid.workload(&pair_label(pair), vec![pair.0, pair.1]);
+        }
+    }
+    let report = grid.run();
     println!("\nValidating with full pipeline simulations (client FPS):");
     for (label, split) in [("best", best), ("worst", worst)] {
-        let (a1, a2) = measured_fps(split.0);
-        let (b1, b2) = measured_fps(split.1);
+        let fps = |pair: (AppId, AppId)| {
+            let cell = report.cell(&pair_label(pair));
+            (
+                cell.instances[0].report.client_fps,
+                cell.instances[1].report.client_fps,
+            )
+        };
+        let (a1, a2) = fps(split.0);
+        let (b1, b2) = fps(split.1);
         println!(
-            "  {label}: {}+{} -> {:.1}/{:.1} fps, {}+{} -> {:.1}/{:.1} fps (min {:.1})",
-            split.0 .0.code(),
-            split.0 .1.code(),
+            "  {label}: {} -> {:.1}/{:.1} fps, {} -> {:.1}/{:.1} fps (min {:.1})",
+            pair_label(split.0),
             a1,
             a2,
-            split.1 .0.code(),
-            split.1 .1.code(),
+            pair_label(split.1),
             b1,
             b2,
             a1.min(a2).min(b1).min(b2)

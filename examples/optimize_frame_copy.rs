@@ -3,56 +3,62 @@
 //! Reproduces the paper's optimization story on one benchmark: stock
 //! TurboVNC wastes 6–9 ms per frame in `XGetWindowAttributes` and stalls the
 //! logic thread in a blocking `glReadPixels`. Memoization removes the first;
-//! the two-step asynchronous copy removes the second. This example measures
-//! all four interposer configurations.
+//! the two-step asynchronous copy removes the second. All four interposer
+//! configurations run as one scenario grid — in parallel across cores.
 //!
 //! Run with: `cargo run --release --example optimize_frame_copy`
 
 use pictor::apps::AppId;
-use pictor::core::{run_experiment, ExperimentSpec};
+use pictor::core::ScenarioGrid;
 use pictor::gfx::InterposerConfig;
 use pictor::render::SystemConfig;
-use pictor::sim::SimDuration;
-
-fn measure(app: AppId, interposer: InterposerConfig) -> (f64, f64, f64) {
-    let config = SystemConfig {
-        interposer,
-        ..SystemConfig::turbovnc_stock()
-    };
-    let result = run_experiment(ExperimentSpec {
-        duration: SimDuration::from_secs(20),
-        ..ExperimentSpec::with_humans(vec![app], config, 7)
-    });
-    let m = result.solo();
-    (m.report.server_fps, m.report.client_fps, m.rtt.mean)
-}
 
 fn main() {
-    let app = AppId::SuperTuxKart;
+    let configs = [
+        ("stock", "stock TurboVNC"),
+        ("memoize", "memoized XGWA only"),
+        ("async", "async two-step copy only"),
+        ("both", "both (paper §6)"),
+    ];
+    let interposer_for = |label: &str| match label {
+        "stock" => InterposerConfig::turbovnc_stock(),
+        "memoize" => InterposerConfig::memoize_only(),
+        "async" => InterposerConfig::async_copy_only(),
+        _ => InterposerConfig::optimized(),
+    };
+    let mut grid = ScenarioGrid::new("optimize_frame_copy", 7)
+        .duration_secs(20)
+        .solo(AppId::SuperTuxKart);
+    for (label, _) in configs {
+        grid = grid.config(
+            label,
+            SystemConfig {
+                interposer: interposer_for(label),
+                ..SystemConfig::turbovnc_stock()
+            },
+        );
+    }
+    let report = grid.run();
+
     println!("SuperTuxKart, four interposer configurations (simulated):\n");
     println!(
         "{:<28} {:>10} {:>10} {:>9}",
         "configuration", "server FPS", "client FPS", "RTT ms"
     );
-    let configs = [
-        ("stock TurboVNC", InterposerConfig::turbovnc_stock()),
-        ("memoized XGWA only", InterposerConfig::memoize_only()),
-        (
-            "async two-step copy only",
-            InterposerConfig::async_copy_only(),
-        ),
-        ("both (paper §6)", InterposerConfig::optimized()),
-    ];
-    let base = measure(app, InterposerConfig::turbovnc_stock());
-    for (name, interposer) in configs {
-        let (server, client, rtt) = measure(app, interposer);
+    let base = report
+        .lookup("STK", "stock", "lan", "human")
+        .solo()
+        .report
+        .server_fps;
+    for (label, name) in configs {
+        let m = report.lookup("STK", label, "lan", "human").solo();
         println!(
             "{:<28} {:>10.1} {:>10.1} {:>9.1}   ({:+.1}% server FPS)",
             name,
-            server,
-            client,
-            rtt,
-            (server / base.0 - 1.0) * 100.0
+            m.report.server_fps,
+            m.report.client_fps,
+            m.rtt.mean,
+            (m.report.server_fps / base - 1.0) * 100.0
         );
     }
     println!("\nPaper: the two optimizations together lift server FPS by 57.7% on");

@@ -1,26 +1,23 @@
 //! Quickstart: benchmark one cloud 3D application with Pictor.
 //!
-//! Builds the TurboVNC-style rendering system with a single Red Eclipse
-//! instance driven by the human reference policy, attaches Pictor's
-//! measurement framework, runs a short session and prints what the paper's
-//! methodology yields: FPS, the RTT distribution and the per-stage latency
-//! breakdown.
+//! Declares a one-cell `ScenarioGrid` — a single Red Eclipse instance on
+//! stock TurboVNC driven by the human reference policy — runs it through
+//! the suite runner, and prints what the paper's methodology yields: FPS,
+//! the RTT distribution and the per-stage latency breakdown, plus a taste
+//! of the unified report's machine-readable emitters.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use pictor::apps::AppId;
-use pictor::core::{run_experiment, ExperimentSpec};
+use pictor::core::ScenarioGrid;
 use pictor::render::records::Stage;
-use pictor::render::SystemConfig;
-use pictor::sim::SimDuration;
 
 fn main() {
-    let spec = ExperimentSpec {
-        duration: SimDuration::from_secs(20),
-        ..ExperimentSpec::with_humans(vec![AppId::RedEclipse], SystemConfig::turbovnc_stock(), 42)
-    };
-    let result = run_experiment(spec);
-    let m = result.solo();
+    let report = ScenarioGrid::new("quickstart", 42)
+        .duration_secs(20)
+        .solo(AppId::RedEclipse)
+        .run();
+    let m = report.cell("RE").solo();
 
     println!("Red Eclipse on stock TurboVNC (simulated, 20 s):");
     println!("  server FPS : {:6.1}", m.report.server_fps);
@@ -42,4 +39,8 @@ fn main() {
         "  input queue wait {:.2} ms, app time {:.2} ms, server total {:.2} ms",
         m.queue_wait_ms, m.app_time_ms, m.server_time_ms
     );
+    println!();
+    println!("The same run, as the unified suite report summarizes it:");
+    print!("{}", report.summary_table());
+    println!("(report.to_json() / report.to_csv() emit the full machine-readable form)");
 }

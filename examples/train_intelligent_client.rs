@@ -2,17 +2,16 @@
 //!
 //! Records a human session, trains the CNN (object recognition) and the
 //! LSTM (input generation), then plays the benchmark through the full cloud
-//! pipeline with both the human reference and the trained client, and
-//! compares the measured RTT distributions — the paper's Table 3 protocol
-//! for one app.
+//! pipeline with both the human reference and the trained client as two
+//! methodology cells of one scenario grid, and compares the measured RTT
+//! distributions — the paper's Table 3 protocol for one app.
 //!
 //! Run with: `cargo run --release --example train_intelligent_client`
 
 use pictor::apps::AppId;
 use pictor::client::ic::{IcTrainConfig, IntelligentClient};
-use pictor::core::{run_experiment, ExperimentSpec, IcDriver};
-use pictor::render::SystemConfig;
-use pictor::sim::{SeedTree, SimDuration};
+use pictor::core::{IcDriver, Method, ScenarioGrid};
+use pictor::sim::SeedTree;
 
 fn main() {
     let app = AppId::RedEclipse;
@@ -28,25 +27,18 @@ fn main() {
             .map(|v| (v * 100.0).round() / 100.0),
     );
 
-    let config = SystemConfig::turbovnc_stock();
-    let duration = SimDuration::from_secs(30);
-    println!("\nRunning the human reference session…");
-    let human = run_experiment(ExperimentSpec {
-        duration,
-        ..ExperimentSpec::with_humans(vec![app], config.clone(), 2020)
-    });
-    println!("Running the intelligent-client session…");
-    let ic_run = run_experiment(ExperimentSpec {
-        apps: vec![app],
-        config,
-        seed: 2020 ^ 0x1c,
-        warmup: SimDuration::from_secs(3),
-        duration,
-        drivers: Box::new(move |_, _, _| Box::new(IcDriver::new(ic.clone()))),
-    });
+    println!("\nRunning the human reference and IC sessions (one grid, parallel)…");
+    let report = ScenarioGrid::new("train_intelligent_client", 2020)
+        .duration_secs(30)
+        .solo(app)
+        .method(Method::humans())
+        .method(Method::drivers("ic", move |_, _, _| {
+            Box::new(IcDriver::new(ic.clone()))
+        }))
+        .run();
 
-    let h = human.solo();
-    let c = ic_run.solo();
+    let h = report.lookup("RE", "stock", "lan", "human").solo();
+    let c = report.lookup("RE", "stock", "lan", "ic").solo();
     println!("\n              {:>10} {:>10}", "human", "IC");
     println!("mean RTT ms   {:>10.1} {:>10.1}", h.rtt.mean, c.rtt.mean);
     println!("p25 RTT  ms   {:>10.1} {:>10.1}", h.rtt.p25, c.rtt.p25);

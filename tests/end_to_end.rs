@@ -36,12 +36,13 @@ fn intelligent_client_tracks_human_rtt() {
     let human = run_experiment(human_spec(app, 5, 25));
     let ic = IntelligentClient::train(app, &SeedTree::new(5), IcTrainConfig::fast());
     let ic_run = run_experiment(ExperimentSpec {
-        apps: vec![app],
-        config: SystemConfig::turbovnc_stock(),
-        seed: 5 ^ 0x1c,
-        warmup: SimDuration::from_secs(3),
         duration: SimDuration::from_secs(25),
-        drivers: Box::new(move |_, _, _| Box::new(IcDriver::new(ic.clone()))),
+        ..ExperimentSpec::with_drivers(
+            vec![app],
+            SystemConfig::turbovnc_stock(),
+            5 ^ 0x1c,
+            Box::new(move |_, _, _| Box::new(IcDriver::new(ic.clone()))),
+        )
     });
     let h = human.solo().rtt.mean;
     let c = ic_run.solo().rtt.mean;

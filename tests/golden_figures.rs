@@ -1,0 +1,143 @@
+//! Golden-value regression tests for two cheap figures.
+//!
+//! Each test runs the figure's real [`ScenarioGrid`] at a short duration
+//! with a pinned seed, reduces it to a flat `metric path → value` map, and
+//! compares against the snapshot under `tests/golden/`. The simulation is
+//! deterministic, so any drift here is a *model* change: either a bug, or
+//! an intentional change that must be blessed.
+//!
+//! To re-bless after an intentional model change:
+//! `PICTOR_BLESS=1 cargo test --test golden_figures`
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use pictor::apps::AppId;
+use pictor::client::ic::IcTrainConfig;
+use pictor_bench::figures::{fig10, table3};
+
+/// Relative tolerance: values are deterministic on one platform; the slack
+/// only absorbs decimal round-tripping and libm differences across hosts.
+const REL_TOL: f64 = 1e-6;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Serializes a flat metric map as pretty JSON (sorted keys).
+fn to_json(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in map.iter().enumerate() {
+        let comma = if i + 1 < map.len() { "," } else { "" };
+        out.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat `{"key": number, ...}` documents this test emits.
+fn parse_json(body: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        let value: f64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("bad golden number for {key:?}: {e}"));
+        map.insert(key.to_string(), value);
+    }
+    map
+}
+
+fn compare_or_bless(name: &str, actual: &BTreeMap<String, f64>) {
+    let path = golden_path(name);
+    if std::env::var("PICTOR_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, to_json(actual)).expect("write golden");
+        eprintln!("blessed {} metrics into {path:?}", actual.len());
+        return;
+    }
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); run with PICTOR_BLESS=1 to create it")
+    });
+    let expected = parse_json(&body);
+    let expected_keys: Vec<_> = expected.keys().collect();
+    let actual_keys: Vec<_> = actual.keys().collect();
+    assert_eq!(
+        expected_keys, actual_keys,
+        "golden {name}: metric set drifted; re-bless if intentional"
+    );
+    let mut drifts = Vec::new();
+    for (key, &want) in &expected {
+        let got = actual[key];
+        let tol = REL_TOL * want.abs().max(1e-9);
+        if (got - want).abs() > tol {
+            drifts.push(format!("{key}: golden {want}, got {got}"));
+        }
+    }
+    assert!(
+        drifts.is_empty(),
+        "golden {name}: simulation-model drift detected:\n  {}\n\
+         (PICTOR_BLESS=1 cargo test --test golden_figures to accept)",
+        drifts.join("\n  ")
+    );
+}
+
+/// Fig 10 (FPS scaling) at 2 simulated seconds: server/client FPS per
+/// (app × instance-count) cell.
+#[test]
+fn fig10_fps_scaling_matches_golden() {
+    let report = fig10::grid(2, 2020).run();
+    report.assert_finite();
+    let mut map = BTreeMap::new();
+    for cell in report.cells() {
+        let w = &cell.scenario.workload;
+        let n = cell.instances.len() as f64;
+        let server = cell
+            .instances
+            .iter()
+            .map(|m| m.report.server_fps)
+            .sum::<f64>()
+            / n;
+        let client = cell
+            .instances
+            .iter()
+            .map(|m| m.report.client_fps)
+            .sum::<f64>()
+            / n;
+        map.insert(format!("{w}/server_fps"), server);
+        map.insert(format!("{w}/client_fps"), client);
+        map.insert(format!("{w}/rtt_mean"), cell.instances[0].rtt.mean);
+    }
+    compare_or_bless("fig10_fps_scaling.json", &map);
+}
+
+/// Table 3 (methodology RTT errors) on a two-app subset with fast IC
+/// training at 4 simulated seconds: percentage error per (app, method).
+#[test]
+fn table3_ic_errors_matches_golden() {
+    let apps = [AppId::Dota2, AppId::SuperTuxKart];
+    let report = table3::grid_for(&apps, 4, 2020, IcTrainConfig::fast()).run();
+    report.assert_finite();
+    let mut map = BTreeMap::new();
+    for &app in &apps {
+        // DeskBench is excluded: its replay sends inputs so sparsely that a
+        // short window tracks none, pinning a constant 100% error — no
+        // drift signal.
+        for method in ["ic", "chen", "slow-motion"] {
+            map.insert(
+                format!("{}/{method}_pct_err", app.code()),
+                table3::pct_err(&report, app, method),
+            );
+        }
+    }
+    compare_or_bless("table3_ic_errors.json", &map);
+}

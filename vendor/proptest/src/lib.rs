@@ -17,7 +17,7 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, Strategy};
     pub use crate::test_runner::{TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 
     /// Upstream re-exports the `proptest` crate's strategy modules under
     /// `prop::` in the prelude; mirror the one path the workspace uses
@@ -65,6 +65,18 @@ macro_rules! proptest {
                 }
             }
         )*
+    };
+}
+
+/// Skips the current case when the assumption does not hold — the stub's
+/// equivalent of upstream's rejection machinery (no global rejection cap;
+/// a skipped case simply counts as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
     };
 }
 

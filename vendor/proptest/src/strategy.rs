@@ -10,6 +10,30 @@ pub trait Strategy {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Upstream `Strategy::prop_map`: derives a strategy by mapping
+    /// generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 macro_rules! int_range_strategy {
