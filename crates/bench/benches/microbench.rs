@@ -5,8 +5,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use pictor_apps::{AppId, HumanPolicy, World};
+use pictor_bench::fixtures::{conv_d_out, conv_fixture, lstm_d_h, lstm_fixture};
 use pictor_client::ic::{IcTrainConfig, IntelligentClient};
 use pictor_gfx::{embed_tag, extract_tag, CompressionModel, Tag};
+use pictor_ml::Scratch;
 use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
 use pictor_sim::{EventQueue, SeedTree, SimDuration, SimTime};
 
@@ -83,6 +85,49 @@ fn bench_human_policy(c: &mut Criterion) {
     });
 }
 
+fn bench_conv_forward(c: &mut Criterion) {
+    let (conv, x) = conv_fixture();
+    let mut ws = Scratch::new();
+    c.bench_function("conv_forward_cells_b32", |b| {
+        b.iter(|| conv.infer(&x, &mut ws));
+    });
+    c.bench_function("conv_forward_cells_b32_reference", |b| {
+        b.iter(|| conv.infer_reference(&x));
+    });
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let (mut conv, x) = conv_fixture();
+    let mut ws = Scratch::new();
+    let d_out = conv_d_out();
+    c.bench_function("conv_train_step_b32", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x, &mut ws);
+            let dx = conv.backward(&d_out, &mut ws);
+            (y.data()[0], dx.data()[0])
+        });
+    });
+}
+
+fn bench_lstm_seq(c: &mut Criterion) {
+    let (mut lstm, xs) = lstm_fixture();
+    let mut ws = Scratch::new();
+    c.bench_function("lstm_infer_seq_t6_b16", |b| {
+        b.iter(|| lstm.infer(&xs, &mut ws));
+    });
+    c.bench_function("lstm_infer_seq_t6_b16_reference", |b| {
+        b.iter(|| lstm.infer_reference(&xs));
+    });
+    let d_h = lstm_d_h();
+    c.bench_function("lstm_train_seq_t6_b16", |b| {
+        b.iter(|| {
+            let h = lstm.forward(&xs, &mut ws);
+            let dxs = lstm.backward(&d_h, &mut ws);
+            (h.data()[0], dxs[0].data()[0])
+        });
+    });
+}
+
 fn bench_ic_inference(c: &mut Criterion) {
     let seeds = SeedTree::new(5);
     let mut ic = IntelligentClient::train(AppId::RedEclipse, &seeds, IcTrainConfig::fast());
@@ -123,7 +168,8 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_event_queue, bench_tag_embedding, bench_compression,
-              bench_world_step, bench_human_policy, bench_ic_inference,
+              bench_world_step, bench_human_policy, bench_conv_forward,
+              bench_conv_backward, bench_lstm_seq, bench_ic_inference,
               bench_pipeline_second
 }
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 //!   `<dir>/<suite>.json` and `<dir>/<suite>.csv`.
 
 pub mod figures;
+pub mod fixtures;
 
 use pictor_core::suite::default_threads;
 use pictor_core::{ScenarioGrid, SuiteReport};

@@ -15,7 +15,7 @@ use rand::Rng;
 use pictor_apps::world::DetectedObject;
 use pictor_apps::{Action, ActionClass, AppId, WorldParams};
 use pictor_ml::dense::Activation;
-use pictor_ml::{softmax_cross_entropy, softmax_probs, Adam, Dense, Lstm, Matrix};
+use pictor_ml::{softmax_cross_entropy, softmax_probs, Adam, Dense, Lstm, Matrix, Scratch};
 use pictor_sim::rng::normal;
 
 use crate::features::{encode, FEATURE_DIM};
@@ -154,6 +154,7 @@ impl AgentModel {
             rng,
         );
         let mut adam = Adam::new(config.lr);
+        let mut ws = Scratch::new();
         let mut final_class_loss = f64::INFINITY;
         for _ in 0..config.epochs {
             for i in (1..sample_ts.len()).rev() {
@@ -181,10 +182,10 @@ impl AgentModel {
                     .iter()
                     .map(|&t| session.actions[t].class.index())
                     .collect();
-                let h = lstm.forward(&xs);
+                let h = lstm.forward(&xs, &mut ws);
                 let logits = class_head.forward(&h);
                 let (class_loss, d_logits) = softmax_cross_entropy(&logits, &targets_class);
-                let d_h_class = class_head.backward(&d_logits);
+                let d_h_class = class_head.backward(&d_logits, &mut ws);
                 // Masked aim regression conditioned on the true class: only
                 // rows whose action carries an analog component contribute.
                 let mut aim_in = Matrix::zeros(b, config.hidden + n_classes + FEATURE_DIM);
@@ -205,7 +206,7 @@ impl AgentModel {
                     d_aim.set(row, 0, (aim.get(row, 0) - a.dx) / analog_rows);
                     d_aim.set(row, 1, (aim.get(row, 1) - a.dy) / analog_rows);
                 }
-                let d_aim_in = aim_head.backward(&d_aim);
+                let d_aim_in = aim_head.backward(&d_aim, &mut ws);
                 // Only the hidden-state columns flow back into the LSTM.
                 let mut d_h_aim = Matrix::zeros(b, config.hidden);
                 for row in 0..b {
@@ -213,7 +214,7 @@ impl AgentModel {
                         d_h_aim.set(row, j, d_aim_in.get(row, j));
                     }
                 }
-                lstm.backward(&d_h_class.add(&d_h_aim));
+                lstm.backward(&d_h_class.add(&d_h_aim), &mut ws);
                 let mut p = lstm.params_and_grads();
                 p.extend(class_head.params_and_grads());
                 p.extend(aim_head.params_and_grads());
@@ -235,7 +236,7 @@ impl AgentModel {
             let xs: Vec<Matrix> = (0..config.seq_len)
                 .map(|k| Matrix::row_vector(&feats[t + 1 - config.seq_len + k]))
                 .collect();
-            let h = lstm.infer(&xs);
+            let h = lstm.infer(&xs, &mut ws);
             let aim = aim_head.infer(&aim_input(&h, a.class, config.hidden, &feats[t]));
             residuals[a.class.index()].push(aim.get(0, 0) - a.dx);
             residuals[a.class.index()].push(aim.get(0, 1) - a.dy);
@@ -286,8 +287,13 @@ impl AgentModel {
     /// Generates the input for one displayed frame from recognized objects.
     ///
     /// The class is sampled from the softmax; the aim adds the learned
-    /// residual noise.
-    pub fn decide(&mut self, detections: &[DetectedObject], rng: &mut SmallRng) -> Action {
+    /// residual noise. LSTM scratch buffers come from `ws`.
+    pub fn decide(
+        &mut self,
+        detections: &[DetectedObject],
+        rng: &mut SmallRng,
+        ws: &mut Scratch,
+    ) -> Action {
         let f = encode(&self.params, detections);
         self.history.push(f);
         if self.history.len() > self.seq_len {
@@ -305,7 +311,7 @@ impl AgentModel {
                 }
             })
             .collect();
-        let h = self.lstm.infer(&xs);
+        let h = self.lstm.infer(&xs, ws);
         let probs = softmax_probs(&self.class_head.infer(&h));
         let roll: f64 = rng.gen();
         let mut acc = 0.0;
@@ -368,10 +374,11 @@ mod tests {
         let human_rate = session.action_rate();
         // Replay the session's object lists through the agent.
         let mut rng = SmallRng::seed_from_u64(99);
+        let mut ws = Scratch::new();
         let mut inputs = 0usize;
         agent.reset();
         for truth in &session.truths {
-            if agent.decide(truth, &mut rng).is_input() {
+            if agent.decide(truth, &mut rng, &mut ws).is_input() {
                 inputs += 1;
             }
         }
@@ -393,12 +400,13 @@ mod tests {
             y: 0.7,
             size: 0.2,
         };
+        let mut ws = Scratch::new();
         let mut aims = Vec::new();
         for _ in 0..400 {
             agent.reset();
             // Warm the history with the target visible.
             for _ in 0..6 {
-                let a = agent.decide(&[target], &mut rng);
+                let a = agent.decide(&[target], &mut rng, &mut ws);
                 if matches!(a.class, ActionClass::Primary | ActionClass::Secondary) {
                     aims.push(((a.dx + 1.0) / 2.0, (a.dy + 1.0) / 2.0));
                 }

@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use pictor_apps::{Action, AppId};
 use pictor_gfx::Frame;
 use pictor_hw::ClientSpec;
+use pictor_ml::Scratch;
 use pictor_sim::{SeedTree, SimDuration};
 
 use crate::agent::{AgentConfig, AgentModel};
@@ -86,6 +87,8 @@ pub struct IntelligentClient {
     agent: AgentModel,
     cost: InferenceCostModel,
     rng: SmallRng,
+    /// Reusable workspace for the per-frame CNN/LSTM hot loop.
+    ws: Scratch,
 }
 
 impl IntelligentClient {
@@ -99,11 +102,16 @@ impl IntelligentClient {
     /// Trains on an existing recorded session.
     pub fn train_on(session: &RecordedSession, seeds: &SeedTree, config: IcTrainConfig) -> Self {
         let mut train_rng = seeds.stream("ic-train");
+        let mut ws = Scratch::new();
         let vision = VisionModel::train(session, config.vision, &mut train_rng);
         let detections: Vec<_> = if config.truth_features {
             session.truths.clone()
         } else {
-            session.frames.iter().map(|f| vision.detect(f)).collect()
+            session
+                .frames
+                .iter()
+                .map(|f| vision.detect(f, &mut ws))
+                .collect()
         };
         let agent = AgentModel::train(session, &detections, config.agent, &mut train_rng);
         IntelligentClient {
@@ -112,6 +120,7 @@ impl IntelligentClient {
             agent,
             cost: InferenceCostModel::new(ClientSpec::paper_client()),
             rng: SmallRng::seed_from_u64(seeds.seed_for("ic-run")),
+            ws,
         }
     }
 
@@ -144,8 +153,8 @@ impl IntelligentClient {
     /// Returns the action and the (simulated, paper-scale) CV and RNN
     /// latencies the client pays before the input can be sent.
     pub fn decide(&mut self, frame: &Frame) -> (Action, SimDuration, SimDuration) {
-        let detections = self.vision.detect(frame);
-        let action = self.agent.decide(&detections, &mut self.rng);
+        let detections = self.vision.detect(frame, &mut self.ws);
+        let action = self.agent.decide(&detections, &mut self.rng, &mut self.ws);
         let cv = self.cost.cv_latency(self.app, &mut self.rng);
         let rnn = self.cost.rnn_latency(self.app, &mut self.rng);
         (action, cv, rnn)

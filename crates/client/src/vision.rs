@@ -21,7 +21,9 @@ use pictor_apps::{AppId, WorldParams};
 use pictor_gfx::frame::{SIM_HEIGHT, SIM_WIDTH};
 use pictor_gfx::Frame;
 use pictor_ml::dense::Activation;
-use pictor_ml::{softmax_cross_entropy, softmax_probs, Adam, Conv2d, Dense, MaxPool2, Tensor4};
+use pictor_ml::{
+    softmax_cross_entropy, softmax_probs, Adam, Conv2d, Dense, MaxPool2, Scratch, Tensor4,
+};
 
 use crate::recorder::RecordedSession;
 
@@ -71,8 +73,10 @@ pub struct VisionModel {
     train_accuracy: f64,
 }
 
-fn cell_tensor(frame: &Frame, cx: usize, cy: usize) -> Tensor4 {
-    let mut t = Tensor4::zeros(1, 3, CELL_H, CELL_W);
+/// Builds the normalized 3-channel tensor for one cell, backed by scratch
+/// storage (return it to the pool with `ws.put(t.into_vec())`).
+fn cell_tensor(frame: &Frame, cx: usize, cy: usize, ws: &mut Scratch) -> Tensor4 {
+    let mut t = Tensor4::from_vec(1, 3, CELL_H, CELL_W, ws.take(3 * CELL_H * CELL_W));
     for y in 0..CELL_H {
         for x in 0..CELL_W {
             let px = frame.pixel(cx * CELL_W + x, cy * CELL_H + y);
@@ -192,6 +196,7 @@ impl VisionModel {
         let (ph, pw) = MaxPool2::out_size(CELL_H, CELL_W);
         let mut head = Dense::new(6 * ph * pw, n_out, Activation::Identity, rng);
         let mut adam = Adam::new(config.lr);
+        let mut ws = Scratch::new();
         for _ in 0..config.epochs {
             for i in (1..samples.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -202,7 +207,7 @@ impl VisionModel {
                 let mut batch_in = Tensor4::zeros(chunk.len(), 3, CELL_H, CELL_W);
                 let mut targets = Vec::with_capacity(chunk.len());
                 for (bi, &(fi, cx, cy, label)) in chunk.iter().enumerate() {
-                    let cell = cell_tensor(&session.frames[fi], cx, cy);
+                    let cell = cell_tensor(&session.frames[fi], cx, cy, &mut ws);
                     for c in 0..3 {
                         for y in 0..CELL_H {
                             for x in 0..CELL_W {
@@ -210,14 +215,16 @@ impl VisionModel {
                             }
                         }
                     }
+                    ws.put(cell.into_vec());
                     targets.push(label);
                 }
-                let conv_out = conv.forward(&batch_in);
+                let conv_out = conv.forward(&batch_in, &mut ws);
                 let pooled = pool.forward(&conv_out);
+                ws.put(conv_out.into_vec());
                 let flat = pooled.flatten();
                 let logits = head.forward(&flat);
                 let (_, d_logits) = softmax_cross_entropy(&logits, &targets);
-                let d_flat = head.backward(&d_logits);
+                let d_flat = head.backward(&d_logits, &mut ws);
                 let d_pool = Tensor4::from_vec(
                     pooled.n,
                     pooled.c,
@@ -226,7 +233,8 @@ impl VisionModel {
                     d_flat.data().to_vec(),
                 );
                 let d_conv = pool.backward(&d_pool);
-                conv.backward(&d_conv);
+                let dx = conv.backward(&d_conv, &mut ws);
+                ws.put(dx.into_vec());
                 let mut params = conv.params_and_grads();
                 params.extend(head.params_and_grads());
                 adam.step_slices(&mut params);
@@ -235,7 +243,8 @@ impl VisionModel {
         // Training accuracy.
         let mut correct = 0usize;
         for &(fi, cx, cy, label) in &samples {
-            let pred = Self::classify_cell_raw(&conv, &pool, &head, &session.frames[fi], cx, cy);
+            let pred =
+                Self::classify_cell_raw(&conv, &pool, &head, &session.frames[fi], cx, cy, &mut ws);
             if pred == label {
                 correct += 1;
             }
@@ -259,9 +268,13 @@ impl VisionModel {
         frame: &Frame,
         cx: usize,
         cy: usize,
+        ws: &mut Scratch,
     ) -> usize {
-        let cell = cell_tensor(frame, cx, cy);
-        let out = pool.infer(&conv.infer(&cell));
+        let cell = cell_tensor(frame, cx, cy, ws);
+        let conv_out = conv.infer(&cell, ws);
+        ws.put(cell.into_vec());
+        let out = pool.infer(&conv_out);
+        ws.put(conv_out.into_vec());
         let logits = head.infer(&out.flatten());
         let probs = softmax_probs(&logits);
         let mut best = 0;
@@ -284,20 +297,21 @@ impl VisionModel {
     }
 
     /// Classifies one cell (0 = background, else `classes[label-1]`).
-    pub fn classify_cell(&self, frame: &Frame, cx: usize, cy: usize) -> usize {
+    /// Scratch buffers for the conv pipeline come from `ws`.
+    pub fn classify_cell(&self, frame: &Frame, cx: usize, cy: usize, ws: &mut Scratch) -> usize {
         if self.variance_gate > 0.0 && cell_std(frame, cx, cy) < self.variance_gate {
             return 0;
         }
-        Self::classify_cell_raw(&self.conv, &self.pool, &self.head, frame, cx, cy)
+        Self::classify_cell_raw(&self.conv, &self.pool, &self.head, frame, cx, cy, ws)
     }
 
     /// Detects objects in a frame: classifies every cell, then merges
     /// 4-connected same-class cells into centroid detections.
-    pub fn detect(&self, frame: &Frame) -> Vec<DetectedObject> {
+    pub fn detect(&self, frame: &Frame, ws: &mut Scratch) -> Vec<DetectedObject> {
         let mut labels = [[0usize; GRID_W]; GRID_H];
         for (cy, row) in labels.iter_mut().enumerate() {
             for (cx, cell) in row.iter_mut().enumerate() {
-                *cell = self.classify_cell(frame, cx, cy);
+                *cell = self.classify_cell(frame, cx, cy, ws);
             }
         }
         // BFS clustering.
@@ -391,10 +405,11 @@ mod tests {
         let (model, session) = trained(AppId::RedEclipse, 12);
         // Evaluate on later frames of the session (held-in scene, the paper
         // trains and runs on the same scene).
+        let mut ws = Scratch::new();
         let mut matched = 0usize;
         let mut total = 0usize;
         for fi in (session.len() - 40)..session.len() {
-            let dets = model.detect(&session.frames[fi]);
+            let dets = model.detect(&session.frames[fi], &mut ws);
             for truth in &session.truths[fi] {
                 total += 1;
                 let hit = dets.iter().any(|d| {
@@ -414,7 +429,7 @@ mod tests {
     fn empty_scene_produces_few_detections() {
         let (model, _) = trained(AppId::RedEclipse, 13);
         let empty = pictor_gfx::draw_scene(0, &[], 0.3, 0.6);
-        let dets = model.detect(&empty);
+        let dets = model.detect(&empty, &mut Scratch::new());
         assert!(dets.len() <= 2, "false positives: {dets:?}");
     }
 

@@ -3,9 +3,25 @@
 //! The intelligent client's vision network (the MobileNets stand-in) runs a
 //! small convolution stack over frame cells. Layout is NCHW in a flat
 //! [`Tensor4`].
+//!
+//! Forward and backward are both lowered onto the shared blocked GEMM
+//! kernel ([`crate::tensor::gemm_acc`]) via im2col: the forward pass is one
+//! `W [OC, C·k²] · panel [C·k², N·H·W]` product (transposed im2col, so the
+//! wide position dimension feeds the register-tiled kernel), the weight
+//! gradient is one `[OC, N·H·W] · [N·H·W, C·k²]` product, and the input
+//! gradient is one `[IC, OC·k²] · [OC·k², N·H·W]` product over the
+//! transposed im2col of the ReLU-masked output gradient against flipped
+//! weights. The tap orderings are chosen so every output element
+//! accumulates its terms in exactly the order the seed's 7-deep scalar
+//! loops did — results are bit-identical
+//! ([`Conv2d::infer_reference`] / [`Conv2d::backward_reference`] keep the
+//! original loops as the checked reference).
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+use crate::scratch::Scratch;
+use crate::tensor::gemm_acc;
 
 /// A flat NCHW tensor.
 ///
@@ -77,9 +93,78 @@ impl Tensor4 {
         &mut self.data
     }
 
+    /// Consumes the tensor, returning its backing storage (for returning
+    /// buffers to a [`Scratch`] pool).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Flattens each batch element into a row of a `[n, c*h*w]` matrix.
     pub fn flatten(&self) -> crate::tensor::Matrix {
         crate::tensor::Matrix::from_vec(self.n, self.c * self.h * self.w, self.data.clone())
+    }
+}
+
+/// Writes the *transposed* im2col panel (`[c·k², n·h·w]`) — column `r`
+/// per position, one row per kernel tap. This is the GEMM-friendly
+/// orientation: the convolution becomes `W [OC, C·k²] · panel [C·k², R]`
+/// with a wide `R` dimension for the register-tiled kernel, and both the
+/// panel fill and the NCHW scatter are contiguous row copies. Every
+/// element of `dst` is written (padding taps are zeroed explicitly), so
+/// the buffer may hold arbitrary values on entry.
+fn im2col_t(src: &Tensor4, k: usize, pad: usize, dst: &mut [f64]) {
+    let (h, w) = (src.h, src.w);
+    let hw = h * w;
+    let rows = src.n * hw;
+    debug_assert_eq!(dst.len(), src.c * k * k * rows);
+    for c in 0..src.c {
+        for ky in 0..k {
+            // Valid y range: 0 <= y + ky - pad < h.
+            let y0 = pad.saturating_sub(ky);
+            let y1 = h.min(h.saturating_add(pad).saturating_sub(ky));
+            for kx in 0..k {
+                let out_row = ((c * k + ky) * k + kx) * rows;
+                // Valid x range: 0 <= x + kx - pad < w.
+                let x0 = pad.saturating_sub(kx);
+                let x1 = w.min(w.saturating_add(pad).saturating_sub(kx));
+                for n in 0..src.n {
+                    let dst_plane = out_row + n * hw;
+                    let src_plane = (n * src.c + c) * hw;
+                    if x0 >= x1 || y0 >= y1 {
+                        dst[dst_plane..dst_plane + hw]
+                            .iter_mut()
+                            .for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    dst[dst_plane..dst_plane + y0 * w]
+                        .iter_mut()
+                        .for_each(|v| *v = 0.0);
+                    if x0 == 0 && x1 == w {
+                        // Full-width taps copy the whole valid block at once.
+                        let sy0 = y0 + ky - pad;
+                        let len = (y1 - y0) * w;
+                        dst[dst_plane + y0 * w..dst_plane + y0 * w + len].copy_from_slice(
+                            &src.data[src_plane + sy0 * w..src_plane + sy0 * w + len],
+                        );
+                    } else {
+                        for y in y0..y1 {
+                            let d = dst_plane + y * w;
+                            let sy = y + ky - pad;
+                            let sx0 = x0 + kx - pad;
+                            dst[d..d + x0].iter_mut().for_each(|v| *v = 0.0);
+                            dst[d + x0..d + x1].copy_from_slice(
+                                &src.data[src_plane + sy * w + sx0
+                                    ..src_plane + sy * w + sx0 + (x1 - x0)],
+                            );
+                            dst[d + x1..d + w].iter_mut().for_each(|v| *v = 0.0);
+                        }
+                    }
+                    dst[dst_plane + y1 * w..dst_plane + hw]
+                        .iter_mut()
+                        .for_each(|v| *v = 0.0);
+                }
+            }
+        }
     }
 }
 
@@ -92,7 +177,12 @@ pub struct Conv2d {
     /// Weights laid out `[out_ch][in_ch][k][k]`.
     w: Vec<f64>,
     b: Vec<f64>,
-    input: Option<Tensor4>,
+    /// Transposed im2col panel of the last `forward` input
+    /// (`[in_ch·k², n·h·w]`), reused across calls; backward contracts the
+    /// weight gradient directly against it.
+    colt: Vec<f64>,
+    /// Input geometry of the cached panel: `(n, h, w)`.
+    fwd_shape: Option<(usize, usize, usize)>,
     pre_act: Option<Tensor4>,
     dw: Vec<f64>,
     db: Vec<f64>,
@@ -117,7 +207,8 @@ impl Conv2d {
             k,
             w,
             b: vec![0.0; out_ch],
-            input: None,
+            colt: Vec::new(),
+            fwd_shape: None,
             pre_act: None,
             dw: vec![0.0; out_ch * in_ch * k * k],
             db: vec![0.0; out_ch],
@@ -135,7 +226,194 @@ impl Conv2d {
         ((oc * self.in_ch + ic) * self.k + ky) * self.k + kx
     }
 
-    fn conv_forward(&self, x: &Tensor4) -> Tensor4 {
+    /// Runs the GEMM-lowered convolution over a prepared transposed
+    /// im2col panel, writing pre-activation outputs (bias included) into
+    /// `out_gt` (`[out_ch, n·h·w]`, bias-initialized here).
+    ///
+    /// Bias first, then accumulation in tap order — the same per-element
+    /// order as the seed's scalar loop (acc starts from `b[oc]`).
+    fn gemm_forward_t(&self, colt: &[f64], rows: usize, out_gt: &mut [f64]) {
+        let kcols = self.in_ch * self.k * self.k;
+        for (oc, row) in out_gt.chunks_exact_mut(rows).enumerate() {
+            row.fill(self.b[oc]);
+        }
+        gemm_acc(self.out_ch, kcols, rows, &self.w, colt, out_gt);
+    }
+
+    /// Copies a `[channels, n·h·w]` channel-major panel into an NCHW
+    /// tensor (contiguous row copies per `(n, channel)` pair).
+    fn scatter_nchw(panel: &[f64], dst: &mut Tensor4) {
+        let (n, ch, hw) = (dst.n, dst.c, dst.h * dst.w);
+        let rows = n * hw;
+        for ni in 0..n {
+            for ci in 0..ch {
+                let dst_base = (ni * ch + ci) * hw;
+                let src_base = ci * rows + ni * hw;
+                dst.data[dst_base..dst_base + hw].copy_from_slice(&panel[src_base..src_base + hw]);
+            }
+        }
+    }
+
+    /// Forward pass with ReLU, caching the input and pre-activations for
+    /// backprop.
+    pub fn forward(&mut self, x: &Tensor4, ws: &mut Scratch) -> Tensor4 {
+        assert_eq!(x.c, self.in_ch, "input channel mismatch");
+        let (n, h, w) = (x.n, x.h, x.w);
+        let rows = n * h * w;
+        let kcols = self.in_ch * self.k * self.k;
+        if self.colt.len() != kcols * rows {
+            self.colt.clear();
+            self.colt.resize(kcols * rows, 0.0);
+        }
+        im2col_t(x, self.k, self.k / 2, &mut self.colt);
+        self.fwd_shape = Some((n, h, w));
+        let mut out_gt = ws.take_uninit(self.out_ch * rows);
+        self.gemm_forward_t(&self.colt, rows, &mut out_gt);
+        let mut pre = Tensor4::from_vec(n, self.out_ch, h, w, ws.take_uninit(rows * self.out_ch));
+        Self::scatter_nchw(&out_gt, &mut pre);
+        ws.put(out_gt);
+        let mut out = Tensor4::from_vec(n, self.out_ch, h, w, ws.take_uninit(rows * self.out_ch));
+        for (o, &p) in out.data.iter_mut().zip(&pre.data) {
+            *o = p.max(0.0);
+        }
+        // The cached tensors are owned by the layer; recycle the previous
+        // ones into the pool.
+        if let Some(old) = self.pre_act.replace(pre) {
+            ws.put(old.into_vec());
+        }
+        out
+    }
+
+    /// Inference-only forward pass with ReLU (no caches touched).
+    pub fn infer(&self, x: &Tensor4, ws: &mut Scratch) -> Tensor4 {
+        assert_eq!(x.c, self.in_ch, "input channel mismatch");
+        let (n, h, w) = (x.n, x.h, x.w);
+        let rows = n * h * w;
+        let kcols = self.in_ch * self.k * self.k;
+        let mut colt = ws.take_uninit(kcols * rows);
+        im2col_t(x, self.k, self.k / 2, &mut colt);
+        let mut out_gt = ws.take_uninit(self.out_ch * rows);
+        self.gemm_forward_t(&colt, rows, &mut out_gt);
+        ws.put(colt);
+        let mut out = Tensor4::from_vec(n, self.out_ch, h, w, ws.take_uninit(rows * self.out_ch));
+        Self::scatter_nchw(&out_gt, &mut out);
+        ws.put(out_gt);
+        for v in &mut out.data {
+            *v = v.max(0.0);
+        }
+        out
+    }
+
+    /// Backward pass: accumulates `dW`/`db`, returns `∂L/∂x`.
+    ///
+    /// All three gradient contractions run on the shared kernels,
+    /// term-ordered to match the seed's scalar loops bit-for-bit:
+    /// `dW = G [OC, R] · panelᵀ` (a row-dot contraction against the
+    /// transposed im2col panel the forward pass cached), `db = Σ_R G`, and
+    /// `dx = flip(W) [IC, OC·k²] · im2colᵀ(G) [OC·k², R]` where `G` is the
+    /// ReLU-masked output gradient (the flipped tap order walks the
+    /// contributing output positions in exactly the seed's `(oc, y↑, x↑)`
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Conv2d::forward`].
+    pub fn backward(&mut self, d_out: &Tensor4, ws: &mut Scratch) -> Tensor4 {
+        let (n, h, w) = self.fwd_shape.expect("backward before forward");
+        let pre = self.pre_act.as_ref().expect("backward before forward");
+        let rows = n * h * w;
+        let hw = h * w;
+        let kcols = self.in_ch * self.k * self.k;
+        let (oc_n, k) = (self.out_ch, self.k);
+
+        // ReLU-masked output gradient, NCHW (same layout as d_out).
+        let mut g = Tensor4::from_vec(n, oc_n, h, w, ws.take_uninit(rows * oc_n));
+        for ((gv, &dv), &pv) in g.data.iter_mut().zip(&d_out.data).zip(&pre.data) {
+            *gv = if pv > 0.0 { dv } else { 0.0 };
+        }
+
+        // gT [out_ch, rows]: per-channel gradients in (n, y, x) order — the
+        // db accumulation order of the seed's loops.
+        let mut gt = ws.take_uninit(oc_n * rows);
+        for ni in 0..n {
+            for oc in 0..oc_n {
+                let src = (ni * oc_n + oc) * hw;
+                let dst = oc * rows + ni * hw;
+                gt[dst..dst + hw].copy_from_slice(&g.data[src..src + hw]);
+            }
+        }
+        for (oc, dbv) in self.db.iter_mut().enumerate() {
+            *dbv = gt[oc * rows..(oc + 1) * rows].iter().sum();
+        }
+        ws.put(gt);
+        // dW against the forward panel, transposed so the contraction runs
+        // on the vector kernel: dwᵀ [C·k², OC] = panel [C·k², R] · g_rm
+        // [R, OC]. Per element the positions accumulate in (n, y, x)
+        // order — exactly the seed's — and the final transpose into `dw`
+        // is a pure permutation.
+        let mut g_rm = ws.take_uninit(rows * oc_n);
+        for ni in 0..n {
+            for oc in 0..oc_n {
+                let src = (ni * oc_n + oc) * hw;
+                for yx in 0..hw {
+                    g_rm[(ni * hw + yx) * oc_n + oc] = g.data[src + yx];
+                }
+            }
+        }
+        let mut dwt = ws.take(kcols * oc_n);
+        gemm_acc(kcols, rows, oc_n, &self.colt, &g_rm, &mut dwt);
+        ws.put(g_rm);
+        for oc in 0..oc_n {
+            for kc in 0..kcols {
+                self.dw[oc * kcols + kc] = dwt[kc * oc_n + oc];
+            }
+        }
+        ws.put(dwt);
+
+        // dx: transposed im2col of the masked gradient against flipped
+        // weights. Tap row (oc, ky2↑, kx2↑) of the panel reads output
+        // position (y - pad + ky2, x - pad + kx2), so increasing tap order
+        // is exactly the seed's (oc, y↑, x↑) accumulation order.
+        let mut colgt = ws.take_uninit(oc_n * k * k * rows);
+        im2col_t(&g, k, k / 2, &mut colgt);
+        ws.put(g.into_vec());
+        let mut w2t = ws.take_uninit(self.in_ch * oc_n * k * k);
+        for ic in 0..self.in_ch {
+            for oc in 0..oc_n {
+                for ky2 in 0..k {
+                    for kx2 in 0..k {
+                        w2t[ic * oc_n * k * k + (oc * k + ky2) * k + kx2] =
+                            self.w[self.widx(oc, ic, k - 1 - ky2, k - 1 - kx2)];
+                    }
+                }
+            }
+        }
+        let mut dxt = ws.take(self.in_ch * rows);
+        gemm_acc(self.in_ch, oc_n * k * k, rows, &w2t, &colgt, &mut dxt);
+        ws.put(colgt);
+        ws.put(w2t);
+        let mut dx = Tensor4::from_vec(n, self.in_ch, h, w, ws.take_uninit(rows * self.in_ch));
+        Self::scatter_nchw(&dxt, &mut dx);
+        ws.put(dxt);
+        dx
+    }
+
+    /// Parameter/gradient pairs for the optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        vec![
+            (&mut self.w[..], &self.dw[..]),
+            (&mut self.b[..], &self.db[..]),
+        ]
+    }
+
+    // ------------------------------------------------------------------
+    // Reference kernels: the seed's scalar loops, kept for equivalence
+    // tests and the committed perf trajectory (`perf_report`).
+    // ------------------------------------------------------------------
+
+    /// The seed's 7-deep scalar-loop forward (pre-activation, bias
+    /// included) — reference implementation.
+    pub fn conv_forward_reference(&self, x: &Tensor4) -> Tensor4 {
         assert_eq!(x.c, self.in_ch, "input channel mismatch");
         let pad = self.k / 2;
         let mut out = Tensor4::zeros(x.n, self.out_ch, x.h, x.w);
@@ -168,50 +446,33 @@ impl Conv2d {
         out
     }
 
-    /// Forward pass with ReLU, caching for backprop.
-    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
-        let pre = self.conv_forward(x);
-        self.input = Some(x.clone());
-        let out = Tensor4::from_vec(
-            pre.n,
-            pre.c,
-            pre.h,
-            pre.w,
-            pre.data().iter().map(|&v| v.max(0.0)).collect(),
-        );
-        self.pre_act = Some(pre);
-        out
+    /// Reference ReLU forward (inference semantics).
+    pub fn infer_reference(&self, x: &Tensor4) -> Tensor4 {
+        let mut pre = self.conv_forward_reference(x);
+        for v in &mut pre.data {
+            *v = v.max(0.0);
+        }
+        pre
     }
 
-    /// Inference-only forward pass with ReLU.
-    pub fn infer(&self, x: &Tensor4) -> Tensor4 {
-        let pre = self.conv_forward(x);
-        Tensor4::from_vec(
-            pre.n,
-            pre.c,
-            pre.h,
-            pre.w,
-            pre.data().iter().map(|&v| v.max(0.0)).collect(),
-        )
-    }
-
-    /// Backward pass: accumulates `dW`/`db`, returns `∂L/∂x`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before [`Conv2d::forward`].
-    pub fn backward(&mut self, d_out: &Tensor4) -> Tensor4 {
-        let x = self.input.as_ref().expect("backward before forward");
-        let pre = self.pre_act.as_ref().expect("backward before forward");
+    /// The seed's scalar-loop backward — reference implementation. Takes
+    /// the forward input and pre-activations explicitly (no caches) and
+    /// returns `(dx, dw, db)`.
+    #[allow(clippy::needless_range_loop)] // verbatim seed loops
+    pub fn backward_reference(
+        &self,
+        x: &Tensor4,
+        pre: &Tensor4,
+        d_out: &Tensor4,
+    ) -> (Tensor4, Vec<f64>, Vec<f64>) {
         let pad = self.k / 2;
         let mut dx = Tensor4::zeros(x.n, x.c, x.h, x.w);
-        self.dw.iter_mut().for_each(|v| *v = 0.0);
-        self.db.iter_mut().for_each(|v| *v = 0.0);
+        let mut dw = vec![0.0; self.w.len()];
+        let mut db = vec![0.0; self.b.len()];
         for n in 0..x.n {
             for oc in 0..self.out_ch {
                 for y in 0..x.h {
                     for xx in 0..x.w {
-                        // ReLU gate.
                         if pre.get(n, oc, y, xx) <= 0.0 {
                             continue;
                         }
@@ -219,7 +480,7 @@ impl Conv2d {
                         if g == 0.0 {
                             continue;
                         }
-                        self.db[oc] += g;
+                        db[oc] += g;
                         for ic in 0..self.in_ch {
                             for ky in 0..self.k {
                                 let sy = y as isize + ky as isize - pad as isize;
@@ -232,9 +493,9 @@ impl Conv2d {
                                         continue;
                                     }
                                     let wi = self.widx(oc, ic, ky, kx);
-                                    self.dw[wi] += g * x.get(n, ic, sy as usize, sx as usize);
+                                    dw[wi] += g * x.get(n, ic, sy as usize, sx as usize);
                                     let di = dx.idx(n, ic, sy as usize, sx as usize);
-                                    dx.data_mut()[di] += g * self.w[wi];
+                                    dx.data[di] += g * self.w[wi];
                                 }
                             }
                         }
@@ -242,15 +503,7 @@ impl Conv2d {
                 }
             }
         }
-        dx
-    }
-
-    /// Parameter/gradient pairs for the optimizer.
-    pub fn params_and_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
-        vec![
-            (&mut self.w[..], &self.dw[..]),
-            (&mut self.b[..], &self.db[..]),
-        ]
+        (dx, dw, db)
     }
 }
 
@@ -272,11 +525,13 @@ impl MaxPool2 {
         (h / 2, w / 2)
     }
 
-    /// Forward pass, caching argmax indices for backprop.
+    /// Forward pass, caching argmax indices for backprop. The argmax buffer
+    /// is reused across calls.
     pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
         let (oh, ow) = Self::out_size(x.h, x.w);
         let mut out = Tensor4::zeros(x.n, x.c, oh, ow);
-        self.argmax = vec![0; x.n * x.c * oh * ow];
+        self.argmax.clear();
+        self.argmax.resize(x.n * x.c * oh * ow, 0);
         self.in_shape = (x.n, x.c, x.h, x.w);
         let mut ai = 0;
         for n in 0..x.n {
@@ -362,6 +617,7 @@ mod tests {
     #[test]
     fn identity_kernel_passes_input_through() {
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut ws = Scratch::new();
         let mut conv = Conv2d::new(1, 1, 3, &mut rng);
         // Zero all weights, set center tap to 1 => identity (ReLU on
         // non-negative input is also identity).
@@ -369,13 +625,57 @@ mod tests {
         let ci = conv.widx(0, 0, 1, 1);
         conv.w[ci] = 1.0;
         let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
-        let y = conv.infer(&x);
+        let y = conv.infer(&x, &mut ws);
         assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn gemm_forward_matches_reference_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut ws = Scratch::new();
+        let conv = Conv2d::new(3, 5, 3, &mut rng);
+        let x = Tensor4::from_vec(
+            2,
+            3,
+            6,
+            8,
+            (0..2 * 3 * 6 * 8)
+                .map(|i| ((i * 31 % 23) as f64 - 11.0) / 7.0)
+                .collect(),
+        );
+        let fast = conv.infer(&x, &mut ws);
+        let slow = conv.infer_reference(&x);
+        assert_eq!(fast.data(), slow.data(), "im2col forward must be bit-exact");
+    }
+
+    #[test]
+    fn gemm_backward_matches_reference_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut ws = Scratch::new();
+        let mut conv = Conv2d::new(2, 4, 3, &mut rng);
+        let x = Tensor4::from_vec(
+            2,
+            2,
+            5,
+            7,
+            (0..2 * 2 * 5 * 7)
+                .map(|i| ((i * 17 % 13) as f64 - 6.0) / 5.0)
+                .collect(),
+        );
+        let y = conv.forward(&x, &mut ws);
+        let (_, d_out) = loss(&y, &Tensor4::zeros(2, 4, 5, 7));
+        let pre = conv.pre_act.clone().unwrap();
+        let dx = conv.backward(&d_out, &mut ws);
+        let (dx_ref, dw_ref, db_ref) = conv.backward_reference(&x, &pre, &d_out);
+        assert_eq!(dx.data(), dx_ref.data(), "dx must be bit-exact");
+        assert_eq!(conv.dw, dw_ref, "dw must be bit-exact");
+        assert_eq!(conv.db, db_ref, "db must be bit-exact");
     }
 
     #[test]
     fn conv_gradient_check() {
         let mut rng = SmallRng::seed_from_u64(3);
+        let mut ws = Scratch::new();
         let mut conv = Conv2d::new(2, 3, 3, &mut rng);
         let x = Tensor4::from_vec(
             2,
@@ -387,17 +687,17 @@ mod tests {
                 .collect(),
         );
         let target = Tensor4::zeros(2, 3, 4, 4);
-        let y = conv.forward(&x);
+        let y = conv.forward(&x, &mut ws);
         let (_, d_out) = loss(&y, &target);
-        let dx = conv.backward(&d_out);
+        let dx = conv.backward(&d_out, &mut ws);
         // Check a sample of weight gradients.
         let analytic_w = conv.dw.clone();
         let eps = 1e-6;
         for i in (0..conv.w.len()).step_by(7) {
             conv.w[i] += eps;
-            let (l1, _) = loss(&conv.infer(&x), &target);
+            let (l1, _) = loss(&conv.infer(&x, &mut ws), &target);
             conv.w[i] -= 2.0 * eps;
-            let (l2, _) = loss(&conv.infer(&x), &target);
+            let (l2, _) = loss(&conv.infer(&x, &mut ws), &target);
             conv.w[i] += eps;
             let num = (l1 - l2) / (2.0 * eps);
             assert!(
@@ -410,9 +710,9 @@ mod tests {
         let mut xp = x.clone();
         for i in (0..xp.data().len()).step_by(5) {
             xp.data_mut()[i] += eps;
-            let (l1, _) = loss(&conv.infer(&xp), &target);
+            let (l1, _) = loss(&conv.infer(&xp, &mut ws), &target);
             xp.data_mut()[i] -= 2.0 * eps;
-            let (l2, _) = loss(&conv.infer(&xp), &target);
+            let (l2, _) = loss(&conv.infer(&xp, &mut ws), &target);
             xp.data_mut()[i] += eps;
             let num = (l1 - l2) / (2.0 * eps);
             assert!(

@@ -1,7 +1,13 @@
 //! Fully-connected layer with backprop.
+//!
+//! Forward, inference and all three backward contractions run on the shared
+//! blocked GEMM kernel (via [`Matrix::matmul`]-family calls); transposed
+//! views are staged in a [`Scratch`] pool so the backward pass allocates
+//! only its returned gradient.
 
 use rand::rngs::SmallRng;
 
+use crate::scratch::Scratch;
 use crate::tensor::Matrix;
 
 /// A dense layer `y = act(x·W + b)` over batched rows.
@@ -98,40 +104,57 @@ impl Dense {
     /// Forward pass over a batch (`x: [batch, input_dim]`), caching for
     /// backprop.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let pre = x.matmul(&self.w).add_row_broadcast(&self.b);
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast_in_place(&self.b);
         let out = pre.map(|v| self.activation.apply(v));
         self.input = Some(x.clone());
         self.pre_act = Some(pre);
         out
     }
 
-    /// Inference-only forward pass (no caches touched).
+    /// Inference-only forward pass (no caches touched, one allocation for
+    /// the returned output).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.w)
-            .add_row_broadcast(&self.b)
-            .map(|v| self.activation.apply(v))
+        let mut out = x.matmul(&self.w);
+        out.add_row_broadcast_in_place(&self.b);
+        out.map_in_place(|v| self.activation.apply(v));
+        out
     }
 
     /// Backward pass: consumes `d_out = ∂L/∂y`, accumulates `dW`/`db`,
-    /// returns `∂L/∂x`.
+    /// returns `∂L/∂x`. Intermediate transposes live in `ws`.
     ///
     /// # Panics
     ///
     /// Panics if called before [`Dense::forward`].
-    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+    pub fn backward(&mut self, d_out: &Matrix, ws: &mut Scratch) -> Matrix {
         let pre = self.pre_act.as_ref().expect("backward before forward");
         let x = self.input.as_ref().expect("backward before forward");
         let act = self.activation;
-        let mut d_pre = d_out.clone();
-        for r in 0..d_pre.rows() {
-            for c in 0..d_pre.cols() {
-                let g = d_pre.get(r, c) * act.derivative(pre.get(r, c));
-                d_pre.set(r, c, g);
+        let mut d_pre = ws.take_matrix(d_out.rows(), d_out.cols());
+        for (dp, (&dv, &pv)) in d_pre
+            .data_mut()
+            .iter_mut()
+            .zip(d_out.data().iter().zip(pre.data()))
+        {
+            *dp = dv * act.derivative(pv);
+        }
+        let mut xt = ws.take_matrix(x.cols(), x.rows());
+        x.transpose_into(&mut xt);
+        xt.matmul_into(&d_pre, &mut self.dw);
+        ws.put_matrix(xt);
+        self.db.fill_zero();
+        for row in d_pre.data().chunks_exact(d_pre.cols()) {
+            for (s, &v) in self.db.data_mut().iter_mut().zip(row) {
+                *s += v;
             }
         }
-        self.dw = x.transpose().matmul(&d_pre);
-        self.db = d_pre.sum_rows();
-        d_pre.matmul(&self.w.transpose())
+        let mut wt = ws.take_matrix(self.w.cols(), self.w.rows());
+        self.w.transpose_into(&mut wt);
+        let dx = d_pre.matmul(&wt);
+        ws.put_matrix(wt);
+        ws.put_matrix(d_pre);
+        dx
     }
 
     /// Parameter/gradient pairs for the optimizer.
@@ -180,12 +203,13 @@ mod tests {
     fn gradient_check_identity_and_relu_and_tanh() {
         for act in [Activation::Identity, Activation::Relu, Activation::Tanh] {
             let mut rng = SmallRng::seed_from_u64(42);
+            let mut ws = Scratch::new();
             let mut layer = Dense::new(4, 3, act, &mut rng);
             let x = Matrix::xavier(5, 4, &mut rng);
             let target = Matrix::xavier(5, 3, &mut rng);
             let y = layer.forward(&x);
             let (_, d_out) = mse_loss(&y, &target);
-            layer.backward(&d_out);
+            layer.backward(&d_out, &mut ws);
             // Snapshot analytic grads.
             let analytic: Vec<Vec<f64>> = {
                 let pg = layer.params_and_grads();
@@ -206,12 +230,13 @@ mod tests {
     #[test]
     fn backward_input_gradient_checks() {
         let mut rng = SmallRng::seed_from_u64(7);
+        let mut ws = Scratch::new();
         let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
         let x = Matrix::xavier(2, 3, &mut rng);
         let target = Matrix::xavier(2, 2, &mut rng);
         let y = layer.forward(&x);
         let (_, d_out) = mse_loss(&y, &target);
-        let dx = layer.backward(&d_out);
+        let dx = layer.backward(&d_out, &mut ws);
         let eps = 1e-6;
         for i in 0..x.data().len() {
             let mut xp = x.clone();
@@ -248,6 +273,6 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut layer = Dense::new(2, 2, Activation::Identity, &mut rng);
-        let _ = layer.backward(&Matrix::zeros(1, 2));
+        let _ = layer.backward(&Matrix::zeros(1, 2), &mut Scratch::new());
     }
 }

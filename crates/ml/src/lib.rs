@@ -6,6 +6,11 @@
 //!
 //! * [`Matrix`] — a dense row-major `f64` matrix with the linear algebra the
 //!   layers need.
+//! * [`tensor::gemm_acc`] — the single cache-blocked GEMM kernel every
+//!   layer's hot path lowers onto (conv via im2col, fused dense, batched
+//!   LSTM gates).
+//! * [`Scratch`] — a reusable buffer pool threaded through the hot paths so
+//!   training and inference loops run allocation-free.
 //! * [`Dense`] — fully-connected layer with backprop.
 //! * [`Conv2d`] / [`MaxPool2`] — convolution and pooling over small images.
 //! * [`Lstm`] — a single-layer LSTM with backpropagation through time.
@@ -13,15 +18,19 @@
 //! * [`Adam`] — the optimizer.
 //!
 //! All layers are gradient-checked against finite differences in their unit
-//! tests. Networks here are intentionally small — the fidelity argument for
-//! the substitution (and the FLOP-cost model that recovers paper-scale
-//! inference latency) lives in `pictor-client` and `DESIGN.md`.
+//! tests, and the GEMM-lowered kernels are additionally pinned to the
+//! seed's naive reference implementations (`*_reference`) bit-for-bit — see
+//! `tests/kernel_equivalence.rs`. Networks here are intentionally small —
+//! the fidelity argument for the substitution (and the FLOP-cost model that
+//! recovers paper-scale inference latency) lives in `pictor-client` and
+//! `DESIGN.md`.
 
 pub mod conv;
 pub mod dense;
 pub mod loss;
 pub mod lstm;
 pub mod optim;
+pub mod scratch;
 pub mod tensor;
 
 pub use conv::{Conv2d, MaxPool2, Tensor4};
@@ -29,4 +38,5 @@ pub use dense::Dense;
 pub use loss::{mse_loss, softmax_cross_entropy, softmax_probs};
 pub use lstm::Lstm;
 pub use optim::Adam;
+pub use scratch::Scratch;
 pub use tensor::Matrix;

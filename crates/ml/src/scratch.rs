@@ -1,0 +1,143 @@
+//! Reusable scratch workspace for allocation-free hot loops.
+//!
+//! Every kernel call that needs temporary storage (im2col panels, LSTM gate
+//! pre-activations, transposed weight views, …) takes a `&mut Scratch` and
+//! borrows buffers from its pool instead of allocating. Buffers are handed
+//! out by ownership (`take`) and returned (`put`), which sidesteps borrow
+//! conflicts when a caller needs several live buffers at once; after a few
+//! warm-up iterations the pool reaches a fixed point and the hot loop runs
+//! allocation-free.
+
+use crate::tensor::Matrix;
+
+/// A pool of reusable `f64` buffers.
+///
+/// ```
+/// use pictor_ml::Scratch;
+/// let mut ws = Scratch::new();
+/// let buf = ws.take(16); // zero-filled
+/// assert!(buf.iter().all(|&v| v == 0.0));
+/// ws.put(buf);
+/// assert_eq!(ws.pooled(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    free: Vec<Vec<f64>>,
+}
+
+impl Scratch {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Pops the pooled buffer whose capacity best fits `len`: the smallest
+    /// buffer that already holds `len` elements, else the largest
+    /// available (so a large request grows one buffer instead of
+    /// repeatedly reallocating — buffer sizes in a workload mix, and a
+    /// size-oblivious pop would realloc almost every call).
+    fn pop_fit(&mut self, len: usize) -> Vec<f64> {
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, b) in self.free.iter().enumerate() {
+            let cap = b.capacity();
+            let better = match best {
+                None => true,
+                Some((_, bc)) => {
+                    if bc >= len {
+                        cap >= len && cap < bc
+                    } else {
+                        cap > bc
+                    }
+                }
+            };
+            if better {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => self.free.swap_remove(i),
+            None => Vec::new(),
+        }
+    }
+
+    /// Borrows a zero-filled buffer of exactly `len` elements from the pool
+    /// (allocating only if the pool is empty). Return it with
+    /// [`Scratch::put`] when done.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = self.pop_fit(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Borrows a buffer of exactly `len` elements with **unspecified
+    /// contents** (recycled values from earlier uses). Cheaper than
+    /// [`Scratch::take`] for destinations that are fully overwritten
+    /// before being read — never read an element you have not written.
+    pub fn take_uninit(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = self.pop_fit(len);
+        if buf.len() >= len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        buf
+    }
+
+    /// Borrows a zero-filled `rows × cols` matrix backed by pool storage.
+    /// Return it with [`Scratch::put_matrix`].
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take(rows * cols))
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        self.free.push(buf);
+    }
+
+    /// Returns a matrix's backing storage to the pool for reuse.
+    pub fn put_matrix(&mut self, m: Matrix) {
+        self.free.push(m.into_vec());
+    }
+
+    /// Number of buffers currently pooled (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_buffers() {
+        let mut ws = Scratch::new();
+        let mut buf = ws.take(8);
+        buf[3] = 7.0;
+        let ptr = buf.as_ptr();
+        ws.put(buf);
+        let buf2 = ws.take(8);
+        assert_eq!(buf2.as_ptr(), ptr, "pool must reuse storage");
+        assert!(buf2.iter().all(|&v| v == 0.0), "reused buffer is zeroed");
+        ws.put(buf2);
+    }
+
+    #[test]
+    fn take_matrix_round_trip() {
+        let mut ws = Scratch::new();
+        let m = ws.take_matrix(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        ws.put_matrix(m);
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn resizes_on_demand() {
+        let mut ws = Scratch::new();
+        ws.put(vec![1.0; 4]);
+        let buf = ws.take(16);
+        assert_eq!(buf.len(), 16);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+}

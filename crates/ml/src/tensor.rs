@@ -1,7 +1,166 @@
-//! Dense row-major matrices.
+//! Dense row-major matrices and the shared GEMM kernel.
+//!
+//! Every layer in this crate (dense, conv-via-im2col, LSTM gates) lowers its
+//! hot path onto one cache-blocked kernel, [`gemm_acc`]. The kernel
+//! accumulates each output element strictly in increasing-`k` order, which
+//! makes it **bit-identical** to the naive triple loop it replaced
+//! ([`Matrix::matmul_reference`]) — golden figures and trained-model
+//! trajectories do not shift.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// Wide register tile: enough independent accumulator lanes (8 × 4-wide
+/// vectors) to hide FP-add latency without reassociating any sum.
+const NR: usize = 32;
+/// Narrow register tile for mid-size column remainders.
+const NR2: usize = 8;
+/// K-panel height: rows of `b` streamed per pass, sized so the panel plus
+/// the output tile stays cache-resident for large inner dimensions.
+const KC: usize = 512;
+
+/// Accumulates one `TILE`-wide register tile of row `i` over `a_panel`,
+/// starting from the values already in `c_tile`. Terms are added in
+/// strictly increasing `k` order per output element.
+#[inline(always)]
+fn tile_acc<const TILE: usize>(
+    a_panel: &[f64],
+    b: &[f64],
+    n: usize,
+    bj: usize,
+    c_tile: &mut [f64],
+) {
+    let mut acc = [0.0f64; TILE];
+    acc.copy_from_slice(&c_tile[..TILE]);
+    let mut b_off = bj;
+    for &aik in a_panel {
+        let b_tile = &b[b_off..b_off + TILE];
+        for (t, &bv) in b_tile.iter().enumerate() {
+            acc[t] += aik * bv;
+        }
+        b_off += n;
+    }
+    c_tile[..TILE].copy_from_slice(&acc);
+}
+
+/// Like [`tile_acc`] but for two consecutive rows of `a`/`c` at once:
+/// doubles the independent accumulator chains (hiding FP-add latency on
+/// narrow tiles) and shares each `b` load between the rows. Per-element
+/// summation order is unchanged.
+#[inline(always)]
+fn tile_acc2<const TILE: usize>(
+    a0: &[f64],
+    a1: &[f64],
+    b: &[f64],
+    n: usize,
+    bj: usize,
+    c0: &mut [f64],
+    c1: &mut [f64],
+) {
+    let mut acc0 = [0.0f64; TILE];
+    let mut acc1 = [0.0f64; TILE];
+    acc0.copy_from_slice(&c0[..TILE]);
+    acc1.copy_from_slice(&c1[..TILE]);
+    let mut b_off = bj;
+    for (&a0k, &a1k) in a0.iter().zip(a1) {
+        let b_tile = &b[b_off..b_off + TILE];
+        for (t, &bv) in b_tile.iter().enumerate() {
+            acc0[t] += a0k * bv;
+            acc1[t] += a1k * bv;
+        }
+        b_off += n;
+    }
+    c0[..TILE].copy_from_slice(&acc0);
+    c1[..TILE].copy_from_slice(&acc1);
+}
+
+/// The shared cache-blocked GEMM kernel: `c += a · b` over row-major slices
+/// (`a: m×k`, `b: k×n`, `c: m×n`).
+///
+/// For every output element the `k` terms are added in strictly increasing
+/// order — blocking and register tiling only reorder *which* elements are
+/// in flight, never the per-element summation order — so for finite inputs
+/// the result is bit-identical to [`Matrix::matmul_reference`]. (The
+/// reference skips zero `a` entries; adding the skipped `±0.0` products
+/// cannot change a finite IEEE-754 sum, and the scalar tail keeps the skip
+/// as a sparse fast path.)
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its shape.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemm lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm out shape mismatch");
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let b_panel = &b[k0 * n..];
+        // Column tiles outermost so one `kc × TILE` panel of `b` stays
+        // L1-resident while every row of `a` streams past it.
+        let mut j = 0;
+        while j + NR <= n {
+            for i in 0..m {
+                let a_panel = &a[i * k + k0..i * k + k0 + kc];
+                tile_acc::<NR>(a_panel, b_panel, n, j, &mut c[i * n + j..i * n + j + NR]);
+            }
+            j += NR;
+        }
+        // Narrowing tile cascade (8 → 4 → 2) keeps the b loads contiguous
+        // for all but at most one remainder column. Narrow tiles pair rows
+        // (`tile_acc2`) so enough accumulator chains stay in flight.
+        macro_rules! narrow_tile_pass {
+            ($tile:expr) => {
+                while j + $tile <= n {
+                    let mut i = 0;
+                    while i + 2 <= m {
+                        let (rows0, rows1) = c.split_at_mut((i + 1) * n);
+                        tile_acc2::<$tile>(
+                            &a[i * k + k0..i * k + k0 + kc],
+                            &a[(i + 1) * k + k0..(i + 1) * k + k0 + kc],
+                            b_panel,
+                            n,
+                            j,
+                            &mut rows0[i * n + j..i * n + j + $tile],
+                            &mut rows1[j..j + $tile],
+                        );
+                        i += 2;
+                    }
+                    if i < m {
+                        let a_panel = &a[i * k + k0..i * k + k0 + kc];
+                        tile_acc::<$tile>(
+                            a_panel,
+                            b_panel,
+                            n,
+                            j,
+                            &mut c[i * n + j..i * n + j + $tile],
+                        );
+                    }
+                    j += $tile;
+                }
+            };
+        }
+        narrow_tile_pass!(NR2);
+        narrow_tile_pass!(4);
+        narrow_tile_pass!(2);
+        // Scalar tail (at most one column); keeps the reference's
+        // zero-skip as a sparse fast path (bit-neutral, see above).
+        for jj in j..n {
+            for i in 0..m {
+                let a_panel = &a[i * k + k0..i * k + k0 + kc];
+                let mut acc = c[i * n + jj];
+                for (kk, &aik) in a_panel.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    acc += aik * b_panel[kk * n + jj];
+                }
+                c[i * n + jj] = acc;
+            }
+        }
+        k0 += kc;
+    }
+}
 
 /// A dense `rows × cols` matrix of `f64` in row-major order.
 ///
@@ -133,12 +292,71 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs` via the blocked [`gemm_acc`] kernel.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self · rhs` into caller-owned `out` (overwriting it) without
+    /// allocating — the hot-loop entry point onto [`gemm_acc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "matmul out shape mismatch"
+        );
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        gemm_acc(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+    }
+
+    /// Accumulates `self · rhs` into `out` (`out += self · rhs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "matmul out shape mismatch"
+        );
+        gemm_acc(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+    }
+
+    /// The seed repository's naive triple-loop product, kept as the
+    /// reference implementation for kernel-equivalence tests and perf
+    /// baselines (`perf_report`, `BENCH_03.json`).
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
@@ -164,12 +382,26 @@ impl Matrix {
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose into caller-owned `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `cols × rows`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "transpose out shape mismatch"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Element-wise sum.
@@ -209,6 +441,37 @@ impl Matrix {
         out
     }
 
+    /// Element-wise sum in place (`self += rhs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_in_place(&mut self, rhs: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds a row vector to every row in place (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × cols`.
+    pub fn add_row_broadcast_in_place(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         Matrix::from_vec(
@@ -216,6 +479,24 @@ impl Matrix {
             self.cols,
             self.data.iter().map(|&v| f(v)).collect(),
         )
+    }
+
+    /// Element-wise map in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Sets every element to zero (scratch-matrix reset).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Consumes the matrix, returning its backing storage (for returning
+    /// buffers to a [`crate::Scratch`] pool).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
     }
 
     /// Element-wise (Hadamard) product.

@@ -2,8 +2,10 @@
 //!
 //! Events are ordered by timestamp; ties are broken by insertion order so a
 //! simulation is fully deterministic given the same schedule calls. Events can
-//! be cancelled in `O(1)` via the [`EventId`] handle returned at scheduling
-//! time (cancelled entries are skipped lazily on pop).
+//! be cancelled in amortized `O(1)` via the [`EventId`] handle returned at
+//! scheduling time: cancelled entries are skipped lazily on pop, and the heap
+//! is compacted whenever tombstones outnumber live entries so cancel-heavy
+//! workloads cannot grow the heap (or pop latency) without bound.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -115,8 +117,22 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet fired or been cancelled.
+    /// Amortized `O(1)`: when tombstones outnumber live entries the heap is
+    /// rebuilt without them (an `O(n)` pass paid for by the ≥ n/2 cancels
+    /// that preceded it).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id.0)
+        let removed = self.live.remove(&id.0);
+        if removed && self.heap.len() > 2 * self.live.len() + 64 {
+            self.compact();
+        }
+        removed
+    }
+
+    /// Rebuilds the heap retaining only live entries.
+    fn compact(&mut self) {
+        let live = &self.live;
+        let old = std::mem::take(&mut self.heap);
+        self.heap = old.into_iter().filter(|e| live.contains(&e.seq)).collect();
     }
 
     /// Pops the earliest live event, advancing the queue clock to it.
@@ -226,6 +242,67 @@ mod tests {
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_heap() {
+        // Regression: cancelled entries used to sit in the heap until
+        // popped, so cancel-heavy workloads grew memory and pop latency
+        // without bound. 100k schedules with 99% cancelled must leave a
+        // heap proportional to the live count.
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(100_000);
+        for i in 0..100_000u64 {
+            ids.push(q.schedule(t(i + 1), i));
+        }
+        for (i, id) in ids.iter().enumerate() {
+            if i % 100 != 0 {
+                assert!(q.cancel(*id));
+            }
+        }
+        let live = 1000;
+        assert!(
+            q.len_raw() <= 2 * live + 64,
+            "tombstones not compacted: len_raw {}",
+            q.len_raw()
+        );
+        let mut popped = 0u64;
+        let mut last = SimTime::ZERO;
+        while let Some((time, payload)) = q.pop() {
+            assert!(time >= last, "time went backwards");
+            assert_eq!(payload % 100, 0, "cancelled event fired");
+            last = time;
+            popped += 1;
+        }
+        assert_eq!(popped, live as u64);
+    }
+
+    #[test]
+    fn schedule_cancel_interleaving_stays_bounded() {
+        let mut q = EventQueue::new();
+        for i in 0..100_000u64 {
+            let id = q.schedule(t(i + 1), i);
+            assert!(q.cancel(id));
+            assert!(q.len_raw() <= 65, "heap grew: {}", q.len_raw());
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.events_processed(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_ties() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        // Interleave kept and cancelled events, with timestamp ties.
+        for round in 0..2_000u64 {
+            let a = q.schedule(t(round / 4 + 1), round * 2);
+            let b = q.schedule(t(round / 4 + 1), round * 2 + 1);
+            q.cancel(a);
+            keep.push(b);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let expected: Vec<u64> = (0..2_000u64).map(|r| r * 2 + 1).collect();
+        assert_eq!(order, expected, "insertion-order ties survive compaction");
     }
 
     #[test]

@@ -7,9 +7,21 @@
 //! benchmark for a fixed number of timed samples and prints the median
 //! nanoseconds per iteration — no warm-up modeling, outlier analysis or
 //! HTML reports.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, the
+//! `criterion_main!`-generated `main` additionally writes every
+//! benchmark's median wall-clock as machine-readable JSON (insertion
+//! order, so output is deterministic across runs of the same binary) —
+//! this is how the repo's perf-trajectory artifacts are regenerated with
+//! one command.
 
 use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Completed (benchmark id, median ns/iter) pairs, in execution order.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 /// Prevents the optimizer from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -93,8 +105,43 @@ impl Criterion {
             "{id:<40} {:>12} ns/iter (median of {})",
             b.last_ns, self.sample_size
         );
+        RESULTS
+            .lock()
+            .expect("benchmark results poisoned")
+            .push((id.to_string(), b.last_ns));
         self
     }
+}
+
+/// Writes every benchmark result recorded so far as JSON to the path named
+/// by `CRITERION_JSON` (no-op when the variable is unset). Called by the
+/// `criterion_main!`-generated `main` after all groups have run.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a perf-trajectory run that
+/// silently drops its artifact would defeat the point.
+pub fn write_results_json() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("benchmark results poisoned");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        // Benchmark ids are plain identifiers; escape quotes/backslashes
+        // anyway so the output is always valid JSON.
+        let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"name\": \"{escaped}\", \"median_ns\": {ns}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("cannot create CRITERION_JSON {path}: {e}"));
+    f.write_all(out.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write CRITERION_JSON {path}: {e}"));
+    println!("bench medians written to {path}");
 }
 
 /// Declares a group of benchmark functions (upstream-compatible forms).
@@ -115,12 +162,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary's `main`, running each group.
+/// Declares the benchmark binary's `main`, running each group and then
+/// exporting medians as JSON when `CRITERION_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_results_json();
         }
     };
 }
