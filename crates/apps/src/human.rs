@@ -15,6 +15,7 @@ use pictor_sim::SimDuration;
 
 use crate::action::{Action, ActionClass};
 use crate::id::AppId;
+use crate::spec::App;
 use crate::world::DetectedObject;
 
 /// Parameters of the human reference policy for one app.
@@ -121,7 +122,7 @@ impl HumanParams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct HumanPolicy {
-    app: AppId,
+    app: App,
     params: HumanParams,
     rng: SmallRng,
     actions_issued: u64,
@@ -129,19 +130,10 @@ pub struct HumanPolicy {
 }
 
 impl HumanPolicy {
-    /// Creates the policy for `app` with its genre-tuned parameters.
-    pub fn new(app: AppId, rng: SmallRng) -> Self {
-        HumanPolicy {
-            app,
-            params: HumanParams::for_app(app),
-            rng,
-            actions_issued: 0,
-            frames_seen: 0,
-        }
-    }
-
-    /// Creates the policy with explicit parameters (tests, ablations).
-    pub fn with_params(app: AppId, params: HumanParams, rng: SmallRng) -> Self {
+    /// Creates the policy for `app` with the spec's parameters.
+    pub fn new(app: impl Into<App>, rng: SmallRng) -> Self {
+        let app = app.into();
+        let params = app.human;
         HumanPolicy {
             app,
             params,
@@ -151,9 +143,20 @@ impl HumanPolicy {
         }
     }
 
-    /// The benchmark this policy plays.
-    pub fn app(&self) -> AppId {
-        self.app
+    /// Creates the policy with explicit parameters (tests, ablations).
+    pub fn with_params(app: impl Into<App>, params: HumanParams, rng: SmallRng) -> Self {
+        HumanPolicy {
+            app: app.into(),
+            params,
+            rng,
+            actions_issued: 0,
+            frames_seen: 0,
+        }
+    }
+
+    /// The application this policy plays.
+    pub fn app(&self) -> &App {
+        &self.app
     }
 
     /// Policy parameters.

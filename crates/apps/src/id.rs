@@ -1,6 +1,15 @@
 //! Benchmark identities (paper Table 2).
+//!
+//! [`AppId`] is the *closed* set of the paper's six titles. Since the
+//! [`AppSpec`](crate::AppSpec) redesign it is a thin compatibility layer:
+//! every API that runs applications takes the open [`App`] handle, and an
+//! `AppId` converts into the matching built-in spec via [`AppId::spec`] or
+//! `From<AppId> for App`.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+use crate::spec::{App, AppSpec};
 
 /// One of the six benchmarks in the suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -82,6 +91,19 @@ impl AppId {
     pub fn index(&self) -> usize {
         AppId::ALL.iter().position(|a| a == self).expect("in ALL")
     }
+
+    /// The shared built-in [`AppSpec`] of this title. Handles are cached
+    /// process-wide, so this is a cheap `Arc` clone after the first call.
+    pub fn spec(self) -> App {
+        static BUILTINS: OnceLock<[App; 6]> = OnceLock::new();
+        let all = BUILTINS.get_or_init(|| AppId::ALL.map(|id| App::from(AppSpec::builtin(id))));
+        all[self.index()].clone()
+    }
+
+    /// Looks up a builtin by its short code (`"STK"`, `"0AD"`, …).
+    pub fn from_code(code: &str) -> Option<AppId> {
+        AppId::ALL.iter().copied().find(|a| a.code() == code)
+    }
 }
 
 impl fmt::Display for AppId {
@@ -127,5 +149,17 @@ mod tests {
     #[test]
     fn display_uses_code() {
         assert_eq!(AppId::SuperTuxKart.to_string(), "STK");
+    }
+
+    #[test]
+    fn specs_are_cached_and_consistent() {
+        for app in AppId::ALL {
+            let spec = app.spec();
+            assert_eq!(spec.code(), app.code());
+            let again = app.spec();
+            assert_eq!(spec, again);
+            assert_eq!(AppId::from_code(app.code()), Some(app));
+        }
+        assert_eq!(AppId::from_code("nope"), None);
     }
 }

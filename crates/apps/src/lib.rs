@@ -1,4 +1,4 @@
-//! The Pictor benchmark suite: six interactive 3D applications.
+//! The Pictor application layer: applications as data, six built-in titles.
 //!
 //! The paper's suite (Table 2) covers four game genres and two VR use cases:
 //!
@@ -19,15 +19,26 @@
 //! plays it the way the paper's human sessions do. What matters for the
 //! paper's experiments — input-dependent behavior, random object placement,
 //! genre-specific resource usage — is preserved; see `DESIGN.md`.
+//!
+//! Applications are *values*, not enum variants: an [`AppSpec`] owns the
+//! identity, profile, world, human and client tables; [`App`] is the cheap
+//! shared handle every experiment/suite API takes (`impl Into<App>` accepts
+//! [`AppId`] builtins transparently); [`AppRegistry`] keys specs by code and
+//! rejects duplicates; [`SyntheticApp`] builds or deterministically
+//! generates new workloads beyond Table 2.
 
 pub mod action;
 pub mod human;
 pub mod id;
 pub mod profile;
+pub mod spec;
+pub mod synthetic;
 pub mod world;
 
 pub use action::{Action, ActionClass};
-pub use human::HumanPolicy;
+pub use human::{HumanParams, HumanPolicy};
 pub use id::AppId;
 pub use profile::AppProfile;
+pub use spec::{App, AppRegistry, AppSpec, ClientHints, RegistryError};
+pub use synthetic::{generate_family, SyntheticApp};
 pub use world::{DetectedObject, World, WorldParams};

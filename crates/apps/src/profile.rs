@@ -14,11 +14,10 @@ use pictor_sim::SimDuration;
 
 use crate::id::AppId;
 
-/// Resource signature of one benchmark.
+/// Resource signature of one application (owned, identity-free: the
+/// [`AppSpec`](crate::AppSpec) carries the name/code).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
-    /// The benchmark.
-    pub app: AppId,
     /// Mean application-logic (AL) CPU time per frame, ms. Chosen so solo
     /// server frame times land in the Fig 10/13 range and so the §6
     /// optimization speedups bracket the paper's +57.7% average.
@@ -81,7 +80,6 @@ impl AppProfile {
             // Racing: fast logic, drastic frame changes, heavy upload,
             // most contentious co-runner (Fig 19).
             AppId::SuperTuxKart => AppProfile {
-                app,
                 al_base_ms: 6.0,
                 al_cv: 0.20,
                 al_per_object_us: 120.0,
@@ -107,7 +105,6 @@ impl AppProfile {
             // RTS: heavy game logic (lowest FPS, client FPS 27 in Fig 10),
             // old OpenGL 1.3 path, least contentious co-runner.
             AppId::ZeroAd => AppProfile {
-                app,
                 al_base_ms: 26.0,
                 al_cv: 0.25,
                 al_per_object_us: 300.0,
@@ -133,7 +130,6 @@ impl AppProfile {
             // FPS: lean engine (lowest CPU: 68% in Fig 8), can co-run three
             // instances above 25 FPS (Fig 10).
             AppId::RedEclipse => AppProfile {
-                app,
                 al_base_ms: 8.0,
                 al_cv: 0.18,
                 al_per_object_us: 150.0,
@@ -158,7 +154,6 @@ impl AppProfile {
             },
             // MOBA: highest CPU (266% in Fig 8), smallest memory (600 MB).
             AppId::Dota2 => AppProfile {
-                app,
                 al_base_ms: 12.0,
                 al_cv: 0.22,
                 al_per_object_us: 200.0,
@@ -184,7 +179,6 @@ impl AppProfile {
             // VR education: biggest memory (~4 GB), highest GPU utilization
             // and the one high-GPU-cache-miss outlier (Fig 16).
             AppId::InMind => AppProfile {
-                app,
                 al_base_ms: 12.5,
                 al_cv: 0.20,
                 al_per_object_us: 180.0,
@@ -210,7 +204,6 @@ impl AppProfile {
             // VR health: static anatomy scenes — low GPU (22% in Fig 8),
             // can co-run three instances above 25 FPS.
             AppId::Imhotep => AppProfile {
-                app,
                 al_base_ms: 16.0,
                 al_cv: 0.22,
                 al_per_object_us: 250.0,
@@ -261,7 +254,6 @@ mod tests {
     fn profiles_exist_for_all_apps() {
         for app in AppId::ALL {
             let p = AppProfile::for_app(app);
-            assert_eq!(p.app, app);
             assert!(p.al_base_ms > 0.0 && p.rd_base_ms > 0.0);
         }
     }

@@ -1,0 +1,511 @@
+//! Applications as first-class values: [`AppSpec`], [`App`], [`AppRegistry`].
+//!
+//! The paper evaluates six fixed titles (Table 2), but a benchmarking
+//! *framework* must accept arbitrary interactive applications: the workload
+//! is data, not an enum. An [`AppSpec`] bundles everything the pipeline
+//! needs to run one application — identity, the resource signature
+//! ([`AppProfile`]), the world parameterization ([`WorldParams`]), the human
+//! reference behavior ([`HumanParams`]) and the intelligent-client cost
+//! hints ([`ClientHints`]). [`App`] is the cheap shareable handle
+//! (`Arc<AppSpec>` underneath) that experiments, scenario grids and reports
+//! carry; [`AppRegistry`] is a thread-safe name→spec table that rejects
+//! duplicate codes (suite cells are keyed by code, so a collision would
+//! silently merge unrelated cells).
+//!
+//! The paper's six titles remain available as built-in specs — [`AppId`]
+//! is now a thin compatibility layer over them ([`AppId::spec`],
+//! `From<AppId> for App`), and their tables are bit-identical to the
+//! historical `for_app` constructors, so every golden figure is unchanged.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, RwLock};
+
+use crate::human::HumanParams;
+use crate::id::AppId;
+use crate::profile::AppProfile;
+use crate::world::WorldParams;
+
+/// Per-application hints for the intelligent client's inference-cost model
+/// (paper Fig 7): how much CV and RNN work one decision takes relative to
+/// the MobileNets/LSTM baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientHints {
+    /// Effective MobileNets windows swept per frame (scene busyness: more
+    /// proposals on fast or cluttered scenes).
+    pub cv_windows: f64,
+    /// Relative LSTM input-generation cost (action-space complexity).
+    pub rnn_scale: f64,
+}
+
+impl Default for ClientHints {
+    /// Mid-range hints for applications without calibrated data.
+    fn default() -> Self {
+        ClientHints {
+            cv_windows: 4.0,
+            rnn_scale: 1.0,
+        }
+    }
+}
+
+impl ClientHints {
+    /// The calibrated hints for one of the paper's titles (the values
+    /// previously hardcoded in the inference-cost model).
+    pub fn for_app(app: AppId) -> Self {
+        let (cv_windows, rnn_scale) = match app {
+            AppId::SuperTuxKart => (4.22, 1.00), // fast scenes, more proposals
+            AppId::ZeroAd => (4.50, 1.18),       // many small units
+            AppId::RedEclipse => (3.66, 0.92),
+            AppId::Dota2 => (4.39, 1.10),
+            AppId::InMind => (3.94, 0.95),
+            AppId::Imhotep => (3.83, 0.90),
+        };
+        ClientHints {
+            cv_windows,
+            rnn_scale,
+        }
+    }
+}
+
+/// Everything the framework needs to benchmark one interactive 3D
+/// application. Owned, plain data: construct it directly, through
+/// [`SyntheticApp`](crate::SyntheticApp), or look up a built-in via
+/// [`AppId::spec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Short unique code (appears in cell names, reports, CSV/JSON).
+    pub code: String,
+    /// Full display name.
+    pub name: String,
+    /// Application area (genre) for tables.
+    pub area: String,
+    /// Whether the modeled application is closed-source (no source access —
+    /// exactly the case Pictor must handle).
+    pub closed_source: bool,
+    /// Whether this is a VR title (head-motion inputs).
+    pub vr: bool,
+    /// Resource signature driving the pipeline stage costs and contention.
+    pub profile: AppProfile,
+    /// World-engine parameterization.
+    pub world: WorldParams,
+    /// Human reference-policy parameters.
+    pub human: HumanParams,
+    /// Intelligent-client inference-cost hints.
+    pub client: ClientHints,
+}
+
+impl AppSpec {
+    /// The built-in spec of one paper title, field-for-field identical to
+    /// the historical `for_app` tables.
+    pub fn builtin(app: AppId) -> Self {
+        AppSpec {
+            code: app.code().to_string(),
+            name: app.name().to_string(),
+            area: app.area().to_string(),
+            closed_source: app.closed_source(),
+            vr: app.is_vr(),
+            profile: AppProfile::for_app(app),
+            world: WorldParams::for_app(app),
+            human: HumanParams::for_app(app),
+            client: ClientHints::for_app(app),
+        }
+    }
+
+    /// The short code.
+    pub fn code(&self) -> &str {
+        &self.code
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The application area.
+    pub fn area(&self) -> &str {
+        &self.area
+    }
+
+    /// Whether this is a VR title.
+    pub fn is_vr(&self) -> bool {
+        self.vr
+    }
+
+    /// Checks the spec is runnable: every structural invariant the world
+    /// engine, human policy and pipeline rely on. Returns the first
+    /// violation as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        let err = |msg: String| Err(format!("app {:?}: {msg}", self.code));
+        if self.code.is_empty() {
+            return Err("app code must not be empty".into());
+        }
+        if self.world.classes.is_empty() {
+            return err("world.classes must not be empty".into());
+        }
+        if self.world.classes.len() > 3 {
+            return err("at most 3 object classes (feature encoding is 3-slot)".into());
+        }
+        {
+            let mut seen = [false; 16];
+            for &c in &self.world.classes {
+                // The rasterizer's palette has 16 entries and masks the
+                // class with `& 0x0f`: an index above 15 would render the
+                // same color as `c % 16`, giving the vision CNN visually
+                // indistinguishable labels.
+                if c > 15 {
+                    return err(format!("object class {c} outside the 0–15 palette"));
+                }
+                if std::mem::replace(&mut seen[c as usize], true) {
+                    return err(format!("duplicate object class {c}"));
+                }
+            }
+        }
+        if !(self.world.spawn_rate_hz > 0.0 && self.world.spawn_rate_hz.is_finite()) {
+            return err("spawn_rate_hz must be positive and finite".into());
+        }
+        if self.world.max_objects == 0 {
+            return err("max_objects must be at least 1".into());
+        }
+        if !self.world.object_lifetime_s.is_finite() || self.world.object_lifetime_s <= 0.0 {
+            return err("object_lifetime_s must be positive".into());
+        }
+        let (lo, hi) = self.world.size_range;
+        if !(0.0 < lo && lo < hi && hi <= 1.0) {
+            return err(format!(
+                "size_range must satisfy 0 < lo < hi <= 1, got ({lo}, {hi})"
+            ));
+        }
+        if !(self.profile.al_base_ms > 0.0 && self.profile.rd_base_ms > 0.0) {
+            return err("al_base_ms and rd_base_ms must be positive".into());
+        }
+        if !(self.profile.al_cv >= 0.0 && self.profile.rd_cv >= 0.0) {
+            return err("stage-time CVs must be non-negative".into());
+        }
+        if !self.human.reaction_mean_ms.is_finite() || self.human.reaction_mean_ms <= 0.0 {
+            return err("reaction_mean_ms must be positive".into());
+        }
+        let probs = self.human.engage_prob + self.human.move_prob + self.human.look_prob;
+        if !(0.0..=1.0).contains(&probs) {
+            return err(format!(
+                "human branch probabilities sum to {probs}, outside [0, 1]"
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.human.secondary_prob) {
+            return err("secondary_prob must be in [0, 1]".into());
+        }
+        if !(self.client.cv_windows > 0.0 && self.client.rnn_scale > 0.0) {
+            return err("client hints must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A cheap, shareable handle to an [`AppSpec`] — clone freely; experiments,
+/// grids, drivers and reports all carry these. Dereferences to the spec.
+#[derive(Debug, Clone)]
+pub struct App(Arc<AppSpec>);
+
+impl App {
+    /// The underlying shared spec.
+    pub fn spec(&self) -> &AppSpec {
+        &self.0
+    }
+}
+
+impl Deref for App {
+    type Target = AppSpec;
+
+    fn deref(&self) -> &AppSpec {
+        &self.0
+    }
+}
+
+impl PartialEq for App {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl PartialEq<AppId> for App {
+    fn eq(&self, other: &AppId) -> bool {
+        self.code == other.code()
+    }
+}
+
+impl PartialEq<App> for AppId {
+    fn eq(&self, other: &App) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.code)
+    }
+}
+
+impl From<AppSpec> for App {
+    fn from(spec: AppSpec) -> Self {
+        App(Arc::new(spec))
+    }
+}
+
+impl From<&App> for App {
+    fn from(app: &App) -> Self {
+        app.clone()
+    }
+}
+
+impl From<AppId> for App {
+    fn from(id: AppId) -> Self {
+        id.spec()
+    }
+}
+
+impl From<&AppId> for App {
+    fn from(id: &AppId) -> Self {
+        id.spec()
+    }
+}
+
+/// Why a registration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// An app with this code is already registered. Suite cells are named
+    /// by code, so a silent overwrite or duplicate would merge unrelated
+    /// cells — the registry refuses instead.
+    DuplicateCode(String),
+    /// The spec failed [`AppSpec::validate`].
+    Invalid(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateCode(code) => {
+                write!(f, "app code {code:?} is already registered")
+            }
+            RegistryError::Invalid(msg) => write!(f, "invalid app spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A thread-safe registry of applications, keyed by code, preserving
+/// registration order.
+///
+/// # Example
+///
+/// ```
+/// use pictor_apps::{AppId, AppRegistry, SyntheticApp};
+///
+/// let reg = AppRegistry::with_builtins();
+/// assert_eq!(reg.len(), 6);
+/// let app = reg
+///     .register(SyntheticApp::new("MYAPP", "My App").build())
+///     .unwrap();
+/// assert_eq!(reg.get("MYAPP").unwrap(), app);
+/// // Codes are unique: re-registering is an error, not a merge.
+/// assert!(reg.register(pictor_apps::AppSpec::builtin(AppId::Dota2)).is_err());
+/// ```
+#[derive(Debug, Default)]
+pub struct AppRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    by_code: HashMap<String, usize>,
+    order: Vec<App>,
+}
+
+impl AppRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        AppRegistry::default()
+    }
+
+    /// A registry pre-populated with the paper's six titles, in
+    /// [`AppId::ALL`] order.
+    pub fn with_builtins() -> Self {
+        let reg = AppRegistry::new();
+        for id in AppId::ALL {
+            reg.register_app(id.spec())
+                .expect("builtin codes are unique");
+        }
+        reg
+    }
+
+    /// Validates and registers a spec, returning its shared handle.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateCode`] when an app with the same code is
+    /// already registered; [`RegistryError::Invalid`] when the spec fails
+    /// [`AppSpec::validate`].
+    pub fn register(&self, spec: AppSpec) -> Result<App, RegistryError> {
+        spec.validate().map_err(RegistryError::Invalid)?;
+        self.register_app(App::from(spec))
+    }
+
+    /// Registers an existing handle (e.g. a builtin) under its code.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateCode`] when the code is taken.
+    pub fn register_app(&self, app: App) -> Result<App, RegistryError> {
+        let mut inner = self.inner.write().expect("registry not poisoned");
+        if inner.by_code.contains_key(&app.code) {
+            return Err(RegistryError::DuplicateCode(app.code.clone()));
+        }
+        let idx = inner.order.len();
+        inner.by_code.insert(app.code.clone(), idx);
+        inner.order.push(app.clone());
+        Ok(app)
+    }
+
+    /// Looks up an app by code.
+    pub fn get(&self, code: &str) -> Option<App> {
+        let inner = self.inner.read().expect("registry not poisoned");
+        inner.by_code.get(code).map(|&i| inner.order[i].clone())
+    }
+
+    /// True when an app with this code is registered.
+    pub fn contains(&self, code: &str) -> bool {
+        self.inner
+            .read()
+            .expect("registry not poisoned")
+            .by_code
+            .contains_key(code)
+    }
+
+    /// Every registered app, in registration order.
+    pub fn apps(&self) -> Vec<App> {
+        self.inner
+            .read()
+            .expect("registry not poisoned")
+            .order
+            .clone()
+    }
+
+    /// Number of registered apps.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("registry not poisoned")
+            .order
+            .len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_specs_mirror_appid_identity() {
+        for id in AppId::ALL {
+            let spec = AppSpec::builtin(id);
+            assert_eq!(spec.code(), id.code());
+            assert_eq!(spec.name(), id.name());
+            assert_eq!(spec.area(), id.area());
+            assert_eq!(spec.closed_source, id.closed_source());
+            assert_eq!(spec.is_vr(), id.is_vr());
+            spec.validate().expect("builtins validate");
+        }
+    }
+
+    #[test]
+    fn app_handles_are_cheap_and_compare_by_value() {
+        let a = AppId::Dota2.spec();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, AppId::Dota2);
+        assert_ne!(a, AppId::InMind);
+        assert_eq!(AppId::Dota2, a);
+        // A fresh (non-shared) copy of the same spec still compares equal.
+        let rebuilt = App::from(AppSpec::builtin(AppId::Dota2));
+        assert_eq!(a, rebuilt);
+        assert_eq!(a.to_string(), "D2");
+    }
+
+    #[test]
+    fn registry_round_trips_builtins() {
+        let reg = AppRegistry::with_builtins();
+        assert_eq!(reg.len(), 6);
+        for id in AppId::ALL {
+            let app = reg.get(id.code()).expect("registered");
+            assert_eq!(app, id.spec());
+        }
+        let codes: Vec<String> = reg.apps().iter().map(|a| a.code.clone()).collect();
+        assert_eq!(codes, ["STK", "0AD", "RE", "D2", "IM", "ITP"]);
+    }
+
+    #[test]
+    fn duplicate_codes_are_rejected() {
+        let reg = AppRegistry::with_builtins();
+        let dup = AppSpec::builtin(AppId::SuperTuxKart);
+        assert_eq!(
+            reg.register(dup).unwrap_err(),
+            RegistryError::DuplicateCode("STK".into())
+        );
+        assert_eq!(reg.len(), 6, "failed registration must not mutate");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let reg = AppRegistry::new();
+        let mut bad = AppSpec::builtin(AppId::Dota2);
+        bad.code = "BAD".into();
+        bad.world.classes.clear();
+        assert!(matches!(
+            reg.register(bad).unwrap_err(),
+            RegistryError::Invalid(_)
+        ));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = std::sync::Arc::new(AppRegistry::with_builtins());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let mut spec = AppSpec::builtin(AppId::Dota2);
+                    spec.code = format!("T{t}");
+                    reg.register(spec).expect("unique per thread");
+                    reg.get("D2").expect("builtins visible")
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("no panic"), AppId::Dota2);
+        }
+        assert_eq!(reg.len(), 10);
+    }
+
+    #[test]
+    fn validate_rejects_classes_outside_palette() {
+        let mut spec = AppSpec::builtin(AppId::RedEclipse);
+        // 17 & 0x0f == 1: would render the same color as class 1.
+        spec.world.classes = vec![1, 17];
+        let msg = spec.validate().unwrap_err();
+        assert!(msg.contains("palette"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut spec = AppSpec::builtin(AppId::RedEclipse);
+        spec.human.engage_prob = 0.9;
+        spec.human.move_prob = 0.9;
+        assert!(spec.validate().is_err());
+    }
+}

@@ -1,0 +1,566 @@
+//! Synthetic application workloads: the first apps outside Table 2.
+//!
+//! [`SyntheticApp`] is a builder over [`AppSpec`] with sensible mid-range
+//! defaults, so a new workload only names the knobs it cares about. The
+//! deterministic generator ([`SyntheticApp::generate`] /
+//! [`generate_family`]) draws every parameter from a calibrated envelope
+//! bracketing the paper's six titles — AL/RD time distributions, world
+//! dynamics, input sensitivity, cache behavior — seeded through
+//! [`SeedTree`], so a family of generated apps is reproducible from one
+//! master seed and can be swept or co-located like any built-in benchmark.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use pictor_sim::SeedTree;
+
+use crate::human::HumanParams;
+use crate::profile::AppProfile;
+use crate::spec::{App, AppSpec, ClientHints};
+use crate::world::WorldParams;
+
+/// Builder for synthetic [`AppSpec`]s.
+///
+/// # Example
+///
+/// ```
+/// use pictor_apps::SyntheticApp;
+///
+/// let spec = SyntheticApp::new("TOWER", "Tower Defense Sim")
+///     .area("Game: Tower Defense")
+///     .al_ms(18.0, 0.22)
+///     .rd_ms(8.5, 0.18)
+///     .spawn_rate_hz(2.2)
+///     .max_objects(18)
+///     .build();
+/// assert_eq!(spec.code(), "TOWER");
+/// spec.validate().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticApp {
+    spec: AppSpec,
+}
+
+impl SyntheticApp {
+    /// Starts a builder with mid-range defaults: a moderate 3D game with
+    /// three object classes, balanced AL/RD load and a generic player.
+    pub fn new(code: &str, name: &str) -> Self {
+        SyntheticApp {
+            spec: AppSpec {
+                code: code.to_string(),
+                name: name.to_string(),
+                area: "Game: Synthetic".to_string(),
+                closed_source: false,
+                vr: false,
+                profile: AppProfile {
+                    al_base_ms: 12.0,
+                    al_cv: 0.20,
+                    al_per_object_us: 180.0,
+                    al_per_action_us: 260.0,
+                    rd_base_ms: 8.5,
+                    rd_cv: 0.17,
+                    rd_per_object_us: 150.0,
+                    upload_bytes_per_frame: 200_000,
+                    background_threads: 1,
+                    memory_mib: 1500,
+                    gpu_memory_mib: 550,
+                    l3_base_miss: 0.74,
+                    l3_sensitivity: 0.12,
+                    l3_penalty: 1.8,
+                    cpu_pressure: 0.9,
+                    gpu_l2_base_miss: 0.36,
+                    gpu_l2_sensitivity: 0.25,
+                    gpu_l2_penalty: 1.0,
+                    gpu_pressure: 0.9,
+                    texture_miss: 0.23,
+                    cp_difficulty: 1.0,
+                },
+                world: WorldParams {
+                    classes: vec![0, 5, 10],
+                    spawn_rate_hz: 2.0,
+                    max_objects: 15,
+                    object_speed: 0.10,
+                    object_lifetime_s: 7.0,
+                    size_range: (0.06, 0.20),
+                    camera_speed: 0.08,
+                    move_steer: 0.12,
+                    look_pan: 0.10,
+                    hit_radius: 0.12,
+                    ambient_period_s: 16.0,
+                },
+                human: HumanParams {
+                    reaction_mean_ms: 320.0,
+                    reaction_cv: 0.35,
+                    aim_error: 0.04,
+                    engage_prob: 0.08,
+                    move_prob: 0.05,
+                    look_prob: 0.05,
+                    secondary_prob: 0.20,
+                },
+                client: ClientHints::default(),
+            },
+        }
+    }
+
+    /// Application area (genre) label.
+    pub fn area(mut self, area: &str) -> Self {
+        self.spec.area = area.to_string();
+        self
+    }
+
+    /// Marks the modeled application closed-source.
+    pub fn closed_source(mut self, closed: bool) -> Self {
+        self.spec.closed_source = closed;
+        self
+    }
+
+    /// Marks this a VR title (head-motion inputs).
+    pub fn vr(mut self, vr: bool) -> Self {
+        self.spec.vr = vr;
+        self
+    }
+
+    /// Mean application-logic time per frame (ms) and its CV.
+    pub fn al_ms(mut self, mean: f64, cv: f64) -> Self {
+        self.spec.profile.al_base_ms = mean;
+        self.spec.profile.al_cv = cv;
+        self
+    }
+
+    /// Extra AL microseconds per live object and per applied action.
+    pub fn al_sensitivity(mut self, per_object_us: f64, per_action_us: f64) -> Self {
+        self.spec.profile.al_per_object_us = per_object_us;
+        self.spec.profile.al_per_action_us = per_action_us;
+        self
+    }
+
+    /// Mean GPU render time per frame (ms) and its CV.
+    pub fn rd_ms(mut self, mean: f64, cv: f64) -> Self {
+        self.spec.profile.rd_base_ms = mean;
+        self.spec.profile.rd_cv = cv;
+        self
+    }
+
+    /// Extra RD microseconds per live object.
+    pub fn rd_per_object_us(mut self, us: f64) -> Self {
+        self.spec.profile.rd_per_object_us = us;
+        self
+    }
+
+    /// CPU→GPU upload traffic per frame, bytes.
+    pub fn upload_bytes(mut self, bytes: u64) -> Self {
+        self.spec.profile.upload_bytes_per_frame = bytes;
+        self
+    }
+
+    /// Always-runnable background worker threads.
+    pub fn background_threads(mut self, threads: u32) -> Self {
+        self.spec.profile.background_threads = threads;
+        self
+    }
+
+    /// Host and GPU memory footprints, MiB.
+    pub fn memory(mut self, host_mib: u64, gpu_mib: u64) -> Self {
+        self.spec.profile.memory_mib = host_mib;
+        self.spec.profile.gpu_memory_mib = gpu_mib;
+        self
+    }
+
+    /// CPU-cache behavior: solo L3 miss rate, sensitivity to co-runner
+    /// pressure, miss penalty weight and pressure exerted on co-runners.
+    pub fn cpu_cache(
+        mut self,
+        base_miss: f64,
+        sensitivity: f64,
+        penalty: f64,
+        pressure: f64,
+    ) -> Self {
+        self.spec.profile.l3_base_miss = base_miss;
+        self.spec.profile.l3_sensitivity = sensitivity;
+        self.spec.profile.l3_penalty = penalty;
+        self.spec.profile.cpu_pressure = pressure;
+        self
+    }
+
+    /// GPU-cache behavior (L2 miss rate, sensitivity, penalty, pressure).
+    pub fn gpu_cache(
+        mut self,
+        base_miss: f64,
+        sensitivity: f64,
+        penalty: f64,
+        pressure: f64,
+    ) -> Self {
+        self.spec.profile.gpu_l2_base_miss = base_miss;
+        self.spec.profile.gpu_l2_sensitivity = sensitivity;
+        self.spec.profile.gpu_l2_penalty = penalty;
+        self.spec.profile.gpu_pressure = pressure;
+        self
+    }
+
+    /// Private texture-cache miss rate.
+    pub fn texture_miss(mut self, miss: f64) -> Self {
+        self.spec.profile.texture_miss = miss;
+        self
+    }
+
+    /// Encoder difficulty multiplier on the proxy's compression cost.
+    pub fn cp_difficulty(mut self, mult: f64) -> Self {
+        self.spec.profile.cp_difficulty = mult;
+        self
+    }
+
+    /// Object classes (palette indices, at most 3, unique).
+    pub fn classes(mut self, classes: Vec<u8>) -> Self {
+        self.spec.world.classes = classes;
+        self
+    }
+
+    /// Mean object spawn rate, objects/second.
+    pub fn spawn_rate_hz(mut self, hz: f64) -> Self {
+        self.spec.world.spawn_rate_hz = hz;
+        self
+    }
+
+    /// Hard population cap.
+    pub fn max_objects(mut self, cap: usize) -> Self {
+        self.spec.world.max_objects = cap;
+        self
+    }
+
+    /// Object drift speed (normalized units/s) and mean lifetime (s).
+    pub fn object_dynamics(mut self, speed: f64, lifetime_s: f64) -> Self {
+        self.spec.world.object_speed = speed;
+        self.spec.world.object_lifetime_s = lifetime_s;
+        self
+    }
+
+    /// Apparent object size range (fraction of frame height).
+    pub fn size_range(mut self, lo: f64, hi: f64) -> Self {
+        self.spec.world.size_range = (lo, hi);
+        self
+    }
+
+    /// Constant camera pan speed, normalized/s.
+    pub fn camera_speed(mut self, speed: f64) -> Self {
+        self.spec.world.camera_speed = speed;
+        self
+    }
+
+    /// Input sensitivity: `Move` steering strength, `Look` pan strength and
+    /// `Primary` hit radius.
+    pub fn input_sensitivity(mut self, move_steer: f64, look_pan: f64, hit_radius: f64) -> Self {
+        self.spec.world.move_steer = move_steer;
+        self.spec.world.look_pan = look_pan;
+        self.spec.world.hit_radius = hit_radius;
+        self
+    }
+
+    /// Ambient light oscillation period, seconds.
+    pub fn ambient_period_s(mut self, period: f64) -> Self {
+        self.spec.world.ambient_period_s = period;
+        self
+    }
+
+    /// Human reaction delay: mean (ms) and CV.
+    pub fn reaction(mut self, mean_ms: f64, cv: f64) -> Self {
+        self.spec.human.reaction_mean_ms = mean_ms;
+        self.spec.human.reaction_cv = cv;
+        self
+    }
+
+    /// Std-dev of the human aim error, normalized screen units.
+    pub fn aim_error(mut self, std: f64) -> Self {
+        self.spec.human.aim_error = std;
+        self
+    }
+
+    /// Per-frame engage/move/look branch probabilities (must sum ≤ 1).
+    pub fn action_mix(mut self, engage: f64, mv: f64, look: f64) -> Self {
+        self.spec.human.engage_prob = engage;
+        self.spec.human.move_prob = mv;
+        self.spec.human.look_prob = look;
+        self
+    }
+
+    /// Probability of `Secondary` instead of `Primary` when engaging.
+    pub fn secondary_prob(mut self, prob: f64) -> Self {
+        self.spec.human.secondary_prob = prob;
+        self
+    }
+
+    /// Intelligent-client inference hints (CV windows, RNN scale).
+    pub fn client_hints(mut self, cv_windows: f64, rnn_scale: f64) -> Self {
+        self.spec.client = ClientHints {
+            cv_windows,
+            rnn_scale,
+        };
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulated spec fails [`AppSpec::validate`] — a
+    /// synthetic app that cannot run should fail at construction, not
+    /// minutes into a suite.
+    pub fn build(self) -> AppSpec {
+        if let Err(msg) = self.spec.validate() {
+            panic!("SyntheticApp::build: {msg}");
+        }
+        self.spec
+    }
+
+    /// Like [`SyntheticApp::build`], returning the shared handle directly.
+    pub fn build_app(self) -> App {
+        App::from(self.build())
+    }
+
+    /// Deterministically generates a complete spec with every parameter
+    /// drawn from a calibrated envelope bracketing the paper's six titles
+    /// (AL 5–28 ms, RD 5–12.5 ms, L3 misses above 70%, correlated CPU/GPU
+    /// contentiousness, 100–350 APM humans, …). The draw is seeded from
+    /// `seeds` and `code`, so the same tree and code always yield the same
+    /// app.
+    pub fn generate(code: &str, seeds: &SeedTree) -> AppSpec {
+        let mut rng = seeds.child("synthetic-app").stream(code);
+        Self::sample(code, &mut rng)
+    }
+
+    fn sample(code: &str, rng: &mut SmallRng) -> AppSpec {
+        // Identity axes first (cheap, stable draw order).
+        let vr = rng.gen_bool(0.25);
+        let closed_source = rng.gen_bool(0.3);
+        // Resource envelope (paper Figs 8–16 ranges).
+        let al_base_ms = rng.gen_range(5.0..28.0);
+        let rd_base_ms = rng.gen_range(5.0..12.5);
+        let cpu_pressure: f64 = rng.gen_range(0.4..1.5);
+        // §5.3.1: CPU and GPU contentiousness correlate (builtins keep the
+        // gap under 0.3).
+        let pressure_gap: f64 = rng.gen_range(-0.25..0.25);
+        let gpu_pressure = (cpu_pressure + pressure_gap).clamp(0.3, 1.6);
+        // Upload traffic is log-uniform: most apps ~100–300 KB/frame, the
+        // occasional STK-like geometry-heavy outlier in the megabytes.
+        let upload_bytes_per_frame = (1e5 * 25f64.powf(rng.gen_range(0.0..1.0))) as u64;
+        let profile = AppProfile {
+            al_base_ms,
+            al_cv: rng.gen_range(0.15..0.28),
+            al_per_object_us: rng.gen_range(100.0..320.0),
+            al_per_action_us: rng.gen_range(180.0..420.0),
+            rd_base_ms,
+            rd_cv: rng.gen_range(0.13..0.22),
+            rd_per_object_us: rng.gen_range(90.0..210.0),
+            upload_bytes_per_frame,
+            background_threads: rng.gen_range(0..3),
+            memory_mib: rng.gen_range(600..4000),
+            gpu_memory_mib: rng.gen_range(350..790),
+            l3_base_miss: rng.gen_range(0.705..0.80),
+            l3_sensitivity: rng.gen_range(0.09..0.17),
+            l3_penalty: rng.gen_range(1.5..2.3),
+            cpu_pressure,
+            gpu_l2_base_miss: rng.gen_range(0.32..0.60),
+            gpu_l2_sensitivity: rng.gen_range(0.18..0.32),
+            gpu_l2_penalty: rng.gen_range(0.7..1.3),
+            gpu_pressure,
+            texture_miss: rng.gen_range(0.16..0.32),
+            cp_difficulty: rng.gen_range(0.9..1.3),
+        };
+        // World dynamics: class palette indices may overlap other apps
+        // (co-located worlds are independent) but must be unique within
+        // this one.
+        let n_classes = rng.gen_range(2..=3usize);
+        let mut classes = Vec::with_capacity(n_classes);
+        while classes.len() < n_classes {
+            let c = rng.gen_range(0..16u8);
+            if !classes.contains(&c) {
+                classes.push(c);
+            }
+        }
+        let size_lo = rng.gen_range(0.05..0.10);
+        let size_hi = size_lo + rng.gen_range(0.06..0.25);
+        let world = WorldParams {
+            classes,
+            spawn_rate_hz: rng.gen_range(0.8..3.2),
+            max_objects: rng.gen_range(6..26),
+            object_speed: rng.gen_range(0.02..0.26),
+            object_lifetime_s: rng.gen_range(3.0..14.0),
+            size_range: (size_lo, size_hi),
+            camera_speed: rng.gen_range(0.01..0.36),
+            move_steer: if vr { 0.0 } else { rng.gen_range(0.05..0.21) },
+            look_pan: rng.gen_range(0.0..0.26),
+            hit_radius: rng.gen_range(0.08..0.16),
+            ambient_period_s: rng.gen_range(9.0..30.0),
+        };
+        // Human behavior: branch probabilities sized for the 100–350 APM
+        // band at ~30 decided frames/second; VR users mostly look around.
+        let engage_prob = rng.gen_range(0.04..0.11);
+        let move_prob = if vr { 0.0 } else { rng.gen_range(0.01..0.12) };
+        let look_prob = if vr {
+            rng.gen_range(0.06..0.11)
+        } else {
+            rng.gen_range(0.0..0.08)
+        };
+        let human = HumanParams {
+            reaction_mean_ms: rng.gen_range(230.0..460.0),
+            reaction_cv: rng.gen_range(0.28..0.42),
+            aim_error: rng.gen_range(0.02..0.065),
+            engage_prob,
+            move_prob,
+            look_prob,
+            secondary_prob: rng.gen_range(0.05..0.36),
+        };
+        let client = ClientHints {
+            cv_windows: rng.gen_range(3.5..4.6),
+            rnn_scale: rng.gen_range(0.88..1.22),
+        };
+        let spec = AppSpec {
+            code: code.to_string(),
+            name: format!("Synthetic {code}"),
+            area: if vr {
+                "VR: Synthetic".to_string()
+            } else {
+                "Game: Synthetic".to_string()
+            },
+            closed_source,
+            vr,
+            profile,
+            world,
+            human,
+            client,
+        };
+        spec.validate()
+            .expect("generator envelope always yields valid specs");
+        spec
+    }
+}
+
+/// Generates a reproducible family of `n` synthetic apps named
+/// `{prefix}0`, `{prefix}1`, … from one seed tree.
+///
+/// # Example
+///
+/// ```
+/// use pictor_apps::synthetic::generate_family;
+/// use pictor_sim::SeedTree;
+///
+/// let family = generate_family("SYN", 3, &SeedTree::new(2020));
+/// assert_eq!(family.len(), 3);
+/// assert_eq!(family[0].code(), "SYN0");
+/// let again = generate_family("SYN", 3, &SeedTree::new(2020));
+/// assert_eq!(family, again);
+/// ```
+pub fn generate_family(prefix: &str, n: usize, seeds: &SeedTree) -> Vec<AppSpec> {
+    (0..n)
+        .map(|i| SyntheticApp::generate(&format!("{prefix}{i}"), seeds))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let spec = SyntheticApp::new("X", "X App").build();
+        spec.validate().expect("defaults valid");
+        assert_eq!(spec.code(), "X");
+        assert_eq!(spec.name(), "X App");
+    }
+
+    #[test]
+    fn builder_sets_every_surface() {
+        let spec = SyntheticApp::new("Y", "Y App")
+            .area("VR: Test")
+            .vr(true)
+            .closed_source(true)
+            .al_ms(20.0, 0.25)
+            .al_sensitivity(200.0, 300.0)
+            .rd_ms(7.0, 0.15)
+            .rd_per_object_us(120.0)
+            .upload_bytes(500_000)
+            .background_threads(2)
+            .memory(2000, 600)
+            .cpu_cache(0.75, 0.12, 1.9, 1.1)
+            .gpu_cache(0.40, 0.22, 1.0, 1.0)
+            .texture_miss(0.2)
+            .cp_difficulty(1.1)
+            .classes(vec![1, 2])
+            .spawn_rate_hz(1.5)
+            .max_objects(10)
+            .object_dynamics(0.05, 8.0)
+            .size_range(0.07, 0.2)
+            .camera_speed(0.04)
+            .input_sensitivity(0.0, 0.2, 0.1)
+            .ambient_period_s(20.0)
+            .reaction(400.0, 0.4)
+            .aim_error(0.05)
+            .action_mix(0.05, 0.0, 0.1)
+            .secondary_prob(0.1)
+            .client_hints(4.0, 1.0)
+            .build();
+        assert!(spec.vr && spec.closed_source);
+        assert_eq!(spec.profile.al_base_ms, 20.0);
+        assert_eq!(spec.world.classes, vec![1, 2]);
+        assert_eq!(spec.human.reaction_mean_ms, 400.0);
+        assert_eq!(spec.client.cv_windows, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SyntheticApp::build")]
+    fn invalid_builder_panics() {
+        let _ = SyntheticApp::new("Z", "Z").classes(vec![]).build();
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_valid() {
+        let seeds = SeedTree::new(77);
+        for i in 0..25 {
+            let code = format!("G{i}");
+            let a = SyntheticApp::generate(&code, &seeds);
+            let b = SyntheticApp::generate(&code, &seeds);
+            assert_eq!(a, b, "same tree + code must reproduce");
+            a.validate().expect("generated specs are valid");
+        }
+        // Different codes diverge.
+        assert_ne!(
+            SyntheticApp::generate("G0", &seeds),
+            SyntheticApp::generate("G1", &seeds)
+        );
+        // Different master seeds diverge.
+        assert_ne!(
+            SyntheticApp::generate("G0", &seeds),
+            SyntheticApp::generate("G0", &SeedTree::new(78))
+        );
+    }
+
+    #[test]
+    fn family_codes_are_unique_and_registrable() {
+        let family = generate_family("FAM", 8, &SeedTree::new(5));
+        let reg = crate::AppRegistry::with_builtins();
+        for spec in family {
+            reg.register(spec).expect("family registers cleanly");
+        }
+        assert_eq!(reg.len(), 14);
+    }
+
+    #[test]
+    fn generated_specs_stay_in_calibrated_envelope() {
+        let seeds = SeedTree::new(11);
+        for spec in generate_family("ENV", 40, &seeds) {
+            let p = &spec.profile;
+            assert!((5.0..28.0).contains(&p.al_base_ms));
+            assert!((5.0..12.5).contains(&p.rd_base_ms));
+            assert!(p.l3_base_miss > 0.70, "paper Fig 15: L3 misses above 70%");
+            assert!(p.gpu_memory_mib < 800, "paper Fig 8: GPU memory < 800 MB");
+            assert!(
+                (p.gpu_pressure - p.cpu_pressure).abs() < 0.3 + 1e-12,
+                "§5.3.1 correlation"
+            );
+            let h = &spec.human;
+            assert!(h.engage_prob + h.move_prob + h.look_prob <= 1.0);
+            if spec.vr {
+                assert_eq!(h.move_prob, 0.0, "VR has no locomotion");
+            }
+        }
+    }
+}

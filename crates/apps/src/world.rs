@@ -18,12 +18,12 @@ use pictor_sim::rng::{exponential, normal_clamped};
 
 use crate::action::{Action, ActionClass};
 use crate::id::AppId;
+use crate::spec::App;
 
-/// Genre-specific world parameters.
+/// Genre-specific world parameters (owned, identity-free: the
+/// [`AppSpec`](crate::AppSpec) carries the name/code).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorldParams {
-    /// The benchmark this parameterization belongs to.
-    pub app: AppId,
     /// Object classes that spawn (palette indices, also the CNN classes).
     pub classes: Vec<u8>,
     /// Mean object spawn rate in objects/second.
@@ -55,7 +55,6 @@ impl WorldParams {
     pub fn for_app(app: AppId) -> Self {
         match app {
             AppId::SuperTuxKart => WorldParams {
-                app,
                 classes: vec![0, 6, 12],
                 spawn_rate_hz: 3.0,
                 max_objects: 12,
@@ -69,7 +68,6 @@ impl WorldParams {
                 ambient_period_s: 9.0,
             },
             AppId::ZeroAd => WorldParams {
-                app,
                 classes: vec![1, 7, 14],
                 spawn_rate_hz: 1.2,
                 max_objects: 25,
@@ -83,7 +81,6 @@ impl WorldParams {
                 ambient_period_s: 25.0,
             },
             AppId::RedEclipse => WorldParams {
-                app,
                 classes: vec![9, 5],
                 spawn_rate_hz: 2.0,
                 max_objects: 8,
@@ -97,7 +94,6 @@ impl WorldParams {
                 ambient_period_s: 12.0,
             },
             AppId::Dota2 => WorldParams {
-                app,
                 classes: vec![4, 11, 3],
                 spawn_rate_hz: 2.5,
                 max_objects: 20,
@@ -111,7 +107,6 @@ impl WorldParams {
                 ambient_period_s: 18.0,
             },
             AppId::InMind => WorldParams {
-                app,
                 classes: vec![2, 8],
                 spawn_rate_hz: 1.5,
                 max_objects: 10,
@@ -125,7 +120,6 @@ impl WorldParams {
                 ambient_period_s: 15.0,
             },
             AppId::Imhotep => WorldParams {
-                app,
                 classes: vec![13, 10],
                 spawn_rate_hz: 0.8,
                 max_objects: 6,
@@ -210,9 +204,14 @@ pub struct World {
 }
 
 impl World {
-    /// Creates a world for `app` seeded by `rng`.
-    pub fn new(app: AppId, mut rng: SmallRng) -> Self {
-        let params = WorldParams::for_app(app);
+    /// Creates a world for `app` (any [`App`] handle, or an [`AppId`] for a
+    /// built-in title) seeded by `rng`.
+    pub fn new(app: impl Into<App>, rng: SmallRng) -> Self {
+        Self::from_params(app.into().world.clone(), rng)
+    }
+
+    /// Creates a world directly from a parameterization.
+    pub fn from_params(params: WorldParams, mut rng: SmallRng) -> Self {
         // Every session starts somewhere else: random camera position and
         // lighting phase, so no two executions present the same frames —
         // the 3D randomness that defeats replay-based benchmarking.

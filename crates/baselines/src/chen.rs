@@ -8,7 +8,7 @@
 //! AS) plus the input's queueing delay are invisible. The result
 //! systematically underestimates the true RTT — by ~30% in the paper.
 
-use pictor_apps::AppId;
+use pictor_apps::App;
 use pictor_core::{run_experiment, ExperimentSpec};
 use pictor_render::config::StageTuning;
 use pictor_render::records::Stage;
@@ -18,8 +18,8 @@ use pictor_sim::{Distribution, SimDuration};
 /// The Chen et al. estimate for one benchmark.
 #[derive(Debug, Clone)]
 pub struct ChenEstimate {
-    /// The benchmark.
-    pub app: AppId,
+    /// The application.
+    pub app: App,
     /// Estimated RTT distribution (ms), built by summing per-input stage
     /// samples with AL replaced by the offline mean.
     pub rtt_ms: Distribution,
@@ -31,11 +31,12 @@ pub struct ChenEstimate {
 /// samples are combined with an **offline** AL measurement (same app, no VNC
 /// proxy load).
 pub fn chen_estimate(
-    app: AppId,
+    app: impl Into<App>,
     config: &SystemConfig,
     seed: u64,
     duration: SimDuration,
 ) -> ChenEstimate {
+    let app: App = app.into();
     // Offline AL measurement: the game runs without a VNC proxy competing
     // for cache and cores.
     let offline_config = SystemConfig {
@@ -48,14 +49,14 @@ pub fn chen_estimate(
     };
     let offline = run_experiment(ExperimentSpec {
         duration,
-        ..ExperimentSpec::with_humans(vec![app], offline_config, seed ^ 0x0ff1)
+        ..ExperimentSpec::with_humans(vec![app.clone()], offline_config, seed ^ 0x0ff1)
     });
     let offline_al_ms = offline.solo().stage_ms(Stage::Al);
 
     // Online session: collect the visible stages per tracked input.
     let online = run_experiment(ExperimentSpec {
         duration,
-        ..ExperimentSpec::with_humans(vec![app], config.clone(), seed)
+        ..ExperimentSpec::with_humans(vec![app.clone()], config.clone(), seed)
     });
     let metrics = online.solo();
     let mut rtt_ms = Distribution::new();
@@ -80,6 +81,7 @@ pub fn chen_estimate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pictor_apps::AppId;
 
     #[test]
     fn chen_underestimates_true_rtt() {

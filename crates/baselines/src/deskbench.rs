@@ -206,7 +206,7 @@ mod tests {
     #[should_panic(expected = "empty session")]
     fn empty_session_panics() {
         let empty = RecordedSession {
-            app: AppId::RedEclipse,
+            app: AppId::RedEclipse.into(),
             frames: vec![],
             truths: vec![],
             actions: vec![],

@@ -1,0 +1,11 @@
+//! Synthetic-workload sweep: generated applications solo and co-located
+//! against the paper titles — the first workloads outside Table 2.
+
+use pictor_bench::figures::synth;
+use pictor_bench::{banner, master_seed, measured_secs, run_suite};
+
+fn main() {
+    banner("Synthetic sweep: generated apps solo and against STK/0AD");
+    let report = run_suite(synth::grid(measured_secs(), master_seed()));
+    print!("{}", synth::render(&report));
+}

@@ -16,7 +16,7 @@ pub fn grid(seed: u64) -> ScenarioGrid {
         .solos(AppId::ALL)
         .method(Method::analytic("model", |sc| {
             let model = InferenceCostModel::new(ClientSpec::paper_client());
-            let app = sc.apps[0];
+            let app = &sc.apps[0];
             vec![
                 ("cv_ms".into(), model.cv_mean_ms(app)),
                 ("rnn_ms".into(), model.rnn_mean_ms(app)),

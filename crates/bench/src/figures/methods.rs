@@ -35,7 +35,7 @@ pub fn deskbench() -> Method {
 /// Chen et al.: analytic stage summing, no pipeline run.
 pub fn chen() -> Method {
     Method::analytic("chen", |sc| {
-        let est = chen_estimate(sc.apps[0], &sc.config, sc.seed, sc.duration);
+        let est = chen_estimate(&sc.apps[0], &sc.config, sc.seed, sc.duration);
         let mut dist = est.rtt_ms;
         let n = dist.len();
         let fp = dist.five_point();

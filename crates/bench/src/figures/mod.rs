@@ -22,6 +22,7 @@ pub mod fig20;
 pub mod fig22;
 pub mod methods;
 pub mod overhead;
+pub mod synth;
 pub mod table3;
 pub mod table4;
 

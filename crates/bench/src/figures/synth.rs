@@ -1,0 +1,102 @@
+//! Synthetic-workload sweep: the first scenarios outside Table 2.
+//!
+//! A deterministic family of generated applications
+//! ([`pictor_apps::synthetic::generate_family`]) runs solo and co-located
+//! against the paper suite's contention extremes — SuperTuxKart (the most
+//! contentious co-runner, Fig 19) and 0 A.D. (the least) — demonstrating
+//! that the data-driven [`App`] surface composes generated workloads with
+//! built-in titles in one grid.
+
+use pictor_apps::{generate_family, App, AppId};
+use pictor_core::report::{fmt, Table};
+use pictor_core::{ScenarioGrid, SuiteReport};
+use pictor_sim::SeedTree;
+
+/// Number of generated apps in the sweep family.
+pub const FAMILY_SIZE: usize = 3;
+
+/// The deterministic synthetic family for a master seed: same seed, same
+/// apps, across every binary and test.
+pub fn family(seed: u64) -> Vec<App> {
+    generate_family("SYN", FAMILY_SIZE, &SeedTree::new(seed))
+        .into_iter()
+        .map(App::from)
+        .collect()
+}
+
+/// Solo cells for every generated app plus `SYNi+STK` / `SYNi+0AD`
+/// co-location pairs.
+pub fn grid(secs: u64, seed: u64) -> ScenarioGrid {
+    let family = family(seed);
+    let mut grid = ScenarioGrid::new("synth_sweep", seed)
+        .duration_secs(secs)
+        .workload_specs(family.iter().cloned());
+    for syn in &family {
+        for co in [AppId::SuperTuxKart, AppId::ZeroAd] {
+            grid = grid.workload(
+                &format!("{}+{}", syn.code(), co.code()),
+                vec![syn.clone(), co.spec()],
+            );
+        }
+    }
+    grid
+}
+
+/// Renders the sweep table: per workload, each instance's app, FPS and RTT.
+pub fn render(report: &SuiteReport) -> String {
+    let mut table = Table::new(
+        ["workload", "instance", "server FPS", "client FPS", "RTT ms"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for cell in report.cells() {
+        for m in &cell.instances {
+            table.row(vec![
+                cell.scenario.workload.clone(),
+                m.report.app.code().to_string(),
+                fmt(m.report.server_fps, 1),
+                fmt(m.report.client_fps, 1),
+                fmt(m.rtt.mean, 1),
+            ]);
+        }
+    }
+    format!(
+        "{}Generated apps (SYN*) sweep solo and against the paper's contention \
+         extremes (STK most contentious, 0AD least) — workloads outside Table 2.\n",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_is_deterministic_per_seed() {
+        assert_eq!(family(2020), family(2020));
+        assert_ne!(family(2020), family(2021));
+    }
+
+    #[test]
+    fn grid_covers_solos_and_pairs() {
+        let grid = grid(1, 2020);
+        let cells = grid.scenarios();
+        assert_eq!(cells.len(), FAMILY_SIZE * 3);
+        assert_eq!(cells[0].workload, "SYN0");
+        assert_eq!(cells[0].apps.len(), 1);
+        let pair = cells
+            .iter()
+            .find(|c| c.workload == "SYN0+STK")
+            .expect("pair cell");
+        assert_eq!(pair.apps.len(), 2);
+        assert_eq!(pair.apps[1], AppId::SuperTuxKart);
+    }
+
+    #[test]
+    fn sweep_runs_and_renders() {
+        let report = grid(1, 7).run_with_threads(2);
+        report.assert_finite();
+        let out = render(&report);
+        assert!(out.contains("SYN0") && out.contains("SYN2+0AD"), "{out}");
+    }
+}

@@ -8,7 +8,8 @@ use pictor_core::{Method, ScenarioGrid, SuiteReport};
 /// One analytic cell per methodology, emitting each capability as a 0/1
 /// value — the feature matrix routed through the unified suite report.
 pub fn grid(seed: u64) -> ScenarioGrid {
-    let mut grid = ScenarioGrid::new("table4_features", seed).workload("features", vec![]);
+    let mut grid = ScenarioGrid::new("table4_features", seed)
+        .workload("features", Vec::<pictor_apps::App>::new());
     for m in Methodology::ALL {
         grid = grid.method(Method::analytic(m.label(), move |_| {
             Capability::ALL

@@ -13,7 +13,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use pictor_apps::world::DetectedObject;
-use pictor_apps::{Action, ActionClass, AppId, WorldParams};
+use pictor_apps::{Action, ActionClass, App, WorldParams};
 use pictor_ml::dense::Activation;
 use pictor_ml::{softmax_cross_entropy, softmax_probs, Adam, Dense, Lstm, Matrix, Scratch};
 use pictor_sim::rng::normal;
@@ -56,7 +56,7 @@ impl Default for AgentConfig {
 /// A trained per-application input-generation model.
 #[derive(Debug, Clone)]
 pub struct AgentModel {
-    app: AppId,
+    app: App,
     params: WorldParams,
     seq_len: usize,
     lstm: Lstm,
@@ -133,7 +133,7 @@ impl AgentModel {
             session.len() > config.seq_len,
             "session shorter than the sequence window"
         );
-        let params = WorldParams::for_app(session.app);
+        let params = session.app.world.clone();
         let feats: Vec<Vec<f64>> = detections.iter().map(|d| encode(&params, d)).collect();
         // Build (window → action) samples: every frame with a full window,
         // uniformly subsampled to the cap.
@@ -250,7 +250,7 @@ impl AgentModel {
             }
         }
         AgentModel {
-            app: session.app,
+            app: session.app.clone(),
             params,
             seq_len: config.seq_len,
             lstm,
@@ -263,8 +263,8 @@ impl AgentModel {
     }
 
     /// The benchmark this agent plays.
-    pub fn app(&self) -> AppId {
-        self.app
+    pub fn app(&self) -> &App {
+        &self.app
     }
 
     /// Mean class cross-entropy of the last training epoch. The paper's
@@ -347,6 +347,7 @@ impl AgentModel {
 mod tests {
     use super::*;
     use crate::recorder::record_session;
+    use pictor_apps::AppId;
     use pictor_sim::SeedTree;
     use rand::SeedableRng;
 

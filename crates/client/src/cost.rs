@@ -10,7 +10,7 @@
 
 use rand::rngs::SmallRng;
 
-use pictor_apps::AppId;
+use pictor_apps::App;
 use pictor_hw::ClientSpec;
 use pictor_sim::rng::lognormal_mean_cv;
 use pictor_sim::SimDuration;
@@ -27,6 +27,7 @@ use pictor_sim::SimDuration;
 ///     .map(|&a| model.cv_mean_ms(a))
 ///     .sum::<f64>() / 6.0;
 /// assert!((avg - 72.7).abs() < 1.5, "paper Fig 7 average");
+/// // Synthetic apps work the same way, through their spec's client hints.
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferenceCostModel {
@@ -45,54 +46,40 @@ impl InferenceCostModel {
     }
 
     /// Effective CV GFLOPs per frame for `app`: MobileNets (≈0.57 GFLOP at
-    /// 224²) swept over the downscaled 1080p frame, with per-app window
-    /// counts reflecting scene busyness.
-    pub fn cv_gflops(&self, app: AppId) -> f64 {
+    /// 224²) swept over the downscaled 1080p frame, with the window count
+    /// (scene busyness) taken from the spec's [`ClientHints`]
+    /// (`pictor_apps::ClientHints`).
+    pub fn cv_gflops(&self, app: impl Into<App>) -> f64 {
         const MOBILENET_GFLOPS: f64 = 0.569;
-        let windows = match app {
-            AppId::SuperTuxKart => 4.22, // fast scenes, more proposals
-            AppId::ZeroAd => 4.50,       // many small units
-            AppId::RedEclipse => 3.66,
-            AppId::Dota2 => 4.39,
-            AppId::InMind => 3.94,
-            AppId::Imhotep => 3.83,
-        };
-        MOBILENET_GFLOPS * windows
+        MOBILENET_GFLOPS * app.into().client.cv_windows
     }
 
-    /// Paper-scale LSTM GFLOPs per generated input (hidden 512, 16 steps).
-    pub fn rnn_gflops(&self, app: AppId) -> f64 {
+    /// Paper-scale LSTM GFLOPs per generated input (hidden 512, 16 steps),
+    /// scaled by the spec's RNN hint.
+    pub fn rnn_gflops(&self, app: impl Into<App>) -> f64 {
         let base = 2.0 * 16.0 * (256.0 + 512.0) * 4.0 * 512.0 / 1e9; // ≈ 0.050
-        let scale = match app {
-            AppId::SuperTuxKart => 1.00,
-            AppId::ZeroAd => 1.18,
-            AppId::RedEclipse => 0.92,
-            AppId::Dota2 => 1.10,
-            AppId::InMind => 0.95,
-            AppId::Imhotep => 0.90,
-        };
-        base * scale
+        base * app.into().client.rnn_scale
     }
 
     /// Mean CV (CNN) latency for `app` in milliseconds.
-    pub fn cv_mean_ms(&self, app: AppId) -> f64 {
+    pub fn cv_mean_ms(&self, app: impl Into<App>) -> f64 {
         self.cv_gflops(app) / self.client.gflops * 1e3
     }
 
     /// Mean input-generation (RNN) latency for `app` in milliseconds.
-    pub fn rnn_mean_ms(&self, app: AppId) -> f64 {
+    pub fn rnn_mean_ms(&self, app: impl Into<App>) -> f64 {
         // The LSTM's sequential dependency chain sustains less of the
         // machine's throughput than the convolution does.
         self.rnn_gflops(app) / (self.client.gflops * 0.82) * 1e3
     }
 
     /// Samples one CV latency.
-    pub fn cv_latency(&self, app: AppId, rng: &mut SmallRng) -> SimDuration {
+    pub fn cv_latency(&self, app: impl Into<App>, rng: &mut SmallRng) -> SimDuration {
         SimDuration::from_millis_f64(lognormal_mean_cv(rng, self.cv_mean_ms(app), self.jitter_cv))
     }
 
     /// Samples one input-generation latency.
-    pub fn rnn_latency(&self, app: AppId, rng: &mut SmallRng) -> SimDuration {
+    pub fn rnn_latency(&self, app: impl Into<App>, rng: &mut SmallRng) -> SimDuration {
         SimDuration::from_millis_f64(lognormal_mean_cv(
             rng,
             self.rnn_mean_ms(app),
@@ -103,14 +90,16 @@ impl InferenceCostModel {
     /// Actions-per-minute the client can sustain: one action per CV+RNN
     /// inference (the paper reports 804 APM on average — faster than
     /// professional players' ~300).
-    pub fn max_apm(&self, app: AppId) -> f64 {
-        60_000.0 / (self.cv_mean_ms(app) + self.rnn_mean_ms(app))
+    pub fn max_apm(&self, app: impl Into<App>) -> f64 {
+        let app: App = app.into();
+        60_000.0 / (self.cv_mean_ms(&app) + self.rnn_mean_ms(&app))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pictor_apps::AppId;
 
     fn model() -> InferenceCostModel {
         InferenceCostModel::new(ClientSpec::paper_client())

@@ -8,7 +8,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use pictor_apps::{Action, AppId};
+use pictor_apps::{Action, App};
 use pictor_gfx::Frame;
 use pictor_hw::ClientSpec;
 use pictor_ml::Scratch;
@@ -78,11 +78,11 @@ impl IcTrainConfig {
 ///
 /// let ic = IntelligentClient::train(AppId::RedEclipse, &SeedTree::new(1),
 ///                                   IcTrainConfig::fast());
-/// assert_eq!(ic.app(), AppId::RedEclipse);
+/// assert_eq!(*ic.app(), AppId::RedEclipse);
 /// ```
 #[derive(Debug, Clone)]
 pub struct IntelligentClient {
-    app: AppId,
+    app: App,
     vision: VisionModel,
     agent: AgentModel,
     cost: InferenceCostModel,
@@ -94,7 +94,7 @@ pub struct IntelligentClient {
 impl IntelligentClient {
     /// Records a human session and trains both models (paper §3.1's full
     /// training flow).
-    pub fn train(app: AppId, seeds: &SeedTree, config: IcTrainConfig) -> Self {
+    pub fn train(app: impl Into<App>, seeds: &SeedTree, config: IcTrainConfig) -> Self {
         let session = record_session(app, seeds, config.record_frames, config.record_fps);
         Self::train_on(&session, seeds, config)
     }
@@ -115,7 +115,7 @@ impl IntelligentClient {
         };
         let agent = AgentModel::train(session, &detections, config.agent, &mut train_rng);
         IntelligentClient {
-            app: session.app,
+            app: session.app.clone(),
             vision,
             agent,
             cost: InferenceCostModel::new(ClientSpec::paper_client()),
@@ -124,9 +124,9 @@ impl IntelligentClient {
         }
     }
 
-    /// The benchmark this client plays.
-    pub fn app(&self) -> AppId {
-        self.app
+    /// The application this client plays.
+    pub fn app(&self) -> &App {
+        &self.app
     }
 
     /// The trained vision model.
@@ -155,8 +155,8 @@ impl IntelligentClient {
     pub fn decide(&mut self, frame: &Frame) -> (Action, SimDuration, SimDuration) {
         let detections = self.vision.detect(frame, &mut self.ws);
         let action = self.agent.decide(&detections, &mut self.rng, &mut self.ws);
-        let cv = self.cost.cv_latency(self.app, &mut self.rng);
-        let rnn = self.cost.rnn_latency(self.app, &mut self.rng);
+        let cv = self.cost.cv_latency(&self.app, &mut self.rng);
+        let rnn = self.cost.rnn_latency(&self.app, &mut self.rng);
         (action, cv, rnn)
     }
 }
@@ -164,7 +164,7 @@ impl IntelligentClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pictor_apps::World;
+    use pictor_apps::{AppId, World};
 
     #[test]
     fn end_to_end_training_and_play() {

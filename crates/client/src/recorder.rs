@@ -7,15 +7,15 @@
 //! the (simulated) manual labels for CNN training.
 
 use pictor_apps::world::DetectedObject;
-use pictor_apps::{Action, AppId, HumanPolicy, World};
+use pictor_apps::{Action, App, HumanPolicy, World};
 use pictor_gfx::Frame;
 use pictor_sim::SeedTree;
 
 /// One recorded human session.
 #[derive(Debug, Clone)]
 pub struct RecordedSession {
-    /// The benchmark played.
-    pub app: AppId,
+    /// The application played.
+    pub app: App,
     /// Displayed frames, in order.
     pub frames: Vec<Frame>,
     /// Ground-truth visible objects per frame (the manual labels).
@@ -65,10 +65,16 @@ impl RecordedSession {
 /// # Panics
 ///
 /// Panics if `fps` is not strictly positive.
-pub fn record_session(app: AppId, seeds: &SeedTree, frames: usize, fps: f64) -> RecordedSession {
+pub fn record_session(
+    app: impl Into<App>,
+    seeds: &SeedTree,
+    frames: usize,
+    fps: f64,
+) -> RecordedSession {
     assert!(fps > 0.0, "fps must be positive: {fps}");
-    let mut world = World::new(app, seeds.stream("record-world"));
-    let mut human = HumanPolicy::new(app, seeds.stream("record-human"));
+    let app: App = app.into();
+    let mut world = World::new(&app, seeds.stream("record-world"));
+    let mut human = HumanPolicy::new(&app, seeds.stream("record-human"));
     let dt = 1.0 / fps;
     let mut session = RecordedSession {
         app,
@@ -93,7 +99,7 @@ pub fn record_session(app: AppId, seeds: &SeedTree, frames: usize, fps: f64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pictor_apps::ActionClass;
+    use pictor_apps::{ActionClass, AppId};
 
     #[test]
     fn records_requested_length() {

@@ -17,7 +17,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use pictor_apps::world::DetectedObject;
-use pictor_apps::{AppId, WorldParams};
+use pictor_apps::App;
 use pictor_gfx::frame::{SIM_HEIGHT, SIM_WIDTH};
 use pictor_gfx::Frame;
 use pictor_ml::dense::Activation;
@@ -63,7 +63,7 @@ impl Default for VisionConfig {
 /// A trained per-application vision model.
 #[derive(Debug, Clone)]
 pub struct VisionModel {
-    app: AppId,
+    app: App,
     classes: Vec<u8>,
     conv: Conv2d,
     pool: MaxPool2,
@@ -114,7 +114,7 @@ impl VisionModel {
     /// Panics if the session is empty.
     pub fn train(session: &RecordedSession, config: VisionConfig, rng: &mut SmallRng) -> Self {
         assert!(!session.is_empty(), "cannot train on an empty session");
-        let classes = WorldParams::for_app(session.app).classes;
+        let classes = session.app.world.classes.clone();
         let n_out = classes.len() + 1; // + background
 
         // Label each cell of each frame: cells whose center falls inside an
@@ -251,7 +251,7 @@ impl VisionModel {
         }
         let train_accuracy = correct as f64 / samples.len().max(1) as f64;
         VisionModel {
-            app: session.app,
+            app: session.app.clone(),
             classes,
             conv,
             pool,
@@ -287,8 +287,8 @@ impl VisionModel {
     }
 
     /// The benchmark this model was trained for.
-    pub fn app(&self) -> AppId {
-        self.app
+    pub fn app(&self) -> &App {
+        &self.app
     }
 
     /// Accuracy on the (balanced) training set.
@@ -367,6 +367,7 @@ impl VisionModel {
 mod tests {
     use super::*;
     use crate::recorder::record_session;
+    use pictor_apps::AppId;
     use pictor_sim::SeedTree;
     use rand::SeedableRng;
 
@@ -453,7 +454,7 @@ mod tests {
     #[should_panic(expected = "empty session")]
     fn empty_session_panics() {
         let session = RecordedSession {
-            app: AppId::RedEclipse,
+            app: AppId::RedEclipse.into(),
             frames: vec![],
             truths: vec![],
             actions: vec![],

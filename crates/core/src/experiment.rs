@@ -6,7 +6,7 @@
 //! session; the simulation reaches steady state in seconds), measure a
 //! window, then reduce records + reports into [`InstanceMetrics`].
 
-use pictor_apps::AppId;
+use pictor_apps::App;
 use pictor_render::driver::ClientDriver;
 use pictor_render::records::Record;
 use pictor_render::{CloudSystem, SystemConfig};
@@ -16,12 +16,12 @@ use crate::metrics::InstanceMetrics;
 use crate::tracker::{InputTracker, InstanceTrack};
 
 /// Builds a driver for instance `index` running `app`.
-pub type DriverFactory<'a> = dyn FnMut(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + 'a;
+pub type DriverFactory<'a> = dyn FnMut(usize, &App, &SeedTree) -> Box<dyn ClientDriver> + 'a;
 
 /// An experiment: apps, system configuration, timing.
 pub struct ExperimentSpec<'a> {
     /// One entry per co-located instance.
-    pub apps: Vec<AppId>,
+    pub apps: Vec<App>,
     /// System under test.
     pub config: SystemConfig,
     /// Master seed.
@@ -38,8 +38,13 @@ pub struct ExperimentSpec<'a> {
 }
 
 impl<'a> ExperimentSpec<'a> {
-    /// A spec with human drivers — the most common case.
-    pub fn with_humans(apps: Vec<AppId>, config: SystemConfig, seed: u64) -> Self {
+    /// A spec with human drivers — the most common case. Apps can be given
+    /// as [`App`] handles or as [`AppId`](pictor_apps::AppId) builtins.
+    pub fn with_humans(
+        apps: impl IntoIterator<Item = impl Into<App>>,
+        config: SystemConfig,
+        seed: u64,
+    ) -> Self {
         ExperimentSpec::with_drivers(
             apps,
             config,
@@ -50,13 +55,13 @@ impl<'a> ExperimentSpec<'a> {
 
     /// A spec with an arbitrary driver factory and the default timing.
     pub fn with_drivers(
-        apps: Vec<AppId>,
+        apps: impl IntoIterator<Item = impl Into<App>>,
         config: SystemConfig,
         seed: u64,
         drivers: Box<DriverFactory<'a>>,
     ) -> Self {
         ExperimentSpec {
-            apps,
+            apps: apps.into_iter().map(Into::into).collect(),
             config,
             seed,
             warmup: SimDuration::from_secs(3),
@@ -94,7 +99,7 @@ impl ExperimentResult {
 pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
     let seeds = SeedTree::new(spec.seed);
     let mut sys = CloudSystem::new(spec.config.clone(), seeds);
-    for (i, &app) in spec.apps.iter().enumerate() {
+    for (i, app) in spec.apps.iter().enumerate() {
         let inst_seeds = seeds.child(&format!("driver-{i}"));
         let driver = (spec.drivers)(i, app, &inst_seeds);
         sys.add_instance(app, driver);
@@ -126,6 +131,7 @@ pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pictor_apps::AppId;
     use pictor_render::records::Stage;
 
     #[test]

@@ -66,6 +66,6 @@ mod tests {
         let ms = r.latency.as_millis_f64();
         assert!((40.0..120.0).contains(&ms), "latency {ms}ms");
         assert_eq!(r.latency, r.busy);
-        assert_eq!(driver.client().app(), AppId::RedEclipse);
+        assert_eq!(*driver.client().app(), AppId::RedEclipse);
     }
 }

@@ -112,7 +112,7 @@ mod tests {
 
     fn fake_report(app_cpu: f64, gpu: f64) -> InstanceReport {
         InstanceReport {
-            app: AppId::Dota2,
+            app: AppId::Dota2.into(),
             server_fps: 40.0,
             client_fps: 35.0,
             frames_dropped: 0,

@@ -20,7 +20,7 @@ use std::ops::RangeInclusive;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use pictor_apps::AppId;
+use pictor_apps::App;
 use pictor_render::driver::ClientDriver;
 use pictor_render::records::Record;
 use pictor_render::SystemConfig;
@@ -32,7 +32,7 @@ use crate::report::{csv_field, json_escape, json_num, Table};
 
 /// Shared, thread-safe driver factory: builds the driver for instance
 /// `index` running `app`, seeded from the cell's tree.
-pub type DriverFn = Arc<dyn Fn(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync>;
+pub type DriverFn = Arc<dyn Fn(usize, &App, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync>;
 
 /// A pure transformation of the cell's [`SystemConfig`] (e.g. Slow-Motion
 /// delay injection).
@@ -135,7 +135,7 @@ impl Method {
     /// A methodology that runs the pipeline with drivers from `factory`.
     pub fn drivers<F>(label: &str, factory: F) -> Self
     where
-        F: Fn(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync + 'static,
+        F: Fn(usize, &App, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync + 'static,
     {
         Method {
             label: label.into(),
@@ -150,7 +150,7 @@ impl Method {
     /// configuration (e.g. Slow-Motion delay injection).
     pub fn drivers_with_config<F, C>(label: &str, factory: F, config_map: C) -> Self
     where
-        F: Fn(usize, AppId, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync + 'static,
+        F: Fn(usize, &App, &SeedTree) -> Box<dyn ClientDriver> + Send + Sync + 'static,
         C: Fn(&SystemConfig) -> SystemConfig + Send + Sync + 'static,
     {
         Method {
@@ -196,7 +196,7 @@ pub struct Scenario {
     /// Method axis label.
     pub method: String,
     /// Co-located apps, one per instance.
-    pub apps: Vec<AppId>,
+    pub apps: Vec<App>,
     /// Fully resolved configuration (network profile and method config map
     /// applied).
     pub config: SystemConfig,
@@ -283,7 +283,7 @@ pub struct ScenarioGrid {
     seed: u64,
     warmup: SimDuration,
     duration: SimDuration,
-    workloads: Vec<(String, Vec<AppId>)>,
+    workloads: Vec<(String, Vec<App>)>,
     configs: Vec<(String, SystemConfig)>,
     networks: Vec<NetProfile>,
     methods: Vec<Method>,
@@ -331,30 +331,42 @@ impl ScenarioGrid {
         self
     }
 
-    /// Adds a named workload (one app per co-located instance).
-    pub fn workload(mut self, label: &str, apps: Vec<AppId>) -> Self {
-        self.workloads.push((label.into(), apps));
+    /// Adds a named workload (one app per co-located instance). Apps can
+    /// be [`App`] handles or [`AppId`](pictor_apps::AppId) builtins.
+    pub fn workload(mut self, label: &str, apps: Vec<impl Into<App>>) -> Self {
+        self.workloads
+            .push((label.into(), apps.into_iter().map(Into::into).collect()));
         self
     }
 
     /// Adds a solo workload labelled with the app's code.
-    pub fn solo(self, app: AppId) -> Self {
-        self.workload(app.code(), vec![app])
+    pub fn solo(self, app: impl Into<App>) -> Self {
+        let app: App = app.into();
+        let label = app.code.clone();
+        self.workload(&label, vec![app])
     }
 
     /// Adds a solo workload per app.
-    pub fn solos(mut self, apps: impl IntoIterator<Item = AppId>) -> Self {
+    pub fn solos(mut self, apps: impl IntoIterator<Item = impl Into<App>>) -> Self {
         for app in apps {
             self = self.solo(app);
         }
         self
     }
 
+    /// Adds one solo workload per spec, labelled by code — the spec-native
+    /// name for [`ScenarioGrid::solos`], reading naturally for registry
+    /// contents or generated families: `grid.workload_specs(registry.apps())`.
+    pub fn workload_specs(self, apps: impl IntoIterator<Item = App>) -> Self {
+        self.solos(apps)
+    }
+
     /// Adds `app × n` workloads for every count in `counts` — the paper's
     /// homogeneous co-location sweeps (`STKx1` … `STKx4`).
-    pub fn scaling(mut self, app: AppId, counts: RangeInclusive<usize>) -> Self {
+    pub fn scaling(mut self, app: impl Into<App>, counts: RangeInclusive<usize>) -> Self {
+        let app: App = app.into();
         for n in counts {
-            self = self.workload(&format!("{}x{n}", app.code()), vec![app; n]);
+            self = self.workload(&format!("{}x{n}", app.code()), vec![app.clone(); n]);
         }
         self
     }
@@ -895,6 +907,7 @@ fn instance_fields(m: &InstanceMetrics) -> Vec<(&'static str, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pictor_apps::AppId;
 
     fn tiny_grid() -> ScenarioGrid {
         ScenarioGrid::new("unit", 7)

@@ -10,7 +10,7 @@
 use rand::rngs::SmallRng;
 
 use pictor_apps::world::DetectedObject;
-use pictor_apps::{Action, AppId, HumanPolicy};
+use pictor_apps::{Action, App, HumanPolicy};
 use pictor_gfx::Frame;
 use pictor_sim::rng::lognormal_mean_cv;
 use pictor_sim::{SeedTree, SimDuration};
@@ -67,7 +67,7 @@ impl HumanDriver {
     /// `seeds`. All call sites must share these stream names — a divergent
     /// copy would silently split the human reference from the baselines
     /// compared against it.
-    pub fn from_seeds(app: AppId, seeds: &SeedTree) -> Self {
+    pub fn from_seeds(app: impl Into<App>, seeds: &SeedTree) -> Self {
         HumanDriver::new(
             HumanPolicy::new(app, seeds.stream("human-policy")),
             seeds.stream("human-attention"),
@@ -130,6 +130,6 @@ mod tests {
             "latency {mean_latency}ms"
         );
         assert!((50.0..110.0).contains(&mean_busy), "busy {mean_busy}ms");
-        assert_eq!(driver.policy().app(), AppId::RedEclipse);
+        assert_eq!(*driver.policy().app(), AppId::RedEclipse);
     }
 }

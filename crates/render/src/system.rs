@@ -28,7 +28,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use rand::rngs::SmallRng;
 
 use pictor_apps::world::DetectedObject;
-use pictor_apps::{Action, AppId, AppProfile, World};
+use pictor_apps::{Action, App, AppProfile, World};
 use pictor_gfx::{embed_tag, extract_tag, restore_pixels, Frame, SavedPixels, Tag};
 use pictor_hw::{Cpu, Direction, Gpu, OwnerId, Pcie};
 use pictor_net::Link;
@@ -158,7 +158,7 @@ struct FrameData {
 }
 
 struct Instance {
-    app: AppId,
+    app: App,
     profile: AppProfile,
     ctn: ContentionState,
     world: World,
@@ -203,8 +203,8 @@ struct Instance {
 /// Per-instance results of a run window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstanceReport {
-    /// The benchmark.
-    pub app: AppId,
+    /// The application.
+    pub app: App,
     /// Frames fully produced at the server per second.
     pub server_fps: f64,
     /// Frames displayed at the client per second.
@@ -297,17 +297,19 @@ impl CloudSystem {
         }
     }
 
-    /// Adds a benchmark instance with its client driver. Must be called
-    /// before [`CloudSystem::start`].
+    /// Adds an application instance with its client driver: any [`App`]
+    /// handle, or an [`AppId`](pictor_apps::AppId) for a built-in title.
+    /// Must be called before [`CloudSystem::start`].
     ///
     /// # Panics
     ///
     /// Panics after `start`, or if the GPU cannot fit the app's memory.
-    pub fn add_instance(&mut self, app: AppId, driver: Box<dyn ClientDriver>) -> usize {
+    pub fn add_instance(&mut self, app: impl Into<App>, driver: Box<dyn ClientDriver>) -> usize {
         assert!(!self.started, "cannot add instances after start");
+        let app: App = app.into();
         let id = self.instances.len();
         let inst_seeds = self.seeds.child(&format!("instance-{id}"));
-        let profile = AppProfile::for_app(app);
+        let profile = app.profile.clone();
         assert!(
             self.gpu.allocate(id as u64, profile.gpu_memory_mib),
             "GPU memory exhausted adding {app}"
@@ -327,6 +329,7 @@ impl CloudSystem {
         self.up_msgs.push(HashMap::new());
         self.down_msgs.push(HashMap::new());
         self.ev_links.push([None, None, None, None]);
+        let world = World::new(&app, inst_seeds.stream("world"));
         self.instances.push(Instance {
             app,
             profile,
@@ -341,7 +344,7 @@ impl CloudSystem {
                 gpu_l2_miss_rate: 0.0,
                 texture_miss_rate: 0.0,
             },
-            world: World::new(app, inst_seeds.stream("world")),
+            world,
             driver,
             rng: inst_seeds.stream("pipeline"),
             ipc_mult: 1.0,
@@ -510,7 +513,7 @@ impl CloudSystem {
             let inst = &self.instances[i];
             let down_bw = self.links_down[i].average_bandwidth(now); // bytes/ns = GB/s
             out.push(InstanceReport {
-                app: inst.app,
+                app: inst.app.clone(),
                 server_fps: inst.frames_produced as f64 / span_s.max(1e-9),
                 client_fps: inst.frames_displayed as f64 / span_s.max(1e-9),
                 frames_dropped: inst.frames_dropped,
@@ -1360,7 +1363,7 @@ mod tests {
     use super::*;
     use crate::config::{MeasurementConfig, StageTuning};
     use crate::driver::HumanDriver;
-    use pictor_apps::HumanPolicy;
+    use pictor_apps::{AppId, HumanPolicy};
 
     fn human(app: AppId, seeds: &SeedTree) -> Box<dyn ClientDriver> {
         Box::new(HumanDriver::new(

@@ -8,7 +8,8 @@
 //! * [`hw`] — CPU/GPU/PCIe/cache/PMU/power hardware models.
 //! * [`net`] — network links and PTP-style clock sync.
 //! * [`gfx`] — frames, X11/OpenGL API surface, interposer, compression.
-//! * [`apps`] — the six-benchmark suite and the human reference policy.
+//! * [`apps`] — the application layer: `AppSpec` registry, the six built-in
+//!   titles, synthetic workload generators, human reference policy.
 //! * [`ml`] — the minimal neural-network library (Dense/Conv/LSTM).
 //! * [`client`] — the intelligent client (CNN vision + LSTM agent).
 //! * [`render`] — the cloud rendering system (proxies, pipeline, optimizations).

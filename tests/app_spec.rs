@@ -1,0 +1,82 @@
+//! Compat pin for the `AppSpec` redesign: the six built-in specs must stay
+//! field-for-field identical to the seed `for_app` tables, and `AppId` must
+//! round-trip through the registry. Together with `tests/golden_figures.rs`
+//! (which must pass unchanged, no `PICTOR_BLESS`), this locks the open
+//! `App` surface to the closed-enum behavior it replaced.
+
+use pictor::apps::{
+    AppId, AppProfile, AppRegistry, AppSpec, ClientHints, HumanParams, RegistryError, WorldParams,
+};
+
+/// Every built-in spec carries exactly the seed tables.
+#[test]
+fn builtin_specs_match_seed_tables_field_for_field() {
+    for id in AppId::ALL {
+        let spec = id.spec();
+        assert_eq!(spec.profile, AppProfile::for_app(id), "{id}: profile");
+        assert_eq!(spec.world, WorldParams::for_app(id), "{id}: world");
+        assert_eq!(spec.human, HumanParams::for_app(id), "{id}: human");
+        assert_eq!(spec.client, ClientHints::for_app(id), "{id}: client");
+        assert_eq!(spec.code(), id.code());
+        assert_eq!(spec.name(), id.name());
+        assert_eq!(spec.area(), id.area());
+        assert_eq!(spec.closed_source, id.closed_source());
+        assert_eq!(spec.is_vr(), id.is_vr());
+    }
+}
+
+/// Spot-pins of literal seed values, so a simultaneous drift of a table and
+/// its spec cannot slip through the structural comparison above.
+#[test]
+fn seed_table_values_are_pinned() {
+    let stk = AppId::SuperTuxKart.spec();
+    assert_eq!(stk.profile.al_base_ms, 6.0);
+    assert_eq!(stk.profile.upload_bytes_per_frame, 2_500_000);
+    assert_eq!(stk.world.camera_speed, 0.35);
+    let d2 = AppId::Dota2.spec();
+    assert_eq!(d2.profile.memory_mib, 600);
+    assert_eq!(d2.profile.background_threads, 2);
+    assert_eq!(d2.human.reaction_mean_ms, 300.0);
+    assert_eq!(d2.client.cv_windows, 4.39);
+    let im = AppId::InMind.spec();
+    assert_eq!(im.profile.gpu_l2_base_miss, 0.58);
+    assert_eq!(im.world.look_pan, 0.25);
+    assert_eq!(im.world.move_steer, 0.0);
+    let zad = AppId::ZeroAd.spec();
+    assert_eq!(zad.profile.al_base_ms, 26.0);
+    assert_eq!(zad.client.rnn_scale, 1.18);
+}
+
+/// `AppId::ALL` round-trips through a builtin registry: same handles, same
+/// order, lookup by code recovers the id.
+#[test]
+fn appid_round_trips_through_registry() {
+    let reg = AppRegistry::with_builtins();
+    assert_eq!(reg.len(), AppId::ALL.len());
+    for (i, id) in AppId::ALL.into_iter().enumerate() {
+        let app = reg.get(id.code()).expect("builtin registered");
+        assert_eq!(app, id, "{id}: registry handle matches builtin");
+        assert_eq!(app, id.spec());
+        assert_eq!(reg.apps()[i], app, "registration preserves ALL order");
+        assert_eq!(AppId::from_code(app.code()), Some(id));
+    }
+}
+
+/// Registry hygiene: a code collision is an error, not a silent merge
+/// (suite cells are named by code).
+#[test]
+fn registry_rejects_duplicate_codes() {
+    let reg = AppRegistry::with_builtins();
+    for id in AppId::ALL {
+        let err = reg.register(AppSpec::builtin(id)).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateCode(id.code().to_string()));
+    }
+    // A colliding custom spec is rejected the same way.
+    let mut custom = AppSpec::builtin(AppId::Dota2);
+    custom.name = "Impostor".into();
+    assert!(matches!(
+        reg.register(custom).unwrap_err(),
+        RegistryError::DuplicateCode(_)
+    ));
+    assert_eq!(reg.len(), AppId::ALL.len(), "rejections must not mutate");
+}

@@ -1,0 +1,142 @@
+//! Property tests over generated synthetic applications: any spec the
+//! generator emits is valid, simulates at the world level, and (for a
+//! budget-bounded sample of cases — full pipeline runs are expensive in
+//! debug builds) drives a 1 s experiment to finite, nonzero FPS with a
+//! finite RTT distribution and byte-identical 1-thread-vs-2-thread suite
+//! output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use pictor::apps::{App, AppId, HumanPolicy, SyntheticApp, World};
+use pictor::core::{run_experiment, ExperimentSpec, ScenarioGrid};
+use pictor::render::SystemConfig;
+use pictor::sim::{SeedTree, SimDuration};
+
+/// Full-pipeline budget: the first N generated cases also run experiments
+/// and the thread-determinism check (3 pipeline runs each); every case gets
+/// the cheap validity + world-simulation assertions.
+const PIPELINE_BUDGET: usize = 4;
+
+static PIPELINE_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+fn one_second_metrics(app: &App, seed: u64) -> (f64, f64, f64, usize) {
+    let result = run_experiment(ExperimentSpec {
+        warmup: SimDuration::from_secs(3),
+        duration: SimDuration::from_secs(1),
+        ..ExperimentSpec::with_humans(vec![app.clone()], SystemConfig::turbovnc_stock(), seed)
+    });
+    let m = result.solo();
+    (
+        m.report.server_fps,
+        m.report.client_fps,
+        m.rtt.mean,
+        m.tracked_inputs,
+    )
+}
+
+proptest! {
+    /// Any generated spec validates, reproduces deterministically, and its
+    /// world + human policy simulate sensibly.
+    #[test]
+    fn generated_specs_are_valid_and_simulate(seed in 0u64..1_000_000) {
+        let seeds = SeedTree::new(seed);
+        let spec = SyntheticApp::generate("PROP", &seeds);
+        prop_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+        prop_assert_eq!(&spec, &SyntheticApp::generate("PROP", &seeds));
+        let app = App::from(spec);
+
+        // World-level simulation: objects spawn under the cap, frames render
+        // and differ over time, the human policy issues bounded inputs.
+        let mut world = World::new(&app, seeds.stream("w"));
+        let mut human = HumanPolicy::new(&app, seeds.stream("h"));
+        let mut last = None;
+        for _ in 0..120 {
+            world.advance(1.0 / 30.0);
+            let frame = world.render();
+            if let Some(prev) = last.replace(frame.clone()) {
+                prop_assert!(frame.diff_fraction(&prev) > 0.0, "static frames");
+            }
+            let action = human.decide(&world.ground_truth());
+            world.apply(&action);
+            prop_assert!(world.population() <= app.world.max_objects);
+            let delay = human.reaction_delay().as_millis_f64();
+            prop_assert!(delay.is_finite() && delay >= 40.0);
+        }
+        prop_assert!(world.stats().spawned > 0, "nothing ever spawned in 4 s");
+
+        // Budget-bounded full pipeline: a 1 s experiment plus the suite
+        // determinism contract.
+        if PIPELINE_RUNS.fetch_add(1, Ordering::Relaxed) < PIPELINE_BUDGET {
+            let (server_fps, client_fps, rtt_mean, tracked) = one_second_metrics(&app, seed);
+            prop_assert!(
+                server_fps.is_finite() && server_fps > 0.0,
+                "server fps {server_fps}"
+            );
+            prop_assert!(
+                client_fps.is_finite() && client_fps > 0.0,
+                "client fps {client_fps}"
+            );
+            prop_assert!(rtt_mean.is_finite(), "rtt {rtt_mean}");
+            if tracked > 0 {
+                prop_assert!(rtt_mean > 0.0, "tracked {tracked} inputs but zero RTT");
+            }
+
+            let grid = || {
+                ScenarioGrid::new("synthetic-prop", seed)
+                    .warmup(SimDuration::from_secs(1))
+                    .duration_secs(1)
+                    .solo(app.clone())
+            };
+            let one = grid().run_with_threads(1);
+            let two = grid().run_with_threads(2);
+            one.assert_finite();
+            prop_assert_eq!(one.to_json(), two.to_json(), "thread-count dependence");
+            prop_assert_eq!(one.to_csv(), two.to_csv());
+        }
+    }
+}
+
+/// A pinned generated spec completes the full nonzero-RTT contract: the
+/// proptest above can only require RTT > 0 when the 1 s window tracked an
+/// input (sparse-input apps legitimately track none), so one deterministic
+/// case locks the strong form end to end.
+#[test]
+fn pinned_generated_spec_tracks_inputs_with_nonzero_rtt() {
+    let app = App::from(SyntheticApp::generate("PIN", &SeedTree::new(2020)));
+    let (server_fps, client_fps, rtt_mean, tracked) = one_second_metrics(&app, 2020);
+    assert!(server_fps > 5.0, "server fps {server_fps}");
+    assert!(client_fps > 5.0, "client fps {client_fps}");
+    assert!(tracked > 0, "no tracked inputs");
+    assert!(
+        rtt_mean > 10.0 && rtt_mean < 500.0,
+        "implausible RTT {rtt_mean}"
+    );
+}
+
+/// Generated apps co-locate with builtins in one experiment.
+#[test]
+fn generated_app_co_locates_with_builtin() {
+    let app = App::from(SyntheticApp::generate("CO", &SeedTree::new(3)));
+    let result = run_experiment(ExperimentSpec {
+        warmup: SimDuration::from_secs(2),
+        duration: SimDuration::from_secs(2),
+        ..ExperimentSpec::with_humans(
+            vec![app.clone(), AppId::Dota2.spec()],
+            SystemConfig::turbovnc_stock(),
+            3,
+        )
+    });
+    assert_eq!(result.instances.len(), 2);
+    assert_eq!(result.instances[0].report.app, app);
+    assert_eq!(result.instances[1].report.app, AppId::Dota2);
+    for m in &result.instances {
+        assert!(
+            m.report.server_fps.is_finite() && m.report.server_fps > 0.0,
+            "{}: fps {}",
+            m.report.app,
+            m.report.server_fps
+        );
+    }
+}
