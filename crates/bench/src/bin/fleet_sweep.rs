@@ -1,0 +1,11 @@
+//! Fleet sweep: multi-server placement, session churn and tail-latency
+//! SLO metrics — the deployment layer above the paper's single server.
+
+use pictor_bench::figures::fleet;
+use pictor_bench::{banner, master_seed, measured_secs, run_fleet_suite};
+
+fn main() {
+    banner("Fleet sweep: size x arrival rate x placement policy");
+    let report = run_fleet_suite(fleet::grid(measured_secs(), master_seed()));
+    print!("{}", fleet::render(&report));
+}

@@ -1,0 +1,92 @@
+//! Fleet sweep: deployment-level metrics the single-server figures cannot
+//! show.
+//!
+//! A [`FleetGrid`] sweeps fleet size × arrival rate × placement policy over
+//! the paper's six titles: sessions arrive (Poisson open-loop plus a
+//! closed-loop population with think-time churn), a policy places or
+//! rejects them, and servers advance in parallel. The reduced report is
+//! what a capacity planner reads: utilization, rejection rate, tail
+//! FPS/RTT percentiles (p50/p95/p99) and SLO-violation rates.
+
+use pictor_apps::AppId;
+use pictor_core::fleet::{
+    ArrivalConfig, FirstFit, FleetGrid, FleetSuiteReport, InterferenceAware, LeastContended,
+    WorkloadMix,
+};
+use pictor_core::report::Table;
+
+/// The default mix: every paper title, uniformly.
+pub fn mix() -> WorkloadMix {
+    WorkloadMix::uniform(AppId::ALL)
+}
+
+/// The full sweep: {8, 16} servers × {moderate, saturating} arrivals ×
+/// {first-fit, least-contended, interference-aware} — 12 fleet cells.
+/// `secs` sets the fleet horizon (one 1 s measured epoch per second, min 2).
+pub fn grid(secs: u64, seed: u64) -> FleetGrid {
+    sized_grid(&[8, 16], secs, seed)
+}
+
+/// The sweep restricted to the given fleet sizes (the golden test pins the
+/// 8-server slice to keep tier-1 wall-clock in check).
+pub fn sized_grid(sizes: &[usize], secs: u64, seed: u64) -> FleetGrid {
+    let mut grid = FleetGrid::new("fleet_sweep", mix(), seed)
+        .epochs(secs.max(2))
+        .rate(ArrivalConfig::moderate())
+        .rate(ArrivalConfig::saturating())
+        .policy(FirstFit)
+        .policy(LeastContended)
+        .policy(InterferenceAware);
+    for &servers in sizes {
+        grid = grid.size(servers);
+    }
+    grid
+}
+
+/// Renders the sweep: the per-cell summary table plus a short read-out.
+pub fn render(report: &FleetSuiteReport) -> String {
+    let mut out = report.summary_table();
+    let mut detail = Table::new(
+        ["cell", "peak", "FPS p95", "RTT p95 ms", "RTT p99 ms"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for cell in report.cells() {
+        detail.row(vec![
+            format!("s{}/{}/{}", cell.servers, cell.arrivals, cell.policy),
+            cell.peak_sessions.to_string(),
+            format!("{:.1}", cell.fps.p95()),
+            format!("{:.1}", cell.rtt.p95()),
+            format!("{:.1}", cell.rtt.p99()),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&detail.render());
+    out.push_str(
+        "Deployment-level view: utilization and rejection come from the \
+         placement/admission layer, tails and SLO violations from measured \
+         per-epoch windows on every server.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_the_advertised_axes() {
+        let grid = grid(2, 2020);
+        assert_eq!(grid.len(), 12, "2 sizes x 2 rates x 3 policies");
+        assert_eq!(grid.name(), "fleet_sweep");
+    }
+
+    #[test]
+    fn small_slice_runs_and_renders() {
+        let report = sized_grid(&[2], 2, 7).run_with_threads(2);
+        report.assert_finite();
+        let out = render(&report);
+        assert!(out.contains("s2/moderate/first-fit"), "{out}");
+        assert!(out.contains("interference-aware"), "{out}");
+    }
+}

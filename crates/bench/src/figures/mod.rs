@@ -20,6 +20,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig22;
+pub mod fleet;
 pub mod methods;
 pub mod overhead;
 pub mod synth;

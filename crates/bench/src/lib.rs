@@ -20,7 +20,7 @@ pub mod figures;
 pub mod fixtures;
 
 use pictor_core::suite::default_threads;
-use pictor_core::{ScenarioGrid, SuiteReport};
+use pictor_core::{FleetGrid, FleetSuiteReport, ScenarioGrid, SuiteReport};
 
 /// Measured window length per experiment.
 pub fn measured_secs() -> u64 {
@@ -59,18 +59,40 @@ pub fn banner(title: &str) {
 /// fails.
 pub fn run_suite(grid: ScenarioGrid) -> SuiteReport {
     let report = grid.run();
-    if let Ok(dir) = std::env::var("PICTOR_REPORT_DIR") {
-        let dir = std::path::Path::new(&dir);
-        std::fs::create_dir_all(dir).expect("create PICTOR_REPORT_DIR");
-        let write = |ext: &str, body: String| {
-            let path = dir.join(format!("{}.{ext}", report.name()));
-            std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
-        };
-        write("json", report.to_json());
-        write("csv", report.to_csv());
-    }
+    export_report(report.name(), || report.to_json(), || report.to_csv());
     report.assert_finite();
     report
+}
+
+/// Fleet-grid counterpart of [`run_suite`]: runs the grid, exports the
+/// unified report when `PICTOR_REPORT_DIR` is set, and fails hard on any
+/// non-finite metric.
+///
+/// # Panics
+///
+/// Panics if the report contains NaN/infinite metrics or an export write
+/// fails.
+pub fn run_fleet_suite(grid: FleetGrid) -> FleetSuiteReport {
+    let report = grid.run();
+    export_report(report.name(), || report.to_json(), || report.to_csv());
+    report.assert_finite();
+    report
+}
+
+/// Writes `<dir>/<name>.{json,csv}` when `PICTOR_REPORT_DIR` is set; the
+/// emitters are closures so reports are only serialized when exporting.
+fn export_report(name: &str, json: impl FnOnce() -> String, csv: impl FnOnce() -> String) {
+    let Ok(dir) = std::env::var("PICTOR_REPORT_DIR") else {
+        return;
+    };
+    let dir = std::path::Path::new(&dir);
+    std::fs::create_dir_all(dir).expect("create PICTOR_REPORT_DIR");
+    let write = |ext: &str, body: String| {
+        let path = dir.join(format!("{name}.{ext}"));
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    };
+    write("json", json());
+    write("csv", csv());
 }
 
 #[cfg(test)]

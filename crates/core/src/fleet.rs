@@ -1,0 +1,1498 @@
+//! Fleet-scale cloud simulation: many [`CloudSystem`] servers behind a
+//! placement/admission layer, with session churn and tail-latency SLO
+//! accounting.
+//!
+//! The paper benchmarks co-located instances on a *single* server; the next
+//! layer up is a deployment. A [`FleetSpec`] composes `N` servers, a session
+//! [`ArrivalConfig`] (Poisson open-loop arrivals plus a closed-loop client
+//! population with think-time churn), a pluggable [`PlacementPolicy`], and
+//! an [`SloSpec`]; [`FleetSpec::run`] produces a [`FleetReport`] with
+//! utilization, rejection rate, streaming tail FPS/RTT percentiles
+//! ([`TailQuantiles`]) and SLO-violation accounting.
+//!
+//! # Execution model
+//!
+//! Fleet time is divided into fixed **epochs**. Phase 1 replays the arrival
+//! process deterministically in a single thread: every session request is
+//! quantized to whole epochs, offered to the placement policy against pure
+//! bookkeeping snapshots ([`ServerLoad`]), and either admitted (occupying
+//! its server for its whole span) or rejected (open-loop sessions are lost;
+//! closed-loop clients retry after a think time). Phase 2 carves every
+//! server's occupancy timeline into maximal intervals with an unchanged
+//! session set and simulates each interval as an independent [`CloudSystem`]
+//! (warm-up, then one counter window per epoch via
+//! `reset_accounting`/`drain_records`, with RTTs tracked across the whole
+//! interval so epoch boundaries don't censor slow inputs), **in parallel
+//! across OS threads**. Phase 3 reduces the per-interval results in
+//! (server, epoch) order.
+//!
+//! Determinism follows the suite runner's discipline: interval seeds derive
+//! from *names* (`server-{s}/e{epoch}`), never from thread identity, and
+//! reduction order is fixed — running a fleet with 1 thread or N threads
+//! emits byte-identical reports (`tests/fleet_determinism.rs` locks this
+//! in).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use pictor_apps::App;
+use pictor_render::contention::contention_states;
+use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
+use pictor_sim::rng::{exponential, lognormal_mean_cv};
+use pictor_sim::{SeedTree, SimDuration, TailQuantiles};
+
+use crate::report::{csv_field, json_escape, json_num, Table};
+use crate::suite::default_threads;
+use crate::tracker::InputTracker;
+
+// ---------------------------------------------------------------------------
+// workload mix
+// ---------------------------------------------------------------------------
+
+/// A weighted mixture of applications that arriving sessions request.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    entries: Vec<(App, f64)>,
+    total: f64,
+}
+
+impl WorkloadMix {
+    /// A uniform mix over `apps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn uniform(apps: impl IntoIterator<Item = impl Into<App>>) -> Self {
+        Self::weighted(apps.into_iter().map(|a| (a, 1.0)))
+    }
+
+    /// A mix with explicit per-app weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry has a positive finite weight.
+    pub fn weighted(entries: impl IntoIterator<Item = (impl Into<App>, f64)>) -> Self {
+        let entries: Vec<(App, f64)> = entries
+            .into_iter()
+            .map(|(app, w)| (app.into(), w))
+            .collect();
+        assert!(
+            entries.iter().all(|(_, w)| w.is_finite() && *w >= 0.0),
+            "mix weights must be finite and non-negative"
+        );
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "workload mix needs positive total weight");
+        WorkloadMix { entries, total }
+    }
+
+    /// The apps in the mix, in declaration order.
+    pub fn apps(&self) -> impl Iterator<Item = &App> {
+        self.entries.iter().map(|(app, _)| app)
+    }
+
+    /// Draws one app (one `f64` from the stream per call, so draw counts
+    /// stay deterministic).
+    fn sample(&self, rng: &mut SmallRng) -> App {
+        let mut x = rng.gen::<f64>() * self.total;
+        for (app, w) in &self.entries {
+            x -= w;
+            if x <= 0.0 {
+                return app.clone();
+            }
+        }
+        self.entries.last().expect("non-empty mix").0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// arrivals
+// ---------------------------------------------------------------------------
+
+/// Session arrival/churn model, per server (a fleet of `N` servers sees
+/// `N ×` these rates — load is declared as density so the same profile
+/// stresses an 8-server and an 80-server fleet equally).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalConfig {
+    /// Axis label (appears in cell names and reports).
+    pub label: String,
+    /// Open-loop Poisson arrival rate, sessions per second per server.
+    /// Rejected open-loop sessions are lost.
+    pub open_rate_per_sec: f64,
+    /// Closed-loop client population per server. Each client joins, plays a
+    /// session, thinks, and rejoins; a rejected client retries after a
+    /// think time.
+    pub closed_clients: usize,
+    /// Mean session duration, seconds (lognormal, cv 0.5).
+    pub mean_session_secs: f64,
+    /// Mean think time between closed-loop sessions, seconds (exponential).
+    pub mean_think_secs: f64,
+}
+
+impl ArrivalConfig {
+    /// Moderate load: a half-occupied fleet with steady churn.
+    pub fn moderate() -> Self {
+        ArrivalConfig {
+            label: "moderate".into(),
+            open_rate_per_sec: 0.05,
+            closed_clients: 2,
+            mean_session_secs: 8.0,
+            mean_think_secs: 4.0,
+        }
+    }
+
+    /// Saturating load: more demand than slots, forcing rejections.
+    pub fn saturating() -> Self {
+        ArrivalConfig {
+            label: "saturating".into(),
+            open_rate_per_sec: 0.25,
+            closed_clients: 6,
+            mean_session_secs: 10.0,
+            mean_think_secs: 2.0,
+        }
+    }
+
+    /// Renames the profile (labels key grid cells, so they must be unique
+    /// per grid axis).
+    pub fn labelled(mut self, label: &str) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// The duration/think sampling shared by open- and closed-loop arrivals.
+fn sample_session_secs(rng: &mut SmallRng, cfg: &ArrivalConfig) -> f64 {
+    lognormal_mean_cv(rng, cfg.mean_session_secs.max(1e-3), 0.5)
+}
+
+// ---------------------------------------------------------------------------
+// placement
+// ---------------------------------------------------------------------------
+
+/// Pure bookkeeping snapshot of one server at a placement decision: what a
+/// real cluster scheduler would know without touching the data plane.
+#[derive(Debug, Clone)]
+pub struct ServerLoad {
+    /// Server index within the fleet.
+    pub index: usize,
+    /// Whether the candidate session fits here for its *entire* span
+    /// (session slots and GPU memory, per epoch). Policies must only pick
+    /// servers that fit.
+    pub fits: bool,
+    /// Sessions resident in the candidate's start epoch.
+    pub sessions: usize,
+    /// Session slots per server.
+    pub slots: usize,
+    /// Free GPU memory in the start epoch, MiB.
+    pub gpu_free_mib: u64,
+    /// Sum of resident apps' CPU cache pressure.
+    pub cpu_pressure: f64,
+    /// Sum of resident apps' GPU cache pressure.
+    pub gpu_pressure: f64,
+    /// Apps resident in the start epoch, in session order.
+    pub apps: Vec<App>,
+}
+
+/// A placement policy: given the candidate session's app and per-server
+/// load snapshots, pick a server index (or `None` to reject).
+///
+/// Implementations must be deterministic pure functions of their inputs —
+/// fleet determinism rides on it.
+pub trait PlacementPolicy: Send + Sync {
+    /// The policy's axis label.
+    fn label(&self) -> &str;
+
+    /// Chooses a server for `app`, or `None` to reject the session. Only
+    /// servers with [`ServerLoad::fits`] may be returned; a non-fitting
+    /// choice is treated as a rejection.
+    fn place(&self, app: &App, servers: &[ServerLoad]) -> Option<usize>;
+}
+
+/// First-fit: the lowest-indexed server with room — the baseline any
+/// smarter policy must beat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn label(&self) -> &str {
+        "first-fit"
+    }
+
+    fn place(&self, _app: &App, servers: &[ServerLoad]) -> Option<usize> {
+        servers.iter().find(|s| s.fits).map(|s| s.index)
+    }
+}
+
+/// Least-contended: among fitting servers, the one whose resident apps
+/// exert the least combined CPU+GPU cache pressure (ties break to the
+/// lower index).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastContended;
+
+impl PlacementPolicy for LeastContended {
+    fn label(&self) -> &str {
+        "least-contended"
+    }
+
+    fn place(&self, _app: &App, servers: &[ServerLoad]) -> Option<usize> {
+        servers
+            .iter()
+            .filter(|s| s.fits)
+            .min_by(|a, b| {
+                let pa = a.cpu_pressure + a.gpu_pressure;
+                let pb = b.cpu_pressure + b.gpu_pressure;
+                pa.partial_cmp(&pb)
+                    .expect("finite pressure")
+                    .then(a.index.cmp(&b.index))
+            })
+            .map(|s| s.index)
+    }
+}
+
+/// Interference-aware: evaluates the *post-placement* contention state of
+/// every fitting server with the paper's cache model
+/// ([`contention_states`]) and picks the one where the resulting aggregate
+/// slowdown — summed over residents and the newcomer — is smallest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterferenceAware;
+
+impl PlacementPolicy for InterferenceAware {
+    fn label(&self) -> &str {
+        "interference-aware"
+    }
+
+    fn place(&self, app: &App, servers: &[ServerLoad]) -> Option<usize> {
+        let tuning = pictor_render::StageTuning::default();
+        servers
+            .iter()
+            .filter(|s| s.fits)
+            .map(|s| {
+                let profiles: Vec<_> = s
+                    .apps
+                    .iter()
+                    .chain(std::iter::once(app))
+                    .map(|a| &a.profile)
+                    .collect();
+                let mults = vec![1.0; profiles.len()];
+                let states = contention_states(&profiles, &tuning, &mults);
+                let cost: f64 = states
+                    .iter()
+                    .map(|st| (1.0 - st.app_speed) + (1.0 - st.vnc_speed))
+                    .sum();
+                (s.index, cost)
+            })
+            .min_by(|(ia, ca), (ib, cb)| ca.partial_cmp(cb).expect("finite cost").then(ia.cmp(ib)))
+            .map(|(i, _)| i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLO
+// ---------------------------------------------------------------------------
+
+/// Service-level objectives checked per session-epoch sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Per-input RTT ceiling, ms (every tracked RTT above it is a
+    /// violation).
+    pub max_rtt_ms: f64,
+    /// Per-session-epoch server-FPS floor.
+    pub min_fps: f64,
+}
+
+impl SloSpec {
+    /// Cloud-gaming interactivity targets: 120 ms RTT, 25 FPS.
+    pub fn interactive() -> Self {
+        SloSpec {
+            max_rtt_ms: 120.0,
+            min_fps: 25.0,
+        }
+    }
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        Self::interactive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fleet spec
+// ---------------------------------------------------------------------------
+
+/// A fleet experiment: servers, arrivals, placement, SLOs, timing.
+pub struct FleetSpec {
+    /// Number of servers.
+    pub servers: usize,
+    /// Session slots per server (the paper co-locates up to four
+    /// instances per machine).
+    pub slots_per_server: usize,
+    /// Per-server system configuration.
+    pub server_config: SystemConfig,
+    /// Arrival/churn model (rates are per server).
+    pub arrivals: ArrivalConfig,
+    /// What arriving sessions run.
+    pub mix: WorkloadMix,
+    /// Placement policy.
+    pub policy: Arc<dyn PlacementPolicy>,
+    /// Service-level objectives.
+    pub slo: SloSpec,
+    /// Epoch length (one measured window per epoch).
+    pub epoch: SimDuration,
+    /// Fleet horizon in epochs.
+    pub epochs: u64,
+    /// Warm-up simulated time at the start of every server interval.
+    pub warmup: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// A fleet with the experiment defaults: 4 slots/server, stock server
+    /// configuration, 1 s epochs, 20 epochs, 1 s warm-up, interactive SLOs.
+    pub fn new(
+        servers: usize,
+        mix: WorkloadMix,
+        policy: Arc<dyn PlacementPolicy>,
+        seed: u64,
+    ) -> Self {
+        FleetSpec {
+            servers,
+            slots_per_server: 4,
+            server_config: SystemConfig::turbovnc_stock(),
+            arrivals: ArrivalConfig::moderate(),
+            mix,
+            policy,
+            slo: SloSpec::interactive(),
+            epoch: SimDuration::from_secs(1),
+            epochs: 20,
+            warmup: SimDuration::from_secs(1),
+            seed,
+        }
+    }
+
+    /// Sets the arrival model.
+    pub fn arrivals(mut self, arrivals: ArrivalConfig) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the fleet horizon in epochs (one measured window each).
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the session slots per server.
+    pub fn slots_per_server(mut self, slots: usize) -> Self {
+        self.slots_per_server = slots;
+        self
+    }
+
+    /// Sets the SLO targets.
+    pub fn slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Runs the fleet on `PICTOR_THREADS` OS threads (default: available
+    /// parallelism).
+    pub fn run(&self) -> FleetReport {
+        self.run_with_threads(default_threads())
+    }
+
+    /// Runs the fleet on exactly `threads` OS threads. The report is
+    /// byte-identical for any `threads >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads`, `servers`, `slots_per_server`, `epochs` or the
+    /// epoch length is zero.
+    pub fn run_with_threads(&self, threads: usize) -> FleetReport {
+        assert!(threads > 0, "need at least one thread");
+        assert!(self.servers > 0, "fleet needs at least one server");
+        assert!(self.slots_per_server > 0, "need at least one slot");
+        assert!(self.epochs > 0, "fleet horizon must be positive");
+        assert!(!self.epoch.is_zero(), "epoch length must be positive");
+        let schedule = self.schedule_sessions();
+        self.execute(schedule, threads)
+    }
+
+    // -- phase 1: deterministic arrival replay + placement ----------------
+
+    fn schedule_sessions(&self) -> FleetSchedule {
+        let tree = SeedTree::new(self.seed);
+        let horizon_ns = self.epoch.as_nanos().saturating_mul(self.epochs);
+        let epoch_ns = self.epoch.as_nanos();
+        // Event heap ordered by (time, sequence): sequence numbers make the
+        // pop order total, so replay is deterministic.
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut payloads: Vec<Option<ArrivalEvent>> = Vec::new();
+        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                    payloads: &mut Vec<Option<ArrivalEvent>>,
+                    at: u64,
+                    ev: ArrivalEvent| {
+            let seq = payloads.len() as u64;
+            payloads.push(Some(ev));
+            heap.push(Reverse((at, seq)));
+        };
+        // Open-loop arrivals: one Poisson stream for the whole fleet at
+        // rate * servers, everything pre-drawn from a single named stream.
+        {
+            let mut rng = tree.stream("open-arrivals");
+            let rate = self.arrivals.open_rate_per_sec * self.servers as f64;
+            if rate > 0.0 {
+                let mean_gap_ns = 1e9 / rate;
+                let mut t = 0u64;
+                loop {
+                    t = t.saturating_add(exponential(&mut rng, mean_gap_ns).round() as u64);
+                    if t >= horizon_ns {
+                        break;
+                    }
+                    let app = self.mix.sample(&mut rng);
+                    let secs = sample_session_secs(&mut rng, &self.arrivals);
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        t,
+                        ArrivalEvent {
+                            app,
+                            duration_ns: (secs * 1e9).round() as u64,
+                            client: None,
+                        },
+                    );
+                }
+            }
+        }
+        // Closed-loop clients: each has a private named stream, so its
+        // draw sequence depends only on its own admission history.
+        let closed = self.arrivals.closed_clients * self.servers;
+        let mut client_rngs: Vec<SmallRng> = (0..closed)
+            .map(|c| tree.stream(&format!("client-{c}")))
+            .collect();
+        for (c, rng) in client_rngs.iter_mut().enumerate() {
+            // Staggered first join: a fraction of a think time in.
+            let at = (exponential(rng, self.arrivals.mean_think_secs.max(1e-3) * 1e9 / 2.0)).round()
+                as u64;
+            if at >= horizon_ns {
+                continue;
+            }
+            let app = self.mix.sample(rng);
+            let secs = sample_session_secs(rng, &self.arrivals);
+            push(
+                &mut heap,
+                &mut payloads,
+                at,
+                ArrivalEvent {
+                    app,
+                    duration_ns: (secs * 1e9).round() as u64,
+                    client: Some(c),
+                },
+            );
+        }
+
+        let mut sched = FleetSchedule::new(self.servers, self.epochs);
+        let gpu_capacity = self.server_config.server.gpu_memory_mib;
+        let mut next_session = 0u64;
+        while let Some(Reverse((at, seq))) = heap.pop() {
+            let ev = payloads[seq as usize].take().expect("single consumption");
+            // Quantize to whole epochs: the session occupies
+            // [start_epoch, end_epoch) and the data plane sees a stable
+            // per-epoch set.
+            let start_epoch = at.div_ceil(epoch_ns);
+            if start_epoch >= self.epochs {
+                continue;
+            }
+            let span = (ev.duration_ns as f64 / epoch_ns as f64).round().max(1.0) as u64;
+            let end_epoch = (start_epoch + span).min(self.epochs);
+            sched.offered += 1;
+            let loads = sched.loads(
+                &ev.app,
+                start_epoch,
+                end_epoch,
+                self.slots_per_server,
+                gpu_capacity,
+            );
+            let choice = self
+                .policy
+                .place(&ev.app, &loads)
+                .filter(|&s| s < self.servers && loads[s].fits);
+            match choice {
+                Some(server) => {
+                    let id = next_session;
+                    next_session += 1;
+                    sched.admit(Session {
+                        id,
+                        app: ev.app,
+                        server,
+                        start_epoch,
+                        end_epoch,
+                    });
+                    if let Some(c) = ev.client {
+                        // Churn: rejoin after the session ends plus a think
+                        // time.
+                        let rng = &mut client_rngs[c];
+                        let think = exponential(rng, self.arrivals.mean_think_secs.max(1e-3) * 1e9)
+                            .round() as u64;
+                        let rejoin = (end_epoch * epoch_ns).saturating_add(think);
+                        if rejoin < horizon_ns {
+                            let app = self.mix.sample(rng);
+                            let secs = sample_session_secs(rng, &self.arrivals);
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                rejoin,
+                                ArrivalEvent {
+                                    app,
+                                    duration_ns: (secs * 1e9).round() as u64,
+                                    client: Some(c),
+                                },
+                            );
+                        }
+                    }
+                }
+                None => {
+                    sched.rejected += 1;
+                    if let Some(c) = ev.client {
+                        // Closed-loop clients back off and retry with a
+                        // fresh request.
+                        let rng = &mut client_rngs[c];
+                        let think = exponential(rng, self.arrivals.mean_think_secs.max(1e-3) * 1e9)
+                            .round() as u64;
+                        let retry = at.saturating_add(think);
+                        if retry < horizon_ns {
+                            let app = self.mix.sample(rng);
+                            let secs = sample_session_secs(rng, &self.arrivals);
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                retry,
+                                ArrivalEvent {
+                                    app,
+                                    duration_ns: (secs * 1e9).round() as u64,
+                                    client: Some(c),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        sched
+    }
+
+    // -- phase 2/3: parallel server execution + ordered reduction ---------
+
+    fn execute(&self, sched: FleetSchedule, threads: usize) -> FleetReport {
+        let tree = SeedTree::new(self.seed);
+        // Carve every server's timeline into maximal intervals with an
+        // unchanged, non-empty session set; each interval is one
+        // independent job.
+        let mut jobs: Vec<IntervalJob> = Vec::new();
+        for server in 0..self.servers {
+            let mut epoch = 0u64;
+            while epoch < self.epochs {
+                let set = sched.sessions_at(server, epoch);
+                if set.is_empty() {
+                    epoch += 1;
+                    continue;
+                }
+                let mut end = epoch + 1;
+                while end < self.epochs && sched.sessions_at(server, end) == set {
+                    end += 1;
+                }
+                jobs.push(IntervalJob {
+                    server,
+                    start_epoch: epoch,
+                    end_epoch: end,
+                    sessions: set,
+                });
+                epoch = end;
+            }
+        }
+        // Jobs are generated server-major in epoch order, and run_pool
+        // returns results in job order, so the streams feeding the P²
+        // estimators are fixed regardless of thread count.
+        let results = crate::suite::run_pool(jobs.len(), threads, |j| {
+            run_interval(&jobs[j], &sched, self, &tree)
+        });
+
+        let mut fps = TailQuantiles::new();
+        let mut rtt = TailQuantiles::new();
+        let mut fps_violations = 0u64;
+        let mut rtt_violations = 0u64;
+        let mut session_epochs = 0u64;
+        let mut tracked_inputs = 0u64;
+        for result in &results {
+            for epoch_fps in &result.fps {
+                for &f in epoch_fps {
+                    session_epochs += 1;
+                    fps.record(f);
+                    if f < self.slo.min_fps {
+                        fps_violations += 1;
+                    }
+                }
+            }
+            for samples in &result.rtt_ms {
+                for &ms in samples {
+                    rtt.record(ms);
+                    if ms > self.slo.max_rtt_ms {
+                        rtt_violations += 1;
+                    }
+                }
+                tracked_inputs += samples.len() as u64;
+            }
+        }
+        let slot_epochs = (self.servers * self.slots_per_server) as u64 * self.epochs;
+        let occupied: u64 = sched.occupied_slot_epochs();
+        FleetReport {
+            servers: self.servers,
+            slots_per_server: self.slots_per_server,
+            epochs: self.epochs,
+            epoch: self.epoch,
+            policy: self.policy.label().to_string(),
+            arrivals: self.arrivals.label.clone(),
+            seed: self.seed,
+            offered: sched.offered,
+            admitted: sched.sessions.len() as u64,
+            rejected: sched.rejected,
+            peak_sessions: sched.peak_sessions(),
+            utilization: occupied as f64 / slot_epochs as f64,
+            session_epochs,
+            tracked_inputs,
+            fps,
+            rtt,
+            slo: self.slo,
+            fps_violations,
+            rtt_violations,
+        }
+    }
+}
+
+/// One pending arrival attempt in the phase-1 replay.
+struct ArrivalEvent {
+    app: App,
+    duration_ns: u64,
+    /// `Some(client)` for closed-loop sessions (they retry/rejoin).
+    client: Option<usize>,
+}
+
+/// An admitted session occupying one server for `[start_epoch, end_epoch)`.
+#[derive(Debug, Clone)]
+struct Session {
+    id: u64,
+    app: App,
+    server: usize,
+    start_epoch: u64,
+    end_epoch: u64,
+}
+
+/// Phase-1 output: admitted sessions plus admission bookkeeping.
+struct FleetSchedule {
+    sessions: Vec<Session>,
+    /// `occupancy[server][epoch]` = indices into `sessions`.
+    occupancy: Vec<Vec<Vec<usize>>>,
+    offered: u64,
+    rejected: u64,
+}
+
+impl FleetSchedule {
+    fn new(servers: usize, epochs: u64) -> Self {
+        FleetSchedule {
+            sessions: Vec::new(),
+            occupancy: vec![vec![Vec::new(); epochs as usize]; servers],
+            offered: 0,
+            rejected: 0,
+        }
+    }
+
+    fn admit(&mut self, session: Session) {
+        let idx = self.sessions.len();
+        for epoch in session.start_epoch..session.end_epoch {
+            self.occupancy[session.server][epoch as usize].push(idx);
+        }
+        self.sessions.push(session);
+    }
+
+    /// Session indices resident on `server` during `epoch`, in admission
+    /// order.
+    fn sessions_at(&self, server: usize, epoch: u64) -> Vec<usize> {
+        self.occupancy[server][epoch as usize].clone()
+    }
+
+    /// Load snapshots for a candidate spanning `[start, end)`.
+    fn loads(
+        &self,
+        app: &App,
+        start: u64,
+        end: u64,
+        slots: usize,
+        gpu_capacity_mib: u64,
+    ) -> Vec<ServerLoad> {
+        let need_mib = app.profile.gpu_memory_mib;
+        (0..self.occupancy.len())
+            .map(|server| {
+                let fits = (start..end).all(|epoch| {
+                    let resident = &self.occupancy[server][epoch as usize];
+                    let used_mib: u64 = resident
+                        .iter()
+                        .map(|&i| self.sessions[i].app.profile.gpu_memory_mib)
+                        .sum();
+                    resident.len() < slots && used_mib + need_mib <= gpu_capacity_mib
+                });
+                let resident = &self.occupancy[server][start as usize];
+                let apps: Vec<App> = resident
+                    .iter()
+                    .map(|&i| self.sessions[i].app.clone())
+                    .collect();
+                let used_mib: u64 = apps.iter().map(|a| a.profile.gpu_memory_mib).sum();
+                ServerLoad {
+                    index: server,
+                    fits,
+                    sessions: resident.len(),
+                    slots,
+                    gpu_free_mib: gpu_capacity_mib.saturating_sub(used_mib),
+                    cpu_pressure: apps.iter().map(|a| a.profile.cpu_pressure).sum(),
+                    gpu_pressure: apps.iter().map(|a| a.profile.gpu_pressure).sum(),
+                    apps,
+                }
+            })
+            .collect()
+    }
+
+    fn occupied_slot_epochs(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.end_epoch - s.start_epoch)
+            .sum()
+    }
+
+    fn peak_sessions(&self) -> usize {
+        let epochs = self.occupancy.first().map_or(0, Vec::len);
+        (0..epochs)
+            .map(|e| self.occupancy.iter().map(|srv| srv[e].len()).sum())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One (server, interval) simulation job.
+struct IntervalJob {
+    server: usize,
+    start_epoch: u64,
+    end_epoch: u64,
+    /// Indices into the schedule's session table, in admission order.
+    sessions: Vec<usize>,
+}
+
+/// Measurements of one server interval.
+struct IntervalResult {
+    /// `fps[e][s]`: server FPS of session `s` (instance order) during the
+    /// interval's `e`-th epoch.
+    fps: Vec<Vec<f64>>,
+    /// `rtt_ms[s]`: every RTT tracked for session `s` across the whole
+    /// interval, ms.
+    rtt_ms: Vec<Vec<f64>>,
+}
+
+/// Simulates one server interval: warm-up, then one counter window per
+/// epoch through `reset_accounting`/`drain_records`. Records accumulate
+/// across the interval and the input tracker runs once at its end, so an
+/// input sent late in one epoch and answered early in the next still
+/// contributes its RTT — tail latencies are censored only where the
+/// session set actually changes, not at every epoch boundary.
+fn run_interval(
+    job: &IntervalJob,
+    sched: &FleetSchedule,
+    spec: &FleetSpec,
+    tree: &SeedTree,
+) -> IntervalResult {
+    // Seeds derive from names so results are independent of execution
+    // order and thread identity.
+    let interval_seeds = tree.child(&format!("server-{}/e{}", job.server, job.start_epoch));
+    let mut sys = CloudSystem::new(spec.server_config.clone(), interval_seeds);
+    // Instance order: session id ascending — stable across policies and
+    // independent of occupancy bookkeeping internals.
+    let mut ids: Vec<usize> = job.sessions.clone();
+    ids.sort_by_key(|&i| sched.sessions[i].id);
+    for &i in &ids {
+        let session = &sched.sessions[i];
+        let seeds = interval_seeds.child(&format!("session-{}", session.id));
+        sys.add_instance(
+            &session.app,
+            Box::new(HumanDriver::from_seeds(&session.app, &seeds)),
+        );
+    }
+    sys.start();
+    sys.run_for(spec.warmup);
+    sys.reset_accounting();
+    let mut fps = Vec::with_capacity((job.end_epoch - job.start_epoch) as usize);
+    let mut records = Vec::new();
+    for _ in job.start_epoch..job.end_epoch {
+        sys.run_for(spec.epoch);
+        records.append(&mut sys.drain_records());
+        fps.push(sys.reports().iter().map(|r| r.server_fps).collect());
+        sys.reset_accounting();
+    }
+    let tracks = InputTracker::new().analyze(&records);
+    let rtt_ms = (0..ids.len())
+        .map(|i| {
+            tracks
+                .get(&(i as u32))
+                .map(|t| t.rtt_ms.samples().to_vec())
+                .unwrap_or_default()
+        })
+        .collect();
+    IntervalResult { fps, rtt_ms }
+}
+
+// ---------------------------------------------------------------------------
+// fleet report
+// ---------------------------------------------------------------------------
+
+/// The reduced outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Number of servers.
+    pub servers: usize,
+    /// Session slots per server.
+    pub slots_per_server: usize,
+    /// Fleet horizon in epochs.
+    pub epochs: u64,
+    /// Epoch length.
+    pub epoch: SimDuration,
+    /// Placement-policy label.
+    pub policy: String,
+    /// Arrival-profile label.
+    pub arrivals: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Placement attempts (open arrivals + closed joins/retries).
+    pub offered: u64,
+    /// Sessions admitted.
+    pub admitted: u64,
+    /// Attempts rejected.
+    pub rejected: u64,
+    /// Peak concurrent sessions across the fleet.
+    pub peak_sessions: usize,
+    /// Occupied slot-epochs over available slot-epochs.
+    pub utilization: f64,
+    /// Measured (session × epoch) samples behind the FPS tail.
+    pub session_epochs: u64,
+    /// Tracked RTT samples behind the RTT tail.
+    pub tracked_inputs: u64,
+    /// Streaming server-FPS tail over session-epoch samples.
+    pub fps: TailQuantiles,
+    /// Streaming RTT tail over every tracked input, ms.
+    pub rtt: TailQuantiles,
+    /// The SLO targets the violation counts refer to.
+    pub slo: SloSpec,
+    /// Session-epochs below [`SloSpec::min_fps`].
+    pub fps_violations: u64,
+    /// Tracked inputs above [`SloSpec::max_rtt_ms`].
+    pub rtt_violations: u64,
+}
+
+impl FleetReport {
+    /// Rejected attempts over offered attempts (zero when nothing was
+    /// offered).
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of session-epochs violating the FPS floor.
+    pub fn fps_violation_rate(&self) -> f64 {
+        if self.session_epochs == 0 {
+            0.0
+        } else {
+            self.fps_violations as f64 / self.session_epochs as f64
+        }
+    }
+
+    /// Fraction of tracked inputs violating the RTT ceiling.
+    pub fn rtt_violation_rate(&self) -> f64 {
+        if self.tracked_inputs == 0 {
+            0.0
+        } else {
+            self.rtt_violations as f64 / self.tracked_inputs as f64
+        }
+    }
+
+    /// The flat numeric metrics of the report, in a fixed order shared by
+    /// the JSON/CSV emitters and the golden tests.
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("offered", self.offered as f64),
+            ("admitted", self.admitted as f64),
+            ("rejected", self.rejected as f64),
+            ("rejection_rate", self.rejection_rate()),
+            ("utilization", self.utilization),
+            ("peak_sessions", self.peak_sessions as f64),
+            ("session_epochs", self.session_epochs as f64),
+            ("tracked_inputs", self.tracked_inputs as f64),
+            ("fps_p50", self.fps.p50()),
+            ("fps_p95", self.fps.p95()),
+            ("fps_p99", self.fps.p99()),
+            ("fps_min", self.fps.min()),
+            ("rtt_p50", self.rtt.p50()),
+            ("rtt_p95", self.rtt.p95()),
+            ("rtt_p99", self.rtt.p99()),
+            ("rtt_max", self.rtt.max()),
+            ("slo_fps_violation_rate", self.fps_violation_rate()),
+            ("slo_rtt_violation_rate", self.rtt_violation_rate()),
+        ]
+    }
+
+    /// Paths of every non-finite metric (empty when clean).
+    pub fn non_finite_paths(&self) -> Vec<String> {
+        self.metrics()
+            .into_iter()
+            .filter(|(_, v)| !v.is_finite())
+            .map(|(k, v)| format!("{k} = {v}"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fleet grid
+// ---------------------------------------------------------------------------
+
+/// A declarative fleet experiment matrix: fleet-size × arrival-rate ×
+/// placement-policy, following the scenario-suite discipline (cell seeds
+/// from cell names, reduction in grid order).
+pub struct FleetGrid {
+    name: String,
+    seed: u64,
+    sizes: Vec<usize>,
+    rates: Vec<ArrivalConfig>,
+    policies: Vec<Arc<dyn PlacementPolicy>>,
+    mix: WorkloadMix,
+    slots_per_server: usize,
+    server_config: SystemConfig,
+    slo: SloSpec,
+    epoch: SimDuration,
+    epochs: u64,
+    warmup: SimDuration,
+}
+
+impl FleetGrid {
+    /// Creates a grid over `mix` with no axes declared yet (axes left empty
+    /// get a default: 8 servers, moderate arrivals, first-fit placement).
+    pub fn new(name: &str, mix: WorkloadMix, seed: u64) -> Self {
+        FleetGrid {
+            name: name.into(),
+            seed,
+            sizes: Vec::new(),
+            rates: Vec::new(),
+            policies: Vec::new(),
+            mix,
+            slots_per_server: 4,
+            server_config: SystemConfig::turbovnc_stock(),
+            slo: SloSpec::interactive(),
+            epoch: SimDuration::from_secs(1),
+            epochs: 20,
+            warmup: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Adds a fleet size (server count) to the size axis.
+    pub fn size(mut self, servers: usize) -> Self {
+        self.sizes.push(servers);
+        self
+    }
+
+    /// Adds an arrival profile to the rate axis.
+    pub fn rate(mut self, arrivals: ArrivalConfig) -> Self {
+        self.rates.push(arrivals);
+        self
+    }
+
+    /// Adds a placement policy to the policy axis.
+    pub fn policy(mut self, policy: impl PlacementPolicy + 'static) -> Self {
+        self.policies.push(Arc::new(policy));
+        self
+    }
+
+    /// Sets the fleet horizon in epochs for every cell.
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the session slots per server for every cell.
+    pub fn slots_per_server(mut self, slots: usize) -> Self {
+        self.slots_per_server = slots;
+        self
+    }
+
+    /// Sets the SLO targets for every cell.
+    pub fn slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// The grid name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells the grid expands into.
+    pub fn len(&self) -> usize {
+        self.sizes.len().max(1) * self.rates.len().max(1) * self.policies.len().max(1)
+    }
+
+    /// True when every axis is empty (the grid still expands to one
+    /// default cell).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn expand(&self) -> Vec<FleetSpec> {
+        let sizes = if self.sizes.is_empty() {
+            vec![8]
+        } else {
+            self.sizes.clone()
+        };
+        let rates = if self.rates.is_empty() {
+            vec![ArrivalConfig::moderate()]
+        } else {
+            self.rates.clone()
+        };
+        let policies: Vec<Arc<dyn PlacementPolicy>> = if self.policies.is_empty() {
+            vec![Arc::new(FirstFit)]
+        } else {
+            self.policies.clone()
+        };
+        let tree = SeedTree::new(self.seed);
+        let mut cells = Vec::with_capacity(self.len());
+        for &servers in &sizes {
+            for rate in &rates {
+                for policy in &policies {
+                    let name = cell_name(servers, &rate.label, policy.label());
+                    cells.push(FleetSpec {
+                        servers,
+                        slots_per_server: self.slots_per_server,
+                        server_config: self.server_config.clone(),
+                        arrivals: rate.clone(),
+                        mix: self.mix.clone(),
+                        policy: Arc::clone(policy),
+                        slo: self.slo,
+                        epoch: self.epoch,
+                        epochs: self.epochs,
+                        warmup: self.warmup,
+                        seed: tree.child(&name).master(),
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs every cell on `PICTOR_THREADS` OS threads.
+    pub fn run(&self) -> FleetSuiteReport {
+        self.run_with_threads(default_threads())
+    }
+
+    /// Runs every cell, each fleet advancing its servers in parallel on
+    /// `threads` OS threads. Byte-identical for any `threads >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or two cells share a name (duplicate
+    /// axis labels).
+    pub fn run_with_threads(&self, threads: usize) -> FleetSuiteReport {
+        let cells = self.expand();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for spec in &cells {
+                let name = cell_name(spec.servers, &spec.arrivals.label, spec.policy.label());
+                assert!(
+                    seen.insert(name.clone()),
+                    "fleet grid {}: duplicate cell {name:?} (same axis labels declared twice)",
+                    self.name
+                );
+            }
+        }
+        let reports = cells
+            .iter()
+            .map(|spec| spec.run_with_threads(threads))
+            .collect();
+        FleetSuiteReport {
+            name: self.name.clone(),
+            seed: self.seed,
+            cells: reports,
+        }
+    }
+}
+
+fn cell_name(servers: usize, rate: &str, policy: &str) -> String {
+    format!("s{servers}/{rate}/{policy}")
+}
+
+/// The unified outcome of a fleet grid run, with deterministic JSON/CSV
+/// emitters mirroring [`SuiteReport`](crate::SuiteReport).
+pub struct FleetSuiteReport {
+    name: String,
+    seed: u64,
+    cells: Vec<FleetReport>,
+}
+
+impl FleetSuiteReport {
+    /// The grid name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grid's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Every cell, in grid order (sizes outermost, policies innermost).
+    pub fn cells(&self) -> &[FleetReport] {
+        &self.cells
+    }
+
+    /// The unique cell with these axis values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cell matches.
+    pub fn cell(&self, servers: usize, rate: &str, policy: &str) -> &FleetReport {
+        self.cells
+            .iter()
+            .find(|c| c.servers == servers && c.arrivals == rate && c.policy == policy)
+            .unwrap_or_else(|| {
+                panic!(
+                    "fleet suite {}: no cell {}",
+                    self.name,
+                    cell_name(servers, rate, policy)
+                )
+            })
+    }
+
+    /// Paths of every non-finite metric in the report (empty when clean).
+    pub fn non_finite_paths(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for cell in &self.cells {
+            let name = cell_name(cell.servers, &cell.arrivals, &cell.policy);
+            for path in cell.non_finite_paths() {
+                bad.push(format!("{name}/{path}"));
+            }
+        }
+        bad
+    }
+
+    /// Asserts the report contains no NaN or infinite metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing every offending metric path.
+    pub fn assert_finite(&self) {
+        let bad = self.non_finite_paths();
+        assert!(
+            bad.is_empty(),
+            "fleet suite {} has non-finite metrics:\n  {}",
+            self.name,
+            bad.join("\n  ")
+        );
+    }
+
+    /// Serializes the report as JSON. Deterministic: same grid + seed →
+    /// byte-identical output, independent of thread count.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"suite\": {},", json_escape(&self.name));
+        let _ = writeln!(out, "  \"seed\": \"{}\",", self.seed);
+        out.push_str("  \"cells\": [\n");
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let name = cell_name(cell.servers, &cell.arrivals, &cell.policy);
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_escape(&name));
+            let _ = writeln!(out, "      \"servers\": {},", cell.servers);
+            let _ = writeln!(
+                out,
+                "      \"slots_per_server\": {},",
+                cell.slots_per_server
+            );
+            let _ = writeln!(out, "      \"rate\": {},", json_escape(&cell.arrivals));
+            let _ = writeln!(out, "      \"policy\": {},", json_escape(&cell.policy));
+            let _ = writeln!(out, "      \"epochs\": {},", cell.epochs);
+            let _ = writeln!(out, "      \"epoch_ns\": {},", cell.epoch.as_nanos());
+            let _ = writeln!(out, "      \"seed\": \"{}\",", cell.seed);
+            let _ = writeln!(
+                out,
+                "      \"slo_max_rtt_ms\": {},",
+                json_num(cell.slo.max_rtt_ms)
+            );
+            let _ = writeln!(
+                out,
+                "      \"slo_min_fps\": {},",
+                json_num(cell.slo.min_fps)
+            );
+            out.push_str("      \"metrics\": {");
+            let metrics = cell.metrics();
+            for (mi, (key, v)) in metrics.iter().enumerate() {
+                if mi > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_escape(key), json_num(*v));
+            }
+            out.push_str("}\n");
+            let comma = if ci + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the report as CSV: one row per (cell, metric).
+    /// Deterministic like [`FleetSuiteReport::to_json`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cell,servers,rate,policy,seed,metric,value\n");
+        for cell in &self.cells {
+            let name = cell_name(cell.servers, &cell.arrivals, &cell.policy);
+            for (key, v) in cell.metrics() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{}",
+                    csv_field(&name),
+                    cell.servers,
+                    csv_field(&cell.arrivals),
+                    csv_field(&cell.policy),
+                    cell.seed,
+                    csv_field(key),
+                    if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders a compact human-readable summary (one row per cell).
+    pub fn summary_table(&self) -> String {
+        let mut t = Table::new(
+            [
+                "cell",
+                "offered",
+                "admitted",
+                "rej %",
+                "util %",
+                "FPS p50/p99",
+                "RTT p50/p99 ms",
+                "SLO viol %",
+            ]
+            .map(String::from)
+            .to_vec(),
+        );
+        for cell in &self.cells {
+            t.row(vec![
+                cell_name(cell.servers, &cell.arrivals, &cell.policy),
+                cell.offered.to_string(),
+                cell.admitted.to_string(),
+                format!("{:.1}", cell.rejection_rate() * 100.0),
+                format!("{:.1}", cell.utilization * 100.0),
+                format!("{:.1}/{:.1}", cell.fps.p50(), cell.fps.p99()),
+                format!("{:.1}/{:.1}", cell.rtt.p50(), cell.rtt.p99()),
+                format!(
+                    "{:.1}/{:.1}",
+                    cell.fps_violation_rate() * 100.0,
+                    cell.rtt_violation_rate() * 100.0
+                ),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pictor_apps::AppId;
+
+    fn mix() -> WorkloadMix {
+        WorkloadMix::uniform([AppId::Dota2, AppId::SuperTuxKart, AppId::ZeroAd])
+    }
+
+    fn tiny_spec(policy: Arc<dyn PlacementPolicy>) -> FleetSpec {
+        FleetSpec::new(4, mix(), policy, 2020)
+            .epochs(3)
+            .arrivals(ArrivalConfig::moderate())
+    }
+
+    #[test]
+    fn mix_sampling_is_weighted_and_deterministic() {
+        let mix = WorkloadMix::weighted([(AppId::Dota2, 3.0), (AppId::ZeroAd, 1.0)]);
+        let draw = |seed: u64| {
+            let mut rng = SeedTree::new(seed).stream("mix");
+            (0..400)
+                .map(|_| mix.sample(&mut rng).code().to_string())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(5);
+        assert_eq!(a, draw(5));
+        let d2 = a.iter().filter(|c| *c == "D2").count();
+        assert!(d2 > 240 && d2 < 360, "weighted draw skew: {d2}/400");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_panics() {
+        let _ = WorkloadMix::weighted(Vec::<(App, f64)>::new());
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_fitting_index() {
+        let app: App = AppId::Dota2.into();
+        let mut loads = vec![load(0, false, 4), load(1, true, 2), load(2, true, 0)];
+        assert_eq!(FirstFit.place(&app, &loads), Some(1));
+        loads[1].fits = false;
+        assert_eq!(FirstFit.place(&app, &loads), Some(2));
+        loads[2].fits = false;
+        assert_eq!(FirstFit.place(&app, &loads), None);
+    }
+
+    #[test]
+    fn least_contended_avoids_pressure() {
+        let app: App = AppId::Dota2.into();
+        let mut heavy = load(0, true, 2);
+        heavy.cpu_pressure = 3.0;
+        heavy.gpu_pressure = 2.0;
+        let light = load(1, true, 2);
+        assert_eq!(LeastContended.place(&app, &[heavy, light]), Some(1));
+    }
+
+    #[test]
+    fn interference_aware_prefers_gentle_coherents() {
+        // STK is the paper's most contentious co-runner, 0AD the least:
+        // the interference-aware policy must steer a newcomer away from
+        // the STK-loaded server when an 0AD-loaded one fits.
+        let app: App = AppId::RedEclipse.into();
+        let mut stk = load(0, true, 1);
+        stk.apps = vec![AppId::SuperTuxKart.into()];
+        let mut zad = load(1, true, 1);
+        zad.apps = vec![AppId::ZeroAd.into()];
+        assert_eq!(InterferenceAware.place(&app, &[stk, zad]), Some(1));
+    }
+
+    fn load(index: usize, fits: bool, sessions: usize) -> ServerLoad {
+        ServerLoad {
+            index,
+            fits,
+            sessions,
+            slots: 4,
+            gpu_free_mib: 8 * 1024,
+            cpu_pressure: sessions as f64 * 0.5,
+            gpu_pressure: sessions as f64 * 0.3,
+            apps: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn schedule_respects_capacity_everywhere() {
+        let spec = FleetSpec::new(2, mix(), Arc::new(FirstFit), 7)
+            .epochs(6)
+            .slots_per_server(2)
+            .arrivals(ArrivalConfig::saturating());
+        let sched = spec.schedule_sessions();
+        assert!(sched.offered > 0);
+        for server in 0..2 {
+            for epoch in 0..6 {
+                assert!(
+                    sched.occupancy[server][epoch].len() <= 2,
+                    "server {server} epoch {epoch} over capacity"
+                );
+            }
+        }
+        // Saturating demand against 4 slots must reject something.
+        assert!(sched.rejected > 0, "saturating load should reject");
+        assert_eq!(sched.offered, sched.sessions.len() as u64 + sched.rejected);
+    }
+
+    #[test]
+    fn scheduling_is_deterministic() {
+        let ids = |spec: &FleetSpec| {
+            let s = spec.schedule_sessions();
+            s.sessions
+                .iter()
+                .map(|x| {
+                    (
+                        x.id,
+                        x.server,
+                        x.start_epoch,
+                        x.end_epoch,
+                        x.app.code().to_string(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let spec = tiny_spec(Arc::new(LeastContended));
+        assert_eq!(ids(&spec), ids(&spec));
+    }
+
+    #[test]
+    fn tiny_fleet_run_produces_finite_nonzero_metrics() {
+        let report = tiny_spec(Arc::new(FirstFit)).run_with_threads(2);
+        assert!(report.admitted > 0, "no sessions admitted");
+        assert!(report.session_epochs > 0);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+        assert!(report.fps.p50() > 0.0, "fps p50 {}", report.fps.p50());
+        assert!(report.fps.p99() >= report.fps.p50());
+        assert!(report.tracked_inputs > 0, "no RTTs tracked");
+        assert!(report.rtt.p99() >= report.rtt.p50());
+        assert!(report.rtt.p50() > 0.0);
+        assert!(report.non_finite_paths().is_empty());
+    }
+
+    #[test]
+    fn fleet_runs_identically_on_any_thread_count() {
+        let one = tiny_spec(Arc::new(InterferenceAware)).run_with_threads(1);
+        let four = tiny_spec(Arc::new(InterferenceAware)).run_with_threads(4);
+        assert_eq!(one.metrics(), four.metrics());
+    }
+
+    #[test]
+    fn grid_expands_and_reports() {
+        let suite = FleetGrid::new("unit_fleet", mix(), 11)
+            .size(2)
+            .size(3)
+            .rate(ArrivalConfig::moderate())
+            .policy(FirstFit)
+            .policy(LeastContended)
+            .epochs(2)
+            .run_with_threads(2);
+        assert_eq!(suite.cells().len(), 4);
+        suite.assert_finite();
+        let cell = suite.cell(2, "moderate", "first-fit");
+        assert!(cell.admitted > 0);
+        let json = suite.to_json();
+        assert!(json.contains("\"s2/moderate/first-fit\""));
+        assert!(suite.to_csv().contains("s3/moderate/least-contended"));
+        assert!(suite.summary_table().contains("FPS p50/p99"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_axis_labels_panic() {
+        let _ = FleetGrid::new("dup", mix(), 1)
+            .size(2)
+            .policy(FirstFit)
+            .policy(FirstFit)
+            .epochs(1)
+            .run_with_threads(1);
+    }
+}

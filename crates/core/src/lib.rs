@@ -18,8 +18,13 @@
 //! * [`suite`] — declarative scenario grids: cartesian experiment matrices
 //!   executed in parallel across OS threads with per-cell deterministic
 //!   seeding, reduced into a unified [`suite::SuiteReport`].
+//! * [`fleet`] — fleet-scale simulation: many servers behind a
+//!   placement/admission layer with session churn, advancing in parallel
+//!   across OS threads, reduced into a [`fleet::FleetReport`] with tail
+//!   FPS/RTT percentiles and SLO-violation accounting.
 
 pub mod experiment;
+pub mod fleet;
 pub mod hooks;
 pub mod ic_driver;
 pub mod metrics;
@@ -28,6 +33,10 @@ pub mod suite;
 pub mod tracker;
 
 pub use experiment::{run_experiment, DriverFactory, ExperimentResult, ExperimentSpec};
+pub use fleet::{
+    ArrivalConfig, FirstFit, FleetGrid, FleetReport, FleetSpec, FleetSuiteReport,
+    InterferenceAware, LeastContended, PlacementPolicy, ServerLoad, SloSpec, WorkloadMix,
+};
 pub use ic_driver::IcDriver;
 pub use metrics::{InstanceMetrics, PowerBreakdown};
 pub use suite::{CellReport, Method, NetProfile, Scenario, ScenarioGrid, SuiteReport};

@@ -524,30 +524,10 @@ impl ScenarioGrid {
                 );
             }
         }
-        let slots: Vec<Mutex<Option<CellReport>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = threads.min(cells.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((scenario, method)) = cells.get(i) else {
-                        break;
-                    };
-                    let report = run_cell(scenario, method, self.keep_records);
-                    *slots[i].lock().expect("unpoisoned slot") = Some(report);
-                });
-            }
+        let reduced = run_pool(cells.len(), threads, |i| {
+            let (scenario, method) = &cells[i];
+            run_cell(scenario, method, self.keep_records)
         });
-        let reduced = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("unpoisoned slot")
-                    .expect("every cell executed")
-            })
-            .collect();
         SuiteReport {
             name: self.name.clone(),
             seed: self.seed,
@@ -556,6 +536,41 @@ impl ScenarioGrid {
             cells: reduced,
         }
     }
+}
+
+/// Runs `count` independent jobs on a pool of `threads` OS threads and
+/// returns the results **in job order** — the shared execution core of the
+/// scenario and fleet runners. Workers pull job indices from an atomic
+/// counter, so scheduling is dynamic but reduction order is fixed: results
+/// are byte-identical for any `threads >= 1`.
+pub(crate) fn run_pool<T, F>(count: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(count.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = run(i);
+                *slots[i].lock().expect("unpoisoned slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned slot")
+                .expect("every job executed")
+        })
+        .collect()
 }
 
 /// Thread count used by [`ScenarioGrid::run`]: `PICTOR_THREADS` when set,

@@ -1,0 +1,167 @@
+//! Property tests over [`Link`]'s fair-sharing invariants.
+//!
+//! The fleet layer multiplies links (two per session across many servers),
+//! so the bandwidth-sharing model must hold under arbitrary traffic, not
+//! just the unit tests' hand-picked cases: delivered bytes are conserved,
+//! zero-jitter equal-size traffic arrives in send order (FIFO), and
+//! processor sharing never starves a small transfer behind a large one.
+
+use proptest::prelude::*;
+
+use pictor_net::Link;
+use pictor_sim::{JobId, SeedTree, SimDuration, SimTime};
+
+/// 1 Gbps in bytes/ns.
+const GBPS: f64 = 1e9 / 8.0 / 1e9;
+
+fn link(latency_us: u64, jitter_cv: f64) -> Link {
+    Link::new(
+        GBPS,
+        SimDuration::from_micros(latency_us),
+        jitter_cv,
+        SeedTree::new(4242).stream("prop-link"),
+    )
+}
+
+/// Drives a link through a send schedule the way the render loop does —
+/// serialization completions move transfers into propagation, deliveries
+/// finalize them — and returns `(delivery_time, id)` in delivery order.
+fn drive(link: &mut Link, sends: &[(u64, u64, u64)]) -> Vec<(SimTime, JobId)> {
+    let mut deliveries = Vec::new();
+    let mut idx = 0;
+    let mut now = SimTime::ZERO;
+    loop {
+        let send_t = sends.get(idx).map(|&(t, _, _)| SimTime::from_nanos(t));
+        let ser = link.next_serialization(now);
+        let del = link.next_delivery(now);
+        let candidates = [send_t, ser.map(|(t, _)| t), del.map(|(t, _)| t)];
+        let Some(t) = candidates.into_iter().flatten().min() else {
+            break;
+        };
+        let t = t.max(now);
+        if send_t == Some(t) {
+            let (ts, id, bytes) = sends[idx];
+            link.send(SimTime::from_nanos(ts), JobId(id), bytes);
+            idx += 1;
+        } else if ser.map(|(ts, _)| ts) == Some(t) {
+            let (ts, id) = ser.expect("checked");
+            link.finish_serialization(ts, id);
+        } else {
+            let (td, id) = del.expect("some event exists");
+            link.deliver(td, id);
+            deliveries.push((td, id));
+        }
+        now = t;
+    }
+    deliveries
+}
+
+/// An arbitrary traffic schedule: (send offset ns, id, bytes), ids unique,
+/// times nondecreasing.
+fn schedule() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..5_000_000, 1u64..2_000_000), 1..40).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (gap, bytes))| {
+                t += gap;
+                (t, i as u64 + 1, bytes)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Total delivered bytes equal total sent bytes, every transfer is
+    /// delivered exactly once, and the link ends idle — no bytes are
+    /// created, lost, or double-counted by the sharing math.
+    #[test]
+    fn delivered_bytes_are_conserved(sends in schedule(), jitter in 0.0f64..1.0) {
+        let mut l = link(500, jitter);
+        let deliveries = drive(&mut l, &sends);
+        prop_assert_eq!(deliveries.len(), sends.len());
+        let sent: u64 = sends.iter().map(|&(_, _, b)| b).sum();
+        prop_assert_eq!(l.delivered_bytes(), sent);
+        prop_assert_eq!(l.in_flight(), 0);
+        let mut ids: Vec<u64> = deliveries.iter().map(|&(_, JobId(id))| id).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (1..=sends.len() as u64).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    /// With zero jitter, equal-size messages are delivered in send order:
+    /// under processor sharing the earlier message's remaining work is
+    /// never larger, and constant propagation cannot reorder them.
+    #[test]
+    fn zero_jitter_equal_sizes_deliver_in_send_order(
+        gaps in prop::collection::vec(1u64..3_000_000, 2..30),
+        bytes in 1u64..500_000,
+        latency_us in 0u64..20_000,
+    ) {
+        let mut t = 0u64;
+        let sends: Vec<(u64, u64, u64)> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &gap)| {
+                t += gap;
+                (t, i as u64 + 1, bytes)
+            })
+            .collect();
+        let mut l = link(latency_us, 0.0);
+        let deliveries = drive(&mut l, &sends);
+        let order: Vec<u64> = deliveries.iter().map(|&(_, JobId(id))| id).collect();
+        let expected: Vec<u64> = (1..=sends.len() as u64).collect();
+        prop_assert_eq!(order, expected, "equal-size FIFO violated");
+        // Delivery times are nondecreasing as a consequence.
+        for w in deliveries.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    /// A small transfer sharing the pipe with arbitrarily large ones is
+    /// never starved: it finishes before every strictly larger concurrent
+    /// transfer, and no later than latency + (n+1) x its solo
+    /// serialization time (the processor-sharing bound with n competitors).
+    #[test]
+    fn small_transfers_are_never_starved(
+        large in prop::collection::vec(2_000_000u64..20_000_000, 1..6),
+        small in 100u64..100_000,
+    ) {
+        // Everything sent at t=0: the small transfer shares the pipe with
+        // all n large ones for its entire serialization.
+        let mut sends: Vec<(u64, u64, u64)> = large
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (0, i as u64 + 1, b))
+            .collect();
+        let small_id = large.len() as u64 + 1;
+        sends.push((0, small_id, small));
+        let mut l = link(500, 0.0);
+        let deliveries = drive(&mut l, &sends);
+        let at = |id: u64| {
+            deliveries
+                .iter()
+                .find(|&&(_, JobId(d))| d == id)
+                .expect("delivered")
+                .0
+        };
+        let small_t = at(small_id);
+        for (i, &b) in large.iter().enumerate() {
+            if b > small {
+                prop_assert!(
+                    small_t < at(i as u64 + 1),
+                    "small transfer finished after a {b}-byte one"
+                );
+            }
+        }
+        let solo_ns = small as f64 / GBPS;
+        let n = large.len() as f64;
+        let bound = 500_000.0 + (n + 1.0) * solo_ns + 1_000.0;
+        prop_assert!(
+            (small_t.as_nanos() as f64) <= bound,
+            "small delivery {} ns exceeds PS bound {} ns",
+            small_t.as_nanos(),
+            bound
+        );
+    }
+}

@@ -495,6 +495,12 @@ impl CloudSystem {
         }
     }
 
+    /// Start of the current accounting window (the time of the last
+    /// [`CloudSystem::reset_accounting`], or zero before the first reset).
+    pub fn window_start(&self) -> SimTime {
+        self.window_start
+    }
+
     /// Takes all measurement records collected so far.
     pub fn drain_records(&mut self) -> Vec<Record> {
         std::mem::take(&mut self.records)

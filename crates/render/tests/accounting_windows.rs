@@ -1,0 +1,182 @@
+//! Mid-run measurement windows: `reset_accounting` + `drain_records` must
+//! slice one continuous run into clean, non-overlapping windows.
+//!
+//! The fleet layer measures every server once per epoch through exactly
+//! this protocol (run → drain → report → reset → run …), so reports after
+//! a reset must cover only the post-reset window and drained records must
+//! never duplicate across windows.
+
+use std::collections::HashSet;
+
+use pictor_render::records::Record;
+use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
+use pictor_sim::{SeedTree, SimDuration, SimTime};
+
+use pictor_apps::AppId;
+
+fn system(seed: u64, instances: usize) -> CloudSystem {
+    let seeds = SeedTree::new(seed);
+    let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), seeds);
+    for i in 0..instances {
+        let app = AppId::Dota2;
+        sys.add_instance(
+            app,
+            Box::new(HumanDriver::from_seeds(
+                app,
+                &seeds.child(&format!("driver-{i}")),
+            )),
+        );
+    }
+    sys.start();
+    sys
+}
+
+/// The completion timestamp of a record (spans complete at `end`;
+/// `FrameTagged` carries no time and is exempt).
+fn completion_time(record: &Record) -> Option<SimTime> {
+    match record {
+        Record::InputSent { time, .. }
+        | Record::InputConsumed { time, .. }
+        | Record::FrameDisplayed { time, .. }
+        | Record::FrameDropped { time, .. } => Some(*time),
+        Record::Span(span) => Some(span.end),
+        Record::FrameTagged { .. } => None,
+    }
+}
+
+/// A window-independent identity for every record kind, for duplicate
+/// detection across windows.
+fn identity(record: &Record) -> String {
+    match record {
+        Record::InputSent { instance, tag, .. } => format!("sent/{instance}/{}", tag.0),
+        Record::InputConsumed {
+            instance,
+            tag,
+            frame,
+            ..
+        } => format!("consumed/{instance}/{}/{frame}", tag.0),
+        Record::Span(s) => format!(
+            "span/{}/{:?}/{:?}/{:?}/{}",
+            s.instance,
+            s.stage,
+            s.frame,
+            s.tag.map(|t| t.0),
+            s.end.as_nanos()
+        ),
+        Record::FrameTagged {
+            instance,
+            frame,
+            tag,
+        } => format!("tagged/{instance}/{frame}/{}", tag.0),
+        Record::FrameDisplayed {
+            instance, frame, ..
+        } => format!("displayed/{instance}/{frame}"),
+        Record::FrameDropped {
+            instance, frame, ..
+        } => format!("dropped/{instance}/{frame}"),
+    }
+}
+
+#[test]
+fn reports_cover_only_the_post_reset_window() {
+    let mut sys = system(11, 1);
+    sys.run_for(SimDuration::from_secs(3));
+    // Counters immediately after a reset are all zero: nothing from the
+    // warm-up leaks into the new window.
+    sys.reset_accounting();
+    assert_eq!(sys.window_start(), sys.now());
+    let fresh = &sys.reports()[0];
+    assert_eq!(fresh.frames_dropped, 0);
+    assert_eq!(fresh.inputs_sent, 0);
+    assert_eq!(fresh.server_fps, 0.0);
+    assert_eq!(fresh.client_fps, 0.0);
+
+    // Two consecutive equal-length windows of the same steady-state run
+    // report the same order of magnitude — not cumulative totals.
+    let start_a = sys.window_start();
+    sys.run_for(SimDuration::from_secs(4));
+    let span_a = sys.now().saturating_since(start_a).as_secs_f64();
+    let a = sys.reports()[0].clone();
+    let records_a = sys.drain_records();
+    sys.reset_accounting();
+    let start_b = sys.window_start();
+    sys.run_for(SimDuration::from_secs(4));
+    let span_b = sys.now().saturating_since(start_b).as_secs_f64();
+    let b = sys.reports()[0].clone();
+    let records_b = sys.drain_records();
+    assert!(a.server_fps > 20.0, "window A fps {}", a.server_fps);
+    assert!(b.server_fps > 20.0, "window B fps {}", b.server_fps);
+    // Were window B cumulative over A, its rates would be ~2x window A's.
+    assert!(
+        b.server_fps < a.server_fps * 1.5,
+        "window B fps {} looks cumulative vs A {}",
+        b.server_fps,
+        a.server_fps
+    );
+
+    // Rates agree exactly with the records drained from the same window:
+    // both sides are reset together.
+    for (report, records, span_s) in [(&a, &records_a, span_a), (&b, &records_b, span_b)] {
+        let displayed = records
+            .iter()
+            .filter(|r| matches!(r, Record::FrameDisplayed { .. }))
+            .count() as f64;
+        assert!(
+            (report.client_fps * span_s - displayed).abs() < 1e-6,
+            "client_fps {} disagrees with {} displayed-frame records",
+            report.client_fps,
+            displayed
+        );
+        let sent = records
+            .iter()
+            .filter(|r| matches!(r, Record::InputSent { .. }))
+            .count() as u64;
+        assert_eq!(report.inputs_sent, sent);
+    }
+}
+
+#[test]
+fn drained_records_never_duplicate_across_windows() {
+    let mut sys = system(23, 2);
+    sys.run_for(SimDuration::from_secs(2));
+    sys.reset_accounting();
+    let mut seen = HashSet::new();
+    let mut prev_window_start = sys.window_start();
+    for window in 0..3 {
+        sys.run_for(SimDuration::from_secs(2));
+        let records = sys.drain_records();
+        assert!(!records.is_empty(), "window {window} recorded nothing");
+        for record in &records {
+            // Every record completed inside this window.
+            if let Some(t) = completion_time(record) {
+                assert!(
+                    t >= prev_window_start,
+                    "window {window}: record {record:?} predates the window"
+                );
+                assert!(t <= sys.now(), "record from the future");
+            }
+            // And no record ever appears in two windows.
+            assert!(
+                seen.insert(identity(record)),
+                "window {window}: duplicate record {record:?}"
+            );
+        }
+        sys.reset_accounting();
+        prev_window_start = sys.window_start();
+    }
+}
+
+#[test]
+fn drain_is_exhaustive_and_resets_the_buffer() {
+    let mut sys = system(5, 1);
+    sys.run_for(SimDuration::from_secs(2));
+    let first = sys.drain_records();
+    assert!(!first.is_empty());
+    // Draining again without advancing time yields nothing: the buffer
+    // moved out wholesale.
+    assert!(sys.drain_records().is_empty());
+    // reset_accounting also clears any records accumulated since.
+    sys.run_for(SimDuration::from_secs(1));
+    sys.reset_accounting();
+    assert!(sys.drain_records().is_empty());
+}

@@ -36,5 +36,5 @@ pub mod time;
 pub use event::{EventId, EventQueue};
 pub use resource::{FifoResource, JobId, PsResource};
 pub use rng::SeedTree;
-pub use stats::{Distribution, Summary, TimeWeighted};
+pub use stats::{Distribution, P2Quantile, Summary, TailQuantiles, TimeWeighted};
 pub use time::{SimDuration, SimTime};

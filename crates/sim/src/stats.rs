@@ -267,6 +267,257 @@ pub struct FivePoint {
     pub p99: f64,
 }
 
+/// Constant-space streaming quantile estimator (the P² algorithm of Jain &
+/// Chlamtac, CACM 1985).
+///
+/// Maintains five markers whose heights track the quantile and its
+/// neighborhood; memory and per-observation cost are O(1) regardless of
+/// stream length, which is what fleet-scale tail-latency accounting needs
+/// (millions of RTT samples across servers). Until five observations have
+/// arrived the estimate is the exact sorted-sample percentile. The
+/// estimator is fully deterministic: the same observation sequence always
+/// yields the same estimate.
+///
+/// ```
+/// use pictor_sim::P2Quantile;
+/// let mut q = P2Quantile::new(0.5);
+/// for x in 1..=1000 { q.record(x as f64); }
+/// assert!((q.value() - 500.5).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (sorted ascending once initialized).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    n: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile out of range: {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            n: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        if self.n < 5 {
+            // Initialization: collect and keep the first five sorted.
+            let n = self.n as usize;
+            self.heights[n] = x;
+            self.n += 1;
+            let live = self.n as usize;
+            self.heights[..live].sort_by(|a, b| a.partial_cmp(b).expect("no NaN by invariant"));
+            return;
+        }
+        self.n += 1;
+        // Find the cell k with heights[k] <= x < heights[k+1], extending the
+        // extreme markers when x falls outside them.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            while k < 3 && x >= self.heights[k + 1] {
+                k += 1;
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height update for marker `i` moved by `d`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction is non-monotone.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate (zero when no observation was recorded).
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        if self.n <= 5 {
+            // Exact linear-interpolated percentile over the sorted prefix.
+            return percentile_sorted(&self.heights[..self.n as usize], self.q * 100.0);
+        }
+        self.heights[2]
+    }
+}
+
+/// Streaming tail summary: p50/p95/p99 [`P2Quantile`] markers plus count,
+/// min and max — the fleet report's per-metric accumulator.
+///
+/// ```
+/// use pictor_sim::TailQuantiles;
+/// let mut t = TailQuantiles::new();
+/// for x in 1..=100 { t.record(x as f64); }
+/// assert_eq!(t.count(), 100);
+/// assert!(t.p50() > 40.0 && t.p50() < 60.0);
+/// assert!(t.p99() >= t.p95() && t.p95() >= t.p50());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailQuantiles {
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+    min: f64,
+    max: f64,
+    n: u64,
+}
+
+impl TailQuantiles {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        TailQuantiles {
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            n: 0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        self.p50.record(x);
+        self.p95.record(x);
+        self.p99.record(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.n += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// True when no observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Median estimate (zero when empty).
+    pub fn p50(&self) -> f64 {
+        self.p50.value()
+    }
+
+    /// 95th-percentile estimate (zero when empty).
+    pub fn p95(&self) -> f64 {
+        self.p95.value()
+    }
+
+    /// 99th-percentile estimate (zero when empty).
+    pub fn p99(&self) -> f64 {
+        self.p99.value()
+    }
+
+    /// Minimum observation (zero when empty, matching the JSON emitters).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (zero when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Default for TailQuantiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Extend<f64> for TailQuantiles {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
 /// Time-weighted average of a piecewise-constant signal.
 ///
 /// ```
@@ -437,6 +688,73 @@ mod tests {
         let mut d = Distribution::new();
         d.record_duration(SimDuration::from_micros(1500));
         assert_eq!(d.samples(), &[1.5]);
+    }
+
+    #[test]
+    fn p2_empty_and_tiny_streams_are_exact() {
+        let q = P2Quantile::new(0.5);
+        assert_eq!(q.value(), 0.0);
+        let mut q = P2Quantile::new(0.5);
+        q.record(7.0);
+        assert_eq!(q.value(), 7.0);
+        // Below five samples the estimate is the exact interpolated
+        // percentile of the sorted prefix.
+        let mut q = P2Quantile::new(0.5);
+        for x in [4.0, 1.0, 3.0] {
+            q.record(x);
+        }
+        assert_eq!(q.value(), 3.0);
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_median() {
+        let mut q = P2Quantile::new(0.5);
+        // Deterministic shuffled-ish order via a fixed stride walk.
+        for i in 0..10_000u64 {
+            q.record(((i * 7919) % 10_000) as f64);
+        }
+        let v = q.value();
+        assert!((v - 5000.0).abs() < 150.0, "median estimate {v}");
+    }
+
+    #[test]
+    fn p2_is_deterministic() {
+        let run = || {
+            let mut q = P2Quantile::new(0.95);
+            for i in 0..1000u64 {
+                q.record(((i * 31) % 997) as f64);
+            }
+            q.value()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn p2_rejects_nan() {
+        let mut q = P2Quantile::new(0.5);
+        q.record(f64::NAN);
+    }
+
+    #[test]
+    fn tail_quantiles_order_and_extremes() {
+        let mut t = TailQuantiles::new();
+        assert!(t.is_empty());
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 0.0);
+        t.extend((1..=500).map(|v| v as f64));
+        assert_eq!(t.count(), 500);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 500.0);
+        assert!(t.p50() <= t.p95() && t.p95() <= t.p99());
+        assert!(t.p99() <= t.max());
     }
 
     #[test]

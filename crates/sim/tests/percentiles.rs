@@ -1,0 +1,111 @@
+//! Pins the streaming P² percentile estimator against exact sorted-slice
+//! percentiles on adversarial input distributions.
+//!
+//! The fleet report trusts [`TailQuantiles`] for its p50/p95/p99 tail
+//! metrics, so the estimator's error must stay bounded on the shapes that
+//! break naive quantile sketches: constant streams (degenerate markers),
+//! bimodal mixtures (a density gap exactly where the median marker sits),
+//! and heavy tails (p99 dominated by rare huge samples).
+
+use pictor_sim::rng::{exponential, lognormal_mean_cv};
+use pictor_sim::{Distribution, P2Quantile, SeedTree, TailQuantiles};
+use rand::Rng;
+
+/// Exact linear-interpolated percentile of a sample set.
+fn exact(samples: &[f64], p: f64) -> f64 {
+    let d: Distribution = samples.iter().copied().collect();
+    d.percentile(p)
+}
+
+/// Asserts the streaming estimate is within `rel` of the exact percentile
+/// (with a small absolute floor so near-zero percentiles don't blow up the
+/// relative error).
+fn assert_close(label: &str, streamed: f64, exact: f64, rel: f64) {
+    let tol = rel * exact.abs().max(1e-9) + 1e-9;
+    assert!(
+        (streamed - exact).abs() <= tol,
+        "{label}: streamed {streamed} vs exact {exact} (tol {tol})"
+    );
+}
+
+#[test]
+fn constant_stream_is_exact() {
+    let mut t = TailQuantiles::new();
+    let samples = vec![42.5; 10_000];
+    t.extend(samples.iter().copied());
+    // Every marker collapses onto the constant: exact equality, not
+    // tolerance.
+    assert_eq!(t.p50(), 42.5);
+    assert_eq!(t.p95(), 42.5);
+    assert_eq!(t.p99(), 42.5);
+    assert_eq!(t.min(), 42.5);
+    assert_eq!(t.max(), 42.5);
+}
+
+#[test]
+fn bimodal_mixture_matches_exact_percentiles() {
+    // Two well-separated normal-ish lobes: 70% around 10, 30% around 100.
+    // The p50 marker sits inside the left lobe, p95/p99 inside the right —
+    // the density gap between them is where interpolating sketches smear.
+    let mut rng = SeedTree::new(2026).stream("bimodal");
+    let samples: Vec<f64> = (0..50_000)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.7 {
+                lognormal_mean_cv(&mut rng, 10.0, 0.1)
+            } else {
+                lognormal_mean_cv(&mut rng, 100.0, 0.05)
+            }
+        })
+        .collect();
+    let mut t = TailQuantiles::new();
+    t.extend(samples.iter().copied());
+    assert_close("bimodal p50", t.p50(), exact(&samples, 50.0), 0.05);
+    assert_close("bimodal p95", t.p95(), exact(&samples, 95.0), 0.05);
+    assert_close("bimodal p99", t.p99(), exact(&samples, 99.0), 0.05);
+}
+
+#[test]
+fn heavy_tail_matches_exact_percentiles() {
+    // Lognormal with cv=2: the p99 is ~8x the median and the max is far
+    // beyond it, so tail markers must ride rare huge samples without
+    // getting dragged by the bulk.
+    let mut rng = SeedTree::new(7).stream("heavy");
+    let samples: Vec<f64> = (0..50_000)
+        .map(|_| lognormal_mean_cv(&mut rng, 50.0, 2.0))
+        .collect();
+    let mut t = TailQuantiles::new();
+    t.extend(samples.iter().copied());
+    assert_close("heavy p50", t.p50(), exact(&samples, 50.0), 0.05);
+    assert_close("heavy p95", t.p95(), exact(&samples, 95.0), 0.10);
+    assert_close("heavy p99", t.p99(), exact(&samples, 99.0), 0.15);
+}
+
+#[test]
+fn exponential_interarrivals_match_exact_percentiles() {
+    // The arrival process's own distribution: memoryless with mode at zero,
+    // so the p50 marker lives where density is steepest.
+    let mut rng = SeedTree::new(11).stream("exp");
+    let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, 3.0)).collect();
+    let mut q50 = P2Quantile::new(0.5);
+    let mut q99 = P2Quantile::new(0.99);
+    for &x in &samples {
+        q50.record(x);
+        q99.record(x);
+    }
+    assert_close("exp p50", q50.value(), exact(&samples, 50.0), 0.05);
+    assert_close("exp p99", q99.value(), exact(&samples, 99.0), 0.10);
+}
+
+#[test]
+fn sorted_and_reversed_feeds_stay_bounded() {
+    // Monotone feeds are the classic P² stress: desired positions race
+    // ahead of actual ones on one side.
+    let asc: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+    let desc: Vec<f64> = asc.iter().rev().copied().collect();
+    for (label, feed) in [("ascending", &asc), ("descending", &desc)] {
+        let mut t = TailQuantiles::new();
+        t.extend(feed.iter().copied());
+        assert_close(&format!("{label} p50"), t.p50(), exact(feed, 50.0), 0.10);
+        assert_close(&format!("{label} p99"), t.p99(), exact(feed, 99.0), 0.10);
+    }
+}

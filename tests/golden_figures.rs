@@ -14,7 +14,7 @@ use std::path::PathBuf;
 
 use pictor::apps::AppId;
 use pictor::client::ic::IcTrainConfig;
-use pictor_bench::figures::{fig10, table3};
+use pictor_bench::figures::{fig10, fleet, table3};
 
 /// Relative tolerance: values are deterministic on one platform; the slack
 /// only absorbs decimal round-tripping and libm differences across hosts.
@@ -118,6 +118,26 @@ fn fig10_fps_scaling_matches_golden() {
         map.insert(format!("{w}/rtt_mean"), cell.instances[0].rtt.mean);
     }
     compare_or_bless("fig10_fps_scaling.json", &map);
+}
+
+/// Fleet sweep (8-server slice) at 2 epochs: every admission/utilization/
+/// tail/SLO metric per (rate × policy) cell. Placement, churn and the
+/// parallel server runner all feed these numbers, so any drift in the
+/// fleet layer — or in the simulation beneath it — lands here.
+#[test]
+fn fleet_sweep_matches_golden() {
+    let report = fleet::sized_grid(&[8], 2, 2020).run();
+    report.assert_finite();
+    let mut map = BTreeMap::new();
+    for cell in report.cells() {
+        for (key, v) in cell.metrics() {
+            map.insert(
+                format!("s{}/{}/{}/{key}", cell.servers, cell.arrivals, cell.policy),
+                v,
+            );
+        }
+    }
+    compare_or_bless("fleet_sweep.json", &map);
 }
 
 /// Table 3 (methodology RTT errors) on a two-app subset with fast IC
