@@ -13,7 +13,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use pictor_gfx::{draw_scene, Frame, SceneObject};
+use pictor_gfx::{draw_scene_into, Frame, SceneObject};
 use pictor_sim::rng::{exponential, normal_clamped};
 
 use crate::action::{Action, ActionClass};
@@ -201,6 +201,8 @@ pub struct World {
     frame_counter: u64,
     stats: WorldStats,
     rng: SmallRng,
+    /// Reused camera-relative object list for [`World::render_into`].
+    scene_scratch: Vec<SceneObject>,
 }
 
 impl World {
@@ -227,6 +229,7 @@ impl World {
             frame_counter: 0,
             stats: WorldStats::default(),
             rng,
+            scene_scratch: Vec::new(),
         };
         w.schedule_next_spawn();
         w
@@ -366,32 +369,48 @@ impl World {
 
     /// Renders the current world state into a fresh frame.
     pub fn render(&mut self) -> Frame {
+        let mut frame = Frame::new(0);
+        self.render_into(&mut frame);
+        frame
+    }
+
+    /// [`World::render`] into an existing frame, overwriting its pixels and
+    /// id. Allocation-free in steady state: the scene list is scratch owned
+    /// by the world and the frame buffer is the caller's.
+    pub fn render_into(&mut self, out: &mut Frame) {
         self.frame_counter += 1;
+        out.set_id(self.frame_counter);
         let ambient = 0.55
             + 0.35
                 * ((self.time_s / self.params.ambient_period_s + self.ambient_phase)
                     * std::f64::consts::TAU)
                     .sin();
-        let objects: Vec<SceneObject> = self
-            .objects
-            .iter()
-            .map(|o| SceneObject::new(o.class, o.x, o.y, o.size, o.phase))
-            .collect();
-        draw_scene(self.frame_counter, &objects, self.camera, ambient)
+        self.scene_scratch.clear();
+        self.scene_scratch.extend(
+            self.objects
+                .iter()
+                .map(|o| SceneObject::new(o.class, o.x, o.y, o.size, o.phase)),
+        );
+        draw_scene_into(out, &self.scene_scratch, self.camera, ambient);
     }
 
     /// Ground-truth visible objects (used to label CNN training data and to
     /// drive the human reference policy).
     pub fn ground_truth(&self) -> Vec<DetectedObject> {
-        self.objects
-            .iter()
-            .map(|o| DetectedObject {
-                class: o.class,
-                x: o.x,
-                y: o.y,
-                size: o.size,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.ground_truth_into(&mut out);
+        out
+    }
+
+    /// [`World::ground_truth`] into a reused buffer (cleared first).
+    pub fn ground_truth_into(&self, out: &mut Vec<DetectedObject>) {
+        out.clear();
+        out.extend(self.objects.iter().map(|o| DetectedObject {
+            class: o.class,
+            x: o.x,
+            y: o.y,
+            size: o.size,
+        }));
     }
 
     /// Ground truth corrupted with position noise — models imperfect CNN

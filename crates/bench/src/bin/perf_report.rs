@@ -1,5 +1,5 @@
 //! Perf-trajectory reporter: times the repository's canonical hot loops and
-//! emits a machine-readable JSON report (`BENCH_03.json`).
+//! emits a machine-readable JSON report (`BENCH_06.json`).
 //!
 //! Following the continuous-benchmarking discipline of Mohammadi & Bazhirov
 //! (arXiv:1812.05257), the committed report gives every future PR a
@@ -21,14 +21,21 @@
 //! perf-smoke run catches numeric corruption as well as crashes.
 
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pictor_apps::{AppId, HumanPolicy};
 use pictor_bench::fixtures::{assert_all_finite, conv_d_out, conv_fixture, lstm_d_h, lstm_fixture};
 use pictor_client::ic::{IcTrainConfig, IntelligentClient};
+use pictor_core::fleet::{FirstFit, FleetSpec, WorkloadMix};
 use pictor_ml::{Matrix, Scratch};
 use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
 use pictor_sim::{SeedTree, SimDuration};
+
+/// `pipeline_one_simulated_second` median committed in PR 3's
+/// `BENCH_03.json` — the pre-refactor baseline the pooled/slab hot loop is
+/// gated against (measured on the same machine class as this report).
+const PIPELINE_SEED_NS: u128 = 5_575_665;
 
 /// Median wall-clock nanoseconds of `iters` runs of `f`.
 fn median_ns<O>(iters: usize, mut f: impl FnMut() -> O) -> u128 {
@@ -63,7 +70,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_03.json".to_string());
+        .unwrap_or_else(|| "BENCH_06.json".to_string());
     // Sample counts: enough for a stable median in a full run, minimal in
     // --quick (CI smoke only checks for panics/NaN and artifact shape).
     let (n_fast, n_slow) = if quick { (3, 1) } else { (200, 20) };
@@ -178,7 +185,7 @@ fn main() {
     // --- full pipeline second (human driver, stock TurboVNC) -------------
     rows.push(Row {
         name: "pipeline_one_simulated_second",
-        before_ns: None,
+        before_ns: Some(PIPELINE_SEED_NS),
         after_ns: median_ns(n_slow, || {
             let seeds = SeedTree::new(6);
             let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), seeds);
@@ -195,16 +202,52 @@ fn main() {
         }),
     });
 
+    // --- fleet throughput: simulated session-seconds per wall-second -----
+    // One single-threaded fleet run (4 servers, churning sessions) so the
+    // number is a property of the hot loop, not of the pool's parallelism.
+    // Each session-epoch is one simulated second of one session.
+    let fleet_epochs = if quick { 2 } else { 10 };
+    let fleet_spec = FleetSpec::new(
+        4,
+        WorkloadMix::weighted(AppId::ALL.into_iter().map(|id| (id.spec(), 1.0))),
+        Arc::new(FirstFit),
+        11,
+    )
+    .epochs(fleet_epochs);
+    let fleet_start = Instant::now();
+    let fleet_report = fleet_spec.run_with_threads(1);
+    let fleet_wall_ns = fleet_start.elapsed().as_nanos();
+    let fleet_rate = fleet_report.session_epochs as f64 * 1e9 / fleet_wall_ns.max(1) as f64;
+    rows.push(Row {
+        name: "fleet_4srv_first_fit_1thread",
+        before_ns: None,
+        after_ns: fleet_wall_ns,
+    });
+    assert!(
+        fleet_report.session_epochs > 0,
+        "fleet bench simulated no session-epochs"
+    );
+
     // --- report -----------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"pictor-perf-trajectory/v1\",\n");
-    json.push_str("  \"pr\": 3,\n");
+    json.push_str("  \"pr\": 6,\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(
         "  \"note\": \"before_ns = seed naive kernel (in-tree *_reference), after_ns = blocked \
          GEMM path; both timed in the same release build on the same machine\",\n",
     );
+    json.push_str(
+        "  \"pipeline_note\": \"pipeline_one_simulated_second before_ns is the median committed \
+         in PR 3's BENCH_03.json (pre-refactor event loop); after_ns is the pooled/slab hot \
+         loop with zero steady-state allocations\",\n",
+    );
+    json.push_str(&format!(
+        "  \"fleet\": {{\"session_epochs\": {}, \"wall_ns\": {}, \
+         \"sessions_simulated_per_wall_second\": {:.1}}},\n",
+        fleet_report.session_epochs, fleet_wall_ns, fleet_rate
+    ));
     json.push_str(
         "  \"lstm_note\": \"the LSTM benches are capped by ~90us/seq of libm exp/tanh shared \
          with the reference; the kernels stay bit-identical to the seed (golden stability), \
@@ -242,6 +285,10 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
+    println!(
+        "{:<34} {:>14} session-epochs {:>8.1}/wall-s",
+        "fleet_sessions_simulated", fleet_report.session_epochs, fleet_rate
+    );
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
     f.write_all(json.as_bytes())

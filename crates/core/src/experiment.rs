@@ -96,11 +96,25 @@ impl ExperimentResult {
 }
 
 /// Runs an experiment to completion.
-pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
+pub fn run_experiment(spec: ExperimentSpec<'_>) -> ExperimentResult {
+    let mut records = Vec::new();
+    run_experiment_into(spec, &mut records)
+}
+
+/// [`run_experiment`] draining into a caller-owned record buffer, so
+/// repeated runs (scenario grids, fleet intervals) reuse one allocation
+/// instead of growing a fresh `Vec` per experiment. The buffer is cleared
+/// on entry; unless `keep_records` moves it into the result, it is left
+/// holding the run's records with its capacity intact for the next call.
+pub fn run_experiment_into(
+    mut spec: ExperimentSpec<'_>,
+    records: &mut Vec<Record>,
+) -> ExperimentResult {
+    records.clear();
     let seeds = SeedTree::new(spec.seed);
     let mut sys = CloudSystem::new(spec.config.clone(), seeds);
     for (i, app) in spec.apps.iter().enumerate() {
-        let inst_seeds = seeds.child(&format!("driver-{i}"));
+        let inst_seeds = seeds.child_indexed("driver-", i as u64);
         let driver = (spec.drivers)(i, app, &inst_seeds);
         sys.add_instance(app, driver);
     }
@@ -109,9 +123,9 @@ pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
     sys.reset_accounting();
     let window_start = sys.now();
     sys.run_for(spec.duration);
-    let records = sys.drain_records();
+    sys.drain_records_into(records);
     let reports = sys.reports();
-    let tracks = InputTracker::new().analyze(&records);
+    let tracks = InputTracker::new().analyze(records);
     let empty = InstanceTrack::default();
     let instances = reports
         .into_iter()
@@ -124,7 +138,7 @@ pub fn run_experiment(mut spec: ExperimentSpec<'_>) -> ExperimentResult {
     ExperimentResult {
         instances,
         window_start,
-        records: spec.keep_records.then_some(records),
+        records: spec.keep_records.then(|| std::mem::take(records)),
     }
 }
 

@@ -472,7 +472,7 @@ impl FleetSpec {
         // draw sequence depends only on its own admission history.
         let closed = self.arrivals.closed_clients * self.servers;
         let mut client_rngs: Vec<SmallRng> = (0..closed)
-            .map(|c| tree.stream(&format!("client-{c}")))
+            .map(|c| tree.stream_indexed("client-", c as u64))
             .collect();
         for (c, rng) in client_rngs.iter_mut().enumerate() {
             // Staggered first join: a fraction of a think time in.
@@ -813,7 +813,7 @@ fn run_interval(
 ) -> IntervalResult {
     // Seeds derive from names so results are independent of execution
     // order and thread identity.
-    let interval_seeds = tree.child(&format!("server-{}/e{}", job.server, job.start_epoch));
+    let interval_seeds = tree.child_indexed2("server-", job.server as u64, "/e", job.start_epoch);
     let mut sys = CloudSystem::new(spec.server_config.clone(), interval_seeds);
     // Instance order: session id ascending — stable across policies and
     // independent of occupancy bookkeeping internals.
@@ -821,7 +821,7 @@ fn run_interval(
     ids.sort_by_key(|&i| sched.sessions[i].id);
     for &i in &ids {
         let session = &sched.sessions[i];
-        let seeds = interval_seeds.child(&format!("session-{}", session.id));
+        let seeds = interval_seeds.child_indexed("session-", session.id);
         sys.add_instance(
             &session.app,
             Box::new(HumanDriver::from_seeds(&session.app, &seeds)),
@@ -834,7 +834,7 @@ fn run_interval(
     let mut records = Vec::new();
     for _ in job.start_epoch..job.end_epoch {
         sys.run_for(spec.epoch);
-        records.append(&mut sys.drain_records());
+        sys.drain_records_into(&mut records);
         fps.push(sys.reports().iter().map(|r| r.server_fps).collect());
         sys.reset_accounting();
     }

@@ -32,7 +32,9 @@ pub mod report;
 pub mod suite;
 pub mod tracker;
 
-pub use experiment::{run_experiment, DriverFactory, ExperimentResult, ExperimentSpec};
+pub use experiment::{
+    run_experiment, run_experiment_into, DriverFactory, ExperimentResult, ExperimentSpec,
+};
 pub use fleet::{
     ArrivalConfig, FirstFit, FleetGrid, FleetReport, FleetSpec, FleetSuiteReport,
     InterferenceAware, LeastContended, PlacementPolicy, ServerLoad, SloSpec, WorkloadMix,

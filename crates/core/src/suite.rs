@@ -26,7 +26,7 @@ use pictor_render::records::Record;
 use pictor_render::SystemConfig;
 use pictor_sim::{SeedTree, SimDuration, SimTime};
 
-use crate::experiment::{run_experiment, ExperimentSpec};
+use crate::experiment::{run_experiment_into, ExperimentSpec};
 use crate::metrics::InstanceMetrics;
 use crate::report::{csv_field, json_escape, json_num, Table};
 
@@ -587,6 +587,13 @@ pub fn default_threads() -> usize {
         })
 }
 
+thread_local! {
+    /// Per-worker record buffer reused across grid cells: each pool thread
+    /// pays for the record stream's allocation once, not once per cell.
+    static RECORD_SCRATCH: std::cell::RefCell<Vec<pictor_render::records::Record>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 fn run_cell(scenario: &Scenario, method: &Method, keep_records: bool) -> CellReport {
     match &method.kind {
         MethodKind::Analytic(f) => CellReport {
@@ -597,7 +604,7 @@ fn run_cell(scenario: &Scenario, method: &Method, keep_records: bool) -> CellRep
         },
         MethodKind::Drivers { factory, .. } => {
             let factory = Arc::clone(factory);
-            let result = run_experiment(ExperimentSpec {
+            let spec = ExperimentSpec {
                 apps: scenario.apps.clone(),
                 config: scenario.config.clone(),
                 seed: scenario.seed,
@@ -605,7 +612,9 @@ fn run_cell(scenario: &Scenario, method: &Method, keep_records: bool) -> CellRep
                 duration: scenario.duration,
                 keep_records,
                 drivers: Box::new(move |i, app, seeds| factory(i, app, seeds)),
-            });
+            };
+            let result =
+                RECORD_SCRATCH.with_borrow_mut(|records| run_experiment_into(spec, records));
             let trace = result.records.map(|records| CellTrace {
                 window_start: result.window_start,
                 records,

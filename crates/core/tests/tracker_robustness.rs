@@ -48,7 +48,7 @@ fn full_journey() -> Vec<Record> {
         Record::FrameDisplayed {
             instance: 0,
             frame: 7,
-            tags: vec![Tag(1)],
+            tags: vec![Tag(1)].into(),
             time: t(72),
         },
     ]
@@ -136,7 +136,7 @@ fn displayed_tag_without_send_is_ignored() {
     let records = vec![Record::FrameDisplayed {
         instance: 0,
         frame: 1,
-        tags: vec![Tag(5)],
+        tags: vec![Tag(5)].into(),
         time: t(50),
     }];
     let tracks = InputTracker::new().analyze(&records);
@@ -156,7 +156,7 @@ fn instances_are_isolated() {
     records.push(Record::FrameDisplayed {
         instance: 1,
         frame: 3,
-        tags: vec![Tag(1)],
+        tags: vec![Tag(1)].into(),
         time: t(130),
     });
     let tracks = InputTracker::new().analyze(&records);
@@ -179,7 +179,7 @@ fn coalesced_frames_carry_foreign_tags() {
     records.push(Record::FrameDisplayed {
         instance: 0,
         frame: 8,
-        tags: vec![Tag(1)],
+        tags: vec![Tag(1)].into(),
         time: t(90),
     });
     let tracks = InputTracker::new().analyze(&records);

@@ -50,11 +50,29 @@ pub const SIM_HEIGHT: usize = 54;
 /// assert_eq!(f.pixel(3, 2), [10, 20, 30]);
 /// assert_eq!(f.id(), 7);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Frame {
     id: u64,
     resolution: Resolution,
     pixels: Vec<u8>, // SIM_WIDTH * SIM_HEIGHT * 3, row-major RGB
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Self {
+        Frame {
+            id: self.id,
+            resolution: self.resolution,
+            pixels: self.pixels.clone(),
+        }
+    }
+
+    /// Reuses the destination's pixel buffer — hot paths that keep a
+    /// last-frame copy clone without allocating.
+    fn clone_from(&mut self, source: &Self) {
+        self.id = source.id;
+        self.resolution = source.resolution;
+        self.pixels.clone_from(&source.pixels);
+    }
 }
 
 impl Frame {
@@ -79,6 +97,12 @@ impl Frame {
     /// Frame sequence number.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Overwrites the frame sequence number (pooled frames are re-stamped
+    /// when their buffer is reused for a new render).
+    pub fn set_id(&mut self, id: u64) {
+        self.id = id;
     }
 
     /// Logical resolution (drives copy/transfer byte counts).

@@ -29,5 +29,5 @@ pub use api::{ApiCall, ApiEvent, ApiObserver, NullObserver};
 pub use compress::CompressionModel;
 pub use frame::{Frame, Resolution};
 pub use interposer::InterposerConfig;
-pub use raster::{draw_scene, SceneObject};
-pub use tag::{embed_tag, extract_tag, restore_pixels, SavedPixels, Tag};
+pub use raster::{draw_scene, draw_scene_into, SceneObject};
+pub use tag::{embed_tag, extract_tag, restore_pixels, SavedPixels, Tag, TagList};

@@ -78,24 +78,40 @@ const PALETTE: [[u8; 3]; 16] = [
 /// ```
 pub fn draw_scene(frame_id: u64, objects: &[SceneObject], camera: f64, ambient: f64) -> Frame {
     let mut frame = Frame::new(frame_id);
+    draw_scene_into(&mut frame, objects, camera, ambient);
+    frame
+}
+
+/// [`draw_scene`] into an existing frame, overwriting every pixel.
+///
+/// Allocation-free, so pooled render paths can reuse one [`Frame`] buffer;
+/// the caller re-stamps the id via [`Frame::set_id`]. Pixels are bit-identical
+/// to [`draw_scene`]'s.
+pub fn draw_scene_into(frame: &mut Frame, objects: &[SceneObject], camera: f64, ambient: f64) {
     let ambient = ambient.clamp(0.0, 1.0);
+    let amb = 0.5 + 0.5 * ambient;
     // Background: a warm-neutral vertical gradient panned by the camera.
     // Neutral hue keeps every palette color separable from the backdrop.
+    // The horizontal term depends only on x, so its sin() is hoisted out of
+    // the row loop (one evaluation per column instead of per pixel).
+    let mut col = [0.0f64; SIM_WIDTH];
+    for (x, c) in col.iter_mut().enumerate() {
+        let fx = (x as f64 / SIM_WIDTH as f64 + camera).rem_euclid(1.0);
+        // Non-harmonic horizontal frequency so no camera shift maps the
+        // background onto itself.
+        *c = 25.0 * (fx * std::f64::consts::TAU * 1.37).sin();
+    }
     for y in 0..SIM_HEIGHT {
-        for x in 0..SIM_WIDTH {
-            let fy = y as f64 / SIM_HEIGHT as f64;
-            let fx = (x as f64 / SIM_WIDTH as f64 + camera).rem_euclid(1.0);
-            // Non-harmonic horizontal frequency so no camera shift maps the
-            // background onto itself.
-            let base = 40.0 + 60.0 * fy + 25.0 * (fx * std::f64::consts::TAU * 1.37).sin();
-            let v = base * (0.5 + 0.5 * ambient);
+        let fy = y as f64 / SIM_HEIGHT as f64;
+        let row = 40.0 + 60.0 * fy;
+        for (x, c) in col.iter().enumerate() {
+            let v = (row + c) * amb;
             frame.set_pixel(x, y, [(v * 0.80) as u8, (v * 0.74) as u8, (v * 0.68) as u8]);
         }
     }
     for obj in objects {
-        draw_object(&mut frame, obj);
+        draw_object(frame, obj);
     }
-    frame
 }
 
 fn draw_object(frame: &mut Frame, obj: &SceneObject) {
@@ -198,6 +214,22 @@ mod tests {
         assert_eq!(o.y, 1.0);
         assert_eq!(o.size, 1.0);
         assert!((o.phase - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draw_scene_into_is_bit_identical_to_draw_scene() {
+        let objs = [
+            SceneObject::new(3, 0.31, 0.62, 0.21, 0.13),
+            SceneObject::new(9, 0.77, 0.18, 0.09, 0.88),
+        ];
+        for (camera, ambient) in [(0.0, 0.5), (0.42, 0.9), (0.999, 0.0), (0.1, 1.7)] {
+            let fresh = draw_scene(5, &objs, camera, ambient);
+            // Reuse a dirty frame: every pixel must be overwritten.
+            let mut reused = draw_scene(4, &[SceneObject::new(1, 0.5, 0.5, 0.9, 0.0)], 0.7, 1.0);
+            reused.set_id(5);
+            draw_scene_into(&mut reused, &objs, camera, ambient);
+            assert_eq!(fresh, reused, "camera={camera} ambient={ambient}");
+        }
     }
 
     #[test]

@@ -81,6 +81,145 @@ pub fn restore_pixels(frame: &mut Frame, saved: &SavedPixels) {
     }
 }
 
+/// Inline capacity of a [`TagList`]; frames rarely carry more tags than this
+/// (coalescing merges a handful at most), so the spill `Vec` stays empty on
+/// the hot path.
+const TAG_INLINE: usize = 8;
+
+/// A small-vector of [`Tag`]s: the first [`TAG_INLINE`] live inline, the rest
+/// spill to a heap `Vec`.
+///
+/// Frames accumulate the tags of the inputs they reflect; keeping them inline
+/// means tagging, coalescing and record emission allocate nothing in steady
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use pictor_gfx::{Tag, TagList};
+/// let mut tags = TagList::default();
+/// tags.push(Tag(7));
+/// assert_eq!(tags.last(), Some(Tag(7)));
+/// assert!(tags.contains(&Tag(7)));
+/// assert_eq!(tags.iter().count(), 1);
+/// ```
+#[derive(Clone)]
+pub struct TagList {
+    len: usize,
+    inline: [Tag; TAG_INLINE],
+    spill: Vec<Tag>,
+}
+
+impl Default for TagList {
+    fn default() -> Self {
+        TagList {
+            len: 0,
+            inline: [Tag(0); TAG_INLINE],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl TagList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no tags are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a tag.
+    pub fn push(&mut self, tag: Tag) {
+        if self.len < TAG_INLINE {
+            self.inline[self.len] = tag;
+        } else {
+            self.spill.push(tag);
+        }
+        self.len += 1;
+    }
+
+    /// Removes every tag, keeping the spill capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The most recently pushed tag.
+    pub fn last(&self) -> Option<Tag> {
+        if self.len == 0 {
+            None
+        } else if self.len <= TAG_INLINE {
+            Some(self.inline[self.len - 1])
+        } else {
+            self.spill.last().copied()
+        }
+    }
+
+    /// True if `tag` is present.
+    pub fn contains(&self, tag: &Tag) -> bool {
+        self.iter().any(|t| t == tag)
+    }
+
+    /// Iterates the tags in insertion order.
+    pub fn iter(&self) -> std::iter::Chain<std::slice::Iter<'_, Tag>, std::slice::Iter<'_, Tag>> {
+        self.inline[..self.len.min(TAG_INLINE)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+
+    /// Moves the tags of `older` to the *front* of this list, preserving both
+    /// orders — frame coalescing keeps the dropped frame's tags first.
+    pub fn prepend(&mut self, mut older: TagList) {
+        if older.is_empty() {
+            return;
+        }
+        for &tag in self.iter() {
+            older.push(tag);
+        }
+        *self = older;
+    }
+}
+
+impl<'a> IntoIterator for &'a TagList {
+    type Item = &'a Tag;
+    type IntoIter = std::iter::Chain<std::slice::Iter<'a, Tag>, std::slice::Iter<'a, Tag>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl From<Vec<Tag>> for TagList {
+    fn from(tags: Vec<Tag>) -> Self {
+        let mut list = TagList::new();
+        for tag in tags {
+            list.push(tag);
+        }
+        list
+    }
+}
+
+impl PartialEq for TagList {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+impl Eq for TagList {}
+
+impl std::fmt::Debug for TagList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +282,44 @@ mod tests {
         embed_tag(&mut f, Tag(1));
         embed_tag(&mut f, Tag(2));
         assert_eq!(extract_tag(&f), Some(Tag(2)));
+    }
+
+    #[test]
+    fn tag_list_matches_vec_semantics_across_spill() {
+        let mut list = TagList::new();
+        let mut reference = Vec::new();
+        for i in 0..20u32 {
+            list.push(Tag(i));
+            reference.push(Tag(i));
+            assert_eq!(list.len(), reference.len());
+            assert_eq!(list.last(), reference.last().copied());
+            assert_eq!(list.iter().copied().collect::<Vec<_>>(), reference);
+        }
+        assert!(list.contains(&Tag(0)) && list.contains(&Tag(19)));
+        assert!(!list.contains(&Tag(99)));
+        assert_eq!(list, TagList::from(reference));
+        list.clear();
+        assert!(list.is_empty());
+        assert_eq!(list.last(), None);
+    }
+
+    #[test]
+    fn tag_list_prepend_keeps_both_orders() {
+        for (old_n, new_n) in [(0usize, 3usize), (2, 0), (3, 4), (10, 10)] {
+            let mut older = TagList::new();
+            for i in 0..old_n {
+                older.push(Tag(i as u32));
+            }
+            let mut newer = TagList::new();
+            for i in 0..new_n {
+                newer.push(Tag(100 + i as u32));
+            }
+            newer.prepend(older);
+            let expected: Vec<Tag> = (0..old_n)
+                .map(|i| Tag(i as u32))
+                .chain((0..new_n).map(|i| Tag(100 + i as u32)))
+                .collect();
+            assert_eq!(newer.iter().copied().collect::<Vec<_>>(), expected);
+        }
     }
 }

@@ -7,8 +7,6 @@
 //! `share × speed`, where `speed < 1` models contention stalls — matching the
 //! Top-Down view that a stalled core is busy but not retiring.
 
-use std::collections::HashMap;
-
 use pictor_sim::stats::TimeWeighted;
 use pictor_sim::{JobId, PsResource, SimDuration, SimTime};
 
@@ -37,8 +35,14 @@ pub struct OwnerId(pub u32);
 #[derive(Debug, Clone)]
 pub struct Cpu {
     pool: PsResource,
-    owners: HashMap<JobId, OwnerId>,
-    occupancy: HashMap<OwnerId, TimeWeighted>,
+    /// Active jobs and their owners, sorted by job id (ids are monotone, so
+    /// inserts are tail pushes); replaces a `HashMap` on the hot path.
+    owners: Vec<(JobId, OwnerId)>,
+    /// Runnable-job count per owner, indexed by `OwnerId.0` (owner ids are
+    /// dense small integers: two per instance).
+    counts: Vec<usize>,
+    /// Occupancy signal per owner, same indexing; `None` until first seen.
+    occupancy: Vec<Option<TimeWeighted>>,
     start: SimTime,
 }
 
@@ -47,8 +51,9 @@ impl Cpu {
     pub fn new(cores: f64) -> Self {
         Cpu {
             pool: PsResource::new(cores),
-            owners: HashMap::new(),
-            occupancy: HashMap::new(),
+            owners: Vec::new(),
+            counts: Vec::new(),
+            occupancy: Vec::new(),
             start: SimTime::ZERO,
         }
     }
@@ -65,19 +70,10 @@ impl Cpu {
 
     fn refresh_occupancy(&mut self, now: SimTime) {
         let share = self.pool.share();
-        let mut counts: HashMap<OwnerId, usize> = HashMap::new();
-        for owner in self.owners.values() {
-            *counts.entry(*owner).or_insert(0) += 1;
-        }
-        for (owner, signal) in self.occupancy.iter_mut() {
-            let cores = counts.get(owner).copied().unwrap_or(0) as f64 * share;
-            signal.set(now, cores);
-        }
-        for (owner, count) in counts {
-            self.occupancy
-                .entry(owner)
-                .or_insert_with(|| TimeWeighted::new(self.start, 0.0))
-                .set(now, count as f64 * share);
+        for (o, signal) in self.occupancy.iter_mut().enumerate() {
+            if let Some(signal) = signal {
+                signal.set(now, self.counts[o] as f64 * share);
+            }
         }
     }
 
@@ -94,14 +90,29 @@ impl Cpu {
         speed: f64,
     ) {
         self.pool.insert(now, id, work, speed);
-        self.owners.insert(id, owner);
+        let o = owner.0 as usize;
+        if o >= self.counts.len() {
+            self.counts.resize(o + 1, 0);
+            self.occupancy.resize_with(o + 1, || None);
+        }
+        self.counts[o] += 1;
+        if self.occupancy[o].is_none() {
+            self.occupancy[o] = Some(TimeWeighted::new(self.start, 0.0));
+        }
+        match self.owners.binary_search_by_key(&id, |(jid, _)| *jid) {
+            Err(pos) => self.owners.insert(pos, (id, owner)),
+            Ok(_) => unreachable!("pool rejects duplicate jobs"),
+        }
         self.refresh_occupancy(now);
     }
 
     /// Removes a job, returning its remaining work if it was active.
     pub fn remove(&mut self, now: SimTime, id: JobId) -> Option<SimDuration> {
         let left = self.pool.remove(now, id);
-        self.owners.remove(&id);
+        if let Ok(pos) = self.owners.binary_search_by_key(&id, |(jid, _)| *jid) {
+            let (_, owner) = self.owners.remove(pos);
+            self.counts[owner.0 as usize] -= 1;
+        }
         self.refresh_occupancy(now);
         left
     }
@@ -122,7 +133,8 @@ impl Cpu {
     pub fn owner_utilization(&mut self, owner: OwnerId, now: SimTime) -> f64 {
         self.refresh_occupancy(now);
         self.occupancy
-            .get(&owner)
+            .get(owner.0 as usize)
+            .and_then(Option::as_ref)
             .map_or(0.0, |signal| signal.average(now))
     }
 
@@ -130,7 +142,8 @@ impl Cpu {
     pub fn total_utilization(&mut self, now: SimTime) -> f64 {
         self.refresh_occupancy(now);
         self.occupancy
-            .values()
+            .iter()
+            .flatten()
             .map(|signal| signal.average(now))
             .sum()
     }
@@ -139,14 +152,12 @@ impl Cpu {
     pub fn reset_accounting(&mut self, now: SimTime) {
         self.start = now;
         let share = self.pool.share();
-        let mut counts: HashMap<OwnerId, usize> = HashMap::new();
-        for owner in self.owners.values() {
-            *counts.entry(*owner).or_insert(0) += 1;
-        }
-        self.occupancy.clear();
-        for (owner, count) in counts {
-            self.occupancy
-                .insert(owner, TimeWeighted::new(now, count as f64 * share));
+        for (o, signal) in self.occupancy.iter_mut().enumerate() {
+            *signal = if self.counts[o] > 0 {
+                Some(TimeWeighted::new(now, self.counts[o] as f64 * share))
+            } else {
+                None
+            };
         }
         self.pool.reset_utilization(now);
     }

@@ -5,7 +5,7 @@
 //! `pictor-core` consumes the stream to reconstruct per-input round trips
 //! and per-stage latency distributions.
 
-use pictor_gfx::Tag;
+use pictor_gfx::{Tag, TagList};
 use pictor_sim::SimTime;
 
 /// A pipeline stage from the paper's Fig 5.
@@ -125,8 +125,9 @@ pub enum Record {
         instance: u32,
         /// Frame id.
         frame: u64,
-        /// Tags whose inputs this frame responds to.
-        tags: Vec<Tag>,
+        /// Tags whose inputs this frame responds to. Moved out of the frame's
+        /// pooled slot (not cloned) when the display record is emitted.
+        tags: TagList,
         /// Display time (client clock).
         time: SimTime,
     },

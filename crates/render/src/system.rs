@@ -22,18 +22,34 @@
 //! With the §6 optimizations the copy splits into `FCStart_{k-1}` (DMA
 //! issued, not awaited) and `FCEnd_{k-2}` (usually already complete), so the
 //! logic thread's period shrinks to roughly `AL + memcpy`.
+//!
+//! # Hot-loop data layout
+//!
+//! The per-event loop is allocation-free in steady state:
+//!
+//! * the [`EventQueue`] holds only *timer* events; resource completions are
+//!   found each iteration by scanning the resources directly, in the fixed
+//!   priority order the old reschedule-everything design implied, so the
+//!   event order (and every golden) is unchanged;
+//! * in-flight jobs live in a [`JobSlab`] — a free-list slab whose packed
+//!   [`JobId`]s keep the monotonic ordering resources rely on — instead of
+//!   five `HashMap`s;
+//! * per-instance frames live in a [`FrameTable`], a direct-mapped table
+//!   indexed by frame id that recycles pixel/truth buffers across passes;
+//! * tags ride in [`TagList`]s (inline small-vectors) and are *moved* into
+//!   `FrameDisplayed` records, never cloned.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 
 use pictor_apps::world::DetectedObject;
 use pictor_apps::{Action, App, AppProfile, World};
-use pictor_gfx::{embed_tag, extract_tag, restore_pixels, Frame, SavedPixels, Tag};
+use pictor_gfx::{embed_tag, extract_tag, restore_pixels, Frame, SavedPixels, Tag, TagList};
 use pictor_hw::{Cpu, Direction, Gpu, OwnerId, Pcie};
 use pictor_net::Link;
 use pictor_sim::rng::lognormal_mean_cv;
-use pictor_sim::{EventId, EventQueue, JobId, SeedTree, SimDuration, SimTime};
+use pictor_sim::{EventQueue, JobId, SeedTree, SimDuration, SimTime};
 
 use crate::config::{PipelineMode, QueryBuffers, SystemConfig};
 use crate::contention::{contention_states, ContentionState};
@@ -45,18 +61,6 @@ use crate::records::{Record, Stage, StageSpan};
 const BACKGROUND_WORK: SimDuration = SimDuration::from_secs(1_000_000);
 /// World step assumed for the very first pass.
 const FIRST_PASS_DT: f64 = 1.0 / 30.0;
-
-#[derive(Debug, Clone)]
-enum Ev {
-    ServerCpu,
-    Gpu,
-    Pcie,
-    LinkUpSer(usize),
-    LinkUpDel(usize),
-    LinkDownSer(usize),
-    LinkDownDel(usize),
-    Timer(usize, Timer),
-}
 
 #[derive(Debug, Clone)]
 enum Timer {
@@ -123,6 +127,64 @@ enum LinkMsg {
     },
 }
 
+/// Payload of an in-flight job tracked by the [`JobSlab`].
+#[derive(Debug)]
+enum JobEntry {
+    Vacant,
+    Cpu(usize, CpuJob),
+    Gpu(usize, u64),
+    Pcie(usize, PcieJob),
+    LinkUp(LinkMsg),
+    LinkDown(LinkMsg),
+}
+
+/// Slot index width of packed [`JobId`]s: up to ~1M concurrently live jobs.
+const SLOT_BITS: u32 = 20;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+/// Free-list slab of in-flight jobs.
+///
+/// A [`JobId`] packs `(seq << SLOT_BITS) | slot`: the sequence number in the
+/// high bits keeps ids strictly increasing across allocations (resources use
+/// id order as insertion order), while the low bits index straight into the
+/// slab so lookup and removal are O(1) without hashing.
+#[derive(Debug, Default)]
+struct JobSlab {
+    slots: Vec<(u64, JobEntry)>,
+    free: Vec<u32>,
+    next_seq: u64,
+}
+
+impl JobSlab {
+    fn new() -> Self {
+        JobSlab::default()
+    }
+
+    fn alloc(&mut self, entry: JobEntry) -> JobId {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push((0, JobEntry::Vacant));
+                self.slots.len() - 1
+            }
+        };
+        assert!(slot < (1 << SLOT_BITS), "job slab exhausted");
+        self.next_seq += 1;
+        let raw = (self.next_seq << SLOT_BITS) | slot as u64;
+        self.slots[slot] = (raw, entry);
+        JobId(raw)
+    }
+
+    fn remove(&mut self, id: JobId) -> JobEntry {
+        let slot = (id.0 & SLOT_MASK) as usize;
+        let (raw, entry) = &mut self.slots[slot];
+        assert_eq!(*raw, id.0, "unknown job {id:?}");
+        *raw = 0;
+        self.free.push(slot as u32);
+        std::mem::replace(entry, JobEntry::Vacant)
+    }
+}
+
 /// The application logic thread's state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Logic {
@@ -143,11 +205,11 @@ enum Logic {
     Memcpy { frame: u64 },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct FrameData {
     frame: Frame,
     truth: Vec<DetectedObject>,
-    tags: Vec<Tag>,
+    tags: TagList,
     saved: Option<SavedPixels>,
     compressed_bytes: u64,
     rd_done: bool,
@@ -155,6 +217,146 @@ struct FrameData {
     rd_submit: SimTime,
     fc_start: Option<SimTime>,
     ss_start: SimTime,
+}
+
+impl FrameData {
+    fn empty() -> Self {
+        FrameData {
+            frame: Frame::new(0),
+            truth: Vec::new(),
+            tags: TagList::new(),
+            saved: None,
+            compressed_bytes: 0,
+            rd_done: false,
+            dma_done: false,
+            rd_submit: SimTime::ZERO,
+            fc_start: None,
+            ss_start: SimTime::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FrameSlot {
+    id: u64,
+    occupied: bool,
+    data: FrameData,
+}
+
+impl FrameSlot {
+    fn empty() -> Self {
+        FrameSlot {
+            id: 0,
+            occupied: false,
+            data: FrameData::empty(),
+        }
+    }
+}
+
+/// Initial [`FrameTable`] capacity; covers the steady-state window of live
+/// frames (pipeline depth + proxy queues + display latency) with headroom.
+const FRAME_TABLE_INIT: usize = 16;
+
+/// In-flight frames of one instance, keyed by frame id.
+///
+/// Frame ids are consecutive pass numbers and only a narrow window is ever
+/// live, so a direct-mapped power-of-two table (`id & mask`, no probing)
+/// always hits. Vacated slots keep their pixel/truth buffers, which the next
+/// pass reuses — the render path allocates nothing in steady state. On the
+/// rare collision between two live ids the table doubles until collision-free.
+#[derive(Debug)]
+struct FrameTable {
+    slots: Vec<FrameSlot>,
+}
+
+impl FrameTable {
+    fn new() -> Self {
+        FrameTable {
+            slots: (0..FRAME_TABLE_INIT).map(|_| FrameSlot::empty()).collect(),
+        }
+    }
+
+    fn idx(&self, id: u64) -> usize {
+        (id & (self.slots.len() as u64 - 1)) as usize
+    }
+
+    /// Claims the slot for `id`, resetting its bookkeeping; the frame's pixel
+    /// buffer is left stale because the render overwrites every pixel before
+    /// anything reads it. `rd_submit`/`ss_start` are set by the caller.
+    fn insert(&mut self, id: u64) -> &mut FrameData {
+        while self.slots[self.idx(id)].occupied && self.slots[self.idx(id)].id != id {
+            self.grow();
+        }
+        let idx = self.idx(id);
+        let slot = &mut self.slots[idx];
+        debug_assert!(!slot.occupied, "frame {id} already present");
+        slot.id = id;
+        slot.occupied = true;
+        let data = &mut slot.data;
+        data.truth.clear();
+        data.tags.clear();
+        data.saved = None;
+        data.compressed_bytes = 0;
+        data.rd_done = false;
+        data.dma_done = false;
+        data.fc_start = None;
+        data
+    }
+
+    fn get(&self, id: u64) -> Option<&FrameData> {
+        let slot = &self.slots[self.idx(id)];
+        (slot.occupied && slot.id == id).then_some(&slot.data)
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut FrameData> {
+        let idx = self.idx(id);
+        let slot = &mut self.slots[idx];
+        (slot.occupied && slot.id == id).then_some(&mut slot.data)
+    }
+
+    /// Removes `id`, handing back its data slot so the caller can scavenge
+    /// (move out) what it needs; the buffers stay pooled for reuse.
+    fn remove(&mut self, id: u64) -> Option<&mut FrameData> {
+        let idx = self.idx(id);
+        let slot = &mut self.slots[idx];
+        if slot.occupied && slot.id == id {
+            slot.occupied = false;
+            Some(&mut slot.data)
+        } else {
+            None
+        }
+    }
+
+    /// Doubles capacity until no two live ids collide (cold path).
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.slots);
+        let mut cap = old.len();
+        loop {
+            cap *= 2;
+            let mask = cap as u64 - 1;
+            let mut seen = vec![false; cap];
+            let mut ok = true;
+            for s in old.iter().filter(|s| s.occupied) {
+                let idx = (s.id & mask) as usize;
+                if seen[idx] {
+                    ok = false;
+                    break;
+                }
+                seen[idx] = true;
+            }
+            if ok {
+                break;
+            }
+        }
+        let mask = cap as u64 - 1;
+        self.slots = (0..cap).map(|_| FrameSlot::empty()).collect();
+        for s in old {
+            if s.occupied {
+                let idx = (s.id & mask) as usize;
+                self.slots[idx] = s;
+            }
+        }
+    }
 }
 
 struct Instance {
@@ -175,8 +377,13 @@ struct Instance {
     last_al_start: Option<SimTime>,
     al_start: SimTime,
     pending_inputs: Vec<(Tag, Action)>,
-    frames: HashMap<u64, FrameData>,
-    dma_requested: HashSet<u64>,
+    /// Double-buffer partner of `pending_inputs`: `start_al` swaps the two
+    /// and consumes from here, so neither side ever reallocates.
+    pending_scratch: Vec<(Tag, Action)>,
+    frames: FrameTable,
+    /// Frames whose FCStart ran before their render finished (tiny: at most
+    /// a couple of entries, scanned linearly).
+    dma_requested: Vec<u64>,
     resolution_queried: bool,
     // app sender thread
     as_queue: VecDeque<u64>,
@@ -237,31 +444,51 @@ pub struct InstanceReport {
     pub gpu_memory_mib: u64,
 }
 
+/// A pending-work source scanned by the dispatch loop. Declaration order is
+/// the tie-break priority and must match the old refresh order: timers first,
+/// then CPU, GPU, PCIe, then per link up-ser, up-del, down-ser, down-del.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Timer,
+    Cpu,
+    Gpu,
+    Pcie,
+    UpSer(usize),
+    UpDel(usize),
+    DownSer(usize),
+    DownDel(usize),
+}
+
+/// Keeps the *first* minimum: a later source replaces the best candidate only
+/// when strictly earlier, which reproduces the old event-seq tie-breaking.
+fn better(best: &mut Option<(SimTime, Source)>, cand: Option<SimTime>, now: SimTime, src: Source) {
+    if let Some(t) = cand {
+        let t = t.max(now);
+        match best {
+            Some((bt, _)) if *bt <= t => {}
+            _ => *best = Some((t, src)),
+        }
+    }
+}
+
 /// The simulated cloud rendering system.
 pub struct CloudSystem {
     config: SystemConfig,
     seeds: SeedTree,
-    queue: EventQueue<Ev>,
+    queue: EventQueue<(usize, Timer)>,
     cpu: Cpu,
     gpu: Gpu,
     pcie: Pcie,
     links_up: Vec<Link>,
     links_down: Vec<Link>,
     instances: Vec<Instance>,
-    cpu_jobs: HashMap<JobId, (usize, CpuJob)>,
-    gpu_jobs: HashMap<JobId, (usize, u64)>,
-    pcie_jobs: HashMap<JobId, (usize, PcieJob, Direction)>,
-    up_msgs: Vec<HashMap<JobId, LinkMsg>>,
-    down_msgs: Vec<HashMap<JobId, LinkMsg>>,
-    next_job: u64,
+    jobs: JobSlab,
     next_tag: u32,
     records: Vec<Record>,
     started: bool,
     window_start: SimTime,
-    ev_cpu: Option<EventId>,
-    ev_gpu: Option<EventId>,
-    ev_pcie: Option<EventId>,
-    ev_links: Vec<[Option<EventId>; 4]>, // up-ser, up-del, down-ser, down-del
+    /// Time of the last dispatched event (timer or resource completion).
+    clock: SimTime,
 }
 
 impl CloudSystem {
@@ -280,20 +507,12 @@ impl CloudSystem {
             links_up: Vec::new(),
             links_down: Vec::new(),
             instances: Vec::new(),
-            cpu_jobs: HashMap::new(),
-            gpu_jobs: HashMap::new(),
-            pcie_jobs: HashMap::new(),
-            up_msgs: Vec::new(),
-            down_msgs: Vec::new(),
-            next_job: 0,
+            jobs: JobSlab::new(),
             next_tag: 1,
             records: Vec::new(),
             started: false,
             window_start: SimTime::ZERO,
-            ev_cpu: None,
-            ev_gpu: None,
-            ev_pcie: None,
-            ev_links: Vec::new(),
+            clock: SimTime::ZERO,
         }
     }
 
@@ -308,7 +527,7 @@ impl CloudSystem {
         assert!(!self.started, "cannot add instances after start");
         let app: App = app.into();
         let id = self.instances.len();
-        let inst_seeds = self.seeds.child(&format!("instance-{id}"));
+        let inst_seeds = self.seeds.child_indexed("instance-", id as u64);
         let profile = app.profile.clone();
         assert!(
             self.gpu.allocate(id as u64, profile.gpu_memory_mib),
@@ -326,9 +545,6 @@ impl CloudSystem {
             self.config.tuning.net_jitter_cv,
             inst_seeds.stream("link-down"),
         ));
-        self.up_msgs.push(HashMap::new());
-        self.down_msgs.push(HashMap::new());
-        self.ev_links.push([None, None, None, None]);
         let world = World::new(&app, inst_seeds.stream("world"));
         self.instances.push(Instance {
             app,
@@ -355,8 +571,9 @@ impl CloudSystem {
             last_al_start: None,
             al_start: SimTime::ZERO,
             pending_inputs: Vec::new(),
-            frames: HashMap::new(),
-            dma_requested: HashSet::new(),
+            pending_scratch: Vec::new(),
+            frames: FrameTable::new(),
+            dma_requested: Vec::new(),
             resolution_queried: false,
             as_queue: VecDeque::new(),
             as_active: None,
@@ -388,7 +605,7 @@ impl CloudSystem {
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.clock
     }
 
     /// Computes contention, spawns background threads and kicks every
@@ -431,26 +648,30 @@ impl CloudSystem {
             let app_speed = self.instances[i].ctn.app_speed;
             let vnc_speed = self.instances[i].ctn.vnc_speed;
             for _ in 0..app_threads {
-                let job = self.alloc_job();
+                let job = self.jobs.alloc(JobEntry::Cpu(i, CpuJob::Background));
                 self.cpu
                     .insert(SimTime::ZERO, job, app_owner(i), BACKGROUND_WORK, app_speed);
-                self.cpu_jobs.insert(job, (i, CpuJob::Background));
             }
             for _ in 0..self.config.tuning.vnc_background_threads {
-                let job = self.alloc_job();
+                let job = self.jobs.alloc(JobEntry::Cpu(i, CpuJob::Background));
                 self.cpu
                     .insert(SimTime::ZERO, job, vnc_owner(i), BACKGROUND_WORK, vnc_speed);
-                self.cpu_jobs.insert(job, (i, CpuJob::Background));
             }
         }
         // Stagger the render loops so instances do not run in lockstep.
         for i in 0..n {
             let at = SimTime::ZERO + SimDuration::from_micros(7_300 * i as u64);
-            self.queue.schedule(at, Ev::Timer(i, Timer::Kick));
+            self.queue.schedule(at, (i, Timer::Kick));
         }
     }
 
     /// Runs the simulation until `deadline`.
+    ///
+    /// Each iteration scans every pending-work source (the timer queue plus
+    /// each resource's next completion) and dispatches the earliest, with
+    /// ties broken by scan order. This replaces the old cancel-and-reschedule
+    /// heap traffic with a handful of O(1)/O(log n) peeks and preserves the
+    /// exact event order.
     ///
     /// # Panics
     ///
@@ -458,14 +679,33 @@ impl CloudSystem {
     pub fn run_until(&mut self, deadline: SimTime) {
         assert!(self.started, "start() must be called first");
         loop {
-            self.refresh(self.queue.now());
-            match self.queue.peek_time() {
-                Some(t) if t <= deadline => {
-                    let (now, ev) = self.queue.pop().expect("peeked");
-                    self.handle(now, ev);
-                }
-                _ => break,
+            let now = self.clock;
+            let mut best: Option<(SimTime, Source)> = None;
+            if let Some(t) = self.queue.peek_time() {
+                best = Some((t, Source::Timer));
             }
+            let cand = self.cpu.next_completion(now).map(|(t, _)| t);
+            better(&mut best, cand, now, Source::Cpu);
+            let cand = self.gpu.next_completion(now).map(|(t, _)| t);
+            better(&mut best, cand, now, Source::Gpu);
+            let cand = self.pcie.next_completion(now).map(|(t, _, _)| t);
+            better(&mut best, cand, now, Source::Pcie);
+            for i in 0..self.links_up.len() {
+                let cand = self.links_up[i].next_serialization(now).map(|(t, _)| t);
+                better(&mut best, cand, now, Source::UpSer(i));
+                let cand = self.links_up[i].next_delivery(now).map(|(t, _)| t);
+                better(&mut best, cand, now, Source::UpDel(i));
+                let cand = self.links_down[i].next_serialization(now).map(|(t, _)| t);
+                better(&mut best, cand, now, Source::DownSer(i));
+                let cand = self.links_down[i].next_delivery(now).map(|(t, _)| t);
+                better(&mut best, cand, now, Source::DownDel(i));
+            }
+            let Some((t, src)) = best else { break };
+            if t > deadline {
+                break;
+            }
+            self.clock = t;
+            self.dispatch(t, src);
         }
     }
 
@@ -503,7 +743,15 @@ impl CloudSystem {
 
     /// Takes all measurement records collected so far.
     pub fn drain_records(&mut self) -> Vec<Record> {
-        std::mem::take(&mut self.records)
+        let mut out = Vec::new();
+        self.drain_records_into(&mut out);
+        out
+    }
+
+    /// Moves all measurement records into `out`, keeping the internal
+    /// buffer's capacity for reuse (the allocation-free drain).
+    pub fn drain_records_into(&mut self, out: &mut Vec<Record>) {
+        out.append(&mut self.records);
     }
 
     /// Builds per-instance reports for the window since the last
@@ -544,11 +792,6 @@ impl CloudSystem {
     // internals
     // ------------------------------------------------------------------
 
-    fn alloc_job(&mut self) -> JobId {
-        self.next_job += 1;
-        JobId(self.next_job)
-    }
-
     fn hook_cost(&self, hooks: u32) -> SimDuration {
         if self.config.measurement.enabled {
             self.config.measurement.hook_cost * u64::from(hooks)
@@ -557,97 +800,52 @@ impl CloudSystem {
         }
     }
 
-    /// Reschedules every resource's next-completion event.
-    fn refresh(&mut self, now: SimTime) {
-        let cpu_next = self.cpu.next_completion(now).map(|(t, _)| t);
-        Self::reschedule(
-            &mut self.queue,
-            &mut self.ev_cpu,
-            cpu_next,
-            now,
-            Ev::ServerCpu,
-        );
-        let gpu_next = self.gpu.next_completion(now).map(|(t, _)| t);
-        Self::reschedule(&mut self.queue, &mut self.ev_gpu, gpu_next, now, Ev::Gpu);
-        let pcie_next = self.pcie.next_completion(now).map(|(t, _, _)| t);
-        Self::reschedule(&mut self.queue, &mut self.ev_pcie, pcie_next, now, Ev::Pcie);
-        for i in 0..self.links_up.len() {
-            let ser = self.links_up[i].next_serialization(now).map(|(t, _)| t);
-            let del = self.links_up[i].next_delivery(now).map(|(t, _)| t);
-            let handles = &mut self.ev_links[i];
-            Self::reschedule(&mut self.queue, &mut handles[0], ser, now, Ev::LinkUpSer(i));
-            Self::reschedule(&mut self.queue, &mut handles[1], del, now, Ev::LinkUpDel(i));
-            let ser = self.links_down[i].next_serialization(now).map(|(t, _)| t);
-            let del = self.links_down[i].next_delivery(now).map(|(t, _)| t);
-            let handles = &mut self.ev_links[i];
-            Self::reschedule(
-                &mut self.queue,
-                &mut handles[2],
-                ser,
-                now,
-                Ev::LinkDownSer(i),
-            );
-            Self::reschedule(
-                &mut self.queue,
-                &mut handles[3],
-                del,
-                now,
-                Ev::LinkDownDel(i),
-            );
-        }
-    }
-
-    fn reschedule(
-        queue: &mut EventQueue<Ev>,
-        slot: &mut Option<EventId>,
-        when: Option<SimTime>,
-        now: SimTime,
-        ev: Ev,
-    ) {
-        if let Some(id) = slot.take() {
-            queue.cancel(id);
-        }
-        if let Some(t) = when {
-            *slot = Some(queue.schedule(t.max(now), ev));
-        }
-    }
-
-    fn handle(&mut self, now: SimTime, ev: Ev) {
-        match ev {
-            Ev::ServerCpu => {
+    fn dispatch(&mut self, now: SimTime, src: Source) {
+        match src {
+            Source::Timer => {
+                let (_, (i, timer)) = self.queue.pop().expect("peeked timer");
+                self.on_timer(now, i, timer);
+            }
+            Source::Cpu => {
                 while let Some((t, job)) = self.cpu.next_completion(now) {
                     if t > now {
                         break;
                     }
                     self.cpu.remove(now, job);
-                    let (inst, kind) = self.cpu_jobs.remove(&job).expect("unknown cpu job");
+                    let JobEntry::Cpu(inst, kind) = self.jobs.remove(job) else {
+                        panic!("job {job:?} is not a cpu job");
+                    };
                     self.on_cpu_done(now, inst, kind);
                 }
             }
-            Ev::Gpu => {
+            Source::Gpu => {
                 while let Some((t, _)) = self.gpu.next_completion(now) {
                     if t > now {
                         break;
                     }
                     let job = self.gpu.complete(now);
-                    let (inst, frame) = self.gpu_jobs.remove(&job).expect("unknown gpu job");
+                    let JobEntry::Gpu(inst, frame) = self.jobs.remove(job) else {
+                        panic!("job {job:?} is not a gpu job");
+                    };
                     self.gpu.take_render_time(job);
                     self.on_rd_done(now, inst, frame);
                 }
             }
-            Ev::Pcie => {
+            Source::Pcie => {
                 while let Some((t, job, dir)) = self.pcie.next_completion(now) {
                     if t > now {
                         break;
                     }
                     self.pcie.complete(now, job, dir);
-                    let (inst, kind, _) = self.pcie_jobs.remove(&job).expect("unknown pcie job");
+                    let JobEntry::Pcie(inst, kind) = self.jobs.remove(job) else {
+                        panic!("job {job:?} is not a pcie job");
+                    };
                     if let PcieJob::Dma { frame } = kind {
                         self.on_dma_done(now, inst, frame);
                     }
                 }
             }
-            Ev::LinkUpSer(i) => {
+            Source::UpSer(i) => {
                 while let Some((t, id)) = self.links_up[i].next_serialization(now) {
                     if t > now {
                         break;
@@ -655,19 +853,21 @@ impl CloudSystem {
                     self.links_up[i].finish_serialization(now, id);
                 }
             }
-            Ev::LinkUpDel(i) => {
+            Source::UpDel(i) => {
                 while let Some((t, id)) = self.links_up[i].next_delivery(now) {
                     if t > now {
                         break;
                     }
                     self.links_up[i].deliver(now, id);
-                    let msg = self.up_msgs[i].remove(&id).expect("unknown up message");
+                    let JobEntry::LinkUp(msg) = self.jobs.remove(id) else {
+                        panic!("job {id:?} is not an uplink message");
+                    };
                     if let LinkMsg::Input { tag, action, sent } = msg {
                         self.on_input_at_server(now, i, tag, action, sent);
                     }
                 }
             }
-            Ev::LinkDownSer(i) => {
+            Source::DownSer(i) => {
                 while let Some((t, id)) = self.links_down[i].next_serialization(now) {
                     if t > now {
                         break;
@@ -679,19 +879,20 @@ impl CloudSystem {
                     }
                 }
             }
-            Ev::LinkDownDel(i) => {
+            Source::DownDel(i) => {
                 while let Some((t, id)) = self.links_down[i].next_delivery(now) {
                     if t > now {
                         break;
                     }
                     self.links_down[i].deliver(now, id);
-                    let msg = self.down_msgs[i].remove(&id).expect("unknown down message");
+                    let JobEntry::LinkDown(msg) = self.jobs.remove(id) else {
+                        panic!("job {id:?} is not a downlink message");
+                    };
                     if let LinkMsg::FramePacket { frame } = msg {
                         self.on_frame_at_client(now, i, frame);
                     }
                 }
             }
-            Ev::Timer(i, timer) => self.on_timer(now, i, timer),
         }
     }
 
@@ -718,16 +919,16 @@ impl CloudSystem {
         inst.al_start = now;
         inst.pass += 1;
         let frame_id = inst.pass;
-        // Consume queued inputs (hook 4 fires per input).
-        let consumed: Vec<(Tag, Action)> = inst.pending_inputs.drain(..).collect();
+        // Consume queued inputs (hook 4 fires per input) via a double-buffer
+        // swap — `pending_scratch` was cleared at the end of the last pass.
+        std::mem::swap(&mut inst.pending_inputs, &mut inst.pending_scratch);
         inst.world.advance(dt);
-        for (_, action) in &consumed {
+        for (_, action) in &inst.pending_scratch {
             inst.world.apply(action);
         }
         let population = inst.world.population();
-        let n_actions = consumed.len();
-        let tags: Vec<Tag> = consumed.iter().map(|(t, _)| *t).collect();
-        for &tag in &tags {
+        let n_actions = inst.pending_scratch.len();
+        for &(tag, _) in &inst.pending_scratch {
             self.records.push(Record::InputConsumed {
                 instance: i as u32,
                 tag,
@@ -737,29 +938,21 @@ impl CloudSystem {
         }
         let hook = self.hook_cost(1 + n_actions as u32);
         let inst = &mut self.instances[i];
-        inst.frames.insert(
-            frame_id,
-            FrameData {
-                frame: Frame::new(0), // filled at AL end
-                truth: Vec::new(),
-                tags,
-                saved: None,
-                compressed_bytes: 0,
-                rd_done: false,
-                dma_done: false,
-                rd_submit: now,
-                fc_start: None,
-                ss_start: now,
-            },
-        );
+        let data = inst.frames.insert(frame_id);
+        data.rd_submit = now;
+        data.ss_start = now;
+        for &(tag, _) in &inst.pending_scratch {
+            data.tags.push(tag);
+        }
+        inst.pending_scratch.clear();
         inst.logic = Logic::Al { frame: frame_id };
         let mut work = inst.profile.al_time(&mut inst.rng, population, n_actions);
         work += hook;
         let speed = inst.ctn.app_speed;
-        let job = self.alloc_job();
+        let job = self
+            .jobs
+            .alloc(JobEntry::Cpu(i, CpuJob::Al { frame: frame_id }));
         self.cpu.insert(now, job, app_owner(i), work, speed);
-        self.cpu_jobs
-            .insert(job, (i, CpuJob::Al { frame: frame_id }));
     }
 
     fn on_cpu_done(&mut self, now: SimTime, i: usize, kind: CpuJob) {
@@ -788,19 +981,15 @@ impl CloudSystem {
                 ));
                 work += hook;
                 let speed = inst.ctn.vnc_speed;
-                let job = self.alloc_job();
+                let job = self.jobs.alloc(JobEntry::Cpu(
+                    i,
+                    CpuJob::Ps {
+                        tag,
+                        action,
+                        start: now,
+                    },
+                ));
                 self.cpu.insert(now, job, vnc_owner(i), work, speed);
-                self.cpu_jobs.insert(
-                    job,
-                    (
-                        i,
-                        CpuJob::Ps {
-                            tag,
-                            action,
-                            start: now,
-                        },
-                    ),
-                );
             }
             CpuJob::Ps { tag, action, start } => {
                 self.records.push(Record::Span(StageSpan {
@@ -831,30 +1020,24 @@ impl CloudSystem {
             start: al_start,
             end: now,
         }));
-        // Render server-side: upload geometry, queue the GPU batch (hook 5).
+        // Render server-side into the frame's pooled buffers: upload
+        // geometry, queue the GPU batch (hook 5).
         let inst = &mut self.instances[i];
-        let rendered = inst.world.render();
-        let truth = inst.world.ground_truth();
+        let data = inst.frames.get_mut(frame).expect("frame data");
+        inst.world.render_into(&mut data.frame);
+        inst.world.ground_truth_into(&mut data.truth);
+        data.rd_submit = now;
         let population = inst.world.population();
         let rd_cost = inst
             .profile
             .rd_time(&mut inst.rng, population)
             .scale(inst.rd_mult);
         let upload = inst.profile.upload_bytes_per_frame;
-        {
-            let data = inst.frames.get_mut(&frame).expect("frame data");
-            data.frame = rendered;
-            data.truth = truth;
-            data.rd_submit = now;
-        }
-        let upload_job = self.alloc_job();
+        let upload_job = self.jobs.alloc(JobEntry::Pcie(i, PcieJob::Upload));
         self.pcie
             .begin_transfer(now, upload_job, Direction::ToGpu, upload, i as u64);
-        self.pcie_jobs
-            .insert(upload_job, (i, PcieJob::Upload, Direction::ToGpu));
-        let rd_job = self.alloc_job();
+        let rd_job = self.jobs.alloc(JobEntry::Gpu(i, frame));
         self.gpu.submit_render(now, rd_job, rd_cost);
-        self.gpu_jobs.insert(rd_job, (i, frame));
         // Single-buffered timer queries stall the thread before the copy.
         if self.config.measurement.enabled
             && self.config.measurement.query_buffers == QueryBuffers::Single
@@ -862,7 +1045,7 @@ impl CloudSystem {
             let stall = rd_cost.scale(0.15) + SimDuration::from_micros(500);
             self.instances[i].logic = Logic::QueryStall { frame };
             self.queue
-                .schedule(now + stall, Ev::Timer(i, Timer::QueryStallDone { frame }));
+                .schedule(now + stall, (i, Timer::QueryStallDone { frame }));
             return;
         }
         self.begin_fc(now, i, frame);
@@ -874,7 +1057,12 @@ impl CloudSystem {
         match self.config.mode {
             PipelineMode::SlowMotion => {
                 // Serialized: wait for this very frame's render, then copy it.
-                if self.instances[i].frames[&frame].rd_done {
+                if self.instances[i]
+                    .frames
+                    .get(frame)
+                    .expect("fc frame")
+                    .rd_done
+                {
                     self.start_xgwa(now, i, frame);
                 } else {
                     self.instances[i].logic = Logic::WaitRd { frame };
@@ -885,12 +1073,12 @@ impl CloudSystem {
                     // FCStart for frame-1: issue the DMA without waiting.
                     if frame >= 2 {
                         let prev = frame - 1;
-                        let data = self.instances[i].frames.get_mut(&prev).expect("prev frame");
+                        let data = self.instances[i].frames.get_mut(prev).expect("prev frame");
                         data.fc_start = Some(now);
                         if data.rd_done {
                             self.begin_dma(now, i, prev);
                         } else {
-                            self.instances[i].dma_requested.insert(prev);
+                            self.instances[i].dma_requested.push(prev);
                         }
                     }
                     // XGWA (memoized in the optimized config: usually free).
@@ -910,14 +1098,14 @@ impl CloudSystem {
                         Some(t) => {
                             self.instances[i].logic = Logic::Xgwa { frame: t };
                             self.queue
-                                .schedule(now + cost, Ev::Timer(i, Timer::XgwaDone { frame: t }));
+                                .schedule(now + cost, (i, Timer::XgwaDone { frame: t }));
                         }
                         None if cost.is_zero() => self.start_al(now, i),
                         None => {
                             // XGWA delay before the next pass, nothing to copy.
                             self.instances[i].logic = Logic::Xgwa { frame };
                             self.queue
-                                .schedule(now + cost, Ev::Timer(i, Timer::XgwaDone { frame }));
+                                .schedule(now + cost, (i, Timer::XgwaDone { frame }));
                         }
                     }
                 } else {
@@ -943,10 +1131,7 @@ impl CloudSystem {
                 .scale(inst.container_ipc)
         };
         {
-            let data = self.instances[i]
-                .frames
-                .get_mut(&target)
-                .expect("fc target");
+            let data = self.instances[i].frames.get_mut(target).expect("fc target");
             if data.fc_start.is_none() {
                 data.fc_start = Some(now);
             }
@@ -956,7 +1141,7 @@ impl CloudSystem {
         } else {
             self.instances[i].logic = Logic::Xgwa { frame: target };
             self.queue
-                .schedule(now + cost, Ev::Timer(i, Timer::XgwaDone { frame: target }));
+                .schedule(now + cost, (i, Timer::XgwaDone { frame: target }));
         }
     }
 
@@ -964,11 +1149,9 @@ impl CloudSystem {
         // async_copy mode can reach here with "frame" being the current pass
         // when there was nothing to copy (bootstrap): just move on.
         if self.config.mode == PipelineMode::Pipelined && self.config.interposer.async_copy {
-            if self.instances[i].frames.get(&frame).map(|d| d.dma_done) == Some(true)
-                || self.instances[i].frames.contains_key(&frame)
-            {
+            if let Some(data) = self.instances[i].frames.get(frame) {
                 // FCEnd path handled by fc_end (waits for DMA if needed).
-                if self.instances[i].frames[&frame].fc_start.is_some() {
+                if data.fc_start.is_some() {
                     self.fc_end(now, i, frame);
                     return;
                 }
@@ -977,7 +1160,7 @@ impl CloudSystem {
             return;
         }
         // Stock/Slow-Motion: blocking glReadPixels of `frame`.
-        let data = &self.instances[i].frames[&frame];
+        let data = self.instances[i].frames.get(frame).expect("xgwa frame");
         if data.rd_done {
             self.begin_dma(now, i, frame);
             self.instances[i].logic = Logic::WaitDma { frame };
@@ -988,7 +1171,7 @@ impl CloudSystem {
 
     /// async-copy FCEnd: waits for the DMA of `frame` then memcpys it.
     fn fc_end(&mut self, now: SimTime, i: usize, frame: u64) {
-        let data = &self.instances[i].frames[&frame];
+        let data = self.instances[i].frames.get(frame).expect("fc end frame");
         if data.dma_done {
             self.start_memcpy(now, i, frame);
         } else {
@@ -997,19 +1180,22 @@ impl CloudSystem {
     }
 
     fn begin_dma(&mut self, now: SimTime, i: usize, frame: u64) {
-        let bytes = self.instances[i].frames[&frame].frame.raw_bytes();
+        let bytes = self.instances[i]
+            .frames
+            .get(frame)
+            .expect("dma frame")
+            .frame
+            .raw_bytes();
         // The §6 interposer adds a fixed readback setup cost; model it as
         // part of the transfer latency.
-        let job = self.alloc_job();
+        let job = self.jobs.alloc(JobEntry::Pcie(i, PcieJob::Dma { frame }));
         self.pcie
             .begin_transfer(now, job, Direction::FromGpu, bytes, i as u64);
-        self.pcie_jobs
-            .insert(job, (i, PcieJob::Dma { frame }, Direction::FromGpu));
     }
 
     fn on_rd_done(&mut self, now: SimTime, i: usize, frame: u64) {
         let rd_submit = {
-            let data = self.instances[i].frames.get_mut(&frame).expect("rd frame");
+            let data = self.instances[i].frames.get_mut(frame).expect("rd frame");
             data.rd_done = true;
             data.rd_submit
         };
@@ -1021,7 +1207,9 @@ impl CloudSystem {
             start: rd_submit,
             end: now,
         }));
-        if self.instances[i].dma_requested.remove(&frame) {
+        let req = &mut self.instances[i].dma_requested;
+        if let Some(pos) = req.iter().position(|&f| f == frame) {
+            req.swap_remove(pos);
             self.begin_dma(now, i, frame);
         }
         match self.instances[i].logic {
@@ -1040,7 +1228,7 @@ impl CloudSystem {
     fn on_dma_done(&mut self, now: SimTime, i: usize, frame: u64) {
         self.instances[i]
             .frames
-            .get_mut(&frame)
+            .get_mut(frame)
             .expect("dma frame")
             .dma_done = true;
         if let Logic::WaitDma { frame: f } = self.instances[i].logic {
@@ -1051,16 +1239,20 @@ impl CloudSystem {
     }
 
     fn start_memcpy(&mut self, now: SimTime, i: usize, frame: u64) {
-        let bytes = self.instances[i].frames[&frame].frame.raw_bytes();
+        let bytes = self.instances[i]
+            .frames
+            .get(frame)
+            .expect("memcpy frame")
+            .frame
+            .raw_bytes();
         let mut work = (self.config.interposer.memcpy_cost(bytes)
             + self.config.interposer.readback_setup)
             .scale(self.instances[i].container_ipc);
         work += self.hook_cost(2);
         let speed = self.instances[i].ctn.app_speed;
         self.instances[i].logic = Logic::Memcpy { frame };
-        let job = self.alloc_job();
+        let job = self.jobs.alloc(JobEntry::Cpu(i, CpuJob::Memcpy { frame }));
         self.cpu.insert(now, job, app_owner(i), work, speed);
-        self.cpu_jobs.insert(job, (i, CpuJob::Memcpy { frame }));
     }
 
     fn on_memcpy_done(&mut self, now: SimTime, i: usize, frame: u64) {
@@ -1068,8 +1260,8 @@ impl CloudSystem {
         // originals in "shared memory".
         {
             let inst = &mut self.instances[i];
-            let data = inst.frames.get_mut(&frame).expect("memcpy frame");
-            if let Some(&tag) = data.tags.last() {
+            let data = inst.frames.get_mut(frame).expect("memcpy frame");
+            if let Some(tag) = data.tags.last() {
                 data.saved = Some(embed_tag(&mut data.frame, tag));
                 self.records.push(Record::FrameTagged {
                     instance: i as u32,
@@ -1124,9 +1316,8 @@ impl CloudSystem {
         ));
         work += hook;
         let speed = inst.ctn.app_speed;
-        let job = self.alloc_job();
+        let job = self.jobs.alloc(JobEntry::Cpu(i, CpuJob::As { frame }));
         self.cpu.insert(now, job, app_owner(i), work, speed);
-        self.cpu_jobs.insert(job, (i, CpuJob::As { frame }));
     }
 
     fn on_as_done(&mut self, now: SimTime, i: usize, frame: u64) {
@@ -1145,9 +1336,13 @@ impl CloudSystem {
             self.start_cp(now, i, frame);
         } else if let Some(old) = self.instances[i].vnc_pending.replace(frame) {
             let inst = &mut self.instances[i];
-            let old_tags = inst.frames.remove(&old).map(|d| d.tags).unwrap_or_default();
-            if let Some(data) = inst.frames.get_mut(&frame) {
-                data.tags.splice(0..0, old_tags);
+            let old_tags = inst
+                .frames
+                .remove(old)
+                .map(|d| std::mem::take(&mut d.tags))
+                .unwrap_or_default();
+            if let Some(data) = inst.frames.get_mut(frame) {
+                data.tags.prepend(old_tags);
             }
             inst.frames_dropped += 1;
             self.records.push(Record::FrameDropped {
@@ -1167,10 +1362,10 @@ impl CloudSystem {
         inst.cp_active = Some(frame);
         inst.cp_start = now;
         // Hook 8: extract the tag and restore the pixels before encoding.
-        let data = inst.frames.get_mut(&frame).expect("cp frame");
+        let data = inst.frames.get_mut(frame).expect("cp frame");
         if let Some(saved) = data.saved.take() {
             let extracted = extract_tag(&data.frame);
-            debug_assert_eq!(extracted, data.tags.last().copied(), "tag must survive IPC");
+            debug_assert_eq!(extracted, data.tags.last(), "tag must survive IPC");
             restore_pixels(&mut data.frame, &saved);
         }
         let out = self
@@ -1183,9 +1378,8 @@ impl CloudSystem {
             work = SimDuration::from_micros(50);
         }
         let speed = inst.ctn.vnc_speed;
-        let job = self.alloc_job();
+        let job = self.jobs.alloc(JobEntry::Cpu(i, CpuJob::Cp { frame }));
         self.cpu.insert(now, job, vnc_owner(i), work, speed);
-        self.cpu_jobs.insert(job, (i, CpuJob::Cp { frame }));
     }
 
     fn on_cp_done(&mut self, now: SimTime, i: usize, frame: u64) {
@@ -1201,8 +1395,12 @@ impl CloudSystem {
         {
             let inst = &mut self.instances[i];
             inst.cp_active = None;
-            let data = inst.frames.get_mut(&frame).expect("cp frame");
-            inst.last_sent = Some(data.frame.clone());
+            let data = inst.frames.get_mut(frame).expect("cp frame");
+            // Clone into the retained buffer instead of allocating afresh.
+            match &mut inst.last_sent {
+                Some(prev) => prev.clone_from(&data.frame),
+                slot => *slot = Some(data.frame.clone()),
+            }
         }
         // Backpressure: the proxy keeps at most one frame serializing on the
         // link; a newer compressed frame replaces any waiting one (VNC's
@@ -1211,9 +1409,13 @@ impl CloudSystem {
             self.begin_ss(now, i, frame);
         } else if let Some(old) = self.instances[i].ss_pending.replace(frame) {
             let inst = &mut self.instances[i];
-            let old_tags = inst.frames.remove(&old).map(|d| d.tags).unwrap_or_default();
-            if let Some(data) = inst.frames.get_mut(&frame) {
-                data.tags.splice(0..0, old_tags);
+            let old_tags = inst
+                .frames
+                .remove(old)
+                .map(|d| std::mem::take(&mut d.tags))
+                .unwrap_or_default();
+            if let Some(data) = inst.frames.get_mut(frame) {
+                data.tags.prepend(old_tags);
             }
             inst.frames_dropped += 1;
             self.records.push(Record::FrameDropped {
@@ -1230,19 +1432,23 @@ impl CloudSystem {
     fn begin_ss(&mut self, now: SimTime, i: usize, frame: u64) {
         let inst = &mut self.instances[i];
         inst.ss_active = Some(frame);
-        let data = inst.frames.get_mut(&frame).expect("ss frame");
+        let data = inst.frames.get_mut(frame).expect("ss frame");
         data.ss_start = now;
         let bytes = data.compressed_bytes;
-        let job = JobId(self.next_job + 1);
-        self.next_job += 1;
+        let job = self
+            .jobs
+            .alloc(JobEntry::LinkDown(LinkMsg::FramePacket { frame }));
         self.links_down[i].send(now, job, bytes);
-        self.down_msgs[i].insert(job, LinkMsg::FramePacket { frame });
     }
 
     // -------------------------- client --------------------------
 
     fn on_frame_at_client(&mut self, now: SimTime, i: usize, frame: u64) {
-        let ss_start = self.instances[i].frames[&frame].ss_start;
+        let ss_start = self.instances[i]
+            .frames
+            .get(frame)
+            .expect("ss frame")
+            .ss_start;
         self.records.push(Record::Span(StageSpan {
             instance: i as u32,
             stage: Stage::Ss,
@@ -1253,34 +1459,31 @@ impl CloudSystem {
         }));
         let decode = SimDuration::from_millis_f64(self.config.tuning.decode_ms);
         self.queue
-            .schedule(now + decode, Ev::Timer(i, Timer::Display { frame }));
+            .schedule(now + decode, (i, Timer::Display { frame }));
     }
 
     fn on_display(&mut self, now: SimTime, i: usize, frame: u64) {
-        let data = {
-            let inst = &mut self.instances[i];
-            inst.frames_displayed += 1;
-            inst.frames.remove(&frame).expect("displayed frame")
-        };
+        let inst = &mut self.instances[i];
+        inst.frames_displayed += 1;
+        let data = inst.frames.remove(frame).expect("displayed frame");
         self.records.push(Record::FrameDisplayed {
             instance: i as u32,
             frame,
-            tags: data.tags.clone(),
+            tags: std::mem::take(&mut data.tags),
             time: now,
         });
-        let inst = &mut self.instances[i];
         if inst.decider_busy {
             return;
         }
         let reaction = inst.driver.on_frame(&data.frame, &data.truth);
         inst.decider_busy = true;
         self.queue
-            .schedule(now + reaction.busy, Ev::Timer(i, Timer::DeciderReady));
+            .schedule(now + reaction.busy, (i, Timer::DeciderReady));
         let must_send = self.config.mode == PipelineMode::SlowMotion;
         if reaction.action.is_input() || must_send {
             self.queue.schedule(
                 now + reaction.latency,
-                Ev::Timer(
+                (
                     i,
                     Timer::SendInput {
                         action: reaction.action,
@@ -1291,26 +1494,20 @@ impl CloudSystem {
     }
 
     fn send_input(&mut self, now: SimTime, i: usize, action: Action) {
-        let inst = &mut self.instances[i];
         let tag = Tag(self.next_tag);
         self.next_tag += 1;
-        inst.inputs_sent += 1;
+        self.instances[i].inputs_sent += 1;
         self.records.push(Record::InputSent {
             instance: i as u32,
             tag,
             time: now,
         });
-        let job = JobId(self.next_job + 1);
-        self.next_job += 1;
+        let job = self.jobs.alloc(JobEntry::LinkUp(LinkMsg::Input {
+            tag,
+            action,
+            sent: now,
+        }));
         self.links_up[i].send(now, job, self.config.tuning.input_bytes);
-        self.up_msgs[i].insert(
-            job,
-            LinkMsg::Input {
-                tag,
-                action,
-                sent: now,
-            },
-        );
     }
 
     // -------------------------- input path --------------------------
@@ -1340,19 +1537,15 @@ impl CloudSystem {
         ));
         work += hook;
         let speed = inst.ctn.vnc_speed;
-        let job = self.alloc_job();
+        let job = self.jobs.alloc(JobEntry::Cpu(
+            i,
+            CpuJob::Sp {
+                tag,
+                action,
+                start: now,
+            },
+        ));
         self.cpu.insert(now, job, vnc_owner(i), work, speed);
-        self.cpu_jobs.insert(
-            job,
-            (
-                i,
-                CpuJob::Sp {
-                    tag,
-                    action,
-                    start: now,
-                },
-            ),
-        );
     }
 }
 
@@ -1370,6 +1563,7 @@ mod tests {
     use crate::config::{MeasurementConfig, StageTuning};
     use crate::driver::HumanDriver;
     use pictor_apps::{AppId, HumanPolicy};
+    use std::collections::HashMap;
 
     fn human(app: AppId, seeds: &SeedTree) -> Box<dyn ClientDriver> {
         Box::new(HumanDriver::new(

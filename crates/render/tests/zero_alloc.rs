@@ -1,0 +1,62 @@
+//! Steady-state zero-allocation regression.
+//!
+//! The per-simulated-second hot loop must not touch the heap once warmed
+//! up: events come from the pooled `EventQueue`, jobs from the `JobSlab`,
+//! frames from the `FrameTable`'s recycled buffers, records from the
+//! retained `records` vec (drained with `drain_records_into`), and the
+//! resource/link internals churn inside capacities reached during warm-up.
+//!
+//! A single `#[test]` lives in this file so the counting global allocator
+//! observes exactly one scenario; the counter itself is thread-local, so
+//! allocator traffic from other harness threads cannot leak in.
+
+use counting_alloc::CountingAlloc;
+use pictor_apps::{AppId, HumanPolicy};
+use pictor_render::driver::HumanDriver;
+use pictor_render::{CloudSystem, SystemConfig};
+use pictor_sim::{SeedTree, SimDuration};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_simulated_second_allocates_nothing() {
+    let seeds = SeedTree::new(777);
+    let mut sys = CloudSystem::new(SystemConfig::turbovnc_stock(), seeds);
+    for _ in 0..2 {
+        sys.add_instance(
+            AppId::Dota2,
+            Box::new(HumanDriver::new(
+                HumanPolicy::new(AppId::Dota2, seeds.stream("human")),
+                seeds.stream("attention"),
+            )),
+        );
+    }
+    sys.start();
+    // Warm-up: lets every pool reach its steady-state capacity — frame
+    // tables, job slab, event heap, record buffer, resource queues.
+    sys.run_for(SimDuration::from_secs(12));
+    sys.reset_accounting();
+    let mut sink = Vec::new();
+    // One more window so the (just cleared) record buffer regrows to a
+    // full second's worth of records before measurement starts.
+    sys.run_for(SimDuration::from_secs(2));
+    sys.drain_records_into(&mut sink);
+    sink.clear();
+
+    counting_alloc::reset();
+    sys.run_for(SimDuration::from_secs(1));
+    let during_run = counting_alloc::allocations();
+    assert_eq!(
+        during_run,
+        0,
+        "steady-state second allocated {during_run} times ({} bytes)",
+        counting_alloc::allocated_bytes()
+    );
+
+    // Draining into a warmed sink is allocation-free too.
+    counting_alloc::reset();
+    sys.drain_records_into(&mut sink);
+    assert_eq!(counting_alloc::allocations(), 0, "drain allocated");
+    assert!(!sink.is_empty(), "the measured second produced records");
+}

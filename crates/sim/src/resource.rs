@@ -10,8 +10,6 @@
 //! [`FifoResource`] models a single-server queue served in arrival order —
 //! used for the GPU render engine, whose command stream is serialized.
 
-use std::collections::BTreeMap;
-
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a job inside a resource.
@@ -49,7 +47,10 @@ struct PsJob {
 #[derive(Debug, Clone)]
 pub struct PsResource {
     capacity: f64,
-    jobs: BTreeMap<JobId, PsJob>,
+    /// Active jobs sorted by id. A sorted `Vec` beats a `BTreeMap` here: the
+    /// active set is small, iteration order stays deterministic (ascending
+    /// ids), and slots are reused without per-node allocation.
+    jobs: Vec<(JobId, PsJob)>,
     last_update: SimTime,
     busy_integral: f64, // core-nanoseconds of service delivered
     since: SimTime,
@@ -68,11 +69,16 @@ impl PsResource {
         );
         PsResource {
             capacity,
-            jobs: BTreeMap::new(),
+            jobs: Vec::new(),
             last_update: SimTime::ZERO,
             busy_integral: 0.0,
             since: SimTime::ZERO,
         }
+    }
+
+    /// Position of `id` in the sorted job list.
+    fn find(&self, id: JobId) -> Result<usize, usize> {
+        self.jobs.binary_search_by_key(&id, |(jid, _)| *jid)
     }
 
     /// Total capacity in servers.
@@ -105,7 +111,7 @@ impl PsResource {
         if dt > 0.0 {
             let share = self.share();
             let mut delivered = 0.0;
-            for job in self.jobs.values_mut() {
+            for (_, job) in &mut self.jobs {
                 let done = (share * job.speed * dt).min(job.remaining);
                 job.remaining -= done;
                 delivered += done;
@@ -128,22 +134,27 @@ impl PsResource {
     pub fn insert(&mut self, now: SimTime, id: JobId, work: SimDuration, speed: f64) {
         assert!(speed.is_finite() && speed > 0.0, "bad speed {speed}");
         self.advance(now);
-        let prev = self.jobs.insert(
-            id,
-            PsJob {
-                remaining: work.as_nanos() as f64,
-                speed,
-            },
-        );
-        assert!(prev.is_none(), "job {id:?} already active");
+        let job = PsJob {
+            remaining: work.as_nanos() as f64,
+            speed,
+        };
+        match self.find(id) {
+            // Ids are issued monotonically, so this is a tail push in practice.
+            Err(pos) => self.jobs.insert(pos, (id, job)),
+            Ok(_) => panic!("job {id:?} already active"),
+        }
     }
 
     /// Removes a job (completed or aborted), returning its remaining work.
     pub fn remove(&mut self, now: SimTime, id: JobId) -> Option<SimDuration> {
         self.advance(now);
-        self.jobs
-            .remove(&id)
-            .map(|j| SimDuration::from_nanos(j.remaining.max(0.0).round() as u64))
+        match self.find(id) {
+            Ok(pos) => {
+                let (_, j) = self.jobs.remove(pos);
+                Some(SimDuration::from_nanos(j.remaining.max(0.0).round() as u64))
+            }
+            Err(_) => None,
+        }
     }
 
     /// Updates a job's speed multiplier (e.g. when co-runner contention changes).
@@ -152,12 +163,12 @@ impl PsResource {
     pub fn set_speed(&mut self, now: SimTime, id: JobId, speed: f64) -> bool {
         assert!(speed.is_finite() && speed > 0.0, "bad speed {speed}");
         self.advance(now);
-        match self.jobs.get_mut(&id) {
-            Some(job) => {
-                job.speed = speed;
+        match self.find(id) {
+            Ok(pos) => {
+                self.jobs[pos].1.speed = speed;
                 true
             }
-            None => false,
+            Err(_) => false,
         }
     }
 
@@ -169,7 +180,7 @@ impl PsResource {
         self.advance(now);
         let share = self.share();
         let mut best: Option<(f64, JobId)> = None;
-        for (&id, job) in &self.jobs {
+        for &(id, ref job) in &self.jobs {
             let rate = share * job.speed;
             if rate <= 0.0 {
                 continue;
@@ -185,9 +196,9 @@ impl PsResource {
 
     /// Remaining work of a job, if active.
     pub fn remaining(&self, id: JobId) -> Option<SimDuration> {
-        self.jobs
-            .get(&id)
-            .map(|j| SimDuration::from_nanos(j.remaining.max(0.0).round() as u64))
+        self.find(id)
+            .ok()
+            .map(|pos| SimDuration::from_nanos(self.jobs[pos].1.remaining.max(0.0).round() as u64))
     }
 
     /// Average busy capacity (in servers) over the window since the last

@@ -44,11 +44,14 @@ impl SeedTree {
     /// Derives the seed for a named stream (FNV-1a over the name, mixed with
     /// the master seed via splitmix64).
     pub fn seed_for(&self, name: &str) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in name.as_bytes() {
-            h ^= u64::from(*byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        splitmix64(self.master ^ fnv1a(FNV_OFFSET, name.as_bytes()))
+    }
+
+    /// Seed for an indexed stream name: identical to
+    /// `seed_for(&format!("{prefix}{index}"))` but allocation-free — hot
+    /// paths derive per-instance seeds without building the string.
+    pub fn seed_for_indexed(&self, prefix: &str, index: u64) -> u64 {
+        let h = fnv1a_u64(fnv1a(FNV_OFFSET, prefix.as_bytes()), index);
         splitmix64(self.master ^ h)
     }
 
@@ -57,12 +60,63 @@ impl SeedTree {
         SmallRng::seed_from_u64(self.seed_for(name))
     }
 
+    /// RNG for the indexed stream `{prefix}{index}` without allocating —
+    /// equal to `stream(&format!("{prefix}{index}"))`.
+    pub fn stream_indexed(&self, prefix: &str, index: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed_for_indexed(prefix, index))
+    }
+
     /// Derives a child tree (e.g. per benchmark instance).
     pub fn child(&self, name: &str) -> SeedTree {
         SeedTree {
             master: self.seed_for(name),
         }
     }
+
+    /// Derives the child `{prefix}{index}` without allocating — equal to
+    /// `child(&format!("{prefix}{index}"))`.
+    pub fn child_indexed(&self, prefix: &str, index: u64) -> SeedTree {
+        SeedTree {
+            master: self.seed_for_indexed(prefix, index),
+        }
+    }
+
+    /// Derives the child `{prefix}{a}{mid}{b}` without allocating — equal to
+    /// `child(&format!("{prefix}{a}{mid}{b}"))` (e.g. `server-3/e7`).
+    pub fn child_indexed2(&self, prefix: &str, a: u64, mid: &str, b: u64) -> SeedTree {
+        let h = fnv1a_u64(fnv1a(FNV_OFFSET, prefix.as_bytes()), a);
+        let h = fnv1a_u64(fnv1a(h, mid.as_bytes()), b);
+        SeedTree {
+            master: splitmix64(self.master ^ h),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for byte in bytes {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Feeds the decimal digits of `index` to FNV-1a via a stack buffer, so the
+/// result matches hashing the formatted string without the allocation.
+fn fnv1a_u64(h: u64, index: u64) -> u64 {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = index;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    fnv1a(h, &buf[i..])
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -161,6 +215,30 @@ mod tests {
         let c2 = t.child("instance-2");
         assert_ne!(c1.seed_for("al"), c2.seed_for("al"));
         assert_eq!(c1.master(), t.child("instance-1").master());
+    }
+
+    #[test]
+    fn indexed_children_match_formatted_names() {
+        let t = SeedTree::new(41);
+        for i in [0u64, 1, 9, 10, 42, 999, 12_345, u64::MAX] {
+            assert_eq!(
+                t.child_indexed("instance-", i).master(),
+                t.child(&format!("instance-{i}")).master(),
+                "instance-{i}"
+            );
+            assert_eq!(
+                t.seed_for_indexed("driver-", i),
+                t.seed_for(&format!("driver-{i}")),
+                "driver-{i}"
+            );
+        }
+        for (a, b) in [(0u64, 0u64), (3, 7), (120, 4_000)] {
+            assert_eq!(
+                t.child_indexed2("server-", a, "/e", b).master(),
+                t.child(&format!("server-{a}/e{b}")).master(),
+                "server-{a}/e{b}"
+            );
+        }
     }
 
     #[test]

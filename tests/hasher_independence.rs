@@ -1,0 +1,72 @@
+//! Determinism must not lean on `HashMap` iteration order.
+//!
+//! `std::collections::HashMap` randomizes its hash keys per map instance,
+//! so any code path whose *output order* depends on map iteration would
+//! differ between two constructions of the same map — and between process
+//! runs, which is exactly what the committed goldens forbid.
+//!
+//! Audit of the maps that remain on the hot path after the slab/pool
+//! refactor (everything event-ordering-critical moved to slabs, sorted
+//! vecs or direct-indexed tables):
+//!
+//! * `pictor-hw` `Gpu`: `allocated_mib` is only summed (order-free);
+//!   `started`/`render_times` are keyed lookups. Completion order comes
+//!   from the FIFO queue, never map iteration.
+//! * `pictor-hw` `Pcie`: `owners`/`sizes`/`delivered` are keyed lookups;
+//!   next-completion scans the per-direction FIFO.
+//! * `pictor-net` `Link`: `propagation`/`sizes` are keyed; the first-min
+//!   scan walks the `propagating` *vec* in insertion order.
+//! * `pictor-core` `InputTracker`: both analysis passes iterate the record
+//!   stream in order; its maps are keyed lookups except the final
+//!   unmatched loop, which only sums a counter (order-free).
+//! * `pictor-render` `CloudSystem`: no `HashMap` left — jobs live in a
+//!   `JobSlab`, frames in a direct-indexed `FrameTable`.
+//!
+//! These tests pin the conclusion: two in-process runs build distinct
+//! `HashMap`s (distinct hasher keys) and must agree bit-for-bit, down to
+//! the full record stream.
+
+use pictor::apps::AppId;
+use pictor::core::{run_experiment, ExperimentSpec};
+use pictor::render::SystemConfig;
+use pictor::sim::SimDuration;
+
+#[test]
+fn record_streams_are_identical_across_hasher_states() {
+    let run = || {
+        let mut spec = ExperimentSpec::with_humans(
+            vec![AppId::Dota2, AppId::RedEclipse],
+            SystemConfig::turbovnc_stock(),
+            4242,
+        );
+        spec.duration = SimDuration::from_secs(8);
+        spec.keep_records = true;
+        run_experiment(spec)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.records, b.records,
+        "record streams diverged between two in-process runs"
+    );
+    let fps = |r: &pictor::core::ExperimentResult| -> Vec<(f64, f64)> {
+        r.instances
+            .iter()
+            .map(|m| (m.report.server_fps, m.report.client_fps))
+            .collect()
+    };
+    assert_eq!(fps(&a), fps(&b));
+}
+
+#[test]
+fn tracked_metrics_are_identical_across_hasher_states() {
+    let run = || {
+        let mut spec =
+            ExperimentSpec::with_humans(vec![AppId::SuperTuxKart], SystemConfig::optimized(), 77);
+        spec.duration = SimDuration::from_secs(8);
+        let r = run_experiment(spec);
+        let m = r.solo();
+        (m.report.clone(), m.rtt.mean, m.rtt.p99, m.tracked_inputs)
+    };
+    assert_eq!(run(), run());
+}

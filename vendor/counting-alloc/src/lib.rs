@@ -1,0 +1,69 @@
+//! A [`GlobalAlloc`] wrapper that counts allocations per thread.
+//!
+//! Install it as the test binary's global allocator and bracket the code
+//! under test with [`reset`]/[`allocations`]: if the count stays zero, the
+//! region performed no heap allocation on this thread. Counting is
+//! thread-local, so a multi-threaded test harness (each `#[test]` runs on
+//! its own thread) does not leak counts across tests.
+//!
+//! ```
+//! use counting_alloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//!
+//! counting_alloc::reset();
+//! let v: Vec<u8> = Vec::with_capacity(64);
+//! assert_eq!(counting_alloc::allocations(), 1);
+//! drop(v);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The counting allocator: forwards to [`System`], tallying `alloc` and
+/// grow-`realloc` calls on the current thread.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to the system allocator; the counters are
+// thread-local Cells, touched outside any allocation re-entrancy.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            BYTES.with(|c| c.set(c.get() + (new_size - layout.size()) as u64));
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Zeroes the current thread's counters.
+pub fn reset() {
+    ALLOCATIONS.with(|c| c.set(0));
+    BYTES.with(|c| c.set(0));
+}
+
+/// Allocations (plus growing reallocations) on this thread since [`reset`].
+pub fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// Bytes requested on this thread since [`reset`].
+pub fn allocated_bytes() -> u64 {
+    BYTES.with(Cell::get)
+}
