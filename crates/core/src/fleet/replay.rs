@@ -1,0 +1,521 @@
+//! The epoch-replay fleet runner: deterministic single-threaded arrival
+//! replay (phase 1), parallel per-interval `CloudSystem` simulation
+//! (phase 2), and ordered reduction (phase 3).
+//!
+//! [`simulate_interval`] — the phase-2 kernel — is shared with the online
+//! engine's [`DataPlane::Simulated`](super::engine::DataPlane) so both
+//! runners drive the *same* data plane from the same seed names, which is
+//! what makes the differential test able to demand byte equality.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pictor_apps::App;
+use pictor_render::{CloudSystem, HumanDriver, SystemConfig};
+use pictor_sim::rng::exponential;
+use pictor_sim::{SeedTree, SimDuration, TailQuantiles};
+
+use crate::tracker::InputTracker;
+
+use super::report::FleetReport;
+use super::{sample_session_secs, FleetSpec, ServerLoad};
+
+impl FleetSpec {
+    // -- phase 1: deterministic arrival replay + placement ----------------
+
+    pub(crate) fn schedule_sessions(&self) -> FleetSchedule {
+        let tree = SeedTree::new(self.seed);
+        let horizon_ns = self.epoch.as_nanos().saturating_mul(self.epochs);
+        let epoch_ns = self.epoch.as_nanos();
+        // Event heap ordered by (time, sequence): sequence numbers make the
+        // pop order total, so replay is deterministic.
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut payloads: Vec<Option<ArrivalEvent>> = Vec::new();
+        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                    payloads: &mut Vec<Option<ArrivalEvent>>,
+                    at: u64,
+                    ev: ArrivalEvent| {
+            let seq = payloads.len() as u64;
+            payloads.push(Some(ev));
+            heap.push(Reverse((at, seq)));
+        };
+        // Open-loop arrivals: one Poisson stream for the whole fleet at
+        // rate * servers, everything pre-drawn from a single named stream.
+        {
+            let mut rng = tree.stream("open-arrivals");
+            let rate = self.arrivals.open_rate_per_sec * self.servers as f64;
+            if rate > 0.0 {
+                let mean_gap_ns = 1e9 / rate;
+                let mut t = 0u64;
+                loop {
+                    t = t.saturating_add(exponential(&mut rng, mean_gap_ns).round() as u64);
+                    if t >= horizon_ns {
+                        break;
+                    }
+                    let app = self.mix.sample(&mut rng);
+                    let secs = sample_session_secs(&mut rng, &self.arrivals);
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        t,
+                        ArrivalEvent {
+                            app,
+                            duration_ns: (secs * 1e9).round() as u64,
+                            client: None,
+                        },
+                    );
+                }
+            }
+        }
+        // Closed-loop clients: each has a private named stream, so its
+        // draw sequence depends only on its own admission history.
+        let closed = self.arrivals.closed_clients * self.servers;
+        let mut client_rngs: Vec<_> = (0..closed)
+            .map(|c| tree.stream_indexed("client-", c as u64))
+            .collect();
+        for (c, rng) in client_rngs.iter_mut().enumerate() {
+            // Staggered first join: a fraction of a think time in.
+            let at = (exponential(rng, self.arrivals.mean_think_secs.max(1e-3) * 1e9 / 2.0)).round()
+                as u64;
+            if at >= horizon_ns {
+                continue;
+            }
+            let app = self.mix.sample(rng);
+            let secs = sample_session_secs(rng, &self.arrivals);
+            push(
+                &mut heap,
+                &mut payloads,
+                at,
+                ArrivalEvent {
+                    app,
+                    duration_ns: (secs * 1e9).round() as u64,
+                    client: Some(c),
+                },
+            );
+        }
+
+        let mut sched = FleetSchedule::new(self.servers, self.epochs);
+        let gpu_capacity = self.server_config.server.gpu_memory_mib;
+        let mut next_session = 0u64;
+        while let Some(Reverse((at, seq))) = heap.pop() {
+            let ev = payloads[seq as usize].take().expect("single consumption");
+            // Quantize to whole epochs: the session occupies
+            // [start_epoch, end_epoch) and the data plane sees a stable
+            // per-epoch set.
+            let start_epoch = at.div_ceil(epoch_ns);
+            if start_epoch >= self.epochs {
+                continue;
+            }
+            let span = (ev.duration_ns as f64 / epoch_ns as f64).round().max(1.0) as u64;
+            let end_epoch = (start_epoch + span).min(self.epochs);
+            sched.offered += 1;
+            let loads = sched.loads(
+                &ev.app,
+                start_epoch,
+                end_epoch,
+                self.slots_per_server,
+                gpu_capacity,
+            );
+            let choice = self
+                .policy
+                .place(&ev.app, &loads)
+                .filter(|&s| s < self.servers && loads[s].fits);
+            match choice {
+                Some(server) => {
+                    let id = next_session;
+                    next_session += 1;
+                    sched.admit(Session {
+                        id,
+                        app: ev.app,
+                        server,
+                        start_epoch,
+                        end_epoch,
+                    });
+                    if let Some(c) = ev.client {
+                        // Churn: rejoin after the session ends plus a think
+                        // time.
+                        let rng = &mut client_rngs[c];
+                        let think = exponential(rng, self.arrivals.mean_think_secs.max(1e-3) * 1e9)
+                            .round() as u64;
+                        let rejoin = (end_epoch * epoch_ns).saturating_add(think);
+                        if rejoin < horizon_ns {
+                            let app = self.mix.sample(rng);
+                            let secs = sample_session_secs(rng, &self.arrivals);
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                rejoin,
+                                ArrivalEvent {
+                                    app,
+                                    duration_ns: (secs * 1e9).round() as u64,
+                                    client: Some(c),
+                                },
+                            );
+                        }
+                    }
+                }
+                None => {
+                    sched.rejected += 1;
+                    if let Some(c) = ev.client {
+                        // Closed-loop clients back off and retry with a
+                        // fresh request.
+                        let rng = &mut client_rngs[c];
+                        let think = exponential(rng, self.arrivals.mean_think_secs.max(1e-3) * 1e9)
+                            .round() as u64;
+                        let retry = at.saturating_add(think);
+                        if retry < horizon_ns {
+                            let app = self.mix.sample(rng);
+                            let secs = sample_session_secs(rng, &self.arrivals);
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                retry,
+                                ArrivalEvent {
+                                    app,
+                                    duration_ns: (secs * 1e9).round() as u64,
+                                    client: Some(c),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        sched
+    }
+
+    // -- phase 2/3: parallel server execution + ordered reduction ---------
+
+    pub(crate) fn execute(&self, sched: FleetSchedule, threads: usize) -> FleetReport {
+        let tree = SeedTree::new(self.seed);
+        // Carve every server's timeline into maximal intervals with an
+        // unchanged, non-empty session set; each interval is one
+        // independent job.
+        let mut jobs: Vec<IntervalJob> = Vec::new();
+        for server in 0..self.servers {
+            let mut epoch = 0u64;
+            while epoch < self.epochs {
+                let set = sched.sessions_at(server, epoch);
+                if set.is_empty() {
+                    epoch += 1;
+                    continue;
+                }
+                let mut end = epoch + 1;
+                while end < self.epochs && sched.sessions_at(server, end) == set {
+                    end += 1;
+                }
+                jobs.push(IntervalJob {
+                    server,
+                    start_epoch: epoch,
+                    end_epoch: end,
+                    sessions: set,
+                });
+                epoch = end;
+            }
+        }
+        // Jobs are generated server-major in epoch order, and run_pool
+        // returns results in job order, so the streams feeding the P²
+        // estimators are fixed regardless of thread count.
+        let results = crate::suite::run_pool(jobs.len(), threads, |j| {
+            let job = &jobs[j];
+            let sessions: Vec<(u64, &App)> = job
+                .sessions
+                .iter()
+                .map(|&i| (sched.sessions[i].id, &sched.sessions[i].app))
+                .collect();
+            simulate_interval(
+                &self.server_config,
+                &tree,
+                job.server,
+                job.start_epoch,
+                job.end_epoch,
+                &sessions,
+                self.warmup,
+                self.epoch,
+            )
+        });
+
+        let mut fps = TailQuantiles::new();
+        let mut rtt = TailQuantiles::new();
+        let mut fps_violations = 0u64;
+        let mut rtt_violations = 0u64;
+        let mut session_epochs = 0u64;
+        let mut tracked_inputs = 0u64;
+        for result in &results {
+            for epoch_fps in &result.fps {
+                for &f in epoch_fps {
+                    session_epochs += 1;
+                    fps.record(f);
+                    if f < self.slo.min_fps {
+                        fps_violations += 1;
+                    }
+                }
+            }
+            for samples in &result.rtt_ms {
+                for &ms in samples {
+                    rtt.record(ms);
+                    if ms > self.slo.max_rtt_ms {
+                        rtt_violations += 1;
+                    }
+                }
+                tracked_inputs += samples.len() as u64;
+            }
+        }
+        let slot_epochs = (self.servers * self.slots_per_server) as u64 * self.epochs;
+        let occupied: u64 = sched.occupied_slot_epochs();
+        FleetReport {
+            servers: self.servers,
+            slots_per_server: self.slots_per_server,
+            epochs: self.epochs,
+            epoch: self.epoch,
+            policy: self.policy.label().to_string(),
+            arrivals: self.arrivals.label.clone(),
+            seed: self.seed,
+            offered: sched.offered,
+            admitted: sched.sessions.len() as u64,
+            rejected: sched.rejected,
+            peak_sessions: sched.peak_sessions(),
+            utilization: occupied as f64 / slot_epochs as f64,
+            session_epochs,
+            tracked_inputs,
+            fps,
+            rtt,
+            slo: self.slo,
+            fps_violations,
+            rtt_violations,
+            dynamics: None,
+        }
+    }
+}
+
+/// One pending arrival attempt in the phase-1 replay.
+struct ArrivalEvent {
+    app: App,
+    duration_ns: u64,
+    /// `Some(client)` for closed-loop sessions (they retry/rejoin).
+    client: Option<usize>,
+}
+
+/// An admitted session occupying one server for `[start_epoch, end_epoch)`.
+#[derive(Debug, Clone)]
+pub(crate) struct Session {
+    pub(crate) id: u64,
+    pub(crate) app: App,
+    pub(crate) server: usize,
+    pub(crate) start_epoch: u64,
+    pub(crate) end_epoch: u64,
+}
+
+/// Phase-1 output: admitted sessions plus admission bookkeeping.
+pub(crate) struct FleetSchedule {
+    pub(crate) sessions: Vec<Session>,
+    /// `occupancy[server][epoch]` = indices into `sessions`.
+    pub(crate) occupancy: Vec<Vec<Vec<usize>>>,
+    pub(crate) offered: u64,
+    pub(crate) rejected: u64,
+}
+
+impl FleetSchedule {
+    fn new(servers: usize, epochs: u64) -> Self {
+        FleetSchedule {
+            sessions: Vec::new(),
+            occupancy: vec![vec![Vec::new(); epochs as usize]; servers],
+            offered: 0,
+            rejected: 0,
+        }
+    }
+
+    fn admit(&mut self, session: Session) {
+        let idx = self.sessions.len();
+        for epoch in session.start_epoch..session.end_epoch {
+            self.occupancy[session.server][epoch as usize].push(idx);
+        }
+        self.sessions.push(session);
+    }
+
+    /// Session indices resident on `server` during `epoch`, in admission
+    /// order.
+    fn sessions_at(&self, server: usize, epoch: u64) -> Vec<usize> {
+        self.occupancy[server][epoch as usize].clone()
+    }
+
+    /// Load snapshots for a candidate spanning `[start, end)`.
+    fn loads(
+        &self,
+        app: &App,
+        start: u64,
+        end: u64,
+        slots: usize,
+        gpu_capacity_mib: u64,
+    ) -> Vec<ServerLoad> {
+        let need_mib = app.profile.gpu_memory_mib;
+        (0..self.occupancy.len())
+            .map(|server| {
+                let fits = (start..end).all(|epoch| {
+                    let resident = &self.occupancy[server][epoch as usize];
+                    let used_mib: u64 = resident
+                        .iter()
+                        .map(|&i| self.sessions[i].app.profile.gpu_memory_mib)
+                        .sum();
+                    resident.len() < slots && used_mib + need_mib <= gpu_capacity_mib
+                });
+                let resident = &self.occupancy[server][start as usize];
+                let apps: Vec<App> = resident
+                    .iter()
+                    .map(|&i| self.sessions[i].app.clone())
+                    .collect();
+                let used_mib: u64 = apps.iter().map(|a| a.profile.gpu_memory_mib).sum();
+                ServerLoad {
+                    index: server,
+                    fits,
+                    sessions: resident.len(),
+                    slots,
+                    gpu_free_mib: gpu_capacity_mib.saturating_sub(used_mib),
+                    cpu_pressure: apps.iter().map(|a| a.profile.cpu_pressure).sum(),
+                    gpu_pressure: apps.iter().map(|a| a.profile.gpu_pressure).sum(),
+                    apps,
+                }
+            })
+            .collect()
+    }
+
+    fn occupied_slot_epochs(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.end_epoch - s.start_epoch)
+            .sum()
+    }
+
+    fn peak_sessions(&self) -> usize {
+        let epochs = self.occupancy.first().map_or(0, Vec::len);
+        (0..epochs)
+            .map(|e| self.occupancy.iter().map(|srv| srv[e].len()).sum())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One (server, interval) simulation job.
+struct IntervalJob {
+    server: usize,
+    start_epoch: u64,
+    end_epoch: u64,
+    /// Indices into the schedule's session table, in admission order.
+    sessions: Vec<usize>,
+}
+
+/// Measurements of one server interval.
+pub(crate) struct IntervalResult {
+    /// `fps[e][s]`: server FPS of session `s` (instance order: session id
+    /// ascending) during the interval's `e`-th epoch.
+    pub(crate) fps: Vec<Vec<f64>>,
+    /// `rtt_ms[s]`: every RTT tracked for session `s` across the whole
+    /// interval, ms (same instance order).
+    pub(crate) rtt_ms: Vec<Vec<f64>>,
+}
+
+/// Simulates one server interval: warm-up, then one counter window per
+/// epoch through `reset_accounting`/`drain_records`. Records accumulate
+/// across the interval and the input tracker runs once at its end, so an
+/// input sent late in one epoch and answered early in the next still
+/// contributes its RTT — tail latencies are censored only where the
+/// session set actually changes, not at every epoch boundary.
+///
+/// Seeds derive from names (`server-{s}/e{start_epoch}`, sessions by id),
+/// never from execution order, and the instance order is session id
+/// ascending — so the result depends only on (config, tree, server,
+/// interval, session set), which is what lets the online engine reuse this
+/// kernel and still match replay byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_interval(
+    config: &SystemConfig,
+    tree: &SeedTree,
+    server: usize,
+    start_epoch: u64,
+    end_epoch: u64,
+    sessions: &[(u64, &App)],
+    warmup: SimDuration,
+    epoch: SimDuration,
+) -> IntervalResult {
+    let interval_seeds = tree.child_indexed2("server-", server as u64, "/e", start_epoch);
+    let mut sys = CloudSystem::new(config.clone(), interval_seeds);
+    // Instance order: session id ascending — stable across policies and
+    // independent of occupancy bookkeeping internals.
+    let mut by_id: Vec<&(u64, &App)> = sessions.iter().collect();
+    by_id.sort_by_key(|(id, _)| *id);
+    for &&(id, app) in &by_id {
+        let seeds = interval_seeds.child_indexed("session-", id);
+        sys.add_instance(app, Box::new(HumanDriver::from_seeds(app, &seeds)));
+    }
+    sys.start();
+    sys.run_for(warmup);
+    sys.reset_accounting();
+    let mut fps = Vec::with_capacity((end_epoch - start_epoch) as usize);
+    let mut records = Vec::new();
+    for _ in start_epoch..end_epoch {
+        sys.run_for(epoch);
+        sys.drain_records_into(&mut records);
+        fps.push(sys.reports().iter().map(|r| r.server_fps).collect());
+        sys.reset_accounting();
+    }
+    let tracks = InputTracker::new().analyze(&records);
+    let rtt_ms = (0..by_id.len())
+        .map(|i| {
+            tracks
+                .get(&(i as u32))
+                .map(|t| t.rtt_ms.samples().to_vec())
+                .unwrap_or_default()
+        })
+        .collect();
+    IntervalResult { fps, rtt_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::super::tests::{mix, tiny_spec};
+    use super::super::{ArrivalConfig, FirstFit, FleetSpec, LeastContended};
+
+    #[test]
+    fn schedule_respects_capacity_everywhere() {
+        let spec = FleetSpec::new(2, mix(), Arc::new(FirstFit), 7)
+            .epochs(6)
+            .slots_per_server(2)
+            .arrivals(ArrivalConfig::saturating());
+        let sched = spec.schedule_sessions();
+        assert!(sched.offered > 0);
+        for server in 0..2 {
+            for epoch in 0..6 {
+                assert!(
+                    sched.occupancy[server][epoch].len() <= 2,
+                    "server {server} epoch {epoch} over capacity"
+                );
+            }
+        }
+        // Saturating demand against 4 slots must reject something.
+        assert!(sched.rejected > 0, "saturating load should reject");
+        assert_eq!(sched.offered, sched.sessions.len() as u64 + sched.rejected);
+    }
+
+    #[test]
+    fn scheduling_is_deterministic() {
+        let ids = |spec: &FleetSpec| {
+            let s = spec.schedule_sessions();
+            s.sessions
+                .iter()
+                .map(|x| {
+                    (
+                        x.id,
+                        x.server,
+                        x.start_epoch,
+                        x.end_epoch,
+                        x.app.code().to_string(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let spec = tiny_spec(Arc::new(LeastContended));
+        assert_eq!(ids(&spec), ids(&spec));
+    }
+}

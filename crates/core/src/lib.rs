@@ -36,8 +36,10 @@ pub use experiment::{
     run_experiment, run_experiment_into, DriverFactory, ExperimentResult, ExperimentSpec,
 };
 pub use fleet::{
-    ArrivalConfig, FirstFit, FleetGrid, FleetReport, FleetSpec, FleetSuiteReport,
-    InterferenceAware, LeastContended, PlacementPolicy, ServerLoad, SloSpec, WorkloadMix,
+    ArrivalConfig, AutoscaleConfig, AutoscaleStats, BackpressureConfig, BackpressureStats,
+    DataPlane, FirstFit, FleetAudit, FleetDynamics, FleetEngine, FleetGrid, FleetReport, FleetSpec,
+    FleetSuiteReport, GroupSpec, InterferenceAware, LeastContended, MigrationConfig,
+    MigrationStats, Placement, PlacementPolicy, ServerLoad, SloSpec, WorkloadMix,
 };
 pub use ic_driver::IcDriver;
 pub use metrics::{InstanceMetrics, PowerBreakdown};

@@ -1,0 +1,196 @@
+//! Property tests over the online fleet engine's audit trace.
+//!
+//! The differential suite proves the *static* engine equals replay; these
+//! properties lock down the dynamic behaviours replay cannot express, on
+//! randomized fleets: session conservation through the admission ledger,
+//! per-server slot/memory capacity at every epoch, the backpressure queue
+//! bound, and the autoscaler's no-drop guarantee (every placed session
+//! epoch lies inside an active window of its server).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pictor_apps::AppId;
+use pictor_core::fleet::{
+    ArrivalConfig, AutoscaleConfig, BackpressureConfig, DataPlane, FirstFit, FleetEngine,
+    FleetSpec, GroupSpec, LeastContended, MigrationConfig, PlacementPolicy, WorkloadMix,
+};
+use pictor_hw::GpuModel;
+use pictor_render::SystemConfig;
+
+fn mix() -> WorkloadMix {
+    WorkloadMix::uniform([AppId::Dota2, AppId::SuperTuxKart, AppId::ZeroAd])
+}
+
+/// A small randomized heterogeneous engine: two GPU groups, surrogate data
+/// plane (the properties are about the control plane, so the cheap plane
+/// keeps 64 cases fast), saturating arrivals to actually exercise
+/// rejection, parking and growth.
+#[allow(clippy::too_many_arguments)]
+fn engine(
+    servers_a: usize,
+    servers_b: usize,
+    epochs: u64,
+    seed: u64,
+    shards: usize,
+    policy_pick: u8,
+    hot: bool,
+) -> FleetEngine {
+    let base = SystemConfig::turbovnc_stock();
+    let policy: Arc<dyn PlacementPolicy> = if policy_pick.is_multiple_of(2) {
+        Arc::new(FirstFit)
+    } else {
+        Arc::new(LeastContended)
+    };
+    let spec = FleetSpec::new(servers_a + servers_b, mix(), policy, seed).epochs(epochs);
+    let mut eng = FleetEngine::from_spec(&spec);
+    eng.groups = vec![
+        GroupSpec::with_gpu(servers_a, &base, GpuModel::Gtx1080Ti),
+        GroupSpec::with_gpu(servers_b, &base, GpuModel::TeslaT4),
+    ];
+    eng.arrivals = if hot {
+        ArrivalConfig::saturating()
+    } else {
+        ArrivalConfig::moderate()
+    };
+    eng.data_plane = DataPlane::Surrogate;
+    eng.shards = shards;
+    eng
+}
+
+proptest! {
+    /// Every placement attempt ends in exactly one of admit / reject /
+    /// park, every parked attempt is either retried or expires, and the
+    /// placement table carries exactly `admitted + migrations` segments
+    /// over `admitted` distinct session ids.
+    #[test]
+    fn sessions_are_conserved(
+        servers_a in 1usize..4,
+        servers_b in 1usize..4,
+        epochs in 4u64..12,
+        seed in 0u64..500,
+        shards in 1usize..4,
+        policy_pick in 0u8..2,
+        queue_limit in 1usize..6,
+    ) {
+        let mut eng = engine(servers_a, servers_b, epochs, seed, shards, policy_pick, true);
+        eng.backpressure = Some(BackpressureConfig { queue_limit, retry_after_epochs: 1 });
+        eng.migration = Some(MigrationConfig::contention_relief());
+        let (report, audit) = eng.run_audited(2);
+        prop_assert_eq!(audit.offered, audit.admitted + audit.rejected + audit.queued);
+        prop_assert_eq!(audit.queued, audit.retried + audit.expired);
+        prop_assert_eq!(report.offered, audit.offered);
+        prop_assert_eq!(report.admitted, audit.admitted);
+        prop_assert_eq!(
+            audit.placements.len() as u64,
+            audit.admitted + audit.migrations
+        );
+        let mut ids: Vec<u64> = audit.placements.iter().map(|p| p.session).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, audit.admitted);
+    }
+
+    /// At every epoch of every server, resident sessions never exceed the
+    /// slot count and their GPU memory never exceeds the server's
+    /// capacity — under churn, migration and autoscaling alike.
+    #[test]
+    fn capacity_holds_at_every_epoch(
+        servers_a in 1usize..4,
+        servers_b in 1usize..4,
+        epochs in 4u64..12,
+        seed in 0u64..500,
+        shards in 1usize..4,
+        policy_pick in 0u8..2,
+    ) {
+        let mut eng = engine(servers_a, servers_b, epochs, seed, shards, policy_pick, true);
+        eng.autoscale = Some(AutoscaleConfig { eval_every_epochs: 2, ..AutoscaleConfig::steady() });
+        eng.migration = Some(MigrationConfig { pressure_threshold: 1.0 });
+        let (_, audit) = eng.run_audited(2);
+        let servers = audit.gpu_capacity_mib.len();
+        for server in 0..servers {
+            for e in 0..epochs {
+                let resident: Vec<_> = audit
+                    .placements
+                    .iter()
+                    .filter(|p| p.server == server && p.start_epoch <= e && e < p.end_epoch)
+                    .collect();
+                prop_assert!(
+                    resident.len() <= audit.slots_per_server,
+                    "server {} epoch {}: {} residents over {} slots",
+                    server, e, resident.len(), audit.slots_per_server
+                );
+                let mem: u64 = resident.iter().map(|p| p.gpu_mib).sum();
+                prop_assert!(
+                    mem <= audit.gpu_capacity_mib[server],
+                    "server {} epoch {}: {} MiB over {} MiB",
+                    server, e, mem, audit.gpu_capacity_mib[server]
+                );
+            }
+        }
+    }
+
+    /// The pending queue never outgrows its configured bound, and with no
+    /// backpressure configured nothing is ever parked.
+    #[test]
+    fn backpressure_queue_stays_bounded(
+        servers_a in 1usize..3,
+        servers_b in 1usize..3,
+        epochs in 4u64..12,
+        seed in 0u64..500,
+        queue_limit in 1usize..8,
+        retry_after in 1u64..4,
+    ) {
+        let mut eng = engine(servers_a, servers_b, epochs, seed, 2, 0, true);
+        eng.backpressure = Some(BackpressureConfig {
+            queue_limit,
+            retry_after_epochs: retry_after,
+        });
+        let (_, audit) = eng.run_audited(2);
+        prop_assert!(
+            audit.peak_queue <= queue_limit,
+            "peak queue {} over limit {}", audit.peak_queue, queue_limit
+        );
+
+        let bare = engine(servers_a, servers_b, epochs, seed, 2, 0, true);
+        let (_, audit) = bare.run_audited(2);
+        prop_assert_eq!(audit.queued, 0);
+        prop_assert_eq!(audit.peak_queue, 0);
+    }
+
+    /// Autoscaling never strands a session: every placed epoch of every
+    /// session falls inside one of its server's active windows, so a
+    /// shrink can only ever retire empty servers.
+    #[test]
+    fn autoscale_never_drops_live_sessions(
+        servers_a in 2usize..5,
+        servers_b in 2usize..5,
+        epochs in 6u64..14,
+        seed in 0u64..500,
+        eval_every in 1u64..4,
+        warmup in 1u64..3,
+    ) {
+        let mut eng = engine(servers_a, servers_b, epochs, seed, 2, 0, true);
+        eng.autoscale = Some(AutoscaleConfig {
+            eval_every_epochs: eval_every,
+            warmup_epochs: warmup,
+            ..AutoscaleConfig::steady()
+        });
+        let (_, audit) = eng.run_audited(2);
+        for p in &audit.placements {
+            prop_assert!(
+                audit.activity[p.server]
+                    .iter()
+                    .any(|&(a, b)| a <= p.start_epoch && p.end_epoch <= b),
+                "session {} on server {} [{}, {}) outside active windows {:?}",
+                p.session, p.server, p.start_epoch, p.end_epoch, audit.activity[p.server]
+            );
+        }
+        for windows in &audit.activity {
+            for w in windows.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlapping active windows {:?}", windows);
+            }
+        }
+    }
+}

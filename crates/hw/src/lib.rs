@@ -32,4 +32,4 @@ pub use gpu::Gpu;
 pub use pcie::{Direction, Pcie};
 pub use pmu::TopDown;
 pub use power::PowerModel;
-pub use spec::{ClientSpec, ServerSpec};
+pub use spec::{ClientSpec, GpuModel, ServerSpec};

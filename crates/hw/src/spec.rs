@@ -61,6 +61,95 @@ impl Default for ServerSpec {
     }
 }
 
+/// A datacenter GPU model a fleet server can carry.
+///
+/// The paper's testbed uses a single GTX 1080 Ti; a deployment mixes
+/// generations and memory sizes. Each model is characterized by its memory
+/// capacity and a relative render throughput (1.0 = GTX 1080 Ti, the unit
+/// every app profile's `rd_base_ms` is calibrated against).
+///
+/// ```
+/// use pictor_hw::{GpuModel, ServerSpec};
+/// let spec = ServerSpec::with_gpu(GpuModel::TeslaT4);
+/// assert_eq!(spec.gpu_memory_mib, 16 * 1024);
+/// assert!(spec.gpu_throughput < 1.0, "T4 renders slower than 1080 Ti");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuModel {
+    /// GTX 1060 6 GB — the small edge node.
+    Gtx1060,
+    /// GTX 1080 Ti 11 GB — the paper's testbed card, throughput 1.0.
+    Gtx1080Ti,
+    /// RTX 2080 Ti 11 GB — same memory, faster raster.
+    Rtx2080Ti,
+    /// Tesla T4 16 GB — the dense cloud inference/graphics card: more
+    /// memory than the 1080 Ti but lower sustained raster throughput.
+    TeslaT4,
+    /// RTX 3090 24 GB — the big-memory flagship.
+    Rtx3090,
+}
+
+impl GpuModel {
+    /// Every modeled GPU, in ascending throughput order.
+    pub const ALL: [GpuModel; 5] = [
+        GpuModel::Gtx1060,
+        GpuModel::TeslaT4,
+        GpuModel::Gtx1080Ti,
+        GpuModel::Rtx2080Ti,
+        GpuModel::Rtx3090,
+    ];
+
+    /// Stable lower-case label (used in fleet group names and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            GpuModel::Gtx1060 => "gtx1060",
+            GpuModel::Gtx1080Ti => "gtx1080ti",
+            GpuModel::Rtx2080Ti => "rtx2080ti",
+            GpuModel::TeslaT4 => "t4",
+            GpuModel::Rtx3090 => "rtx3090",
+        }
+    }
+
+    /// GPU memory capacity in MiB.
+    pub fn memory_mib(self) -> u64 {
+        match self {
+            GpuModel::Gtx1060 => 6 * 1024,
+            GpuModel::Gtx1080Ti | GpuModel::Rtx2080Ti => 11 * 1024,
+            GpuModel::TeslaT4 => 16 * 1024,
+            GpuModel::Rtx3090 => 24 * 1024,
+        }
+    }
+
+    /// Render throughput relative to the GTX 1080 Ti.
+    pub fn throughput(self) -> f64 {
+        match self {
+            GpuModel::Gtx1060 => 0.45,
+            GpuModel::Gtx1080Ti => 1.0,
+            GpuModel::Rtx2080Ti => 1.25,
+            GpuModel::TeslaT4 => 0.75,
+            GpuModel::Rtx3090 => 1.9,
+        }
+    }
+}
+
+impl std::fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl ServerSpec {
+    /// The paper's server chassis fitted with a different GPU — the
+    /// building block of heterogeneous fleet groups.
+    pub fn with_gpu(model: GpuModel) -> Self {
+        ServerSpec {
+            gpu_memory_mib: model.memory_mib(),
+            gpu_throughput: model.throughput(),
+            ..Self::paper_server()
+        }
+    }
+}
+
 /// Client machine specification.
 ///
 /// Defaults mirror the paper's clients: 4-core Intel i5-7400, 8 GB RAM. The
@@ -129,5 +218,34 @@ mod tests {
     fn defaults_are_paper_machines() {
         assert_eq!(ServerSpec::default(), ServerSpec::paper_server());
         assert_eq!(ClientSpec::default(), ClientSpec::paper_client());
+    }
+
+    #[test]
+    fn gpu_catalog_is_consistent() {
+        // ALL is sorted by throughput and labels are unique.
+        let throughputs: Vec<f64> = GpuModel::ALL.iter().map(|g| g.throughput()).collect();
+        assert!(
+            throughputs.windows(2).all(|w| w[0] < w[1]),
+            "{throughputs:?}"
+        );
+        let labels: std::collections::BTreeSet<&str> =
+            GpuModel::ALL.iter().map(|g| g.label()).collect();
+        assert_eq!(labels.len(), GpuModel::ALL.len());
+        for g in GpuModel::ALL {
+            assert!(g.memory_mib() >= 6 * 1024);
+            assert!(g.throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn with_gpu_swaps_only_the_card() {
+        let base = ServerSpec::paper_server();
+        let s = ServerSpec::with_gpu(GpuModel::Rtx3090);
+        assert_eq!(s.gpu_memory_mib, 24 * 1024);
+        assert_eq!(s.gpu_throughput, 1.9);
+        assert_eq!(s.cores, base.cores);
+        assert_eq!(s.nic_mbps, base.nic_mbps);
+        // The paper's card reproduces paper_server exactly.
+        assert_eq!(ServerSpec::with_gpu(GpuModel::Gtx1080Ti), base);
     }
 }

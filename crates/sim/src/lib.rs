@@ -33,7 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventId, EventQueue};
+pub use event::{EventId, EventQueue, ShardedQueues};
 pub use resource::{FifoResource, JobId, PsResource};
 pub use rng::SeedTree;
 pub use stats::{Distribution, P2Quantile, Summary, TailQuantiles, TimeWeighted};

@@ -408,7 +408,23 @@ impl P2Quantile {
             // Exact linear-interpolated percentile over the sorted prefix.
             return percentile_sorted(&self.heights[..self.n as usize], self.q * 100.0);
         }
-        self.heights[2]
+        // Interpolate the piecewise-linear marker curve (positions[i],
+        // heights[i]) at the target rank 1 + (n-1)q. Returning the middle
+        // marker outright (the textbook read of P²) is only asymptotically
+        // right: its desired rank reaches the extreme quantiles slowly, so
+        // p99 over a small stream collapses toward the median and jumps
+        // discontinuously at the exact→P² handover after five samples.
+        // Marker positions are ranks 1..=n with gaps >= 1, so the clamp
+        // always lands in a well-defined cell.
+        let rank = (1.0 + (self.n - 1) as f64 * self.q).clamp(self.positions[0], self.positions[4]);
+        let mut i = 0;
+        while i < 3 && self.positions[i + 1] < rank {
+            i += 1;
+        }
+        let frac = (rank - self.positions[i]) / (self.positions[i + 1] - self.positions[i]);
+        // h0 + frac*(h1-h0) (not the symmetric lerp): exact when the cell is
+        // flat, so constant streams report the constant bit-for-bit.
+        self.heights[i] + frac * (self.heights[i + 1] - self.heights[i])
     }
 }
 

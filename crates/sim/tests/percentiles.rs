@@ -97,6 +97,88 @@ fn exponential_interarrivals_match_exact_percentiles() {
 }
 
 #[test]
+fn p99_is_continuous_across_the_exact_to_p2_transition() {
+    // Regression: value() used to return the raw middle marker once n > 5,
+    // so p99 over [1..=5] (exact: 4.96) collapsed to 3.0 the moment the
+    // sixth sample arrived. The marker-curve interpolation keeps the
+    // estimate pinned to the exact percentile across the handover.
+    let mut q = P2Quantile::new(0.99);
+    for x in 1..=5 {
+        q.record(x as f64);
+    }
+    let at5 = q.value();
+    assert_close(
+        "p99 at n=5",
+        at5,
+        exact(&[1.0, 2.0, 3.0, 4.0, 5.0], 99.0),
+        1e-12,
+    );
+    q.record(6.0);
+    let at6 = q.value();
+    assert_close(
+        "p99 at n=6",
+        at6,
+        exact(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 99.0),
+        1e-9,
+    );
+    // A growing stream must not make the tail estimate fall off a cliff.
+    assert!(
+        at6 > at5,
+        "p99 dropped across the transition: {at5} -> {at6}"
+    );
+}
+
+#[test]
+fn p99_transition_survives_duplicate_value_feeds() {
+    // All-duplicate prefix: every marker starts at the same height, the
+    // degenerate case for interpolation (and for the old middle-marker
+    // read, which pinned p99 to the median forever).
+    let mut q = P2Quantile::new(0.99);
+    for _ in 0..5 {
+        q.record(5.0);
+    }
+    assert_eq!(q.value(), 5.0);
+    q.record(9.0);
+    let streamed = q.value();
+    let exact6 = exact(&[5.0, 5.0, 5.0, 5.0, 5.0, 9.0], 99.0);
+    assert!(
+        streamed > 5.0,
+        "p99 stuck at the duplicate bulk: {streamed} (exact {exact6})"
+    );
+    assert_close("dup p99 at n=6", streamed, exact6, 0.10);
+
+    // A feed that stays duplicate past the transition must stay exact.
+    let mut q = P2Quantile::new(0.99);
+    for _ in 0..32 {
+        q.record(7.25);
+    }
+    assert_eq!(q.value(), 7.25);
+
+    // Duplicates with one early outlier: the transition must not amplify it.
+    let mut q = P2Quantile::new(0.99);
+    for x in [2.0, 2.0, 2.0, 2.0, 10.0, 2.0, 2.0, 2.0] {
+        q.record(x);
+    }
+    let v = q.value();
+    assert!((2.0..=10.0).contains(&v), "p99 left the sample range: {v}");
+}
+
+#[test]
+fn small_stream_tails_track_exact_percentiles() {
+    // With marker interpolation the estimator stays near the exact
+    // percentile through the whole small-n regime, not just at n <= 5.
+    let feed: Vec<f64> = (1..=40).map(|i| ((i * 17) % 40) as f64).collect();
+    let mut q = P2Quantile::new(0.99);
+    for (i, &x) in feed.iter().enumerate() {
+        q.record(x);
+        if i >= 5 {
+            let ex = exact(&feed[..=i], 99.0);
+            assert_close(&format!("p99 at n={}", i + 1), q.value(), ex, 0.25);
+        }
+    }
+}
+
+#[test]
 fn sorted_and_reversed_feeds_stay_bounded() {
     // Monotone feeds are the classic P² stress: desired positions race
     // ahead of actual ones on one side.
