@@ -47,9 +47,11 @@ use pictor_sim::{EventId, SeedTree, ShardedQueues, SimDuration, SimTime, TailQua
 
 use crate::suite::default_threads;
 
+use super::faults::{FaultKind, FaultPlan, Health};
+use super::policy::VictimCandidate;
 use super::replay::{simulate_interval, IntervalResult};
 use super::report::{
-    AutoscaleStats, BackpressureStats, FleetDynamics, FleetReport, MigrationStats,
+    AutoscaleStats, BackpressureStats, FaultStats, FleetDynamics, FleetReport, MigrationStats,
 };
 use super::{
     sample_session_secs, ArrivalConfig, AutoscaleConfig, BackpressureConfig, FleetSpec,
@@ -156,11 +158,25 @@ pub struct FleetAudit {
     pub slots_per_server: usize,
     /// Every occupancy segment of the run.
     pub placements: Vec<Placement>,
-    /// Per-server GPU capacity, MiB.
+    /// Per-server *pristine* GPU capacity, MiB (degradation steps are in
+    /// [`FleetAudit::capacity_steps`]).
     pub gpu_capacity_mib: Vec<u64>,
     /// Per-server active windows `[start, end)` in epochs (the whole
     /// horizon when autoscaling is off).
     pub activity: Vec<Vec<(u64, u64)>>,
+    /// Per-server capacity changes from fault injection: `(epoch, new
+    /// MiB)` in epoch order; empty without degradation. Effective capacity
+    /// at epoch `e` is the last step at or before `e`, else the pristine
+    /// value.
+    pub capacity_steps: Vec<Vec<(u64, u64)>>,
+    /// Sessions orphaned by crashes.
+    pub orphaned: u64,
+    /// Sessions evicted by capacity degradation.
+    pub evicted: u64,
+    /// Orphaned/evicted sessions successfully re-placed.
+    pub recovered: u64,
+    /// Orphaned/evicted sessions lost for good.
+    pub lost: u64,
 }
 
 /// The online fleet runner. See the module docs for the execution model;
@@ -200,6 +216,10 @@ pub struct FleetEngine {
     pub migration: Option<MigrationConfig>,
     /// Bounded-queue admission backpressure.
     pub backpressure: Option<BackpressureConfig>,
+    /// Deterministic fault injection ([`FaultPlan`]). `None` — or an
+    /// *empty* plan — leaves every fault code path cold: the report is
+    /// byte-identical to the fault-free engine.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FleetEngine {
@@ -227,6 +247,7 @@ impl FleetEngine {
             autoscale: None,
             migration: None,
             backpressure: None,
+            faults: None,
         }
     }
 
@@ -273,6 +294,9 @@ impl FleetEngine {
         if let Some(b) = &self.backpressure {
             b.validate();
         }
+        if let Some(f) = &self.faults {
+            f.validate();
+        }
         let mut state = EngineState::new(self);
         state.run_control_loop();
         state.finish(threads)
@@ -308,11 +332,25 @@ struct Srv {
     group: usize,
     gpu_capacity_mib: u64,
     status: Status,
+    /// Fault-injection health, orthogonal to the autoscale `status` (a
+    /// crashed server stays `Active` in the autoscaler's books — the
+    /// utilization denominator filters on `serving` instead).
+    health: Health,
+    /// Epoch the current non-`Healthy` health state began (downtime
+    /// accounting).
+    health_since: u64,
     /// Segment indices currently assigned here (admission order). Includes
     /// migration-created segments that start in a future epoch.
     live: Vec<u32>,
     /// Active windows `[start, end)`; `u64::MAX` end = still open.
     activity: Vec<(u64, u64)>,
+}
+
+impl Srv {
+    /// Placeable: up per the autoscaler *and* healthy enough to serve.
+    fn serving(&self) -> bool {
+        self.status == Status::Active && self.health.serving()
+    }
 }
 
 struct Seg {
@@ -324,6 +362,27 @@ struct Seg {
     departure: EventId,
 }
 
+impl Seg {
+    /// A crash/eviction can null a not-yet-started segment in place
+    /// (`end == start`); such segments occupy nothing and emit no
+    /// placement record.
+    fn is_void(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Recovery identity carried by a re-placement attempt for a session that
+/// lost its server to a fault.
+#[derive(Debug, Clone, Copy)]
+struct Resume {
+    /// The original session id (re-placement keeps it).
+    session: u64,
+    /// Placement attempts already failed.
+    attempt: u32,
+    /// Epoch the session lost its server.
+    orphaned_at: u64,
+}
+
 /// One pending request in the online loop.
 struct Request {
     app: App,
@@ -332,6 +391,43 @@ struct Request {
     /// True for backpressure retries: the attempt re-offers the original
     /// request without burning client RNG draws.
     parked: bool,
+    /// Present for fault-recovery re-placements of orphaned sessions.
+    resume: Option<Resume>,
+}
+
+/// A materialized fault operation, processed from the main-loop fault heap
+/// at its epoch (never on a shard — cross-group effects must not depend on
+/// the shard count).
+#[derive(Debug, Clone, Copy)]
+enum FaultOp {
+    /// Begin a notified crash: `Draining` now, down after `drain_epochs`.
+    Drain {
+        drain_epochs: u64,
+        restart_after: Option<u64>,
+        warmup: u64,
+    },
+    /// The server goes `Down`, orphaning residents.
+    Crash {
+        restart_after: Option<u64>,
+        warmup: u64,
+    },
+    /// GPU memory shrinks by `severity`; evict until capacity holds.
+    Degrade {
+        severity: f64,
+        recover_after: Option<u64>,
+    },
+    /// Degradation heals: capacity returns to pristine.
+    DegradeRecover,
+    /// `Down` → `WarmingUp`.
+    Restart { warmup: u64 },
+    /// `WarmingUp` → `Healthy`: the server is placeable again.
+    WarmDone,
+    /// RTT inflation window opens on this server.
+    Brownout {
+        rtt_factor: f64,
+        jitter_ms: f64,
+        duration: u64,
+    },
 }
 
 /// The three-way arrival merge. Classes replicate replay's heap-sequence
@@ -436,6 +532,7 @@ impl ArrivalSource {
                         duration_ns,
                         client: None,
                         parked: false,
+                        resume: None,
                     },
                 ))
             }
@@ -449,6 +546,7 @@ impl ArrivalSource {
                         duration_ns,
                         client: Some(c),
                         parked: false,
+                        resume: None,
                     },
                 ))
             }
@@ -479,8 +577,9 @@ struct EngineState<'a> {
     free_now: BTreeSet<usize>,
     resident: Vec<usize>,
     /// Migration-created segments that start in a future epoch, keyed by
-    /// (start_epoch, server).
-    future_starts: BinaryHeap<Reverse<(u64, usize)>>,
+    /// (start_epoch, server, segment). The segment rides along so a pop
+    /// can skip entries whose segment a crash voided in the meantime.
+    future_starts: BinaryHeap<Reverse<(u64, usize, u32)>>,
     cur_epoch: u64,
     conc_delta: Vec<i64>,
     next_session: u64,
@@ -501,6 +600,23 @@ struct EngineState<'a> {
     min_active: usize,
     max_active: usize,
     event_drain: Vec<(SimTime, usize, ShardEvent)>,
+    /// The normalized fault plan: `None` when unset *or empty*, so every
+    /// fault branch below is cold on a fault-free run.
+    faults: Option<&'a FaultPlan>,
+    /// Pending fault ops keyed by (epoch, sequence); payloads live in
+    /// `fault_payload[seq]`. Sequence order — materialization order, then
+    /// runtime push order — breaks same-epoch ties deterministically.
+    fault_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    fault_payload: Vec<(usize, FaultOp)>,
+    /// The fault ledger (reported as [`FaultStats`]).
+    fl: FaultStats,
+    /// Per-server brownout windows `(start, end, rtt_factor, jitter_ms)`.
+    net_windows: Vec<Vec<(u64, u64, f64, f64)>>,
+    /// Per-server capacity changes `(epoch, new MiB)` in epoch order.
+    capacity_steps: Vec<Vec<(u64, u64)>>,
+    /// Per-server extra carve boundaries (degradation steps and brownout
+    /// edges), so every data-plane job sees one constant fault state.
+    fault_cuts: Vec<Vec<u64>>,
 }
 
 impl<'a> EngineState<'a> {
@@ -529,6 +645,8 @@ impl<'a> EngineState<'a> {
                     } else {
                         Status::Inactive
                     },
+                    health: Health::Healthy,
+                    health_since: 0,
                     live: Vec::new(),
                     activity: if active {
                         vec![(0, u64::MAX)]
@@ -555,7 +673,7 @@ impl<'a> EngineState<'a> {
                 for (g, &shard) in shard_of_group.iter().enumerate() {
                     shards.schedule(
                         shard,
-                        SimTime::from_nanos(a.eval_every_epochs * eps),
+                        SimTime::from_nanos(a.eval_every_epochs.saturating_mul(eps)),
                         ShardEvent::GroupTick { group: g },
                     );
                 }
@@ -579,6 +697,55 @@ impl<'a> EngineState<'a> {
             source.joins.push((at, c, app, (secs * 1e9).round() as u64));
         }
         source.joins.sort_by_key(|j| j.0);
+        // Normalize the fault plan (empty ⇒ None) and materialize its
+        // injection schedule up front: the heap is a pure function of
+        // (plan, seed, fleet shape), independent of threads and shards.
+        let faults = eng.faults.as_ref().filter(|p| !p.is_empty());
+        let mut fault_heap = BinaryHeap::new();
+        let mut fault_payload: Vec<(usize, FaultOp)> = Vec::new();
+        if let Some(plan) = faults {
+            for ev in plan.materialize(&tree, total, eng.epochs) {
+                let op = match ev.kind {
+                    FaultKind::Crash {
+                        drain_epochs,
+                        restart_after_epochs,
+                        warmup_epochs,
+                    } => {
+                        if drain_epochs > 0 {
+                            FaultOp::Drain {
+                                drain_epochs,
+                                restart_after: restart_after_epochs,
+                                warmup: warmup_epochs,
+                            }
+                        } else {
+                            FaultOp::Crash {
+                                restart_after: restart_after_epochs,
+                                warmup: warmup_epochs,
+                            }
+                        }
+                    }
+                    FaultKind::GpuDegrade {
+                        severity,
+                        recover_after_epochs,
+                    } => FaultOp::Degrade {
+                        severity,
+                        recover_after: recover_after_epochs,
+                    },
+                    FaultKind::NetBrownout {
+                        rtt_factor,
+                        jitter_ms,
+                        duration_epochs,
+                    } => FaultOp::Brownout {
+                        rtt_factor,
+                        jitter_ms,
+                        duration: duration_epochs,
+                    },
+                };
+                let seq = fault_payload.len() as u64;
+                fault_payload.push((ev.server, op));
+                fault_heap.push(Reverse((ev.at_epoch, seq)));
+            }
+        }
         EngineState {
             eng,
             eps,
@@ -613,13 +780,20 @@ impl<'a> EngineState<'a> {
             min_active: active_count,
             max_active: active_count,
             event_drain: Vec::new(),
+            faults,
+            fault_heap,
+            fault_payload,
+            fl: FaultStats::default(),
+            net_windows: vec![Vec::new(); total],
+            capacity_steps: vec![Vec::new(); total],
+            fault_cuts: vec![Vec::new(); total],
         }
     }
 
     // -- bookkeeping helpers ---------------------------------------------
 
     fn set_free(&mut self, i: usize) {
-        if self.srv[i].status == Status::Active && self.resident[i] < self.eng.slots_per_server {
+        if self.srv[i].serving() && self.resident[i] < self.eng.slots_per_server {
             self.free_now.insert(i);
         } else {
             self.free_now.remove(&i);
@@ -632,7 +806,7 @@ impl<'a> EngineState<'a> {
     /// of them — this equals replay's per-epoch whole-span scan.
     fn fits_span(&self, i: usize, start: u64, end: u64, need_mib: u64) -> bool {
         let srv = &self.srv[i];
-        if srv.status != Status::Active {
+        if !srv.serving() {
             return false;
         }
         let slots = self.eng.slots_per_server;
@@ -707,13 +881,17 @@ impl<'a> EngineState<'a> {
     fn advance_to(&mut self, target: u64) {
         while self.cur_epoch < target {
             let e = self.cur_epoch + 1;
-            while let Some(&Reverse((fe, server))) = self.future_starts.peek() {
+            while let Some(&Reverse((fe, server, si))) = self.future_starts.peek() {
                 if fe > e {
                     break;
                 }
                 self.future_starts.pop();
-                self.resident[server] += 1;
-                self.set_free(server);
+                // A crash may have voided the segment after it was
+                // heap-pushed; a stale entry must not touch occupancy.
+                if !self.segs[si as usize].is_void() {
+                    self.resident[server] += 1;
+                    self.set_free(server);
+                }
             }
             let deadline = SimTime::from_nanos(e.saturating_mul(self.eps));
             loop {
@@ -729,6 +907,12 @@ impl<'a> EngineState<'a> {
                     self.handle_event(time, ev);
                 }
                 self.event_drain = drained;
+            }
+            // Faults fire on the main loop after the boundary's shard
+            // events and before migration — cross-group effects (orphan
+            // parking, eviction) stay shard- and thread-invariant.
+            if self.faults.is_some() {
+                self.fault_step(e);
             }
             if self.eng.migration.is_some() && e >= 1 && e + 1 < self.eng.epochs {
                 self.migrate(e);
@@ -758,9 +942,10 @@ impl<'a> EngineState<'a> {
         let cfg = self.eng.autoscale.expect("ticks only fire with autoscale");
         let e = time.as_nanos() / self.eps;
         let (lo, hi) = self.group_range[group];
-        let active: Vec<usize> = (lo..hi)
-            .filter(|&i| self.srv[i].status == Status::Active)
-            .collect();
+        // Serving servers only: capacity lost to faults (`Down`,
+        // `Draining`, `WarmingUp`) must not count in the utilization
+        // denominator, so the group backfills crashed machines.
+        let active: Vec<usize> = (lo..hi).filter(|&i| self.srv[i].serving()).collect();
         let residents: usize = (lo..hi)
             .map(|i| {
                 self.srv[i]
@@ -783,7 +968,7 @@ impl<'a> EngineState<'a> {
                     self.srv[spare].status = Status::Warming;
                     self.shards.schedule(
                         self.shard_of_group[group],
-                        SimTime::from_nanos(warm_epoch * self.eps),
+                        SimTime::from_nanos(warm_epoch.saturating_mul(self.eps)),
                         ShardEvent::Warm { server: spare },
                     );
                     self.grow_events += 1;
@@ -801,18 +986,14 @@ impl<'a> EngineState<'a> {
                 self.shrink_events += 1;
             }
         }
-        let total_active = self
-            .srv
-            .iter()
-            .filter(|s| s.status == Status::Active)
-            .count();
+        let total_active = self.srv.iter().filter(|s| s.serving()).count();
         self.min_active = self.min_active.min(total_active);
         self.max_active = self.max_active.max(total_active);
         let next = e + cfg.eval_every_epochs;
         if next < self.eng.epochs {
             self.shards.schedule(
                 self.shard_of_group[group],
-                SimTime::from_nanos(next * self.eps),
+                SimTime::from_nanos(next.saturating_mul(self.eps)),
                 ShardEvent::GroupTick { group },
             );
         }
@@ -879,7 +1060,7 @@ impl<'a> EngineState<'a> {
         let new_si = self.segs.len() as u32;
         let departure = self.shards.schedule(
             self.shard_of_group[self.srv[tgt].group],
-            SimTime::from_nanos(old_end * self.eps),
+            SimTime::from_nanos(old_end.saturating_mul(self.eps)),
             ShardEvent::Departure {
                 server: tgt,
                 seg: new_si,
@@ -894,21 +1075,363 @@ impl<'a> EngineState<'a> {
             departure,
         });
         self.srv[tgt].live.push(new_si);
-        self.future_starts.push(Reverse((e + 1, tgt)));
+        self.future_starts.push(Reverse((e + 1, tgt, new_si)));
         // The session is in transfer during epoch `e`: resident nowhere.
         self.conc_delta[e as usize] -= 1;
         self.conc_delta[e as usize + 1] += 1;
     }
 
+    // -- fault injection and recovery -------------------------------------
+
+    /// Queues a fault op for `server` at `epoch`; ops at or past the
+    /// horizon are dropped (the finish pass accounts open states to the
+    /// horizon instead).
+    fn push_fault(&mut self, epoch: u64, server: usize, op: FaultOp) {
+        if epoch >= self.eng.epochs {
+            return;
+        }
+        let seq = self.fault_payload.len() as u64;
+        self.fault_payload.push((server, op));
+        self.fault_heap.push(Reverse((epoch, seq)));
+    }
+
+    /// Applies every fault op due at boundary `e`, in (epoch, sequence)
+    /// order.
+    fn fault_step(&mut self, e: u64) {
+        while let Some(&Reverse((fe, seq))) = self.fault_heap.peek() {
+            if fe > e {
+                break;
+            }
+            self.fault_heap.pop();
+            let (server, op) = self.fault_payload[seq as usize];
+            self.apply_fault(e, server, op);
+        }
+    }
+
+    fn apply_fault(&mut self, e: u64, server: usize, op: FaultOp) {
+        match op {
+            FaultOp::Drain {
+                drain_epochs,
+                restart_after,
+                warmup,
+            } => {
+                if !self.srv[server].serving() {
+                    self.fl.skipped += 1;
+                    return;
+                }
+                self.fl.crashes += 1;
+                self.srv[server].health = Health::Draining;
+                self.srv[server].health_since = e;
+                self.free_now.remove(&server);
+                self.push_fault(
+                    e.saturating_add(drain_epochs),
+                    server,
+                    FaultOp::Crash {
+                        restart_after,
+                        warmup,
+                    },
+                );
+            }
+            FaultOp::Crash {
+                restart_after,
+                warmup,
+            } => {
+                // Either an abrupt injection (server must be serving) or
+                // the scheduled end of this server's drain window.
+                if self.srv[server].health == Health::Draining {
+                    self.fl.draining_epochs += e - self.srv[server].health_since;
+                } else if self.srv[server].serving() {
+                    self.fl.crashes += 1;
+                } else {
+                    self.fl.skipped += 1;
+                    return;
+                }
+                self.go_down(e, server, restart_after, warmup);
+            }
+            FaultOp::Restart { warmup } => {
+                // Only `Down` servers hold a pending restart.
+                self.fl.downtime_epochs += e - self.srv[server].health_since;
+                self.srv[server].health = Health::WarmingUp;
+                self.srv[server].health_since = e;
+                if warmup == 0 {
+                    self.apply_fault(e, server, FaultOp::WarmDone);
+                } else {
+                    self.push_fault(e.saturating_add(warmup), server, FaultOp::WarmDone);
+                }
+            }
+            FaultOp::WarmDone => {
+                self.fl.warming_epochs += e - self.srv[server].health_since;
+                // Bank retirement survives the reboot: a server that was
+                // degraded when it crashed comes back degraded.
+                let pristine = self.pristine_mib(server);
+                self.srv[server].health = if self.srv[server].gpu_capacity_mib == pristine {
+                    Health::Healthy
+                } else {
+                    Health::Degraded
+                };
+                self.srv[server].health_since = e;
+                self.srv[server].activity.push((e, u64::MAX));
+                self.set_free(server);
+            }
+            FaultOp::Degrade {
+                severity,
+                recover_after,
+            } => {
+                if !self.srv[server].serving() {
+                    self.fl.skipped += 1;
+                    return;
+                }
+                self.fl.gpu_degrades += 1;
+                let new_cap = pictor_hw::degrade_mib(self.srv[server].gpu_capacity_mib, severity);
+                self.srv[server].gpu_capacity_mib = new_cap;
+                self.capacity_steps[server].push((e, new_cap));
+                self.fault_cuts[server].push(e);
+                if self.srv[server].health == Health::Healthy {
+                    self.srv[server].health = Health::Degraded;
+                    self.srv[server].health_since = e;
+                }
+                self.evict_to_capacity(e, server);
+                self.set_free(server);
+                if let Some(r) = recover_after {
+                    self.push_fault(e.saturating_add(r), server, FaultOp::DegradeRecover);
+                }
+            }
+            FaultOp::DegradeRecover => {
+                let pristine = self.pristine_mib(server);
+                if self.srv[server].gpu_capacity_mib == pristine {
+                    return;
+                }
+                self.srv[server].gpu_capacity_mib = pristine;
+                self.capacity_steps[server].push((e, pristine));
+                self.fault_cuts[server].push(e);
+                if self.srv[server].health == Health::Degraded {
+                    self.srv[server].health = Health::Healthy;
+                    self.srv[server].health_since = e;
+                }
+                self.set_free(server);
+            }
+            FaultOp::Brownout {
+                rtt_factor,
+                jitter_ms,
+                duration,
+            } => {
+                // Brownouts degrade quality, not placement: they apply to
+                // whatever the server hosts while the window lasts.
+                self.fl.brownouts += 1;
+                let end = e.saturating_add(duration).min(self.eng.epochs);
+                self.net_windows[server].push((e, end, rtt_factor, jitter_ms));
+                self.fault_cuts[server].push(e);
+                if end < self.eng.epochs {
+                    self.fault_cuts[server].push(end);
+                }
+            }
+        }
+    }
+
+    /// The group-config capacity `server` started the run with.
+    fn pristine_mib(&self, server: usize) -> u64 {
+        self.eng.groups[self.srv[server].group]
+            .config
+            .server
+            .gpu_memory_mib
+    }
+
+    /// Effective GPU capacity of `server` at epoch `e`: pristine until the
+    /// last recorded degradation/restoration step at or before `e`.
+    fn capacity_at(&self, server: usize, e: u64) -> u64 {
+        let mut cap = self.pristine_mib(server);
+        for &(at, c) in &self.capacity_steps[server] {
+            if at <= e {
+                cap = c;
+            } else {
+                break;
+            }
+        }
+        cap
+    }
+
+    /// Crash landing: orphan every resident, close the activity window,
+    /// mark the server `Down` and (optionally) queue its restart.
+    fn go_down(&mut self, e: u64, server: usize, restart_after: Option<u64>, warmup: u64) {
+        let live: Vec<u32> = self.srv[server].live.clone();
+        let mut orphans: Vec<(u64, App, u64)> = Vec::with_capacity(live.len());
+        for si in live {
+            if let Some(orphan) = self.detach_seg(e, server, si) {
+                orphans.push(orphan);
+            }
+        }
+        self.fl.orphaned += orphans.len() as u64;
+        self.srv[server].health = Health::Down;
+        self.srv[server].health_since = e;
+        if let Some(last) = self.srv[server].activity.last_mut() {
+            if last.1 == u64::MAX {
+                last.1 = e;
+            }
+        }
+        self.free_now.remove(&server);
+        for (session, app, remaining) in orphans {
+            self.orphan_session(e, session, app, remaining);
+        }
+        if let Some(r) = restart_after {
+            self.push_fault(e.saturating_add(r), server, FaultOp::Restart { warmup });
+        }
+    }
+
+    /// Detaches segment `si` from `server` at epoch `e` (crash or
+    /// eviction): cancels its departure, truncates it to `e` (or voids it
+    /// entirely when it had not started), fixes occupancy, and returns the
+    /// orphan payload `(session, app, remaining epochs)` when any service
+    /// was actually lost.
+    fn detach_seg(&mut self, e: u64, server: usize, si: u32) -> Option<(u64, App, u64)> {
+        let (departure, start, old_end, session, app) = {
+            let seg = &self.segs[si as usize];
+            (
+                seg.departure,
+                seg.start,
+                seg.end,
+                seg.session,
+                seg.app.clone(),
+            )
+        };
+        self.shards
+            .cancel(self.shard_of_group[self.srv[server].group], departure);
+        if start <= e {
+            self.segs[si as usize].end = e;
+            self.resident[server] -= 1;
+            self.conc_delta[e as usize] -= 1;
+            self.conc_delta[old_end as usize] += 1;
+        } else {
+            // A migration-created segment that never started: void it in
+            // place (its stale `future_starts` entry checks `is_void`).
+            self.segs[si as usize].end = start;
+            self.conc_delta[start as usize] -= 1;
+            self.conc_delta[old_end as usize] += 1;
+        }
+        self.srv[server].live.retain(|&x| x != si);
+        self.set_free(server);
+        let cut = e.max(start);
+        (old_end > cut).then(|| (session, app, old_end - cut))
+    }
+
+    /// Evicts residents (in [`VictimPolicy`](super::VictimPolicy) order)
+    /// until the server's occupancy fits its shrunken capacity at every
+    /// remaining epoch.
+    fn evict_to_capacity(&mut self, e: u64, server: usize) {
+        let plan = self.faults.expect("eviction only happens with faults");
+        loop {
+            let cap = self.srv[server].gpu_capacity_mib;
+            let viol = (e..self.eng.epochs).find(|&p| {
+                let mem: u64 = self.srv[server]
+                    .live
+                    .iter()
+                    .map(|&si| &self.segs[si as usize])
+                    .filter(|seg| !seg.is_void() && seg.start <= p && p < seg.end)
+                    .map(|seg| seg.app.profile.gpu_memory_mib)
+                    .sum();
+                mem > cap
+            });
+            let Some(p) = viol else { break };
+            let cands: Vec<(u32, VictimCandidate)> = self.srv[server]
+                .live
+                .iter()
+                .map(|&si| (si, &self.segs[si as usize]))
+                .filter(|(_, seg)| !seg.is_void() && seg.start <= p && p < seg.end)
+                .map(|(si, seg)| {
+                    (
+                        si,
+                        VictimCandidate {
+                            session: seg.session,
+                            gpu_mib: seg.app.profile.gpu_memory_mib,
+                            remaining_epochs: seg.end - seg.start.max(e),
+                            pressure: seg.app.profile.cpu_pressure + seg.app.profile.gpu_pressure,
+                        },
+                    )
+                })
+                .collect();
+            let Some(_) = cands.first() else { break };
+            let snapshot: Vec<VictimCandidate> = cands.iter().map(|&(_, c)| c).collect();
+            let pick = plan.victims.pick(&snapshot);
+            assert!(
+                pick < cands.len(),
+                "victim policy {} returned out-of-range index {pick} over {} candidates",
+                plan.victims.label(),
+                cands.len()
+            );
+            let si = cands[pick].0;
+            if let Some((session, app, remaining)) = self.detach_seg(e, server, si) {
+                self.fl.evicted += 1;
+                self.orphan_session(e, session, app, remaining);
+            }
+        }
+    }
+
+    /// Re-enters an orphaned/evicted session into placement through the
+    /// shared pending queue, or counts it lost when the queue is full.
+    fn orphan_session(&mut self, e: u64, session: u64, app: App, remaining_epochs: u64) {
+        let plan = self.faults.expect("orphans only exist with faults");
+        let limit = self
+            .eng
+            .backpressure
+            .as_ref()
+            .map(|b| b.queue_limit)
+            .unwrap_or(plan.recovery.queue_limit);
+        if self.queue_len >= limit {
+            self.fl.lost += 1;
+            return;
+        }
+        let now_ns = e.saturating_mul(self.eps);
+        let retry_at = self.recovery_retry_at(now_ns, 0, session);
+        self.park(
+            retry_at,
+            Request {
+                app,
+                duration_ns: remaining_epochs.saturating_mul(self.eps),
+                client: None,
+                parked: false,
+                resume: Some(Resume {
+                    session,
+                    attempt: 0,
+                    orphaned_at: e,
+                }),
+            },
+        );
+    }
+
+    /// Recovery retry time: exponential backoff capped at the configured
+    /// ceiling, plus a deterministic sub-epoch jitter hashed from (seed,
+    /// session, attempt) — so backed-off orphans never stampede one
+    /// boundary, and reruns reproduce the schedule exactly.
+    fn recovery_retry_at(&self, now_ns: u64, attempt: u32, session: u64) -> u64 {
+        let rec = &self.faults.expect("recovery needs a plan").recovery;
+        let backoff = rec
+            .base_retry_epochs
+            .saturating_mul(1u64 << attempt.min(62))
+            .min(rec.max_backoff_epochs);
+        let jitter =
+            mix64(self.eng.seed ^ session.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt))
+                % self.eps.max(1);
+        now_ns
+            .saturating_add(backoff.saturating_mul(self.eps))
+            .saturating_add(jitter)
+    }
+
     // -- the online loop --------------------------------------------------
 
     fn run_control_loop(&mut self) {
+        if self.faults.is_some() {
+            // Faults at epoch 0 strike before any placement (advance_to(0)
+            // is a no-op for the first arrivals).
+            self.fault_step(0);
+        }
         while let Some((t, req)) = self.source.next() {
             let start = t.div_ceil(self.eps);
             if start >= self.eng.epochs {
                 if req.parked {
-                    self.expired += 1;
                     self.queue_len -= 1;
+                    match req.resume {
+                        Some(_) => self.fl.lost += 1,
+                        None => self.expired += 1,
+                    }
                 }
                 // Mirrors replay: past-horizon requests vanish silently —
                 // no offer, no draws.
@@ -917,9 +1440,19 @@ impl<'a> EngineState<'a> {
             self.advance_to(start);
             let span = (req.duration_ns as f64 / self.eps as f64).round().max(1.0) as u64;
             let end = (start + span).min(self.eng.epochs);
-            self.offered += 1;
+            // Recovery re-placements live in the fault ledger, not the
+            // admission ledger — `offered == admitted + rejected + queued`
+            // holds with or without a fault plan.
+            match req.resume {
+                Some(_) => self.fl.recovery_retries += 1,
+                None => {
+                    self.offered += 1;
+                    if req.parked {
+                        self.retried += 1;
+                    }
+                }
+            }
             if req.parked {
-                self.retried += 1;
                 self.queue_len -= 1;
             }
             let need_mib = req.app.profile.gpu_memory_mib;
@@ -947,12 +1480,24 @@ impl<'a> EngineState<'a> {
     }
 
     fn admit(&mut self, server: usize, start: u64, end: u64, _t: u64, req: Request) {
-        let id = self.next_session;
-        self.next_session += 1;
+        let id = match req.resume {
+            Some(r) => {
+                // A recovered session keeps its identity; its new segment
+                // covers only the service it still had left.
+                self.fl.recovered += 1;
+                self.fl.recovery_latency_epochs += start.saturating_sub(r.orphaned_at);
+                r.session
+            }
+            None => {
+                let id = self.next_session;
+                self.next_session += 1;
+                id
+            }
+        };
         let si = self.segs.len() as u32;
         let departure = self.shards.schedule(
             self.shard_of_group[self.srv[server].group],
-            SimTime::from_nanos(end * self.eps),
+            SimTime::from_nanos(end.saturating_mul(self.eps)),
             ShardEvent::Departure { server, seg: si },
         );
         self.segs.push(Seg {
@@ -972,7 +1517,7 @@ impl<'a> EngineState<'a> {
             let rng = &mut self.client_rngs[c];
             let think =
                 exponential(rng, self.eng.arrivals.mean_think_secs.max(1e-3) * 1e9).round() as u64;
-            let rejoin = (end * self.eps).saturating_add(think);
+            let rejoin = end.saturating_mul(self.eps).saturating_add(think);
             if rejoin < self.horizon_ns {
                 let app = self.eng.mix.sample(rng);
                 let secs = sample_session_secs(rng, &self.eng.arrivals);
@@ -983,6 +1528,7 @@ impl<'a> EngineState<'a> {
                         duration_ns: (secs * 1e9).round() as u64,
                         client: Some(c),
                         parked: false,
+                        resume: None,
                     },
                 );
             }
@@ -990,20 +1536,41 @@ impl<'a> EngineState<'a> {
     }
 
     fn refuse(&mut self, t: u64, req: Request) {
-        if let Some(bp) = &self.eng.backpressure {
-            if self.queue_len < bp.queue_limit {
-                // Park: same request, retried later, no RNG draws.
-                self.queue_len += 1;
-                self.peak_queue = self.peak_queue.max(self.queue_len);
-                self.queued += 1;
-                let retry_at = t.saturating_add(bp.retry_after_epochs * self.eps);
-                self.source.push_dynamic(
+        if let Some(r) = req.resume {
+            // Fault recovery: back off and retry until attempts run out or
+            // the shared queue fills.
+            let plan = self.faults.expect("resume requests imply a fault plan");
+            let limit = self
+                .eng
+                .backpressure
+                .as_ref()
+                .map(|b| b.queue_limit)
+                .unwrap_or(plan.recovery.queue_limit);
+            if r.attempt + 1 < plan.recovery.max_attempts && self.queue_len < limit {
+                let retry_at = self.recovery_retry_at(t, r.attempt + 1, r.session);
+                self.park(
                     retry_at,
                     Request {
-                        parked: true,
+                        resume: Some(Resume {
+                            attempt: r.attempt + 1,
+                            ..r
+                        }),
                         ..req
                     },
                 );
+            } else {
+                self.fl.lost += 1;
+            }
+            return;
+        }
+        if let Some(bp) = &self.eng.backpressure {
+            if self.queue_len < bp.queue_limit {
+                // Park: same request, retried later, no RNG draws. The
+                // epoch-to-nanosecond product saturates (`checked_mul`) so
+                // an enormous retry-after cannot wrap around the horizon
+                // comparison inside `park`.
+                let retry_at = t.saturating_add(bp.retry_after_epochs.saturating_mul(self.eps));
+                self.park(retry_at, req);
                 return;
             }
             self.dropped += 1;
@@ -1024,10 +1591,42 @@ impl<'a> EngineState<'a> {
                         duration_ns: (secs * 1e9).round() as u64,
                         client: Some(c),
                         parked: false,
+                        resume: None,
                     },
                 );
             }
         }
+    }
+
+    /// Parks a request for a later retry, sharing the bounded queue between
+    /// admission backpressure and fault recovery. The horizon rule is the
+    /// same strict `< horizon_ns` that think-time rejoins use: a retry at or
+    /// past the horizon can never be offered again, so it expires at park
+    /// time and never occupies a queue slot. Backpressure parks count in
+    /// the admission ledger (`queued`/`expired`); recovery parks count in
+    /// the fault ledger (`lost`).
+    fn park(&mut self, retry_at: u64, req: Request) {
+        let recovery = req.resume.is_some();
+        if !recovery {
+            self.queued += 1;
+        }
+        if retry_at >= self.horizon_ns {
+            if recovery {
+                self.fl.lost += 1;
+            } else {
+                self.expired += 1;
+            }
+            return;
+        }
+        self.queue_len += 1;
+        self.peak_queue = self.peak_queue.max(self.queue_len);
+        self.source.push_dynamic(
+            retry_at,
+            Request {
+                parked: true,
+                ..req
+            },
+        );
     }
 
     // -- data plane + reduction ------------------------------------------
@@ -1043,6 +1642,23 @@ impl<'a> EngineState<'a> {
                 }
             }
         }
+        if self.faults.is_some() {
+            // Unresolved health states account their spans to the horizon,
+            // and fault cuts become sorted sets for the carve below.
+            for s in &self.srv {
+                let span = epochs - s.health_since;
+                match s.health {
+                    Health::Down => self.fl.downtime_epochs += span,
+                    Health::WarmingUp => self.fl.warming_epochs += span,
+                    Health::Draining => self.fl.draining_epochs += span,
+                    Health::Healthy | Health::Degraded => {}
+                }
+            }
+            for cuts in &mut self.fault_cuts {
+                cuts.sort_unstable();
+                cuts.dedup();
+            }
+        }
         // Per-server segment history, in admission order.
         let mut by_server: Vec<Vec<u32>> = vec![Vec::new(); self.srv.len()];
         for (i, seg) in self.segs.iter().enumerate() {
@@ -1053,19 +1669,69 @@ impl<'a> EngineState<'a> {
         let mut rtt = TailQuantiles::new();
         let mut fps_violations = 0u64;
         let mut rtt_violations = 0u64;
+        let mut fault_rtt_viol = 0u64;
         let mut session_epochs = 0u64;
         let mut tracked_inputs = 0u64;
-        let mut reduce = |results: &[IntervalResult]| {
-            for result in results {
-                for epoch_fps in &result.fps {
-                    for &f in epoch_fps {
-                        session_epochs += 1;
-                        fps.record(f);
-                        if f < eng.slo.min_fps {
-                            fps_violations += 1;
-                        }
+
+        // Carve each server's timeline into maximal constant-set
+        // occupancy intervals (replay's partition) and run the data plane
+        // over server chunks: job order — hence the reduction stream and
+        // the P² states — is server-major regardless of chunking, threads
+        // or shards. Fault cuts (degradation steps and brownout edges)
+        // force interval boundaries so each job sees one capacity and one
+        // network impairment.
+        struct Job {
+            server: usize,
+            start: u64,
+            end: u64,
+            segs: Vec<u32>,
+            /// Set when degraded capacity requires a config override.
+            config: Option<SystemConfig>,
+        }
+        let net_windows = &self.net_windows;
+        let mut reduce = |job: &Job, result: &IntervalResult| {
+            for epoch_fps in &result.fps {
+                for &f in epoch_fps {
+                    session_epochs += 1;
+                    fps.record(f);
+                    if f < eng.slo.min_fps {
+                        fps_violations += 1;
                     }
                 }
+            }
+            // Effective brownout impairment for this job — constant across
+            // it because the carve cuts at window edges; overlapping
+            // windows take the worst factor and jitter.
+            let mut factor = 1.0f64;
+            let mut jitter = 0.0f64;
+            for &(s, t, f, j) in &net_windows[job.server] {
+                if s <= job.start && job.start < t {
+                    factor = factor.max(f);
+                    jitter = jitter.max(j);
+                }
+            }
+            if factor > 1.0 || jitter > 0.0 {
+                let mut k = 0u64;
+                for samples in &result.rtt_ms {
+                    for &ms in samples {
+                        let h = mix64(
+                            eng.seed ^ (job.server as u64) << 40 ^ job.start << 20 ^ 0xb10c ^ k,
+                        );
+                        k += 1;
+                        let u = h as f64 / u64::MAX as f64;
+                        let inflated = ms * factor + jitter * u;
+                        rtt.record(inflated);
+                        if inflated > eng.slo.max_rtt_ms {
+                            rtt_violations += 1;
+                            if ms <= eng.slo.max_rtt_ms {
+                                // Would have met the SLO on a healthy path.
+                                fault_rtt_viol += 1;
+                            }
+                        }
+                    }
+                    tracked_inputs += samples.len() as u64;
+                }
+            } else {
                 for samples in &result.rtt_ms {
                     for &ms in samples {
                         rtt.record(ms);
@@ -1078,17 +1744,6 @@ impl<'a> EngineState<'a> {
             }
         };
 
-        // Carve each server's timeline into maximal constant-set
-        // occupancy intervals (replay's partition) and run the data plane
-        // over server chunks: job order — hence the reduction stream and
-        // the P² states — is server-major regardless of chunking, threads
-        // or shards.
-        struct Job {
-            server: usize,
-            start: u64,
-            end: u64,
-            segs: Vec<u32>,
-        }
         let mut occ: Vec<Vec<u32>> = vec![Vec::new(); epochs as usize];
         for chunk in (0..self.srv.len()).collect::<Vec<_>>().chunks(32) {
             let mut jobs: Vec<Job> = Vec::new();
@@ -1102,6 +1757,7 @@ impl<'a> EngineState<'a> {
                         occ[e as usize].push(si);
                     }
                 }
+                let cuts = &self.fault_cuts[server];
                 let mut e = 0usize;
                 while e < epochs as usize {
                     if occ[e].is_empty() {
@@ -1109,14 +1765,24 @@ impl<'a> EngineState<'a> {
                         continue;
                     }
                     let mut end = e + 1;
-                    while end < epochs as usize && occ[end] == occ[e] {
+                    while end < epochs as usize
+                        && occ[end] == occ[e]
+                        && cuts.binary_search(&(end as u64)).is_err()
+                    {
                         end += 1;
                     }
+                    let cap = self.capacity_at(server, e as u64);
+                    let config = (cap != self.pristine_mib(server)).then(|| {
+                        let mut c = eng.groups[self.srv[server].group].config.clone();
+                        c.server.gpu_memory_mib = cap;
+                        c
+                    });
                     jobs.push(Job {
                         server,
                         start: e as u64,
                         end: end as u64,
                         segs: occ[e].clone(),
+                        config,
                     });
                     e = end;
                 }
@@ -1126,7 +1792,10 @@ impl<'a> EngineState<'a> {
             let srv = &self.srv;
             let results = crate::suite::run_pool(jobs.len(), threads, |j| {
                 let job = &jobs[j];
-                let config = &eng.groups[srv[job.server].group].config;
+                let config = job
+                    .config
+                    .as_ref()
+                    .unwrap_or(&eng.groups[srv[job.server].group].config);
                 let sessions: Vec<(u64, &App)> = job
                     .segs
                     .iter()
@@ -1142,8 +1811,11 @@ impl<'a> EngineState<'a> {
                     ),
                 }
             });
-            reduce(&results);
+            for (job, result) in jobs.iter().zip(&results) {
+                reduce(job, result);
+            }
         }
+        self.fl.fault_rtt_violations = fault_rtt_viol;
 
         let total = self.srv.len();
         let occupied: u64 = self.segs.iter().map(|s| s.end - s.start).sum();
@@ -1153,7 +1825,11 @@ impl<'a> EngineState<'a> {
             .flat_map(|s| s.activity.iter())
             .map(|&(a, b)| (b - a) * eng.slots_per_server as u64)
             .sum();
-        let slot_epochs = if eng.autoscale.is_some() {
+        // With autoscale or faults, only epochs a server was actually
+        // serving count as offered capacity (downtime and warm-up are
+        // excluded — faults must not deflate utilization for capacity the
+        // fleet never had).
+        let slot_epochs = if eng.autoscale.is_some() || self.faults.is_some() {
             active_slot_epochs
         } else {
             (total * eng.slots_per_server) as u64 * epochs
@@ -1164,31 +1840,35 @@ impl<'a> EngineState<'a> {
             running += self.conc_delta[e];
             peak = peak.max(running);
         }
-        let dynamics =
-            if eng.autoscale.is_some() || eng.migration.is_some() || eng.backpressure.is_some() {
-                Some(FleetDynamics {
-                    autoscale: eng.autoscale.map(|_| AutoscaleStats {
-                        grow_events: self.grow_events,
-                        shrink_events: self.shrink_events,
-                        min_active_servers: self.min_active,
-                        max_active_servers: self.max_active,
-                        active_slot_epochs,
-                    }),
-                    migration: eng.migration.map(|_| MigrationStats {
-                        evaluations: self.migration_evals,
-                        migrations: self.migrations,
-                    }),
-                    backpressure: eng.backpressure.map(|_| BackpressureStats {
-                        queued: self.queued,
-                        retried: self.retried,
-                        expired: self.expired,
-                        dropped: self.dropped,
-                        peak_queue: self.peak_queue,
-                    }),
-                })
-            } else {
-                None
-            };
+        let dynamics = if eng.autoscale.is_some()
+            || eng.migration.is_some()
+            || eng.backpressure.is_some()
+            || self.faults.is_some()
+        {
+            Some(FleetDynamics {
+                autoscale: eng.autoscale.map(|_| AutoscaleStats {
+                    grow_events: self.grow_events,
+                    shrink_events: self.shrink_events,
+                    min_active_servers: self.min_active,
+                    max_active_servers: self.max_active,
+                    active_slot_epochs,
+                }),
+                migration: eng.migration.map(|_| MigrationStats {
+                    evaluations: self.migration_evals,
+                    migrations: self.migrations,
+                }),
+                backpressure: eng.backpressure.map(|_| BackpressureStats {
+                    queued: self.queued,
+                    retried: self.retried,
+                    expired: self.expired,
+                    dropped: self.dropped,
+                    peak_queue: self.peak_queue,
+                }),
+                faults: self.faults.map(|_| self.fl),
+            })
+        } else {
+            None
+        };
         let report = FleetReport {
             servers: total,
             slots_per_server: eng.slots_per_server,
@@ -1225,6 +1905,7 @@ impl<'a> EngineState<'a> {
             placements: self
                 .segs
                 .iter()
+                .filter(|s| !s.is_void())
                 .map(|s| Placement {
                     session: s.session,
                     server: s.server,
@@ -1233,8 +1914,13 @@ impl<'a> EngineState<'a> {
                     gpu_mib: s.app.profile.gpu_memory_mib,
                 })
                 .collect(),
-            gpu_capacity_mib: self.srv.iter().map(|s| s.gpu_capacity_mib).collect(),
+            gpu_capacity_mib: (0..self.srv.len()).map(|i| self.pristine_mib(i)).collect(),
+            capacity_steps: self.capacity_steps.clone(),
             activity: self.srv.iter().map(|s| s.activity.clone()).collect(),
+            orphaned: self.fl.orphaned,
+            evicted: self.fl.evicted,
+            recovered: self.fl.recovered,
+            lost: self.fl.lost,
         };
         (report, audit)
     }
@@ -1457,5 +2143,254 @@ mod tests {
             }
         }
         assert!(audit.migrations > 0, "low threshold must trigger moves");
+    }
+
+    // -- fault injection --------------------------------------------------
+
+    use super::super::faults::{FaultEvent, FaultPlan, RecoveryConfig};
+    use super::super::FaultKind;
+
+    #[test]
+    fn empty_fault_plan_is_inert() {
+        let mut plain = surrogate_engine(Arc::new(super::super::FirstFit));
+        plain.backpressure = Some(BackpressureConfig::lobby());
+        let mut empty = surrogate_engine(Arc::new(super::super::FirstFit));
+        empty.backpressure = Some(BackpressureConfig::lobby());
+        empty.faults = Some(FaultPlan::default());
+        let a = plain.run_with_threads(2);
+        let b = empty.run_with_threads(2);
+        assert_eq!(a.metrics(), b.metrics());
+        // The empty plan normalizes away entirely — no ledger appears.
+        assert!(b.dynamics.expect("bp dynamics").faults.is_none());
+    }
+
+    #[test]
+    fn crashes_orphan_and_the_fault_ledger_balances() {
+        let mut eng = surrogate_engine(Arc::new(super::super::FirstFit));
+        eng.epochs = 24;
+        eng.faults = Some(FaultPlan {
+            scheduled: vec![
+                FaultEvent {
+                    at_epoch: 4,
+                    server: 0,
+                    kind: FaultKind::Crash {
+                        drain_epochs: 0,
+                        restart_after_epochs: Some(2),
+                        warmup_epochs: 1,
+                    },
+                },
+                FaultEvent {
+                    at_epoch: 6,
+                    server: 3,
+                    kind: FaultKind::Crash {
+                        drain_epochs: 2,
+                        restart_after_epochs: None,
+                        warmup_epochs: 0,
+                    },
+                },
+            ],
+            ..FaultPlan::default()
+        });
+        let (report, audit) = eng.run_audited(2);
+        let fl = report
+            .dynamics
+            .expect("fault dynamics")
+            .faults
+            .expect("fault ledger");
+        assert_eq!(fl.crashes, 2);
+        assert!(fl.orphaned > 0, "a saturated server must orphan residents");
+        assert!(fl.downtime_epochs > 0);
+        assert!(
+            fl.draining_epochs >= 2,
+            "the drained crash waits two epochs"
+        );
+        // Every orphan resolves exactly once.
+        assert_eq!(fl.orphaned + fl.evicted, fl.recovered + fl.lost);
+        // Recovery never perturbs the admission ledger.
+        assert_eq!(
+            audit.offered,
+            audit.admitted + audit.rejected + audit.queued
+        );
+        assert_eq!(audit.orphaned, fl.orphaned);
+        assert_eq!(audit.recovered + audit.lost, fl.orphaned + fl.evicted);
+        // Recovered sessions keep their identity: still no more distinct
+        // session ids than admissions.
+        let distinct: std::collections::HashSet<u64> =
+            audit.placements.iter().map(|p| p.session).collect();
+        assert_eq!(distinct.len() as u64, audit.admitted);
+        // No placement ever lands on the downed server while it is down.
+        for p in audit.placements.iter().filter(|p| p.server == 0) {
+            assert!(
+                p.end_epoch <= 4 || p.start_epoch >= 7,
+                "placement [{}, {}) overlaps server 0 downtime",
+                p.start_epoch,
+                p.end_epoch
+            );
+        }
+    }
+
+    #[test]
+    fn degradation_evicts_down_to_the_shrunken_capacity() {
+        let mut eng = surrogate_engine(Arc::new(super::super::FirstFit));
+        eng.epochs = 24;
+        eng.faults = Some(FaultPlan {
+            scheduled: vec![FaultEvent {
+                at_epoch: 5,
+                server: 0,
+                kind: FaultKind::GpuDegrade {
+                    severity: 0.9,
+                    recover_after_epochs: Some(10),
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let (report, audit) = eng.run_audited(2);
+        let fl = report
+            .dynamics
+            .expect("fault dynamics")
+            .faults
+            .expect("fault ledger");
+        assert_eq!(fl.gpu_degrades, 1);
+        assert!(fl.evicted > 0, "a 90% cut must evict residents");
+        assert_eq!(audit.capacity_steps[0].len(), 2, "degrade + recovery steps");
+        assert!(audit.capacity_steps[0][0].1 < audit.capacity_steps[0][1].1);
+        // Occupancy respects the stepped capacity at every epoch.
+        for e in 0..eng.epochs {
+            let cap = audit.capacity_steps[0]
+                .iter()
+                .take_while(|&&(at, _)| at <= e)
+                .last()
+                .map(|&(_, c)| c)
+                .unwrap_or(audit.gpu_capacity_mib[0]);
+            let used: u64 = audit
+                .placements
+                .iter()
+                .filter(|p| p.server == 0 && p.start_epoch <= e && e < p.end_epoch)
+                .map(|p| p.gpu_mib)
+                .sum();
+            assert!(
+                used <= cap,
+                "epoch {e}: {used} MiB resident on server 0 over cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn brownouts_inflate_rtt_and_attribute_slo_damage() {
+        let healthy = surrogate_engine(Arc::new(super::super::FirstFit));
+        let mut stormy = surrogate_engine(Arc::new(super::super::FirstFit));
+        stormy.faults = Some(FaultPlan {
+            scheduled: (0..6)
+                .map(|server| FaultEvent {
+                    at_epoch: 1,
+                    server,
+                    kind: FaultKind::NetBrownout {
+                        rtt_factor: 4.0,
+                        jitter_ms: 60.0,
+                        duration_epochs: 8,
+                    },
+                })
+                .collect(),
+            ..FaultPlan::default()
+        });
+        let a = healthy.run_with_threads(2);
+        let b = stormy.run_with_threads(2);
+        let fl = b
+            .dynamics
+            .as_ref()
+            .expect("fault dynamics")
+            .faults
+            .expect("fault ledger");
+        assert_eq!(fl.brownouts, 6);
+        assert!(
+            b.rtt.p99() > a.rtt.p99(),
+            "a 4x brownout must move the tail"
+        );
+        assert!(b.rtt_violations > a.rtt_violations);
+        assert!(fl.fault_rtt_violations > 0);
+        assert!(fl.fault_rtt_violations <= b.rtt_violations);
+        // FPS is untouched: brownouts are a network fault.
+        assert_eq!(a.fps.p50(), b.fps.p50());
+    }
+
+    #[test]
+    fn recovery_exhausts_attempts_against_a_full_fleet() {
+        // One server, crashed for good: orphans retry with backoff until
+        // attempts run out, then count as lost — never panic, never leak.
+        let base = SystemConfig::turbovnc_stock();
+        let spec = FleetSpec::new(1, mix(), Arc::new(super::super::FirstFit), 11).epochs(16);
+        let mut eng = FleetEngine::from_spec(&spec);
+        eng.data_plane = DataPlane::Surrogate;
+        eng.arrivals = ArrivalConfig::saturating();
+        eng.groups = vec![GroupSpec::with_gpu(1, &base, GpuModel::Gtx1080Ti)];
+        eng.faults = Some(FaultPlan {
+            scheduled: vec![FaultEvent {
+                at_epoch: 2,
+                server: 0,
+                kind: FaultKind::Crash {
+                    drain_epochs: 0,
+                    restart_after_epochs: None,
+                    warmup_epochs: 0,
+                },
+            }],
+            recovery: RecoveryConfig {
+                base_retry_epochs: 1,
+                max_backoff_epochs: 2,
+                max_attempts: 3,
+                queue_limit: 8,
+            },
+            ..FaultPlan::default()
+        });
+        let (report, _) = eng.run_audited(1);
+        let fl = report
+            .dynamics
+            .expect("fault dynamics")
+            .faults
+            .expect("fault ledger");
+        assert!(fl.orphaned > 0);
+        assert_eq!(fl.recovered, 0, "nowhere to recover to");
+        assert_eq!(fl.orphaned, fl.lost);
+        assert!(fl.recovery_retries > 0, "orphans must at least try");
+    }
+
+    #[test]
+    fn parks_at_the_retry_horizon_expire_without_occupying_the_queue() {
+        // Satellite regression: a park whose retry lands at or past the
+        // horizon expires immediately under the same strict `< horizon`
+        // rule think-time rejoins use — it must never hold a queue slot.
+        let mut eng = surrogate_engine(Arc::new(super::super::FirstFit));
+        eng.backpressure = Some(BackpressureConfig {
+            queue_limit: 4,
+            retry_after_epochs: eng.epochs,
+        });
+        let (_, audit) = eng.run_audited(1);
+        assert!(audit.queued > 0, "saturating load must refuse something");
+        assert_eq!(audit.expired, audit.queued);
+        assert_eq!(audit.retried, 0);
+        assert_eq!(audit.peak_queue, 0);
+    }
+
+    #[test]
+    fn near_max_horizons_do_not_overflow_retry_arithmetic() {
+        // Satellite regression: epoch-to-nanosecond products saturate, so
+        // a pathological retry-after cannot wrap around the horizon check.
+        let base = SystemConfig::turbovnc_stock();
+        let spec = FleetSpec::new(2, mix(), Arc::new(super::super::FirstFit), 13).epochs(4);
+        let mut eng = FleetEngine::from_spec(&spec);
+        eng.data_plane = DataPlane::Surrogate;
+        eng.groups = vec![GroupSpec::with_gpu(2, &base, GpuModel::Gtx1080Ti)];
+        // Closed clients only: an open Poisson stream across a 253-year
+        // horizon would draw forever.
+        eng.arrivals = ArrivalConfig::saturating();
+        eng.arrivals.open_rate_per_sec = 0.0;
+        eng.arrivals.closed_clients = 16;
+        eng.epoch = SimDuration::from_secs(2_000_000_000);
+        eng.backpressure = Some(BackpressureConfig {
+            queue_limit: 8,
+            retry_after_epochs: u64::MAX / 2,
+        });
+        let (_, audit) = eng.run_audited(1);
+        assert_eq!(audit.queued, audit.retried + audit.expired);
+        assert_eq!(audit.retried, 0, "a saturated product can never retry");
     }
 }

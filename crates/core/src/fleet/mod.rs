@@ -15,6 +15,14 @@
 //!   and support the dynamic policies replay cannot express — autoscaling,
 //!   migration and admission backpressure (see [`engine`] and [`autoscale`]).
 //!
+//! The engine additionally takes a deterministic [`FaultPlan`] (see
+//! [`faults`]): scheduled and hazard-driven server crashes, GPU-memory
+//! degradation with capacity-aware eviction, and network brownouts, with
+//! crash orphans re-placed through the backpressure queue under
+//! exponential backoff. The fault ledger ([`FaultStats`]) conserves
+//! `orphaned + evicted = recovered + lost`, and an empty plan is a proven
+//! byte-level no-op (`tests/fleet_chaos_differential.rs`).
+//!
 //! For static fleets the engine reproduces the replay report **byte for
 //! byte** (`tests/fleet_engine_differential.rs`); with dynamics enabled it
 //! extends [`FleetReport`] with a [`FleetDynamics`] section.
@@ -43,6 +51,7 @@
 
 pub mod autoscale;
 pub mod engine;
+pub mod faults;
 pub mod policy;
 pub mod replay;
 pub mod report;
@@ -61,9 +70,14 @@ use crate::suite::default_threads;
 
 pub use autoscale::{AutoscaleConfig, BackpressureConfig, MigrationConfig};
 pub use engine::{DataPlane, FleetAudit, FleetEngine, GroupSpec, Placement};
-pub use policy::{FirstFit, InterferenceAware, LeastContended, PlacementPolicy, ServerLoad};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, Hazard, Health, RecoveryConfig};
+pub use policy::{
+    FirstFit, InterferenceAware, LargestMemoryFirst, LeastContended, PlacementPolicy, ServerLoad,
+    ShortestRemainingFirst, VictimCandidate, VictimPolicy,
+};
 pub use report::{
-    AutoscaleStats, BackpressureStats, FleetDynamics, FleetReport, FleetSuiteReport, MigrationStats,
+    AutoscaleStats, BackpressureStats, FaultStats, FleetDynamics, FleetReport, FleetSuiteReport,
+    MigrationStats,
 };
 
 // ---------------------------------------------------------------------------

@@ -126,6 +126,90 @@ impl PlacementPolicy for InterferenceAware {
     }
 }
 
+// ---------------------------------------------------------------------------
+// victim policies (fault-driven eviction)
+// ---------------------------------------------------------------------------
+
+/// One evictable session on a server that lost capacity: what the fault
+/// injector knows when GPU-memory degradation forces residents out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VictimCandidate {
+    /// Session id.
+    pub session: u64,
+    /// GPU memory the session holds, MiB.
+    pub gpu_mib: u64,
+    /// Epochs the session still has to run on this server.
+    pub remaining_epochs: u64,
+    /// The session's own CPU+GPU cache pressure.
+    pub pressure: f64,
+}
+
+/// Orders capacity-driven eviction when a degradation event shrinks a
+/// server below its residents' footprint. Like [`PlacementPolicy`],
+/// implementations must be deterministic pure functions of their inputs —
+/// fault-run determinism rides on it.
+pub trait VictimPolicy: Send + Sync {
+    /// The policy's label (reports and debugging).
+    fn label(&self) -> &str;
+
+    /// Picks the index of the next victim among `candidates` (never
+    /// empty). The engine evicts and re-asks until capacity holds.
+    fn pick(&self, candidates: &[VictimCandidate]) -> usize;
+}
+
+/// Evict the session holding the most GPU memory first — fewest evictions
+/// to get back under capacity (ties break to the lower session id, the
+/// longest-resident session).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LargestMemoryFirst;
+
+impl VictimPolicy for LargestMemoryFirst {
+    fn label(&self) -> &str {
+        "largest-memory-first"
+    }
+
+    fn pick(&self, candidates: &[VictimCandidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.gpu_mib
+                    .cmp(&b.gpu_mib)
+                    .then(b.session.cmp(&a.session))
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)
+            .expect("candidates must be non-empty")
+    }
+}
+
+/// Evict the session closest to finishing first — it loses the least
+/// remaining service (ties break to the larger memory footprint, then the
+/// lower session id).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestRemainingFirst;
+
+impl VictimPolicy for ShortestRemainingFirst {
+    fn label(&self) -> &str {
+        "shortest-remaining-first"
+    }
+
+    fn pick(&self, candidates: &[VictimCandidate]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| {
+                a.remaining_epochs
+                    .cmp(&b.remaining_epochs)
+                    .then(b.gpu_mib.cmp(&a.gpu_mib))
+                    .then(a.session.cmp(&b.session))
+                    .then(ia.cmp(ib))
+            })
+            .map(|(i, _)| i)
+            .expect("candidates must be non-empty")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +247,24 @@ mod tests {
         heavy.gpu_pressure = 2.0;
         let light = load(1, true, 2);
         assert_eq!(LeastContended.place(&app, &[heavy, light]), Some(1));
+    }
+
+    #[test]
+    fn victim_policies_order_deterministically() {
+        let c = |session, gpu_mib, remaining_epochs, pressure| VictimCandidate {
+            session,
+            gpu_mib,
+            remaining_epochs,
+            pressure,
+        };
+        let cands = [c(3, 2048, 5, 0.4), c(1, 4096, 9, 0.8), c(7, 4096, 2, 0.1)];
+        // Largest memory first; the memory tie breaks to the lower id.
+        assert_eq!(LargestMemoryFirst.pick(&cands), 1);
+        // Shortest remaining first.
+        assert_eq!(ShortestRemainingFirst.pick(&cands), 2);
+        let solo = [c(9, 512, 1, 0.2)];
+        assert_eq!(LargestMemoryFirst.pick(&solo), 0);
+        assert_eq!(ShortestRemainingFirst.pick(&solo), 0);
     }
 
     #[test]

@@ -60,8 +60,60 @@ pub struct BackpressureStats {
     pub peak_queue: usize,
 }
 
+/// The fault ledger of one engine run under a non-empty
+/// [`FaultPlan`](super::FaultPlan): injections by class, downtime
+/// accounting, the orphan-recovery balance and the SLO impact
+/// attributable to faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Crash injections applied (including drained crashes).
+    pub crashes: u64,
+    /// GPU-memory degradation injections applied.
+    pub gpu_degrades: u64,
+    /// Network-brownout injections applied.
+    pub brownouts: u64,
+    /// Injections skipped because the target was not serving.
+    pub skipped: u64,
+    /// Server-epochs spent `Down`.
+    pub downtime_epochs: u64,
+    /// Server-epochs spent `WarmingUp` after a restart.
+    pub warming_epochs: u64,
+    /// Server-epochs spent `Draining` before a notified crash.
+    pub draining_epochs: u64,
+    /// Sessions orphaned by crashes.
+    pub orphaned: u64,
+    /// Sessions evicted by capacity degradation.
+    pub evicted: u64,
+    /// Orphaned/evicted sessions successfully re-placed.
+    pub recovered: u64,
+    /// Orphaned/evicted sessions lost for good (queue full, attempts
+    /// exhausted, or retry past the horizon).
+    pub lost: u64,
+    /// Re-placement attempts offered for orphaned/evicted sessions.
+    pub recovery_retries: u64,
+    /// Total epochs between orphaning and re-placement, over recovered
+    /// sessions.
+    pub recovery_latency_epochs: u64,
+    /// RTT SLO violations that only happened because a brownout inflated
+    /// the sample (the clean sample was inside the SLO).
+    pub fault_rtt_violations: u64,
+}
+
+impl FaultStats {
+    /// Mean epochs from orphaning to re-placement (0 when nothing
+    /// recovered).
+    pub fn mean_recovery_epochs(&self) -> f64 {
+        if self.recovered == 0 {
+            0.0
+        } else {
+            self.recovery_latency_epochs as f64 / self.recovered as f64
+        }
+    }
+}
+
 /// Dynamic-policy outcomes attached to a [`FleetReport`] when the online
-/// engine runs with autoscaling, migration or backpressure enabled.
+/// engine runs with autoscaling, migration, backpressure or fault
+/// injection enabled.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FleetDynamics {
     /// Present when autoscaling was configured.
@@ -70,6 +122,8 @@ pub struct FleetDynamics {
     pub migration: Option<MigrationStats>,
     /// Present when backpressure was configured.
     pub backpressure: Option<BackpressureStats>,
+    /// Present when a non-empty fault plan was configured.
+    pub faults: Option<FaultStats>,
 }
 
 impl FleetDynamics {
@@ -95,6 +149,22 @@ impl FleetDynamics {
             m.push(("backpressure_expired", b.expired as f64));
             m.push(("backpressure_dropped", b.dropped as f64));
             m.push(("backpressure_peak_queue", b.peak_queue as f64));
+        }
+        if let Some(f) = &self.faults {
+            m.push(("fault_crashes", f.crashes as f64));
+            m.push(("fault_gpu_degrades", f.gpu_degrades as f64));
+            m.push(("fault_brownouts", f.brownouts as f64));
+            m.push(("fault_skipped", f.skipped as f64));
+            m.push(("fault_downtime_epochs", f.downtime_epochs as f64));
+            m.push(("fault_warming_epochs", f.warming_epochs as f64));
+            m.push(("fault_draining_epochs", f.draining_epochs as f64));
+            m.push(("fault_orphaned", f.orphaned as f64));
+            m.push(("fault_evicted", f.evicted as f64));
+            m.push(("fault_recovered", f.recovered as f64));
+            m.push(("fault_lost", f.lost as f64));
+            m.push(("fault_recovery_retries", f.recovery_retries as f64));
+            m.push(("fault_mean_recovery_epochs", f.mean_recovery_epochs()));
+            m.push(("fault_rtt_violations", f.fault_rtt_violations as f64));
         }
         m
     }
@@ -493,6 +563,7 @@ mod tests {
                 dropped: 0,
                 peak_queue: 2,
             }),
+            faults: None,
         });
         let suite = FleetSuiteReport::from_cells("t", 1, vec![dynamic]);
         let json = suite.to_json();
@@ -509,9 +580,37 @@ mod tests {
             autoscale: Some(AutoscaleStats::default()),
             migration: None,
             backpressure: None,
+            faults: None,
         };
         let keys: Vec<&str> = d.metrics().into_iter().map(|(k, _)| k).collect();
         assert!(keys.iter().all(|k| k.starts_with("autoscale_")));
         assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn fault_ledger_metrics_appear_with_a_plan() {
+        let mut cell = static_cell();
+        cell.dynamics = Some(FleetDynamics {
+            faults: Some(FaultStats {
+                crashes: 2,
+                orphaned: 5,
+                evicted: 1,
+                recovered: 4,
+                lost: 2,
+                recovery_latency_epochs: 8,
+                ..FaultStats::default()
+            }),
+            ..FleetDynamics::default()
+        });
+        let f = cell.dynamics.unwrap().faults.unwrap();
+        assert_eq!(f.mean_recovery_epochs(), 2.0);
+        let suite = FleetSuiteReport::from_cells("t", 1, vec![cell]);
+        let json = suite.to_json();
+        assert!(json.contains("\"fault_crashes\": 2"));
+        assert!(json.contains("\"fault_mean_recovery_epochs\": 2"));
+        let csv = suite.to_csv();
+        assert!(csv.contains("fault_recovered,4"));
+        assert!(csv.contains("fault_lost,2"));
+        assert_eq!(FaultStats::default().mean_recovery_epochs(), 0.0);
     }
 }

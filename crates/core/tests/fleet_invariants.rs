@@ -13,8 +13,9 @@ use proptest::prelude::*;
 
 use pictor_apps::AppId;
 use pictor_core::fleet::{
-    ArrivalConfig, AutoscaleConfig, BackpressureConfig, DataPlane, FirstFit, FleetEngine,
-    FleetSpec, GroupSpec, LeastContended, MigrationConfig, PlacementPolicy, WorkloadMix,
+    ArrivalConfig, AutoscaleConfig, BackpressureConfig, DataPlane, FaultEvent, FaultKind,
+    FaultPlan, FirstFit, FleetEngine, FleetSpec, GroupSpec, Hazard, LeastContended,
+    MigrationConfig, PlacementPolicy, WorkloadMix,
 };
 use pictor_hw::GpuModel;
 use pictor_render::SystemConfig;
@@ -190,6 +191,137 @@ proptest! {
         for windows in &audit.activity {
             for w in windows.windows(2) {
                 prop_assert!(w[0].1 <= w[1].0, "overlapping active windows {:?}", windows);
+            }
+        }
+    }
+
+    /// Under randomized crash/degrade/brownout chaos, both ledgers stay
+    /// conserved: the admission identities are untouched by faults, every
+    /// orphaned or evicted session resolves to exactly one of recovered or
+    /// lost, session ids survive recovery without duplication, and the
+    /// shared retry queue keeps its bound.
+    #[test]
+    fn fault_ledger_balances_under_chaos(
+        servers_a in 1usize..4,
+        servers_b in 1usize..4,
+        epochs in 6u64..14,
+        seed in 0u64..500,
+        shards in 1usize..4,
+        policy_pick in 0u8..2,
+        crash_p in 0.0f64..0.12,
+        degrade_p in 0.0f64..0.12,
+        queue_limit in 1usize..6,
+    ) {
+        let mut eng = engine(servers_a, servers_b, epochs, seed, shards, policy_pick, true);
+        eng.backpressure = Some(BackpressureConfig { queue_limit, retry_after_epochs: 1 });
+        eng.faults = Some(FaultPlan {
+            scheduled: vec![FaultEvent {
+                at_epoch: 1,
+                server: 0,
+                kind: FaultKind::Crash {
+                    drain_epochs: 1,
+                    restart_after_epochs: Some(2),
+                    warmup_epochs: 1,
+                },
+            }],
+            hazards: vec![
+                Hazard {
+                    per_server_epoch: crash_p,
+                    kind: FaultKind::Crash {
+                        drain_epochs: 0,
+                        restart_after_epochs: Some(1),
+                        warmup_epochs: 1,
+                    },
+                },
+                Hazard {
+                    per_server_epoch: degrade_p,
+                    kind: FaultKind::GpuDegrade {
+                        severity: 0.6,
+                        recover_after_epochs: Some(3),
+                    },
+                },
+                Hazard {
+                    per_server_epoch: degrade_p,
+                    kind: FaultKind::NetBrownout {
+                        rtt_factor: 2.0,
+                        jitter_ms: 20.0,
+                        duration_epochs: 3,
+                    },
+                },
+            ],
+            ..FaultPlan::default()
+        });
+        let (report, audit) = eng.run_audited(2);
+        prop_assert_eq!(audit.offered, audit.admitted + audit.rejected + audit.queued);
+        prop_assert_eq!(audit.queued, audit.retried + audit.expired);
+        prop_assert_eq!(audit.orphaned + audit.evicted, audit.recovered + audit.lost);
+        prop_assert!(audit.peak_queue <= queue_limit);
+        let fl = report.dynamics.expect("fault dynamics").faults.expect("fault ledger");
+        prop_assert_eq!(fl.orphaned, audit.orphaned);
+        prop_assert_eq!(fl.evicted, audit.evicted);
+        prop_assert_eq!(fl.recovered, audit.recovered);
+        prop_assert_eq!(fl.lost, audit.lost);
+        prop_assert!(fl.recovered <= fl.recovery_retries,
+            "every recovery took at least one retry offer");
+        let mut ids: Vec<u64> = audit.placements.iter().map(|p| p.session).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, audit.admitted);
+    }
+
+    /// GPU degradation steps the effective capacity down mid-run; at every
+    /// epoch the resident footprint respects the *stepped* capacity, not
+    /// just the pristine one, and recovery steps it back up.
+    #[test]
+    fn capacity_holds_under_degradation(
+        servers_a in 1usize..4,
+        servers_b in 1usize..4,
+        epochs in 6u64..14,
+        seed in 0u64..500,
+        shards in 1usize..4,
+        severity in 0.3f64..0.95,
+        degrade_p in 0.02f64..0.25,
+    ) {
+        let mut eng = engine(servers_a, servers_b, epochs, seed, shards, 0, true);
+        eng.faults = Some(FaultPlan {
+            hazards: vec![Hazard {
+                per_server_epoch: degrade_p,
+                kind: FaultKind::GpuDegrade {
+                    severity,
+                    recover_after_epochs: Some(4),
+                },
+            }],
+            ..FaultPlan::default()
+        });
+        let (_, audit) = eng.run_audited(2);
+        for (server, steps) in audit.capacity_steps.iter().enumerate() {
+            prop_assert!(
+                steps.windows(2).all(|w| w[0].0 <= w[1].0),
+                "capacity steps out of order on server {}: {:?}", server, steps
+            );
+            for e in 0..epochs {
+                let cap = steps
+                    .iter()
+                    .take_while(|&&(at, _)| at <= e)
+                    .last()
+                    .map(|&(_, c)| c)
+                    .unwrap_or(audit.gpu_capacity_mib[server]);
+                let resident: Vec<_> = audit
+                    .placements
+                    .iter()
+                    .filter(|p| p.server == server && p.start_epoch <= e && e < p.end_epoch)
+                    .collect();
+                prop_assert!(
+                    resident.len() <= audit.slots_per_server,
+                    "server {} epoch {}: {} residents over {} slots",
+                    server, e, resident.len(), audit.slots_per_server
+                );
+                let mem: u64 = resident.iter().map(|p| p.gpu_mib).sum();
+                prop_assert!(
+                    mem <= cap,
+                    "server {} epoch {}: {} MiB resident over stepped cap {} (steps {:?})",
+                    server, e, mem, cap, steps
+                );
             }
         }
     }

@@ -94,6 +94,22 @@ impl Gpu {
         self.allocated_mib.remove(&client);
     }
 
+    /// Shrinks the device to `new_mib` of usable memory (a degradation
+    /// event retiring banks mid-run). Existing allocations are untouched —
+    /// the device may be left over-committed, and callers (the fleet fault
+    /// injector) are expected to evict clients until
+    /// [`Gpu::allocated_mib`] fits again. Growing the device back (fault
+    /// recovery) uses the same hook.
+    pub fn degrade_memory(&mut self, new_mib: u64) {
+        self.memory_mib = new_mib;
+    }
+
+    /// MiB by which current allocations exceed the (possibly degraded)
+    /// device size — zero on a healthy device.
+    pub fn overcommitted_mib(&self) -> u64 {
+        self.allocated_mib().saturating_sub(self.memory_mib)
+    }
+
     /// Updates shared-L2 pressure from co-running workloads and rebases the
     /// engine speed accordingly. `penalty` scales how strongly extra L2
     /// misses slow rendering.
@@ -180,6 +196,25 @@ mod tests {
     }
     fn at(v: u64) -> SimTime {
         SimTime::ZERO + ms(v)
+    }
+
+    #[test]
+    fn degradation_overcommits_until_eviction() {
+        let mut gpu = Gpu::new(1.0, 1024);
+        assert!(gpu.allocate(1, 400));
+        assert!(gpu.allocate(2, 400));
+        assert_eq!(gpu.overcommitted_mib(), 0);
+        // Banks retire mid-run: the device shrinks under its allocations.
+        gpu.degrade_memory(512);
+        assert_eq!(gpu.memory_mib(), 512);
+        assert_eq!(gpu.overcommitted_mib(), 288);
+        assert!(!gpu.allocate(3, 100), "degraded device must refuse growth");
+        // Evicting a client restores headroom; recovery restores capacity.
+        gpu.free(1);
+        assert_eq!(gpu.overcommitted_mib(), 0);
+        assert!(gpu.allocate(3, 100));
+        gpu.degrade_memory(1024);
+        assert!(gpu.allocate(4, 500));
     }
 
     #[test]

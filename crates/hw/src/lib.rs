@@ -32,4 +32,4 @@ pub use gpu::Gpu;
 pub use pcie::{Direction, Pcie};
 pub use pmu::TopDown;
 pub use power::PowerModel;
-pub use spec::{ClientSpec, GpuModel, ServerSpec};
+pub use spec::{degrade_mib, ClientSpec, GpuModel, ServerSpec, MIN_DEGRADED_GPU_MIB};

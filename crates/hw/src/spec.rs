@@ -130,6 +130,35 @@ impl GpuModel {
             GpuModel::Rtx3090 => 1.9,
         }
     }
+
+    /// Usable device memory after a degradation event retires `severity`
+    /// of the memory banks (ECC page retirement, a failing stack) —
+    /// [`degrade_mib`] applied to this model's capacity. Fault injection
+    /// shrinks fleet servers through this hook.
+    pub fn degraded_mib(self, severity: f64) -> u64 {
+        degrade_mib(self.memory_mib(), severity)
+    }
+}
+
+/// Floor below which degradation never pushes a device: the driver keeps a
+/// minimal working set mapped even when most banks are retired.
+pub const MIN_DEGRADED_GPU_MIB: u64 = 512;
+
+/// Usable MiB of a `mib`-sized device after retiring a `severity` fraction
+/// of its memory, clamped to [`MIN_DEGRADED_GPU_MIB`] (but never above the
+/// pristine size). Deterministic pure function — the fleet fault injector
+/// relies on it.
+///
+/// # Panics
+///
+/// Panics if `severity` is not in `[0, 1]`.
+pub fn degrade_mib(mib: u64, severity: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&severity),
+        "degradation severity must be in [0, 1]: {severity}"
+    );
+    let left = (mib as f64 * (1.0 - severity)).round() as u64;
+    left.max(MIN_DEGRADED_GPU_MIB).min(mib)
 }
 
 impl std::fmt::Display for GpuModel {
@@ -235,6 +264,23 @@ mod tests {
             assert!(g.memory_mib() >= 6 * 1024);
             assert!(g.throughput() > 0.0);
         }
+    }
+
+    #[test]
+    fn degradation_shrinks_monotonically_with_a_floor() {
+        for g in GpuModel::ALL {
+            assert_eq!(g.degraded_mib(0.0), g.memory_mib());
+            assert_eq!(g.degraded_mib(1.0), MIN_DEGRADED_GPU_MIB);
+            let mut last = g.memory_mib();
+            for s in [0.1, 0.25, 0.5, 0.75, 0.95] {
+                let d = g.degraded_mib(s);
+                assert!(d <= last, "{g}: severity {s} grew capacity");
+                assert!(d >= MIN_DEGRADED_GPU_MIB);
+                last = d;
+            }
+        }
+        // A device smaller than the floor never grows.
+        assert_eq!(degrade_mib(256, 0.5), 256);
     }
 
     #[test]

@@ -179,6 +179,31 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
     -mean * u.ln()
 }
 
+/// Samples a geometric inter-arrival gap: the number of trials (≥ 1) until
+/// the first success at per-trial probability `p`, via the inverse CDF —
+/// exactly one `f64` draw per call, so draw counts stay deterministic.
+/// Discrete hazards (per-epoch fault injection) use this shape.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(
+        p > 0.0 && p <= 1.0 && p.is_finite(),
+        "geometric probability must be in (0, 1]: {p}"
+    );
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let k = (u.ln() / (1.0 - p).ln()).ceil();
+    if k >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        (k as u64).max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +308,32 @@ mod tests {
         let n = 40_000;
         let mean = (0..n).map(|_| exponential(&mut rng, 3.0)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = SeedTree::new(29).stream("geo");
+        let n = 40_000;
+        let p = 0.2;
+        let mean = (0..n).map(|_| geometric(&mut rng, p)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 1.0 / p).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_is_at_least_one() {
+        let mut rng = SeedTree::new(31).stream("geo1");
+        for _ in 0..5_000 {
+            assert!(geometric(&mut rng, 0.9) >= 1);
+        }
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+    }
+
+    #[test]
+    fn geometric_rare_events_have_long_gaps() {
+        let mut rng = SeedTree::new(37).stream("geo-rare");
+        let n = 2_000;
+        let mean = (0..n).map(|_| geometric(&mut rng, 1e-3)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 100.0, "mean={mean}");
     }
 
     #[test]
