@@ -113,6 +113,31 @@ pub enum DataPlane {
     Surrogate,
 }
 
+/// The outcome of offering one arrival to the control plane — what a
+/// serving layer reports back to the requesting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The session was placed.
+    Admitted {
+        /// Session id (stable across migration and fault recovery).
+        session: u64,
+        /// The server the session starts on.
+        server: usize,
+        /// First occupied epoch.
+        start_epoch: u64,
+        /// One past the last occupied epoch.
+        end_epoch: u64,
+    },
+    /// No feasible server and no queue slot: the request is lost.
+    Rejected,
+    /// Parked in the bounded backpressure queue; the engine re-offers it
+    /// later on its own (the caller must not re-offer).
+    Parked,
+    /// The arrival's start epoch lies at or past the horizon: dropped
+    /// silently, exactly like replay's past-horizon requests.
+    PastHorizon,
+}
+
 /// Recorded occupancy of one server by one session segment (a migrated
 /// session contributes one segment per server it visited).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +301,27 @@ impl FleetEngine {
     /// dynamic-policy config fails validation.
     pub fn run_audited(&self, threads: usize) -> (FleetReport, FleetAudit) {
         assert!(threads > 0, "need at least one thread");
+        // The one-shot run is the incremental API driven to exhaustion:
+        // `finish` drains the internal arrival source through the same
+        // per-request step `run()` always used, so the two are the same
+        // process byte for byte (tests/fleet_engine_differential.rs).
+        self.live().finish(threads)
+    }
+
+    /// Opens the fleet for **incremental** driving: the caller feeds
+    /// arrivals one at a time ([`LiveFleet::offer_arrival`]) and steps the
+    /// epoch clock externally ([`LiveFleet::step_to`]) instead of `run()`
+    /// owning the loop — the interface a long-running serving daemon needs.
+    /// Internal arrival streams (open Poisson, closed clients, parked
+    /// retries, fault-recovery re-offers) still fire: they are drained up
+    /// to each offered timestamp, internal-before-external at equal times,
+    /// so a run that offers the same external arrivals at the same times
+    /// is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same validation failures as [`FleetEngine::run_audited`].
+    pub fn live(&self) -> LiveFleet<'_> {
         assert!(self.shards > 0, "need at least one shard");
         assert!(!self.groups.is_empty(), "fleet needs at least one group");
         assert!(
@@ -297,9 +343,203 @@ impl FleetEngine {
         if let Some(f) = &self.faults {
             f.validate();
         }
-        let mut state = EngineState::new(self);
-        state.run_control_loop();
-        state.finish(threads)
+        let mut st = EngineState::new(self);
+        if st.faults.is_some() {
+            // Faults at epoch 0 strike before any placement (advance_to(0)
+            // is a no-op for the first arrivals).
+            st.fault_step(0);
+        }
+        LiveFleet { st, last_ns: 0 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// incremental driving
+// ---------------------------------------------------------------------------
+
+/// Per-session telemetry estimate from the live control-plane state (the
+/// surrogate closed-form — cheap enough to stream on every poll).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionTelemetry {
+    /// Session id.
+    pub session: u64,
+    /// Estimated frames per second under the current co-residency.
+    pub fps: f64,
+    /// Estimated end-to-end RTT, milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// A point-in-time view of the live fleet for status streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Last fully processed epoch boundary.
+    pub epoch: u64,
+    /// Placement attempts so far (admission ledger).
+    pub offered: u64,
+    /// Distinct sessions admitted so far.
+    pub admitted: u64,
+    /// Attempts finally rejected so far.
+    pub rejected: u64,
+    /// Requests currently parked in the backpressure queue.
+    pub queued_now: usize,
+    /// Servers currently able to take placements.
+    pub serving_servers: usize,
+    /// Sessions currently resident across the fleet.
+    pub resident_sessions: usize,
+}
+
+/// An open, incrementally driven fleet run — see [`FleetEngine::live`].
+///
+/// The caller owns the clock: every [`offer_arrival`](Self::offer_arrival)
+/// and [`step_to`](Self::step_to) carries a nanosecond timestamp that must
+/// be nondecreasing, and [`finish`](Self::finish) runs the data plane and
+/// closes the books exactly as `run()` does.
+pub struct LiveFleet<'a> {
+    st: EngineState<'a>,
+    last_ns: u64,
+}
+
+impl<'a> LiveFleet<'a> {
+    /// Processes internal arrivals (open stream, client joins, retries)
+    /// with timestamps at or before `upto_ns`.
+    fn drain_internal(&mut self, upto_ns: u64) {
+        while let Some(t) = self.st.source.peek_time() {
+            if t > upto_ns {
+                break;
+            }
+            let (t, req) = self.st.source.next().expect("peeked arrival");
+            self.st.process_request(t, req);
+        }
+    }
+
+    /// Offers one external arrival at `at_ns`: `app` for `duration_ns` of
+    /// service. Internal arrivals due at or before `at_ns` are processed
+    /// first (internal-before-external at equal times), then this request
+    /// runs the same admission step `run()` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ns` precedes an earlier offer or step.
+    pub fn offer_arrival(&mut self, at_ns: u64, app: App, duration_ns: u64) -> Admission {
+        assert!(
+            at_ns >= self.last_ns,
+            "arrivals must be offered in nondecreasing time order ({at_ns} < {})",
+            self.last_ns
+        );
+        self.last_ns = at_ns;
+        self.drain_internal(at_ns);
+        self.st.process_request(
+            at_ns,
+            Request {
+                app,
+                duration_ns,
+                client: None,
+                parked: false,
+                resume: None,
+            },
+        )
+    }
+
+    /// Advances the fleet to `at_ns` with no new arrival: internal
+    /// arrivals due by then are processed and every epoch boundary at or
+    /// before `at_ns` is ticked (departures, autoscale, migration,
+    /// faults). Idle time in a serving daemon maps to this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ns` precedes an earlier offer or step.
+    pub fn step_to(&mut self, at_ns: u64) {
+        assert!(
+            at_ns >= self.last_ns,
+            "steps must move forward in time ({at_ns} < {})",
+            self.last_ns
+        );
+        self.last_ns = at_ns;
+        self.drain_internal(at_ns);
+        let boundary = (at_ns / self.st.eps).min(self.st.eng.epochs);
+        self.st.advance_to(boundary);
+    }
+
+    /// The engine's epoch length in nanoseconds.
+    pub fn epoch_ns(&self) -> u64 {
+        self.st.eps
+    }
+
+    /// The run horizon in nanoseconds.
+    pub fn horizon_ns(&self) -> u64 {
+        self.st.horizon_ns
+    }
+
+    /// The last fully processed epoch boundary.
+    pub fn current_epoch(&self) -> u64 {
+        self.st.cur_epoch
+    }
+
+    /// A point-in-time control-plane snapshot.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            epoch: self.st.cur_epoch,
+            offered: self.st.offered,
+            admitted: self.st.next_session,
+            rejected: self.st.rejected,
+            queued_now: self.st.queue_len,
+            serving_servers: self.st.srv.iter().filter(|s| s.serving()).count(),
+            resident_sessions: self.st.resident.iter().sum(),
+        }
+    }
+
+    /// Telemetry estimates for every session resident on `server` at
+    /// `epoch`, in session-id order — the surrogate closed-form evaluated
+    /// against the server's committed occupancy, so it is a pure function
+    /// of the control-plane state (replay reproduces it byte for byte).
+    pub fn server_telemetry(&self, server: usize, epoch: u64) -> Vec<SessionTelemetry> {
+        let Some(srv) = self.st.srv.get(server) else {
+            return Vec::new();
+        };
+        let sessions: Vec<(u64, &App)> = srv
+            .live
+            .iter()
+            .map(|&si| &self.st.segs[si as usize])
+            .filter(|seg| !seg.is_void() && seg.start <= epoch && epoch < seg.end)
+            .map(|seg| (seg.session, &seg.app))
+            .collect();
+        if sessions.is_empty() {
+            return Vec::new();
+        }
+        let config = &self.st.eng.groups[srv.group].config;
+        let result = surrogate_interval(
+            config,
+            self.st.eng.seed,
+            server,
+            epoch,
+            epoch + 1,
+            &sessions,
+        );
+        let mut ids: Vec<u64> = sessions.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.iter()
+            .enumerate()
+            .map(|(i, &session)| SessionTelemetry {
+                session,
+                fps: result.fps[0][i],
+                rtt_ms: result.rtt_ms[i][0],
+            })
+            .collect()
+    }
+
+    /// Seals the run: drains every remaining internal arrival, advances to
+    /// the horizon, runs the data plane and reduces the report — the same
+    /// closing sequence as `run()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn finish(mut self, threads: usize) -> (FleetReport, FleetAudit) {
+        assert!(threads > 0, "need at least one thread");
+        self.drain_internal(u64::MAX);
+        let horizon = self.st.eng.epochs;
+        self.st.advance_to(horizon);
+        self.st.finish(threads)
     }
 }
 
@@ -510,6 +750,14 @@ impl ArrivalSource {
         let order = self.dyn_order;
         self.dyn_order += 1;
         self.dyn_heap.push(Reverse((at, order, slot)));
+    }
+
+    /// Earliest pending internal arrival time, without popping.
+    fn peek_time(&self) -> Option<u64> {
+        let open_t = self.open_next.as_ref().map(|(t, _, _)| *t);
+        let join_t = self.joins.get(self.join_cursor).map(|j| j.0);
+        let dyn_t = self.dyn_heap.peek().map(|Reverse((t, _, _))| *t);
+        [open_t, join_t, dyn_t].into_iter().flatten().min()
     }
 
     fn next(&mut self) -> Option<(u64, Request)> {
@@ -1417,69 +1665,74 @@ impl<'a> EngineState<'a> {
 
     // -- the online loop --------------------------------------------------
 
-    fn run_control_loop(&mut self) {
-        if self.faults.is_some() {
-            // Faults at epoch 0 strike before any placement (advance_to(0)
-            // is a no-op for the first arrivals).
-            self.fault_step(0);
-        }
-        while let Some((t, req)) = self.source.next() {
-            let start = t.div_ceil(self.eps);
-            if start >= self.eng.epochs {
-                if req.parked {
-                    self.queue_len -= 1;
-                    match req.resume {
-                        Some(_) => self.fl.lost += 1,
-                        None => self.expired += 1,
-                    }
-                }
-                // Mirrors replay: past-horizon requests vanish silently —
-                // no offer, no draws.
-                continue;
-            }
-            self.advance_to(start);
-            let span = (req.duration_ns as f64 / self.eps as f64).round().max(1.0) as u64;
-            let end = (start + span).min(self.eng.epochs);
-            // Recovery re-placements live in the fault ledger, not the
-            // admission ledger — `offered == admitted + rejected + queued`
-            // holds with or without a fault plan.
-            match req.resume {
-                Some(_) => self.fl.recovery_retries += 1,
-                None => {
-                    self.offered += 1;
-                    if req.parked {
-                        self.retried += 1;
-                    }
-                }
-            }
+    /// Offers one request to the control plane at time `t`: advances the
+    /// boundary clock, runs placement, and admits, parks or rejects. This
+    /// is the whole per-arrival step of the online loop — `run()` drives it
+    /// from the internal [`ArrivalSource`], [`LiveFleet`] from external
+    /// callers — so both paths are the same code byte for byte.
+    fn process_request(&mut self, t: u64, req: Request) -> Admission {
+        let start = t.div_ceil(self.eps);
+        if start >= self.eng.epochs {
             if req.parked {
                 self.queue_len -= 1;
+                match req.resume {
+                    Some(_) => self.fl.lost += 1,
+                    None => self.expired += 1,
+                }
             }
-            let need_mib = req.app.profile.gpu_memory_mib;
-            let choice = if self.fast_first_fit {
-                // Exact first-fit without building load snapshots:
-                // `free_now` only ever omits servers whose slot count
-                // already fails at the start epoch.
-                self.free_now
-                    .iter()
-                    .copied()
-                    .find(|&i| self.fits_span(i, start, end, need_mib))
-            } else {
-                let loads = self.loads(&req.app, start, end);
-                self.eng
-                    .policy
-                    .place(&req.app, &loads)
-                    .filter(|&s| s < self.srv.len() && loads[s].fits)
-            };
-            match choice {
-                Some(server) => self.admit(server, start, end, t, req),
-                None => self.refuse(t, req),
+            // Mirrors replay: past-horizon requests vanish silently —
+            // no offer, no draws.
+            return Admission::PastHorizon;
+        }
+        self.advance_to(start);
+        let span = (req.duration_ns as f64 / self.eps as f64).round().max(1.0) as u64;
+        let end = (start + span).min(self.eng.epochs);
+        // Recovery re-placements live in the fault ledger, not the
+        // admission ledger — `offered == admitted + rejected + queued`
+        // holds with or without a fault plan.
+        match req.resume {
+            Some(_) => self.fl.recovery_retries += 1,
+            None => {
+                self.offered += 1;
+                if req.parked {
+                    self.retried += 1;
+                }
             }
         }
-        self.advance_to(self.eng.epochs);
+        if req.parked {
+            self.queue_len -= 1;
+        }
+        let need_mib = req.app.profile.gpu_memory_mib;
+        let choice = if self.fast_first_fit {
+            // Exact first-fit without building load snapshots:
+            // `free_now` only ever omits servers whose slot count
+            // already fails at the start epoch.
+            self.free_now
+                .iter()
+                .copied()
+                .find(|&i| self.fits_span(i, start, end, need_mib))
+        } else {
+            let loads = self.loads(&req.app, start, end);
+            self.eng
+                .policy
+                .place(&req.app, &loads)
+                .filter(|&s| s < self.srv.len() && loads[s].fits)
+        };
+        match choice {
+            Some(server) => {
+                let session = self.admit(server, start, end, t, req);
+                Admission::Admitted {
+                    session,
+                    server,
+                    start_epoch: start,
+                    end_epoch: end,
+                }
+            }
+            None => self.refuse(t, req),
+        }
     }
 
-    fn admit(&mut self, server: usize, start: u64, end: u64, _t: u64, req: Request) {
+    fn admit(&mut self, server: usize, start: u64, end: u64, _t: u64, req: Request) -> u64 {
         let id = match req.resume {
             Some(r) => {
                 // A recovered session keeps its identity; its new segment
@@ -1533,9 +1786,10 @@ impl<'a> EngineState<'a> {
                 );
             }
         }
+        id
     }
 
-    fn refuse(&mut self, t: u64, req: Request) {
+    fn refuse(&mut self, t: u64, req: Request) -> Admission {
         if let Some(r) = req.resume {
             // Fault recovery: back off and retry until attempts run out or
             // the shared queue fills.
@@ -1558,10 +1812,10 @@ impl<'a> EngineState<'a> {
                         ..req
                     },
                 );
-            } else {
-                self.fl.lost += 1;
+                return Admission::Parked;
             }
-            return;
+            self.fl.lost += 1;
+            return Admission::Rejected;
         }
         if let Some(bp) = &self.eng.backpressure {
             if self.queue_len < bp.queue_limit {
@@ -1571,7 +1825,7 @@ impl<'a> EngineState<'a> {
                 // comparison inside `park`.
                 let retry_at = t.saturating_add(bp.retry_after_epochs.saturating_mul(self.eps));
                 self.park(retry_at, req);
-                return;
+                return Admission::Parked;
             }
             self.dropped += 1;
         }
@@ -1596,6 +1850,7 @@ impl<'a> EngineState<'a> {
                 );
             }
         }
+        Admission::Rejected
     }
 
     /// Parks a request for a later retry, sharing the bounded queue between

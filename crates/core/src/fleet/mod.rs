@@ -69,7 +69,10 @@ use pictor_sim::{SeedTree, SimDuration};
 use crate::suite::default_threads;
 
 pub use autoscale::{AutoscaleConfig, BackpressureConfig, MigrationConfig};
-pub use engine::{DataPlane, FleetAudit, FleetEngine, GroupSpec, Placement};
+pub use engine::{
+    Admission, DataPlane, FleetAudit, FleetEngine, FleetSnapshot, GroupSpec, LiveFleet, Placement,
+    SessionTelemetry,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, Hazard, Health, RecoveryConfig};
 pub use policy::{
     FirstFit, InterferenceAware, LargestMemoryFirst, LeastContended, PlacementPolicy, ServerLoad,

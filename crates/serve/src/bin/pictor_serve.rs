@@ -1,0 +1,169 @@
+//! `pictor-serve` — the live control-plane daemon.
+//!
+//! Serves one fleet run over TCP: clients connect, open sessions, poll
+//! telemetry, and one of them eventually seals the run, at which point
+//! the daemon runs the data plane, writes its deterministic
+//! `pictor-serve/v1` report, and exits.
+//!
+//! ```text
+//! pictor-serve [--addr 127.0.0.1:9230] [--servers 16] [--slots 4]
+//!              [--epochs 120] [--epoch-ms 1000] [--queue N] [--seed S]
+//!              [--threads N] [--virtual] [--record PATH] [--out PATH]
+//! pictor-serve --replay PATH [engine flags...] [--out PATH]
+//! ```
+//!
+//! `--virtual` stamps ingress from client-supplied timestamps instead of
+//! the wall clock (deterministic serving for tests and recording runs).
+//! `--record PATH` journals the stamped ingress stream; `--replay PATH`
+//! feeds a journal back through a fresh engine — with the same engine
+//! flags, the replayed report is byte-identical to the recorded run's.
+
+use std::net::TcpListener;
+use std::sync::mpsc::channel;
+use std::thread;
+
+use pictor_serve::{decode_journal, replay, run_daemon, serve_engine, tcp_listen, ServeOptions};
+
+fn master_seed() -> u64 {
+    std::env::var("PICTOR_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2020)
+}
+
+struct Flags {
+    addr: String,
+    servers: usize,
+    slots: usize,
+    epochs: u64,
+    epoch_ms: u64,
+    queue: usize,
+    seed: u64,
+    threads: usize,
+    virtual_clock: bool,
+    record: Option<String>,
+    replay: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_flags() -> Flags {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        })
+    };
+    let parse = |flag: &str, default: u64| -> u64 {
+        value(flag).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} wants a number, got {v}"))
+        })
+    };
+    let servers = parse("--servers", 16) as usize;
+    Flags {
+        addr: value("--addr").unwrap_or_else(|| "127.0.0.1:9230".into()),
+        servers,
+        slots: parse("--slots", 4) as usize,
+        epochs: parse("--epochs", 120),
+        epoch_ms: parse("--epoch-ms", 1000),
+        queue: parse("--queue", (servers * 2) as u64) as usize,
+        seed: parse("--seed", master_seed()),
+        threads: parse("--threads", 1) as usize,
+        virtual_clock: args.iter().any(|a| a == "--virtual"),
+        record: value("--record"),
+        replay: value("--replay"),
+        out: value("--out"),
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+    let engine = serve_engine(
+        flags.servers,
+        flags.slots,
+        flags.epochs,
+        flags.epoch_ms,
+        flags.seed,
+        flags.queue,
+    );
+
+    let outcome = if let Some(path) = &flags.replay {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let events = decode_journal(&bytes).unwrap_or_else(|e| panic!("decode {path}: {e}"));
+        println!(
+            "pictor-serve: replaying {} journaled events from {path}",
+            events.len()
+        );
+        replay(&engine, &events, flags.threads)
+    } else {
+        let listener =
+            TcpListener::bind(&flags.addr).unwrap_or_else(|e| panic!("bind {}: {e}", flags.addr));
+        let addr = listener.local_addr().expect("local addr");
+        println!(
+            "pictor-serve: {} servers x {} slots, {} epochs of {} ms, seed {}, listening on {addr} \
+             ({} clock)",
+            flags.servers,
+            flags.slots,
+            flags.epochs,
+            flags.epoch_ms,
+            flags.seed,
+            if flags.virtual_clock { "virtual" } else { "wall" },
+        );
+        let (tx, rx) = channel();
+        thread::spawn(move || tcp_listen(listener, tx));
+        let opts = ServeOptions {
+            virtual_clock: flags.virtual_clock,
+            record: flags.record.is_some(),
+            threads: flags.threads,
+        };
+        run_daemon(&engine, &opts, rx)
+    };
+
+    if let (Some(path), Some(journal)) = (&flags.record, &outcome.journal) {
+        std::fs::write(path, journal).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "journal: {} events ({} bytes) -> {path}",
+            outcome.report.ingress.journaled_events,
+            journal.len()
+        );
+    }
+
+    let json = outcome.report.to_json();
+    if let Ok(dir) = std::env::var("PICTOR_REPORT_DIR") {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create PICTOR_REPORT_DIR");
+        let path = dir.join("serve.json");
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    }
+    if let Some(path) = &flags.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
+
+    let i = &outcome.report.ingress;
+    println!(
+        "ingress: {} opens ({} admitted, {} rejected, {} parked, {} past-horizon, {} bad-app), \
+         {} polls, {} snapshots",
+        i.opens, i.admitted, i.rejected, i.parked, i.past_horizon, i.bad_app, i.polls, i.snapshots,
+    );
+    println!(
+        "fleet: {} offered, {} admitted, utilization {:.1}%, fps p50 {:.1}, rtt p99 {:.1} ms",
+        outcome.report.fleet_offered,
+        outcome.report.fleet_admitted,
+        outcome.report.utilization * 100.0,
+        outcome.report.fps_p50,
+        outcome.report.rtt_p99,
+    );
+    let t = &outcome.transport;
+    if t.malformed_frames + t.clamped_timestamps + t.after_seal > 0 {
+        println!(
+            "transport: {} malformed frames, {} clamped timestamps, {} frames after seal",
+            t.malformed_frames, t.clamped_timestamps, t.after_seal
+        );
+    }
+    assert!(
+        outcome.report.decisions_balance(),
+        "decision ledger out of balance"
+    );
+}

@@ -1,0 +1,516 @@
+//! The control-plane daemon: a deterministic core behind a thin transport
+//! shim.
+//!
+//! # Execution model
+//!
+//! One thread owns the [`FleetEngine`]'s live state ([`ServeCore`]) and
+//! consumes an mpsc ingress queue of [`DaemonMsg`]s. Transports — TCP
+//! reader threads or the in-process channel — only move bytes; every
+//! decision happens on the core thread in arrival order. That single
+//! serialization point is what makes the journal authoritative: the
+//! stamped ingress sequence *is* the run.
+//!
+//! # Determinism boundary
+//!
+//! [`ServeCore::handle_frame`] splits each ingress frame into two halves:
+//! a **stamping** half (wall/virtual clock read, monotone clamp — the only
+//! nondeterministic step, whose output is journaled) and an **apply** half
+//! ([`ServeCore::apply`]) that is a pure function of the stamped event.
+//! Replay skips stamping entirely and drives `apply` straight from the
+//! journal, which is why a replayed [`ServeReport`] is byte-identical to
+//! the live one (`tests/serve_replay.rs`).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, Sender};
+
+use pictor_apps::AppId;
+use pictor_core::fleet::{Admission, FleetAudit, FleetEngine, FleetReport, LiveFleet};
+use pictor_sim::SimClock;
+
+use crate::journal::{IngressEvent, JournalWriter};
+use crate::protocol::{ErrCode, Msg, Outcome, PROTOCOL_VERSION};
+use crate::report::{IngressCounters, ServeReport};
+
+/// Where a connection's reply frames go. The daemon thread writes
+/// synchronously: for TCP that hands the frame to the kernel's socket
+/// buffer before the next ingress message is processed, so a sealed
+/// daemon can exit immediately after sending the final report without
+/// racing a writer thread.
+#[derive(Debug)]
+pub enum ReplySink {
+    /// In-process transport: frames go down an mpsc channel.
+    Channel(Sender<Vec<u8>>),
+    /// TCP transport: frames are written straight to the socket.
+    Tcp(TcpStream),
+}
+
+impl ReplySink {
+    /// Delivers one encoded frame; errors (peer gone) are ignored — the
+    /// reader side will surface the hangup.
+    fn send(&mut self, frame: Vec<u8>) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(frame);
+            }
+            ReplySink::Tcp(stream) => {
+                let _ = stream.write_all(&frame);
+            }
+        }
+    }
+}
+
+/// What a transport delivers to the core thread.
+#[derive(Debug)]
+pub enum DaemonMsg {
+    /// A connection opened; `sink` carries encoded reply frames back.
+    Connect {
+        /// Connection id (unique per daemon run).
+        conn: u32,
+        /// Reply path: complete wire frames.
+        sink: ReplySink,
+    },
+    /// One decoded frame *body* (length prefix stripped) from `conn`.
+    Frame {
+        /// Source connection.
+        conn: u32,
+        /// Frame body bytes.
+        body: Vec<u8>,
+    },
+    /// A connection closed.
+    Hangup {
+        /// The closed connection.
+        conn: u32,
+    },
+}
+
+/// Daemon configuration knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Stamp ingress from client-supplied timestamps (tests, replay,
+    /// virtual-paced load) instead of the wall clock.
+    pub virtual_clock: bool,
+    /// Record the stamped ingress stream into a journal.
+    pub record: bool,
+    /// Data-plane threads at seal.
+    pub threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            virtual_clock: false,
+            record: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Transport-layer mishap counters. Diagnostics only: these are *not*
+/// part of [`ServeReport`] because they cannot be reproduced from the
+/// journal (see the report module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames that failed to decode (answered with `Msg::Error`).
+    pub malformed_frames: u64,
+    /// Ingress timestamps clamped forward to keep the stream monotone.
+    pub clamped_timestamps: u64,
+    /// Frames arriving after the run sealed.
+    pub after_seal: u64,
+}
+
+/// Everything a sealed run produces.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The deterministic daemon report.
+    pub report: ServeReport,
+    /// The sealed fleet report (FPS/RTT tails, utilization, SLOs).
+    pub fleet: FleetReport,
+    /// The invariant-checking audit trace.
+    pub audit: FleetAudit,
+    /// The recorded journal bytes (when recording was on).
+    pub journal: Option<Vec<u8>>,
+    /// Transport diagnostics.
+    pub transport: TransportStats,
+}
+
+/// The deterministic serving core: a [`LiveFleet`] plus the ingress
+/// ledger, session directory and optional journal.
+pub struct ServeCore<'a> {
+    engine: &'a FleetEngine,
+    live: LiveFleet<'a>,
+    clock: SimClock,
+    virtual_clock: bool,
+    last_ns: u64,
+    counters: IngressCounters,
+    transport: TransportStats,
+    /// session id → admitted server (telemetry routing; migration may
+    /// move a session elsewhere, in which case polls report zeros).
+    sessions: HashMap<u64, usize>,
+    journal: Option<JournalWriter>,
+    sealed: bool,
+}
+
+impl<'a> ServeCore<'a> {
+    /// Opens `engine` for serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same engine-validation failures as
+    /// [`FleetEngine::live`].
+    pub fn new(engine: &'a FleetEngine, virtual_clock: bool, record: bool) -> Self {
+        ServeCore {
+            engine,
+            live: engine.live(),
+            clock: if virtual_clock {
+                SimClock::virtual_start()
+            } else {
+                SimClock::wall_start()
+            },
+            virtual_clock,
+            last_ns: 0,
+            counters: IngressCounters::default(),
+            transport: TransportStats::default(),
+            sessions: HashMap::new(),
+            journal: record.then(JournalWriter::new),
+            sealed: false,
+        }
+    }
+
+    /// Stamps one ingress event: reads the clock (wall mode) or trusts
+    /// the client (virtual mode), then clamps forward so the stream stays
+    /// monotone. This is the only nondeterministic step in the daemon —
+    /// its *output* is what gets journaled.
+    fn stamp(&mut self, client_at_ns: u64) -> u64 {
+        let t = if self.virtual_clock {
+            client_at_ns
+        } else {
+            self.clock.now().as_nanos()
+        };
+        if t < self.last_ns {
+            self.transport.clamped_timestamps += 1;
+            self.last_ns
+        } else {
+            self.last_ns = t;
+            t
+        }
+    }
+
+    /// Handles one decoded frame body from `conn`, pushing replies onto
+    /// `out` as `(connection, message)` pairs. Returns `true` when the
+    /// frame sealed the run (the caller then calls [`ServeCore::seal`]).
+    pub fn handle_frame(&mut self, conn: u32, body: &[u8], out: &mut Vec<(u32, Msg)>) -> bool {
+        let msg = match Msg::decode_body(body) {
+            Ok(m) => m,
+            Err(e) => {
+                self.transport.malformed_frames += 1;
+                out.push((
+                    conn,
+                    Msg::Error {
+                        code: ErrCode::Malformed,
+                        detail: e.to_string(),
+                    },
+                ));
+                return false;
+            }
+        };
+        if self.sealed {
+            self.transport.after_seal += 1;
+            out.push((
+                conn,
+                Msg::Error {
+                    code: ErrCode::Sealed,
+                    detail: "run already sealed".into(),
+                },
+            ));
+            return false;
+        }
+        match msg {
+            Msg::Hello { .. } => {
+                out.push((
+                    conn,
+                    Msg::HelloAck {
+                        protocol: PROTOCOL_VERSION,
+                        epoch_ns: self.live.epoch_ns(),
+                        epochs: self.engine.epochs,
+                        servers: self.engine.total_servers() as u64,
+                    },
+                ));
+                false
+            }
+            Msg::Open {
+                req,
+                at_ns,
+                duration_ns,
+                app_code,
+            } => {
+                let at_ns = self.stamp(at_ns);
+                self.apply(
+                    &IngressEvent::Open {
+                        conn,
+                        req,
+                        at_ns,
+                        duration_ns,
+                        app_code,
+                    },
+                    out,
+                )
+            }
+            Msg::Poll { at_ns, session } => {
+                let at_ns = self.stamp(at_ns);
+                self.apply(
+                    &IngressEvent::Poll {
+                        conn,
+                        at_ns,
+                        session,
+                    },
+                    out,
+                )
+            }
+            Msg::Snapshot { at_ns } => {
+                let at_ns = self.stamp(at_ns);
+                self.apply(&IngressEvent::Snapshot { conn, at_ns }, out)
+            }
+            Msg::Seal { at_ns } => {
+                let at_ns = self.stamp(at_ns);
+                self.apply(&IngressEvent::Seal { conn, at_ns }, out)
+            }
+            // Daemon-to-client messages arriving at the daemon are a
+            // protocol violation.
+            Msg::HelloAck { .. }
+            | Msg::Decision { .. }
+            | Msg::Telemetry { .. }
+            | Msg::SnapshotRep { .. }
+            | Msg::Report { .. }
+            | Msg::Error { .. } => {
+                self.transport.malformed_frames += 1;
+                out.push((
+                    conn,
+                    Msg::Error {
+                        code: ErrCode::Malformed,
+                        detail: "unexpected server-side message".into(),
+                    },
+                ));
+                false
+            }
+        }
+    }
+
+    /// Applies one **stamped** ingress event — the deterministic half of
+    /// the daemon, shared verbatim by the live path and journal replay.
+    /// Returns `true` on seal.
+    pub fn apply(&mut self, ev: &IngressEvent, out: &mut Vec<(u32, Msg)>) -> bool {
+        if let Some(j) = self.journal.as_mut() {
+            j.record(ev);
+            self.counters.journaled_events += 1;
+        }
+        match ev {
+            IngressEvent::Open {
+                conn,
+                req,
+                at_ns,
+                duration_ns,
+                app_code,
+            } => {
+                self.counters.opens += 1;
+                let Some(id) = AppId::from_code(app_code) else {
+                    self.counters.bad_app += 1;
+                    out.push((*conn, decision(*req, Outcome::UnknownApp)));
+                    return false;
+                };
+                let msg = match self.live.offer_arrival(*at_ns, id.spec(), *duration_ns) {
+                    Admission::Admitted {
+                        session,
+                        server,
+                        start_epoch,
+                        end_epoch,
+                    } => {
+                        self.counters.admitted += 1;
+                        self.sessions.insert(session, server);
+                        Msg::Decision {
+                            req: *req,
+                            outcome: Outcome::Admitted,
+                            session,
+                            server: server as u64,
+                            start_epoch,
+                            end_epoch,
+                        }
+                    }
+                    Admission::Rejected => {
+                        self.counters.rejected += 1;
+                        decision(*req, Outcome::Rejected)
+                    }
+                    Admission::Parked => {
+                        self.counters.parked += 1;
+                        decision(*req, Outcome::Parked)
+                    }
+                    Admission::PastHorizon => {
+                        self.counters.past_horizon += 1;
+                        decision(*req, Outcome::PastHorizon)
+                    }
+                };
+                out.push((*conn, msg));
+                false
+            }
+            IngressEvent::Poll {
+                conn,
+                at_ns,
+                session,
+            } => {
+                self.counters.polls += 1;
+                self.live.step_to(*at_ns);
+                let epoch = (*at_ns / self.live.epoch_ns()).min(self.engine.epochs - 1);
+                let sample = self.sessions.get(session).and_then(|&server| {
+                    self.live
+                        .server_telemetry(server, epoch)
+                        .into_iter()
+                        .find(|t| t.session == *session)
+                });
+                let msg = match sample {
+                    Some(t) => Msg::Telemetry {
+                        session: *session,
+                        epoch,
+                        fps: t.fps,
+                        rtt_ms: t.rtt_ms,
+                    },
+                    None => Msg::Telemetry {
+                        session: *session,
+                        epoch,
+                        fps: 0.0,
+                        rtt_ms: 0.0,
+                    },
+                };
+                out.push((*conn, msg));
+                false
+            }
+            IngressEvent::Snapshot { conn, at_ns } => {
+                self.counters.snapshots += 1;
+                self.live.step_to(*at_ns);
+                let s = self.live.snapshot();
+                out.push((
+                    *conn,
+                    Msg::SnapshotRep {
+                        epoch: s.epoch,
+                        offered: s.offered,
+                        admitted: s.admitted,
+                        rejected: s.rejected,
+                        queued_now: s.queued_now as u64,
+                        serving: s.serving_servers as u64,
+                        resident: s.resident_sessions as u64,
+                    },
+                ));
+                false
+            }
+            IngressEvent::Seal { .. } => {
+                self.sealed = true;
+                true
+            }
+        }
+    }
+
+    /// Seals the run: drains the fleet, runs the data plane, and builds
+    /// the deterministic report.
+    pub fn seal(self, threads: usize) -> ServeOutcome {
+        let (fleet, audit) = self.live.finish(threads);
+        let report = ServeReport::new(self.counters, self.virtual_clock, &fleet, &audit);
+        ServeOutcome {
+            report,
+            fleet,
+            audit,
+            journal: self.journal.map(JournalWriter::into_bytes),
+            transport: self.transport,
+        }
+    }
+}
+
+/// A convenience `Decision` with zeroed placement coordinates.
+fn decision(req: u64, outcome: Outcome) -> Msg {
+    Msg::Decision {
+        req,
+        outcome,
+        session: 0,
+        server: 0,
+        start_epoch: 0,
+        end_epoch: 0,
+    }
+}
+
+/// Runs the daemon loop to completion: consumes `rx` until a `Seal`
+/// frame (or every transport sender hangs up), then seals and — when the
+/// sealing connection is still reachable — answers it with the
+/// [`Msg::Report`].
+pub fn run_daemon(
+    engine: &FleetEngine,
+    opts: &ServeOptions,
+    rx: Receiver<DaemonMsg>,
+) -> ServeOutcome {
+    assert!(opts.threads > 0, "need at least one data-plane thread");
+    let mut core = ServeCore::new(engine, opts.virtual_clock, opts.record);
+    let mut conns: HashMap<u32, ReplySink> = HashMap::new();
+    let mut out: Vec<(u32, Msg)> = Vec::new();
+    let mut seal_conn = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            DaemonMsg::Connect { conn, sink } => {
+                conns.insert(conn, sink);
+            }
+            DaemonMsg::Hangup { conn } => {
+                conns.remove(&conn);
+            }
+            DaemonMsg::Frame { conn, body } => {
+                out.clear();
+                let sealed = core.handle_frame(conn, &body, &mut out);
+                for (c, m) in out.drain(..) {
+                    if let Some(sink) = conns.get_mut(&c) {
+                        sink.send(m.encode_frame());
+                    }
+                }
+                if sealed {
+                    seal_conn = Some(conn);
+                    break;
+                }
+            }
+        }
+    }
+    let outcome = core.seal(opts.threads);
+    if let Some(sink) = seal_conn.and_then(|c| conns.get_mut(&c)) {
+        sink.send(
+            Msg::Report {
+                json: outcome.report.to_json(),
+            }
+            .encode_frame(),
+        );
+    }
+    outcome
+}
+
+/// Replays a decoded journal through a fresh core: the deterministic
+/// `apply` path only — no clock, no stamping. The resulting
+/// [`ServeReport`] is byte-identical to the recording run's.
+///
+/// # Panics
+///
+/// Panics if the journal's timestamps are not nondecreasing (journals
+/// written by [`JournalWriter`] always are) or on engine-validation
+/// failures.
+pub fn replay(engine: &FleetEngine, events: &[IngressEvent], threads: usize) -> ServeOutcome {
+    let mut core = ServeCore::new(engine, true, false);
+    // Mirror the recording run's ledger: it counted every event it wrote.
+    core.counters.journaled_events = events.len() as u64;
+    let mut out = Vec::new();
+    let mut last = 0u64;
+    for ev in events {
+        assert!(
+            ev.at_ns() >= last,
+            "journal timestamps must be nondecreasing ({} < {last})",
+            ev.at_ns()
+        );
+        last = ev.at_ns();
+        out.clear();
+        if core.apply(ev, &mut out) {
+            break;
+        }
+    }
+    core.seal(threads)
+}

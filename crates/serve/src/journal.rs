@@ -1,0 +1,295 @@
+//! The ingress journal: record/replay for the serving daemon.
+//!
+//! The daemon's entire observable behaviour is a pure function of its
+//! **ingress event stream** — the stamped sequence of opens, polls,
+//! snapshots and the final seal. Recording that stream (not the responses,
+//! not the wall clock) is therefore enough to reproduce a live run bit for
+//! bit: replay feeds the journal back through a fresh [`ServeCore`] and
+//! the resulting [`ServeReport`] is byte-identical, which
+//! `tests/serve_replay.rs` pins with a golden journal + report pair.
+//!
+//! [`ServeCore`]: crate::daemon::ServeCore
+//! [`ServeReport`]: crate::report::ServeReport
+//!
+//! On-disk layout: an 8-byte magic, then one length-prefixed record per
+//! event reusing the wire framing rules ([`MAX_FRAME_BYTES`] bound, LE
+//! integers, `u16`-prefixed strings). Events are stored with their final
+//! **stamped** timestamps — replay never consults a clock.
+
+use crate::protocol::{put_str, put_u32, put_u64, put_u8, Cursor, WireError, MAX_FRAME_BYTES};
+
+/// Journal file magic: "PICTORJ" + format version 1.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"PICTORJ\x01";
+
+const EV_OPEN: u8 = 1;
+const EV_POLL: u8 = 2;
+const EV_SNAPSHOT: u8 = 3;
+const EV_SEAL: u8 = 4;
+
+/// One stamped ingress event — everything the deterministic core consumes.
+///
+/// The connection id rides along so replayed error/decision routing is
+/// reconstructible in diagnostics; it does not influence admission.
+/// Unknown app codes are journaled verbatim (the *rejection* must replay
+/// too, or counters drift).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngressEvent {
+    /// A session request.
+    Open {
+        /// Ingress connection id.
+        conn: u32,
+        /// Client request id (echoed in the decision).
+        req: u64,
+        /// Stamped arrival time, nanoseconds.
+        at_ns: u64,
+        /// Requested service duration, nanoseconds.
+        duration_ns: u64,
+        /// Application short code, exactly as received.
+        app_code: String,
+    },
+    /// A telemetry poll.
+    Poll {
+        /// Ingress connection id.
+        conn: u32,
+        /// Stamped poll time, nanoseconds.
+        at_ns: u64,
+        /// The polled session.
+        session: u64,
+    },
+    /// A fleet snapshot request.
+    Snapshot {
+        /// Ingress connection id.
+        conn: u32,
+        /// Stamped snapshot time, nanoseconds.
+        at_ns: u64,
+    },
+    /// The run seal. Always the journal's final event.
+    Seal {
+        /// Ingress connection id.
+        conn: u32,
+        /// Stamped seal time, nanoseconds.
+        at_ns: u64,
+    },
+}
+
+impl IngressEvent {
+    /// The event's stamped timestamp.
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            IngressEvent::Open { at_ns, .. }
+            | IngressEvent::Poll { at_ns, .. }
+            | IngressEvent::Snapshot { at_ns, .. }
+            | IngressEvent::Seal { at_ns, .. } => *at_ns,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            IngressEvent::Open {
+                conn,
+                req,
+                at_ns,
+                duration_ns,
+                app_code,
+            } => {
+                put_u8(out, EV_OPEN);
+                put_u32(out, *conn);
+                put_u64(out, *req);
+                put_u64(out, *at_ns);
+                put_u64(out, *duration_ns);
+                put_str(out, app_code);
+            }
+            IngressEvent::Poll {
+                conn,
+                at_ns,
+                session,
+            } => {
+                put_u8(out, EV_POLL);
+                put_u32(out, *conn);
+                put_u64(out, *at_ns);
+                put_u64(out, *session);
+            }
+            IngressEvent::Snapshot { conn, at_ns } => {
+                put_u8(out, EV_SNAPSHOT);
+                put_u32(out, *conn);
+                put_u64(out, *at_ns);
+            }
+            IngressEvent::Seal { conn, at_ns } => {
+                put_u8(out, EV_SEAL);
+                put_u32(out, *conn);
+                put_u64(out, *at_ns);
+            }
+        }
+    }
+
+    fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut cur = Cursor::new(body);
+        let tag = cur.u8()?;
+        let ev = match tag {
+            EV_OPEN => IngressEvent::Open {
+                conn: cur.u32()?,
+                req: cur.u64()?,
+                at_ns: cur.u64()?,
+                duration_ns: cur.u64()?,
+                app_code: cur.str()?,
+            },
+            EV_POLL => IngressEvent::Poll {
+                conn: cur.u32()?,
+                at_ns: cur.u64()?,
+                session: cur.u64()?,
+            },
+            EV_SNAPSHOT => IngressEvent::Snapshot {
+                conn: cur.u32()?,
+                at_ns: cur.u64()?,
+            },
+            EV_SEAL => IngressEvent::Seal {
+                conn: cur.u32()?,
+                at_ns: cur.u64()?,
+            },
+            _ => return Err(WireError::UnknownType { tag }),
+        };
+        cur.finish()?;
+        Ok(ev)
+    }
+}
+
+/// An in-memory journal being recorded: magic header plus framed events.
+#[derive(Debug, Clone)]
+pub struct JournalWriter {
+    bytes: Vec<u8>,
+    events: u64,
+}
+
+impl JournalWriter {
+    /// A journal holding only the magic header.
+    pub fn new() -> Self {
+        JournalWriter {
+            bytes: JOURNAL_MAGIC.to_vec(),
+            events: 0,
+        }
+    }
+
+    /// Appends one event.
+    pub fn record(&mut self, ev: &IngressEvent) {
+        let mut payload = Vec::with_capacity(48);
+        ev.encode_payload(&mut payload);
+        assert!(payload.len() <= MAX_FRAME_BYTES, "journal record too large");
+        put_u32(&mut self.bytes, payload.len() as u32);
+        self.bytes.extend_from_slice(&payload);
+        self.events += 1;
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// The serialized journal.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl Default for JournalWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses a serialized journal back into its event stream.
+///
+/// Total like the wire codec: corrupt magic, truncated records and
+/// oversized prefixes all map to [`WireError`], never a panic.
+pub fn decode_journal(bytes: &[u8]) -> Result<Vec<IngressEvent>, WireError> {
+    if bytes.len() < JOURNAL_MAGIC.len() || bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return Err(WireError::UnknownVersion {
+            version: bytes.first().copied().unwrap_or(0),
+        });
+    }
+    let mut events = Vec::new();
+    let mut pos = JOURNAL_MAGIC.len();
+    while pos < bytes.len() {
+        if bytes.len() - pos < 4 {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        pos += 4;
+        if len == 0 {
+            return Err(WireError::EmptyFrame);
+        }
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized { declared: len });
+        }
+        if bytes.len() - pos < len {
+            return Err(WireError::Truncated);
+        }
+        events.push(IngressEvent::decode(&bytes[pos..pos + len])?);
+        pos += len;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<IngressEvent> {
+        vec![
+            IngressEvent::Open {
+                conn: 1,
+                req: 10,
+                at_ns: 100,
+                duration_ns: 2_000_000_000,
+                app_code: "STK".into(),
+            },
+            IngressEvent::Poll {
+                conn: 1,
+                at_ns: 250,
+                session: 0,
+            },
+            IngressEvent::Snapshot {
+                conn: 2,
+                at_ns: 300,
+            },
+            IngressEvent::Open {
+                conn: 2,
+                req: 11,
+                at_ns: 400,
+                duration_ns: 1_000_000_000,
+                app_code: "NOPE".into(),
+            },
+            IngressEvent::Seal {
+                conn: 1,
+                at_ns: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn journal_roundtrip() {
+        let mut w = JournalWriter::new();
+        for ev in sample_events() {
+            w.record(&ev);
+        }
+        assert_eq!(w.len(), 5);
+        let bytes = w.into_bytes();
+        assert_eq!(decode_journal(&bytes).unwrap(), sample_events());
+    }
+
+    #[test]
+    fn corrupt_journals_error_cleanly() {
+        assert!(decode_journal(b"NOTMAGIC").is_err());
+        assert!(decode_journal(&JOURNAL_MAGIC[..4]).is_err());
+        let mut w = JournalWriter::new();
+        w.record(&IngressEvent::Seal { conn: 0, at_ns: 1 });
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(decode_journal(&bytes), Err(WireError::Truncated));
+    }
+}

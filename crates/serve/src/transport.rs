@@ -1,0 +1,255 @@
+//! Transports: how frames reach the daemon core and replies reach
+//! clients.
+//!
+//! Both transports present the same client-side [`Conn`] trait (blocking
+//! request/reply message pipe) and feed the same [`DaemonMsg`] ingress
+//! queue on the daemon side, so every test, the load generator and the
+//! binaries run identical logic whether frames cross a TCP socket or an
+//! in-process channel:
+//!
+//! * [`TcpConn`] / [`tcp_listen`] — real sockets, thread-per-connection
+//!   reader and writer on the daemon side.
+//! * [`ChannelConn`] — an mpsc pair. Frames are still fully encoded and
+//!   re-decoded through [`FrameDecoder`], so the in-process mode
+//!   exercises the exact wire codec (only the socket is elided).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread;
+
+use crate::daemon::{DaemonMsg, ReplySink};
+use crate::protocol::{FrameDecoder, Msg, FRAME_HEADER_BYTES};
+
+/// A blocking, message-oriented client connection to the daemon.
+pub trait Conn {
+    /// Sends one message.
+    fn send(&mut self, msg: &Msg) -> io::Result<()>;
+    /// Receives the next message, blocking until one arrives.
+    fn recv(&mut self) -> io::Result<Msg>;
+}
+
+fn broken_pipe() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "daemon hung up")
+}
+
+// ---------------------------------------------------------------------------
+// in-process channel transport
+// ---------------------------------------------------------------------------
+
+/// The in-process transport: frames travel over mpsc channels but are
+/// encoded/decoded exactly as on the wire.
+pub struct ChannelConn {
+    conn: u32,
+    tx: Sender<DaemonMsg>,
+    rx: Receiver<Vec<u8>>,
+    dec: FrameDecoder,
+}
+
+impl ChannelConn {
+    /// Registers connection `conn` with a daemon consuming `daemon`'s
+    /// receiver half.
+    pub fn connect(conn: u32, daemon: &Sender<DaemonMsg>) -> Self {
+        let (reply_tx, reply_rx) = channel();
+        // A send failure just means the daemon already sealed; the first
+        // recv will surface it as BrokenPipe.
+        let _ = daemon.send(DaemonMsg::Connect {
+            conn,
+            sink: ReplySink::Channel(reply_tx),
+        });
+        ChannelConn {
+            conn,
+            tx: daemon.clone(),
+            rx: reply_rx,
+            dec: FrameDecoder::new(),
+        }
+    }
+}
+
+impl Conn for ChannelConn {
+    fn send(&mut self, msg: &Msg) -> io::Result<()> {
+        let frame = msg.encode_frame();
+        self.tx
+            .send(DaemonMsg::Frame {
+                conn: self.conn,
+                body: frame[FRAME_HEADER_BYTES..].to_vec(),
+            })
+            .map_err(|_| broken_pipe())
+    }
+
+    fn recv(&mut self) -> io::Result<Msg> {
+        loop {
+            if let Some(body) = self.dec.next_body()? {
+                return Ok(Msg::decode_body(&body)?);
+            }
+            let chunk = self.rx.recv().map_err(|_| broken_pipe())?;
+            self.dec.push(&chunk);
+        }
+    }
+}
+
+impl Drop for ChannelConn {
+    fn drop(&mut self) {
+        let _ = self.tx.send(DaemonMsg::Hangup { conn: self.conn });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+/// A TCP client connection.
+pub struct TcpConn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl TcpConn {
+    /// Connects to a serving daemon at `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConn {
+            stream,
+            dec: FrameDecoder::new(),
+        })
+    }
+}
+
+impl Conn for TcpConn {
+    fn send(&mut self, msg: &Msg) -> io::Result<()> {
+        self.stream.write_all(&msg.encode_frame())
+    }
+
+    fn recv(&mut self) -> io::Result<Msg> {
+        let mut buf = [0u8; 8192];
+        loop {
+            if let Some(body) = self.dec.next_body()? {
+                return Ok(Msg::decode_body(&body)?);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ));
+            }
+            self.dec.push(&buf[..n]);
+        }
+    }
+}
+
+/// Accept loop feeding a daemon's ingress queue. Each accepted socket
+/// gets a reader thread (splits frames, forwards bodies); replies are
+/// written by the daemon thread itself through the connection's
+/// [`ReplySink`], so the final report frame is in the kernel's socket
+/// buffer before the daemon returns. Runs until the daemon side drops
+/// the ingress receiver; intended to live on its own thread for the
+/// daemon binary's lifetime.
+pub fn tcp_listen(listener: TcpListener, daemon: Sender<DaemonMsg>) {
+    let mut next_conn = 1u32;
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let conn = next_conn;
+        next_conn += 1;
+        let _ = stream.set_nodelay(true);
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        if daemon
+            .send(DaemonMsg::Connect {
+                conn,
+                sink: ReplySink::Tcp(writer),
+            })
+            .is_err()
+        {
+            // Daemon sealed and exited: stop accepting.
+            return;
+        }
+        let ingress = daemon.clone();
+        let mut reader = stream;
+        thread::spawn(move || {
+            let mut dec = FrameDecoder::new();
+            let mut buf = [0u8; 8192];
+            loop {
+                let n = match reader.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                dec.push(&buf[..n]);
+                loop {
+                    match dec.next_body() {
+                        Ok(Some(body)) => {
+                            if ingress.send(DaemonMsg::Frame { conn, body }).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Corrupt length prefix: the stream cannot be
+                        // re-synchronized — drop the connection.
+                        Err(_) => {
+                            let _ = ingress.send(DaemonMsg::Hangup { conn });
+                            return;
+                        }
+                    }
+                }
+            }
+            let _ = ingress.send(DaemonMsg::Hangup { conn });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{run_daemon, ServeOptions};
+    use crate::serve_engine;
+
+    /// End-to-end smoke over real sockets: hello, one open, seal.
+    #[test]
+    fn tcp_roundtrip_serves_a_session() {
+        let engine = serve_engine(2, 2, 8, 250, 7, 4);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (tx, rx) = channel();
+        let accept = thread::spawn(move || tcp_listen(listener, tx));
+        let opts = ServeOptions {
+            virtual_clock: true,
+            record: false,
+            threads: 1,
+        };
+        thread::scope(|s| {
+            let daemon = s.spawn(|| run_daemon(&engine, &opts, rx));
+            let mut conn = TcpConn::connect(addr).expect("connect");
+            conn.send(&Msg::Hello { client: 1 }).expect("hello");
+            match conn.recv().expect("ack") {
+                Msg::HelloAck { epoch_ns, .. } => assert_eq!(epoch_ns, 250_000_000),
+                other => panic!("expected HelloAck, got {other:?}"),
+            }
+            conn.send(&Msg::Open {
+                req: 1,
+                at_ns: 0,
+                duration_ns: 500_000_000,
+                app_code: "STK".into(),
+            })
+            .expect("open");
+            match conn.recv().expect("decision") {
+                Msg::Decision { req: 1, .. } => {}
+                other => panic!("expected Decision, got {other:?}"),
+            }
+            conn.send(&Msg::Seal {
+                at_ns: 1_000_000_000,
+            })
+            .expect("seal");
+            match conn.recv().expect("report") {
+                Msg::Report { json } => assert!(json.contains("pictor-serve/v1")),
+                other => panic!("expected Report, got {other:?}"),
+            }
+            let outcome = daemon.join().expect("daemon");
+            assert_eq!(outcome.report.ingress.opens, 1);
+            assert!(outcome.report.decisions_balance());
+        });
+        drop(accept); // accept thread exits when the process does
+    }
+}

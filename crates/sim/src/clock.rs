@@ -1,0 +1,144 @@
+//! The wall-clock / virtual-clock bridge.
+//!
+//! Offline simulation owns its clock: time is a [`SimTime`] the event loop
+//! advances. A *serving* process does not — requests arrive whenever the
+//! outside world sends them. [`SimClock`] bridges the two: a **wall** clock
+//! maps real elapsed time onto the simulation timeline (so a live daemon
+//! can stamp ingress events with `SimTime`s the deterministic core
+//! understands), while a **virtual** clock is advanced explicitly by the
+//! driver (so tests, load generators and journal replay run
+//! as-fast-as-possible and reproduce the exact same timestamps every run).
+//!
+//! The rule that keeps record/replay airtight: the clock is read **once**
+//! per ingress event, at stamping time, and the stamped value is what gets
+//! journaled — replay never consults a clock at all, it feeds the stamped
+//! stream back.
+
+use std::time::{Duration, Instant};
+
+use crate::time::SimTime;
+
+/// A monotone clock producing [`SimTime`]s, either bound to the host's
+/// wall clock or advanced explicitly.
+///
+/// ```
+/// use pictor_sim::{SimClock, SimTime};
+/// let mut clock = SimClock::virtual_start();
+/// assert_eq!(clock.now(), SimTime::ZERO);
+/// clock.advance_to(SimTime::from_secs(3));
+/// assert_eq!(clock.now(), SimTime::from_secs(3));
+/// // Advancing backwards is a no-op: the clock is monotone.
+/// clock.advance_to(SimTime::from_secs(1));
+/// assert_eq!(clock.now(), SimTime::from_secs(3));
+/// ```
+#[derive(Debug, Clone)]
+pub enum SimClock {
+    /// Real time: `now()` is the wall-clock span since `origin`.
+    Wall {
+        /// The instant that maps to `SimTime::ZERO`.
+        origin: Instant,
+    },
+    /// Driver-owned time: `now()` is whatever was last set.
+    Virtual {
+        /// The current instant.
+        now: SimTime,
+    },
+}
+
+impl SimClock {
+    /// A wall clock whose origin is this call.
+    pub fn wall_start() -> Self {
+        SimClock::Wall {
+            origin: Instant::now(),
+        }
+    }
+
+    /// A virtual clock at `SimTime::ZERO`.
+    pub fn virtual_start() -> Self {
+        SimClock::Virtual { now: SimTime::ZERO }
+    }
+
+    /// True for the driver-owned variant.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, SimClock::Virtual { .. })
+    }
+
+    /// The current instant on the simulation timeline. Wall reads are
+    /// monotone because `Instant` is; virtual reads return the last value
+    /// set by [`advance_to`](Self::advance_to).
+    pub fn now(&self) -> SimTime {
+        match self {
+            SimClock::Wall { origin } => {
+                SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            }
+            SimClock::Virtual { now } => *now,
+        }
+    }
+
+    /// Moves a virtual clock forward to `t` (backwards moves are ignored —
+    /// the clock never runs backwards). On a wall clock this is a no-op:
+    /// real time cannot be steered.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if let SimClock::Virtual { now } = self {
+            *now = (*now).max(t);
+        }
+    }
+
+    /// Blocks until the clock reads at least `t`: a wall clock sleeps the
+    /// remaining real time, a virtual clock jumps immediately. This is
+    /// what paces an open-loop load generator in wall mode while letting
+    /// the same code run flat-out under a virtual clock.
+    pub fn sleep_until(&mut self, t: SimTime) {
+        match self {
+            SimClock::Wall { origin } => {
+                let deadline = *origin + Duration::from_nanos(t.as_nanos());
+                let now = Instant::now();
+                if deadline > now {
+                    std::thread::sleep(deadline - now);
+                }
+            }
+            SimClock::Virtual { now } => *now = (*now).max(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_explicit_and_monotone() {
+        let mut c = SimClock::virtual_start();
+        assert!(c.is_virtual());
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_nanos(5_000_000));
+        assert_eq!(c.now().as_nanos(), 5_000_000);
+        c.advance_to(SimTime::from_nanos(1));
+        assert_eq!(c.now().as_nanos(), 5_000_000, "never runs backwards");
+        c.sleep_until(SimTime::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(1), "virtual sleep jumps");
+    }
+
+    #[test]
+    fn wall_clock_moves_forward_on_its_own() {
+        let mut c = SimClock::wall_start();
+        assert!(!c.is_virtual());
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a, "wall clock must advance with real time");
+        c.advance_to(SimTime::from_secs(100));
+        assert!(
+            c.now() < SimTime::from_secs(100),
+            "wall time cannot be steered"
+        );
+    }
+
+    #[test]
+    fn wall_sleep_until_reaches_the_deadline() {
+        let mut c = SimClock::wall_start();
+        let target = c.now() + crate::SimDuration::from_millis(3);
+        c.sleep_until(target);
+        assert!(c.now() >= target);
+    }
+}

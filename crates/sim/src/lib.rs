@@ -27,12 +27,14 @@
 //! assert_eq!(t, SimTime::from_nanos(1_000_000));
 //! ```
 
+pub mod clock;
 pub mod event;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use clock::SimClock;
 pub use event::{EventId, EventQueue, ShardedQueues};
 pub use resource::{FifoResource, JobId, PsResource};
 pub use rng::SeedTree;

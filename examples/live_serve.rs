@@ -1,0 +1,79 @@
+//! Live serving mode — daemon, swarm, and record/replay in one process.
+//!
+//! Spins up the `pictor-serve` control-plane daemon over the in-process
+//! channel transport (the same versioned frames as TCP, only the socket
+//! is elided), drives it with a `pictor-load`-style client swarm — a
+//! closed-loop population plus a flash crowd — on a virtual clock, then
+//! replays the recorded ingress journal through a fresh engine and
+//! proves the daemon report reproduces byte for byte.
+//!
+//! Run with: `cargo run --release --example live_serve`
+//! (set `PICTOR_SECS` to change the serving horizon).
+
+use pictor::serve::{decode_journal, replay, run_in_process, serve_engine, LoadSpec, ServeOptions};
+
+fn main() {
+    let secs = std::env::var("PICTOR_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10u64)
+        .clamp(2, 600);
+
+    // 1. A serving fleet: 8 servers x 4 slots, 250 ms control epochs,
+    //    a 16-deep admission lobby, sessions only from external clients.
+    let epochs = secs * 4;
+    let engine = serve_engine(8, 4, epochs, 250, 2020, 16);
+
+    // 2. The swarm: 500 closed-loop clients churning through sessions,
+    //    plus a 300-client flash crowd landing mid-run.
+    let mut spec = LoadSpec::closed(500, secs, 2020);
+    spec.flash_at_secs = secs / 2;
+    spec.flash_burst = 300;
+
+    println!("live serve: 8x4 slots, {epochs} epochs of 250 ms, 500 clients + 300 flash\n");
+    let opts = ServeOptions {
+        virtual_clock: true, // deterministic: clients stamp virtual time
+        record: true,        // journal the stamped ingress stream
+        threads: 4,
+    };
+    let run = run_in_process(&engine, &opts, &spec);
+
+    // 3. The two measurement planes. Client side: wall-clock truths.
+    let load = &run.load;
+    println!(
+        "swarm     {} requests in {:.0} ms ({:.0} round-trips/s wall)",
+        load.requests, load.wall_ms, load.achieved_rps
+    );
+    println!(
+        "admit lat p50 {:.1} us   p95 {:.1} us   p99 {:.1} us",
+        load.admit_p50_us, load.admit_p95_us, load.admit_p99_us
+    );
+    // Daemon side: the deterministic serving record.
+    let report = &run.outcome.report;
+    println!(
+        "decisions {} admitted  {} rejected  {} parked  (balance: {})",
+        report.ingress.admitted,
+        report.ingress.rejected,
+        report.ingress.parked,
+        report.decisions_balance()
+    );
+    println!(
+        "fleet     peak {} sessions  {:.1}% busy  fps p50 {:.1}  rtt p95 {:.1} ms",
+        report.peak_sessions,
+        report.utilization * 100.0,
+        report.fps_p50,
+        report.rtt_p95
+    );
+
+    // 4. Record/replay: the journal alone reproduces the daemon report.
+    let journal = run.outcome.journal.as_deref().expect("recording was on");
+    let events = decode_journal(journal).expect("own journal decodes");
+    let replayed = replay(&engine, &events, 4);
+    let identical = replayed.report.to_json() == report.to_json();
+    println!(
+        "\nreplay    {} journaled events ({} bytes) -> byte-identical report: {identical}",
+        events.len(),
+        journal.len()
+    );
+    assert!(identical, "replay must reproduce the live report");
+}

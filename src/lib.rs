@@ -31,4 +31,5 @@ pub use pictor_hw as hw;
 pub use pictor_ml as ml;
 pub use pictor_net as net;
 pub use pictor_render as render;
+pub use pictor_serve as serve;
 pub use pictor_sim as sim;
