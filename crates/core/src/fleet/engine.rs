@@ -207,6 +207,11 @@ pub struct FleetAudit {
 /// The online fleet runner. See the module docs for the execution model;
 /// [`FleetEngine::from_spec`] builds the configuration that reproduces a
 /// [`FleetSpec`] exactly.
+///
+/// Cloning is cheap-ish (configs and an `Arc`'d policy) and is how the
+/// serving layer partitions a fleet into independent core shards
+/// (`pictor_serve::shard_engines`).
+#[derive(Clone)]
 pub struct FleetEngine {
     /// Server groups, concatenated in order to form the fleet's server
     /// index space.

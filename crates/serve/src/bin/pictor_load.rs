@@ -13,7 +13,9 @@
 //!
 //! Swarm flags: `--clients N`, `--rate R` (open-loop req/s), `--ramp R2`
 //! (rate at the horizon), `--flash N@SECS`, `--secs S`, `--seed S`,
-//! `--poll-every N`, `--snapshot-every S`. In-process engine flags
+//! `--poll-every N`, `--snapshot-every S`, `--drivers N` (partition the
+//! population across N driver threads, one connection each), `--token
+//! TOK` (auth token for the daemon's `Hello`). In-process engine flags
 //! mirror `pictor-serve`: `--servers`, `--slots`, `--epochs`,
 //! `--epoch-ms`, `--queue`, `--threads`, plus `--record PATH` to write
 //! the daemon's ingress journal. `--out PATH` / `--csv PATH` write the
@@ -23,13 +25,20 @@
 //! plane can go — that *is* the measurement); `--addr` runs pace
 //! open-loop arrivals against the wall clock unless `--virtual` is
 //! given (matching a daemon started with `--virtual`).
+//!
+//! `--soak SECS` (requires `--addr`) is the wall-clock soak mode: drive
+//! the swarm against a live daemon for SECS real seconds, then *drain*
+//! it (seal admissions, flush the journal) before sealing — and assert
+//! the daemon's session directory stayed bounded by fleet capacity, the
+//! regression guard for the session-map leak.
 
 use std::time::Instant;
 
 use pictor_sim::SimClock;
 
 use pictor_serve::{
-    run_in_process, run_swarm, serve_engine, LoadReport, LoadSpec, ServeOptions, TcpConn,
+    run_in_process, run_swarm, run_swarm_threaded, serve_engine, LoadReport, LoadSpec,
+    ServeOptions, TcpConn,
 };
 
 fn master_seed() -> u64 {
@@ -107,6 +116,16 @@ fn main() {
     spec.snapshot_every_secs = parse("--snapshot-every", spec.snapshot_every_secs);
     spec.mean_session_secs = parse_f("--session-secs", spec.mean_session_secs);
     spec.mean_think_secs = parse_f("--think-secs", spec.mean_think_secs);
+    spec.drivers = parse("--drivers", 1) as usize;
+    spec.token = value("--token").unwrap_or_default();
+    let soak = value("--soak").map(|v| {
+        v.parse::<u64>()
+            .unwrap_or_else(|_| panic!("--soak wants seconds, got {v}"))
+    });
+    if let Some(secs) = soak {
+        assert!(secs > 0, "--soak wants a positive number of seconds");
+        spec.secs = secs;
+    }
     spec.validate();
 
     println!(
@@ -123,14 +142,30 @@ fn main() {
 
     let started = Instant::now();
     let report: LoadReport = if let Some(addr) = value("--addr") {
-        let mut conn = TcpConn::connect(&addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
-        let mut clock = if args.iter().any(|a| a == "--virtual") {
-            SimClock::virtual_start()
+        let virtual_pace = args.iter().any(|a| a == "--virtual");
+        if spec.drivers > 1 || soak.is_some() {
+            // Soak paces against the wall clock by definition; plain
+            // multi-driver runs honor --virtual.
+            run_swarm_threaded(
+                |_d| TcpConn::connect(&addr),
+                &spec,
+                virtual_pace && soak.is_none(),
+                "tcp",
+                soak.is_some(),
+            )
+            .unwrap_or_else(|e| panic!("swarm: {e}"))
         } else {
-            SimClock::wall_start()
-        };
-        run_swarm(&mut conn, &spec, &mut clock, "tcp").unwrap_or_else(|e| panic!("swarm: {e}"))
+            let mut conn =
+                TcpConn::connect(&addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+            let mut clock = if virtual_pace {
+                SimClock::virtual_start()
+            } else {
+                SimClock::wall_start()
+            };
+            run_swarm(&mut conn, &spec, &mut clock, "tcp").unwrap_or_else(|e| panic!("swarm: {e}"))
+        }
     } else {
+        assert!(soak.is_none(), "--soak drives a live daemon; pass --addr");
         let servers = parse("--servers", d_servers) as usize;
         let engine = serve_engine(
             servers,
@@ -144,6 +179,9 @@ fn main() {
             virtual_clock: true,
             record: value("--record").is_some(),
             threads: parse("--threads", 4) as usize,
+            shards: parse("--shards", 1) as usize,
+            token: (!spec.token.is_empty()).then(|| spec.token.clone()),
+            journal_path: None,
         };
         let run = run_in_process(&engine, &opts, &spec);
         if let (Some(path), Some(journal)) = (value("--record"), &run.outcome.journal) {
@@ -174,9 +212,21 @@ fn main() {
         report.achieved_rps,
     );
     println!(
-        "decisions: {} admitted, {} rejected, {} parked, {} past-horizon; peak resident {}",
-        report.admitted, report.rejected, report.parked, report.past_horizon, report.peak_resident,
+        "decisions: {} admitted, {} rejected, {} parked, {} past-horizon; peak resident {}, \
+         peak tracked {}",
+        report.admitted,
+        report.rejected,
+        report.parked,
+        report.past_horizon,
+        report.peak_resident,
+        report.peak_tracked,
     );
+    if report.drivers > 1 || report.stale_polls > 0 {
+        println!(
+            "swarm shape: {} driver(s), {} stale polls",
+            report.drivers, report.stale_polls
+        );
+    }
     println!(
         "admit latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us, max {:.1} us",
         report.admit_p50_us, report.admit_p95_us, report.admit_p99_us, report.admit_max_us,

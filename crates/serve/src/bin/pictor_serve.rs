@@ -1,28 +1,39 @@
 //! `pictor-serve` — the live control-plane daemon.
 //!
 //! Serves one fleet run over TCP: clients connect, open sessions, poll
-//! telemetry, and one of them eventually seals the run, at which point
-//! the daemon runs the data plane, writes its deterministic
-//! `pictor-serve/v1` report, and exits.
+//! telemetry, and one of them eventually seals (or drains, then seals)
+//! the run, at which point the daemon runs the data plane, writes its
+//! deterministic `pictor-serve/v1` report, and exits.
 //!
 //! ```text
 //! pictor-serve [--addr 127.0.0.1:9230] [--servers 16] [--slots 4]
 //!              [--epochs 120] [--epoch-ms 1000] [--queue N] [--seed S]
-//!              [--threads N] [--virtual] [--record PATH] [--out PATH]
+//!              [--threads N] [--shards N] [--auth-token TOK]
+//!              [--virtual] [--record PATH] [--out PATH]
 //! pictor-serve --replay PATH [engine flags...] [--out PATH]
 //! ```
 //!
 //! `--virtual` stamps ingress from client-supplied timestamps instead of
 //! the wall clock (deterministic serving for tests and recording runs).
-//! `--record PATH` journals the stamped ingress stream; `--replay PATH`
-//! feeds a journal back through a fresh engine — with the same engine
-//! flags, the replayed report is byte-identical to the recorded run's.
+//! `--shards N` partitions the fleet across N independent core shards
+//! behind a deterministic session-hash router (each fleet group must
+//! divide evenly). `--auth-token TOK` requires every connection to
+//! present the token in its `Hello`. `--record PATH` journals the
+//! stamped ingress stream *write-through*: every record hits the file
+//! before its effects apply, so a crashed daemon leaves at worst a torn
+//! tail. `--replay PATH` recovers the journal's clean prefix (reporting
+//! any truncation) and feeds it through a fresh engine — with the same
+//! engine flags, the replayed report is byte-identical to the recorded
+//! run's.
 
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::mpsc::channel;
 use std::thread;
 
-use pictor_serve::{decode_journal, replay, run_daemon, serve_engine, tcp_listen, ServeOptions};
+use pictor_serve::{
+    replay_with, run_daemon, serve_engine, tcp_listen, JournalReader, ServeOptions,
+};
 
 fn master_seed() -> u64 {
     std::env::var("PICTOR_SEED")
@@ -40,6 +51,8 @@ struct Flags {
     queue: usize,
     seed: u64,
     threads: usize,
+    shards: usize,
+    token: Option<String>,
     virtual_clock: bool,
     record: Option<String>,
     replay: Option<String>,
@@ -71,6 +84,8 @@ fn parse_flags() -> Flags {
         queue: parse("--queue", (servers * 2) as u64) as usize,
         seed: parse("--seed", master_seed()),
         threads: parse("--threads", 1) as usize,
+        shards: parse("--shards", 1) as usize,
+        token: value("--auth-token"),
         virtual_clock: args.iter().any(|a| a == "--virtual"),
         record: value("--record"),
         replay: value("--replay"),
@@ -91,25 +106,47 @@ fn main() {
 
     let outcome = if let Some(path) = &flags.replay {
         let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-        let events = decode_journal(&bytes).unwrap_or_else(|e| panic!("decode {path}: {e}"));
+        let recovered =
+            JournalReader::recover(&bytes).unwrap_or_else(|e| panic!("recover {path}: {e}"));
+        if recovered.truncated_bytes > 0 {
+            println!(
+                "pictor-serve: journal has a torn tail ({} bytes past the last complete \
+                 record); replaying the clean {}-byte prefix",
+                recovered.truncated_bytes, recovered.clean_len
+            );
+        }
         println!(
             "pictor-serve: replaying {} journaled events from {path}",
-            events.len()
+            recovered.entries.len()
         );
-        replay(&engine, &events, flags.threads)
+        // --virtual must echo the recording daemon's clock mode: the
+        // report records it (stamps always come from the journal).
+        let opts = ServeOptions {
+            virtual_clock: flags.virtual_clock,
+            threads: flags.threads,
+            shards: flags.shards,
+            ..ServeOptions::default()
+        };
+        replay_with(&engine, &opts, &recovered.entries)
     } else {
         let listener =
             TcpListener::bind(&flags.addr).unwrap_or_else(|e| panic!("bind {}: {e}", flags.addr));
         let addr = listener.local_addr().expect("local addr");
         println!(
-            "pictor-serve: {} servers x {} slots, {} epochs of {} ms, seed {}, listening on {addr} \
-             ({} clock)",
+            "pictor-serve: {} servers x {} slots, {} epochs of {} ms, seed {}, {} shard(s), \
+             auth {}, listening on {addr} ({} clock)",
             flags.servers,
             flags.slots,
             flags.epochs,
             flags.epoch_ms,
             flags.seed,
-            if flags.virtual_clock { "virtual" } else { "wall" },
+            flags.shards,
+            if flags.token.is_some() { "on" } else { "off" },
+            if flags.virtual_clock {
+                "virtual"
+            } else {
+                "wall"
+            },
         );
         let (tx, rx) = channel();
         thread::spawn(move || tcp_listen(listener, tx));
@@ -117,14 +154,19 @@ fn main() {
             virtual_clock: flags.virtual_clock,
             record: flags.record.is_some(),
             threads: flags.threads,
+            shards: flags.shards,
+            token: flags.token.clone(),
+            // Write-through: the journal file is appended before each
+            // event applies, so a crash mid-run loses at most a torn
+            // tail, never an applied-but-unjournaled event.
+            journal_path: flags.record.as_ref().map(PathBuf::from),
         };
         run_daemon(&engine, &opts, rx)
     };
 
     if let (Some(path), Some(journal)) = (&flags.record, &outcome.journal) {
-        std::fs::write(path, journal).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!(
-            "journal: {} events ({} bytes) -> {path}",
+            "journal: {} events ({} bytes) -> {path} (write-through)",
             outcome.report.ingress.journaled_events,
             journal.len()
         );
@@ -156,10 +198,23 @@ fn main() {
         outcome.report.rtt_p99,
     );
     let t = &outcome.transport;
-    if t.malformed_frames + t.clamped_timestamps + t.after_seal > 0 {
+    if t.malformed_frames
+        + t.clamped_timestamps
+        + t.after_seal
+        + t.unauthorized
+        + t.refused_draining
+        + t.unknown_sessions
+        > 0
+    {
         println!(
-            "transport: {} malformed frames, {} clamped timestamps, {} frames after seal",
-            t.malformed_frames, t.clamped_timestamps, t.after_seal
+            "transport: {} malformed frames, {} clamped timestamps, {} frames after seal, \
+             {} unauthorized, {} refused draining, {} unknown-session polls",
+            t.malformed_frames,
+            t.clamped_timestamps,
+            t.after_seal,
+            t.unauthorized,
+            t.refused_draining,
+            t.unknown_sessions
         );
     }
     assert!(

@@ -1,37 +1,63 @@
-//! The control-plane daemon: a deterministic core behind a thin transport
-//! shim.
+//! The control-plane daemon: a deterministic sharded core behind a thin
+//! transport shim.
 //!
 //! # Execution model
 //!
-//! One thread owns the [`FleetEngine`]'s live state ([`ServeCore`]) and
-//! consumes an mpsc ingress queue of [`DaemonMsg`]s. Transports — TCP
-//! reader threads or the in-process channel — only move bytes; every
-//! decision happens on the core thread in arrival order. That single
-//! serialization point is what makes the journal authoritative: the
-//! stamped ingress sequence *is* the run.
+//! One thread owns the serving state ([`ServeCore`]: N per-shard
+//! [`LiveFleet`]s behind a session-hash router) and consumes an mpsc
+//! ingress queue of [`DaemonMsg`]s. Transports — TCP reader threads or
+//! the in-process channel — only move bytes; every decision happens on
+//! the core thread in arrival order. That single serialization point is
+//! what makes the journal authoritative: the stamped ingress sequence
+//! *is* the run.
 //!
 //! # Determinism boundary
 //!
 //! [`ServeCore::handle_frame`] splits each ingress frame into two halves:
 //! a **stamping** half (wall/virtual clock read, monotone clamp — the only
 //! nondeterministic step, whose output is journaled) and an **apply** half
-//! ([`ServeCore::apply`]) that is a pure function of the stamped event.
-//! Replay skips stamping entirely and drives `apply` straight from the
-//! journal, which is why a replayed [`ServeReport`] is byte-identical to
-//! the live one (`tests/serve_replay.rs`).
+//! ([`ServeCore::apply_entry`]) that is a pure function of the stamped,
+//! shard-routed event. Replay skips stamping entirely and drives
+//! `apply_entry` straight from the journal, which is why a replayed
+//! [`ServeReport`] is byte-identical to the live one
+//! (`tests/serve_replay.rs`).
+//!
+//! # Sharding
+//!
+//! With `shards = N`, the base engine is partitioned into N equal
+//! sub-fleets ([`shard_engines`]); `Open`s are routed by a
+//! connection/request hash, `Poll`s by their session id, and snapshots
+//! and the seal broadcast to every shard. Session ids are globalized as
+//! `local * N + shard`, server ids through a per-shard index map, and the
+//! shard assignment of every routed event is recorded in the journal so
+//! replay never re-derives it. With `shards = 1` nothing changes: no
+//! markers are written and the journal and report stay byte-identical to
+//! the unsharded daemon.
+//!
+//! # Lifecycle
+//!
+//! A `Drain` frame seals admissions (later `Open`s get
+//! `Error { Draining }`), flushes the journal to stable storage and
+//! answers with `DrainAck`; polls, snapshots and the final `Seal` keep
+//! working. A fresh daemon restarts from any clean journal prefix via
+//! [`run_daemon_from`], which replays the prefix through the apply path
+//! before consuming live ingress — the handover primitive
+//! `tests/serve_drain.rs` proves byte-deterministic.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::Write;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender};
 
 use pictor_apps::AppId;
-use pictor_core::fleet::{Admission, FleetAudit, FleetEngine, FleetReport, LiveFleet};
+use pictor_core::fleet::{Admission, FleetEngine, LiveFleet};
 use pictor_sim::SimClock;
 
-use crate::journal::{IngressEvent, JournalWriter};
+use crate::journal::{IngressEvent, JournalEntry, JournalWriter};
 use crate::protocol::{ErrCode, Msg, Outcome, PROTOCOL_VERSION};
-use crate::report::{IngressCounters, ServeReport};
+use crate::report::{IngressCounters, ServeReport, ShardOutcome};
 
 /// Where a connection's reply frames go. The daemon thread writes
 /// synchronously: for TCP that hands the frame to the kernel's socket
@@ -95,6 +121,16 @@ pub struct ServeOptions {
     pub record: bool,
     /// Data-plane threads at seal.
     pub threads: usize,
+    /// Core shards behind the session-hash router. Every group's server
+    /// count must divide evenly; 1 reproduces the unsharded daemon byte
+    /// for byte.
+    pub shards: usize,
+    /// Auth token clients must present in `Hello` (compared
+    /// constant-time); `None` disables auth.
+    pub token: Option<String>,
+    /// Write the journal through to this file record-by-record (implies
+    /// `record`), so a killed daemon leaves a recoverable prefix on disk.
+    pub journal_path: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -103,13 +139,17 @@ impl Default for ServeOptions {
             virtual_clock: false,
             record: false,
             threads: 1,
+            shards: 1,
+            token: None,
+            journal_path: None,
         }
     }
 }
 
 /// Transport-layer mishap counters. Diagnostics only: these are *not*
-/// part of [`ServeReport`] because they cannot be reproduced from the
-/// journal (see the report module docs).
+/// part of [`ServeReport`] because they either cannot be reproduced from
+/// the journal or (like `unknown_sessions`) arrived after the report
+/// schema froze (see the report module docs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Frames that failed to decode (answered with `Msg::Error`).
@@ -118,63 +158,195 @@ pub struct TransportStats {
     pub clamped_timestamps: u64,
     /// Frames arriving after the run sealed.
     pub after_seal: u64,
+    /// Frames refused for a missing or wrong auth token.
+    pub unauthorized: u64,
+    /// `Open`s refused because the daemon was draining.
+    pub refused_draining: u64,
+    /// `Poll`s answered with `ErrCode::UnknownSession` (never admitted,
+    /// or already expired out of the routing directory).
+    pub unknown_sessions: u64,
 }
 
 /// Everything a sealed run produces.
 #[derive(Debug)]
 pub struct ServeOutcome {
-    /// The deterministic daemon report.
+    /// The deterministic daemon report (merged across shards).
     pub report: ServeReport,
-    /// The sealed fleet report (FPS/RTT tails, utilization, SLOs).
-    pub fleet: FleetReport,
-    /// The invariant-checking audit trace.
-    pub audit: FleetAudit,
+    /// Per-shard sealed fleet reports + invariant-checking audit traces,
+    /// indexed by shard (a single entry for an unsharded daemon).
+    pub shards: Vec<ShardOutcome>,
     /// The recorded journal bytes (when recording was on).
     pub journal: Option<Vec<u8>>,
     /// Transport diagnostics.
     pub transport: TransportStats,
 }
 
-/// The deterministic serving core: a [`LiveFleet`] plus the ingress
-/// ledger, session directory and optional journal.
-pub struct ServeCore<'a> {
-    engine: &'a FleetEngine,
+/// Partitions `base` into `shards` equal sub-fleets: every group's
+/// servers are divided evenly and each shard past 0 gets a decorrelated
+/// seed. Shard 0 of a 1-way split *is* the base engine — the identity the
+/// goldens rely on.
+///
+/// # Panics
+///
+/// Panics when any group's server count is not divisible by `shards`, or
+/// `shards` is zero.
+pub fn shard_engines(base: &FleetEngine, shards: usize) -> Vec<FleetEngine> {
+    assert!(shards > 0, "need at least one core shard");
+    (0..shards)
+        .map(|s| {
+            let mut e = base.clone();
+            for g in &mut e.groups {
+                assert!(
+                    g.servers % shards == 0,
+                    "group '{}' has {} servers, not divisible by {shards} shards",
+                    g.label,
+                    g.servers
+                );
+                g.servers /= shards;
+            }
+            // Golden-gamma decorrelation; s = 0 XORs with 0, keeping the
+            // base seed (and thus the single-shard goldens) untouched.
+            e.seed = base.seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            e
+        })
+        .collect()
+}
+
+/// FNV-1a over the (connection, request) pair: the `Open` router hash.
+fn route_hash(conn: u32, req: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in conn.to_le_bytes().into_iter().chain(req.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Constant-time byte comparison for auth tokens: no early exit on the
+/// first mismatching byte (content never short-circuits; only the length
+/// check branches, and lengths are not secret).
+fn token_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut diff = (a.len() != b.len()) as u8;
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// One shard's deterministic serving state: a [`LiveFleet`] plus the
+/// session routing directory and its expiry heap. All ids are
+/// shard-local; the router globalizes them.
+struct ShardCore<'a> {
     live: LiveFleet<'a>,
+    /// local session id → (local server, end time ns). Pruned on every
+    /// stamped event that touches the shard — the directory is bounded by
+    /// concurrently-resident sessions, not by run length.
+    sessions: HashMap<u64, (usize, u64)>,
+    /// Min-heap of (end_ns, local session) driving the pruning.
+    expiries: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl<'a> ShardCore<'a> {
+    fn new(engine: &'a FleetEngine) -> Self {
+        ShardCore {
+            live: engine.live(),
+            sessions: HashMap::new(),
+            expiries: BinaryHeap::new(),
+        }
+    }
+
+    /// Evicts every directory entry whose session ended at or before
+    /// `at_ns`. Deterministic: a pure function of the stamped stream.
+    fn prune(&mut self, at_ns: u64) {
+        while let Some(&Reverse((end_ns, session))) = self.expiries.peek() {
+            if end_ns > at_ns {
+                break;
+            }
+            self.expiries.pop();
+            self.sessions.remove(&session);
+        }
+    }
+}
+
+/// The deterministic serving core: the shard router, the ingress ledger,
+/// per-shard [`ShardCore`]s and the optional journal.
+pub struct ServeCore<'a> {
+    cores: Vec<ShardCore<'a>>,
     clock: SimClock,
     virtual_clock: bool,
     last_ns: u64,
     counters: IngressCounters,
     transport: TransportStats,
-    /// session id → admitted server (telemetry routing; migration may
-    /// move a session elsewhere, in which case polls report zeros).
-    sessions: HashMap<u64, usize>,
     journal: Option<JournalWriter>,
     sealed: bool,
+    draining: bool,
+    /// Connections that presented a valid token (everyone, when auth is
+    /// off).
+    authed: HashSet<u32>,
+    token: Option<String>,
+    /// shard → local server index → global server index.
+    server_maps: Vec<Vec<u64>>,
+    epoch_ns: u64,
+    epochs: u64,
+    total_servers: u64,
+    slots_per_server: u64,
 }
 
 impl<'a> ServeCore<'a> {
-    /// Opens `engine` for serving.
+    /// Opens the sharded engines for serving. `engines` comes from
+    /// [`shard_engines`] on the base engine; pass a single engine for the
+    /// classic unsharded daemon.
     ///
     /// # Panics
     ///
     /// Panics on the same engine-validation failures as
-    /// [`FleetEngine::live`].
-    pub fn new(engine: &'a FleetEngine, virtual_clock: bool, record: bool) -> Self {
+    /// [`FleetEngine::live`], or when `engines` is empty.
+    pub fn new(engines: &'a [FleetEngine], opts: &ServeOptions) -> Self {
+        assert!(!engines.is_empty(), "need at least one shard engine");
+        let shards = engines.len();
+        let cores: Vec<ShardCore<'a>> = engines.iter().map(ShardCore::new).collect();
+        // Global index space = base groups concatenated; shard s owns the
+        // contiguous [s*per, (s+1)*per) span of each group.
+        let mut server_maps = vec![Vec::new(); shards];
+        let mut group_base = 0u64;
+        for g in 0..engines[0].groups.len() {
+            let per = engines[0].groups[g].servers as u64;
+            for (s, map) in server_maps.iter_mut().enumerate() {
+                for lo in 0..per {
+                    map.push(group_base + s as u64 * per + lo);
+                }
+            }
+            group_base += per * shards as u64;
+        }
+        let journal = if let Some(path) = &opts.journal_path {
+            Some(JournalWriter::with_file(path).expect("open journal file"))
+        } else {
+            opts.record.then(JournalWriter::new)
+        };
         ServeCore {
-            engine,
-            live: engine.live(),
-            clock: if virtual_clock {
+            epoch_ns: cores[0].live.epoch_ns(),
+            epochs: engines[0].epochs,
+            total_servers: engines.iter().map(|e| e.total_servers() as u64).sum(),
+            slots_per_server: engines[0].slots_per_server as u64,
+            cores,
+            clock: if opts.virtual_clock {
                 SimClock::virtual_start()
             } else {
                 SimClock::wall_start()
             },
-            virtual_clock,
+            virtual_clock: opts.virtual_clock,
             last_ns: 0,
             counters: IngressCounters::default(),
             transport: TransportStats::default(),
-            sessions: HashMap::new(),
-            journal: record.then(JournalWriter::new),
+            journal,
             sealed: false,
+            draining: false,
+            authed: HashSet::new(),
+            token: opts.token.clone(),
+            server_maps,
         }
     }
 
@@ -195,6 +367,25 @@ impl<'a> ServeCore<'a> {
             self.last_ns = t;
             t
         }
+    }
+
+    fn shards(&self) -> u64 {
+        self.cores.len() as u64
+    }
+
+    /// Sessions currently tracked across every shard's routing directory.
+    fn tracked(&self) -> u64 {
+        self.cores.iter().map(|c| c.sessions.len() as u64).sum()
+    }
+
+    /// Drops per-connection state (auth) when a transport hangs up.
+    pub fn forget_conn(&mut self, conn: u32) {
+        self.authed.remove(&conn);
+    }
+
+    /// True once a `Drain` sealed admissions.
+    pub fn draining(&self) -> bool {
+        self.draining
     }
 
     /// Handles one decoded frame body from `conn`, pushing replies onto
@@ -226,15 +417,64 @@ impl<'a> ServeCore<'a> {
             ));
             return false;
         }
-        match msg {
-            Msg::Hello { .. } => {
+        // Auth gate: every frame except the handshake itself needs a
+        // previously accepted Hello when a token is configured. Refused
+        // frames never reach stamping, so they leave no journal trace.
+        if let Msg::Hello { client: _, token } = &msg {
+            let ok = match &self.token {
+                Some(want) => token_eq(want, token),
+                None => true,
+            };
+            if ok {
+                self.authed.insert(conn);
                 out.push((
                     conn,
                     Msg::HelloAck {
                         protocol: PROTOCOL_VERSION,
-                        epoch_ns: self.live.epoch_ns(),
-                        epochs: self.engine.epochs,
-                        servers: self.engine.total_servers() as u64,
+                        epoch_ns: self.epoch_ns,
+                        epochs: self.epochs,
+                        servers: self.total_servers,
+                        slots: self.slots_per_server,
+                        shards: self.shards(),
+                    },
+                ));
+            } else {
+                self.transport.unauthorized += 1;
+                out.push((
+                    conn,
+                    Msg::Error {
+                        code: ErrCode::Unauthorized,
+                        detail: "bad auth token".into(),
+                    },
+                ));
+            }
+            return false;
+        }
+        if self.token.is_some() && !self.authed.contains(&conn) {
+            self.transport.unauthorized += 1;
+            out.push((
+                conn,
+                Msg::Error {
+                    code: ErrCode::Unauthorized,
+                    detail: "say Hello with the auth token first".into(),
+                },
+            ));
+            return false;
+        }
+        match msg {
+            Msg::Hello { .. } => unreachable!("handled above"),
+            Msg::Drain { at_ns: _ } => {
+                // Router-level, never journaled: the journal simply ends
+                // at a clean prefix. Idempotent.
+                self.draining = true;
+                if let Some(j) = self.journal.as_mut() {
+                    j.flush().expect("journal flush on drain");
+                }
+                out.push((
+                    conn,
+                    Msg::DrainAck {
+                        journaled_events: self.counters.journaled_events,
+                        tracked: self.tracked(),
                     },
                 ));
                 false
@@ -245,36 +485,67 @@ impl<'a> ServeCore<'a> {
                 duration_ns,
                 app_code,
             } => {
-                let at_ns = self.stamp(at_ns);
-                self.apply(
-                    &IngressEvent::Open {
+                if self.draining {
+                    self.transport.refused_draining += 1;
+                    out.push((
                         conn,
-                        req,
-                        at_ns,
-                        duration_ns,
-                        app_code,
+                        Msg::Error {
+                            code: ErrCode::Draining,
+                            detail: "daemon is draining; admissions sealed".into(),
+                        },
+                    ));
+                    return false;
+                }
+                let at_ns = self.stamp(at_ns);
+                let shard = (route_hash(conn, req) % self.shards()) as u16;
+                self.apply_entry(
+                    &JournalEntry {
+                        shard,
+                        event: IngressEvent::Open {
+                            conn,
+                            req,
+                            at_ns,
+                            duration_ns,
+                            app_code,
+                        },
                     },
                     out,
                 )
             }
             Msg::Poll { at_ns, session } => {
                 let at_ns = self.stamp(at_ns);
-                self.apply(
-                    &IngressEvent::Poll {
-                        conn,
-                        at_ns,
-                        session,
+                let shard = (session % self.shards()) as u16;
+                self.apply_entry(
+                    &JournalEntry {
+                        shard,
+                        event: IngressEvent::Poll {
+                            conn,
+                            at_ns,
+                            session,
+                        },
                     },
                     out,
                 )
             }
             Msg::Snapshot { at_ns } => {
                 let at_ns = self.stamp(at_ns);
-                self.apply(&IngressEvent::Snapshot { conn, at_ns }, out)
+                self.apply_entry(
+                    &JournalEntry {
+                        shard: 0,
+                        event: IngressEvent::Snapshot { conn, at_ns },
+                    },
+                    out,
+                )
             }
             Msg::Seal { at_ns } => {
                 let at_ns = self.stamp(at_ns);
-                self.apply(&IngressEvent::Seal { conn, at_ns }, out)
+                self.apply_entry(
+                    &JournalEntry {
+                        shard: 0,
+                        event: IngressEvent::Seal { conn, at_ns },
+                    },
+                    out,
+                )
             }
             // Daemon-to-client messages arriving at the daemon are a
             // protocol violation.
@@ -282,6 +553,7 @@ impl<'a> ServeCore<'a> {
             | Msg::Decision { .. }
             | Msg::Telemetry { .. }
             | Msg::SnapshotRep { .. }
+            | Msg::DrainAck { .. }
             | Msg::Report { .. }
             | Msg::Error { .. } => {
                 self.transport.malformed_frames += 1;
@@ -297,15 +569,17 @@ impl<'a> ServeCore<'a> {
         }
     }
 
-    /// Applies one **stamped** ingress event — the deterministic half of
-    /// the daemon, shared verbatim by the live path and journal replay.
-    /// Returns `true` on seal.
-    pub fn apply(&mut self, ev: &IngressEvent, out: &mut Vec<(u32, Msg)>) -> bool {
+    /// Applies one **stamped, routed** ingress entry — the deterministic
+    /// half of the daemon, shared verbatim by the live path, journal
+    /// replay and handover restarts. Returns `true` on seal.
+    pub fn apply_entry(&mut self, entry: &JournalEntry, out: &mut Vec<(u32, Msg)>) -> bool {
         if let Some(j) = self.journal.as_mut() {
-            j.record(ev);
+            j.record_routed(entry.shard, &entry.event);
             self.counters.journaled_events += 1;
         }
-        match ev {
+        let nshards = self.shards();
+        self.last_ns = self.last_ns.max(entry.event.at_ns());
+        match &entry.event {
             IngressEvent::Open {
                 conn,
                 req,
@@ -319,7 +593,9 @@ impl<'a> ServeCore<'a> {
                     out.push((*conn, decision(*req, Outcome::UnknownApp)));
                     return false;
                 };
-                let msg = match self.live.offer_arrival(*at_ns, id.spec(), *duration_ns) {
+                let core = &mut self.cores[entry.shard as usize];
+                core.prune(*at_ns);
+                let msg = match core.live.offer_arrival(*at_ns, id.spec(), *duration_ns) {
                     Admission::Admitted {
                         session,
                         server,
@@ -327,12 +603,14 @@ impl<'a> ServeCore<'a> {
                         end_epoch,
                     } => {
                         self.counters.admitted += 1;
-                        self.sessions.insert(session, server);
+                        let end_ns = end_epoch.saturating_mul(self.epoch_ns);
+                        core.sessions.insert(session, (server, end_ns));
+                        core.expiries.push(Reverse((end_ns, session)));
                         Msg::Decision {
                             req: *req,
                             outcome: Outcome::Admitted,
-                            session,
-                            server: server as u64,
+                            session: session * nshards + entry.shard as u64,
+                            server: self.server_maps[entry.shard as usize][server],
                             start_epoch,
                             end_epoch,
                         }
@@ -359,47 +637,87 @@ impl<'a> ServeCore<'a> {
                 session,
             } => {
                 self.counters.polls += 1;
-                self.live.step_to(*at_ns);
-                let epoch = (*at_ns / self.live.epoch_ns()).min(self.engine.epochs - 1);
-                let sample = self.sessions.get(session).and_then(|&server| {
-                    self.live
-                        .server_telemetry(server, epoch)
-                        .into_iter()
-                        .find(|t| t.session == *session)
-                });
-                let msg = match sample {
-                    Some(t) => Msg::Telemetry {
-                        session: *session,
-                        epoch,
-                        fps: t.fps,
-                        rtt_ms: t.rtt_ms,
-                    },
-                    None => Msg::Telemetry {
-                        session: *session,
-                        epoch,
-                        fps: 0.0,
-                        rtt_ms: 0.0,
-                    },
+                let local = session / nshards;
+                let core = &mut self.cores[entry.shard as usize];
+                core.live.step_to(*at_ns);
+                core.prune(*at_ns);
+                let epoch = (*at_ns / self.epoch_ns).min(self.epochs - 1);
+                let msg = match core.sessions.get(&local) {
+                    None => {
+                        // Never admitted, or expired out of the
+                        // directory: a typed error, not a fabricated
+                        // idle sample.
+                        self.transport.unknown_sessions += 1;
+                        Msg::Error {
+                            code: ErrCode::UnknownSession,
+                            detail: format!("session {session} unknown or expired"),
+                        }
+                    }
+                    Some(&(server, _)) => {
+                        let sample = core
+                            .live
+                            .server_telemetry(server, epoch)
+                            .into_iter()
+                            .find(|t| t.session == local);
+                        match sample {
+                            Some(t) => Msg::Telemetry {
+                                session: *session,
+                                epoch,
+                                fps: t.fps,
+                                rtt_ms: t.rtt_ms,
+                            },
+                            // Resident but not sampled at this server
+                            // (e.g. migrated away): zeros, as before.
+                            None => Msg::Telemetry {
+                                session: *session,
+                                epoch,
+                                fps: 0.0,
+                                rtt_ms: 0.0,
+                            },
+                        }
+                    }
                 };
                 out.push((*conn, msg));
                 false
             }
             IngressEvent::Snapshot { conn, at_ns } => {
                 self.counters.snapshots += 1;
-                self.live.step_to(*at_ns);
-                let s = self.live.snapshot();
-                out.push((
-                    *conn,
-                    Msg::SnapshotRep {
-                        epoch: s.epoch,
-                        offered: s.offered,
-                        admitted: s.admitted,
-                        rejected: s.rejected,
-                        queued_now: s.queued_now as u64,
-                        serving: s.serving_servers as u64,
-                        resident: s.resident_sessions as u64,
-                    },
-                ));
+                let mut rep = Msg::SnapshotRep {
+                    epoch: 0,
+                    offered: 0,
+                    admitted: 0,
+                    rejected: 0,
+                    queued_now: 0,
+                    serving: 0,
+                    resident: 0,
+                    tracked: 0,
+                };
+                for core in &mut self.cores {
+                    core.live.step_to(*at_ns);
+                    core.prune(*at_ns);
+                    let s = core.live.snapshot();
+                    if let Msg::SnapshotRep {
+                        epoch,
+                        offered,
+                        admitted,
+                        rejected,
+                        queued_now,
+                        serving,
+                        resident,
+                        tracked,
+                    } = &mut rep
+                    {
+                        *epoch = s.epoch;
+                        *offered += s.offered;
+                        *admitted += s.admitted;
+                        *rejected += s.rejected;
+                        *queued_now += s.queued_now as u64;
+                        *serving += s.serving_servers as u64;
+                        *resident += s.resident_sessions as u64;
+                        *tracked += core.sessions.len() as u64;
+                    }
+                }
+                out.push((*conn, rep));
                 false
             }
             IngressEvent::Seal { .. } => {
@@ -409,15 +727,21 @@ impl<'a> ServeCore<'a> {
         }
     }
 
-    /// Seals the run: drains the fleet, runs the data plane, and builds
-    /// the deterministic report.
+    /// Seals the run: drains every shard's fleet, runs the data plane,
+    /// and builds the merged deterministic report.
     pub fn seal(self, threads: usize) -> ServeOutcome {
-        let (fleet, audit) = self.live.finish(threads);
-        let report = ServeReport::new(self.counters, self.virtual_clock, &fleet, &audit);
+        let shards: Vec<ShardOutcome> = self
+            .cores
+            .into_iter()
+            .map(|c| {
+                let (fleet, audit) = c.live.finish(threads);
+                ShardOutcome { fleet, audit }
+            })
+            .collect();
+        let report = ServeReport::merged(self.counters, self.virtual_clock, &shards);
         ServeOutcome {
             report,
-            fleet,
-            audit,
+            shards,
             journal: self.journal.map(JournalWriter::into_bytes),
             transport: self.transport,
         }
@@ -445,30 +769,61 @@ pub fn run_daemon(
     opts: &ServeOptions,
     rx: Receiver<DaemonMsg>,
 ) -> ServeOutcome {
+    run_daemon_from(engine, opts, rx, &[])
+}
+
+/// [`run_daemon`], but restarted from a previously recorded journal
+/// `prefix` (the drain/handover path): the prefix replays through the
+/// deterministic apply path — re-recording it when recording is on — and
+/// only then does the daemon consume live ingress. With recording off the
+/// journaled-events ledger mirrors [`replay`] so a restart-and-seal is
+/// byte-identical to an uninterrupted replay of the same prefix.
+pub fn run_daemon_from(
+    engine: &FleetEngine,
+    opts: &ServeOptions,
+    rx: Receiver<DaemonMsg>,
+    prefix: &[JournalEntry],
+) -> ServeOutcome {
     assert!(opts.threads > 0, "need at least one data-plane thread");
-    let mut core = ServeCore::new(engine, opts.virtual_clock, opts.record);
-    let mut conns: HashMap<u32, ReplySink> = HashMap::new();
+    let engines = shard_engines(engine, opts.shards);
+    let mut core = ServeCore::new(&engines, opts);
     let mut out: Vec<(u32, Msg)> = Vec::new();
+    let mut sealed_by_prefix = false;
+    for entry in prefix {
+        // Replies went to connections of the previous daemon: discard.
+        out.clear();
+        if core.apply_entry(entry, &mut out) {
+            sealed_by_prefix = true;
+            break;
+        }
+    }
+    if core.journal.is_none() {
+        core.counters.journaled_events = prefix.len() as u64;
+    }
+    let mut conns: HashMap<u32, ReplySink> = HashMap::new();
     let mut seal_conn = None;
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            DaemonMsg::Connect { conn, sink } => {
-                conns.insert(conn, sink);
-            }
-            DaemonMsg::Hangup { conn } => {
-                conns.remove(&conn);
-            }
-            DaemonMsg::Frame { conn, body } => {
-                out.clear();
-                let sealed = core.handle_frame(conn, &body, &mut out);
-                for (c, m) in out.drain(..) {
-                    if let Some(sink) = conns.get_mut(&c) {
-                        sink.send(m.encode_frame());
-                    }
+    if !sealed_by_prefix {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                DaemonMsg::Connect { conn, sink } => {
+                    conns.insert(conn, sink);
                 }
-                if sealed {
-                    seal_conn = Some(conn);
-                    break;
+                DaemonMsg::Hangup { conn } => {
+                    conns.remove(&conn);
+                    core.forget_conn(conn);
+                }
+                DaemonMsg::Frame { conn, body } => {
+                    out.clear();
+                    let sealed = core.handle_frame(conn, &body, &mut out);
+                    for (c, m) in out.drain(..) {
+                        if let Some(sink) = conns.get_mut(&c) {
+                            sink.send(m.encode_frame());
+                        }
+                    }
+                    if sealed {
+                        seal_conn = Some(conn);
+                        break;
+                    }
                 }
             }
         }
@@ -485,30 +840,75 @@ pub fn run_daemon(
     outcome
 }
 
-/// Replays a decoded journal through a fresh core: the deterministic
-/// `apply` path only — no clock, no stamping. The resulting
-/// [`ServeReport`] is byte-identical to the recording run's.
+/// Replays a decoded journal through a fresh sharded core: the
+/// deterministic `apply_entry` path only — no clock, no stamping, no
+/// routing (the recorded shard assignments are authoritative). The
+/// resulting [`ServeReport`] is byte-identical to the recording run's
+/// when `shards` matches it.
+///
+/// Assumes the recording daemon ran on a virtual clock (the
+/// configuration every test and the committed golden use); a journal
+/// recorded under a wall clock replays identically through
+/// [`replay_with`] with `virtual_clock: false`, which only changes the
+/// report's clock label — the stamps come from the journal either way.
 ///
 /// # Panics
 ///
 /// Panics if the journal's timestamps are not nondecreasing (journals
-/// written by [`JournalWriter`] always are) or on engine-validation
-/// failures.
-pub fn replay(engine: &FleetEngine, events: &[IngressEvent], threads: usize) -> ServeOutcome {
-    let mut core = ServeCore::new(engine, true, false);
-    // Mirror the recording run's ledger: it counted every event it wrote.
-    core.counters.journaled_events = events.len() as u64;
+/// written by [`JournalWriter`] always are), an entry names a shard ≥
+/// `shards`, or on engine-validation failures.
+pub fn replay(
+    engine: &FleetEngine,
+    shards: usize,
+    entries: &[JournalEntry],
+    threads: usize,
+) -> ServeOutcome {
+    replay_with(
+        engine,
+        &ServeOptions {
+            virtual_clock: true,
+            threads,
+            shards,
+            ..ServeOptions::default()
+        },
+        entries,
+    )
+}
+
+/// [`replay`] with explicit [`ServeOptions`]: `opts.virtual_clock` must
+/// echo the recording daemon's clock mode for byte-identity (the report
+/// records it), `opts.record`/`opts.journal_path` re-journal the replay
+/// if set, and `opts.shards` must match the recording layout.
+pub fn replay_with(
+    engine: &FleetEngine,
+    opts: &ServeOptions,
+    entries: &[JournalEntry],
+) -> ServeOutcome {
+    let shards = opts.shards;
+    let threads = opts.threads;
+    let engines = shard_engines(engine, shards);
+    let mut core = ServeCore::new(&engines, opts);
+    // Mirror the recording run's ledger: it counted every event it
+    // wrote. (When re-journaling, `apply_entry` counts as it writes.)
+    if core.journal.is_none() {
+        core.counters.journaled_events = entries.len() as u64;
+    }
     let mut out = Vec::new();
     let mut last = 0u64;
-    for ev in events {
+    for entry in entries {
         assert!(
-            ev.at_ns() >= last,
-            "journal timestamps must be nondecreasing ({} < {last})",
-            ev.at_ns()
+            (entry.shard as usize) < shards,
+            "journal routes to shard {} but the daemon has {shards}",
+            entry.shard
         );
-        last = ev.at_ns();
+        assert!(
+            entry.event.at_ns() >= last,
+            "journal timestamps must be nondecreasing ({} < {last})",
+            entry.event.at_ns()
+        );
+        last = entry.event.at_ns();
         out.clear();
-        if core.apply(ev, &mut out) {
+        if core.apply_entry(entry, &mut out) {
             break;
         }
     }

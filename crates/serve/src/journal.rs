@@ -15,6 +15,30 @@
 //! event reusing the wire framing rules ([`MAX_FRAME_BYTES`] bound, LE
 //! integers, `u16`-prefixed strings). Events are stored with their final
 //! **stamped** timestamps — replay never consults a clock.
+//!
+//! # Shard routing
+//!
+//! When the daemon runs more than one core shard, each `Open`/`Poll`
+//! event's shard assignment is recorded as an `EV_SHARD` marker record
+//! *preceding* the event it routes (broadcast events — snapshots, the
+//! seal — carry no marker). Markers are only written for shard ≠ 0, so a
+//! single-shard daemon's journal is byte-identical to the pre-shard
+//! format and old journals decode as all-shard-0 streams.
+//!
+//! # Crash recovery
+//!
+//! A file-backed journal appends records as they are stamped; a daemon
+//! killed mid-write leaves a *truncated trailing record* (a partial
+//! length prefix or a short payload). [`JournalReader`] stops cleanly at
+//! the last complete record and reports the truncation, so the clean
+//! prefix replays — the primitive drain/handover restarts build on.
+//! Structural corruption (bad magic, an oversized or zero length, an
+//! undecodable complete record) is still a hard error: missing tail
+//! bytes are survivable, scrambled middles are not.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
 
 use crate::protocol::{put_str, put_u32, put_u64, put_u8, Cursor, WireError, MAX_FRAME_BYTES};
 
@@ -25,6 +49,9 @@ const EV_OPEN: u8 = 1;
 const EV_POLL: u8 = 2;
 const EV_SNAPSHOT: u8 = 3;
 const EV_SEAL: u8 = 4;
+/// Routing marker: a 2-byte shard index that applies to the next event
+/// record. Absent for shard 0 (and thus from every single-shard journal).
+const EV_SHARD: u8 = 5;
 
 /// One stamped ingress event — everything the deterministic core consumes.
 ///
@@ -153,11 +180,26 @@ impl IngressEvent {
     }
 }
 
-/// An in-memory journal being recorded: magic header plus framed events.
-#[derive(Debug, Clone)]
+/// One routed journal entry: the stamped event plus the core shard it
+/// was dispatched to. Single-shard journals decode with `shard == 0`
+/// throughout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The core shard the event was routed to (0 for broadcasts and in
+    /// single-shard daemons).
+    pub shard: u16,
+    /// The stamped ingress event.
+    pub event: IngressEvent,
+}
+
+/// An in-memory journal being recorded: magic header plus framed events,
+/// optionally written through to a file record-by-record so a crash
+/// leaves at most one truncated trailing record behind.
+#[derive(Debug)]
 pub struct JournalWriter {
     bytes: Vec<u8>,
     events: u64,
+    file: Option<File>,
 }
 
 impl JournalWriter {
@@ -166,20 +208,65 @@ impl JournalWriter {
         JournalWriter {
             bytes: JOURNAL_MAGIC.to_vec(),
             events: 0,
+            file: None,
         }
     }
 
-    /// Appends one event.
+    /// A journal that also appends every record to `path` as it is
+    /// written. The magic header is on disk before this returns, so a
+    /// daemon killed at any later point leaves a recoverable prefix.
+    pub fn with_file(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::create(path)?;
+        file.write_all(&JOURNAL_MAGIC)?;
+        Ok(JournalWriter {
+            bytes: JOURNAL_MAGIC.to_vec(),
+            events: 0,
+            file: Some(file),
+        })
+    }
+
+    fn append(&mut self, payload: &[u8]) {
+        assert!(payload.len() <= MAX_FRAME_BYTES, "journal record too large");
+        let start = self.bytes.len();
+        put_u32(&mut self.bytes, payload.len() as u32);
+        self.bytes.extend_from_slice(payload);
+        if let Some(f) = self.file.as_mut() {
+            f.write_all(&self.bytes[start..])
+                .expect("journal write-through failed");
+        }
+    }
+
+    /// Appends one event, routed to shard 0.
     pub fn record(&mut self, ev: &IngressEvent) {
+        self.record_routed(0, ev);
+    }
+
+    /// Appends one event with its shard assignment. A marker record is
+    /// emitted only for shard ≠ 0, keeping single-shard journals
+    /// byte-identical to the unsharded format.
+    pub fn record_routed(&mut self, shard: u16, ev: &IngressEvent) {
+        if shard != 0 {
+            let mut marker = Vec::with_capacity(3);
+            put_u8(&mut marker, EV_SHARD);
+            marker.extend_from_slice(&shard.to_le_bytes());
+            self.append(&marker);
+        }
         let mut payload = Vec::with_capacity(48);
         ev.encode_payload(&mut payload);
-        assert!(payload.len() <= MAX_FRAME_BYTES, "journal record too large");
-        put_u32(&mut self.bytes, payload.len() as u32);
-        self.bytes.extend_from_slice(&payload);
+        self.append(&payload);
         self.events += 1;
     }
 
-    /// Events recorded so far.
+    /// Forces journaled records down to stable storage (drain uses this
+    /// before acknowledging). No-op for purely in-memory journals.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match self.file.as_mut() {
+            Some(f) => f.sync_data(),
+            None => Ok(()),
+        }
+    }
+
+    /// Events recorded so far (shard markers are not counted).
     pub fn len(&self) -> u64 {
         self.events
     }
@@ -201,38 +288,117 @@ impl Default for JournalWriter {
     }
 }
 
-/// Parses a serialized journal back into its event stream.
+/// The outcome of reading a journal with crash recovery: the decoded
+/// clean prefix plus how much trailing garbage (if any) was discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredJournal {
+    /// Entries decoded from the clean prefix, in journal order.
+    pub entries: Vec<JournalEntry>,
+    /// Byte length of the clean prefix (magic included) — the exact
+    /// truncation point a handover restart should reuse.
+    pub clean_len: usize,
+    /// Bytes discarded past the clean prefix; 0 for an intact journal.
+    pub truncated_bytes: usize,
+}
+
+/// A journal parser that distinguishes *missing tail bytes* (a daemon
+/// killed mid-write) from *structural corruption* (scrambled records).
+///
+/// [`JournalReader::recover`] stops cleanly at the last complete record
+/// and reports the truncation; [`decode_journal_entries`] and
+/// [`decode_journal`] are the strict views that reject any truncation,
+/// which the record/replay goldens and property tests rely on.
+#[derive(Debug)]
+pub struct JournalReader;
+
+impl JournalReader {
+    /// Reads `bytes`, tolerating a truncated trailing record.
+    ///
+    /// A partial length prefix, a body shorter than its declared length,
+    /// or a shard marker whose routed event never made it to disk all
+    /// end the clean prefix. Bad magic, zero/oversized lengths and
+    /// undecodable *complete* records are still hard errors — those are
+    /// corruption, not a crash.
+    pub fn recover(bytes: &[u8]) -> Result<RecoveredJournal, WireError> {
+        Self::parse(bytes, false)
+    }
+
+    fn parse(bytes: &[u8], strict: bool) -> Result<RecoveredJournal, WireError> {
+        if bytes.len() < JOURNAL_MAGIC.len() || bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(WireError::UnknownVersion {
+                version: bytes.first().copied().unwrap_or(0),
+            });
+        }
+        let mut entries = Vec::new();
+        let mut pos = JOURNAL_MAGIC.len();
+        // End of the last fully-applied entry; a pending shard marker
+        // does not advance it, so truncation mid-pair drops the marker.
+        let mut clean_len = pos;
+        let mut pending_shard: Option<u16> = None;
+        let truncated = loop {
+            if pos == bytes.len() {
+                // A dangling marker means its event never hit the disk.
+                break pending_shard.is_some();
+            }
+            if bytes.len() - pos < 4 {
+                break true;
+            }
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
+            if len == 0 {
+                return Err(WireError::EmptyFrame);
+            }
+            if len > MAX_FRAME_BYTES {
+                return Err(WireError::Oversized { declared: len });
+            }
+            if bytes.len() - (pos + 4) < len {
+                break true;
+            }
+            let body = &bytes[pos + 4..pos + 4 + len];
+            pos += 4 + len;
+            if body[0] == EV_SHARD {
+                if pending_shard.is_some() || body.len() != 3 {
+                    // Two markers back to back (or a malformed one) is
+                    // corruption, not a torn write.
+                    return Err(WireError::UnknownType { tag: EV_SHARD });
+                }
+                pending_shard = Some(u16::from_le_bytes([body[1], body[2]]));
+            } else {
+                entries.push(JournalEntry {
+                    shard: pending_shard.take().unwrap_or(0),
+                    event: IngressEvent::decode(body)?,
+                });
+                clean_len = pos;
+            }
+        };
+        if strict && truncated {
+            return Err(WireError::Truncated);
+        }
+        Ok(RecoveredJournal {
+            entries,
+            clean_len,
+            truncated_bytes: bytes.len() - clean_len,
+        })
+    }
+}
+
+/// Strictly parses a serialized journal into routed entries.
 ///
 /// Total like the wire codec: corrupt magic, truncated records and
-/// oversized prefixes all map to [`WireError`], never a panic.
+/// oversized prefixes all map to [`WireError`], never a panic. Use
+/// [`JournalReader::recover`] to tolerate a torn trailing record.
+pub fn decode_journal_entries(bytes: &[u8]) -> Result<Vec<JournalEntry>, WireError> {
+    Ok(JournalReader::parse(bytes, true)?.entries)
+}
+
+/// Strictly parses a serialized journal back into its event stream,
+/// discarding shard routing (a convenience view for single-shard runs).
 pub fn decode_journal(bytes: &[u8]) -> Result<Vec<IngressEvent>, WireError> {
-    if bytes.len() < JOURNAL_MAGIC.len() || bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
-        return Err(WireError::UnknownVersion {
-            version: bytes.first().copied().unwrap_or(0),
-        });
-    }
-    let mut events = Vec::new();
-    let mut pos = JOURNAL_MAGIC.len();
-    while pos < bytes.len() {
-        if bytes.len() - pos < 4 {
-            return Err(WireError::Truncated);
-        }
-        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
-            as usize;
-        pos += 4;
-        if len == 0 {
-            return Err(WireError::EmptyFrame);
-        }
-        if len > MAX_FRAME_BYTES {
-            return Err(WireError::Oversized { declared: len });
-        }
-        if bytes.len() - pos < len {
-            return Err(WireError::Truncated);
-        }
-        events.push(IngressEvent::decode(&bytes[pos..pos + len])?);
-        pos += len;
-    }
-    Ok(events)
+    Ok(decode_journal_entries(bytes)?
+        .into_iter()
+        .map(|e| e.event)
+        .collect())
 }
 
 #[cfg(test)]
@@ -291,5 +457,110 @@ mod tests {
         let mut bytes = w.into_bytes();
         bytes.truncate(bytes.len() - 3);
         assert_eq!(decode_journal(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn shard_markers_roundtrip_and_zero_is_markerless() {
+        let events = sample_events();
+        let mut routed = JournalWriter::new();
+        let mut plain = JournalWriter::new();
+        for (i, ev) in events.iter().enumerate() {
+            routed.record_routed((i % 3) as u16, ev);
+            plain.record_routed(0, ev);
+        }
+        let entries = decode_journal_entries(&routed.into_bytes()).unwrap();
+        for (i, entry) in entries.iter().enumerate() {
+            assert_eq!(entry.shard, (i % 3) as u16);
+            assert_eq!(entry.event, events[i]);
+        }
+        // All-shard-0 routing writes no markers: byte-identical to the
+        // legacy format, which is what keeps the goldens stable.
+        let mut legacy = JournalWriter::new();
+        for ev in &events {
+            legacy.record(ev);
+        }
+        assert_eq!(plain.into_bytes(), legacy.into_bytes());
+    }
+
+    #[test]
+    fn recovery_stops_at_last_complete_record() {
+        let events = sample_events();
+        let mut w = JournalWriter::new();
+        for (i, ev) in events.iter().enumerate() {
+            w.record_routed((i % 2) as u16, ev);
+        }
+        let bytes = w.into_bytes();
+        let intact = JournalReader::recover(&bytes).unwrap();
+        assert_eq!(intact.entries.len(), events.len());
+        assert_eq!(intact.clean_len, bytes.len());
+        assert_eq!(intact.truncated_bytes, 0);
+
+        // Every strict prefix recovers to some clean prefix of the
+        // entry stream, and strict decode rejects real truncations.
+        for cut in JOURNAL_MAGIC.len()..bytes.len() {
+            let rec = JournalReader::recover(&bytes[..cut]).unwrap();
+            assert_eq!(rec.entries, intact.entries[..rec.entries.len()]);
+            assert_eq!(rec.clean_len + rec.truncated_bytes, cut);
+            if rec.truncated_bytes > 0 {
+                assert_eq!(
+                    decode_journal_entries(&bytes[..cut]),
+                    Err(WireError::Truncated)
+                );
+            }
+            // The clean prefix itself is strictly decodable — the
+            // handover restart contract.
+            let clean = &bytes[..rec.clean_len];
+            assert_eq!(decode_journal_entries(clean).unwrap(), rec.entries);
+        }
+    }
+
+    #[test]
+    fn dangling_shard_marker_counts_as_truncation() {
+        let mut w = JournalWriter::new();
+        w.record_routed(1, &IngressEvent::Snapshot { conn: 7, at_ns: 9 });
+        let bytes = w.into_bytes();
+        // Chop the event record off, leaving the complete marker.
+        let marker_end = JOURNAL_MAGIC.len() + 4 + 3;
+        let rec = JournalReader::recover(&bytes[..marker_end]).unwrap();
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.clean_len, JOURNAL_MAGIC.len());
+        assert_eq!(rec.truncated_bytes, 4 + 3);
+        assert!(decode_journal_entries(&bytes[..marker_end]).is_err());
+    }
+
+    #[test]
+    fn double_shard_marker_is_corruption_not_truncation() {
+        let mut w = JournalWriter::new();
+        w.record_routed(1, &IngressEvent::Seal { conn: 0, at_ns: 1 });
+        let mut bytes = w.into_bytes();
+        // Duplicate the marker record (4-byte prefix + 3-byte body)
+        // right after the magic: two markers in a row.
+        let marker: Vec<u8> = bytes[JOURNAL_MAGIC.len()..JOURNAL_MAGIC.len() + 7].to_vec();
+        bytes.splice(JOURNAL_MAGIC.len()..JOURNAL_MAGIC.len(), marker);
+        assert_eq!(
+            JournalReader::recover(&bytes),
+            Err(WireError::UnknownType { tag: 5 })
+        );
+    }
+
+    #[test]
+    fn file_write_through_survives_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("pictor-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.journal");
+        let mut w = JournalWriter::with_file(&path).unwrap();
+        for ev in sample_events() {
+            w.record_routed(2, &ev);
+        }
+        w.flush().unwrap();
+        let mem = w.into_bytes();
+        let disk = std::fs::read(&path).unwrap();
+        assert_eq!(mem, disk, "write-through mirrors the in-memory bytes");
+        // Simulate a crash mid-write: drop trailing bytes on disk.
+        std::fs::write(&path, &disk[..disk.len() - 5]).unwrap();
+        let rec = JournalReader::recover(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(rec.entries.len(), sample_events().len() - 1);
+        assert!(rec.truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

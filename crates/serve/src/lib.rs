@@ -45,14 +45,23 @@ use pictor_core::fleet::{
 };
 use pictor_sim::SimDuration;
 
-pub use daemon::{replay, run_daemon, DaemonMsg, ReplySink, ServeCore, ServeOptions, ServeOutcome};
-pub use journal::{decode_journal, IngressEvent, JournalWriter};
-pub use load::{run_in_process, run_swarm, InProcessRun, LoadReport, LoadSpec};
+pub use daemon::{
+    replay, replay_with, run_daemon, run_daemon_from, shard_engines, DaemonMsg, ReplySink,
+    ServeCore, ServeOptions, ServeOutcome, TransportStats,
+};
+pub use journal::{
+    decode_journal, decode_journal_entries, IngressEvent, JournalEntry, JournalReader,
+    JournalWriter, RecoveredJournal,
+};
+pub use load::{
+    merge_quantile_parts, run_in_process, run_swarm, run_swarm_threaded, InProcessRun, LoadReport,
+    LoadSpec, LOAD_SCHEMA,
+};
 pub use protocol::{
     ErrCode, FrameDecoder, Msg, Outcome, WireError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
 };
-pub use report::{IngressCounters, ServeReport, SERVE_SCHEMA};
+pub use report::{IngressCounters, ServeReport, ShardOutcome, SERVE_SCHEMA};
 pub use transport::{tcp_listen, ChannelConn, Conn, TcpConn};
 
 /// The serving-mode arrival profile: **no** internal arrival streams —

@@ -1,9 +1,9 @@
 //! The `pictor-load` client swarm: tens of thousands of synthetic
-//! clients multiplexed onto one driver thread.
+//! clients multiplexed onto one or more driver threads.
 //!
 //! Clients are *state machines in a virtual-time heap*, not OS threads —
 //! the same discipline the fleet engine uses for its internal arrival
-//! streams. The driver pops the next due client event, paces itself with
+//! streams. Each driver pops the next due client event, paces itself with
 //! a [`SimClock`] (wall mode sleeps, virtual mode jumps), performs the
 //! synchronous protocol round-trip, and schedules the client's next
 //! event from the outcome:
@@ -18,12 +18,25 @@
 //! * **Flash crowd** (`flash_burst` at `flash_at_secs`): one-shot
 //!   clients that all join at the same instant.
 //!
+//! # Multi-driver swarms
+//!
+//! With `drivers = N`, the population is partitioned `client % N` across
+//! N OS threads, each with its own connection, its own decorrelated seed
+//! stream and its own admit-latency [`P2Quantile`] estimators; driver 0
+//! additionally owns the open-loop stream, the snapshot cadence, and the
+//! end-of-run drain/seal. Per-driver estimators are merged into
+//! fleet-wide tails at report time ([`merge_quantile_parts`]) in driver
+//! index order, so the merged report depends on the *partitioning*, never
+//! on OS scheduling. `drivers = 1` reproduces the single-threaded swarm
+//! byte for byte — including its RNG stream — which is what keeps the
+//! recorded-journal golden valid.
+//!
 //! Two measurement planes, deliberately separated: everything *wall* —
-//! admit-latency tails (streaming [`P2Quantile`]), achieved request
-//! throughput — lands in [`LoadReport`]; everything *virtual* is the
-//! daemon's business and stays deterministic. Under a virtual clock and
-//! a pinned seed the swarm's request stream is fully deterministic,
-//! which is what makes the recorded-journal golden possible.
+//! admit-latency tails, achieved request throughput — lands in
+//! [`LoadReport`]; everything *virtual* is the daemon's business and
+//! stays deterministic. Under a virtual clock, one driver and a pinned
+//! seed the swarm's request stream is fully deterministic, which is what
+//! makes the recorded-journal golden possible.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,7 +54,7 @@ use pictor_sim::{P2Quantile, SeedTree, SimClock, SimTime};
 use rand::Rng;
 
 use crate::daemon::{run_daemon, ServeOptions, ServeOutcome};
-use crate::protocol::{Msg, Outcome};
+use crate::protocol::{ErrCode, Msg, Outcome, WireError};
 use crate::transport::{ChannelConn, Conn};
 
 /// Schema identifier of the load-side JSON document.
@@ -76,12 +89,17 @@ pub struct LoadSpec {
     pub apps: Vec<AppId>,
     /// Swarm master seed.
     pub seed: u64,
+    /// Driver threads the population is partitioned across. 1 keeps the
+    /// classic single-threaded swarm (and its exact RNG stream).
+    pub drivers: usize,
+    /// Auth token presented in every driver's `Hello` (empty = none).
+    pub token: String,
 }
 
 impl LoadSpec {
     /// A swarm of `clients` closed-loop clients driven for `secs`
     /// seconds: no open-loop stream, no flash, telemetry poll every 16th
-    /// admission, snapshot every 5 s, the full six-app mix.
+    /// admission, snapshot every 5 s, the full six-app mix, one driver.
     pub fn closed(clients: usize, secs: u64, seed: u64) -> Self {
         LoadSpec {
             clients,
@@ -96,6 +114,8 @@ impl LoadSpec {
             snapshot_every_secs: 5,
             apps: AppId::ALL.to_vec(),
             seed,
+            drivers: 1,
+            token: String::new(),
         }
     }
 
@@ -109,6 +129,7 @@ impl LoadSpec {
         );
         assert!(self.mean_think_secs > 0.0, "think mean must be positive");
         assert!(!self.apps.is_empty(), "need at least one app");
+        assert!(self.drivers > 0, "need at least one driver thread");
         assert!(
             self.open_rate_per_sec >= 0.0 && self.open_rate_end_per_sec.is_none_or(|r| r >= 0.0),
             "rates must be nonnegative"
@@ -138,6 +159,8 @@ pub struct LoadReport {
     pub secs: u64,
     /// Swarm seed.
     pub seed: u64,
+    /// Driver threads.
+    pub drivers: usize,
     /// Session requests sent.
     pub requests: u64,
     /// Requests admitted.
@@ -152,10 +175,17 @@ pub struct LoadReport {
     pub bad_app: u64,
     /// Telemetry polls completed.
     pub polls: u64,
+    /// Polls answered with `ErrCode::UnknownSession` (the session expired
+    /// before the poll landed — a typed error since protocol v2, not a
+    /// fabricated zero sample).
+    pub stale_polls: u64,
     /// Fleet snapshots completed.
     pub snapshots: u64,
     /// Peak resident sessions observed across snapshots.
     pub peak_resident: u64,
+    /// Peak daemon routing-directory size observed across snapshots (and
+    /// the drain ack) — the soak mode's boundedness probe.
+    pub peak_tracked: u64,
     /// Wall time driving the swarm, milliseconds.
     pub wall_ms: f64,
     /// Achieved round-trips per wall-second (requests + polls +
@@ -190,6 +220,7 @@ impl LoadReport {
         let _ = writeln!(out, "  \"flash_burst\": {},", self.flash_burst);
         let _ = writeln!(out, "  \"secs\": {},", self.secs);
         let _ = writeln!(out, "  \"seed\": \"{}\",", self.seed);
+        let _ = writeln!(out, "  \"drivers\": {},", self.drivers);
         let _ = writeln!(out, "  \"requests\": {},", self.requests);
         let _ = writeln!(out, "  \"admitted\": {},", self.admitted);
         let _ = writeln!(out, "  \"rejected\": {},", self.rejected);
@@ -197,8 +228,10 @@ impl LoadReport {
         let _ = writeln!(out, "  \"past_horizon\": {},", self.past_horizon);
         let _ = writeln!(out, "  \"bad_app\": {},", self.bad_app);
         let _ = writeln!(out, "  \"polls\": {},", self.polls);
+        let _ = writeln!(out, "  \"stale_polls\": {},", self.stale_polls);
         let _ = writeln!(out, "  \"snapshots\": {},", self.snapshots);
         let _ = writeln!(out, "  \"peak_resident\": {},", self.peak_resident);
+        let _ = writeln!(out, "  \"peak_tracked\": {},", self.peak_tracked);
         let _ = writeln!(out, "  \"wall_ms\": {},", json_num(self.wall_ms));
         let _ = writeln!(out, "  \"achieved_rps\": {},", json_num(self.achieved_rps));
         let _ = writeln!(out, "  \"admit_p50_us\": {},", json_num(self.admit_p50_us));
@@ -227,13 +260,14 @@ impl LoadReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "schema,mode,pace,clients,flash_burst,secs,seed,requests,admitted,rejected,\
-             parked,past_horizon,bad_app,polls,snapshots,peak_resident,wall_ms,achieved_rps,\
+            "schema,mode,pace,clients,flash_burst,secs,seed,drivers,requests,admitted,rejected,\
+             parked,past_horizon,bad_app,polls,stale_polls,snapshots,peak_resident,peak_tracked,\
+             wall_ms,achieved_rps,\
              admit_p50_us,admit_p95_us,admit_p99_us,admit_max_us,poll_fps_mean,poll_rtt_mean_ms\n",
         );
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(LOAD_SCHEMA),
             csv_field(&self.mode),
             csv_field(&self.pace),
@@ -241,6 +275,7 @@ impl LoadReport {
             self.flash_burst,
             self.secs,
             self.seed,
+            self.drivers,
             self.requests,
             self.admitted,
             self.rejected,
@@ -248,8 +283,10 @@ impl LoadReport {
             self.past_horizon,
             self.bad_app,
             self.polls,
+            self.stale_polls,
             self.snapshots,
             self.peak_resident,
+            self.peak_tracked,
             json_num(self.wall_ms),
             json_num(self.achieved_rps),
             json_num(self.admit_p50_us),
@@ -260,6 +297,30 @@ impl LoadReport {
             json_num(self.poll_rtt_mean_ms)
         );
         out
+    }
+}
+
+/// Merges per-driver streaming quantile estimates into one fleet-wide
+/// value: the sample-count-weighted mean of the per-part estimates,
+/// folded in part order. A single non-empty part passes through exactly
+/// (no float arithmetic touches it), so `drivers = 1` reports the same
+/// tails it always did.
+///
+/// This is an estimator-of-estimators, not an exact merge — P² summaries
+/// cannot be combined losslessly. For parts drawn from the same
+/// distribution the weighted mean stays within the P² error envelope of
+/// the exact sorted percentile (`crates/serve/tests/merged_tails.rs`
+/// pins constant, bimodal and heavy-tail feeds), and the fold order is
+/// fixed by part index, never by thread scheduling.
+pub fn merge_quantile_parts(parts: &[(u64, f64)]) -> f64 {
+    let live: Vec<&(u64, f64)> = parts.iter().filter(|(n, _)| *n > 0).collect();
+    match live.as_slice() {
+        [] => 0.0,
+        [(_, v)] => *v,
+        _ => {
+            let total: u64 = live.iter().map(|(n, _)| n).sum();
+            live.iter().map(|(n, v)| *n as f64 * v).sum::<f64>() / total as f64
+        }
     }
 }
 
@@ -279,28 +340,81 @@ enum Ev {
     Poll(u64),
 }
 
-/// Drives the full swarm over `conn` and seals the run. Returns the
-/// measured [`LoadReport`] with the daemon's report embedded.
-///
-/// `clock` paces the drive: wall mode sleeps between due events (live
-/// TCP runs), virtual mode jumps (tests, recording, benchmarks — the
-/// 10k-client benchmark would otherwise take hours of idle sleeping).
-pub fn run_swarm<C: Conn + ?Sized>(
+/// One driver's measured slice of the swarm, merged into the
+/// [`LoadReport`] in driver index order.
+#[derive(Debug, Default)]
+struct DriverStats {
+    requests: u64,
+    admitted: u64,
+    rejected: u64,
+    parked: u64,
+    past_horizon: u64,
+    bad_app: u64,
+    polls: u64,
+    stale_polls: u64,
+    snapshots: u64,
+    peak_resident: u64,
+    peak_tracked: u64,
+    poll_fps_sum: f64,
+    poll_rtt_sum: f64,
+    /// (sample count, estimate) per admit-latency quantile.
+    admit_p50: (u64, f64),
+    admit_p95: (u64, f64),
+    admit_p99: (u64, f64),
+    admit_max_us: f64,
+    /// From the driver's HelloAck: fleet size × slots (soak bound).
+    servers: u64,
+    slots: u64,
+}
+
+/// Handshakes on `conn`: sends `Hello` with the spec's token, surfaces an
+/// `Unauthorized` refusal as a typed error, and returns
+/// `(epoch_ns, servers, slots)`.
+fn hello<C: Conn + ?Sized>(
+    conn: &mut C,
+    spec: &LoadSpec,
+    driver: u32,
+) -> io::Result<(u64, u64, u64)> {
+    conn.send(&Msg::Hello {
+        client: spec.seed.wrapping_add(driver as u64),
+        token: spec.token.clone(),
+    })?;
+    match conn.recv()? {
+        Msg::HelloAck {
+            epoch_ns,
+            servers,
+            slots,
+            ..
+        } => Ok((epoch_ns.max(1), servers, slots)),
+        Msg::Error {
+            code: ErrCode::Unauthorized,
+            ..
+        } => Err(WireError::Unauthorized.into()),
+        other => Err(unexpected("HelloAck", &other)),
+    }
+}
+
+/// Drives driver `driver`'s partition of the swarm over `conn` up to the
+/// horizon — everything except the final drain/seal, which the caller
+/// owns (it must wait for every driver first).
+fn drive<C: Conn + ?Sized>(
     conn: &mut C,
     spec: &LoadSpec,
     clock: &mut SimClock,
-    mode: &str,
-) -> io::Result<LoadReport> {
-    spec.validate();
+    driver: u32,
+) -> io::Result<DriverStats> {
+    let drivers = spec.drivers.max(1) as u32;
     let horizon_ns = spec.secs.saturating_mul(1_000_000_000);
-    conn.send(&Msg::Hello { client: spec.seed })?;
-    let epoch_ns = match conn.recv()? {
-        Msg::HelloAck { epoch_ns, .. } => epoch_ns.max(1),
-        other => return Err(unexpected("HelloAck", &other)),
-    };
+    let (epoch_ns, servers, slots) = hello(conn, spec, driver)?;
 
     let tree = SeedTree::new(spec.seed).child("pictor-load");
-    let mut rng = tree.stream("swarm");
+    // One driver keeps the classic stream name — the recorded-journal
+    // golden depends on it byte for byte.
+    let mut rng = if drivers == 1 {
+        tree.stream("swarm")
+    } else {
+        tree.stream(&format!("driver-{driver}"))
+    };
     let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<_>, seq: &mut u64, t: u64, ev: Ev| {
@@ -312,20 +426,27 @@ pub fn run_swarm<C: Conn + ?Sized>(
 
     // Closed-loop clients spread their first joins over an initial think
     // window; flash clients all land on the same instant; the open-loop
-    // stream draws its first gap from the base rate.
+    // stream draws its first gap from the base rate. Populations are
+    // partitioned `id % drivers`.
     for c in 0..spec.clients {
+        if c as u32 % drivers != driver {
+            continue;
+        }
         let t = (exponential(&mut rng, spec.mean_think_secs) * 1e9) as u64;
         push(&mut heap, &mut seq, t, Ev::Join(c as u32));
     }
     for f in 0..spec.flash_burst {
+        if f as u32 % drivers != driver {
+            continue;
+        }
         let t = spec.flash_at_secs * 1_000_000_000;
         push(&mut heap, &mut seq, t, Ev::Join((spec.clients + f) as u32));
     }
-    if spec.open_rate_per_sec > 0.0 {
+    if driver == 0 && spec.open_rate_per_sec > 0.0 {
         let gap = exponential(&mut rng, 1.0 / spec.open_rate_per_sec);
         push(&mut heap, &mut seq, (gap * 1e9) as u64, Ev::OpenLoop);
     }
-    if spec.snapshot_every_secs > 0 {
+    if driver == 0 && spec.snapshot_every_secs > 0 {
         push(
             &mut heap,
             &mut seq,
@@ -334,24 +455,18 @@ pub fn run_swarm<C: Conn + ?Sized>(
         );
     }
 
-    let mut requests = 0u64;
-    let mut admitted = 0u64;
-    let mut rejected = 0u64;
-    let mut parked = 0u64;
-    let mut past_horizon = 0u64;
-    let mut bad_app = 0u64;
-    let mut polls = 0u64;
-    let mut snapshots = 0u64;
-    let mut peak_resident = 0u64;
-    let mut poll_fps_sum = 0.0f64;
-    let mut poll_rtt_sum = 0.0f64;
+    let mut st = DriverStats {
+        servers,
+        slots,
+        ..DriverStats::default()
+    };
     let mut p50 = P2Quantile::new(0.50);
     let mut p95 = P2Quantile::new(0.95);
     let mut p99 = P2Quantile::new(0.99);
-    let mut max_us = 0.0f64;
-    let mut next_req = 1u64;
+    // Request ids interleave `driver, driver + drivers, …` so they stay
+    // globally unique without coordination.
+    let mut next_req = driver as u64 + 1;
 
-    let started = Instant::now();
     while let Some(Reverse((t, _, ev))) = heap.pop() {
         clock.sleep_until(SimTime::from_nanos(t));
         match ev {
@@ -361,7 +476,7 @@ pub fn run_swarm<C: Conn + ?Sized>(
                 let duration_secs = lognormal_mean_cv(&mut rng, spec.mean_session_secs, 0.5);
                 let duration_ns = (duration_secs * 1e9).round() as u64;
                 let req = next_req;
-                next_req += 1;
+                next_req += drivers as u64;
                 let sent = Instant::now();
                 conn.send(&Msg::Open {
                     req,
@@ -374,8 +489,8 @@ pub fn run_swarm<C: Conn + ?Sized>(
                 p50.record(us);
                 p95.record(us);
                 p99.record(us);
-                max_us = max_us.max(us);
-                requests += 1;
+                st.admit_max_us = st.admit_max_us.max(us);
+                st.requests += 1;
                 let Msg::Decision {
                     req: rep_req,
                     outcome,
@@ -391,8 +506,8 @@ pub fn run_swarm<C: Conn + ?Sized>(
                 let one_shot = (id as usize) >= spec.clients;
                 match outcome {
                     Outcome::Admitted => {
-                        admitted += 1;
-                        if spec.poll_every > 0 && admitted.is_multiple_of(spec.poll_every) {
+                        st.admitted += 1;
+                        if spec.poll_every > 0 && st.admitted.is_multiple_of(spec.poll_every) {
                             // Poll mid-session: the grant occupies epochs
                             // [start_epoch, end_epoch), so an instant
                             // inside that window is guaranteed to see the
@@ -421,7 +536,7 @@ pub fn run_swarm<C: Conn + ?Sized>(
                         // The daemon owns the retry; re-offering would
                         // double-count. Come back after the would-be
                         // session.
-                        parked += 1;
+                        st.parked += 1;
                         if !one_shot {
                             let think = (exponential(&mut rng, spec.mean_think_secs) * 1e9) as u64;
                             push(
@@ -433,14 +548,14 @@ pub fn run_swarm<C: Conn + ?Sized>(
                         }
                     }
                     Outcome::Rejected => {
-                        rejected += 1;
+                        st.rejected += 1;
                         if !one_shot {
                             let think = (exponential(&mut rng, spec.mean_think_secs) * 1e9) as u64;
                             push(&mut heap, &mut seq, t.saturating_add(think), Ev::Join(id));
                         }
                     }
-                    Outcome::PastHorizon => past_horizon += 1,
-                    Outcome::UnknownApp => bad_app += 1,
+                    Outcome::PastHorizon => st.past_horizon += 1,
+                    Outcome::UnknownApp => st.bad_app += 1,
                 }
             }
             Ev::OpenLoop => {
@@ -455,7 +570,7 @@ pub fn run_swarm<C: Conn + ?Sized>(
                     [(rng.gen::<f64>() * spec.apps.len() as f64) as usize % spec.apps.len()];
                 let duration_secs = lognormal_mean_cv(&mut rng, spec.mean_session_secs, 0.5);
                 let req = next_req;
-                next_req += 1;
+                next_req += drivers as u64;
                 let sent = Instant::now();
                 conn.send(&Msg::Open {
                     req,
@@ -468,15 +583,15 @@ pub fn run_swarm<C: Conn + ?Sized>(
                 p50.record(us);
                 p95.record(us);
                 p99.record(us);
-                max_us = max_us.max(us);
-                requests += 1;
+                st.admit_max_us = st.admit_max_us.max(us);
+                st.requests += 1;
                 match reply {
                     Msg::Decision { outcome, .. } => match outcome {
-                        Outcome::Admitted => admitted += 1,
-                        Outcome::Rejected => rejected += 1,
-                        Outcome::Parked => parked += 1,
-                        Outcome::PastHorizon => past_horizon += 1,
-                        Outcome::UnknownApp => bad_app += 1,
+                        Outcome::Admitted => st.admitted += 1,
+                        Outcome::Rejected => st.rejected += 1,
+                        Outcome::Parked => st.parked += 1,
+                        Outcome::PastHorizon => st.past_horizon += 1,
+                        Outcome::UnknownApp => st.bad_app += 1,
                     },
                     other => return Err(unexpected("Decision", &other)),
                 }
@@ -494,19 +609,28 @@ pub fn run_swarm<C: Conn + ?Sized>(
                 conn.send(&Msg::Poll { at_ns: t, session })?;
                 match conn.recv()? {
                     Msg::Telemetry { fps, rtt_ms, .. } => {
-                        polls += 1;
-                        poll_fps_sum += fps;
-                        poll_rtt_sum += rtt_ms;
+                        st.polls += 1;
+                        st.poll_fps_sum += fps;
+                        st.poll_rtt_sum += rtt_ms;
                     }
+                    // Wall-clock jitter can land a poll after its session
+                    // expired; the daemon now says so by name.
+                    Msg::Error {
+                        code: ErrCode::UnknownSession,
+                        ..
+                    } => st.stale_polls += 1,
                     other => return Err(unexpected("Telemetry", &other)),
                 }
             }
             Ev::Snap => {
                 conn.send(&Msg::Snapshot { at_ns: t })?;
                 match conn.recv()? {
-                    Msg::SnapshotRep { resident, .. } => {
-                        snapshots += 1;
-                        peak_resident = peak_resident.max(resident);
+                    Msg::SnapshotRep {
+                        resident, tracked, ..
+                    } => {
+                        st.snapshots += 1;
+                        st.peak_resident = st.peak_resident.max(resident);
+                        st.peak_tracked = st.peak_tracked.max(tracked);
                     }
                     other => return Err(unexpected("SnapshotRep", &other)),
                 }
@@ -519,54 +643,214 @@ pub fn run_swarm<C: Conn + ?Sized>(
             }
         }
     }
-
     clock.sleep_until(SimTime::from_nanos(horizon_ns));
+    st.admit_p50 = (p50.count(), p50.value());
+    st.admit_p95 = (p95.count(), p95.value());
+    st.admit_p99 = (p99.count(), p99.value());
+    Ok(st)
+}
+
+/// Builds the merged [`LoadReport`] from per-driver stats (in driver
+/// index order) and the sealed daemon JSON.
+#[allow(clippy::too_many_arguments)]
+fn merge_report(
+    spec: &LoadSpec,
+    stats: &[DriverStats],
+    mode: &str,
+    pace: &str,
+    wall: std::time::Duration,
+    peak_tracked_extra: u64,
+    serve_json: String,
+) -> LoadReport {
+    let sum = |f: fn(&DriverStats) -> u64| stats.iter().map(f).sum::<u64>();
+    let requests = sum(|s| s.requests);
+    let polls = sum(|s| s.polls);
+    let snapshots = sum(|s| s.snapshots);
+    let round_trips = requests + polls + snapshots + 1;
+    let parts = |f: fn(&DriverStats) -> (u64, f64)| stats.iter().map(f).collect::<Vec<_>>();
+    LoadReport {
+        mode: mode.into(),
+        pace: pace.into(),
+        clients: spec.clients,
+        flash_burst: spec.flash_burst,
+        secs: spec.secs,
+        seed: spec.seed,
+        drivers: spec.drivers.max(1),
+        requests,
+        admitted: sum(|s| s.admitted),
+        rejected: sum(|s| s.rejected),
+        parked: sum(|s| s.parked),
+        past_horizon: sum(|s| s.past_horizon),
+        bad_app: sum(|s| s.bad_app),
+        polls,
+        stale_polls: sum(|s| s.stale_polls),
+        snapshots,
+        peak_resident: stats.iter().map(|s| s.peak_resident).max().unwrap_or(0),
+        peak_tracked: stats
+            .iter()
+            .map(|s| s.peak_tracked)
+            .max()
+            .unwrap_or(0)
+            .max(peak_tracked_extra),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        achieved_rps: round_trips as f64 / wall.as_secs_f64().max(1e-9),
+        admit_p50_us: merge_quantile_parts(&parts(|s| s.admit_p50)),
+        admit_p95_us: merge_quantile_parts(&parts(|s| s.admit_p95)),
+        admit_p99_us: merge_quantile_parts(&parts(|s| s.admit_p99)),
+        admit_max_us: stats.iter().map(|s| s.admit_max_us).fold(0.0, f64::max),
+        poll_fps_mean: if polls > 0 {
+            stats.iter().map(|s| s.poll_fps_sum).sum::<f64>() / polls as f64
+        } else {
+            0.0
+        },
+        poll_rtt_mean_ms: if polls > 0 {
+            stats.iter().map(|s| s.poll_rtt_sum).sum::<f64>() / polls as f64
+        } else {
+            0.0
+        },
+        serve_json,
+    }
+}
+
+/// Drives the full swarm over one `conn` and seals the run. Returns the
+/// measured [`LoadReport`] with the daemon's report embedded. Requires
+/// `spec.drivers <= 1` — multi-driver swarms need one connection per
+/// driver, see [`run_swarm_threaded`].
+///
+/// `clock` paces the drive: wall mode sleeps between due events (live
+/// TCP runs), virtual mode jumps (tests, recording, benchmarks — the
+/// 10k-client benchmark would otherwise take hours of idle sleeping).
+pub fn run_swarm<C: Conn + ?Sized>(
+    conn: &mut C,
+    spec: &LoadSpec,
+    clock: &mut SimClock,
+    mode: &str,
+) -> io::Result<LoadReport> {
+    spec.validate();
+    assert!(
+        spec.drivers <= 1,
+        "run_swarm drives one connection; use run_swarm_threaded for {} drivers",
+        spec.drivers
+    );
+    let started = Instant::now();
+    let st = drive(conn, spec, clock, 0)?;
+    let horizon_ns = spec.secs.saturating_mul(1_000_000_000);
     conn.send(&Msg::Seal { at_ns: horizon_ns })?;
     let serve_json = match conn.recv()? {
         Msg::Report { json } => json,
         other => return Err(unexpected("Report", &other)),
     };
-    let wall = started.elapsed();
-    let round_trips = requests + polls + snapshots + 1;
-    Ok(LoadReport {
-        mode: mode.into(),
-        pace: if clock.is_virtual() {
-            "virtual"
-        } else {
-            "wall"
-        }
-        .into(),
-        clients: spec.clients,
-        flash_burst: spec.flash_burst,
-        secs: spec.secs,
-        seed: spec.seed,
-        requests,
-        admitted,
-        rejected,
-        parked,
-        past_horizon,
-        bad_app,
-        polls,
-        snapshots,
-        peak_resident,
-        wall_ms: wall.as_secs_f64() * 1e3,
-        achieved_rps: round_trips as f64 / wall.as_secs_f64().max(1e-9),
-        admit_p50_us: p50.value(),
-        admit_p95_us: p95.value(),
-        admit_p99_us: p99.value(),
-        admit_max_us: max_us,
-        poll_fps_mean: if polls > 0 {
-            poll_fps_sum / polls as f64
-        } else {
-            0.0
-        },
-        poll_rtt_mean_ms: if polls > 0 {
-            poll_rtt_sum / polls as f64
-        } else {
-            0.0
-        },
+    let pace = if clock.is_virtual() {
+        "virtual"
+    } else {
+        "wall"
+    };
+    Ok(merge_report(
+        spec,
+        std::slice::from_ref(&st),
+        mode,
+        pace,
+        started.elapsed(),
+        0,
         serve_json,
-    })
+    ))
+}
+
+/// Drives a multi-driver swarm: `spec.drivers` OS threads, each with its
+/// own connection from `make_conn(driver)`, its own clock and its own
+/// latency estimators. Driver 0 runs on the calling thread and owns the
+/// end of the run: after every driver reaches the horizon it optionally
+/// drains the daemon (`drain` — the soak mode's graceful shutdown,
+/// proving the journal hit stable storage), then seals and collects the
+/// report.
+///
+/// When `drain` is set this also asserts the daemon's routing directory
+/// stayed bounded by the fleet's slot capacity — the session-leak
+/// regression guard the soak mode exists to enforce.
+pub fn run_swarm_threaded<C, F>(
+    make_conn: F,
+    spec: &LoadSpec,
+    virtual_pace: bool,
+    mode: &str,
+    drain: bool,
+) -> io::Result<LoadReport>
+where
+    C: Conn,
+    F: Fn(u32) -> io::Result<C> + Sync,
+{
+    spec.validate();
+    let drivers = spec.drivers.max(1) as u32;
+    let started = Instant::now();
+    let new_clock = || {
+        if virtual_pace {
+            SimClock::virtual_start()
+        } else {
+            SimClock::wall_start()
+        }
+    };
+    let mut conn0 = make_conn(0)?;
+    let mut stats: Vec<DriverStats> = Vec::with_capacity(drivers as usize);
+    let errs: Vec<io::Result<DriverStats>> = thread::scope(|s| {
+        let handles: Vec<_> = (1..drivers)
+            .map(|d| {
+                let make_conn = &make_conn;
+                s.spawn(move || {
+                    let mut conn = make_conn(d)?;
+                    drive(&mut conn, spec, &mut new_clock(), d)
+                })
+            })
+            .collect();
+        let first = drive(&mut conn0, spec, &mut new_clock(), 0);
+        // Join in driver order: the merge below must not depend on
+        // scheduling.
+        let mut all = vec![first];
+        for h in handles {
+            all.push(h.join().expect("driver thread panicked"));
+        }
+        all
+    });
+    for r in errs {
+        stats.push(r?);
+    }
+
+    // Every driver is done; driver 0's connection winds the run down.
+    let mut drain_tracked = 0u64;
+    if drain {
+        conn0.send(&Msg::Drain { at_ns: 0 })?;
+        match conn0.recv()? {
+            Msg::DrainAck { tracked, .. } => drain_tracked = tracked,
+            other => return Err(unexpected("DrainAck", &other)),
+        }
+    }
+    let horizon_ns = spec.secs.saturating_mul(1_000_000_000);
+    conn0.send(&Msg::Seal { at_ns: horizon_ns })?;
+    let serve_json = match conn0.recv()? {
+        Msg::Report { json } => json,
+        other => return Err(unexpected("Report", &other)),
+    };
+    let pace = if virtual_pace { "virtual" } else { "wall" };
+    let report = merge_report(
+        spec,
+        &stats,
+        mode,
+        pace,
+        started.elapsed(),
+        drain_tracked,
+        serve_json,
+    );
+    if drain {
+        // The boundedness probe: the routing directory is pruned on
+        // ingress, so it can lag live residency by at most the snapshot
+        // cadence — it must never approach "every session ever admitted".
+        let capacity = stats[0].servers.saturating_mul(stats[0].slots);
+        assert!(
+            report.peak_tracked <= capacity.saturating_mul(2) + 64,
+            "daemon session directory leaked: tracked {} sessions against \
+             {capacity} fleet slots",
+            report.peak_tracked
+        );
+    }
+    Ok(report)
 }
 
 fn unexpected(wanted: &str, got: &Msg) -> io::Error {
@@ -581,24 +865,36 @@ fn unexpected(wanted: &str, got: &Msg) -> io::Error {
 pub struct InProcessRun {
     /// The swarm's measured report (daemon JSON embedded).
     pub load: LoadReport,
-    /// The daemon's sealed outcome (report, fleet, audit, journal).
+    /// The daemon's sealed outcome (report, per-shard fleets + audits,
+    /// journal).
     pub outcome: ServeOutcome,
 }
 
 /// Runs daemon + swarm in one process over the channel transport, swarm
-/// on a virtual clock. With `opts.virtual_clock` set, the entire run is
-/// a deterministic function of `(engine, spec)` — the configuration the
-/// record/replay golden and the backpressure tests drive.
+/// on a virtual clock. With `opts.virtual_clock` set and one driver, the
+/// entire run is a deterministic function of `(engine, spec)` — the
+/// configuration the record/replay golden and the backpressure tests
+/// drive. Multi-driver specs fan out over `run_swarm_threaded`.
 pub fn run_in_process(engine: &FleetEngine, opts: &ServeOptions, spec: &LoadSpec) -> InProcessRun {
     let (tx, rx) = channel();
     thread::scope(|s| {
         let daemon = s.spawn(|| run_daemon(engine, opts, rx));
-        let mut conn = ChannelConn::connect(1, &tx);
+        let load = if spec.drivers > 1 {
+            let tx = &tx;
+            run_swarm_threaded(
+                |d| Ok(ChannelConn::connect(d + 1, tx)),
+                spec,
+                true,
+                "in-process",
+                false,
+            )
+            .expect("in-process transport")
+        } else {
+            let mut conn = ChannelConn::connect(1, &tx);
+            let mut clock = SimClock::virtual_start();
+            run_swarm(&mut conn, spec, &mut clock, "in-process").expect("in-process transport")
+        };
         drop(tx);
-        let mut clock = SimClock::virtual_start();
-        let load =
-            run_swarm(&mut conn, spec, &mut clock, "in-process").expect("in-process transport");
-        drop(conn);
         let outcome = daemon.join().expect("daemon thread");
         InProcessRun { load, outcome }
     })

@@ -21,7 +21,15 @@
 use std::fmt;
 
 /// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history: v1 was the PR-9 protocol (no auth, no drain, zero
+/// telemetry for unknown sessions). v2 adds the `Hello` auth token, the
+/// `Drain`/`DrainAck` lifecycle pair, the `UnknownSession` /
+/// `Unauthorized` / `Draining` error codes, and the shard/slot fields in
+/// `HelloAck` and the `tracked` field in `SnapshotRep`. v1 frames are
+/// rejected with [`WireError::UnknownVersion`] — the payload layouts
+/// changed, so silently accepting them would misparse.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on the framed body size (version + type + payload).
 /// Generous for every real message (the largest is `Report`, a few KiB of
@@ -65,6 +73,9 @@ pub enum WireError {
         /// The field's received value.
         value: u8,
     },
+    /// The daemon refused the connection's credentials (client-side
+    /// surfacing of an [`ErrCode::Unauthorized`] reply).
+    Unauthorized,
 }
 
 impl fmt::Display for WireError {
@@ -89,6 +100,7 @@ impl fmt::Display for WireError {
             WireError::BadDiscriminant { value } => {
                 write!(f, "enum field holds unmapped discriminant {value}")
             }
+            WireError::Unauthorized => write!(f, "daemon refused the auth token"),
         }
     }
 }
@@ -153,6 +165,15 @@ pub enum ErrCode {
     Sealed,
     /// The frame failed to decode.
     Malformed,
+    /// A `Poll` named a session the daemon never admitted (or one that
+    /// already expired) — distinguishable from a real idle sample, which
+    /// a fabricated zero-telemetry reply was not.
+    UnknownSession,
+    /// The connection has not presented the daemon's auth token.
+    Unauthorized,
+    /// The daemon is draining: admissions are sealed, so `Open` requests
+    /// are refused (polls, snapshots and the final seal still work).
+    Draining,
 }
 
 impl ErrCode {
@@ -160,6 +181,9 @@ impl ErrCode {
         match self {
             ErrCode::Sealed => 0,
             ErrCode::Malformed => 1,
+            ErrCode::UnknownSession => 2,
+            ErrCode::Unauthorized => 3,
+            ErrCode::Draining => 4,
         }
     }
 
@@ -167,6 +191,9 @@ impl ErrCode {
         Ok(match value {
             0 => ErrCode::Sealed,
             1 => ErrCode::Malformed,
+            2 => ErrCode::UnknownSession,
+            3 => ErrCode::Unauthorized,
+            4 => ErrCode::Draining,
             _ => return Err(WireError::BadDiscriminant { value }),
         })
     }
@@ -174,15 +201,19 @@ impl ErrCode {
 
 /// Every message on the wire, both directions.
 ///
-/// Client → daemon: `Hello`, `Open`, `Poll`, `Snapshot`, `Seal`.
+/// Client → daemon: `Hello`, `Open`, `Poll`, `Snapshot`, `Drain`, `Seal`.
 /// Daemon → client: `HelloAck`, `Decision`, `Telemetry`, `SnapshotRep`,
-/// `Report`, `Error`.
+/// `DrainAck`, `Report`, `Error`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    /// Handshake: announces a client. The daemon answers with `HelloAck`.
+    /// Handshake: announces a client. The daemon answers with `HelloAck`
+    /// (or `Error { Unauthorized }` when `token` fails the check).
     Hello {
         /// Client-chosen identifier (diagnostics only).
         client: u64,
+        /// Auth token; empty when the daemon runs without auth. Compared
+        /// constant-time on the daemon side.
+        token: String,
     },
     /// Handshake reply: the serving configuration a client needs to
     /// schedule itself.
@@ -195,6 +226,10 @@ pub enum Msg {
         epochs: u64,
         /// Fleet size, servers.
         servers: u64,
+        /// Session slots per server.
+        slots: u64,
+        /// Daemon core shards behind the session-hash router.
+        shards: u64,
     },
     /// A session request: run `app_code` for `duration_ns`, arriving at
     /// `at_ns` on the serving timeline.
@@ -263,6 +298,24 @@ pub enum Msg {
         serving: u64,
         /// Sessions currently resident.
         resident: u64,
+        /// Sessions in the daemon's routing directory (admitted, not yet
+        /// expired) — the soak mode's boundedness probe.
+        tracked: u64,
+    },
+    /// Seals admissions without sealing the run: subsequent `Open`s are
+    /// refused with `Error { Draining }` while polls and snapshots keep
+    /// working; the journal is flushed to disk so a fresh daemon can
+    /// restart from it. Answered with `DrainAck`.
+    Drain {
+        /// Drain time, nanoseconds.
+        at_ns: u64,
+    },
+    /// Drain reply: proof the journal reached stable storage.
+    DrainAck {
+        /// Events journaled (and flushed) so far.
+        journaled_events: u64,
+        /// Sessions still tracked by the routing directory.
+        tracked: u64,
     },
     /// Seals the run: the daemon drains, runs the data plane, and answers
     /// with `Report`.
@@ -295,6 +348,8 @@ const TAG_SNAPSHOT_REP: u8 = 8;
 const TAG_SEAL: u8 = 9;
 const TAG_REPORT: u8 = 10;
 const TAG_ERROR: u8 = 11;
+const TAG_DRAIN: u8 = 12;
+const TAG_DRAIN_ACK: u8 = 13;
 
 // ---------------------------------------------------------------------------
 // primitive encoders/decoders
@@ -398,22 +453,31 @@ impl Msg {
             Msg::Seal { .. } => TAG_SEAL,
             Msg::Report { .. } => TAG_REPORT,
             Msg::Error { .. } => TAG_ERROR,
+            Msg::Drain { .. } => TAG_DRAIN,
+            Msg::DrainAck { .. } => TAG_DRAIN_ACK,
         }
     }
 
     fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
-            Msg::Hello { client } => put_u64(out, *client),
+            Msg::Hello { client, token } => {
+                put_u64(out, *client);
+                put_str(out, token);
+            }
             Msg::HelloAck {
                 protocol,
                 epoch_ns,
                 epochs,
                 servers,
+                slots,
+                shards,
             } => {
                 put_u8(out, *protocol);
                 put_u64(out, *epoch_ns);
                 put_u64(out, *epochs);
                 put_u64(out, *servers);
+                put_u64(out, *slots);
+                put_u64(out, *shards);
             }
             Msg::Open {
                 req,
@@ -465,6 +529,7 @@ impl Msg {
                 queued_now,
                 serving,
                 resident,
+                tracked,
             } => {
                 put_u64(out, *epoch);
                 put_u64(out, *offered);
@@ -473,8 +538,17 @@ impl Msg {
                 put_u64(out, *queued_now);
                 put_u64(out, *serving);
                 put_u64(out, *resident);
+                put_u64(out, *tracked);
             }
             Msg::Seal { at_ns } => put_u64(out, *at_ns),
+            Msg::Drain { at_ns } => put_u64(out, *at_ns),
+            Msg::DrainAck {
+                journaled_events,
+                tracked,
+            } => {
+                put_u64(out, *journaled_events);
+                put_u64(out, *tracked);
+            }
             Msg::Report { json } => {
                 // Reports can exceed a u16 string, so they carry a u32
                 // length of their own.
@@ -517,12 +591,17 @@ impl Msg {
         }
         let tag = cur.u8()?;
         let msg = match tag {
-            TAG_HELLO => Msg::Hello { client: cur.u64()? },
+            TAG_HELLO => Msg::Hello {
+                client: cur.u64()?,
+                token: cur.str()?,
+            },
             TAG_HELLO_ACK => Msg::HelloAck {
                 protocol: cur.u8()?,
                 epoch_ns: cur.u64()?,
                 epochs: cur.u64()?,
                 servers: cur.u64()?,
+                slots: cur.u64()?,
+                shards: cur.u64()?,
             },
             TAG_OPEN => Msg::Open {
                 req: cur.u64()?,
@@ -557,8 +636,14 @@ impl Msg {
                 queued_now: cur.u64()?,
                 serving: cur.u64()?,
                 resident: cur.u64()?,
+                tracked: cur.u64()?,
             },
             TAG_SEAL => Msg::Seal { at_ns: cur.u64()? },
+            TAG_DRAIN => Msg::Drain { at_ns: cur.u64()? },
+            TAG_DRAIN_ACK => Msg::DrainAck {
+                journaled_events: cur.u64()?,
+                tracked: cur.u64()?,
+            },
             TAG_REPORT => {
                 let len = cur.u32()? as usize;
                 let bytes = cur.take(len)?;

@@ -48,6 +48,17 @@ pub struct IngressCounters {
 // replay-is-byte-identical guarantee. They live in
 // [`TransportStats`](crate::daemon::TransportStats) instead.
 
+/// One core shard's sealed results: the fleet report plus its
+/// invariant-checking audit trace. An unsharded daemon produces exactly
+/// one of these.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The shard's sealed fleet report.
+    pub fleet: FleetReport,
+    /// The shard's audit trace.
+    pub audit: FleetAudit,
+}
+
 /// The daemon's deterministic end-of-run report: ingress ledger plus the
 /// sealed fleet summary.
 #[derive(Debug, Clone)]
@@ -129,6 +140,81 @@ impl ServeReport {
             rtt_p50: fleet.rtt.p50(),
             rtt_p95: fleet.rtt.p95(),
             rtt_p99: fleet.rtt.p99(),
+        }
+    }
+
+    /// Assembles the report from the ingress ledger and the sealed
+    /// per-shard outcomes.
+    ///
+    /// A single shard takes the exact [`ServeReport::new`] path — no
+    /// float arithmetic touches the values, which is what keeps the
+    /// unsharded goldens byte-identical. Across shards, ledger counters
+    /// and session-epochs sum exactly; `peak_queue`/`peak_sessions` sum
+    /// per-shard peaks (an upper bound on the true simultaneous peak,
+    /// since shards need not peak together); `utilization` is the
+    /// server-weighted mean; and the tail quantiles are sample-count
+    /// weighted means of the per-shard P² estimates (fps by
+    /// session-epochs, rtt by tracked inputs) — the same documented
+    /// approximation the load swarm uses to merge driver estimators.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is empty.
+    pub fn merged(ingress: IngressCounters, virtual_clock: bool, shards: &[ShardOutcome]) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard outcome");
+        if shards.len() == 1 {
+            return ServeReport::new(ingress, virtual_clock, &shards[0].fleet, &shards[0].audit);
+        }
+        let servers: usize = shards.iter().map(|s| s.fleet.servers).sum();
+        let session_epochs: u64 = shards.iter().map(|s| s.fleet.session_epochs).sum();
+        let tracked_inputs: u64 = shards.iter().map(|s| s.fleet.tracked_inputs).sum();
+        let wmean = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let utilization = wmean(
+            shards
+                .iter()
+                .map(|s| s.fleet.utilization * s.fleet.servers as f64)
+                .sum(),
+            servers as f64,
+        );
+        let fps_p50 = wmean(
+            shards
+                .iter()
+                .map(|s| s.fleet.fps.p50() * s.fleet.session_epochs as f64)
+                .sum(),
+            session_epochs as f64,
+        );
+        let rtt = |pick: fn(&FleetReport) -> f64| {
+            wmean(
+                shards
+                    .iter()
+                    .map(|s| pick(&s.fleet) * s.fleet.tracked_inputs as f64)
+                    .sum(),
+                tracked_inputs as f64,
+            )
+        };
+        ServeReport {
+            servers,
+            slots_per_server: shards[0].fleet.slots_per_server,
+            epochs: shards[0].fleet.epochs,
+            epoch_ns: shards[0].fleet.epoch.as_nanos(),
+            // Shard 0 keeps the base engine's seed.
+            seed: shards[0].fleet.seed,
+            virtual_clock,
+            ingress,
+            fleet_offered: shards.iter().map(|s| s.audit.offered).sum(),
+            fleet_admitted: shards.iter().map(|s| s.audit.admitted).sum(),
+            fleet_rejected: shards.iter().map(|s| s.audit.rejected).sum(),
+            fleet_queued: shards.iter().map(|s| s.audit.queued).sum(),
+            fleet_retried: shards.iter().map(|s| s.audit.retried).sum(),
+            fleet_expired: shards.iter().map(|s| s.audit.expired).sum(),
+            peak_queue: shards.iter().map(|s| s.audit.peak_queue).sum(),
+            peak_sessions: shards.iter().map(|s| s.fleet.peak_sessions).sum(),
+            utilization,
+            session_epochs,
+            fps_p50,
+            rtt_p50: rtt(|f| f.rtt.p50()),
+            rtt_p95: rtt(|f| f.rtt.p95()),
+            rtt_p99: rtt(|f| f.rtt.p99()),
         }
     }
 

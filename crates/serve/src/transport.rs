@@ -216,13 +216,16 @@ mod tests {
         let accept = thread::spawn(move || tcp_listen(listener, tx));
         let opts = ServeOptions {
             virtual_clock: true,
-            record: false,
-            threads: 1,
+            ..ServeOptions::default()
         };
         thread::scope(|s| {
             let daemon = s.spawn(|| run_daemon(&engine, &opts, rx));
             let mut conn = TcpConn::connect(addr).expect("connect");
-            conn.send(&Msg::Hello { client: 1 }).expect("hello");
+            conn.send(&Msg::Hello {
+                client: 1,
+                token: String::new(),
+            })
+            .expect("hello");
             match conn.recv().expect("ack") {
                 Msg::HelloAck { epoch_ns, .. } => assert_eq!(epoch_ns, 250_000_000),
                 other => panic!("expected HelloAck, got {other:?}"),

@@ -1,0 +1,160 @@
+//! Merging per-driver P² quantile estimators into fleet-wide tails.
+//!
+//! A multi-driver swarm keeps one streaming [`P2Quantile`] per driver
+//! and merges them with [`merge_quantile_parts`] — a sample-count-
+//! weighted mean of the per-part estimates. That is an estimator of an
+//! estimator, so this test pins its documented error envelope against
+//! the *exact* sorted percentile on three adversarial feeds (constant,
+//! bimodal, heavy-tail), across 1/2/4/8-way partitions, and pins that
+//! the merged value is a pure function of the partitioning (same feed,
+//! same driver count → identical bits; driver order, not thread
+//! scheduling, fixes the fold).
+
+use pictor_serve::merge_quantile_parts;
+use pictor_sim::P2Quantile;
+
+/// Deterministic xorshift so the feeds are reproducible without any
+/// clock or OS entropy in the loop.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn exact_percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// Round-robin partition (what `client % drivers` does to an arrival
+/// stream), per-part P² estimators, merged in part order.
+fn merged_estimate(samples: &[f64], parts: usize, q: f64) -> f64 {
+    let mut est: Vec<P2Quantile> = (0..parts).map(|_| P2Quantile::new(q)).collect();
+    for (i, &x) in samples.iter().enumerate() {
+        est[i % parts].record(x);
+    }
+    let parts: Vec<(u64, f64)> = est.iter().map(|e| (e.count(), e.value())).collect();
+    merge_quantile_parts(&parts)
+}
+
+fn constant_feed(n: usize) -> Vec<f64> {
+    vec![5.0; n]
+}
+
+/// 85% fast path around 1, 15% slow path around 100 — the bimodal shape
+/// admit latency takes when a minority of requests hit the parked/retry
+/// path.
+fn bimodal_feed(n: usize) -> Vec<f64> {
+    let mut rng = XorShift(0x1234_5678_9ABC_DEF1);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64();
+            if rng.next_f64() < 0.85 {
+                1.0 + 0.2 * u
+            } else {
+                100.0 + 20.0 * u
+            }
+        })
+        .collect()
+}
+
+/// Pareto-ish heavy tail: x = u^(-0.7), median ≈ 1.6, p99 ≈ 25.
+fn heavy_tail_feed(n: usize) -> Vec<f64> {
+    let mut rng = XorShift(0xFEED_F00D_CAFE_1357);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64().max(1e-9);
+            u.powf(-0.7)
+        })
+        .collect()
+}
+
+const N: usize = 4000;
+const PARTS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn constant_feed_is_exact_at_every_partition() {
+    let feed = constant_feed(N);
+    for q in [0.50, 0.95, 0.99] {
+        for parts in PARTS {
+            assert_eq!(
+                merged_estimate(&feed, parts, q),
+                5.0,
+                "constant feed must be exact (q={q}, {parts} parts)"
+            );
+        }
+    }
+}
+
+#[test]
+fn bimodal_feed_stays_in_envelope() {
+    let feed = bimodal_feed(N);
+    // p50 sits solidly in the fast mode; p99 solidly in the slow mode.
+    // The envelope is intentionally loose — P² is an approximation and
+    // the merge averages approximations — but it must keep each tail in
+    // its mode: a p50 of 50 or a p99 of 2 would mean the merge
+    // destroyed the signal.
+    for parts in PARTS {
+        let p50 = merged_estimate(&feed, parts, 0.50);
+        let p99 = merged_estimate(&feed, parts, 0.99);
+        assert!(
+            (1.0..2.0).contains(&p50),
+            "bimodal p50 left the fast mode: {p50} ({parts} parts)"
+        );
+        assert!(
+            (90.0..125.0).contains(&p99),
+            "bimodal p99 left the slow mode: {p99} ({parts} parts)"
+        );
+    }
+}
+
+#[test]
+fn heavy_tail_feed_tracks_exact_percentiles() {
+    let feed = heavy_tail_feed(N);
+    // (quantile, allowed relative error). Tail quantiles of a heavy-tail
+    // distribution are the hard case for any streaming summary; the
+    // envelope widens with q.
+    for (q, tol) in [(0.50, 0.10), (0.95, 0.25), (0.99, 0.40)] {
+        let exact = exact_percentile(&feed, q);
+        for parts in PARTS {
+            let merged = merged_estimate(&feed, parts, q);
+            let rel = (merged - exact).abs() / exact;
+            assert!(
+                rel <= tol,
+                "heavy-tail q={q}: merged {merged:.3} vs exact {exact:.3}, \
+                 rel err {rel:.3} > {tol} ({parts} parts)"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_is_deterministic_and_order_is_fixed_by_index() {
+    let feed = heavy_tail_feed(N);
+    for parts in PARTS {
+        let a = merged_estimate(&feed, parts, 0.95);
+        let b = merged_estimate(&feed, parts, 0.95);
+        assert_eq!(a.to_bits(), b.to_bits(), "merge must be bit-deterministic");
+    }
+    // Single non-empty part passes through exactly (drivers = 1 reports
+    // the tails it always did).
+    let mut p = P2Quantile::new(0.95);
+    for &x in &feed {
+        p.record(x);
+    }
+    let direct = p.value();
+    let merged = merge_quantile_parts(&[(p.count(), direct), (0, 123.0)]);
+    assert_eq!(merged.to_bits(), direct.to_bits());
+    // Empty input is defined.
+    assert_eq!(merge_quantile_parts(&[]), 0.0);
+    assert_eq!(merge_quantile_parts(&[(0, 7.0)]), 0.0);
+    // Count weighting: a 3:1 split weights accordingly.
+    let v = merge_quantile_parts(&[(3, 10.0), (1, 2.0)]);
+    assert!((v - 8.0).abs() < 1e-12);
+}

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use pictor_serve::journal::{decode_journal, IngressEvent, JournalWriter};
+use pictor_serve::journal::{decode_journal, IngressEvent, JournalReader, JournalWriter};
 use pictor_serve::protocol::{
     ErrCode, FrameDecoder, Msg, Outcome, WireError, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
 };
@@ -35,13 +35,18 @@ fn outcome_from(pick: u8) -> Outcome {
 fn build_msg(pick: u8, a: u64, b: u64, c: u64, d: u64, s: &[u8]) -> Msg {
     let f1 = (a % 100_000) as f64 * 1e-3;
     let f2 = (b % 100_000) as f64 * 1e-3;
-    match pick % 11 {
-        0 => Msg::Hello { client: a },
+    match pick % 13 {
+        0 => Msg::Hello {
+            client: a,
+            token: ascii(s),
+        },
         1 => Msg::HelloAck {
             protocol: (a % 256) as u8,
             epoch_ns: b,
             epochs: c,
             servers: d,
+            slots: a % 61,
+            shards: b % 17,
         },
         2 => Msg::Open {
             req: a,
@@ -76,16 +81,24 @@ fn build_msg(pick: u8, a: u64, b: u64, c: u64, d: u64, s: &[u8]) -> Msg {
             queued_now: a % 97,
             serving: b % 89,
             resident: c % 83,
+            tracked: d % 79,
         },
         8 => Msg::Seal { at_ns: a },
         9 => Msg::Report { json: ascii(s) },
-        _ => Msg::Error {
-            code: if a.is_multiple_of(2) {
-                ErrCode::Sealed
-            } else {
-                ErrCode::Malformed
+        10 => Msg::Error {
+            code: match a % 5 {
+                0 => ErrCode::Sealed,
+                1 => ErrCode::Malformed,
+                2 => ErrCode::UnknownSession,
+                3 => ErrCode::Unauthorized,
+                _ => ErrCode::Draining,
             },
             detail: ascii(s),
+        },
+        11 => Msg::Drain { at_ns: a },
+        _ => Msg::DrainAck {
+            journaled_events: a,
+            tracked: b,
         },
     }
 }
@@ -183,8 +196,8 @@ proptest! {
     #[test]
     fn unknown_version_and_type_reject(
         a in any::<u64>(),
-        bad_version in 2u8..=255,
-        bad_tag in 12u8..=255,
+        bad_version in 3u8..=255,
+        bad_tag in 14u8..=255,
     ) {
         let frame = Msg::Seal { at_ns: a }.encode_frame();
         let mut body = frame[FRAME_HEADER_BYTES..].to_vec();
@@ -247,9 +260,20 @@ proptest! {
         let bytes = w.into_bytes();
         prop_assert_eq!(&decode_journal(&bytes).expect("journal decodes"), &events);
         if !events.is_empty() {
-            let cut = 8 + (cut % (bytes.len() as u64 - 8)) as usize; // keep magic, cut a record
-            prop_assert!(decode_journal(&bytes[..cut]).is_err());
+            // Tear the tail anywhere past the magic: recovery must hand
+            // back a clean prefix of the events, account for every byte,
+            // and strict decode must reject exactly the torn cuts.
+            let cut = 8 + (cut % (bytes.len() as u64 - 8)) as usize;
+            let rec = JournalReader::recover(&bytes[..cut]).expect("torn tails are recoverable");
+            let got: Vec<&IngressEvent> = rec.entries.iter().map(|e| &e.event).collect();
+            prop_assert!(got.len() <= events.len());
+            for (g, w) in got.iter().zip(events.iter()) {
+                prop_assert_eq!(*g, w);
+            }
+            prop_assert_eq!(rec.clean_len + rec.truncated_bytes, cut);
+            prop_assert_eq!(decode_journal(&bytes[..cut]).is_err(), rec.truncated_bytes > 0);
         }
         prop_assert!(decode_journal(b"BOGUS123").is_err());
+        prop_assert!(JournalReader::recover(b"BOGUS123").is_err());
     }
 }

@@ -10,7 +10,9 @@
 //! Run with: `cargo run --release --example live_serve`
 //! (set `PICTOR_SECS` to change the serving horizon).
 
-use pictor::serve::{decode_journal, replay, run_in_process, serve_engine, LoadSpec, ServeOptions};
+use pictor::serve::{
+    decode_journal_entries, replay, run_in_process, serve_engine, LoadSpec, ServeOptions,
+};
 
 fn main() {
     let secs = std::env::var("PICTOR_SECS")
@@ -35,6 +37,7 @@ fn main() {
         virtual_clock: true, // deterministic: clients stamp virtual time
         record: true,        // journal the stamped ingress stream
         threads: 4,
+        ..ServeOptions::default()
     };
     let run = run_in_process(&engine, &opts, &spec);
 
@@ -67,12 +70,12 @@ fn main() {
 
     // 4. Record/replay: the journal alone reproduces the daemon report.
     let journal = run.outcome.journal.as_deref().expect("recording was on");
-    let events = decode_journal(journal).expect("own journal decodes");
-    let replayed = replay(&engine, &events, 4);
+    let entries = decode_journal_entries(journal).expect("own journal decodes");
+    let replayed = replay(&engine, 1, &entries, 4);
     let identical = replayed.report.to_json() == report.to_json();
     println!(
         "\nreplay    {} journaled events ({} bytes) -> byte-identical report: {identical}",
-        events.len(),
+        entries.len(),
         journal.len()
     );
     assert!(identical, "replay must reproduce the live report");

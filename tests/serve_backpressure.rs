@@ -31,11 +31,12 @@ fn flash_crowd_conserves_every_request_through_the_bounded_queue() {
         virtual_clock: true,
         record: false,
         threads: 2,
+        ..ServeOptions::default()
     };
     let run = run_in_process(&engine, &opts, &spec);
     let load = &run.load;
     let ingress = run.outcome.report.ingress;
-    let audit = &run.outcome.audit;
+    let audit = &run.outcome.shards[0].audit;
 
     // The probe actually saturates: every pressure path fires.
     assert!(

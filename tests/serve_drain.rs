@@ -1,0 +1,353 @@
+//! Drain, handover, auth, and typed-error semantics for the serving
+//! daemon.
+//!
+//! The headline property is **deterministic handover**: a daemon
+//! restarted from *any* clean prefix of a recorded journal
+//! (`run_daemon_from`) and then sealed produces a report byte-identical
+//! to an offline replay of that same prefix. Together with the journal's
+//! write-through + crash-recovery guarantees this is the full failover
+//! story — kill the daemon anywhere, recover the journal's clean prefix,
+//! restart, and nothing about the serving record is ambiguous.
+
+use std::sync::mpsc::channel;
+use std::thread;
+
+use pictor::serve::{
+    decode_journal_entries, replay, run_daemon, run_daemon_from, serve_engine, ChannelConn, Conn,
+    ErrCode, IngressEvent, JournalEntry, LoadSpec, Msg, ServeOptions, ServeOutcome,
+};
+
+/// Same probe family as the replay golden: a small oversubscribed fleet
+/// so every decision branch shows up in the journal.
+fn probe() -> pictor::core::fleet::FleetEngine {
+    serve_engine(4, 4, 24, 250, 2020, 8)
+}
+
+fn swarm() -> LoadSpec {
+    let mut spec = LoadSpec::closed(48, 6, 7);
+    spec.flash_at_secs = 3;
+    spec.flash_burst = 16;
+    spec
+}
+
+const THREADS: usize = 2;
+
+fn base_opts() -> ServeOptions {
+    ServeOptions {
+        virtual_clock: true,
+        threads: THREADS,
+        ..ServeOptions::default()
+    }
+}
+
+/// Boots a fresh daemon from `prefix` and seals it (through a live
+/// client connection unless the prefix already seals the run), returning
+/// the sealed outcome — the "restarted daemon" half of the handover
+/// property.
+fn restart_and_seal(prefix: &[JournalEntry]) -> ServeOutcome {
+    let engine = probe();
+    let opts = base_opts();
+    let prefix_seals = prefix
+        .iter()
+        .any(|e| matches!(e.event, IngressEvent::Seal { .. }));
+    let (tx, rx) = channel();
+    thread::scope(|s| {
+        let daemon = s.spawn(|| run_daemon_from(&engine, &opts, rx, prefix));
+        if !prefix_seals {
+            let mut conn = ChannelConn::connect(1, &tx);
+            conn.send(&Msg::Hello {
+                client: 99,
+                token: String::new(),
+            })
+            .expect("hello");
+            assert!(matches!(conn.recv().expect("ack"), Msg::HelloAck { .. }));
+            let at_ns = prefix.last().map_or(0, |e| e.event.at_ns());
+            conn.send(&Msg::Seal { at_ns }).expect("seal");
+            assert!(matches!(conn.recv().expect("report"), Msg::Report { .. }));
+        }
+        drop(tx);
+        daemon.join().expect("daemon thread")
+    })
+}
+
+/// Kill the daemon after N events, restart from the surviving prefix,
+/// seal: the report is byte-identical to an offline replay of the same
+/// prefix — for every possible N.
+#[test]
+fn restart_from_any_clean_prefix_matches_replay() {
+    let opts = ServeOptions {
+        record: true,
+        ..base_opts()
+    };
+    let run = pictor::serve::run_in_process(&probe(), &opts, &swarm());
+    let journal = run.outcome.journal.as_deref().expect("recorded journal");
+    let entries = decode_journal_entries(journal).expect("journal decodes");
+    assert!(entries.len() > 16, "probe journal too small to cut");
+
+    // Every length class: empty, single event, mid-run, one-short (the
+    // crashed-before-seal case), and the complete journal.
+    let cuts = [0, 1, entries.len() / 3, entries.len() - 1, entries.len()];
+    for &cut in &cuts {
+        let prefix = &entries[..cut];
+        let want = replay(&probe(), 1, prefix, THREADS).report.to_json();
+        let got = restart_and_seal(prefix).report.to_json();
+        assert_eq!(
+            got, want,
+            "handover diverged from replay at prefix length {cut}"
+        );
+    }
+}
+
+/// Live drain semantics: `Drain` seals admissions (new `Open`s are
+/// refused with `Draining`, un-journaled), acknowledges with the flushed
+/// journal depth and directory size, and leaves polls/seal working.
+#[test]
+fn drain_refuses_new_sessions_but_keeps_serving() {
+    let engine = probe();
+    let opts = ServeOptions {
+        record: true,
+        ..base_opts()
+    };
+    let (tx, rx) = channel();
+    let outcome = thread::scope(|s| {
+        let daemon = s.spawn(|| run_daemon(&engine, &opts, rx));
+        let mut conn = ChannelConn::connect(1, &tx);
+        conn.send(&Msg::Hello {
+            client: 1,
+            token: String::new(),
+        })
+        .expect("hello");
+        assert!(matches!(conn.recv().expect("ack"), Msg::HelloAck { .. }));
+
+        conn.send(&Msg::Open {
+            req: 1,
+            at_ns: 0,
+            duration_ns: 2_000_000_000,
+            app_code: "STK".into(),
+        })
+        .expect("open");
+        let session = match conn.recv().expect("decision") {
+            Msg::Decision { session, .. } => session,
+            other => panic!("expected Decision, got {other:?}"),
+        };
+
+        conn.send(&Msg::Drain { at_ns: 500_000_000 })
+            .expect("drain");
+        match conn.recv().expect("drain ack") {
+            Msg::DrainAck {
+                journaled_events,
+                tracked,
+            } => {
+                assert_eq!(journaled_events, 1, "one open was journaled before drain");
+                assert_eq!(tracked, 1, "the admitted session is tracked");
+            }
+            other => panic!("expected DrainAck, got {other:?}"),
+        }
+
+        // Admissions are sealed...
+        conn.send(&Msg::Open {
+            req: 2,
+            at_ns: 600_000_000,
+            duration_ns: 1_000_000_000,
+            app_code: "STK".into(),
+        })
+        .expect("open while draining");
+        match conn.recv().expect("refusal") {
+            Msg::Error {
+                code: ErrCode::Draining,
+                ..
+            } => {}
+            other => panic!("expected Draining refusal, got {other:?}"),
+        }
+        // ...but telemetry still flows for live sessions.
+        conn.send(&Msg::Poll {
+            at_ns: 1_000_000_000,
+            session,
+        })
+        .expect("poll");
+        assert!(matches!(
+            conn.recv().expect("telemetry"),
+            Msg::Telemetry { .. }
+        ));
+
+        conn.send(&Msg::Seal {
+            at_ns: 2_000_000_000,
+        })
+        .expect("seal");
+        assert!(matches!(conn.recv().expect("report"), Msg::Report { .. }));
+        drop(conn);
+        drop(tx);
+        daemon.join().expect("daemon thread")
+    });
+
+    // The refused open never reached the journal or the counters; the
+    // refusal is a transport-plane diagnostic.
+    assert_eq!(outcome.report.ingress.opens, 1);
+    assert_eq!(outcome.transport.refused_draining, 1);
+    let entries =
+        decode_journal_entries(outcome.journal.as_deref().expect("journal")).expect("decodes");
+    assert!(
+        !entries
+            .iter()
+            .any(|e| matches!(&e.event, IngressEvent::Open { req: 2, .. })),
+        "a drained-away open leaked into the journal"
+    );
+}
+
+/// Auth: a daemon armed with a token refuses wrong tokens and
+/// pre-`Hello` traffic by name, and never stamps or journals either.
+#[test]
+fn auth_token_gates_every_frame() {
+    let engine = probe();
+    let opts = ServeOptions {
+        record: true,
+        token: Some("sesame".into()),
+        ..base_opts()
+    };
+    let (tx, rx) = channel();
+    let outcome = thread::scope(|s| {
+        let daemon = s.spawn(|| run_daemon(&engine, &opts, rx));
+        let mut conn = ChannelConn::connect(1, &tx);
+
+        // Unauthenticated open: refused before stamping.
+        conn.send(&Msg::Open {
+            req: 1,
+            at_ns: 0,
+            duration_ns: 1_000_000_000,
+            app_code: "STK".into(),
+        })
+        .expect("open");
+        assert!(matches!(
+            conn.recv().expect("refusal"),
+            Msg::Error {
+                code: ErrCode::Unauthorized,
+                ..
+            }
+        ));
+        // Wrong token (same length as the real one — the compare is
+        // constant-time either way).
+        conn.send(&Msg::Hello {
+            client: 1,
+            token: "sesamE".into(),
+        })
+        .expect("bad hello");
+        assert!(matches!(
+            conn.recv().expect("refusal"),
+            Msg::Error {
+                code: ErrCode::Unauthorized,
+                ..
+            }
+        ));
+        // Right token: in.
+        conn.send(&Msg::Hello {
+            client: 1,
+            token: "sesame".into(),
+        })
+        .expect("hello");
+        assert!(matches!(conn.recv().expect("ack"), Msg::HelloAck { .. }));
+        conn.send(&Msg::Open {
+            req: 2,
+            at_ns: 0,
+            duration_ns: 1_000_000_000,
+            app_code: "STK".into(),
+        })
+        .expect("open");
+        assert!(matches!(
+            conn.recv().expect("decision"),
+            Msg::Decision { .. }
+        ));
+
+        conn.send(&Msg::Seal {
+            at_ns: 1_000_000_000,
+        })
+        .expect("seal");
+        assert!(matches!(conn.recv().expect("report"), Msg::Report { .. }));
+        drop(conn);
+        drop(tx);
+        daemon.join().expect("daemon thread")
+    });
+
+    assert_eq!(outcome.transport.unauthorized, 2);
+    assert_eq!(
+        outcome.report.ingress.opens, 1,
+        "refused open never stamped"
+    );
+    let entries =
+        decode_journal_entries(outcome.journal.as_deref().expect("journal")).expect("decodes");
+    assert_eq!(entries.len(), 2, "one open + one seal journaled");
+}
+
+/// Unknown-session polls get the typed v2 error (and a transport-side
+/// count), not a fabricated zero-telemetry sample; expired sessions are
+/// pruned from the directory and answer the same way.
+#[test]
+fn unknown_and_expired_sessions_answer_by_name() {
+    let engine = probe();
+    let opts = base_opts();
+    let (tx, rx) = channel();
+    let outcome = thread::scope(|s| {
+        let daemon = s.spawn(|| run_daemon(&engine, &opts, rx));
+        let mut conn = ChannelConn::connect(1, &tx);
+        conn.send(&Msg::Hello {
+            client: 1,
+            token: String::new(),
+        })
+        .expect("hello");
+        assert!(matches!(conn.recv().expect("ack"), Msg::HelloAck { .. }));
+
+        // Never-admitted session id.
+        conn.send(&Msg::Poll {
+            at_ns: 0,
+            session: 424_242,
+        })
+        .expect("poll");
+        match conn.recv().expect("reply") {
+            Msg::Error {
+                code: ErrCode::UnknownSession,
+                detail,
+            } => assert!(detail.contains("424242"), "detail names the session"),
+            other => panic!("expected UnknownSession, got {other:?}"),
+        }
+
+        // A real session, polled long after it expired: the directory
+        // has pruned it, so it answers identically to a bogus id.
+        conn.send(&Msg::Open {
+            req: 1,
+            at_ns: 0,
+            duration_ns: 500_000_000,
+            app_code: "STK".into(),
+        })
+        .expect("open");
+        let session = match conn.recv().expect("decision") {
+            Msg::Decision { session, .. } => session,
+            other => panic!("expected Decision, got {other:?}"),
+        };
+        conn.send(&Msg::Poll {
+            at_ns: 5_000_000_000,
+            session,
+        })
+        .expect("late poll");
+        assert!(matches!(
+            conn.recv().expect("reply"),
+            Msg::Error {
+                code: ErrCode::UnknownSession,
+                ..
+            }
+        ));
+
+        conn.send(&Msg::Seal {
+            at_ns: 6_000_000_000,
+        })
+        .expect("seal");
+        assert!(matches!(conn.recv().expect("report"), Msg::Report { .. }));
+        drop(conn);
+        drop(tx);
+        daemon.join().expect("daemon thread")
+    });
+
+    assert_eq!(outcome.transport.unknown_sessions, 2);
+    // Both polls were stamped and counted — the typed error is a reply
+    // shape, not a change to the deterministic serving record.
+    assert_eq!(outcome.report.ingress.polls, 2);
+    assert!(outcome.report.decisions_balance());
+}

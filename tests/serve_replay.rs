@@ -12,7 +12,9 @@
 
 use std::path::PathBuf;
 
-use pictor::serve::{decode_journal, replay, run_in_process, serve_engine, LoadSpec, ServeOptions};
+use pictor::serve::{
+    decode_journal_entries, replay, run_in_process, serve_engine, LoadSpec, ServeOptions,
+};
 
 /// The pinned probe: a 4×4-slot fleet over a 6 s horizon (24 × 250 ms
 /// epochs) with a small lobby, driven by 64 closed-loop clients plus a
@@ -43,6 +45,7 @@ fn replay_reproduces_live_report_and_matches_golden() {
         virtual_clock: true,
         record: true,
         threads: THREADS,
+        ..ServeOptions::default()
     };
     let run = run_in_process(&probe(), &opts, &swarm());
     let live_json = run.outcome.report.to_json();
@@ -60,12 +63,14 @@ fn replay_reproduces_live_report_and_matches_golden() {
     // Replay: a fresh engine fed the recorded stream reproduces the
     // report byte for byte. Transport-only diagnostics are excluded from
     // the report by construction, so this equality is exact.
-    let events = decode_journal(journal).expect("journal decodes");
+    let entries = decode_journal_entries(journal).expect("journal decodes");
     assert_eq!(
-        events.len() as u64,
+        entries.len() as u64,
         run.outcome.report.ingress.journaled_events
     );
-    let replayed = replay(&probe(), &events, THREADS);
+    // A single-shard recording carries no shard markers.
+    assert!(entries.iter().all(|e| e.shard == 0));
+    let replayed = replay(&probe(), 1, &entries, THREADS);
     assert_eq!(
         replayed.report.to_json(),
         live_json,
@@ -89,7 +94,7 @@ fn replay_reproduces_live_report_and_matches_golden() {
         eprintln!(
             "blessed {} journal bytes ({} events) and {} report bytes",
             journal.len(),
-            events.len(),
+            entries.len(),
             live_json.len()
         );
         return;
@@ -125,8 +130,8 @@ fn golden_journal_replays_to_golden_report() {
     let want = std::fs::read_to_string(golden("serve_report.json")).unwrap_or_else(|e| {
         panic!("missing golden report ({e}); run with PICTOR_BLESS=1 to create it")
     });
-    let events = decode_journal(&journal).expect("golden journal decodes");
-    let outcome = replay(&probe(), &events, THREADS);
+    let entries = decode_journal_entries(&journal).expect("golden journal decodes");
+    let outcome = replay(&probe(), 1, &entries, THREADS);
     assert_eq!(
         outcome.report.to_json(),
         want,
